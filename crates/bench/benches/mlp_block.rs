@@ -1,0 +1,65 @@
+//! Criterion benchmarks of whole MLP-block execution: dense baseline versus
+//! SparseInfer's predicted-sparsity path at several alphas — the CPU-level
+//! analogue of the per-layer latency story in Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
+use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
+use sparseinfer::sparse::mlp::{dense_mlp_forward, sparse_mlp_forward, MlpOptions};
+use sparseinfer::sparse::OpCounter;
+use sparseinfer::tensor::{Prng, Vector};
+
+fn bench_mlp_block(c: &mut Criterion) {
+    let cfg = ModelConfig::sim_13b();
+    let model = WeightGenerator::new(&cfg, 3).build();
+    let mlp = model.layers()[cfg.n_layers / 2].mlp();
+    let mut rng = Prng::seed(4);
+    let x = Vector::from_fn(cfg.hidden_dim, |_| rng.normal(0.6, 1.0) as f32);
+
+    let mut group = c.benchmark_group("mlp_block");
+    group.bench_function("dense (llama.cpp path)", |b| {
+        b.iter(|| {
+            let mut ops = OpCounter::default();
+            std::hint::black_box(dense_mlp_forward(mlp, &x, &mut ops))
+        })
+    });
+
+    for alpha in [1.00f64, 1.03] {
+        let mut predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(alpha));
+        let mask = predictor.predict(cfg.n_layers / 2, &x);
+        group.bench_with_input(
+            BenchmarkId::new("sparseinfer", format!("alpha_{alpha:.2}")),
+            &mask,
+            |b, mask| {
+                b.iter(|| {
+                    let mut ops = OpCounter::default();
+                    std::hint::black_box(sparse_mlp_forward(
+                        mlp,
+                        &x,
+                        mask,
+                        MlpOptions::default(),
+                        &mut ops,
+                    ))
+                })
+            },
+        );
+    }
+
+    // Prediction + sparse execution together (the end-to-end per-layer cost).
+    let mut predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
+    group.bench_function("predict_then_sparse_mlp", |b| {
+        b.iter(|| {
+            let mask = predictor.predict(cfg.n_layers / 2, &x);
+            let mut ops = OpCounter::default();
+            std::hint::black_box(sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mlp_block
+}
+criterion_main!(benches);

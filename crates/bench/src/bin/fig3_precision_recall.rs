@@ -1,0 +1,64 @@
+//! **E5 — Fig. 3**: per-layer precision and recall of the sign-bit
+//! predictor on the 7B and 13B simulation models.
+//!
+//! ```text
+//! cargo run --release -p sparseinfer-bench --bin fig3_precision_recall
+//! ```
+//!
+//! Paper shape to reproduce: precision above ~99% in stabilized layers with
+//! a visible dip in the early layers; recall high throughout.
+
+use sparseinfer::eval::TaskSuite;
+use sparseinfer::model::{MlpTrace, Model};
+use sparseinfer::predictor::{
+    AlphaSchedule, LayerMetrics, OraclePredictor, SignBitPredictor, SparsityPredictor,
+};
+use sparseinfer_bench::{build_sim_13b, build_sim_7b};
+
+fn main() {
+    for (label, model) in [("ProSparse-7B-sim", build_sim_7b()), ("ProSparse-13B-sim", build_sim_13b())]
+    {
+        let metrics = measure(&model);
+        println!("=== {label}: per-layer precision / recall (alpha = 1.00) ===");
+        println!("{:>5} {:>10} {:>10} {:>10}", "layer", "precision", "recall", "sparsity");
+        for (l, (p, r)) in metrics.precision_recall_series().iter().enumerate() {
+            let c = metrics.layer(l);
+            println!(
+                "{l:>5} {:>10.4} {:>10.4} {:>10.3}{}",
+                p,
+                r,
+                c.true_sparsity(),
+                if l < 4 { "   <- early layer" } else { "" }
+            );
+        }
+        let overall = metrics.overall();
+        println!(
+            "\noverall: precision {:.4}, recall {:.4}, F1 {:.4}\n",
+            overall.precision(),
+            overall.recall(),
+            overall.f1()
+        );
+
+        // The paper's observation: early layers are measurably worse.
+        let early: f64 = (0..4).map(|l| metrics.layer(l).precision()).sum::<f64>() / 4.0;
+        let n = metrics.n_layers();
+        let late: f64 = (n - 4..n).map(|l| metrics.layer(l).precision()).sum::<f64>() / 4.0;
+        println!("early-layer mean precision {early:.4} vs late-layer {late:.4}\n");
+    }
+}
+
+fn measure(model: &Model) -> LayerMetrics {
+    let suite = TaskSuite::gsm8k_syn(3, 17);
+    let mut metrics = LayerMetrics::new(model.config().n_layers);
+    let mut predictor = SignBitPredictor::from_model(model, AlphaSchedule::uniform(1.0));
+    let mut oracle = OraclePredictor::from_model(model);
+    for task in &suite.tasks {
+        let trace = MlpTrace::capture(model, &task.tokens, 4);
+        for s in trace.samples() {
+            let predicted = predictor.predict(s.layer, &s.x);
+            let truth = oracle.predict(s.layer, &s.x);
+            metrics.record(s.layer, &predicted, &truth);
+        }
+    }
+    metrics
+}

@@ -1,0 +1,43 @@
+//! **E3 — §V-A2**: predictor memory usage, PowerInfer (DejaVu rank 1024)
+//! versus SparseInfer packed sign bits, on ProSparse-Llama2-13B.
+//!
+//! ```text
+//! cargo run --release -p sparseinfer-bench --bin memory_usage
+//! ```
+
+use sparseinfer::model::ModelConfig;
+use sparseinfer::predictor::memory::{dejavu_bytes, memory_ratio, signbit_bytes, to_mib};
+
+fn main() {
+    let cfg = ModelConfig::prosparse_13b_paper();
+    let rank = 1024;
+
+    let dv = dejavu_bytes(&cfg, rank);
+    let si = signbit_bytes(&cfg);
+
+    println!("Predictor memory usage ({} layers of {})\n", cfg.n_layers, cfg.name);
+    println!(
+        "PowerInfer (DejaVu rank {rank}):  ({}x{rank} + {rank}x{}) x 2 B x {} = {:>8.1} MB",
+        cfg.hidden_dim,
+        cfg.mlp_dim,
+        cfg.n_layers,
+        to_mib(dv)
+    );
+    println!(
+        "SparseInfer (packed signs):    {}x{} words x 4 B x {}      = {:>8.1} MB",
+        cfg.mlp_dim,
+        cfg.hidden_dim / 32,
+        cfg.n_layers,
+        to_mib(si)
+    );
+    println!("\nReduction: {:.2}x (paper: 4.38x; 1480 MB vs 337.5 MB)", memory_ratio(&cfg, rank));
+
+    let cfg7 = ModelConfig::prosparse_7b_paper();
+    println!(
+        "\nFor reference, {}: DejaVu {:.1} MB vs packed signs {:.1} MB ({:.2}x)",
+        cfg7.name,
+        to_mib(dejavu_bytes(&cfg7, rank)),
+        to_mib(signbit_bytes(&cfg7)),
+        memory_ratio(&cfg7, rank)
+    );
+}

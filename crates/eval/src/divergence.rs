@@ -1,0 +1,169 @@
+//! Logit-level divergence between dense and sparse execution.
+//!
+//! Token-match metrics are end-to-end but coarse; these logit metrics show
+//! *how much* the mispredicted skips perturb the model before any argmax
+//! snaps the error to a token flip. Used by the alpha-sweep analyses and the
+//! DSE example.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_tensor::Vector;
+
+/// Divergence statistics between two logit vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogitDivergence {
+    /// Cosine similarity of the raw logits.
+    pub cosine: f64,
+    /// L2 distance of the raw logits.
+    pub l2: f64,
+    /// KL divergence `KL(dense ‖ sparse)` of the softmax distributions.
+    pub kl: f64,
+    /// Whether the argmax token agrees.
+    pub argmax_match: bool,
+}
+
+/// Computes divergence between a reference (dense) and candidate (sparse)
+/// logit vector.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length or are empty.
+pub fn logit_divergence(dense: &Vector, sparse: &Vector) -> LogitDivergence {
+    assert_eq!(dense.len(), sparse.len(), "logit length mismatch");
+    assert!(!dense.is_empty(), "empty logits");
+
+    let dot = dense.dot(sparse).expect("equal lengths") as f64;
+    let cosine = dot / (dense.norm() as f64 * sparse.norm() as f64).max(1e-30);
+    let l2 = dense
+        .iter()
+        .zip(sparse.iter())
+        .map(|(a, b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
+
+    let p = softmax(dense);
+    let q = softmax(sparse);
+    let kl = p
+        .iter()
+        .zip(&q)
+        .map(|(pi, qi)| {
+            if *pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi.max(1e-12)).ln()
+            }
+        })
+        .sum::<f64>();
+
+    LogitDivergence {
+        cosine,
+        l2,
+        kl,
+        argmax_match: dense.argmax() == sparse.argmax(),
+    }
+}
+
+fn softmax(v: &Vector) -> Vec<f64> {
+    let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let exps: Vec<f64> = v.iter().map(|x| ((*x as f64) - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Running mean of divergences over a decode stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DivergenceAccumulator {
+    count: u64,
+    cosine_sum: f64,
+    l2_sum: f64,
+    kl_sum: f64,
+    argmax_matches: u64,
+}
+
+impl DivergenceAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one comparison.
+    pub fn push(&mut self, d: &LogitDivergence) {
+        self.count += 1;
+        self.cosine_sum += d.cosine;
+        self.l2_sum += d.l2;
+        self.kl_sum += d.kl;
+        if d.argmax_match {
+            self.argmax_matches += 1;
+        }
+    }
+
+    /// Number of comparisons recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean cosine similarity.
+    pub fn mean_cosine(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.cosine_sum / self.count as f64 }
+    }
+
+    /// Mean KL divergence.
+    pub fn mean_kl(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.kl_sum / self.count as f64 }
+    }
+
+    /// Fraction of positions whose argmax token agreed.
+    pub fn argmax_match_rate(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.argmax_matches as f64 / self.count as f64 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_logits_have_zero_divergence() {
+        let v = Vector::from_vec(vec![1.0, -2.0, 0.5, 3.0]);
+        let d = logit_divergence(&v, &v);
+        // dot/norm run in f32; only f32-level agreement is guaranteed.
+        assert!((d.cosine - 1.0).abs() < 1e-5);
+        assert!(d.l2 < 1e-6);
+        assert!(d.kl.abs() < 1e-9);
+        assert!(d.argmax_match);
+    }
+
+    #[test]
+    fn perturbation_increases_all_metrics() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut small = a.clone();
+        small[0] += 0.1;
+        let mut large = a.clone();
+        large[0] += 3.0;
+        large[3] -= 3.0;
+        let ds = logit_divergence(&a, &small);
+        let dl = logit_divergence(&a, &large);
+        assert!(dl.l2 > ds.l2);
+        assert!(dl.kl > ds.kl);
+        assert!(dl.cosine < ds.cosine);
+        assert!(ds.argmax_match);
+        assert!(!dl.argmax_match);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let a = Vector::from_vec(vec![1.0, 0.0]);
+        let b = Vector::from_vec(vec![0.9, 0.1]);
+        let mut acc = DivergenceAccumulator::new();
+        acc.push(&logit_divergence(&a, &a));
+        acc.push(&logit_divergence(&a, &b));
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.argmax_match_rate(), 1.0);
+        assert!(acc.mean_cosine() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_logits_panic() {
+        let _ = logit_divergence(&Vector::zeros(2), &Vector::zeros(3));
+    }
+}

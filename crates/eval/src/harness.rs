@@ -1,0 +1,327 @@
+//! Dense-gold accuracy evaluation.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_model::Model;
+
+use crate::tasks::TaskSuite;
+
+/// Outcome of one task: gold vs candidate continuation comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskOutcome {
+    /// Task identifier.
+    pub id: String,
+    /// Whole-continuation exact match.
+    pub exact: bool,
+    /// Position-wise token overlap in `[0, 1]` (over the gold length).
+    pub overlap: f64,
+}
+
+/// Aggregate accuracy of a candidate engine against the dense gold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Per-task outcomes.
+    pub outcomes: Vec<TaskOutcome>,
+}
+
+impl AccuracyReport {
+    /// Fraction of tasks with exact-match continuations.
+    pub fn exact_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.exact).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean token overlap across tasks.
+    pub fn mean_overlap(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(|o| o.overlap).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Fraction of tasks counted correct at an overlap threshold — the
+    /// tolerance for answer-preserving near-misses.
+    pub fn match_rate(&self, threshold: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.exact || o.overlap >= threshold)
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Projects the match quality onto a paper-style benchmark score:
+    /// `baseline_score × match_rate(0.85)`. The dense baseline by
+    /// construction scores exactly `baseline_score`.
+    pub fn scaled_score(&self, baseline_score: f64) -> f64 {
+        baseline_score * self.match_rate(0.85)
+    }
+}
+
+/// Greedy gold continuations for every task (dense decode).
+pub fn gold_continuations(model: &Model, suite: &TaskSuite, max_new: usize) -> Vec<Vec<u32>> {
+    suite
+        .tasks
+        .iter()
+        .map(|t| model.generate_greedy(&t.tokens, max_new, sparseinfer_model::tokenizer::EOS))
+        .collect()
+}
+
+/// Evaluates a candidate decoding function against precomputed gold
+/// continuations. The candidate is any closure mapping a prompt to a
+/// generated continuation (dense engine, SparseInfer at some alpha,
+/// PowerInfer-style, random baseline, ...).
+///
+/// # Panics
+///
+/// Panics if `gold.len() != suite.len()`.
+pub fn evaluate_against_gold(
+    suite: &TaskSuite,
+    gold: &[Vec<u32>],
+    mut candidate: impl FnMut(&[u32]) -> Vec<u32>,
+) -> AccuracyReport {
+    assert_eq!(gold.len(), suite.len(), "gold/suite length mismatch");
+    let outcomes = suite
+        .tasks
+        .iter()
+        .zip(gold)
+        .map(|(task, gold_tokens)| {
+            let generated = candidate(&task.tokens);
+            TaskOutcome {
+                id: task.id.clone(),
+                exact: &generated == gold_tokens,
+                overlap: token_overlap(gold_tokens, &generated),
+            }
+        })
+        .collect();
+    AccuracyReport { outcomes }
+}
+
+/// Position-wise overlap of `candidate` with `gold`, normalized by the gold
+/// length. Empty gold counts as full overlap only if the candidate is empty
+/// too.
+pub fn token_overlap(gold: &[u32], candidate: &[u32]) -> f64 {
+    if gold.is_empty() {
+        return if candidate.is_empty() { 1.0 } else { 0.0 };
+    }
+    let matches = gold
+        .iter()
+        .zip(candidate)
+        .filter(|(g, c)| g == c)
+        .count();
+    matches as f64 / gold.len() as f64
+}
+
+/// Teacher-forced evaluation: the candidate stepper is fed the *gold* token
+/// stream and judged on whether its argmax at each position reproduces the
+/// gold token.
+///
+/// Free-running comparison compounds a single flipped token into total
+/// divergence, which is far harsher than what happens on a real LLM (whose
+/// decoding is robust to small logit perturbations). Teacher forcing
+/// measures the per-position flip probability caused by mispredicted skips —
+/// the actual degradation mechanism the paper's alpha knob controls — while
+/// keeping the comparison well-defined on a synthetic model.
+///
+/// The stepper receives `(token, position_logits_requested)` pairs via a
+/// closure `step(token) -> Vector` that advances the candidate engine one
+/// token and returns its logits.
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+pub fn teacher_forced_matches(
+    prompt: &[u32],
+    gold: &[u32],
+    mut step: impl FnMut(u32) -> sparseinfer_tensor::Vector,
+) -> Vec<bool> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    // Feed the prompt; logits after its last token predict gold[0].
+    let mut logits = sparseinfer_tensor::Vector::zeros(0);
+    for t in prompt {
+        logits = step(*t);
+    }
+    let mut out = Vec::with_capacity(gold.len());
+    for g in gold {
+        let predicted = logits.argmax().expect("nonzero vocab") as u32;
+        out.push(predicted == *g);
+        logits = step(*g); // force the gold token regardless of prediction
+    }
+    out
+}
+
+/// Runs [`teacher_forced_matches`] over a whole suite, producing an
+/// [`AccuracyReport`] whose `overlap` is the per-task match rate and whose
+/// `exact` flags full-sequence agreement.
+///
+/// # Panics
+///
+/// Panics if `gold.len() != suite.len()`.
+pub fn evaluate_teacher_forced(
+    suite: &TaskSuite,
+    gold: &[Vec<u32>],
+    mut make_stepper: impl FnMut() -> Box<dyn FnMut(u32) -> sparseinfer_tensor::Vector>,
+) -> AccuracyReport {
+    assert_eq!(gold.len(), suite.len(), "gold/suite length mismatch");
+    let outcomes = suite
+        .tasks
+        .iter()
+        .zip(gold)
+        .map(|(task, gold_tokens)| {
+            let mut step = make_stepper();
+            let matches = teacher_forced_matches(&task.tokens, gold_tokens, &mut step);
+            let hit = matches.iter().filter(|m| **m).count();
+            TaskOutcome {
+                id: task.id.clone(),
+                exact: hit == matches.len(),
+                overlap: if matches.is_empty() {
+                    1.0
+                } else {
+                    hit as f64 / matches.len() as f64
+                },
+            }
+        })
+        .collect();
+    AccuracyReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::ModelConfig;
+    use sparseinfer_predictor::{OraclePredictor, RandomPredictor};
+    use sparseinfer_sparse::engine::{EngineOptions, SparseEngine};
+
+    fn small_suite() -> TaskSuite {
+        TaskSuite::gsm8k_syn(4, 9)
+    }
+
+    fn sim_model() -> Model {
+        // Tiny has vocab 64 < 259 needed by the byte tokenizer, so tests use
+        // a slightly larger config.
+        let mut cfg = ModelConfig::tiny();
+        cfg.vocab_size = 300;
+        WeightGenerator::new(&cfg, 55).build()
+    }
+
+    #[test]
+    fn token_overlap_basics() {
+        assert_eq!(token_overlap(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(token_overlap(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(token_overlap(&[1, 2, 3], &[]), 0.0);
+        assert_eq!(token_overlap(&[], &[]), 1.0);
+        assert_eq!(token_overlap(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn dense_candidate_scores_perfectly() {
+        let model = sim_model();
+        let suite = small_suite();
+        let gold = gold_continuations(&model, &suite, 8);
+        let report = evaluate_against_gold(&suite, &gold, |prompt| {
+            model.generate_greedy(prompt, 8, sparseinfer_model::tokenizer::EOS)
+        });
+        assert_eq!(report.exact_rate(), 1.0);
+        assert_eq!(report.mean_overlap(), 1.0);
+        assert_eq!(report.scaled_score(30.71), 30.71);
+    }
+
+    #[test]
+    fn oracle_sparse_candidate_scores_perfectly() {
+        let model = sim_model();
+        let suite = small_suite();
+        let gold = gold_continuations(&model, &suite, 8);
+        let oracle = OraclePredictor::from_model(&model);
+        let mut engine = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
+        let report = evaluate_against_gold(&suite, &gold, |prompt| {
+            engine.generate_greedy(prompt, 8, sparseinfer_model::tokenizer::EOS)
+        });
+        assert_eq!(report.exact_rate(), 1.0, "oracle masking must be lossless");
+    }
+
+    #[test]
+    fn random_ninety_percent_skipping_scores_near_zero() {
+        // Paper §V-C: random selection at 90% sparsity → 0% accuracy.
+        let model = sim_model();
+        let suite = small_suite();
+        let gold = gold_continuations(&model, &suite, 8);
+        let random =
+            RandomPredictor::new(0.9, model.config().mlp_dim, model.config().n_layers, 3);
+        let mut engine = SparseEngine::new(&model, random, EngineOptions::sparseinfer());
+        let report = evaluate_against_gold(&suite, &gold, |prompt| {
+            engine.generate_greedy(prompt, 8, sparseinfer_model::tokenizer::EOS)
+        });
+        assert_eq!(report.exact_rate(), 0.0);
+        assert!(report.mean_overlap() < 0.5, "overlap {}", report.mean_overlap());
+        assert_eq!(report.scaled_score(30.71), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_gold_panics() {
+        let suite = small_suite();
+        let _ = evaluate_against_gold(&suite, &[], |_| vec![]);
+    }
+
+    #[test]
+    fn teacher_forcing_dense_model_matches_itself_exactly() {
+        let model = sim_model();
+        let prompt = [1u32, 2, 3];
+        let gold = model.generate_greedy(&prompt, 6, u32::MAX);
+        let mut session = model.start_session();
+        let matches = teacher_forced_matches(&prompt, &gold, |t| {
+            model.forward_token(t, &mut session)
+        });
+        assert_eq!(matches.len(), gold.len());
+        assert!(matches.iter().all(|m| *m), "dense vs itself must agree everywhere");
+    }
+
+    #[test]
+    fn teacher_forcing_counts_flips_without_cascade() {
+        // A candidate that parrots a constant token matches gold exactly at
+        // the positions where gold happens to be that token — teacher
+        // forcing localizes errors instead of cascading them.
+        let model = sim_model();
+        let prompt = [4u32, 5];
+        let gold = model.generate_greedy(&prompt, 6, u32::MAX);
+        // Build a stepper that always predicts token `gold[1]`.
+        let constant = gold[1];
+        let vocab = model.config().vocab_size;
+        let matches = teacher_forced_matches(&prompt, &gold, |_t| {
+            let mut v = sparseinfer_tensor::Vector::zeros(vocab);
+            v[constant as usize] = 1.0;
+            v
+        });
+        let expected: Vec<bool> = gold.iter().map(|g| *g == constant).collect();
+        assert_eq!(matches, expected);
+    }
+
+    #[test]
+    fn evaluate_teacher_forced_aggregates_per_task() {
+        let model = sim_model();
+        let suite = TaskSuite::gsm8k_syn(2, 11);
+        let gold = gold_continuations(&model, &suite, 5);
+        let model_ref = &model;
+        let report = evaluate_teacher_forced(&suite, &gold, || {
+            let mut session = model_ref.start_session();
+            let m = model_ref.clone();
+            Box::new(move |t| {
+                
+                m.forward_token(t, &mut session)
+            })
+        });
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.exact_rate(), 1.0);
+        assert_eq!(report.mean_overlap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt must be non-empty")]
+    fn teacher_forcing_rejects_empty_prompt() {
+        let _ = teacher_forced_matches(&[], &[1], |_| sparseinfer_tensor::Vector::zeros(4));
+    }
+}

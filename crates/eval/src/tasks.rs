@@ -1,0 +1,151 @@
+//! Synthetic evaluation task suites.
+//!
+//! Two generators produce prompt sets shaped like the paper's benchmarks:
+//!
+//! * **gsm8k-syn** — few-shot arithmetic word problems ("Q: ... A: ..."),
+//!   matching the 8-shot GSM8K prompts the paper feeds the models;
+//! * **bbh-syn** — symbolic multi-step transformations in the style of
+//!   BIG-Bench-Hard tasks (list reversal, parity, sorting).
+//!
+//! The *content* only needs to be diverse and deterministic: gold answers
+//! come from the dense model itself (see the crate docs), so what matters is
+//! that every engine sees identical prompts.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_model::ByteTokenizer;
+use sparseinfer_tensor::Prng;
+
+/// One evaluation prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalTask {
+    /// Stable identifier (`gsm8k-syn/3`).
+    pub id: String,
+    /// Human-readable prompt text.
+    pub text: String,
+    /// Tokenized prompt.
+    pub tokens: Vec<u32>,
+}
+
+/// A named collection of tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSuite {
+    /// Suite name (`gsm8k-syn` or `bbh-syn`).
+    pub name: String,
+    /// The tasks.
+    pub tasks: Vec<EvalTask>,
+}
+
+impl TaskSuite {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Generates the arithmetic word-problem suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gsm8k_syn(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "suite needs at least one task");
+        let tok = ByteTokenizer::new();
+        let mut rng = Prng::seed(seed ^ 0x65_37_38_6B);
+        let names = ["Tom", "Mia", "Sam", "Ava", "Leo", "Zoe"];
+        let objects = ["apples", "books", "coins", "cards", "shells", "pens"];
+        let mut tasks = Vec::with_capacity(n);
+        for i in 0..n {
+            let who = *rng.choose(&names);
+            let what = *rng.choose(&objects);
+            let a = rng.below(40) + 2;
+            let b = rng.below(30) + 2;
+            let c = rng.below(9) + 2;
+            let text =
+                format!("Q: {who} has {a} {what}, buys {b}, gives {c}. How many left? A:");
+            tasks.push(EvalTask { id: format!("gsm8k-syn/{i}"), tokens: tok.encode(&text), text });
+        }
+        Self { name: "gsm8k-syn".into(), tasks }
+    }
+
+    /// Generates the symbolic-reasoning suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn bbh_syn(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "suite needs at least one task");
+        let tok = ByteTokenizer::new();
+        let mut rng = Prng::seed(seed ^ 0x62_62_68);
+        let ops = ["reverse", "sort ascending", "rotate left", "deduplicate"];
+        let mut tasks = Vec::with_capacity(n);
+        for i in 0..n {
+            let op = *rng.choose(&ops);
+            let len = rng.below(4) + 3;
+            let seq: Vec<String> =
+                (0..len).map(|_| (rng.below(90) + 10).to_string()).collect();
+            let text = format!("Task: {op} [{}]. Answer:", seq.join(", "));
+            tasks.push(EvalTask { id: format!("bbh-syn/{i}"), tokens: tok.encode(&text), text });
+        }
+        Self { name: "bbh-syn".into(), tasks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gsm8k_suite_is_deterministic_and_sized() {
+        let a = TaskSuite::gsm8k_syn(10, 1);
+        let b = TaskSuite::gsm8k_syn(10, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.name, "gsm8k-syn");
+    }
+
+    #[test]
+    fn different_seeds_give_different_prompts() {
+        let a = TaskSuite::gsm8k_syn(5, 1);
+        let b = TaskSuite::gsm8k_syn(5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prompts_look_like_their_benchmark() {
+        let g = TaskSuite::gsm8k_syn(3, 7);
+        assert!(g.tasks[0].text.starts_with("Q: "));
+        assert!(g.tasks[0].text.contains("How many"));
+        let b = TaskSuite::bbh_syn(3, 7);
+        assert!(b.tasks[0].text.starts_with("Task: "));
+        assert!(b.tasks[0].text.ends_with("Answer:"));
+    }
+
+    #[test]
+    fn tokens_round_trip_through_the_tokenizer() {
+        let tok = ByteTokenizer::new();
+        let suite = TaskSuite::bbh_syn(2, 3);
+        for t in &suite.tasks {
+            assert_eq!(tok.decode(&t.tokens), t.text);
+            assert_eq!(t.tokens[0], sparseinfer_model::tokenizer::BOS);
+        }
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let suite = TaskSuite::gsm8k_syn(20, 5);
+        let mut ids: Vec<&str> = suite.tasks.iter().map(|t| t.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_suite_rejected() {
+        let _ = TaskSuite::gsm8k_syn(0, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-token energy estimation.
+//!
+//! The paper motivates SparseInfer with on-device inference (Jetson-class
+//! SoCs), where the energy budget matters as much as latency. Decode-phase
+//! energy on such devices is dominated by DRAM traffic — moving a byte from
+//! LPDDR costs two orders of magnitude more than a MAC on it — so skipped
+//! weight rows translate almost directly into energy savings. This module
+//! prices the same kernel descriptors the latency model uses.
+//!
+//! Energy constants follow the usual architecture-literature figures for a
+//! recent LPDDR5 SoC (≈ 12 pJ/byte DRAM, fractions of a pJ per on-chip op);
+//! as with latency, *ratios* between engines are the meaningful output.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel::KernelDesc;
+use crate::latency::TokenLatency;
+
+/// Energy cost coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per DRAM byte moved (picojoules).
+    pub pj_per_dram_byte: f64,
+    /// Energy per FP32 MAC on CUDA cores (picojoules).
+    pub pj_per_fp32_mac: f64,
+    /// Energy per FP16 MAC on tensor cores (picojoules).
+    pub pj_per_tensor_mac: f64,
+    /// Energy per 32-bit integer op (picojoules).
+    pub pj_per_int_op: f64,
+    /// Static (leakage + uncore) power in watts, charged over latency.
+    pub static_watts: f64,
+}
+
+impl EnergyModel {
+    /// Jetson-Orin-class coefficients.
+    pub fn jetson_orin() -> Self {
+        Self {
+            pj_per_dram_byte: 12.0,
+            pj_per_fp32_mac: 1.2,
+            pj_per_tensor_mac: 0.4,
+            pj_per_int_op: 0.3,
+            static_watts: 5.0,
+        }
+    }
+
+    /// Dynamic energy of one kernel in millijoules.
+    pub fn kernel_mj(&self, k: &KernelDesc) -> f64 {
+        let pj = (k.bytes_streamed + k.bytes_gathered) * self.pj_per_dram_byte
+            + k.fp32_macs * self.pj_per_fp32_mac
+            + k.tensor_macs * self.pj_per_tensor_mac
+            + k.int_ops * self.pj_per_int_op;
+        pj * 1e-9
+    }
+
+    /// Total per-token energy in millijoules given the aggregate traffic
+    /// and the token latency (for the static term).
+    pub fn token_mj(
+        &self,
+        dram_bytes: f64,
+        fp32_macs: f64,
+        tensor_macs: f64,
+        int_ops: f64,
+        latency: &TokenLatency,
+    ) -> f64 {
+        let dynamic_pj = dram_bytes * self.pj_per_dram_byte
+            + fp32_macs * self.pj_per_fp32_mac
+            + tensor_macs * self.pj_per_tensor_mac
+            + int_ops * self.pj_per_int_op;
+        let static_mj = self.static_watts * (latency.total_us() * 1e-6) * 1e3;
+        dynamic_pj * 1e-9 + static_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::kernels;
+    use crate::latency::{dense_token_latency, sparseinfer_token_latency, MlpStepSparsity,
+        SparseVariant, DEFAULT_CTX};
+    use crate::spec::GpuSpec;
+    use sparseinfer_model::ModelConfig;
+
+    #[test]
+    fn dram_dominates_kernel_energy_for_gemv() {
+        let em = EnergyModel::jetson_orin();
+        let k = kernels::dense_gemv(13824, 5120, "gate");
+        let total = em.kernel_mj(&k);
+        let dram_only = (k.bytes_streamed + k.bytes_gathered) * em.pj_per_dram_byte * 1e-9;
+        assert!(dram_only / total > 0.5, "DRAM share {}", dram_only / total);
+    }
+
+    #[test]
+    fn sparse_token_uses_less_energy_than_dense() {
+        let em = EnergyModel::jetson_orin();
+        let spec = GpuSpec::jetson_orin_agx_64gb();
+        let cfg = ModelConfig::prosparse_13b_paper();
+
+        let dense_lat = dense_token_latency(&spec, &cfg);
+        // Dense traffic: all three MLP matrices + attention per layer.
+        let d = cfg.hidden_dim as f64;
+        let k = cfg.mlp_dim as f64;
+        let layers = cfg.n_layers as f64;
+        let dense_bytes = layers * (3.0 * d * k + 4.0 * d * d) * 2.0;
+        let dense_mj = em.token_mj(dense_bytes, dense_bytes / 2.0, 0.0, 0.0, &dense_lat);
+
+        let per_layer = vec![MlpStepSparsity::with_actual(0.90, 0.93); cfg.n_layers];
+        let sparse_lat =
+            sparseinfer_token_latency(&spec, &cfg, &per_layer, SparseVariant::fused(), DEFAULT_CTX);
+        let sparse_bytes =
+            layers * (3.0 * 0.09 * d * k + 4.0 * d * d) * 2.0 + layers * (k * d / 32.0 * 4.0);
+        let sparse_mj = em.token_mj(sparse_bytes, sparse_bytes / 2.0, 0.0,
+            layers * k * d / 16.0, &sparse_lat);
+
+        assert!(
+            sparse_mj < dense_mj * 0.75,
+            "sparse {sparse_mj:.1} mJ vs dense {dense_mj:.1} mJ"
+        );
+    }
+
+    #[test]
+    fn static_term_scales_with_latency() {
+        let em = EnergyModel::jetson_orin();
+        let short = TokenLatency { attention_us: 1000.0, ..Default::default() };
+        let long = TokenLatency { attention_us: 2000.0, ..Default::default() };
+        let a = em.token_mj(0.0, 0.0, 0.0, 0.0, &short);
+        let b = em.token_mj(0.0, 0.0, 0.0, 0.0, &long);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictor_energy_is_negligible_next_to_dense_gate() {
+        let em = EnergyModel::jetson_orin();
+        let cfg = ModelConfig::prosparse_13b_paper();
+        let predictor = em.kernel_mj(&kernels::signbit_predictor(&cfg));
+        let gate = em.kernel_mj(&kernels::dense_gemv(cfg.mlp_dim, cfg.hidden_dim, "gate"));
+        assert!(predictor < gate / 10.0, "predictor {predictor} vs gate {gate}");
+    }
+}

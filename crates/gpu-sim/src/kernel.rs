@@ -1,0 +1,241 @@
+//! Kernel cost descriptors and the roofline latency rule.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_model::ModelConfig;
+
+use crate::spec::GpuSpec;
+
+/// The resource footprint of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Label for breakdowns.
+    pub name: String,
+    /// Bytes read/written as long contiguous streams.
+    pub bytes_streamed: f64,
+    /// Bytes read as row-granular gathers (sparse row visits).
+    pub bytes_gathered: f64,
+    /// Bitwise integer operations (XOR + popcount counted separately).
+    pub int_ops: f64,
+    /// FP32 MACs on CUDA cores.
+    pub fp32_macs: f64,
+    /// FP16 MACs on tensor cores.
+    pub tensor_macs: f64,
+}
+
+impl KernelDesc {
+    /// A kernel with no work (placeholder for disabled stages).
+    pub fn empty(name: &str) -> Self {
+        Self {
+            name: name.into(),
+            bytes_streamed: 0.0,
+            bytes_gathered: 0.0,
+            int_ops: 0.0,
+            fp32_macs: 0.0,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// Roofline latency in seconds: launch overhead plus the slower of the
+    /// memory pipe and the compute pipes.
+    pub fn latency_s(&self, spec: &GpuSpec) -> f64 {
+        let mem = self.bytes_streamed / spec.stream_bandwidth()
+            + self.bytes_gathered / spec.gather_bandwidth();
+        let compute = self.int_ops / spec.int_ops_per_s
+            + self.fp32_macs / spec.fp32_macs_per_s
+            + self.tensor_macs / spec.tensor_macs_per_s;
+        spec.kernel_launch_s + mem.max(compute)
+    }
+
+    /// Latency in microseconds.
+    pub fn latency_us(&self, spec: &GpuSpec) -> f64 {
+        self.latency_s(spec) * 1e6
+    }
+}
+
+/// Bytes per FP16 weight element.
+pub const WEIGHT_BYTES: f64 = 2.0;
+/// Bytes per FP32 activation element.
+pub const ACT_BYTES: f64 = 4.0;
+
+/// Builders for the kernels in the paper's pipeline, all per **one layer**
+/// of `config` unless stated otherwise.
+pub mod kernels {
+    use super::*;
+
+    /// Packing the input vector's sign bits (§IV-B1, decode-time part):
+    /// reads `d` floats, writes `d/32` words.
+    pub fn pack_x_signs(config: &ModelConfig) -> KernelDesc {
+        let d = config.hidden_dim as f64;
+        KernelDesc {
+            name: "pack_x_signs".into(),
+            bytes_streamed: d * ACT_BYTES + d / 32.0 * 4.0,
+            bytes_gathered: 0.0,
+            int_ops: d,
+            fp32_macs: 0.0,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// The SparseInfer prediction kernel (Listing 1): streams the packed
+    /// sign table (`k·d/32` words) and performs one XOR + one popcount per
+    /// word.
+    pub fn signbit_predictor(config: &ModelConfig) -> KernelDesc {
+        let d = config.hidden_dim as f64;
+        let k = config.mlp_dim as f64;
+        let words = k * d / 32.0;
+        KernelDesc {
+            name: "signbit_predictor".into(),
+            bytes_streamed: words * 4.0 + d / 32.0 * 4.0 + k * 4.0,
+            bytes_gathered: 0.0,
+            int_ops: 2.0 * words, // XOR + popc per packed word
+            fp32_macs: 0.0,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// The DejaVu/PowerInfer prediction path: two FP16 GEMVs of total size
+    /// `d·r + r·k` running on tensor cores, streaming the predictor weights.
+    pub fn dejavu_predictor(config: &ModelConfig, rank: usize) -> KernelDesc {
+        let macs = config.dejavu_predictor_ops_per_block(rank) as f64;
+        KernelDesc {
+            name: "dejavu_predictor".into(),
+            bytes_streamed: macs * WEIGHT_BYTES,
+            bytes_gathered: 0.0,
+            int_ops: 0.0,
+            fp32_macs: 0.0,
+            tensor_macs: macs,
+        }
+    }
+
+    /// A dense GEMV over a `k×d` FP16 weight matrix (streams the full
+    /// matrix).
+    pub fn dense_gemv(rows: usize, cols: usize, name: &str) -> KernelDesc {
+        let bytes = rows as f64 * cols as f64 * WEIGHT_BYTES;
+        KernelDesc {
+            name: name.into(),
+            bytes_streamed: bytes + cols as f64 * ACT_BYTES + rows as f64 * ACT_BYTES,
+            bytes_gathered: 0.0,
+            int_ops: 0.0,
+            fp32_macs: rows as f64 * cols as f64,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// A sparse row-skipping GEMV: only `(1 - sparsity)·k` rows are visited,
+    /// as row-granular gathers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is outside `[0, 1]`.
+    pub fn sparse_gemv(rows: usize, cols: usize, sparsity: f64, name: &str) -> KernelDesc {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity {sparsity} out of [0,1]");
+        let active = rows as f64 * (1.0 - sparsity);
+        KernelDesc {
+            name: name.into(),
+            bytes_streamed: cols as f64 * ACT_BYTES + rows as f64 * ACT_BYTES,
+            bytes_gathered: active * cols as f64 * WEIGHT_BYTES,
+            int_ops: rows as f64, // skip-flag test per row
+            fp32_macs: active * cols as f64,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// One attention layer's projections (4 dense `d×d` GEMVs) plus KV-cache
+    /// traffic at context length `ctx`, modeled as a single streamed bundle.
+    pub fn attention_layer(config: &ModelConfig, ctx: usize) -> KernelDesc {
+        let d = config.hidden_dim as f64;
+        let proj_bytes = 4.0 * d * d * WEIGHT_BYTES;
+        let kv_bytes = 2.0 * ctx as f64 * d * ACT_BYTES;
+        KernelDesc {
+            name: "attention_layer".into(),
+            bytes_streamed: proj_bytes + kv_bytes,
+            bytes_gathered: 0.0,
+            int_ops: 0.0,
+            fp32_macs: 4.0 * d * d + 2.0 * ctx as f64 * d,
+            tensor_macs: 0.0,
+        }
+    }
+
+    /// The LM head GEMV (vocab × d), once per token.
+    pub fn lm_head(config: &ModelConfig) -> KernelDesc {
+        dense_gemv(config.vocab_size, config.hidden_dim, "lm_head")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::kernels::*;
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::jetson_orin_agx_64gb()
+    }
+
+    fn cfg13b() -> ModelConfig {
+        ModelConfig::prosparse_13b_paper()
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_launch() {
+        let k = KernelDesc::empty("noop");
+        assert!((k.latency_s(&spec()) - spec().kernel_launch_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictor_kernel_lands_near_paper_70us() {
+        // Paper §V-A1: 70 µs per layer on the 13B model.
+        let us = signbit_predictor(&cfg13b()).latency_us(&spec());
+        assert!(
+            (45.0..=95.0).contains(&us),
+            "SparseInfer predictor latency {us:.1} µs outside the 70 µs band"
+        );
+    }
+
+    #[test]
+    fn dejavu_predictor_is_roughly_3_to_4x_slower() {
+        // Paper §V-A1: 3.66× predictor speedup for SparseInfer.
+        let s = spec();
+        let si = signbit_predictor(&cfg13b()).latency_us(&s);
+        let dv = dejavu_predictor(&cfg13b(), 1024).latency_us(&s);
+        let ratio = dv / si;
+        assert!(
+            (2.5..=5.0).contains(&ratio),
+            "predictor latency ratio {ratio:.2} outside the 3.66× band"
+        );
+    }
+
+    #[test]
+    fn dejavu_predictor_is_compute_light_but_memory_heavy() {
+        // The paper notes the FP16 predictor runs on tensor cores, so its
+        // latency is dominated by streaming 38 MB of weights.
+        let s = spec();
+        let k = dejavu_predictor(&cfg13b(), 1024);
+        let mem = k.bytes_streamed / s.stream_bandwidth();
+        let compute = k.tensor_macs / s.tensor_macs_per_s;
+        assert!(mem > 10.0 * compute);
+    }
+
+    #[test]
+    fn sparse_gemv_cost_decreases_with_sparsity() {
+        let s = spec();
+        let dense = sparse_gemv(13824, 5120, 0.0, "g").latency_us(&s);
+        let half = sparse_gemv(13824, 5120, 0.5, "g").latency_us(&s);
+        let ninety = sparse_gemv(13824, 5120, 0.9, "g").latency_us(&s);
+        assert!(dense > half && half > ninety);
+    }
+
+    #[test]
+    fn sparse_gemv_at_high_sparsity_beats_dense_stream() {
+        // Despite the gather penalty, 90% row skipping must win.
+        let s = spec();
+        let dense = dense_gemv(13824, 5120, "d").latency_us(&s);
+        let sparse = sparse_gemv(13824, 5120, 0.9, "s").latency_us(&s);
+        assert!(sparse < dense, "sparse {sparse:.1} vs dense {dense:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn sparse_gemv_rejects_bad_sparsity() {
+        let _ = sparse_gemv(8, 8, 1.5, "bad");
+    }
+}

@@ -1,0 +1,296 @@
+//! Warp-level SIMT simulation of the paper's CUDA kernels.
+//!
+//! The [`latency`](crate::latency) module treats kernels as roofline
+//! aggregates. This module goes one level down and *executes* the structure
+//! of Listing 1 and of the sparse GEMV kernel at warp granularity — thread
+//! blocks of 32×16 threads, one warp per matrix row, per-iteration coalesced
+//! loads, XOR/popcount lanes, a shuffle-based warp reduction, and the
+//! row-level skip test — counting instructions, memory transactions and
+//! occupancy-limited cycles. It serves three purposes:
+//!
+//! 1. cross-validate the analytic kernel costs (the two models must agree
+//!    within tens of percent);
+//! 2. make the paper's scheduling claims checkable — e.g. §IV-B3: because
+//!    sparsity is decided *per row* and one warp owns one row, there is no
+//!    intra-warp divergence and "no need for additional load balancing";
+//! 3. expose microarchitectural counters (transactions, active-warp
+//!    fraction) that a roofline cannot.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_predictor::SkipMask;
+
+use crate::spec::GpuSpec;
+
+/// Threads per warp (fixed by the architecture and by the sign-packing
+/// width).
+pub const WARP_SIZE: usize = 32;
+/// Warps per thread block in the paper's kernels (32×16 threads).
+pub const WARPS_PER_BLOCK: usize = 16;
+
+/// Machine parameters for the cycle model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimtMachine {
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Resident warps an SM can interleave (occupancy bound).
+    pub warps_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Cycles to issue one ALU instruction per warp.
+    pub alu_cycles: f64,
+    /// Cycles a 128-byte coalesced DRAM transaction occupies the memory
+    /// pipe (derived from bandwidth at simulation time).
+    pub bytes_per_transaction: usize,
+}
+
+impl SimtMachine {
+    /// Jetson Orin AGX GPU: 16 SMs (Ampere, 2048 CUDA cores), ~1.3 GHz.
+    pub fn jetson_orin() -> Self {
+        Self {
+            sm_count: 16,
+            warps_per_sm: 48,
+            clock_ghz: 1.3,
+            alu_cycles: 1.0,
+            bytes_per_transaction: 128,
+        }
+    }
+}
+
+/// Counters produced by one simulated kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimtReport {
+    /// Thread blocks launched.
+    pub blocks: usize,
+    /// Warps that did real work (not skipped rows).
+    pub active_warps: usize,
+    /// Warps that retired immediately (skipped rows).
+    pub skipped_warps: usize,
+    /// Warp-level ALU instructions issued (XOR, popcount, adds, shuffles,
+    /// FMAs counted per warp, as the hardware issues them).
+    pub warp_instructions: u64,
+    /// 128-byte coalesced memory transactions.
+    pub transactions: u64,
+    /// Estimated kernel cycles under the max(compute, memory) pipe model.
+    pub cycles: f64,
+    /// Estimated latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl SimtReport {
+    /// Fraction of launched warps that did real work — the load-balance
+    /// statistic behind the paper's "no additional load balancing" claim.
+    pub fn active_fraction(&self) -> f64 {
+        let total = self.active_warps + self.skipped_warps;
+        if total == 0 {
+            0.0
+        } else {
+            self.active_warps as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates the sparsity-prediction kernel of Listing 1 for a `k×d` gate
+/// matrix: grid of `ceil(k/16)` blocks, one warp per row, each iteration
+/// loading 32 packed sign words (one 128 B transaction), XOR+popcount+add,
+/// then a 5-step shuffle reduction and the alpha test.
+///
+/// # Panics
+///
+/// Panics if `d` is not a multiple of 32.
+pub fn simulate_predictor_kernel(
+    d: usize,
+    k: usize,
+    machine: &SimtMachine,
+    spec: &GpuSpec,
+) -> SimtReport {
+    assert!(d.is_multiple_of(32), "d must be a multiple of 32 for sign packing");
+    let words_per_row = d / 32;
+    // Each thread consumes one word per iteration; a warp covers 32 words.
+    let iterations = words_per_row.div_ceil(WARP_SIZE);
+    let blocks = k.div_ceil(WARPS_PER_BLOCK);
+
+    let mut warp_instructions = 0u64;
+    let mut transactions = 0u64;
+    for _row in 0..k {
+        // Per iteration: one coalesced load of up to 32 words (128 B), one
+        // XOR, one popcount, one accumulate.
+        warp_instructions += iterations as u64 * 3;
+        transactions += iterations as u64;
+        // warp_reduce_sum: log2(32) = 5 shuffle+add pairs, then the alpha
+        // compare on lane 0.
+        warp_instructions += 5 * 2 + 1;
+        // The input sign vector is shared across rows and L2-resident after
+        // the first row; charge it once per block rather than per warp.
+    }
+    transactions += (blocks * words_per_row.div_ceil(machine.bytes_per_transaction / 4)) as u64;
+
+    finish_report(blocks, k, 0, warp_instructions, transactions, machine, spec)
+}
+
+/// Simulates the sparse GEMV kernel of §IV-B3 on a real [`SkipMask`]: one
+/// warp per row; a skipped warp issues only its flag check and retires;
+/// active warps stream `cols` FP16 weights in coalesced transactions and
+/// accumulate.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != rows`.
+pub fn simulate_sparse_gemv_kernel(
+    rows: usize,
+    cols: usize,
+    mask: &SkipMask,
+    machine: &SimtMachine,
+    spec: &GpuSpec,
+) -> SimtReport {
+    assert_eq!(mask.len(), rows, "mask length");
+    let blocks = rows.div_ceil(WARPS_PER_BLOCK);
+    let weight_bytes_per_row = cols * 2; // FP16
+    let transactions_per_row =
+        weight_bytes_per_row.div_ceil(machine.bytes_per_transaction) as u64;
+    // 32 lanes × fp16 elements per transaction; each lane: load+FMA.
+    let iterations = cols.div_ceil(WARP_SIZE) as u64;
+
+    let mut warp_instructions = 0u64;
+    let mut transactions = 0u64;
+    let mut active = 0usize;
+    let mut skipped = 0usize;
+    for r in 0..rows {
+        warp_instructions += 1; // skip-flag test
+        if mask.is_skipped(r) {
+            skipped += 1;
+            continue;
+        }
+        active += 1;
+        warp_instructions += iterations * 2; // load + FMA per iteration
+        warp_instructions += 5 * 2 + 1; // reduction + store
+        transactions += transactions_per_row;
+    }
+
+    finish_report(blocks, active, skipped, warp_instructions, transactions, machine, spec)
+}
+
+fn finish_report(
+    blocks: usize,
+    active_warps: usize,
+    skipped_warps: usize,
+    warp_instructions: u64,
+    transactions: u64,
+    machine: &SimtMachine,
+    spec: &GpuSpec,
+) -> SimtReport {
+    // Compute pipe: instructions issue across SMs in parallel.
+    let issue_slots = (machine.sm_count) as f64;
+    let compute_cycles = warp_instructions as f64 * machine.alu_cycles / issue_slots;
+    // Memory pipe: transactions are serialized by DRAM bandwidth.
+    let bytes = transactions as f64 * machine.bytes_per_transaction as f64;
+    let mem_seconds = bytes / spec.stream_bandwidth();
+    let mem_cycles = mem_seconds * machine.clock_ghz * 1e9;
+
+    let cycles = compute_cycles.max(mem_cycles);
+    let latency_us = cycles / (machine.clock_ghz * 1e9) * 1e6 + spec.kernel_launch_s * 1e6;
+    SimtReport {
+        blocks,
+        active_warps,
+        skipped_warps,
+        warp_instructions,
+        transactions,
+        cycles,
+        latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::kernels;
+    use sparseinfer_model::ModelConfig;
+
+    fn setup() -> (SimtMachine, GpuSpec) {
+        (SimtMachine::jetson_orin(), GpuSpec::jetson_orin_agx_64gb())
+    }
+
+    #[test]
+    fn predictor_simt_agrees_with_roofline_model() {
+        let (machine, spec) = setup();
+        let cfg = ModelConfig::prosparse_13b_paper();
+        let simt = simulate_predictor_kernel(cfg.hidden_dim, cfg.mlp_dim, &machine, &spec);
+        let analytic = kernels::signbit_predictor(&cfg).latency_us(&spec);
+        let ratio = simt.latency_us / analytic;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "SIMT {:.1} us vs roofline {analytic:.1} us",
+            simt.latency_us
+        );
+    }
+
+    #[test]
+    fn predictor_kernel_shape_matches_listing1() {
+        let (machine, spec) = setup();
+        let r = simulate_predictor_kernel(5120, 13824, &machine, &spec);
+        assert_eq!(r.blocks, 13824usize.div_ceil(16));
+        assert_eq!(r.active_warps, 13824); // every row predicted
+        // d/32 = 160 words per row → 5 iterations of 32 words per warp.
+        // 3 instructions per iteration + 11 for reduce/compare = 26 per row.
+        assert_eq!(r.warp_instructions, 13824 * (5 * 3 + 11));
+    }
+
+    #[test]
+    fn sparse_gemv_skipped_warps_cost_one_instruction() {
+        let (machine, spec) = setup();
+        let rows = 1024;
+        let cols = 512;
+        let all = simulate_sparse_gemv_kernel(
+            rows,
+            cols,
+            &SkipMask::all_dense(rows),
+            &machine,
+            &spec,
+        );
+        let none = simulate_sparse_gemv_kernel(
+            rows,
+            cols,
+            &SkipMask::all_skipped(rows),
+            &machine,
+            &spec,
+        );
+        assert_eq!(none.active_warps, 0);
+        assert_eq!(none.warp_instructions, rows as u64); // flag tests only
+        assert_eq!(none.transactions, 0);
+        assert!(all.warp_instructions > none.warp_instructions * 10);
+    }
+
+    #[test]
+    fn no_load_imbalance_at_row_granularity() {
+        // §IV-B3: row-level sparsity retires whole warps, so the active
+        // fraction equals (1 − sparsity) exactly — no straggler lanes.
+        let (machine, spec) = setup();
+        let rows = 2000; // divisible by 10 so the fraction is exact
+        let mask = SkipMask::from_fn(rows, |r| r % 10 != 0); // 90% sparse
+        let r = simulate_sparse_gemv_kernel(rows, 1024, &mask, &machine, &spec);
+        assert!((r.active_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ninety_percent_sparsity_cuts_most_transactions() {
+        let (machine, spec) = setup();
+        let rows = 13824;
+        let cols = 5120;
+        let dense =
+            simulate_sparse_gemv_kernel(rows, cols, &SkipMask::all_dense(rows), &machine, &spec);
+        let mask = SkipMask::from_fn(rows, |r| r % 10 != 0);
+        let sparse = simulate_sparse_gemv_kernel(rows, cols, &mask, &machine, &spec);
+        let ratio = sparse.transactions as f64 / dense.transactions as f64;
+        assert!((ratio - 0.1).abs() < 0.01, "transaction ratio {ratio}");
+        assert!(sparse.latency_us < dense.latency_us / 5.0);
+    }
+
+    #[test]
+    fn both_kernels_are_memory_bound_on_orin() {
+        // The paper's premise: decode kernels are bandwidth-limited.
+        let (machine, spec) = setup();
+        let cfg = ModelConfig::prosparse_13b_paper();
+        let p = simulate_predictor_kernel(cfg.hidden_dim, cfg.mlp_dim, &machine, &spec);
+        let compute_cycles = p.warp_instructions as f64 / machine.sm_count as f64;
+        assert!(p.cycles > compute_cycles, "predictor should be memory-bound");
+    }
+}

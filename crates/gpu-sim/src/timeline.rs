@@ -1,0 +1,102 @@
+//! Kernel timelines: serial execution, two-stream CKE overlap, and fusion.
+//!
+//! §IV of the paper discusses two ways to run steps 1 (gate) and 2 (up):
+//! concurrently on separate CUDA streams (CKE), or sequentially — the latter
+//! enabling kernel fusion and, crucially, actual-sparsity compensation.
+//! This module provides the timing composition rules for both.
+
+use crate::kernel::KernelDesc;
+use crate::spec::GpuSpec;
+
+/// Total latency of kernels executed back-to-back on one stream.
+pub fn serial_latency_s(kernels: &[KernelDesc], spec: &GpuSpec) -> f64 {
+    kernels.iter().map(|k| k.latency_s(spec)).sum()
+}
+
+/// Latency of two kernel sequences running on concurrent streams (CKE).
+///
+/// Bandwidth is a shared resource on the Orin SoC, so pure `max()` is
+/// optimistic for memory-bound kernels; the model charges the combined
+/// memory time but lets launch overheads and compute overlap:
+/// `max(streams' compute+launch, total memory time)`.
+pub fn cke_latency_s(stream_a: &[KernelDesc], stream_b: &[KernelDesc], spec: &GpuSpec) -> f64 {
+    let mem_total: f64 = stream_a
+        .iter()
+        .chain(stream_b)
+        .map(|k| {
+            k.bytes_streamed / spec.stream_bandwidth()
+                + k.bytes_gathered / spec.gather_bandwidth()
+        })
+        .sum();
+    let serial_a = serial_latency_s(stream_a, spec);
+    let serial_b = serial_latency_s(stream_b, spec);
+    serial_a.max(serial_b).max(mem_total)
+}
+
+/// Fuses kernels into a single launch: one launch overhead, summed work.
+/// Used for the `+KF` variant (steps 1–3 in one kernel), which also removes
+/// the intermediate activation round-trips — the caller subtracts those from
+/// `bytes_streamed` before fusing.
+pub fn fuse(kernels: &[KernelDesc], name: &str) -> KernelDesc {
+    let mut out = KernelDesc::empty(name);
+    for k in kernels {
+        out.bytes_streamed += k.bytes_streamed;
+        out.bytes_gathered += k.bytes_gathered;
+        out.int_ops += k.int_ops;
+        out.fp32_macs += k.fp32_macs;
+        out.tensor_macs += k.tensor_macs;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::kernels::sparse_gemv;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::jetson_orin_agx_64gb()
+    }
+
+    #[test]
+    fn serial_is_sum_of_latencies() {
+        let a = sparse_gemv(1024, 512, 0.5, "a");
+        let b = sparse_gemv(1024, 512, 0.9, "b");
+        let s = spec();
+        let total = serial_latency_s(&[a.clone(), b.clone()], &s);
+        assert!((total - (a.latency_s(&s) + b.latency_s(&s))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cke_is_at_least_memory_bound_and_at_most_serial() {
+        let a = vec![sparse_gemv(4096, 4096, 0.5, "a")];
+        let b = vec![sparse_gemv(4096, 4096, 0.5, "b")];
+        let s = spec();
+        let cke = cke_latency_s(&a, &b, &s);
+        let serial = serial_latency_s(&a, &s) + serial_latency_s(&b, &s);
+        assert!(cke <= serial + 1e-12);
+        // Memory-bound kernels share bandwidth: overlap saves at most the
+        // launch overheads here.
+        assert!(cke >= serial - 2.0 * s.kernel_launch_s - 1e-9);
+    }
+
+    #[test]
+    fn fusion_single_launch_beats_separate_launches() {
+        let a = sparse_gemv(256, 256, 0.0, "a");
+        let b = sparse_gemv(256, 256, 0.0, "b");
+        let s = spec();
+        let fused = fuse(&[a.clone(), b.clone()], "a+b").latency_s(&s);
+        let serial = serial_latency_s(&[a, b], &s);
+        assert!(fused < serial);
+        assert!((serial - fused - s.kernel_launch_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuse_accumulates_all_work() {
+        let a = sparse_gemv(128, 64, 0.5, "a");
+        let b = sparse_gemv(128, 64, 0.25, "b");
+        let f = fuse(&[a.clone(), b.clone()], "f");
+        assert!((f.fp32_macs - (a.fp32_macs + b.fp32_macs)).abs() < 1e-9);
+        assert!((f.bytes_gathered - (a.bytes_gathered + b.bytes_gathered)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! MLP activation functions and ReLUfication.
+//!
+//! Modern Llama-family models use SiLU, which is almost never exactly zero —
+//! useless for sparsity skipping. The ReLUfication line of work (Mirzadeh et
+//! al.; ProSparse) swaps in ReLU (or FATReLU with a positive threshold) and
+//! fine-tunes, producing ~90% exact zeros. SparseInfer targets those
+//! ReLU-fied models; this module provides all four activations plus the
+//! mechanical `relufy` transform so the workspace can also demonstrate *why*
+//! SiLU models don't benefit.
+
+use serde::{Deserialize, Serialize};
+
+/// An MLP gate activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Activation {
+    /// Sigmoid Linear Unit `x · σ(x)` — Llama-2's default; essentially never
+    /// outputs exact zeros.
+    Silu,
+    /// Gaussian Error Linear Unit (tanh approximation).
+    Gelu,
+    /// Rectified Linear Unit `max(x, 0)` — the ReLU-fied models' activation;
+    /// every negative pre-activation becomes an exact zero.
+    #[default]
+    Relu,
+    /// FATReLU: zero below a positive threshold `t`, identity above
+    /// (Kurtz et al.; used by ProSparse to push sparsity higher).
+    FatRelu(f32),
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Silu => x / (1.0 + (-x).exp()),
+            Activation::Gelu => {
+                // tanh approximation of GELU
+                let c = (2.0f32 / std::f32::consts::PI).sqrt();
+                0.5 * x * (1.0 + (c * (x + 0.044715 * x * x * x)).tanh())
+            }
+            Activation::Relu => x.max(0.0),
+            Activation::FatRelu(t) => {
+                if x >= t {
+                    x
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Applies the activation in place to a slice.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Whether a pre-activation value maps to an *exact zero* — the
+    /// definition of activation sparsity the skip logic relies on.
+    pub fn is_sparse_at(self, x: f32) -> bool {
+        match self {
+            Activation::Silu | Activation::Gelu => self.apply(x) == 0.0,
+            Activation::Relu => x <= 0.0,
+            Activation::FatRelu(t) => x < t,
+        }
+    }
+
+    /// The ReLUfication transform: SiLU/GELU become ReLU, ReLU-family
+    /// activations are unchanged. (In the papers this is followed by
+    /// fine-tuning; our synthetic generator plays that role by calibrating
+    /// the weight statistics directly.)
+    pub fn relufy(self) -> Activation {
+        match self {
+            Activation::Silu | Activation::Gelu => Activation::Relu,
+            other => other,
+        }
+    }
+}
+
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Activation::Silu => write!(f, "silu"),
+            Activation::Gelu => write!(f, "gelu"),
+            Activation::Relu => write!(f, "relu"),
+            Activation::FatRelu(t) => write!(f, "fatrelu({t})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_exactly() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn silu_is_smooth_and_nonzero_for_negatives() {
+        let y = Activation::Silu.apply(-1.0);
+        assert!(y < 0.0 && y > -0.5, "silu(-1) = {y}");
+        assert!(!Activation::Silu.is_sparse_at(-1.0));
+        assert_eq!(Activation::Silu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn gelu_matches_known_points() {
+        assert!((Activation::Gelu.apply(0.0)).abs() < 1e-6);
+        assert!((Activation::Gelu.apply(1.0) - 0.8412).abs() < 1e-3);
+        assert!((Activation::Gelu.apply(-1.0) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fatrelu_thresholds_below_t() {
+        let a = Activation::FatRelu(0.5);
+        assert_eq!(a.apply(0.4), 0.0);
+        assert_eq!(a.apply(0.5), 0.5);
+        assert_eq!(a.apply(-1.0), 0.0);
+        assert!(a.is_sparse_at(0.4));
+        assert!(!a.is_sparse_at(0.6));
+    }
+
+    #[test]
+    fn relufication_converts_smooth_activations() {
+        assert_eq!(Activation::Silu.relufy(), Activation::Relu);
+        assert_eq!(Activation::Gelu.relufy(), Activation::Relu);
+        assert_eq!(Activation::Relu.relufy(), Activation::Relu);
+        assert_eq!(Activation::FatRelu(0.1).relufy(), Activation::FatRelu(0.1));
+    }
+
+    #[test]
+    fn relu_sparsity_predicate_matches_apply() {
+        for x in [-2.0, -0.1, 0.0, 0.1, 2.0] {
+            assert_eq!(
+                Activation::Relu.is_sparse_at(x),
+                Activation::Relu.apply(x) == 0.0
+            );
+        }
+    }
+
+    #[test]
+    fn apply_slice_works_in_place() {
+        let mut xs = [-1.0, 2.0, -3.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Relu.to_string(), "relu");
+        assert_eq!(Activation::FatRelu(0.25).to_string(), "fatrelu(0.25)");
+    }
+}

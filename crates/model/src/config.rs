@@ -1,0 +1,279 @@
+//! Model configurations: paper dimensions and scaled simulation dimensions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// Architecture hyper-parameters of a gated-MLP decoder model.
+///
+/// Two families of presets exist:
+///
+/// * `prosparse_13b_paper` / `prosparse_7b_paper` — the exact dimensions of
+///   the models the paper evaluates. These are **only** used analytically
+///   (operation counts, memory footprints, GPU cost model); materializing the
+///   weights would need tens of GB.
+/// * `sim_13b` / `sim_7b` / `tiny` — scaled-down models with the same layer
+///   count and the same `k/d` aspect ratio, used for functional runs
+///   (decoding, predictor precision/recall, accuracy sweeps).
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_model::ModelConfig;
+///
+/// let paper = ModelConfig::prosparse_13b_paper();
+/// assert_eq!(paper.hidden_dim, 5120);
+/// assert_eq!(paper.mlp_dim, 13824);
+/// assert_eq!(paper.n_layers, 40);
+/// // 3·d·k ≈ 2.123e8 MACs per MLP block (paper Table I).
+/// assert_eq!(paper.mlp_macs_per_block(), 3 * 5120 * 13824);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name used in experiment printouts.
+    pub name: String,
+    /// Model (hidden-state) dimension `d`.
+    pub hidden_dim: usize,
+    /// MLP intermediate dimension `k` (rows of `W_gate`/`W_up`).
+    pub mlp_dim: usize,
+    /// Number of decoder layers.
+    pub n_layers: usize,
+    /// Number of attention heads (`hidden_dim` must be divisible by this).
+    pub n_heads: usize,
+    /// Vocabulary size of the output head.
+    pub vocab_size: usize,
+    /// Maximum sequence length the KV cache is sized for.
+    pub max_seq_len: usize,
+    /// MLP activation function.
+    pub activation: Activation,
+    /// Target mean activation sparsity the synthetic weights are calibrated
+    /// to (ProSparse reports ≈ 0.9; Table I uses 0.92 for the op counts).
+    pub target_sparsity: f64,
+}
+
+impl ModelConfig {
+    /// ProSparse-Llama2-13B dimensions as reported in the paper (§V-A2:
+    /// d = 5120, k = 13824, 40 blocks). Analytic use only.
+    pub fn prosparse_13b_paper() -> Self {
+        Self {
+            name: "ProSparse-Llama2-13B".into(),
+            hidden_dim: 5120,
+            mlp_dim: 13824,
+            n_layers: 40,
+            n_heads: 40,
+            vocab_size: 32000,
+            max_seq_len: 4096,
+            activation: Activation::Relu,
+            target_sparsity: 0.92,
+        }
+    }
+
+    /// ProSparse-Llama2-7B dimensions (Llama-2-7B: d = 4096, k = 11008,
+    /// 32 blocks). Analytic use only.
+    pub fn prosparse_7b_paper() -> Self {
+        Self {
+            name: "ProSparse-Llama2-7B".into(),
+            hidden_dim: 4096,
+            mlp_dim: 11008,
+            n_layers: 32,
+            n_heads: 32,
+            vocab_size: 32000,
+            max_seq_len: 4096,
+            activation: Activation::Relu,
+            target_sparsity: 0.92,
+        }
+    }
+
+    /// Scaled 13B simulacrum: same layer count and `k/d = 2.7` aspect ratio,
+    /// runnable on a CPU. `d` stays a multiple of 32 so sign packing has no
+    /// ragged tail, and is large enough (448) that each integer-alpha step
+    /// of the device decision rule (`n·100 > (d−n)·alpha`) moves the skip
+    /// threshold by at least one count — without this, the paper's
+    /// alpha ∈ {1.00..1.03} sweep would be quantized away at small scale.
+    pub fn sim_13b() -> Self {
+        Self {
+            name: "ProSparse-13B-sim".into(),
+            hidden_dim: 448,
+            mlp_dim: 1210,
+            n_layers: 40,
+            n_heads: 14,
+            vocab_size: 512,
+            max_seq_len: 512,
+            activation: Activation::Relu,
+            target_sparsity: 0.92,
+        }
+    }
+
+    /// Scaled 7B simulacrum (32 layers, `k/d = 2.6875`, alpha-resolving
+    /// hidden dimension like [`ModelConfig::sim_13b`]).
+    pub fn sim_7b() -> Self {
+        Self {
+            name: "ProSparse-7B-sim".into(),
+            hidden_dim: 416,
+            mlp_dim: 1118,
+            n_layers: 32,
+            n_heads: 13,
+            vocab_size: 512,
+            max_seq_len: 512,
+            activation: Activation::Relu,
+            target_sparsity: 0.92,
+        }
+    }
+
+    /// Minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            hidden_dim: 32,
+            mlp_dim: 96,
+            n_layers: 2,
+            n_heads: 2,
+            vocab_size: 64,
+            max_seq_len: 64,
+            activation: Activation::Relu,
+            target_sparsity: 0.9,
+        }
+    }
+
+    /// Head dimension (`hidden_dim / n_heads`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden_dim` is not divisible by `n_heads`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(
+            self.hidden_dim % self.n_heads,
+            0,
+            "hidden_dim must be divisible by n_heads"
+        );
+        self.hidden_dim / self.n_heads
+    }
+
+    /// MAC count of one dense gated-MLP block: `3 · d · k` (gate, up, down
+    /// projections). This is the "MLP Block" column of Table I.
+    pub fn mlp_macs_per_block(&self) -> u64 {
+        3 * self.hidden_dim as u64 * self.mlp_dim as u64
+    }
+
+    /// MAC count of one dense MLP block at a given activation sparsity
+    /// (`3·d·k·(1−s)`), the sparse engines' row of Table I.
+    pub fn sparse_mlp_macs_per_block(&self, sparsity: f64) -> u64 {
+        (self.mlp_macs_per_block() as f64 * (1.0 - sparsity)).round() as u64
+    }
+
+    /// XOR+popcount operation count of the SparseInfer predictor per block:
+    /// `d · k / 32` 32-bit operations (Table I: 2.211e6 for 13B).
+    pub fn signbit_predictor_ops_per_block(&self) -> u64 {
+        (self.hidden_dim as u64 * self.mlp_dim as u64) / 32
+    }
+
+    /// FP16 MAC count of a DejaVu-style rank-`r` predictor per block:
+    /// `d·r + r·k` (Table I: 1.940e7 for 13B at rank 1024).
+    pub fn dejavu_predictor_ops_per_block(&self, rank: usize) -> u64 {
+        (self.hidden_dim as u64 + self.mlp_dim as u64) * rank as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden_dim == 0 || self.mlp_dim == 0 || self.n_layers == 0 {
+            return Err("dimensions must be nonzero".into());
+        }
+        if !self.hidden_dim.is_multiple_of(self.n_heads) {
+            return Err(format!(
+                "hidden_dim {} not divisible by n_heads {}",
+                self.hidden_dim, self.n_heads
+            ));
+        }
+        if !self.hidden_dim.is_multiple_of(32) {
+            return Err(format!(
+                "hidden_dim {} must be a multiple of 32 for sign packing",
+                self.hidden_dim
+            ));
+        }
+        if !(0.0..1.0).contains(&self.target_sparsity) {
+            return Err(format!("target_sparsity {} out of [0,1)", self.target_sparsity));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_13b_op_counts_match_table1() {
+        let cfg = ModelConfig::prosparse_13b_paper();
+        // Dense MLP: 2.123e8.
+        assert_eq!(cfg.mlp_macs_per_block(), 212_336_640);
+        // SparseInfer predictor: 2.211e6.
+        assert_eq!(cfg.signbit_predictor_ops_per_block(), 2_211_840);
+        // PowerInfer/DejaVu predictor at rank 1024: 1.940e7.
+        assert_eq!(cfg.dejavu_predictor_ops_per_block(1024), 19_398_656);
+        // Sparse MLP at 92%: 1.699e7.
+        let sparse = cfg.sparse_mlp_macs_per_block(0.92);
+        assert!((sparse as f64 - 1.699e7).abs() / 1.699e7 < 0.01, "{sparse}");
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            ModelConfig::prosparse_13b_paper(),
+            ModelConfig::prosparse_7b_paper(),
+            ModelConfig::sim_13b(),
+            ModelConfig::sim_7b(),
+            ModelConfig::tiny(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn sim_models_preserve_aspect_ratio() {
+        let paper = ModelConfig::prosparse_13b_paper();
+        let sim = ModelConfig::sim_13b();
+        let paper_ratio = paper.mlp_dim as f64 / paper.hidden_dim as f64;
+        let sim_ratio = sim.mlp_dim as f64 / sim.hidden_dim as f64;
+        assert!((paper_ratio - sim_ratio).abs() < 0.01);
+        assert_eq!(paper.n_layers, sim.n_layers);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let mut cfg = ModelConfig::tiny();
+        cfg.n_heads = 5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny();
+        cfg.hidden_dim = 33;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny();
+        cfg.target_sparsity = 1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn head_dim_divides_evenly() {
+        assert_eq!(ModelConfig::sim_13b().head_dim(), 32);
+        assert_eq!(ModelConfig::sim_7b().head_dim(), 32);
+    }
+
+    #[test]
+    fn sim_dims_resolve_every_alpha_step() {
+        // Each alpha in {1.00, 1.01, 1.02, 1.03} must induce a distinct
+        // integer skip threshold n* = min{n : n·100 > (d−n)·alpha}.
+        for cfg in [ModelConfig::sim_13b(), ModelConfig::sim_7b()] {
+            let d = cfg.hidden_dim as u64;
+            let thresholds: Vec<u64> = [100u64, 101, 102, 103]
+                .iter()
+                .map(|alpha| (0..=d).find(|n| n * 100 > (d - n) * alpha).unwrap())
+                .collect();
+            for pair in thresholds.windows(2) {
+                assert!(pair[0] < pair[1], "{}: thresholds {thresholds:?}", cfg.name);
+            }
+        }
+    }
+}

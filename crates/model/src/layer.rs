@@ -1,0 +1,135 @@
+//! One decoder layer: norm → attention → residual, norm → MLP → residual.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_tensor::Vector;
+
+use crate::attention::{Attention, KvCache};
+use crate::mlp::GatedMlp;
+use crate::norm::RmsNorm;
+
+/// A pre-norm decoder layer (Llama topology).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecoderLayer {
+    attn_norm: RmsNorm,
+    attn: Attention,
+    mlp_norm: RmsNorm,
+    mlp: GatedMlp,
+}
+
+impl DecoderLayer {
+    /// Assembles a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the norms, attention and MLP disagree on the hidden
+    /// dimension.
+    pub fn new(attn_norm: RmsNorm, attn: Attention, mlp_norm: RmsNorm, mlp: GatedMlp) -> Self {
+        assert_eq!(attn_norm.dim(), attn.hidden_dim(), "attn norm dim");
+        assert_eq!(mlp_norm.dim(), mlp.hidden_dim(), "mlp norm dim");
+        assert_eq!(attn.hidden_dim(), mlp.hidden_dim(), "attn/mlp dim");
+        Self { attn_norm, attn, mlp_norm, mlp }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.mlp.hidden_dim()
+    }
+
+    /// The MLP block (the predictor and sparse engine operate on this).
+    pub fn mlp(&self) -> &GatedMlp {
+        &self.mlp
+    }
+
+    /// Mutable access to the MLP block (ReLUfication demos).
+    pub fn mlp_mut(&mut self) -> &mut GatedMlp {
+        &mut self.mlp
+    }
+
+    /// The pre-MLP norm. Exposed so sparse engines can reproduce the exact
+    /// MLP input (`X = mlp_norm(h)`) that the dense path sees.
+    pub fn mlp_norm(&self) -> &RmsNorm {
+        &self.mlp_norm
+    }
+
+    /// Runs attention and its residual, returning the hidden state *before*
+    /// the MLP sub-block. Split out so sparse engines can substitute their
+    /// own MLP execution while sharing the attention path.
+    pub fn attention_half(&self, h: &Vector, position: usize, cache: &mut KvCache) -> Vector {
+        let normed = self.attn_norm.forward(h);
+        let attn_out = self.attn.forward(&normed, position, cache);
+        let mut out = h.clone();
+        out.add_assign(&attn_out);
+        out
+    }
+
+    /// Dense forward pass through the full layer.
+    pub fn forward(&self, h: &Vector, position: usize, cache: &mut KvCache) -> Vector {
+        let mid = self.attention_half(h, position, cache);
+        let x = self.mlp_norm.forward(&mid);
+        let mlp_out = self.mlp.forward(&x);
+        let mut out = mid;
+        out.add_assign(&mlp_out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use sparseinfer_tensor::{Matrix, Prng};
+
+    fn layer(seed: u64, d: usize, k: usize) -> DecoderLayer {
+        let mut rng = Prng::seed(seed);
+        let mut sq = |s: f64| Matrix::from_fn(d, d, |_, _| rng.normal(0.0, s) as f32);
+        let attn = Attention::new(sq(0.1), sq(0.1), sq(0.1), sq(0.1), 2);
+        let mut rect = |s: f64| {
+            
+            Matrix::from_fn(k, d, |_, _| rng.normal(0.0, s) as f32)
+        };
+        let mlp = GatedMlp::new(rect(0.3), rect(0.3), rect(0.3), Activation::Relu);
+        DecoderLayer::new(RmsNorm::unit(d), attn, RmsNorm::unit(d), mlp)
+    }
+
+    #[test]
+    fn forward_is_attention_half_plus_mlp() {
+        let l = layer(1, 16, 48);
+        let h = Vector::from_fn(16, |i| (i as f32 * 0.31).sin());
+
+        let mut c1 = KvCache::new();
+        let full = l.forward(&h, 0, &mut c1);
+
+        let mut c2 = KvCache::new();
+        let mid = l.attention_half(&h, 0, &mut c2);
+        let x = l.mlp_norm().forward(&mid);
+        let mut manual = mid.clone();
+        manual.add_assign(&l.mlp().forward(&x));
+
+        for (a, b) in full.iter().zip(manual.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn residual_keeps_input_information() {
+        let l = layer(2, 16, 48);
+        let h = Vector::from_fn(16, |i| i as f32);
+        let mut cache = KvCache::new();
+        let out = l.forward(&h, 0, &mut cache);
+        // Residual stream must correlate with the input, not replace it.
+        let dot = out.dot(&h).unwrap();
+        assert!(dot > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attn norm dim")]
+    fn dimension_mismatch_panics() {
+        let l = layer(3, 16, 48);
+        let _ = DecoderLayer::new(
+            RmsNorm::unit(8),
+            l.attn.clone(),
+            RmsNorm::unit(16),
+            l.mlp.clone(),
+        );
+    }
+}

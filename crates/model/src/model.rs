@@ -1,0 +1,226 @@
+//! The full decoder-only model: embedding → layers → final norm → LM head.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_tensor::{gemv::gemv, Matrix, Vector};
+
+use crate::attention::KvCache;
+use crate::config::ModelConfig;
+use crate::layer::DecoderLayer;
+use crate::norm::RmsNorm;
+
+/// A decoder-only transformer with tied decode state.
+///
+/// The model itself is stateless; decoding state (KV caches, position) lives
+/// in a [`DecodeSession`] so multiple engines (dense, SparseInfer,
+/// PowerInfer-style) can run the *same* weights concurrently during
+/// comparisons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    config: ModelConfig,
+    embedding: Matrix, // vocab × d
+    layers: Vec<DecoderLayer>,
+    final_norm: RmsNorm,
+    lm_head: Matrix, // vocab × d
+}
+
+impl Model {
+    /// Assembles a model from parts (normally via
+    /// [`WeightGenerator`](crate::generator::WeightGenerator)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parts disagree with `config`.
+    pub fn new(
+        config: ModelConfig,
+        embedding: Matrix,
+        layers: Vec<DecoderLayer>,
+        final_norm: RmsNorm,
+        lm_head: Matrix,
+    ) -> Self {
+        assert_eq!(embedding.rows(), config.vocab_size, "embedding rows");
+        assert_eq!(embedding.cols(), config.hidden_dim, "embedding cols");
+        assert_eq!(layers.len(), config.n_layers, "layer count");
+        assert_eq!(lm_head.rows(), config.vocab_size, "lm head rows");
+        assert_eq!(lm_head.cols(), config.hidden_dim, "lm head cols");
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l.hidden_dim(), config.hidden_dim, "layer {i} dim");
+        }
+        Self { config, embedding, layers, final_norm, lm_head }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The decoder layers.
+    pub fn layers(&self) -> &[DecoderLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the decoder layers (ReLUfication demos).
+    pub fn layers_mut(&mut self) -> &mut [DecoderLayer] {
+        &mut self.layers
+    }
+
+    /// Embeds a token id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token as usize >= vocab_size`.
+    pub fn embed(&self, token: u32) -> Vector {
+        Vector::from_vec(self.embedding.row(token as usize).to_vec())
+    }
+
+    /// Projects a final hidden state to logits.
+    pub fn logits(&self, h: &Vector) -> Vector {
+        gemv(&self.lm_head, &self.final_norm.forward(h))
+    }
+
+    /// Starts a decode session (fresh KV caches at position 0).
+    pub fn start_session(&self) -> DecodeSession {
+        DecodeSession {
+            caches: (0..self.layers.len()).map(|_| KvCache::new()).collect(),
+            position: 0,
+        }
+    }
+
+    /// Dense forward pass of one token through all layers; advances the
+    /// session and returns the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's cache count does not match this model.
+    pub fn forward_token(&self, token: u32, session: &mut DecodeSession) -> Vector {
+        assert_eq!(session.caches.len(), self.layers.len(), "session/model mismatch");
+        let mut h = self.embed(token);
+        for (layer, cache) in self.layers.iter().zip(session.caches.iter_mut()) {
+            h = layer.forward(&h, session.position, cache);
+        }
+        session.position += 1;
+        self.logits(&h)
+    }
+
+    /// Runs a whole prompt densely, returning the logits after the last
+    /// prompt token (the paper exploits sparsity only in decode, not
+    /// prefill, so prefill is always dense).
+    pub fn prefill(&self, prompt: &[u32]) -> Vector {
+        let mut session = self.start_session();
+        self.prefill_session(prompt, &mut session)
+    }
+
+    /// Prefill into an existing session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn prefill_session(&self, prompt: &[u32], session: &mut DecodeSession) -> Vector {
+        assert!(!prompt.is_empty(), "prefill requires at least one token");
+        let mut logits = Vector::zeros(self.config.vocab_size);
+        for t in prompt {
+            logits = self.forward_token(*t, session);
+        }
+        logits
+    }
+
+    /// Greedy decode: prefill `prompt`, then generate until EOS/`max_new`.
+    pub fn generate_greedy(&self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        let mut session = self.start_session();
+        let mut logits = self.prefill_session(prompt, &mut session);
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = logits.argmax().expect("nonzero vocab") as u32;
+            if next == eos {
+                break;
+            }
+            out.push(next);
+            logits = self.forward_token(next, &mut session);
+        }
+        out
+    }
+}
+
+/// Mutable decoding state: per-layer KV caches and the next position.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeSession {
+    /// One KV cache per layer.
+    pub caches: Vec<KvCache>,
+    /// Position index of the next token.
+    pub position: usize,
+}
+
+impl DecodeSession {
+    /// Resets to an empty context.
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+        self.position = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WeightGenerator;
+
+    fn tiny_model(seed: u64) -> Model {
+        WeightGenerator::new(&ModelConfig::tiny(), seed).build()
+    }
+
+    #[test]
+    fn forward_token_returns_vocab_logits() {
+        let m = tiny_model(1);
+        let mut s = m.start_session();
+        let logits = m.forward_token(3, &mut s);
+        assert_eq!(logits.len(), m.config().vocab_size);
+        assert_eq!(s.position, 1);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let m = tiny_model(2);
+        let a = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        let b = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn different_prompts_reach_different_states() {
+        let m = tiny_model(3);
+        let a = m.prefill(&[1, 2]);
+        let b = m.prefill(&[4, 5]);
+        let diff: f32 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn session_reset_reproduces_fresh_run() {
+        let m = tiny_model(4);
+        let mut s = m.start_session();
+        let first = m.prefill_session(&[5, 6, 7], &mut s);
+        s.reset();
+        let second = m.prefill_session(&[5, 6, 7], &mut s);
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn generate_stops_at_eos() {
+        let m = tiny_model(5);
+        // Find what the model wants to emit, then declare it EOS.
+        let first = m.generate_greedy(&[1], 1, u32::MAX)[0];
+        let out = m.generate_greedy(&[1], 8, first);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_prefill_panics() {
+        let m = tiny_model(6);
+        let _ = m.prefill(&[]);
+    }
+}

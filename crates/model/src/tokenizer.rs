@@ -1,0 +1,114 @@
+//! A byte-level tokenizer.
+//!
+//! The evaluation tasks are synthetic text; a byte tokenizer (256 byte ids +
+//! a few specials) keeps the substrate self-contained with no external vocab
+//! files, while still producing realistic token-by-token decoding dynamics.
+
+use serde::{Deserialize, Serialize};
+
+/// Token id of the beginning-of-sequence marker.
+pub const BOS: u32 = 256;
+/// Token id of the end-of-sequence marker.
+pub const EOS: u32 = 257;
+/// Token id used for padding.
+pub const PAD: u32 = 258;
+/// Total vocabulary size (256 bytes + specials).
+pub const VOCAB_SIZE: usize = 259;
+
+/// Byte-level tokenizer: one token per byte plus BOS/EOS/PAD specials.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_model::ByteTokenizer;
+///
+/// let tok = ByteTokenizer::new();
+/// let ids = tok.encode("hi");
+/// assert_eq!(ids, vec![sparseinfer_model::tokenizer::BOS, 104, 105]);
+/// assert_eq!(tok.decode(&ids[1..]), "hi");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteTokenizer;
+
+impl ByteTokenizer {
+    /// Creates the tokenizer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Vocabulary size including specials.
+    pub fn vocab_size(&self) -> usize {
+        VOCAB_SIZE
+    }
+
+    /// Encodes text as `[BOS, byte, byte, ...]`.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::with_capacity(text.len() + 1);
+        out.push(BOS);
+        out.extend(text.bytes().map(u32::from));
+        out
+    }
+
+    /// Decodes a token sequence back to text, skipping specials and invalid
+    /// UTF-8 (replaced per `String::from_utf8_lossy`).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let bytes: Vec<u8> = ids
+            .iter()
+            .filter(|id| **id < 256)
+            .map(|id| *id as u8)
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Whether a token terminates generation.
+    pub fn is_terminal(&self, id: u32) -> bool {
+        id == EOS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_prepends_bos() {
+        let t = ByteTokenizer::new();
+        assert_eq!(t.encode("A"), vec![BOS, 65]);
+        assert_eq!(t.encode(""), vec![BOS]);
+    }
+
+    #[test]
+    fn round_trip_ascii() {
+        let t = ByteTokenizer::new();
+        let text = "12 + 34 = 46";
+        assert_eq!(t.decode(&t.encode(text)), text);
+    }
+
+    #[test]
+    fn round_trip_utf8() {
+        let t = ByteTokenizer::new();
+        let text = "héllo ↑";
+        assert_eq!(t.decode(&t.encode(text)), text);
+    }
+
+    #[test]
+    fn decode_skips_specials() {
+        let t = ByteTokenizer::new();
+        assert_eq!(t.decode(&[BOS, 104, EOS, 105, PAD]), "hi");
+    }
+
+    #[test]
+    fn terminal_detection() {
+        let t = ByteTokenizer::new();
+        assert!(t.is_terminal(EOS));
+        assert!(!t.is_terminal(BOS));
+        assert!(!t.is_terminal(65));
+    }
+
+    #[test]
+    fn vocab_covers_all_ids() {
+        let t = ByteTokenizer::new();
+        assert!(t.vocab_size() > EOS as usize);
+        assert!(t.vocab_size() > PAD as usize);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the model substrate.
+
+use proptest::prelude::*;
+use sparseinfer_model::norm::RmsNorm;
+use sparseinfer_model::{Activation, GatedMlp};
+use sparseinfer_tensor::{Matrix, Prng, Vector};
+
+fn finite_x() -> impl Strategy<Value = f32> {
+    -50.0f32..50.0
+}
+
+proptest! {
+    /// ReLU's sparsity predicate agrees with its output being exactly zero.
+    #[test]
+    fn relu_sparsity_predicate_is_exact(x in finite_x()) {
+        prop_assert_eq!(Activation::Relu.is_sparse_at(x), Activation::Relu.apply(x) == 0.0);
+    }
+
+    /// FATReLU dominates ReLU in sparsity for any positive threshold.
+    #[test]
+    fn fatrelu_is_sparser_than_relu(x in finite_x(), t in 0.0f32..5.0) {
+        if Activation::Relu.is_sparse_at(x) {
+            prop_assert!(Activation::FatRelu(t).is_sparse_at(x));
+        }
+    }
+
+    /// SiLU is bounded below by ≈ −0.2785 and is zero only at zero — the
+    /// "no exact sparsity" property motivating ReLUfication.
+    #[test]
+    fn silu_has_no_exact_zeros_except_origin(x in finite_x()) {
+        let y = Activation::Silu.apply(x);
+        prop_assert!(y >= -0.279);
+        if x != 0.0 && x.abs() > 1e-3 && x > -30.0 {
+            prop_assert!(y != 0.0, "silu({}) = {}", x, y);
+        }
+    }
+
+    /// ReLUfication is idempotent and maps every activation to the ReLU
+    /// family.
+    #[test]
+    fn relufication_is_idempotent(t in 0.0f32..2.0) {
+        for a in [Activation::Silu, Activation::Gelu, Activation::Relu, Activation::FatRelu(t)] {
+            let once = a.relufy();
+            prop_assert_eq!(once.relufy(), once);
+            prop_assert!(matches!(once, Activation::Relu | Activation::FatRelu(_)));
+        }
+    }
+
+    /// RMSNorm output of a unit-gain norm always has RMS ≈ 1 for nonzero
+    /// inputs.
+    #[test]
+    fn unit_rmsnorm_normalizes(values in prop::collection::vec(0.1f32..10.0, 4..64)) {
+        let dim = values.len();
+        let norm = RmsNorm::unit(dim);
+        let y = norm.forward(&Vector::from_vec(values));
+        let rms = (y.as_slice().iter().map(|v| v * v).sum::<f32>() / dim as f32).sqrt();
+        prop_assert!((rms - 1.0).abs() < 1e-2, "rms {}", rms);
+    }
+
+    /// RMSNorm is scale-invariant: norm(c·x) == norm(x) for c > 0.
+    #[test]
+    fn rmsnorm_is_scale_invariant(
+        values in prop::collection::vec(0.1f32..10.0, 4..32),
+        c in 0.5f32..20.0,
+    ) {
+        let dim = values.len();
+        let norm = RmsNorm::unit(dim);
+        let x = Vector::from_vec(values);
+        let mut cx = x.clone();
+        cx.scale(c);
+        let a = norm.forward(&x);
+        let b = norm.forward(&cx);
+        for (u, v) in a.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-2, "{} vs {}", u, v);
+        }
+    }
+
+    /// The gated MLP is zero on the zero input (no biases anywhere).
+    #[test]
+    fn mlp_maps_zero_to_zero(seed in 0u64..200, k in 1usize..24, d in 1usize..16) {
+        let mut rng = Prng::seed(seed);
+        let mut m = || Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
+        let mlp = GatedMlp::new(m(), m(), m(), Activation::Relu);
+        let y = mlp.forward(&Vector::zeros(d));
+        prop_assert!(y.iter().all(|v| *v == 0.0));
+    }
+
+    /// Gate pre-activation sign determines sparsity: h1[r] == 0 iff z[r] <= 0
+    /// under ReLU, for random weights and inputs.
+    #[test]
+    fn gate_sign_is_sparsity(seed in 0u64..200) {
+        let k = 24;
+        let d = 12;
+        let mut rng = Prng::seed(seed);
+        let mut m = || Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
+        let mlp = GatedMlp::new(m(), m(), m(), Activation::Relu);
+        let x = Vector::from_fn(d, |_| rng.normal(0.3, 1.0) as f32);
+        let z = mlp.gate_preactivations(&x);
+        let (_, h1) = mlp.forward_with_gate(&x);
+        for r in 0..k {
+            prop_assert_eq!(h1[r] == 0.0, z[r] <= 0.0, "row {}", r);
+        }
+    }
+}

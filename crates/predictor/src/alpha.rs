@@ -1,0 +1,247 @@
+//! The conservativeness knob `alpha` and its per-layer schedules.
+//!
+//! Eq. (2) of the paper refines the majority-sign test to
+//! `alpha · N_pos < N_neg`: `alpha > 1` demands a larger negative majority
+//! before a row is declared sparse (conservative, fewer false skips),
+//! `alpha < 1` skips more aggressively. The paper applies `alpha ∈
+//! {1.01..1.03}` to the first 20 layers (where prediction is less precise)
+//! and `alpha = 1.0` elsewhere, and uses `alpha` as the design-space
+//! exploration knob trading speed against accuracy.
+//!
+//! Internally alphas are stored as integer *percent* values (`1.02 → 102`),
+//! mirroring the CUDA kernel of Listing 1, which compares
+//! `count · 100  >  (total − count) · alpha_int` in integer arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-layer schedule of `alpha` values.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_predictor::AlphaSchedule;
+///
+/// // Paper setting: alpha = 1.03 for the first 20 layers, 1.0 after.
+/// let schedule = AlphaSchedule::early_layers(1.03, 20);
+/// assert_eq!(schedule.alpha_percent(0), 103);
+/// assert_eq!(schedule.alpha_percent(19), 103);
+/// assert_eq!(schedule.alpha_percent(20), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlphaSchedule {
+    /// The same alpha everywhere.
+    Uniform(u32),
+    /// `alpha_early` for layers `< n_early`, 1.00 elsewhere — the paper's
+    /// configuration.
+    EarlyLayers {
+        /// Integer percent alpha for the early layers (e.g. 103).
+        alpha_early: u32,
+        /// Number of leading layers the early alpha applies to.
+        n_early: usize,
+    },
+    /// Arbitrary per-layer values (indexed by layer, last value reused past
+    /// the end).
+    PerLayer(Vec<u32>),
+}
+
+impl AlphaSchedule {
+    /// Uniform schedule from a float alpha (`1.02 → 102`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 10]`.
+    pub fn uniform(alpha: f64) -> Self {
+        AlphaSchedule::Uniform(Self::to_percent(alpha))
+    }
+
+    /// Paper-style schedule: `alpha` for the first `n_early` layers, 1.0
+    /// after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 10]`.
+    pub fn early_layers(alpha: f64, n_early: usize) -> Self {
+        AlphaSchedule::EarlyLayers { alpha_early: Self::to_percent(alpha), n_early }
+    }
+
+    /// Per-layer schedule from float alphas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphas` is empty or any value is out of `(0, 10]`.
+    pub fn per_layer(alphas: &[f64]) -> Self {
+        assert!(!alphas.is_empty(), "per-layer schedule needs at least one value");
+        AlphaSchedule::PerLayer(alphas.iter().map(|a| Self::to_percent(*a)).collect())
+    }
+
+    fn to_percent(alpha: f64) -> u32 {
+        assert!(
+            alpha > 0.0 && alpha <= 10.0,
+            "alpha {alpha} out of the sensible range (0, 10]"
+        );
+        (alpha * 100.0).round() as u32
+    }
+
+    /// Integer percent alpha for `layer` (the value the device kernel uses).
+    pub fn alpha_percent(&self, layer: usize) -> u32 {
+        match self {
+            AlphaSchedule::Uniform(a) => *a,
+            AlphaSchedule::EarlyLayers { alpha_early, n_early } => {
+                if layer < *n_early {
+                    *alpha_early
+                } else {
+                    100
+                }
+            }
+            AlphaSchedule::PerLayer(v) => *v.get(layer).unwrap_or_else(|| {
+                v.last().expect("per-layer schedule is non-empty")
+            }),
+        }
+    }
+
+    /// Float alpha for `layer`.
+    pub fn alpha(&self, layer: usize) -> f64 {
+        self.alpha_percent(layer) as f64 / 100.0
+    }
+}
+
+impl Default for AlphaSchedule {
+    fn default() -> Self {
+        AlphaSchedule::Uniform(100)
+    }
+}
+
+/// Calibrates a per-layer alpha schedule from an activation trace: for each
+/// layer, the smallest alpha in `grid` whose predictions reach
+/// `target_precision` on the trace (the paper's "the optimal value for
+/// alpha can be easily calibrated through test runs as the model changes").
+///
+/// Returns [`AlphaSchedule::PerLayer`]. Layers that never reach the target
+/// get the largest grid value.
+///
+/// # Panics
+///
+/// Panics if `grid` is empty, not ascending, or the trace lacks samples for
+/// some layer.
+pub fn calibrate_per_layer(
+    model: &sparseinfer_model::Model,
+    trace: &sparseinfer_model::MlpTrace,
+    grid: &[f64],
+    target_precision: f64,
+) -> AlphaSchedule {
+    use crate::metrics::ConfusionCounts;
+    use crate::signbit::SignBitPredictor;
+    use crate::traits::SparsityPredictor;
+
+    assert!(!grid.is_empty(), "alpha grid must be non-empty");
+    assert!(
+        grid.windows(2).all(|w| w[0] < w[1]),
+        "alpha grid must be strictly ascending"
+    );
+
+    let n_layers = model.config().n_layers;
+    let mut chosen = vec![*grid.last().expect("non-empty grid"); n_layers];
+    let mut oracle = crate::oracle::OraclePredictor::from_model(model);
+
+    for (li, alpha_out) in chosen.iter_mut().enumerate() {
+        for alpha in grid {
+            let mut predictor =
+                SignBitPredictor::from_gate_matrices(
+                    std::slice::from_ref(model.layers()[li].mlp().w_gate()),
+                    AlphaSchedule::uniform(*alpha),
+                );
+            let mut counts = ConfusionCounts::default();
+            for s in trace.layer_samples(li) {
+                let predicted = predictor.predict(0, &s.x);
+                let truth = oracle.predict(li, &s.x);
+                counts.record(&predicted, &truth);
+            }
+            if counts.precision() >= target_precision {
+                *alpha_out = *alpha;
+                break;
+            }
+        }
+    }
+    AlphaSchedule::per_layer(&chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let s = AlphaSchedule::uniform(1.02);
+        for l in [0, 5, 100] {
+            assert_eq!(s.alpha_percent(l), 102);
+            assert!((s.alpha(l) - 1.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn early_layers_switch_at_boundary() {
+        let s = AlphaSchedule::early_layers(1.01, 3);
+        assert_eq!(s.alpha_percent(2), 101);
+        assert_eq!(s.alpha_percent(3), 100);
+    }
+
+    #[test]
+    fn per_layer_reuses_last_value() {
+        let s = AlphaSchedule::per_layer(&[1.0, 1.01, 1.02]);
+        assert_eq!(s.alpha_percent(1), 101);
+        assert_eq!(s.alpha_percent(7), 102);
+    }
+
+    #[test]
+    fn default_is_neutral() {
+        assert_eq!(AlphaSchedule::default().alpha_percent(0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the sensible range")]
+    fn absurd_alpha_rejected() {
+        let _ = AlphaSchedule::uniform(42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_per_layer_rejected() {
+        let _ = AlphaSchedule::per_layer(&[]);
+    }
+
+    #[test]
+    fn calibration_picks_larger_alphas_for_imprecise_layers() {
+        use sparseinfer_model::generator::WeightGenerator;
+        use sparseinfer_model::{MlpTrace, ModelConfig};
+
+        let mut cfg = ModelConfig::tiny();
+        cfg.n_layers = 4;
+        cfg.hidden_dim = 64;
+        cfg.mlp_dim = 192;
+        cfg.n_heads = 2;
+        let model = WeightGenerator::new(&cfg, 61).build();
+        let trace = MlpTrace::capture(&model, &(1..14).collect::<Vec<u32>>(), 0);
+
+        let grid = [1.0, 1.05, 1.1, 1.2, 1.5];
+        let schedule = calibrate_per_layer(&model, &trace, &grid, 0.97);
+        // All chosen values come from the grid.
+        for l in 0..cfg.n_layers {
+            let a = schedule.alpha(l);
+            assert!(grid.iter().any(|g| (g - a).abs() < 1e-9), "layer {l}: {a}");
+        }
+        // The imprecise early layer needs at least as much conservativeness
+        // as the stabilized last layer (generator profile guarantees the
+        // early layer is the borderline-heavy one).
+        assert!(schedule.alpha(0) >= schedule.alpha(cfg.n_layers - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn calibration_rejects_unsorted_grid() {
+        use sparseinfer_model::generator::WeightGenerator;
+        use sparseinfer_model::{MlpTrace, ModelConfig};
+        let model = WeightGenerator::new(&ModelConfig::tiny(), 1).build();
+        let trace = MlpTrace::capture(&model, &[1], 0);
+        let _ = calibrate_per_layer(&model, &trace, &[1.1, 1.0], 0.9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Activation sparsity predictors — the SparseInfer paper's core
+//! contribution and its baselines.
+//!
+//! The central type is [`SignBitPredictor`]: a **training-free** predictor
+//! that decides, per gate row, whether the pre-activation `X · W_gate,i`
+//! will be negative (hence zero after ReLU) by comparing *only sign bits*:
+//! XOR the packed signs of the row with the packed signs of `X`, popcount the
+//! result to get the number of predicted-negative products `N_neg`, and
+//! predict sparse when `alpha · N_pos < N_neg` (paper Eq. 2). The
+//! conservativeness knob `alpha` is a per-layer schedule ([`AlphaSchedule`]),
+//! set slightly above 1.0 for early layers whose input distributions are
+//! degenerate.
+//!
+//! Baselines with the same [`SparsityPredictor`] interface:
+//!
+//! * [`DejaVuPredictor`] — a trained low-rank predictor in the style of
+//!   DEJAVU/PowerInfer, with an in-crate [`dejavu::Trainer`];
+//! * [`OraclePredictor`] — exact sparsity (computes the gate GEMV); upper
+//!   bound and test reference;
+//! * [`RandomPredictor`] — skips rows at random; reproduces the paper's
+//!   "random selection at 90% sparsity gives 0% accuracy" sanity check.
+//!
+//! [`metrics`] measures per-layer precision/recall (paper Fig. 3) and
+//! [`memory`] reproduces the predictor memory accounting (paper §V-A2).
+//!
+//! # Example
+//!
+//! ```
+//! use sparseinfer_model::{ModelConfig, generator::WeightGenerator};
+//! use sparseinfer_predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 1).build();
+//! let mut predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
+//! let x = sparseinfer_tensor::Vector::from_fn(32, |i| (i as f32 * 0.3).sin() - 0.1);
+//! let mask = predictor.predict(0, &x);
+//! assert_eq!(mask.len(), 96); // one flag per gate row
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alpha;
+pub mod dejavu;
+pub mod mask;
+pub mod memory;
+pub mod metrics;
+pub mod oracle;
+pub mod random;
+pub mod signbit;
+pub mod traits;
+
+pub use alpha::AlphaSchedule;
+pub use dejavu::DejaVuPredictor;
+pub use mask::SkipMask;
+pub use metrics::{ConfusionCounts, LayerMetrics};
+pub use oracle::OraclePredictor;
+pub use random::RandomPredictor;
+pub use signbit::SignBitPredictor;
+pub use traits::SparsityPredictor;

@@ -1,0 +1,67 @@
+//! Predictor memory accounting (paper §V-A2).
+//!
+//! The paper's arithmetic, reproduced exactly:
+//!
+//! * PowerInfer/DejaVu at rank 1024 on ProSparse-13B:
+//!   `(5120·1024 + 1024·13824) · 2 bytes · 40 layers = 1480 MiB`.
+//! * SparseInfer packed signs: `13824 rows · 160 words · 4 bytes · 40 layers
+//!   = 337.5 MiB` — a 4.38× reduction.
+
+use sparseinfer_model::ModelConfig;
+
+/// Bytes occupied by the SparseInfer packed-sign tables for `config`:
+/// `k · (d/32) · 4 · n_layers`.
+pub fn signbit_bytes(config: &ModelConfig) -> u64 {
+    let words_per_row = (config.hidden_dim as u64).div_ceil(32);
+    config.mlp_dim as u64 * words_per_row * 4 * config.n_layers as u64
+}
+
+/// Bytes occupied by a DejaVu-style FP16 predictor of rank `rank`:
+/// `(d·r + r·k) · 2 · n_layers`.
+pub fn dejavu_bytes(config: &ModelConfig, rank: usize) -> u64 {
+    (config.hidden_dim as u64 * rank as u64 + rank as u64 * config.mlp_dim as u64)
+        * 2
+        * config.n_layers as u64
+}
+
+/// Convenience: mebibytes.
+pub fn to_mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// The paper's headline ratio: DejaVu memory over SparseInfer memory.
+pub fn memory_ratio(config: &ModelConfig, rank: usize) -> f64 {
+    dejavu_bytes(config, rank) as f64 / signbit_bytes(config) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_13b_numbers_match_section_5a2() {
+        let cfg = ModelConfig::prosparse_13b_paper();
+        // 13824 × 160 × 4 × 40 = 337.5 MiB
+        assert_eq!(signbit_bytes(&cfg), 13_824 * 160 * 4 * 40);
+        assert!((to_mib(signbit_bytes(&cfg)) - 337.5).abs() < 1e-9);
+        // (5120·1024 + 1024·13824) × 2 × 40 = 1480 MiB
+        assert_eq!(dejavu_bytes(&cfg, 1024), (5120 * 1024 + 1024 * 13824) * 2 * 40);
+        assert!((to_mib(dejavu_bytes(&cfg, 1024)) - 1480.0).abs() < 1.0);
+        // Ratio ≈ 4.38×.
+        assert!((memory_ratio(&cfg, 1024) - 4.38).abs() < 0.01);
+    }
+
+    #[test]
+    fn signbit_memory_scales_with_dims() {
+        let mut cfg = ModelConfig::tiny();
+        let base = signbit_bytes(&cfg);
+        cfg.n_layers *= 2;
+        assert_eq!(signbit_bytes(&cfg), base * 2);
+    }
+
+    #[test]
+    fn dejavu_memory_scales_with_rank() {
+        let cfg = ModelConfig::tiny();
+        assert_eq!(dejavu_bytes(&cfg, 32), 2 * dejavu_bytes(&cfg, 16));
+    }
+}

@@ -1,0 +1,228 @@
+//! Predictor quality metrics: per-layer precision and recall (paper Fig. 3).
+//!
+//! Definitions follow the paper exactly: *precision* is the fraction of
+//! predicted-sparse elements that are truly sparse (a false positive here
+//! wrongly zeroes a live activation and can hurt accuracy); *recall* is the
+//! fraction of truly sparse elements the predictor captured (a miss here
+//! only costs speed, not accuracy).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mask::SkipMask;
+
+/// Confusion counts over (predicted sparse?, truly sparse?) pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Predicted sparse, truly sparse.
+    pub true_positive: u64,
+    /// Predicted sparse, actually active (the harmful case).
+    pub false_positive: u64,
+    /// Predicted active, truly sparse (missed speedup).
+    pub false_negative: u64,
+    /// Predicted active, truly active.
+    pub true_negative: u64,
+}
+
+impl ConfusionCounts {
+    /// Accumulates one (prediction, truth) mask pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks differ in length.
+    pub fn record(&mut self, predicted: &SkipMask, truth: &SkipMask) {
+        assert_eq!(predicted.len(), truth.len(), "mask length mismatch");
+        for i in 0..predicted.len() {
+            match (predicted.is_skipped(i), truth.is_skipped(i)) {
+                (true, true) => self.true_positive += 1,
+                (true, false) => self.false_positive += 1,
+                (false, true) => self.false_negative += 1,
+                (false, false) => self.true_negative += 1,
+            }
+        }
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: &ConfusionCounts) {
+        self.true_positive += other.true_positive;
+        self.false_positive += other.false_positive;
+        self.false_negative += other.false_negative;
+        self.true_negative += other.true_negative;
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted sparse
+    /// (vacuously no harmful skips).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when nothing was truly sparse.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total number of recorded elements.
+    pub fn total(&self) -> u64 {
+        self.true_positive + self.false_positive + self.false_negative + self.true_negative
+    }
+
+    /// Fraction of elements that are truly sparse (the base rate).
+    pub fn true_sparsity(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.false_negative) as f64 / self.total() as f64
+    }
+
+    /// Fraction of elements predicted sparse.
+    pub fn predicted_sparsity(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.false_positive) as f64 / self.total() as f64
+    }
+}
+
+/// Per-layer confusion counts (the data behind Fig. 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerMetrics {
+    layers: Vec<ConfusionCounts>,
+}
+
+impl LayerMetrics {
+    /// Creates empty metrics for `n_layers` layers.
+    pub fn new(n_layers: usize) -> Self {
+        Self { layers: vec![ConfusionCounts::default(); n_layers] }
+    }
+
+    /// Records one mask pair for `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn record(&mut self, layer: usize, predicted: &SkipMask, truth: &SkipMask) {
+        self.layers[layer].record(predicted, truth);
+    }
+
+    /// Counts for one layer.
+    pub fn layer(&self, layer: usize) -> &ConfusionCounts {
+        &self.layers[layer]
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Aggregate counts over all layers.
+    pub fn overall(&self) -> ConfusionCounts {
+        let mut total = ConfusionCounts::default();
+        for l in &self.layers {
+            total.merge(l);
+        }
+        total
+    }
+
+    /// `(precision, recall)` per layer — the two series of Fig. 3.
+    pub fn precision_recall_series(&self) -> Vec<(f64, f64)> {
+        self.layers.iter().map(|c| (c.precision(), c.recall())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(bits: &[bool]) -> SkipMask {
+        SkipMask::from_fn(bits.len(), |i| bits[i])
+    }
+
+    #[test]
+    fn confusion_counts_all_four_cells() {
+        let mut c = ConfusionCounts::default();
+        let predicted = mask(&[true, true, false, false]);
+        let truth = mask(&[true, false, true, false]);
+        c.record(&predicted, &truth);
+        assert_eq!(c.true_positive, 1);
+        assert_eq!(c.false_positive, 1);
+        assert_eq!(c.false_negative, 1);
+        assert_eq!(c.true_negative, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn precision_recall_formulas() {
+        let c = ConfusionCounts {
+            true_positive: 90,
+            false_positive: 10,
+            false_negative: 30,
+            true_negative: 70,
+        };
+        assert!((c.precision() - 0.9).abs() < 1e-12);
+        assert!((c.recall() - 0.75).abs() < 1e-12);
+        assert!((c.true_sparsity() - 0.6).abs() < 1e-12);
+        assert!((c.predicted_sparsity() - 0.5).abs() < 1e-12);
+        let f1 = c.f1();
+        assert!((f1 - 2.0 * 0.9 * 0.75 / 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_cases_default_to_one() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn perfect_predictor_scores_one() {
+        let mut c = ConfusionCounts::default();
+        let truth = mask(&[true, false, true, true]);
+        c.record(&truth, &truth);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn layer_metrics_aggregate() {
+        let mut m = LayerMetrics::new(2);
+        m.record(0, &mask(&[true]), &mask(&[true]));
+        m.record(1, &mask(&[true]), &mask(&[false]));
+        let overall = m.overall();
+        assert_eq!(overall.true_positive, 1);
+        assert_eq!(overall.false_positive, 1);
+        let series = m.precision_recall_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 1.0);
+        assert_eq!(series[1].0, 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionCounts { true_positive: 1, ..Default::default() };
+        let b = ConfusionCounts { false_negative: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.true_positive, 1);
+        assert_eq!(a.false_negative, 2);
+    }
+}

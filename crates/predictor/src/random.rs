@@ -1,0 +1,89 @@
+//! Random skip baseline.
+//!
+//! The paper's §V-C sanity check: "random selection with the 90% activation
+//! sparsity, instead of the prediction, resulted in 0% accuracy". This
+//! predictor skips each row independently with a fixed probability,
+//! demonstrating that the *selection* of which rows to skip — not merely the
+//! amount skipped — is what preserves model quality.
+
+use sparseinfer_tensor::{Prng, Vector};
+
+use crate::mask::SkipMask;
+use crate::traits::SparsityPredictor;
+
+/// Skips each row with probability `p`, independent of the input.
+#[derive(Debug, Clone)]
+pub struct RandomPredictor {
+    p: f64,
+    rows: usize,
+    layers: usize,
+    rng: Prng,
+}
+
+impl RandomPredictor {
+    /// Creates a random predictor for a model with `layers` layers of `rows`
+    /// gate rows each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64, rows: usize, layers: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        Self { p, rows, layers, rng: Prng::seed(seed) }
+    }
+
+    /// The skip probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl SparsityPredictor for RandomPredictor {
+    fn predict(&mut self, layer: usize, _x: &Vector) -> SkipMask {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        let p = self.p;
+        let rng = &mut self.rng;
+        SkipMask::from_fn(self.rows, |_| rng.flip(p))
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn n_layers(&self) -> usize {
+        self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_rate_tracks_probability() {
+        let mut p = RandomPredictor::new(0.9, 1000, 1, 1);
+        let mask = p.predict(0, &Vector::zeros(4));
+        let rate = mask.sparsity();
+        assert!((rate - 0.9).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_probability_skips_nothing() {
+        let mut p = RandomPredictor::new(0.0, 64, 1, 2);
+        assert_eq!(p.predict(0, &Vector::zeros(4)).skip_count(), 0);
+    }
+
+    #[test]
+    fn masks_differ_between_calls() {
+        let mut p = RandomPredictor::new(0.5, 256, 1, 3);
+        let a = p.predict(0, &Vector::zeros(4));
+        let b = p.predict(0, &Vector::zeros(4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = RandomPredictor::new(1.5, 8, 1, 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! The common predictor interface.
+
+use sparseinfer_tensor::Vector;
+
+use crate::mask::SkipMask;
+
+/// Per-layer cost of producing one prediction, in the units the paper's
+/// Table I uses: bitwise 32-bit XOR+popcount pairs, weight-precision MACs,
+/// and bytes loaded. Consumed by the sparse engine's op accounting and the
+/// GPU cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionCost {
+    /// 32-bit XOR + popcount pairs (the sign-bit predictor's currency).
+    pub xor_popc: u64,
+    /// Multiply–accumulates (the trained predictor's currency).
+    pub macs: u64,
+    /// Bytes loaded from memory (packed sign tables or predictor weights).
+    pub bytes_loaded: u64,
+}
+
+/// A per-layer activation sparsity predictor.
+///
+/// Implementations receive the *normalized MLP input* `X` for a layer and
+/// return a [`SkipMask`] over the layer's `k` intermediate rows (true =
+/// predicted sparse, skip the row). Predictors may carry mutable state
+/// (e.g. an RNG), hence `&mut self`.
+pub trait SparsityPredictor {
+    /// Predicts the skip mask for `layer` given the MLP input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `layer` is out of range or `x` has the wrong
+    /// dimension — both indicate plumbing bugs, not data-dependent errors.
+    fn predict(&mut self, layer: usize, x: &Vector) -> SkipMask;
+
+    /// Short, stable name used in experiment printouts.
+    fn name(&self) -> &'static str;
+
+    /// Number of layers this predictor covers.
+    fn n_layers(&self) -> usize;
+
+    /// The per-layer cost of one prediction. Defaults to free (used by the
+    /// oracle and random baselines, which have no realizable hardware cost).
+    fn prediction_cost(&self, _layer: usize) -> PredictionCost {
+        PredictionCost::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial in-module implementation proving object safety.
+    #[derive(Debug)]
+    struct NeverSkip {
+        k: usize,
+        layers: usize,
+    }
+
+    impl SparsityPredictor for NeverSkip {
+        fn predict(&mut self, layer: usize, _x: &Vector) -> SkipMask {
+            assert!(layer < self.layers);
+            SkipMask::all_dense(self.k)
+        }
+        fn name(&self) -> &'static str {
+            "never-skip"
+        }
+        fn n_layers(&self) -> usize {
+            self.layers
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn SparsityPredictor> = Box::new(NeverSkip { k: 8, layers: 2 });
+        let mask = boxed.predict(0, &Vector::zeros(4));
+        assert_eq!(mask.skip_count(), 0);
+        assert_eq!(boxed.name(), "never-skip");
+        assert_eq!(boxed.n_layers(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the predictor crate.
+
+use proptest::prelude::*;
+use sparseinfer_predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
+use sparseinfer_tensor::{Matrix, Prng, Vector};
+
+proptest! {
+    /// Eq. (2) monotonicity: raising alpha can only turn skips into
+    /// non-skips, never the reverse — for every row count and total.
+    #[test]
+    fn decide_is_monotone_in_alpha(n_neg in 0u32..2048, extra in 0u32..2048) {
+        let total = n_neg + extra;
+        let mut prev_skip = true;
+        for alpha in [50u32, 80, 100, 101, 103, 120, 200, 400] {
+            let skip = SignBitPredictor::decide(n_neg, total, alpha);
+            if !prev_skip {
+                prop_assert!(!skip, "skip reappeared at alpha {alpha} (n_neg={n_neg}, total={total})");
+            }
+            prev_skip = skip;
+        }
+    }
+
+    /// At alpha = 1.00 the rule is exactly the majority test N_neg > N_pos.
+    #[test]
+    fn decide_at_unit_alpha_is_majority(n_neg in 0u32..4096, extra in 0u32..4096) {
+        let total = n_neg + extra;
+        let n_pos = total - n_neg;
+        prop_assert_eq!(SignBitPredictor::decide(n_neg, total, 100), n_neg > n_pos);
+    }
+
+    /// The packed predictor agrees with a scalar reimplementation of
+    /// Eq. (2) on random matrices and inputs.
+    #[test]
+    fn predictor_matches_scalar_reference(
+        seed in 0u64..500,
+        k in 1usize..24,
+        alpha in prop::sample::select(vec![100u32, 101, 103, 150])
+    ) {
+        let d = 64usize;
+        let mut rng = Prng::seed(seed);
+        let gate = Matrix::from_fn(k, d, |_, _| rng.normal(-0.05, 1.0) as f32);
+        let x = Vector::from_fn(d, |_| rng.normal(0.4, 1.0) as f32);
+        let mut p = SignBitPredictor::from_gate_matrices(
+            std::slice::from_ref(&gate),
+            AlphaSchedule::PerLayer(vec![alpha]),
+        );
+        let mask = p.predict(0, &x);
+        for r in 0..k {
+            let n_neg = gate
+                .row(r)
+                .iter()
+                .zip(x.as_slice())
+                .filter(|(w, xi)| w.is_sign_negative() != xi.is_sign_negative())
+                .count() as u32;
+            let expect = SignBitPredictor::decide(n_neg, d as u32, alpha);
+            prop_assert_eq!(mask.is_skipped(r), expect, "row {}", r);
+        }
+    }
+
+    /// Mask union is commutative, associative, idempotent and monotone.
+    #[test]
+    fn skip_mask_union_laws(
+        a_bits in prop::collection::vec(any::<bool>(), 1..200),
+        b_bits in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let len = a_bits.len().min(b_bits.len());
+        let a = SkipMask::from_fn(len, |i| a_bits[i]);
+        let b = SkipMask::from_fn(len, |i| b_bits[i]);
+
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba); // commutative
+
+        let mut aa = a.clone();
+        aa.union_with(&a);
+        prop_assert_eq!(&aa, &a); // idempotent
+
+        prop_assert!(ab.skip_count() >= a.skip_count().max(b.skip_count())); // monotone
+        for i in 0..len {
+            prop_assert_eq!(ab.is_skipped(i), a.is_skipped(i) || b.is_skipped(i));
+        }
+    }
+
+    /// skip_count + active_rows always partition the mask.
+    #[test]
+    fn mask_partition_invariant(bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mask = SkipMask::from_fn(bits.len(), |i| bits[i]);
+        prop_assert_eq!(mask.skip_count() + mask.active_rows().count(), bits.len());
+        prop_assert_eq!(mask.skipped_rows().count(), mask.skip_count());
+    }
+
+    /// Raising alpha never increases the number of predicted-sparse rows.
+    #[test]
+    fn higher_alpha_never_skips_more(seed in 0u64..300) {
+        let d = 96usize;
+        let k = 32usize;
+        let mut rng = Prng::seed(seed);
+        let gate = Matrix::from_fn(k, d, |_, _| rng.normal(-0.03, 1.0) as f32);
+        let x = Vector::from_fn(d, |_| rng.normal(0.3, 1.0) as f32);
+        let mut last = usize::MAX;
+        for alpha in [1.0f64, 1.05, 1.2, 1.6, 2.5] {
+            let mut p = SignBitPredictor::from_gate_matrices(
+                std::slice::from_ref(&gate),
+                AlphaSchedule::uniform(alpha),
+            );
+            let count = p.predict(0, &x).skip_count();
+            prop_assert!(count <= last, "alpha {alpha}: {count} > {last}");
+            last = count;
+        }
+    }
+}

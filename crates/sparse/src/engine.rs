@@ -1,0 +1,387 @@
+//! Whole-model inference engines.
+//!
+//! Three frontends share the same model weights and the same attention path,
+//! differing only in how they execute the MLP blocks:
+//!
+//! * [`DenseEngine`] — every row computed; the llama.cpp baseline.
+//! * [`SparseEngine`] driven by a
+//!   [`SignBitPredictor`](sparseinfer_predictor::SignBitPredictor) — the
+//!   SparseInfer engine (with `+KF`/`+AS` switches).
+//! * [`SparseEngine`] driven by a
+//!   [`DejaVuPredictor`](sparseinfer_predictor::DejaVuPredictor) — the
+//!   PowerInfer-style baseline.
+//!
+//! Engines accumulate [`OpCounter`] statistics and per-layer sparsity so the
+//! benchmark harness can hand *measured* masks and traffic to the GPU cost
+//! model.
+
+use sparseinfer_model::model::DecodeSession;
+use sparseinfer_model::Model;
+use sparseinfer_predictor::{SkipMask, SparsityPredictor};
+use sparseinfer_tensor::Vector;
+
+use crate::mlp::{dense_mlp_forward, sparse_mlp_forward, MlpOptions};
+use crate::ops::OpCounter;
+
+/// Per-engine execution options (the paper's Fig. 4 variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// MLP execution switches.
+    pub mlp: MlpOptions,
+}
+
+impl EngineOptions {
+    /// Full SparseInfer configuration: kernel fusion + actual sparsity.
+    pub fn sparseinfer() -> Self {
+        Self { mlp: MlpOptions { kernel_fusion: true, actual_sparsity: true } }
+    }
+
+    /// Base variant: prediction only, no fusion, no actual sparsity.
+    pub fn base() -> Self {
+        Self { mlp: MlpOptions { kernel_fusion: false, actual_sparsity: false } }
+    }
+
+    /// Base + kernel fusion.
+    pub fn with_kernel_fusion() -> Self {
+        Self { mlp: MlpOptions { kernel_fusion: true, actual_sparsity: false } }
+    }
+
+    /// Base + actual sparsity.
+    pub fn with_actual_sparsity() -> Self {
+        Self { mlp: MlpOptions { kernel_fusion: false, actual_sparsity: true } }
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self::sparseinfer()
+    }
+}
+
+/// Accumulated per-layer sparsity statistics of a decode run.
+#[derive(Debug, Clone, Default)]
+pub struct SparsityStats {
+    predicted_sum: Vec<f64>,
+    effective_sum: Vec<f64>,
+    tokens: u64,
+}
+
+impl SparsityStats {
+    fn new(n_layers: usize) -> Self {
+        Self {
+            predicted_sum: vec![0.0; n_layers],
+            effective_sum: vec![0.0; n_layers],
+            tokens: 0,
+        }
+    }
+
+    /// Mean predicted sparsity per layer.
+    pub fn mean_predicted(&self) -> Vec<f64> {
+        self.means(&self.predicted_sum)
+    }
+
+    /// Mean effective (predicted ∪ actual) sparsity per layer.
+    pub fn mean_effective(&self) -> Vec<f64> {
+        self.means(&self.effective_sum)
+    }
+
+    /// Number of tokens recorded.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    fn means(&self, sums: &[f64]) -> Vec<f64> {
+        if self.tokens == 0 {
+            return vec![0.0; sums.len()];
+        }
+        sums.iter().map(|s| s / self.tokens as f64).collect()
+    }
+}
+
+/// Dense decoding engine (the llama.cpp baseline) with op accounting.
+#[derive(Debug)]
+pub struct DenseEngine<'m> {
+    model: &'m Model,
+    ops: OpCounter,
+}
+
+impl<'m> DenseEngine<'m> {
+    /// Wraps a model.
+    pub fn new(model: &'m Model) -> Self {
+        Self { model, ops: OpCounter::default() }
+    }
+
+    /// The accumulated operation counts.
+    pub fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    /// Resets the accumulated counts.
+    pub fn reset_ops(&mut self) {
+        self.ops = OpCounter::default();
+    }
+
+    /// Forward one token (dense MLPs), counting operations.
+    pub fn forward_token(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+        let model = self.model;
+        let mut h = model.embed(token);
+        for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
+            let mid = layer.attention_half(&h, session.position, cache);
+            account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
+            let x = layer.mlp_norm().forward(&mid);
+            let mlp_out = dense_mlp_forward(layer.mlp(), &x, &mut self.ops);
+            h = mid;
+            h.add_assign(&mlp_out);
+        }
+        session.position += 1;
+        model.logits(&h)
+    }
+
+    /// Greedy generation with dense execution.
+    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        generate_greedy_with(prompt, max_new, eos, self.model, |engine_token, session| {
+            self.forward_token(engine_token, session)
+        })
+    }
+}
+
+/// Sparsity-exploiting decoding engine, generic over the predictor.
+#[derive(Debug)]
+pub struct SparseEngine<'m, P: SparsityPredictor> {
+    model: &'m Model,
+    predictor: P,
+    options: EngineOptions,
+    ops: OpCounter,
+    stats: SparsityStats,
+}
+
+impl<'m, P: SparsityPredictor> SparseEngine<'m, P> {
+    /// Wraps a model and predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predictor covers a different number of layers than the
+    /// model.
+    pub fn new(model: &'m Model, predictor: P, options: EngineOptions) -> Self {
+        assert_eq!(
+            predictor.n_layers(),
+            model.layers().len(),
+            "predictor/model layer count mismatch"
+        );
+        let n = model.layers().len();
+        Self { model, predictor, options, ops: OpCounter::default(), stats: SparsityStats::new(n) }
+    }
+
+    /// The accumulated operation counts.
+    pub fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    /// The accumulated sparsity statistics.
+    pub fn stats(&self) -> &SparsityStats {
+        &self.stats
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Mutable access to the predictor (e.g. to change the alpha schedule
+    /// mid-experiment).
+    pub fn predictor_mut(&mut self) -> &mut P {
+        &mut self.predictor
+    }
+
+    /// Resets counters and statistics.
+    pub fn reset_ops(&mut self) {
+        self.ops = OpCounter::default();
+        self.stats = SparsityStats::new(self.model.layers().len());
+    }
+
+    /// Forward one token, predicting and exploiting sparsity in every MLP.
+    pub fn forward_token(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+        let model = self.model;
+        let mut h = model.embed(token);
+        for (li, (layer, cache)) in model
+            .layers()
+            .iter()
+            .zip(session.caches.iter_mut())
+            .enumerate()
+        {
+            let mid = layer.attention_half(&h, session.position, cache);
+            account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
+            let x = layer.mlp_norm().forward(&mid);
+
+            let mask: SkipMask = self.predictor.predict(li, &x);
+            let cost = self.predictor.prediction_cost(li);
+            self.ops.xor_popc += cost.xor_popc;
+            self.ops.predictor_macs += cost.macs;
+            self.ops.weight_bytes_loaded += cost.bytes_loaded;
+
+            let out = sparse_mlp_forward(layer.mlp(), &x, &mask, self.options.mlp, &mut self.ops);
+            self.stats.predicted_sum[li] += out.predicted_sparsity;
+            self.stats.effective_sum[li] += out.effective_sparsity;
+
+            h = mid;
+            h.add_assign(&out.output);
+        }
+        self.stats.tokens += 1;
+        session.position += 1;
+        model.logits(&h)
+    }
+
+    /// Greedy generation with sparse execution. The prefill phase runs
+    /// *densely* (the paper exploits sparsity only during decode).
+    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        generate_greedy_with(prompt, max_new, eos, self.model, |token, session| {
+            self.forward_token(token, session)
+        })
+    }
+}
+
+/// Shared greedy decode loop: dense prefill, engine-specific decode.
+fn generate_greedy_with(
+    prompt: &[u32],
+    max_new: usize,
+    eos: u32,
+    model: &Model,
+    mut step: impl FnMut(u32, &mut DecodeSession) -> Vector,
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let mut session = model.start_session();
+    // Dense prefill (all but the last prompt token go through the dense
+    // model; the last token goes through the engine so decode statistics
+    // start with the first generated token).
+    let mut logits = Vector::zeros(model.config().vocab_size);
+    for t in &prompt[..prompt.len() - 1] {
+        logits = model.forward_token(*t, &mut session);
+    }
+    let _ = logits;
+    let mut logits = step(prompt[prompt.len() - 1], &mut session);
+    let mut out = Vec::new();
+    for _ in 0..max_new {
+        let next = logits.argmax().expect("nonzero vocab") as u32;
+        if next == eos {
+            break;
+        }
+        out.push(next);
+        logits = step(next, &mut session);
+    }
+    out
+}
+
+/// Counts the dense attention work of one layer at context length `ctx`:
+/// four `d×d` projections plus score/value accumulation over the context.
+fn account_attention(ops: &mut OpCounter, d: usize, ctx: usize) {
+    let d = d as u64;
+    let ctx = ctx as u64;
+    ops.macs += 4 * d * d + 2 * ctx * d;
+    ops.weight_bytes_loaded += 4 * d * d * OpCounter::WEIGHT_BYTES;
+    // KV cache traffic: read ctx keys + values.
+    ops.activation_bytes += 2 * ctx * d * OpCounter::ACTIVATION_BYTES;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::ModelConfig;
+    use sparseinfer_predictor::{
+        AlphaSchedule, OraclePredictor, RandomPredictor, SignBitPredictor,
+    };
+
+    fn model() -> Model {
+        WeightGenerator::new(&ModelConfig::tiny(), 77).build()
+    }
+
+    #[test]
+    fn dense_engine_matches_model_decode() {
+        let m = model();
+        let mut engine = DenseEngine::new(&m);
+        let expected = m.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+        let actual = engine.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+        assert_eq!(actual, expected);
+        assert!(engine.ops().macs > 0);
+    }
+
+    #[test]
+    fn oracle_sparse_engine_matches_dense_decode_exactly() {
+        let m = model();
+        let oracle = OraclePredictor::from_model(&m);
+        let mut engine = SparseEngine::new(&m, oracle, EngineOptions::sparseinfer());
+        let dense = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        let sparse = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        assert_eq!(sparse, dense, "oracle-masked execution must be lossless");
+        // And it must skip a large fraction of rows on the calibrated model.
+        let eff = engine.stats().mean_effective();
+        let mean: f64 = eff.iter().sum::<f64>() / eff.len() as f64;
+        assert!(mean > 0.5, "mean effective sparsity {mean}");
+    }
+
+    #[test]
+    fn signbit_engine_decodes_and_skips_rows() {
+        let m = model();
+        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.0));
+        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
+        let out = engine.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+        assert_eq!(out.len(), 6);
+        assert!(engine.ops().xor_popc > 0, "predictor cost must be accounted");
+        assert!(engine.ops().rows_skipped > 0);
+        assert!(engine.stats().tokens() > 0);
+    }
+
+    #[test]
+    fn sparse_engine_does_less_mlp_work_than_dense() {
+        let m = model();
+        let mut dense = DenseEngine::new(&m);
+        let _ = dense.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+
+        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.0));
+        let mut sparse = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
+        let _ = sparse.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+
+        assert!(
+            sparse.ops().macs < dense.ops().macs,
+            "sparse {} vs dense {}",
+            sparse.ops().macs,
+            dense.ops().macs
+        );
+    }
+
+    #[test]
+    fn random_predictor_engine_diverges_from_dense() {
+        let m = model();
+        let dense_out = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        let p = RandomPredictor::new(0.9, m.config().mlp_dim, m.config().n_layers, 5);
+        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
+        let sparse_out = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        assert_ne!(sparse_out, dense_out, "random 90% skipping must corrupt decode");
+    }
+
+    #[test]
+    fn actual_sparsity_raises_effective_over_predicted() {
+        let m = model();
+        // A conservative schedule under-predicts, leaving room for actual
+        // sparsity to help.
+        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.5));
+        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
+        let _ = engine.generate_greedy(&[1, 2, 3], 4, u32::MAX);
+        let predicted = engine.stats().mean_predicted();
+        let effective = engine.stats().mean_effective();
+        for (l, (p, e)) in predicted.iter().zip(&effective).enumerate() {
+            assert!(e >= p, "layer {l}: effective {e} < predicted {p}");
+        }
+        let gain: f64 =
+            effective.iter().sum::<f64>() - predicted.iter().sum::<f64>();
+        assert!(gain > 0.0, "actual sparsity must add something");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn predictor_layer_mismatch_panics() {
+        let m = model();
+        let p = RandomPredictor::new(0.5, m.config().mlp_dim, 1, 1);
+        let _ = SparseEngine::new(&m, p, EngineOptions::base());
+    }
+}

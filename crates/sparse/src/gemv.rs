@@ -1,0 +1,176 @@
+//! Row-skipping GEMV kernels (the CPU analogues of §IV-B3/4's CUDA kernels).
+
+use sparseinfer_predictor::SkipMask;
+use sparseinfer_tensor::{Matrix, Vector};
+
+use crate::ops::OpCounter;
+
+/// Sparse GEMV: `y[r] = W_r · x` for active rows, `y[r] = 0` for skipped
+/// rows. Mirrors the paper's sparse GEMV kernel, where a warp assigned a
+/// skipped row "immediately returns 0 without any computation" — in
+/// particular the row's weights are never *loaded*, which is where the
+/// memory-bound speedup comes from.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != w.rows()` or `x.len() != w.cols()`.
+pub fn sparse_gemv(w: &Matrix, x: &Vector, mask: &SkipMask, ops: &mut OpCounter) -> Vector {
+    assert_eq!(mask.len(), w.rows(), "mask/rows mismatch");
+    assert_eq!(x.len(), w.cols(), "input length mismatch");
+    let xs = x.as_slice();
+    let mut out = vec![0.0f32; w.rows()];
+    let mut active_rows = 0u64;
+    for (r, slot) in out.iter_mut().enumerate() {
+        if mask.is_skipped(r) {
+            continue;
+        }
+        active_rows += 1;
+        let mut acc = 0.0f32;
+        for (wi, xi) in w.row(r).iter().zip(xs) {
+            acc += wi * xi;
+        }
+        *slot = acc;
+    }
+    ops.macs += active_rows * w.cols() as u64;
+    ops.weight_bytes_loaded += active_rows * w.cols() as u64 * OpCounter::WEIGHT_BYTES;
+    ops.rows_computed += active_rows;
+    ops.rows_skipped += (w.rows() as u64) - active_rows;
+    Vector::from_vec(out)
+}
+
+/// Sparse transposed-weight accumulation for the down projection (step 4):
+/// `y += W_down_t[r] · h3[r]` for every *active* row `r`. `W_down` was
+/// transposed at load time so sparsity skips whole rows; on the GPU each
+/// active row's contribution is an `atomicAdd`, a skipped row simply returns
+/// (§IV-B4).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn sparse_down_proj(
+    w_down_t: &Matrix,
+    h3: &Vector,
+    mask: &SkipMask,
+    ops: &mut OpCounter,
+) -> Vector {
+    assert_eq!(mask.len(), w_down_t.rows(), "mask/rows mismatch");
+    assert_eq!(h3.len(), w_down_t.rows(), "h3 length mismatch");
+    let mut out = vec![0.0f32; w_down_t.cols()];
+    let mut active_rows = 0u64;
+    for r in 0..w_down_t.rows() {
+        if mask.is_skipped(r) {
+            continue;
+        }
+        active_rows += 1;
+        let scale = h3[r];
+        for (o, wi) in out.iter_mut().zip(w_down_t.row(r)) {
+            *o += wi * scale;
+        }
+    }
+    ops.macs += active_rows * w_down_t.cols() as u64;
+    ops.weight_bytes_loaded += active_rows * w_down_t.cols() as u64 * OpCounter::WEIGHT_BYTES;
+    ops.atomic_adds += active_rows * w_down_t.cols() as u64;
+    ops.rows_computed += active_rows;
+    ops.rows_skipped += (w_down_t.rows() as u64) - active_rows;
+    Vector::from_vec(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseinfer_tensor::gemv::{gemv, gemv_transposed};
+    use sparseinfer_tensor::Prng;
+
+    fn random_case(seed: u64, k: usize, d: usize) -> (Matrix, Vector) {
+        let mut rng = Prng::seed(seed);
+        let w = Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
+        let x = Vector::from_fn(d, |_| rng.normal(0.0, 1.0) as f32);
+        (w, x)
+    }
+
+    #[test]
+    fn all_dense_mask_matches_dense_gemv() {
+        let (w, x) = random_case(1, 12, 8);
+        let mask = SkipMask::all_dense(12);
+        let mut ops = OpCounter::default();
+        let sparse = sparse_gemv(&w, &x, &mask, &mut ops);
+        let dense = gemv(&w, &x);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(ops.macs, 12 * 8);
+        assert_eq!(ops.rows_skipped, 0);
+    }
+
+    #[test]
+    fn skipped_rows_are_exactly_zero_and_unloaded() {
+        let (w, x) = random_case(2, 10, 8);
+        let mask = SkipMask::from_fn(10, |r| r % 2 == 1);
+        let mut ops = OpCounter::default();
+        let y = sparse_gemv(&w, &x, &mask, &mut ops);
+        let dense = gemv(&w, &x);
+        for r in 0..10 {
+            if r % 2 == 1 {
+                assert_eq!(y[r], 0.0);
+            } else {
+                assert!((y[r] - dense[r]).abs() < 1e-6);
+            }
+        }
+        assert_eq!(ops.macs, 5 * 8);
+        assert_eq!(ops.weight_bytes_loaded, 5 * 8 * OpCounter::WEIGHT_BYTES);
+        assert_eq!(ops.rows_skipped, 5);
+    }
+
+    #[test]
+    fn all_skipped_gemv_is_free() {
+        let (w, x) = random_case(3, 6, 4);
+        let mut ops = OpCounter::default();
+        let y = sparse_gemv(&w, &x, &SkipMask::all_skipped(6), &mut ops);
+        assert!(y.iter().all(|v| *v == 0.0));
+        assert_eq!(ops.macs, 0);
+        assert_eq!(ops.weight_bytes_loaded, 0);
+    }
+
+    #[test]
+    fn down_proj_matches_transposed_gemv_when_dense() {
+        let (w, _) = random_case(4, 9, 5);
+        let mut rng = Prng::seed(5);
+        let h3 = Vector::from_fn(9, |_| rng.normal(0.0, 1.0) as f32);
+        let mut ops = OpCounter::default();
+        let sparse = sparse_down_proj(&w, &h3, &SkipMask::all_dense(9), &mut ops);
+        let dense = gemv_transposed(&w, &h3);
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert_eq!(ops.atomic_adds, 9 * 5);
+    }
+
+    #[test]
+    fn down_proj_with_mask_equals_dense_on_zeroed_h3() {
+        // Skipping row r is mathematically identical to h3[r] = 0.
+        let (w, _) = random_case(6, 9, 5);
+        let mut rng = Prng::seed(7);
+        let h3 = Vector::from_fn(9, |_| rng.normal(0.0, 1.0) as f32);
+        let mask = SkipMask::from_fn(9, |r| r < 3);
+
+        let mut ops = OpCounter::default();
+        let masked = sparse_down_proj(&w, &h3, &mask, &mut ops);
+
+        let mut h3_zeroed = h3.clone();
+        for r in 0..3 {
+            h3_zeroed[r] = 0.0;
+        }
+        let reference = gemv_transposed(&w, &h3_zeroed);
+        for (a, b) in masked.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask/rows mismatch")]
+    fn wrong_mask_length_panics() {
+        let (w, x) = random_case(8, 4, 4);
+        let mut ops = OpCounter::default();
+        let _ = sparse_gemv(&w, &x, &SkipMask::all_dense(5), &mut ops);
+    }
+}

@@ -1,0 +1,52 @@
+//! Sparse execution engine: exploiting predicted activation sparsity in the
+//! gated MLP (paper §IV, §IV-B3/4).
+//!
+//! Given a per-token [`SkipMask`](sparseinfer_predictor::SkipMask) from any
+//! predictor, this crate executes the four MLP steps while skipping masked
+//! rows of `W_gate`, `W_up` and (transposed) `W_down`:
+//!
+//! * [`gemv`](mod@crate::gemv) — row-skipping GEMV kernels mirroring the CUDA
+//!   kernels of §IV-B3/4 (skipped row ⇒ the "warp" returns zero / skips its
+//!   `atomicAdd`).
+//! * [`mlp`](mod@crate::mlp) — the sparse gated-MLP executor with the paper's two
+//!   compensation/optimization switches: **actual sparsity** (union exact
+//!   zeros found after step 1 into the mask used by steps 2–4) and **kernel
+//!   fusion** (steps 1–3 in one kernel; affects memory traffic, which the
+//!   [`ops`](mod@crate::ops) accounting and the GPU cost model track).
+//! * [`engine`](mod@crate::engine) — whole-model decoding frontends:
+//!   [`DenseEngine`] (the llama.cpp baseline) and
+//!   [`SparseEngine`] (SparseInfer when driven
+//!   by the sign-bit predictor, PowerInfer-style when driven by the DejaVu
+//!   predictor).
+//! * [`ops`](mod@crate::ops) — operation and byte accounting that regenerates
+//!   Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use sparseinfer_model::{ModelConfig, generator::WeightGenerator};
+//! use sparseinfer_predictor::{AlphaSchedule, SignBitPredictor};
+//! use sparseinfer_sparse::engine::{EngineOptions, SparseEngine};
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 1).build();
+//! let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
+//! let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+//! let tokens = engine.generate_greedy(&[1, 2], 4, u32::MAX);
+//! assert_eq!(tokens.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cats;
+pub mod engine;
+pub mod gemv;
+pub mod mlp;
+pub mod ops;
+pub mod quantized;
+
+pub use engine::{DenseEngine, EngineOptions, SparseEngine};
+pub use mlp::SparseMlpOutput;
+pub use ops::OpCounter;
+pub use quantized::QuantizedGatedMlp;

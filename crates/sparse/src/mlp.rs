@@ -1,0 +1,264 @@
+//! The sparse gated-MLP executor (steps 1–4 of §III under a skip mask).
+//!
+//! Execution is *sequential* (gate before up), the variant the paper argues
+//! for in §IV: it enables kernel fusion and — more importantly — lets the
+//! exact zeros discovered after the gate GEMV ("actual sparsity") be unioned
+//! into the mask used by the up and down projections, compensating rows the
+//! conservative predictor kept alive unnecessarily.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_model::GatedMlp;
+use sparseinfer_predictor::SkipMask;
+use sparseinfer_tensor::Vector;
+
+use crate::gemv::{sparse_down_proj, sparse_gemv};
+use crate::ops::OpCounter;
+
+/// Switches for the sparse MLP execution, matching the four SparseInfer
+/// variants of the paper's Fig. 4 (`base`, `+KF`, `+AS`, `+KF+AS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpOptions {
+    /// Fuse steps 1–3 into one "kernel": numerically identical, but X is
+    /// loaded once and `h1`/`h2` never round-trip through memory (§IV-B4's
+    /// traffic analysis). Affects only the byte accounting.
+    pub kernel_fusion: bool,
+    /// Union the exact zeros found after step 1 into the mask used by steps
+    /// 2–4 (the paper's "actual sparsity").
+    pub actual_sparsity: bool,
+}
+
+impl Default for MlpOptions {
+    fn default() -> Self {
+        Self { kernel_fusion: true, actual_sparsity: true }
+    }
+}
+
+/// Result of one sparse MLP execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMlpOutput {
+    /// The block output (length `d`).
+    pub output: Vector,
+    /// Sparsity of the predicted mask that entered the block.
+    pub predicted_sparsity: f64,
+    /// Sparsity of the mask actually applied to steps 2–4 (≥ predicted when
+    /// actual-sparsity compensation is on).
+    pub effective_sparsity: f64,
+}
+
+/// Executes the gated MLP under `predicted`, reporting into `ops`.
+///
+/// Skipped gate rows produce `h1[r] = activation(0)`, which is zero for the
+/// ReLU family — exactly the approximation the paper makes. (For SiLU/GELU
+/// the function still zeroes the skipped rows; that *would* perturb the
+/// result, which is why SparseInfer targets ReLU-fied models.)
+///
+/// # Panics
+///
+/// Panics if `x` or `predicted` disagree with the block's dimensions.
+pub fn sparse_mlp_forward(
+    mlp: &GatedMlp,
+    x: &Vector,
+    predicted: &SkipMask,
+    options: MlpOptions,
+    ops: &mut OpCounter,
+) -> SparseMlpOutput {
+    assert_eq!(x.len(), mlp.hidden_dim(), "input length mismatch");
+    assert_eq!(predicted.len(), mlp.mlp_dim(), "mask length mismatch");
+
+    let d = mlp.hidden_dim() as u64;
+    let k = mlp.mlp_dim() as u64;
+    let predicted_sparsity = predicted.sparsity();
+
+    // Step 1 (gate computation) under the predicted mask.
+    let mut h1 = sparse_gemv(mlp.w_gate(), x, predicted, ops);
+    mlp.activation().apply_slice(h1.as_mut_slice());
+
+    // Actual-sparsity compensation: exact zeros after the activation join
+    // the mask for steps 2–4.
+    let mut mask = predicted.clone();
+    if options.actual_sparsity {
+        let actual = SkipMask::from_exact_zeros(&h1);
+        mask.union_with(&actual);
+    }
+    let effective_sparsity = mask.sparsity();
+
+    // Step 2 (input processing) and step 3 (gate application).
+    let h2 = sparse_gemv(mlp.w_up(), x, &mask, ops);
+    let h3 = h1.hadamard(&h2).expect("h1/h2 same length");
+
+    // Step 4 (output generation) over the transposed down projection.
+    let output = sparse_down_proj(mlp.w_down_t(), &h3, &mask, ops);
+
+    // Inter-kernel activation traffic (§IV-B4):
+    //   fused:   load X once + write h3;      then step 4: read h3, write out.
+    //   unfused: load X twice, h1 and h2 each store+load, h3 store;
+    //            then step 4: read h3, write out.
+    let elems = if options.kernel_fusion { 2 * d + 2 * k } else { 3 * d + 6 * k };
+    ops.activation_bytes += elems * OpCounter::ACTIVATION_BYTES;
+
+    SparseMlpOutput { output, predicted_sparsity, effective_sparsity }
+}
+
+/// Dense reference execution with identical accounting hooks — the
+/// llama.cpp-equivalent path used by [`DenseEngine`](crate::engine::DenseEngine).
+pub fn dense_mlp_forward(mlp: &GatedMlp, x: &Vector, ops: &mut OpCounter) -> Vector {
+    let out = sparse_mlp_forward(
+        mlp,
+        x,
+        &SkipMask::all_dense(mlp.mlp_dim()),
+        MlpOptions { kernel_fusion: false, actual_sparsity: false },
+        ops,
+    );
+    out.output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::ModelConfig;
+    use sparseinfer_predictor::{OraclePredictor, SparsityPredictor};
+    use sparseinfer_tensor::Prng;
+
+    fn setup() -> (sparseinfer_model::Model, Vector) {
+        let cfg = ModelConfig::tiny();
+        let model = WeightGenerator::new(&cfg, 31).build();
+        let mut rng = Prng::seed(32);
+        let x = Vector::from_fn(cfg.hidden_dim, |_| rng.normal(0.5, 0.9) as f32);
+        (model, x)
+    }
+
+    #[test]
+    fn oracle_mask_reproduces_dense_output_exactly() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let mut oracle = OraclePredictor::from_model(&model);
+        let mask = oracle.predict(0, &x);
+
+        let mut ops = OpCounter::default();
+        let sparse = sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops);
+        let dense = mlp.forward(&x);
+        for (a, b) in sparse.output.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dense_mask_reproduces_dense_output() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let mut ops = OpCounter::default();
+        let out = dense_mlp_forward(mlp, &x, &mut ops);
+        let dense = mlp.forward(&x);
+        for (a, b) in out.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Dense path computes 3·d·k MACs.
+        assert_eq!(
+            ops.macs,
+            3 * (mlp.hidden_dim() * mlp.mlp_dim()) as u64
+        );
+    }
+
+    #[test]
+    fn actual_sparsity_only_raises_effective_sparsity() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let predicted = SkipMask::all_dense(mlp.mlp_dim()); // predict nothing
+        let mut ops = OpCounter::default();
+        let out = sparse_mlp_forward(
+            mlp,
+            &x,
+            &predicted,
+            MlpOptions { kernel_fusion: false, actual_sparsity: true },
+            &mut ops,
+        );
+        assert_eq!(out.predicted_sparsity, 0.0);
+        // The calibrated model is ~90% sparse, so actual sparsity must fire.
+        assert!(out.effective_sparsity > 0.5, "effective {}", out.effective_sparsity);
+        // And the result still matches dense exactly (zeros contribute
+        // nothing to steps 2–4).
+        let dense = mlp.forward(&x);
+        for (a, b) in out.output.iter().zip(dense.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn actual_sparsity_reduces_work_at_equal_output() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let predicted = SkipMask::all_dense(mlp.mlp_dim());
+
+        let mut with = OpCounter::default();
+        let _ = sparse_mlp_forward(
+            mlp,
+            &x,
+            &predicted,
+            MlpOptions { kernel_fusion: false, actual_sparsity: true },
+            &mut with,
+        );
+        let mut without = OpCounter::default();
+        let _ = sparse_mlp_forward(
+            mlp,
+            &x,
+            &predicted,
+            MlpOptions { kernel_fusion: false, actual_sparsity: false },
+            &mut without,
+        );
+        assert!(with.macs < without.macs, "{} vs {}", with.macs, without.macs);
+        assert!(with.weight_bytes_loaded < without.weight_bytes_loaded);
+    }
+
+    #[test]
+    fn kernel_fusion_reduces_activation_traffic_only() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let mask = SkipMask::from_fn(mlp.mlp_dim(), |r| r % 3 == 0);
+
+        let mut fused = OpCounter::default();
+        let out_f = sparse_mlp_forward(
+            mlp,
+            &x,
+            &mask,
+            MlpOptions { kernel_fusion: true, actual_sparsity: false },
+            &mut fused,
+        );
+        let mut unfused = OpCounter::default();
+        let out_u = sparse_mlp_forward(
+            mlp,
+            &x,
+            &mask,
+            MlpOptions { kernel_fusion: false, actual_sparsity: false },
+            &mut unfused,
+        );
+        assert_eq!(out_f.output, out_u.output, "fusion must be numerically neutral");
+        assert!(fused.activation_bytes < unfused.activation_bytes);
+        assert_eq!(fused.macs, unfused.macs);
+        assert_eq!(fused.weight_bytes_loaded, unfused.weight_bytes_loaded);
+    }
+
+    #[test]
+    fn false_positive_skips_perturb_but_stay_bounded() {
+        // Skipping a truly-active row zeroes its contribution: output should
+        // differ from dense, demonstrating why precision matters.
+        let (model, x) = setup();
+        // Use the last (stabilized) layer, whose row calibration matches the
+        // test input's distribution and leaves some rows active.
+        let mlp = model.layers()[model.config().n_layers - 1].mlp();
+        let z = mlp.gate_preactivations(&x);
+        // Find an active row and force-skip it.
+        let active_row = (0..mlp.mlp_dim()).find(|r| z[*r] > 0.0).expect("some active row");
+        let mask = SkipMask::from_fn(mlp.mlp_dim(), |r| r == active_row);
+        let mut ops = OpCounter::default();
+        let sparse = sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops);
+        let dense = mlp.forward(&x);
+        let diff: f32 = sparse
+            .output
+            .iter()
+            .zip(dense.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "skipping an active row must change the output");
+    }
+}

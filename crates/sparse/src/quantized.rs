@@ -1,0 +1,233 @@
+//! INT8 sparse MLP execution (the quantization-portability story, end to
+//! end).
+//!
+//! §IV-A argues the sign-bit predictor is "robust to various standard
+//! quantization methods ... as long as the sign bit can be extracted". This
+//! module closes the loop: a gated MLP whose three weight matrices are
+//! stored in per-row symmetric INT8, executed sparsely under masks produced
+//! from the *quantized* representation's sign bits. A trained predictor
+//! would have to be retrained for this format (the paper's criticism of
+//! DejaVu); here the packed-sign table is simply re-derived from the INT8
+//! payloads at load time.
+
+use serde::{Deserialize, Serialize};
+use sparseinfer_model::{Activation, GatedMlp};
+use sparseinfer_predictor::SkipMask;
+use sparseinfer_tensor::{QuantizedMatrix, Vector};
+
+use crate::ops::OpCounter;
+
+/// A gated MLP block with INT8 weights (per-row scales), skip-capable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedGatedMlp {
+    gate: QuantizedMatrix,
+    up: QuantizedMatrix,
+    down_t: QuantizedMatrix,
+    activation: Activation,
+}
+
+impl QuantizedGatedMlp {
+    /// Quantizes an existing full-precision block (one-time, at load).
+    pub fn quantize(mlp: &GatedMlp) -> Self {
+        Self {
+            gate: QuantizedMatrix::quantize(mlp.w_gate()),
+            up: QuantizedMatrix::quantize(mlp.w_up()),
+            down_t: QuantizedMatrix::quantize(mlp.w_down_t()),
+            activation: mlp.activation(),
+        }
+    }
+
+    /// Model dimension `d`.
+    pub fn hidden_dim(&self) -> usize {
+        self.gate.cols()
+    }
+
+    /// Intermediate dimension `k`.
+    pub fn mlp_dim(&self) -> usize {
+        self.gate.rows()
+    }
+
+    /// The quantized gate matrix (source of the predictor's sign bits).
+    pub fn gate(&self) -> &QuantizedMatrix {
+        &self.gate
+    }
+
+    /// Total INT8 weight bytes (with scales) — 4× smaller than FP32.
+    pub fn size_bytes(&self) -> usize {
+        self.gate.size_bytes() + self.up.size_bytes() + self.down_t.size_bytes()
+    }
+
+    /// Sparse forward pass under `predicted`, with the same step structure
+    /// and actual-sparsity compensation as the FP32 path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `predicted` disagree with the block's dimensions.
+    pub fn forward_sparse(
+        &self,
+        x: &Vector,
+        predicted: &SkipMask,
+        actual_sparsity: bool,
+        ops: &mut OpCounter,
+    ) -> Vector {
+        assert_eq!(x.len(), self.hidden_dim(), "input length mismatch");
+        assert_eq!(predicted.len(), self.mlp_dim(), "mask length mismatch");
+        let k = self.mlp_dim();
+        let d = self.hidden_dim();
+
+        // Step 1: gate under the predicted mask.
+        let mut h1 = Vector::zeros(k);
+        for r in predicted.active_rows() {
+            h1[r] = self.gate.row_dot(r, x.as_slice());
+        }
+        self.activation.apply_slice(h1.as_mut_slice());
+        track_rows(ops, predicted, d, 1);
+
+        // Actual-sparsity union.
+        let mut mask = predicted.clone();
+        if actual_sparsity {
+            mask.union_with(&SkipMask::from_exact_zeros(&h1));
+        }
+
+        // Steps 2–3.
+        let mut h3 = Vector::zeros(k);
+        for r in mask.active_rows() {
+            h3[r] = h1[r] * self.up.row_dot(r, x.as_slice());
+        }
+        track_rows(ops, &mask, d, 1);
+
+        // Step 4 over the transposed down projection.
+        let mut out = vec![0.0f32; d];
+        for r in mask.active_rows() {
+            let scale = h3[r];
+            if scale == 0.0 {
+                continue;
+            }
+            let srow = self.down_t.scales()[r] * scale;
+            for (o, q) in out.iter_mut().zip(self.down_t.row(r)) {
+                *o += f32::from(*q) * srow;
+            }
+        }
+        track_rows(ops, &mask, d, 1);
+        Vector::from_vec(out)
+    }
+}
+
+fn track_rows(ops: &mut OpCounter, mask: &SkipMask, cols: usize, passes: u64) {
+    let active = (mask.len() - mask.skip_count()) as u64;
+    ops.macs += passes * active * cols as u64;
+    // INT8 weights: 1 byte per element.
+    ops.weight_bytes_loaded += passes * active * cols as u64;
+    ops.rows_computed += passes * active;
+    ops.rows_skipped += passes * mask.skip_count() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::{sparse_mlp_forward, MlpOptions};
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::ModelConfig;
+    use sparseinfer_predictor::{
+        AlphaSchedule, OraclePredictor, SignBitPredictor, SparsityPredictor,
+    };
+    use sparseinfer_tensor::sign::PackedSignMatrix;
+    use sparseinfer_tensor::{Matrix, Prng};
+
+    fn setup() -> (sparseinfer_model::Model, Vector) {
+        let cfg = ModelConfig::tiny();
+        let model = WeightGenerator::new(&cfg, 41).build();
+        let mut rng = Prng::seed(42);
+        let x = Vector::from_fn(cfg.hidden_dim, |_| rng.normal(0.5, 0.9) as f32);
+        (model, x)
+    }
+
+    #[test]
+    fn quantized_output_tracks_fp32_output() {
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let qmlp = QuantizedGatedMlp::quantize(mlp);
+        let mut oracle = OraclePredictor::from_model(&model);
+        let mask = oracle.predict(0, &x);
+
+        let mut ops = OpCounter::default();
+        let q_out = qmlp.forward_sparse(&x, &mask, true, &mut ops);
+        let f_out = sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops);
+
+        let ref_norm = f_out.output.norm().max(1e-6);
+        let mut err = 0.0f32;
+        for (a, b) in q_out.iter().zip(f_out.output.iter()) {
+            err += (a - b) * (a - b);
+        }
+        let rel = err.sqrt() / ref_norm;
+        assert!(rel < 0.1, "relative error {rel}");
+    }
+
+    #[test]
+    fn signbit_masks_from_int8_match_fp32_masks_closely() {
+        let (model, x) = setup();
+        let schedule = AlphaSchedule::uniform(1.0);
+        let mut fp32 = SignBitPredictor::from_model(&model, schedule.clone());
+
+        let packed: Vec<PackedSignMatrix> = model
+            .layers()
+            .iter()
+            .map(|l| QuantizedGatedMlp::quantize(l.mlp()).gate().packed_signs())
+            .collect();
+        let mut int8 = SignBitPredictor::from_packed(packed, schedule);
+
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for layer in 0..model.config().n_layers {
+            let a = fp32.predict(layer, &x);
+            let b = int8.predict(layer, &x);
+            for r in 0..model.config().mlp_dim {
+                total += 1;
+                if a.is_skipped(r) == b.is_skipped(r) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.98, "{agree}/{total}");
+    }
+
+    #[test]
+    fn int8_weights_are_about_4x_smaller_than_fp32() {
+        let (model, _) = setup();
+        let mlp = model.layers()[0].mlp();
+        let qmlp = QuantizedGatedMlp::quantize(mlp);
+        let fp32_bytes =
+            3 * mlp.mlp_dim() * mlp.hidden_dim() * std::mem::size_of::<f32>();
+        let ratio = fp32_bytes as f64 / qmlp.size_bytes() as f64;
+        assert!((3.5..4.01).contains(&ratio), "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn int8_ops_accounting_counts_one_byte_per_weight() {
+        let (model, x) = setup();
+        let qmlp = QuantizedGatedMlp::quantize(model.layers()[0].mlp());
+        let k = qmlp.mlp_dim();
+        let mut ops = OpCounter::default();
+        let _ = qmlp.forward_sparse(&x, &SkipMask::all_dense(k), false, &mut ops);
+        assert_eq!(ops.weight_bytes_loaded, ops.macs); // 1 byte per MAC
+    }
+
+    #[test]
+    fn all_skipped_is_zero_output_and_free() {
+        let (model, x) = setup();
+        let qmlp = QuantizedGatedMlp::quantize(model.layers()[0].mlp());
+        let mut ops = OpCounter::default();
+        let out = qmlp.forward_sparse(&x, &SkipMask::all_skipped(qmlp.mlp_dim()), true, &mut ops);
+        assert!(out.iter().all(|v| *v == 0.0));
+        assert_eq!(ops.macs, 0);
+    }
+
+    #[test]
+    fn quantize_preserves_dims() {
+        let gate = Matrix::zeros(12, 8);
+        let mlp = GatedMlp::new(gate.clone(), gate.clone(), gate, Activation::Relu);
+        let q = QuantizedGatedMlp::quantize(&mlp);
+        assert_eq!(q.hidden_dim(), 8);
+        assert_eq!(q.mlp_dim(), 12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the sparse execution crate.
+
+use proptest::prelude::*;
+use sparseinfer_model::{Activation, GatedMlp};
+use sparseinfer_predictor::SkipMask;
+use sparseinfer_sparse::gemv::{sparse_down_proj, sparse_gemv};
+use sparseinfer_sparse::mlp::{sparse_mlp_forward, MlpOptions};
+use sparseinfer_sparse::OpCounter;
+use sparseinfer_tensor::gemv::{gemv, gemv_transposed};
+use sparseinfer_tensor::{Matrix, Prng, Vector};
+
+fn random_mlp(seed: u64, k: usize, d: usize) -> GatedMlp {
+    let mut rng = Prng::seed(seed);
+    let mut m = |mean: f64| Matrix::from_fn(k, d, |_, _| rng.normal(mean, 0.5) as f32);
+    GatedMlp::new(m(-0.05), m(0.0), m(0.0), Activation::Relu)
+}
+
+proptest! {
+    /// Sparse GEMV equals dense GEMV with skipped outputs forced to zero.
+    #[test]
+    fn sparse_gemv_equals_masked_dense(
+        seed in 0u64..400, k in 1usize..24, d in 1usize..48,
+        mask_seed in 0u64..100,
+    ) {
+        let mut rng = Prng::seed(seed);
+        let w = Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
+        let x = Vector::from_fn(d, |_| rng.normal(0.0, 1.0) as f32);
+        let mut mrng = Prng::seed(mask_seed);
+        let mask = SkipMask::from_fn(k, |_| mrng.flip(0.5));
+
+        let mut ops = OpCounter::default();
+        let sparse = sparse_gemv(&w, &x, &mask, &mut ops);
+        let dense = gemv(&w, &x);
+        for r in 0..k {
+            if mask.is_skipped(r) {
+                prop_assert_eq!(sparse[r], 0.0);
+            } else {
+                prop_assert!((sparse[r] - dense[r]).abs() < 1e-4);
+            }
+        }
+        // Work accounting matches the mask exactly.
+        prop_assert_eq!(ops.rows_skipped as usize, mask.skip_count());
+        prop_assert_eq!(ops.macs, ((k - mask.skip_count()) * d) as u64);
+    }
+
+    /// Down projection under a mask equals the transposed GEMV on an h3
+    /// whose masked entries are zeroed.
+    #[test]
+    fn down_proj_equals_zeroed_transposed_gemv(
+        seed in 0u64..400, k in 1usize..24, d in 1usize..32,
+        mask_seed in 0u64..100,
+    ) {
+        let mut rng = Prng::seed(seed);
+        let w = Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
+        let h3 = Vector::from_fn(k, |_| rng.normal(0.0, 1.0) as f32);
+        let mut mrng = Prng::seed(mask_seed);
+        let mask = SkipMask::from_fn(k, |_| mrng.flip(0.4));
+
+        let mut ops = OpCounter::default();
+        let masked = sparse_down_proj(&w, &h3, &mask, &mut ops);
+
+        let mut zeroed = h3.clone();
+        for r in mask.skipped_rows() {
+            zeroed[r] = 0.0;
+        }
+        let reference = gemv_transposed(&w, &zeroed);
+        for (a, b) in masked.iter().zip(reference.iter()) {
+            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+        }
+    }
+
+    /// Skipping rows whose gate output is truly zero is lossless: for any
+    /// mask that only contains true zeros, the sparse MLP equals dense.
+    #[test]
+    fn true_zero_masks_are_lossless(seed in 0u64..300, k in 8usize..48, d in 4usize..24) {
+        let mlp = random_mlp(seed, k, d);
+        let mut rng = Prng::seed(seed ^ 0xF00D);
+        let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
+
+        let z = mlp.gate_preactivations(&x);
+        let mask = SkipMask::from_fn(k, |r| z[r] <= 0.0);
+        let mut ops = OpCounter::default();
+        let sparse = sparse_mlp_forward(&mlp, &x, &mask, MlpOptions::default(), &mut ops);
+        let dense = mlp.forward(&x);
+        for (a, b) in sparse.output.iter().zip(dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// Kernel fusion and actual sparsity never change the numeric output,
+    /// for any predicted mask.
+    #[test]
+    fn execution_options_are_numerically_neutral(
+        seed in 0u64..300, mask_seed in 0u64..100,
+    ) {
+        let k = 32;
+        let d = 16;
+        let mlp = random_mlp(seed, k, d);
+        let mut rng = Prng::seed(seed ^ 0xBEEF);
+        let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
+        let mut mrng = Prng::seed(mask_seed);
+        let mask = SkipMask::from_fn(k, |_| mrng.flip(0.3));
+
+        let mut outputs = Vec::new();
+        for (kf, asp) in [(false, false), (true, false), (false, true), (true, true)] {
+            let mut ops = OpCounter::default();
+            let out = sparse_mlp_forward(
+                &mlp,
+                &x,
+                &mask,
+                MlpOptions { kernel_fusion: kf, actual_sparsity: asp },
+                &mut ops,
+            );
+            outputs.push(out.output);
+        }
+        for w in outputs.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    /// Effective sparsity is always >= predicted sparsity, and both lie in
+    /// [0, 1].
+    #[test]
+    fn sparsity_bounds_hold(seed in 0u64..300, mask_seed in 0u64..100, p in 0.0f64..1.0) {
+        let k = 40;
+        let d = 16;
+        let mlp = random_mlp(seed, k, d);
+        let mut rng = Prng::seed(seed ^ 0xCAFE);
+        let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
+        let mut mrng = Prng::seed(mask_seed);
+        let mask = SkipMask::from_fn(k, |_| mrng.flip(p));
+
+        let mut ops = OpCounter::default();
+        let out = sparse_mlp_forward(&mlp, &x, &mask, MlpOptions::default(), &mut ops);
+        prop_assert!(out.effective_sparsity >= out.predicted_sparsity - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&out.predicted_sparsity));
+        prop_assert!((0.0..=1.0).contains(&out.effective_sparsity));
+    }
+
+    /// Op counters merge additively.
+    #[test]
+    fn op_counter_merge_is_additive(
+        a_macs in 0u64..1_000_000, b_macs in 0u64..1_000_000,
+        a_bytes in 0u64..1_000_000, b_bytes in 0u64..1_000_000,
+    ) {
+        let mut a = OpCounter { macs: a_macs, weight_bytes_loaded: a_bytes, ..Default::default() };
+        let b = OpCounter { macs: b_macs, weight_bytes_loaded: b_bytes, ..Default::default() };
+        a.merge(&b);
+        prop_assert_eq!(a.macs, a_macs + b_macs);
+        prop_assert_eq!(a.weight_bytes_loaded, a_bytes + b_bytes);
+    }
+}

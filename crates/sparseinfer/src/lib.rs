@@ -1,0 +1,44 @@
+//! # SparseInfer — training-free activation sparsity for fast LLM inference
+//!
+//! A from-scratch Rust reproduction of *SparseInfer: Training-free Prediction
+//! of Activation Sparsity for Fast LLM Inference* (Shin, Yang, Yi — DATE
+//! 2025). This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `sparseinfer-tensor` | vectors/matrices, GEMV, **sign-bit packing**, f16/int8, RNG, stats |
+//! | [`model`] | `sparseinfer-model` | ReLU-fied Llama-style decoder + sparsity-calibrated synthetic weights |
+//! | [`predictor`] | `sparseinfer-predictor` | the **sign-bit predictor**, alpha schedules, DejaVu baseline, oracle/random, metrics |
+//! | [`sparse`] | `sparseinfer-sparse` | skip masks in action: sparse GEMVs, the sparse gated MLP, inference engines, op accounting |
+//! | [`gpu_sim`] | `sparseinfer-gpu-sim` | Jetson Orin AGX roofline cost model: kernels, CKE, per-token latency |
+//! | [`eval`] | `sparseinfer-eval` | synthetic GSM8K/BBH-analog suites, dense-gold accuracy, logit divergence |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
+//! use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
+//! use sparseinfer::sparse::engine::{EngineOptions, SparseEngine};
+//!
+//! // A ReLU-fied model with ~92% activation sparsity.
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+//!
+//! // The training-free predictor: packed sign bits + XOR/popcount.
+//! let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.02, 1));
+//!
+//! // Decode with sparsity exploitation (kernel fusion + actual sparsity).
+//! let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+//! let tokens = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+//! assert_eq!(tokens.len(), 8);
+//! println!("skipped {} rows", engine.ops().rows_skipped);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sparseinfer_eval as eval;
+pub use sparseinfer_gpu_sim as gpu_sim;
+pub use sparseinfer_model as model;
+pub use sparseinfer_predictor as predictor;
+pub use sparseinfer_sparse as sparse;
+pub use sparseinfer_tensor as tensor;

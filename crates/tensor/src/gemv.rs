@@ -1,0 +1,151 @@
+//! Dense matrix–vector kernels.
+//!
+//! During LLM decoding every linear layer degenerates to a GEMV (`y = W·x`
+//! with a single-token `x`), which is memory-bandwidth bound: each weight is
+//! loaded exactly once per token. These reference kernels are the dense
+//! baseline that the `sparse` crate's row-skipping kernels are verified
+//! against, and that plays the role of llama.cpp in the benchmarks.
+
+use crate::{Matrix, ShapeError, Vector};
+
+/// Computes `y = W · x` where `W` is `rows × cols` and `x` has `cols`
+/// elements.
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.cols()`. Model plumbing guarantees shapes; a
+/// mismatch is a bug, not a recoverable condition. Use [`try_gemv`] for the
+/// checked variant.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_tensor::{Matrix, Vector, gemv::gemv};
+///
+/// let w = Matrix::from_fn(2, 2, |r, c| if r == c { 2.0 } else { 0.0 });
+/// let y = gemv(&w, &Vector::from_vec(vec![1.0, 3.0]));
+/// assert_eq!(y.as_slice(), &[2.0, 6.0]);
+/// ```
+pub fn gemv(w: &Matrix, x: &Vector) -> Vector {
+    try_gemv(w, x).expect("gemv shape mismatch")
+}
+
+/// Checked variant of [`gemv`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError::DimensionMismatch`] if `x.len() != w.cols()`.
+pub fn try_gemv(w: &Matrix, x: &Vector) -> Result<Vector, ShapeError> {
+    if x.len() != w.cols() {
+        return Err(ShapeError::DimensionMismatch { expected: w.cols(), actual: x.len() });
+    }
+    let xs = x.as_slice();
+    let mut out = Vec::with_capacity(w.rows());
+    for row in w.iter_rows() {
+        let mut acc = 0.0f32;
+        for (wi, xi) in row.iter().zip(xs) {
+            acc += wi * xi;
+        }
+        out.push(acc);
+    }
+    Ok(Vector::from_vec(out))
+}
+
+/// Computes `y = Wᵀ · x` without materializing the transpose, i.e.
+/// `y[c] = Σ_r W[r][c] · x[r]`.
+///
+/// This is the access pattern of the down projection *before* the paper's
+/// load-time transposition: output elements accumulate across rows, which on
+/// a GPU forces `atomicAdd` across warps (§IV-B4). The `sparse` crate prefers
+/// [`gemv`] on a pre-transposed matrix; this kernel exists as the baseline
+/// and for verification.
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.rows()`.
+pub fn gemv_transposed(w: &Matrix, x: &Vector) -> Vector {
+    assert_eq!(x.len(), w.rows(), "gemv_transposed shape mismatch");
+    let mut out = vec![0.0f32; w.cols()];
+    for (r, row) in w.iter_rows().enumerate() {
+        let xr = x[r];
+        if xr == 0.0 {
+            continue;
+        }
+        for (c, wi) in row.iter().enumerate() {
+            out[c] += wi * xr;
+        }
+    }
+    Vector::from_vec(out)
+}
+
+/// Computes the dense matrix–matrix product `A · B` (`m×k` times `k×n`).
+///
+/// Only used by the DejaVu-style predictor baseline (low-rank projections)
+/// and by tests; decode-path math is all GEMV.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        for (l, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(l);
+            let orow = out.row_mut(i);
+            for (j, &bv) in brow.iter().enumerate() {
+                orow[j] += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemv_identity() {
+        let w = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = Vector::from_vec(vec![1.0, -2.0, 3.0]);
+        assert_eq!(gemv(&w, &x), x);
+    }
+
+    #[test]
+    fn try_gemv_rejects_mismatch() {
+        let w = Matrix::zeros(2, 3);
+        let x = Vector::zeros(2);
+        assert!(try_gemv(&w, &x).is_err());
+    }
+
+    #[test]
+    fn transposed_gemv_matches_explicit_transpose() {
+        let w = Matrix::from_fn(3, 4, |r, c| (r as f32) - (c as f32) * 0.5);
+        let x = Vector::from_vec(vec![1.0, 2.0, -1.0]);
+        let via_kernel = gemv_transposed(&w, &x);
+        let via_transpose = gemv(&w.transposed(), &x);
+        for (a, b) in via_kernel.iter().zip(via_transpose.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_manual_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemv_zero_rows_gives_empty_output() {
+        let w = Matrix::zeros(0, 4);
+        let x = Vector::zeros(4);
+        assert!(gemv(&w, &x).is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-row symmetric INT8 quantization.
+//!
+//! A second quantization scheme (besides [`crate::f16`]) used to demonstrate
+//! the paper's claim that the sign-bit predictor is robust to the storage
+//! format: symmetric INT8 maps `w` to `round(w / scale)` with a per-row
+//! `scale = max|w| / 127`, which preserves the sign of every element (up to
+//! values that quantize to zero, which contribute nothing to the inner
+//! product anyway).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Matrix, sign::PackedSignMatrix};
+
+/// A matrix quantized to INT8 with one `f32` scale per row.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_tensor::{Matrix, QuantizedMatrix};
+///
+/// let m = Matrix::from_fn(2, 4, |r, c| (r as f32 + 1.0) * (c as f32 - 1.5));
+/// let q = QuantizedMatrix::quantize(&m);
+/// let back = q.dequantize();
+/// for r in 0..2 {
+///     for c in 0..4 {
+///         assert!((back[(r, c)] - m[(r, c)]).abs() < 0.05);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` row by row with symmetric scaling.
+    pub fn quantize(m: &Matrix) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut values = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for row in m.iter_rows() {
+            let maxabs = row.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+            let scale = if maxabs == 0.0 { 1.0 } else { maxabs / 127.0 };
+            scales.push(scale);
+            for v in row {
+                let q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+                values.push(q);
+            }
+        }
+        Self { rows, cols, values, scales }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantized row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.values[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Per-row scale factors.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the full-precision approximation.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f32::from(self.values[r * self.cols + c]) * self.scales[r]
+        })
+    }
+
+    /// Packs the sign bits of the *quantized* representation.
+    ///
+    /// This is the INT8 path of the paper's portability claim: the predictor
+    /// consumes MSBs of whatever format the weights are stored in. Elements
+    /// that quantized to exactly 0 pack as "positive"; they are products that
+    /// contribute nothing, and the Gaussian-symmetry argument is unaffected.
+    pub fn packed_signs(&self) -> PackedSignMatrix {
+        let as_f32 = Matrix::from_fn(self.rows, self.cols, |r, c| {
+            f32::from(self.values[r * self.cols + c])
+        });
+        PackedSignMatrix::pack(&as_f32)
+    }
+
+    /// Storage footprint in bytes: one `i8` per element plus one `f32` scale
+    /// per row.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Inner product of quantized row `r` with an f32 vector, dequantizing on
+    /// the fly (the way a W8A32 GEMV kernel consumes the weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn row_dot(&self, r: usize, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.cols, "row_dot length mismatch");
+        let scale = self.scales[r];
+        self.row(r)
+            .iter()
+            .zip(x)
+            .map(|(q, xi)| f32::from(*q) * xi)
+            .sum::<f32>()
+            * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_fn(6, 32, |r, c| ((r * 31 + c * 17) % 23) as f32 / 11.0 - 1.0)
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let m = sample_matrix();
+        let q = QuantizedMatrix::quantize(&m);
+        let back = q.dequantize();
+        for r in 0..m.rows() {
+            let tol = q.scales()[r] * 0.5 + 1e-6;
+            for c in 0..m.cols() {
+                assert!(
+                    (back[(r, c)] - m[(r, c)]).abs() <= tol,
+                    "({r},{c}): {} vs {}",
+                    back[(r, c)],
+                    m[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signs_preserved_for_non_underflowing_values() {
+        let m = sample_matrix();
+        let q = QuantizedMatrix::quantize(&m);
+        for r in 0..m.rows() {
+            for (c, qv) in q.row(r).iter().enumerate() {
+                if *qv != 0 {
+                    assert_eq!(
+                        (*qv < 0),
+                        m[(r, c)] < 0.0,
+                        "sign flipped at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_without_dividing_by_zero() {
+        let m = Matrix::zeros(2, 8);
+        let q = QuantizedMatrix::quantize(&m);
+        assert!(q.row(0).iter().all(|v| *v == 0));
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn row_dot_tracks_full_precision_dot() {
+        let m = sample_matrix();
+        let q = QuantizedMatrix::quantize(&m);
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        for r in 0..m.rows() {
+            let exact: f32 = m.row(r).iter().zip(&x).map(|(w, xi)| w * xi).sum();
+            let approx = q.row_dot(r, &x);
+            assert!((exact - approx).abs() < 0.25, "row {r}: {exact} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_elements_plus_scales() {
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(4, 16));
+        assert_eq!(q.size_bytes(), 4 * 16 + 4 * 4);
+    }
+
+    #[test]
+    fn packed_signs_match_source_signs_where_nonzero() {
+        let m = sample_matrix();
+        let q = QuantizedMatrix::quantize(&m);
+        let signs = q.packed_signs();
+        for r in 0..m.rows() {
+            for (c, qv) in q.row(r).iter().enumerate() {
+                if *qv != 0 {
+                    let bit = (signs.row(r)[c / 32] >> (c % 32)) & 1 == 1;
+                    assert_eq!(bit, m[(r, c)] < 0.0);
+                }
+            }
+        }
+    }
+}

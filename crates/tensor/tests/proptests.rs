@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use sparseinfer_tensor::gemv::{gemv, gemv_transposed};
+use sparseinfer_tensor::sign::{count_negative_products, PackedSignMatrix, SignPack};
+use sparseinfer_tensor::{F16, Matrix, QuantizedMatrix, Vector};
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Values in a range representable in f16 without overflow, excluding 0 so
+    // sign comparisons are unambiguous.
+    prop_oneof![(-1000.0f32..-1e-3), (1e-3f32..1000.0)]
+}
+
+proptest! {
+    #[test]
+    fn sign_pack_roundtrips_bits(values in prop::collection::vec(finite_f32(), 1..200)) {
+        let pack = SignPack::pack(&values);
+        prop_assert_eq!(pack.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(pack.bit(i), v.is_sign_negative());
+        }
+    }
+
+    #[test]
+    fn xor_popcount_equals_scalar_count(
+        pair in prop::collection::vec((finite_f32(), finite_f32()), 1..300)
+    ) {
+        let a: Vec<f32> = pair.iter().map(|(x, _)| *x).collect();
+        let b: Vec<f32> = pair.iter().map(|(_, y)| *y).collect();
+        let pa = SignPack::pack(&a);
+        let pb = SignPack::pack(&b);
+        prop_assert_eq!(pa.xor_popcount(&pb), count_negative_products(&a, &b));
+    }
+
+    #[test]
+    fn f16_roundtrip_preserves_sign_and_bounds_error(v in finite_f32()) {
+        let h = F16::from_f32(v);
+        let back = h.to_f32();
+        prop_assert_eq!(h.is_sign_negative(), v.is_sign_negative());
+        // f16 has 11 significand bits: relative error bounded by 2^-11.
+        let rel = ((back - v) / v).abs();
+        prop_assert!(rel <= 1.0 / 2048.0, "v={v} back={back} rel={rel}");
+    }
+
+    #[test]
+    fn int8_quantization_preserves_nonunderflow_signs(
+        rows in 1usize..6, cols in 1usize..40,
+        seed in 0u64..1000
+    ) {
+        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
+        let q = QuantizedMatrix::quantize(&m);
+        for r in 0..rows {
+            for (c, qv) in q.row(r).iter().enumerate() {
+                if *qv != 0 {
+                    prop_assert_eq!(*qv < 0, m[(r, c)] < 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_is_linear_in_x(
+        seed in 0u64..500, rows in 1usize..8, cols in 1usize..32, scale in -4.0f32..4.0
+    ) {
+        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+        let w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
+        let x = Vector::from_fn(cols, |_| rng.normal(0.0, 1.0) as f32);
+        let mut sx = x.clone();
+        sx.scale(scale);
+        let y1 = gemv(&w, &sx);
+        let mut y2 = gemv(&w, &x);
+        y2.scale(scale);
+        for (a, b) in y1.iter().zip(y2.iter()) {
+            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transposed_gemv_agrees_with_materialized_transpose(
+        seed in 0u64..500, rows in 1usize..8, cols in 1usize..16
+    ) {
+        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+        let w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
+        let x = Vector::from_fn(rows, |_| rng.normal(0.0, 1.0) as f32);
+        let a = gemv_transposed(&w, &x);
+        let b = gemv(&w.transposed(), &x);
+        for (u, v) in a.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn packed_matrix_equals_per_row_packs(
+        seed in 0u64..500, rows in 1usize..6, cols in 1usize..80
+    ) {
+        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
+        let pm = PackedSignMatrix::pack(&m);
+        for r in 0..rows {
+            let expected = SignPack::pack(m.row(r));
+            prop_assert_eq!(pm.row(r), expected.words());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a ReLU-fied model, attach the training-free sign-bit
+//! predictor, and decode with sparsity exploitation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sparseinfer::model::{generator::WeightGenerator, ByteTokenizer, ModelConfig};
+use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
+use sparseinfer::sparse::engine::{DenseEngine, EngineOptions, SparseEngine};
+
+fn main() {
+    // 1. A ReLU-fied gated-MLP decoder with ~92% activation sparsity,
+    //    statistically calibrated to the distributions the paper observes.
+    let mut config = ModelConfig::sim_7b();
+    config.vocab_size = 512;
+    let model = WeightGenerator::new(&config, 7).build();
+    println!("model: {} ({} layers, d={}, k={})", config.name, config.n_layers, config.hidden_dim, config.mlp_dim);
+
+    // 2. Tokenize a prompt.
+    let tokenizer = ByteTokenizer::new();
+    let prompt = tokenizer.encode("Q: Ada has 3 apples, buys 4. How many? A:");
+
+    // 3. Dense baseline (the llama.cpp role).
+    let mut dense = DenseEngine::new(&model);
+    let dense_out = dense.generate_greedy(&prompt, 16, sparseinfer::model::tokenizer::EOS);
+    println!("\ndense continuation:  {:?}", tokenizer.decode(&dense_out));
+    println!("dense MLP+attn MACs: {}", dense.ops().macs);
+
+    // 4. SparseInfer: pack the gate sign bits once, then predict per token
+    //    with XOR + popcount. alpha = 1.02 on the early layers compensates
+    //    their lower prediction precision.
+    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.1, 16));
+    println!("\npredictor memory: {} KiB of packed sign bits", predictor.memory_bytes() / 1024);
+
+    let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+    let sparse_out = engine.generate_greedy(&prompt, 16, sparseinfer::model::tokenizer::EOS);
+    println!("sparse continuation: {:?}", tokenizer.decode(&sparse_out));
+
+    // 5. What sparsity bought us.
+    let ops = engine.ops();
+    println!("\nsparse MACs:     {} ({:.1}% of dense)", ops.macs, 100.0 * ops.macs as f64 / dense.ops().macs as f64);
+    println!("rows skipped:    {} of {}", ops.rows_skipped, ops.rows_skipped + ops.rows_computed);
+    println!("predictor cost:  {} xor+popc operations", ops.xor_popc);
+    let eff = engine.stats().mean_effective();
+    println!(
+        "mean effective sparsity: {:.3}",
+        eff.iter().sum::<f64>() / eff.len() as f64
+    );
+}

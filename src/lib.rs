@@ -1,0 +1,3 @@
+//! Root facade for the workspace (see the `sparseinfer` crate).
+#![forbid(unsafe_code)]
+pub use sparseinfer::*;

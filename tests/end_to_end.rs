@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full SparseInfer pipeline from weight
+//! generation through prediction, sparse execution and evaluation.
+
+use sparseinfer::eval::harness::{
+    evaluate_against_gold, gold_continuations, teacher_forced_matches,
+};
+use sparseinfer::eval::TaskSuite;
+use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
+use sparseinfer::predictor::{
+    AlphaSchedule, OraclePredictor, RandomPredictor, SignBitPredictor,
+};
+use sparseinfer::sparse::engine::{DenseEngine, EngineOptions, SparseEngine};
+use sparseinfer::tensor::Prng;
+
+const EOS: u32 = sparseinfer::model::tokenizer::EOS;
+
+fn test_model() -> Model {
+    let mut cfg = ModelConfig::tiny();
+    cfg.hidden_dim = 96;
+    cfg.mlp_dim = 256;
+    cfg.n_heads = 3;
+    cfg.n_layers = 4;
+    cfg.vocab_size = 300;
+    WeightGenerator::new(&cfg, 1234).build()
+}
+
+#[test]
+fn oracle_masked_engine_is_bit_identical_to_dense() {
+    let model = test_model();
+    let mut dense = DenseEngine::new(&model);
+    let oracle = OraclePredictor::from_model(&model);
+    let mut sparse = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
+
+    let prompt = [1u32, 5, 9];
+    assert_eq!(
+        sparse.generate_greedy(&prompt, 12, EOS),
+        dense.generate_greedy(&prompt, 12, EOS)
+    );
+    // And it skipped most of the rows while doing so.
+    assert!(sparse.ops().skip_fraction() > 0.5);
+}
+
+#[test]
+fn signbit_engine_tracks_dense_under_teacher_forcing() {
+    let model = test_model();
+    let suite = TaskSuite::gsm8k_syn(2, 5);
+    let gold = gold_continuations(&model, &suite, 8);
+
+    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
+    let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
+        let mut session = model.start_session();
+        let m = teacher_forced_matches(&task.tokens, gold_tokens, |t| {
+            engine.forward_token(t, &mut session)
+        });
+        matches += m.iter().filter(|x| **x).count();
+        total += m.len();
+    }
+    let rate = matches as f64 / total as f64;
+    assert!(rate > 0.5, "teacher-forced match rate {rate}");
+}
+
+#[test]
+fn alpha_increases_match_rate_and_decreases_sparsity() {
+    let model = test_model();
+    let suite = TaskSuite::gsm8k_syn(2, 6);
+    let gold = gold_continuations(&model, &suite, 8);
+
+    let mut sparsities = Vec::new();
+    let mut rates = Vec::new();
+    for alpha in [1.0, 1.5, 2.5] {
+        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(alpha));
+        let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
+            let mut session = model.start_session();
+            let m = teacher_forced_matches(&task.tokens, gold_tokens, |t| {
+                engine.forward_token(t, &mut session)
+            });
+            matches += m.iter().filter(|x| **x).count();
+            total += m.len();
+        }
+        rates.push(matches as f64 / total as f64);
+        let p = engine.stats().mean_predicted();
+        sparsities.push(p.iter().sum::<f64>() / p.len() as f64);
+    }
+    // Higher alpha -> strictly less predicted sparsity.
+    assert!(sparsities[0] > sparsities[1] && sparsities[1] > sparsities[2], "{sparsities:?}");
+    // And at least as much agreement with dense at the conservative end.
+    assert!(rates[2] >= rates[0], "{rates:?}");
+}
+
+#[test]
+fn free_running_random_skip_destroys_output_but_oracle_does_not() {
+    let model = test_model();
+    let suite = TaskSuite::bbh_syn(2, 7);
+    let gold = gold_continuations(&model, &suite, 8);
+
+    let random = RandomPredictor::new(0.9, model.config().mlp_dim, model.config().n_layers, 9);
+    let mut random_engine = SparseEngine::new(&model, random, EngineOptions::sparseinfer());
+    let random_report = evaluate_against_gold(&suite, &gold, |p| {
+        random_engine.generate_greedy(p, 8, EOS)
+    });
+
+    let oracle = OraclePredictor::from_model(&model);
+    let mut oracle_engine = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
+    let oracle_report = evaluate_against_gold(&suite, &gold, |p| {
+        oracle_engine.generate_greedy(p, 8, EOS)
+    });
+
+    assert_eq!(oracle_report.exact_rate(), 1.0);
+    assert!(random_report.mean_overlap() < oracle_report.mean_overlap());
+}
+
+#[test]
+fn actual_sparsity_and_fusion_do_not_change_decode_output() {
+    let model = test_model();
+    let prompt = [2u32, 4, 8];
+    let mut outputs = Vec::new();
+    for options in [
+        EngineOptions::base(),
+        EngineOptions::with_kernel_fusion(),
+        EngineOptions::with_actual_sparsity(),
+        EngineOptions::sparseinfer(),
+    ] {
+        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
+        let mut engine = SparseEngine::new(&model, predictor, options);
+        outputs.push(engine.generate_greedy(&prompt, 10, EOS));
+    }
+    // +KF and +AS are execution optimizations, not semantic changes: all
+    // four variants must decode the same tokens.
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+}
+
+#[test]
+fn actual_sparsity_strictly_reduces_work() {
+    let model = test_model();
+    let prompt = [3u32, 6, 9];
+    let run = |options| {
+        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.3));
+        let mut engine = SparseEngine::new(&model, predictor, options);
+        let _ = engine.generate_greedy(&prompt, 8, EOS);
+        engine.ops().macs
+    };
+    let without = run(EngineOptions::base());
+    let with = run(EngineOptions::with_actual_sparsity());
+    assert!(with < without, "with AS {with} vs without {without}");
+}
+
+#[test]
+fn engine_op_accounting_matches_analytic_dense_count() {
+    let model = test_model();
+    let cfg = model.config();
+    let mut dense = DenseEngine::new(&model);
+    let mut session = model.start_session();
+    let _ = dense.forward_token(1, &mut session);
+
+    // One token, context length 1: per layer 3dk (MLP) + 4d^2 + 2*1*d (attn).
+    let d = cfg.hidden_dim as u64;
+    let k = cfg.mlp_dim as u64;
+    let expected = cfg.n_layers as u64 * (3 * d * k + 4 * d * d + 2 * d);
+    assert_eq!(dense.ops().macs, expected);
+}
+
+#[test]
+fn predictor_memory_is_a_tiny_fraction_of_model_memory() {
+    let model = test_model();
+    let cfg = model.config();
+    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::default());
+    // Packed signs are 1/32 of an f32 weight per element, gate matrix only.
+    let gate_f32_bytes = cfg.n_layers * cfg.mlp_dim * cfg.hidden_dim * 4;
+    assert_eq!(predictor.memory_bytes() * 32, gate_f32_bytes);
+}
+
+#[test]
+fn generation_is_reproducible_across_engine_instances() {
+    let model = test_model();
+    let mut rng = Prng::seed(0);
+    let prompt: Vec<u32> = (0..4).map(|_| rng.below(250) as u32).collect();
+    let make = || {
+        let p = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.02));
+        let mut e = SparseEngine::new(&model, p, EngineOptions::sparseinfer());
+        e.generate_greedy(&prompt, 10, EOS)
+    };
+    assert_eq!(make(), make());
+}

@@ -1,0 +1,98 @@
+//! Smoke tests pinning every paper anchor the analytic machinery must hit.
+//! These are the "does the reproduction still reproduce?" tests.
+
+use sparseinfer::gpu_sim::kernel::kernels;
+use sparseinfer::gpu_sim::latency::{
+    dense_token_latency, powerinfer_token_latency, sparseinfer_token_latency, MlpStepSparsity,
+    SparseVariant, DEFAULT_CTX,
+};
+use sparseinfer::gpu_sim::GpuSpec;
+use sparseinfer::model::ModelConfig;
+use sparseinfer::predictor::memory::{dejavu_bytes, signbit_bytes, to_mib};
+use sparseinfer::sparse::ops::table1;
+
+#[test]
+fn table1_reproduces_exactly() {
+    let cfg = ModelConfig::prosparse_13b_paper();
+    let rows = table1(&cfg, 0.92, 1024);
+    assert_eq!(rows[0].prediction_ops, 0);
+    assert_eq!(rows[0].mlp_ops, 212_336_640); // 2.123e8
+    assert_eq!(rows[1].prediction_ops, 19_398_656); // 1.940e7
+    assert_eq!(rows[2].prediction_ops, 2_211_840); // 2.211e6
+    assert_eq!(rows[1].mlp_ops, rows[2].mlp_ops);
+}
+
+#[test]
+fn memory_section_reproduces_exactly() {
+    let cfg = ModelConfig::prosparse_13b_paper();
+    assert!((to_mib(signbit_bytes(&cfg)) - 337.5).abs() < 1e-9);
+    assert!((to_mib(dejavu_bytes(&cfg, 1024)) - 1480.0).abs() < 1.0);
+}
+
+#[test]
+fn predictor_latency_anchors_hold() {
+    let spec = GpuSpec::jetson_orin_agx_64gb();
+    let cfg = ModelConfig::prosparse_13b_paper();
+    let si = kernels::signbit_predictor(&cfg).latency_us(&spec);
+    let dv = kernels::dejavu_predictor(&cfg, 1024).latency_us(&spec);
+    assert!((45.0..95.0).contains(&si), "predictor {si:.1} us (paper ~70)");
+    assert!((2.5..5.0).contains(&(dv / si)), "ratio {:.2} (paper 3.66)", dv / si);
+}
+
+#[test]
+fn fig4_headline_ordering_holds() {
+    let spec = GpuSpec::jetson_orin_agx_64gb();
+    for cfg in [ModelConfig::prosparse_13b_paper(), ModelConfig::prosparse_7b_paper()] {
+        let n = cfg.n_layers;
+        let dense = dense_token_latency(&spec, &cfg).total_us();
+        let si = sparseinfer_token_latency(
+            &spec,
+            &cfg,
+            &vec![MlpStepSparsity::with_actual(0.90, 0.93); n],
+            SparseVariant::fused(),
+            DEFAULT_CTX,
+        )
+        .total_us();
+        let pi = powerinfer_token_latency(
+            &spec,
+            &cfg,
+            &vec![MlpStepSparsity::uniform(0.74); n],
+            1024,
+            DEFAULT_CTX,
+        )
+        .total_us();
+        // Paper: SparseInfer 1.79×/1.74× over dense, 1.27×/1.30× over PowerInfer.
+        let speedup = dense / si;
+        assert!((1.4..2.6).contains(&speedup), "{}: speedup {speedup:.2}", cfg.name);
+        assert!(si < pi, "{}: SparseInfer must beat PowerInfer", cfg.name);
+        assert!(pi < dense, "{}: PowerInfer must beat dense", cfg.name);
+    }
+}
+
+#[test]
+fn decode_profile_is_mlp_dominated() {
+    // Paper §III: attention 38% / MLP 62% during dense decode.
+    let spec = GpuSpec::jetson_orin_agx_64gb();
+    let t = dense_token_latency(&spec, &ModelConfig::prosparse_13b_paper());
+    assert!((0.5..0.75).contains(&t.mlp_share()), "MLP share {:.2}", t.mlp_share());
+}
+
+#[test]
+fn speedup_decreases_with_alpha_conservativeness() {
+    // Fig. 4: larger alpha -> lower sparsity -> smaller speedup.
+    let spec = GpuSpec::jetson_orin_agx_64gb();
+    let cfg = ModelConfig::prosparse_13b_paper();
+    let mut last = 0.0f64;
+    for sparsity in [0.92, 0.90, 0.88, 0.86] {
+        let t = sparseinfer_token_latency(
+            &spec,
+            &cfg,
+            &vec![MlpStepSparsity::uniform(sparsity); 40],
+            SparseVariant::fused(),
+            DEFAULT_CTX,
+        )
+        .total_us();
+        assert!(t > last, "latency must grow as sparsity falls ({t} vs {last})");
+        last = t;
+    }
+}

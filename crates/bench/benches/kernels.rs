@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks of the Rust kernels: sign packing, the
-//! XOR/popcount predictor, and dense vs sparse GEMV. These measure the CPU
-//! implementation (the GPU latencies come from the cost model); the *ratios*
-//! mirror Table I's operation-count story.
+//! Microbenchmarks of the Rust kernels: sign packing, the XOR/popcount
+//! predictor, and dense vs sparse GEMV. Self-timed with `std::time`
+//! (criterion is unavailable offline); the *ratios* mirror Table I's
+//! operation-count story.
+//!
+//! ```text
+//! cargo bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparseinfer::model::ModelConfig;
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
 use sparseinfer::sparse::gemv::sparse_gemv;
@@ -11,64 +14,47 @@ use sparseinfer::sparse::OpCounter;
 use sparseinfer::tensor::gemv::gemv;
 use sparseinfer::tensor::sign::{PackedSignMatrix, SignPack};
 use sparseinfer::tensor::{Matrix, Prng, Vector};
+use sparseinfer_bench::time_us;
 
 fn layer_shapes() -> (Matrix, Vector) {
     // One sim-13B-sized gate layer.
     let cfg = ModelConfig::sim_13b();
     let mut rng = Prng::seed(1);
-    let w = Matrix::from_fn(cfg.mlp_dim, cfg.hidden_dim, |_, _| rng.normal(0.0, 0.1) as f32);
+    let w = Matrix::from_fn(cfg.mlp_dim, cfg.hidden_dim, |_, _| {
+        rng.normal(0.0, 0.1) as f32
+    });
     let x = Vector::from_fn(cfg.hidden_dim, |_| rng.normal(0.4, 1.0) as f32);
     (w, x)
 }
 
-fn bench_sign_packing(c: &mut Criterion) {
+fn main() {
     let (w, x) = layer_shapes();
-    c.bench_function("pack_gate_signs_once_per_model_load", |b| {
-        b.iter(|| std::hint::black_box(PackedSignMatrix::pack(&w)))
+    println!("== sign packing ==");
+    time_us("pack_gate_signs_once_per_model_load", 50, || {
+        PackedSignMatrix::pack(&w)
     });
-    c.bench_function("pack_x_signs_per_token", |b| {
-        b.iter(|| std::hint::black_box(SignPack::pack(x.as_slice())))
+    time_us("pack_x_signs_per_token", 2000, || {
+        SignPack::pack(x.as_slice())
     });
-}
 
-fn bench_predictor_vs_gemv(c: &mut Criterion) {
-    let (w, x) = layer_shapes();
-    let mut predictor = SignBitPredictor::from_gate_matrices(
-        std::slice::from_ref(&w),
-        AlphaSchedule::uniform(1.0),
+    println!("\n== prediction vs dense gate ==");
+    let mut predictor =
+        SignBitPredictor::from_gate_matrices(std::slice::from_ref(&w), AlphaSchedule::uniform(1.0));
+    let t_pred = time_us("signbit_predictor", 500, || predictor.predict(0, &x));
+    let t_gemv = time_us("dense_gate_gemv", 100, || gemv(&w, &x));
+    println!(
+        "predictor is {:.1}x cheaper than the dense gate",
+        t_gemv / t_pred
     );
-    let mut group = c.benchmark_group("prediction_vs_dense_gate");
-    group.bench_function("signbit_predictor", |b| {
-        b.iter(|| std::hint::black_box(predictor.predict(0, &x)))
-    });
-    group.bench_function("dense_gate_gemv", |b| {
-        b.iter(|| std::hint::black_box(gemv(&w, &x)))
-    });
-    group.finish();
-}
 
-fn bench_sparse_gemv_sweep(c: &mut Criterion) {
-    let (w, x) = layer_shapes();
-    let mut group = c.benchmark_group("sparse_gemv_by_sparsity");
+    println!("\n== sparse GEMV by sparsity ==");
     for sparsity_pct in [0u32, 50, 90, 92, 95] {
-        let mask = SkipMask::from_fn(w.rows(), |r| (r as u32 * 100 / w.rows() as u32) < sparsity_pct);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{sparsity_pct}pct")),
-            &mask,
-            |b, mask| {
-                b.iter(|| {
-                    let mut ops = OpCounter::default();
-                    std::hint::black_box(sparse_gemv(&w, &x, mask, &mut ops))
-                })
-            },
-        );
+        let mask = SkipMask::from_fn(w.rows(), |r| {
+            (r as u32 * 100 / w.rows() as u32) < sparsity_pct
+        });
+        time_us(&format!("sparse_gemv_{sparsity_pct}pct"), 200, || {
+            let mut ops = OpCounter::default();
+            sparse_gemv(&w, &x, &mask, &mut ops)
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sign_packing, bench_predictor_vs_gemv, bench_sparse_gemv_sweep
-}
-criterion_main!(benches);

@@ -1,65 +1,52 @@
-//! Criterion benchmarks of whole MLP-block execution: dense baseline versus
+//! Benchmarks of whole MLP-block execution: dense baseline versus
 //! SparseInfer's predicted-sparsity path at several alphas — the CPU-level
-//! analogue of the per-layer latency story in Fig. 4.
+//! analogue of the per-layer latency story in Fig. 4. Self-timed with
+//! `std::time` (criterion is unavailable offline).
+//!
+//! ```text
+//! cargo bench --bench mlp_block
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
 use sparseinfer::sparse::mlp::{dense_mlp_forward, sparse_mlp_forward, MlpOptions};
 use sparseinfer::sparse::OpCounter;
 use sparseinfer::tensor::{Prng, Vector};
+use sparseinfer_bench::time_us;
 
-fn bench_mlp_block(c: &mut Criterion) {
+fn main() {
     let cfg = ModelConfig::sim_13b();
     let model = WeightGenerator::new(&cfg, 3).build();
     let mlp = model.layers()[cfg.n_layers / 2].mlp();
     let mut rng = Prng::seed(4);
     let x = Vector::from_fn(cfg.hidden_dim, |_| rng.normal(0.6, 1.0) as f32);
 
-    let mut group = c.benchmark_group("mlp_block");
-    group.bench_function("dense (llama.cpp path)", |b| {
-        b.iter(|| {
-            let mut ops = OpCounter::default();
-            std::hint::black_box(dense_mlp_forward(mlp, &x, &mut ops))
-        })
+    println!("== mlp_block ==");
+    let t_dense = time_us("dense (llama.cpp path)", 100, || {
+        let mut ops = OpCounter::default();
+        dense_mlp_forward(mlp, &x, &mut ops)
     });
 
     for alpha in [1.00f64, 1.03] {
         let mut predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(alpha));
         let mask = predictor.predict(cfg.n_layers / 2, &x);
-        group.bench_with_input(
-            BenchmarkId::new("sparseinfer", format!("alpha_{alpha:.2}")),
-            &mask,
-            |b, mask| {
-                b.iter(|| {
-                    let mut ops = OpCounter::default();
-                    std::hint::black_box(sparse_mlp_forward(
-                        mlp,
-                        &x,
-                        mask,
-                        MlpOptions::default(),
-                        &mut ops,
-                    ))
-                })
-            },
-        );
+        let t = time_us(&format!("sparseinfer alpha_{alpha:.2}"), 200, || {
+            let mut ops = OpCounter::default();
+            sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops)
+        });
+        println!("  -> {:.1}x over dense", t_dense / t);
     }
 
-    // Prediction + sparse execution together (the end-to-end per-layer cost).
+    // Prediction + sparse execution together (the end-to-end per-layer
+    // cost).
     let mut predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
-    group.bench_function("predict_then_sparse_mlp", |b| {
-        b.iter(|| {
-            let mask = predictor.predict(cfg.n_layers / 2, &x);
-            let mut ops = OpCounter::default();
-            std::hint::black_box(sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops))
-        })
+    let t_e2e = time_us("predict_then_sparse_mlp", 200, || {
+        let mask = predictor.predict(cfg.n_layers / 2, &x);
+        let mut ops = OpCounter::default();
+        sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops)
     });
-    group.finish();
+    println!(
+        "  -> {:.1}x over dense including prediction",
+        t_dense / t_e2e
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mlp_block
-}
-criterion_main!(benches);

@@ -21,8 +21,10 @@ fn main() {
     let trace = MlpTrace::capture(&model, &suite.tasks[0].tokens, 4);
     let mut oracle = OraclePredictor::from_model(&model);
 
-    println!("predictor quality vs alpha ({}, paper-schedule on first {EARLY_LAYERS} layers)\n",
-        model.config().name);
+    println!(
+        "predictor quality vs alpha ({}, paper-schedule on first {EARLY_LAYERS} layers)\n",
+        model.config().name
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "alpha", "early prec", "early rec", "late prec", "late rec", "pred spars"
@@ -50,7 +52,10 @@ fn main() {
             c
         };
         let early = band(0, EARLY_LAYERS.min(model.config().n_layers));
-        let late = band(EARLY_LAYERS.min(model.config().n_layers), model.config().n_layers);
+        let late = band(
+            EARLY_LAYERS.min(model.config().n_layers),
+            model.config().n_layers,
+        );
 
         println!(
             "{alpha:>7.2} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.3}",

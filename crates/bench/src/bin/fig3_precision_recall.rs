@@ -16,11 +16,16 @@ use sparseinfer::predictor::{
 use sparseinfer_bench::{build_sim_13b, build_sim_7b};
 
 fn main() {
-    for (label, model) in [("ProSparse-7B-sim", build_sim_7b()), ("ProSparse-13B-sim", build_sim_13b())]
-    {
+    for (label, model) in [
+        ("ProSparse-7B-sim", build_sim_7b()),
+        ("ProSparse-13B-sim", build_sim_13b()),
+    ] {
         let metrics = measure(&model);
         println!("=== {label}: per-layer precision / recall (alpha = 1.00) ===");
-        println!("{:>5} {:>10} {:>10} {:>10}", "layer", "precision", "recall", "sparsity");
+        println!(
+            "{:>5} {:>10} {:>10} {:>10}",
+            "layer", "precision", "recall", "sparsity"
+        );
         for (l, (p, r)) in metrics.precision_recall_series().iter().enumerate() {
             let c = metrics.layer(l);
             println!(
@@ -42,7 +47,10 @@ fn main() {
         // The paper's observation: early layers are measurably worse.
         let early: f64 = (0..4).map(|l| metrics.layer(l).precision()).sum::<f64>() / 4.0;
         let n = metrics.n_layers();
-        let late: f64 = (n - 4..n).map(|l| metrics.layer(l).precision()).sum::<f64>() / 4.0;
+        let late: f64 = (n - 4..n)
+            .map(|l| metrics.layer(l).precision())
+            .sum::<f64>()
+            / 4.0;
         println!("early-layer mean precision {early:.4} vs late-layer {late:.4}\n");
     }
 }

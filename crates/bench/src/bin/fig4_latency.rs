@@ -22,8 +22,8 @@ use sparseinfer::gpu_sim::GpuSpec;
 use sparseinfer::model::{MlpTrace, Model, ModelConfig};
 use sparseinfer::predictor::dejavu::{TrainConfig, Trainer};
 use sparseinfer_bench::{
-    build_sim_13b, build_sim_7b, measure_predictor_sparsity, measure_sparsity,
-    paper_schedule_for, ALPHA_GRID,
+    build_sim_13b, build_sim_7b, measure_predictor_sparsity, measure_sparsity, paper_schedule_for,
+    ALPHA_GRID,
 };
 
 fn main() {
@@ -62,13 +62,14 @@ fn main() {
         );
         println!("{}", "-".repeat(62));
         for alpha in ALPHA_GRID {
-            let schedule =
-                paper_schedule_for(alpha, sim.config().hidden_dim, paper_cfg.hidden_dim);
+            let schedule = paper_schedule_for(alpha, sim.config().hidden_dim, paper_cfg.hidden_dim);
             let per_layer = measure_sparsity(&sim, schedule, decode_tokens);
 
             // Without actual sparsity every step sees only the predicted mask.
-            let predicted_only: Vec<MlpStepSparsity> =
-                per_layer.iter().map(|s| MlpStepSparsity::uniform(s.gate)).collect();
+            let predicted_only: Vec<MlpStepSparsity> = per_layer
+                .iter()
+                .map(|s| MlpStepSparsity::uniform(s.gate))
+                .collect();
 
             let t = |sp: &[MlpStepSparsity], variant: SparseVariant| {
                 sparseinfer_token_latency(&spec, &paper_cfg, sp, variant, DEFAULT_CTX).total_ms()
@@ -96,8 +97,10 @@ fn main() {
             paper_schedule_for(1.0, sim.config().hidden_dim, paper_cfg.hidden_dim),
             decode_tokens,
         );
-        let predicted_only: Vec<MlpStepSparsity> =
-            per_layer.iter().map(|s| MlpStepSparsity::uniform(s.gate)).collect();
+        let predicted_only: Vec<MlpStepSparsity> = per_layer
+            .iter()
+            .map(|s| MlpStepSparsity::uniform(s.gate))
+            .collect();
         let seq = sparseinfer_token_latency(
             &spec,
             &paper_cfg,
@@ -130,7 +133,11 @@ fn main() {
 /// per-layer sparsity.
 fn powerinfer_sparsity(sim: &Model, decode_tokens: usize) -> Vec<MlpStepSparsity> {
     let trace = MlpTrace::capture(sim, &(1..=10).collect::<Vec<u32>>(), 6);
-    let trainer = Trainer::new(TrainConfig { rank: 24, epochs: 8, ..TrainConfig::default() });
+    let trainer = Trainer::new(TrainConfig {
+        rank: 24,
+        epochs: 8,
+        ..TrainConfig::default()
+    });
     let predictor = trainer.train(sim, &trace);
     measure_predictor_sparsity(sim, predictor, decode_tokens)
 }

@@ -15,7 +15,10 @@ fn main() {
     let dv = dejavu_bytes(&cfg, rank);
     let si = signbit_bytes(&cfg);
 
-    println!("Predictor memory usage ({} layers of {})\n", cfg.n_layers, cfg.name);
+    println!(
+        "Predictor memory usage ({} layers of {})\n",
+        cfg.n_layers, cfg.name
+    );
     println!(
         "PowerInfer (DejaVu rank {rank}):  ({}x{rank} + {rank}x{}) x 2 B x {} = {:>8.1} MB",
         cfg.hidden_dim,
@@ -30,7 +33,10 @@ fn main() {
         cfg.n_layers,
         to_mib(si)
     );
-    println!("\nReduction: {:.2}x (paper: 4.38x; 1480 MB vs 337.5 MB)", memory_ratio(&cfg, rank));
+    println!(
+        "\nReduction: {:.2}x (paper: 4.38x; 1480 MB vs 337.5 MB)",
+        memory_ratio(&cfg, rank)
+    );
 
     let cfg7 = ModelConfig::prosparse_7b_paper();
     println!(

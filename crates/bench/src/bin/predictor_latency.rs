@@ -23,7 +23,10 @@ fn main() {
     let si = kernels::signbit_predictor(&cfg).latency_us(&spec);
     let dv = kernels::dejavu_predictor(&cfg, 1024).latency_us(&spec);
 
-    println!("Predictor latency per layer ({} on {})\n", cfg.name, spec.name);
+    println!(
+        "Predictor latency per layer ({} on {})\n",
+        cfg.name, spec.name
+    );
     println!("SparseInfer sign packing (X):   {pack:>9.1} us");
     println!("SparseInfer XOR/popc predictor: {si:>9.1} us   (paper: ~70 us)");
     println!("PowerInfer DejaVu rank 1024:    {dv:>9.1} us");

@@ -14,7 +14,10 @@ fn main() {
     let cfg = ModelConfig::prosparse_13b_paper();
 
     println!("Dense decode profile, {} on {}\n", cfg.name, spec.name);
-    println!("{:>6} {:>12} {:>12} {:>10} {:>10}", "ctx", "attn (ms)", "mlp (ms)", "attn %", "mlp %");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "ctx", "attn (ms)", "mlp (ms)", "attn %", "mlp %"
+    );
     for ctx in [64usize, 256, 1024, 4096] {
         let t = dense_token_latency_at(&spec, &cfg, ctx);
         let attn_pct = t.attention_us / t.total_us() * 100.0;

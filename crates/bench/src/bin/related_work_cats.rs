@@ -63,7 +63,10 @@ fn main() {
         relu_model.layers()[layer].mlp(),
         &x,
         &sparseinfer::predictor::SkipMask::all_dense(cfg.mlp_dim),
-        MlpOptions { kernel_fusion: false, actual_sparsity: false },
+        MlpOptions {
+            kernel_fusion: false,
+            actual_sparsity: false,
+        },
         &mut dense_ops,
     );
     println!(

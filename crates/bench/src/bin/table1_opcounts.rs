@@ -18,7 +18,10 @@ fn main() {
     let rows = table1(&cfg, cfg.target_sparsity, 1024);
 
     println!("Table I: Number of Operations for Prediction and MLP Block");
-    println!("(model: {}, sparsity {:.2}, DejaVu rank 1024)\n", cfg.name, cfg.target_sparsity);
+    println!(
+        "(model: {}, sparsity {:.2}, DejaVu rank 1024)\n",
+        cfg.name, cfg.target_sparsity
+    );
     println!("{:<26} {:>16} {:>16}", "", "Prediction", "MLP Block");
     println!("{}", "-".repeat(60));
     for row in &rows {
@@ -33,7 +36,10 @@ fn main() {
     println!("\nPaper reference:");
     println!("{:<26} {:>16} {:>16}", "llama.cpp (dense)", "0", "2.123e8");
     println!("{:<26} {:>16} {:>16}", "PowerInfer", "1.940e7", "1.699e7");
-    println!("{:<26} {:>16} {:>16}", "SparseInfer (proposed)", "2.211e6", "1.699e7");
+    println!(
+        "{:<26} {:>16} {:>16}",
+        "SparseInfer (proposed)", "2.211e6", "1.699e7"
+    );
 
     let reduction = rows[1].prediction_ops as f64 / rows[2].prediction_ops as f64;
     println!(

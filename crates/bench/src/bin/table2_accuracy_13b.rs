@@ -14,7 +14,12 @@ use sparseinfer_bench::{build_sim_13b, run_accuracy_table, BASELINES_13B};
 
 fn main() {
     let model = build_sim_13b();
-    run_accuracy_table(&model, 5120, BASELINES_13B, "Table II — ProSparse-Llama2-13B");
+    run_accuracy_table(
+        &model,
+        5120,
+        BASELINES_13B,
+        "Table II — ProSparse-Llama2-13B",
+    );
     println!("Paper reference (average column): baseline 37.76; alpha 1.00 -> 35.33 (-2.43);");
     println!("1.01 -> 36.15; 1.02 -> 37.04; 1.03 -> 37.49 (-0.27).");
 }

@@ -13,7 +13,12 @@ use sparseinfer_bench::{build_sim_7b, run_accuracy_table, BASELINES_7B};
 
 fn main() {
     let model = build_sim_7b();
-    run_accuracy_table(&model, 4096, BASELINES_7B, "Table III — ProSparse-Llama2-7B");
+    run_accuracy_table(
+        &model,
+        4096,
+        BASELINES_7B,
+        "Table III — ProSparse-Llama2-7B",
+    );
     println!("Paper reference (average column): baseline 24.61; alpha 1.00 -> 18.16 (-6.45);");
     println!("1.01 -> 22.24; 1.02 -> 23.41; 1.03 -> 24.28 (-0.33).");
 }

@@ -9,8 +9,9 @@
 use sparseinfer::gpu_sim::latency::MlpStepSparsity;
 use sparseinfer::model::generator::WeightGenerator;
 use sparseinfer::model::{Model, ModelConfig};
-use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
-use sparseinfer::sparse::engine::{EngineOptions, SparseEngine};
+use sparseinfer::predictor::{AlphaSchedule, SparsityPredictor};
+use sparseinfer::sparse::engine::{Engine, EngineBuilder, EngineOptions};
+use sparseinfer::sparse::request::{generate, GenerateRequest};
 
 /// Seed shared by all experiment binaries so results are reproducible and
 /// mutually consistent.
@@ -64,12 +65,20 @@ pub fn measure_sparsity(
     schedule: AlphaSchedule,
     tokens: usize,
 ) -> Vec<MlpStepSparsity> {
-    let predictor = SignBitPredictor::from_model(model, schedule);
-    let mut engine = SparseEngine::new(model, predictor, EngineOptions::sparseinfer());
+    let mut engine = EngineBuilder::new(model)
+        .signbit(schedule)
+        .options(EngineOptions::sparseinfer())
+        .build()
+        .expect("signbit predictor covers every model layer");
     let prompt: Vec<u32> = (1..=8).collect();
-    let _ = engine.generate_greedy(&prompt, tokens, u32::MAX);
-    let predicted = engine.stats().mean_predicted();
-    let effective = engine.stats().mean_effective();
+    let _ = generate(
+        engine.as_mut(),
+        &GenerateRequest::new(&prompt).max_new(tokens),
+    )
+    .expect("non-empty prompt");
+    let stats = engine.stats().expect("sparse engine has stats");
+    let predicted = stats.mean_predicted();
+    let effective = stats.mean_effective();
     predicted
         .iter()
         .zip(&effective)
@@ -79,16 +88,25 @@ pub fn measure_sparsity(
 
 /// Measures per-layer sparsity delivered by an arbitrary predictor without
 /// actual-sparsity compensation (the PowerInfer path).
-pub fn measure_predictor_sparsity<P: SparsityPredictor>(
+pub fn measure_predictor_sparsity<P: SparsityPredictor + 'static>(
     model: &Model,
     predictor: P,
     tokens: usize,
 ) -> Vec<MlpStepSparsity> {
-    let mut engine = SparseEngine::new(model, predictor, EngineOptions::base());
+    let mut engine = EngineBuilder::new(model)
+        .predictor(Box::new(predictor))
+        .options(EngineOptions::base())
+        .build()
+        .expect("predictor covers every model layer");
     let prompt: Vec<u32> = (1..=8).collect();
-    let _ = engine.generate_greedy(&prompt, tokens, u32::MAX);
+    let _ = generate(
+        engine.as_mut(),
+        &GenerateRequest::new(&prompt).max_new(tokens),
+    )
+    .expect("non-empty prompt");
     engine
         .stats()
+        .expect("sparse engine has stats")
         .mean_predicted()
         .iter()
         .map(|p| MlpStepSparsity::uniform(*p))
@@ -98,6 +116,22 @@ pub fn measure_predictor_sparsity<P: SparsityPredictor>(
 /// Right-aligns a float into a fixed-width cell.
 pub fn cell(v: f64, width: usize, precision: usize) -> String {
     format!("{v:>width$.precision$}")
+}
+
+/// Times `f` over `iters` runs (after a short warmup), prints the mean in
+/// microseconds, and returns it — the self-timed backbone of the bench
+/// binaries (criterion is unavailable offline).
+pub fn time_us<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("{name:<44} {us:>12.2} us/iter");
+    us
 }
 
 /// Baseline benchmark scores from the paper's accuracy tables.
@@ -110,9 +144,15 @@ pub struct PaperBaselines {
 }
 
 /// Table II baselines (ProSparse-Llama2-13B).
-pub const BASELINES_13B: PaperBaselines = PaperBaselines { gsm8k: 30.71, bbh: 44.80 };
+pub const BASELINES_13B: PaperBaselines = PaperBaselines {
+    gsm8k: 30.71,
+    bbh: 44.80,
+};
 /// Table III baselines (ProSparse-Llama2-7B).
-pub const BASELINES_7B: PaperBaselines = PaperBaselines { gsm8k: 13.42, bbh: 35.80 };
+pub const BASELINES_7B: PaperBaselines = PaperBaselines {
+    gsm8k: 13.42,
+    bbh: 35.80,
+};
 
 /// Per-suite outcome of one engine configuration in the accuracy protocol.
 #[derive(Debug, Clone, Copy)]
@@ -123,13 +163,13 @@ pub struct SuiteScore {
     pub score: f64,
 }
 
-/// Teacher-forced accuracy of one sparse engine over a suite: the prompt is
+/// Teacher-forced accuracy of one engine over a suite: the prompt is
 /// prefilled densely (the paper exploits sparsity only in decode), then each
-/// gold position is scored by whether the sparse engine's argmax reproduces
-/// the dense engine's token, with the gold token forced afterwards.
-pub fn teacher_forced_suite_score<P: sparseinfer::predictor::SparsityPredictor>(
-    model: &Model,
-    engine: &mut SparseEngine<'_, P>,
+/// gold position is scored by whether the engine's argmax reproduces the
+/// dense engine's token, with the gold token forced afterwards. Delegates
+/// to [`sparseinfer::eval::teacher_forced_engine_matches`].
+pub fn teacher_forced_suite_score(
+    engine: &mut dyn Engine,
     suite: &sparseinfer::eval::TaskSuite,
     gold: &[Vec<u32>],
     baseline: f64,
@@ -137,27 +177,20 @@ pub fn teacher_forced_suite_score<P: sparseinfer::predictor::SparsityPredictor>(
     let mut total_positions = 0usize;
     let mut total_matches = 0usize;
     for (task, gold_tokens) in suite.tasks.iter().zip(gold) {
-        let mut session = model.start_session();
-        // Dense prefill up to the last prompt token.
-        for t in &task.tokens[..task.tokens.len() - 1] {
-            let _ = model.forward_token(*t, &mut session);
-        }
-        let mut logits =
-            engine.forward_token(task.tokens[task.tokens.len() - 1], &mut session);
-        for g in gold_tokens {
-            if logits.argmax().expect("nonzero vocab") as u32 == *g {
-                total_matches += 1;
-            }
-            total_positions += 1;
-            logits = engine.forward_token(*g, &mut session);
-        }
+        let matches =
+            sparseinfer::eval::teacher_forced_engine_matches(engine, &task.tokens, gold_tokens);
+        total_matches += matches.iter().filter(|m| **m).count();
+        total_positions += matches.len();
     }
     let match_rate = if total_positions == 0 {
         1.0
     } else {
         total_matches as f64 / total_positions as f64
     };
-    SuiteScore { match_rate, score: baseline * match_rate }
+    SuiteScore {
+        match_rate,
+        score: baseline * match_rate,
+    }
 }
 
 /// Runs the full Table II/III accuracy protocol on `model` (a simulacrum of
@@ -167,7 +200,6 @@ pub fn teacher_forced_suite_score<P: sparseinfer::predictor::SparsityPredictor>(
 pub fn run_accuracy_table(model: &Model, paper_dim: usize, baselines: PaperBaselines, label: &str) {
     use sparseinfer::eval::harness::gold_continuations;
     use sparseinfer::eval::TaskSuite;
-    use sparseinfer::predictor::RandomPredictor;
 
     let quick = std::env::var("SPARSEINFER_QUICK").is_ok();
     let n_tasks = if quick { 2 } else { 6 };
@@ -203,11 +235,19 @@ pub fn run_accuracy_table(model: &Model, paper_dim: usize, baselines: PaperBasel
 
     for alpha in ALPHA_GRID {
         let schedule = paper_schedule_for(alpha, model.config().hidden_dim, paper_dim);
-        let predictor = SignBitPredictor::from_model(model, schedule);
-        let mut engine = SparseEngine::new(model, predictor, EngineOptions::sparseinfer());
+        let mut engine = EngineBuilder::new(model)
+            .signbit(schedule)
+            .options(EngineOptions::sparseinfer())
+            .build()
+            .expect("signbit predictor covers every model layer");
         let mut results = Vec::new();
         for ((_, baseline, suite), gold) in suites.iter().zip(&golds) {
-            results.push(teacher_forced_suite_score(model, &mut engine, suite, gold, *baseline));
+            results.push(teacher_forced_suite_score(
+                engine.as_mut(),
+                suite,
+                gold,
+                *baseline,
+            ));
         }
         println!(
             "{:<22} {:>8.2} {:>8.2} {:>8.2} | {:>8.3} {:>8.3}",
@@ -221,12 +261,19 @@ pub fn run_accuracy_table(model: &Model, paper_dim: usize, baselines: PaperBasel
     }
 
     // E9: random selection at 90% sparsity (paper: 0% accuracy).
-    let random =
-        RandomPredictor::new(0.9, model.config().mlp_dim, model.config().n_layers, 7);
-    let mut engine = SparseEngine::new(model, random, EngineOptions::sparseinfer());
+    let mut engine = EngineBuilder::new(model)
+        .random(0.9, 7)
+        .options(EngineOptions::sparseinfer())
+        .build()
+        .expect("random predictor covers every model layer");
     let mut results = Vec::new();
     for ((_, baseline, suite), gold) in suites.iter().zip(&golds) {
-        results.push(teacher_forced_suite_score(model, &mut engine, suite, gold, *baseline));
+        results.push(teacher_forced_suite_score(
+            engine.as_mut(),
+            suite,
+            gold,
+            *baseline,
+        ));
     }
     println!(
         "{:<22} {:>8.2} {:>8.2} {:>8.2} | (paper: 0% accuracy)",

@@ -5,11 +5,10 @@
 //! snaps the error to a token flip. Used by the alpha-sweep analyses and the
 //! DSE example.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::Vector;
 
 /// Divergence statistics between two logit vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogitDivergence {
     /// Cosine similarity of the raw logits.
     pub cosine: f64,
@@ -70,7 +69,7 @@ fn softmax(v: &Vector) -> Vec<f64> {
 }
 
 /// Running mean of divergences over a decode stream.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DivergenceAccumulator {
     count: u64,
     cosine_sum: f64,
@@ -103,17 +102,29 @@ impl DivergenceAccumulator {
 
     /// Mean cosine similarity.
     pub fn mean_cosine(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.cosine_sum / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.cosine_sum / self.count as f64
+        }
     }
 
     /// Mean KL divergence.
     pub fn mean_kl(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.kl_sum / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.kl_sum / self.count as f64
+        }
     }
 
     /// Fraction of positions whose argmax token agreed.
     pub fn argmax_match_rate(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.argmax_matches as f64 / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.argmax_matches as f64 / self.count as f64
+        }
     }
 }
 

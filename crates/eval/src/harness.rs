@@ -1,12 +1,19 @@
 //! Dense-gold accuracy evaluation.
+//!
+//! Candidate engines plug in through the unified
+//! [`Engine`](sparseinfer_sparse::Engine) trait: [`evaluate_engine`] decodes
+//! every task through the request layer, and
+//! [`teacher_forced_engine_matches`] scores per-position argmax agreement
+//! with dense prefill (the protocol behind the paper's Tables II/III).
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::Model;
+use sparseinfer_sparse::request::{generate, GenerateRequest};
+use sparseinfer_sparse::Engine;
 
 use crate::tasks::TaskSuite;
 
 /// Outcome of one task: gold vs candidate continuation comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskOutcome {
     /// Task identifier.
     pub id: String,
@@ -17,7 +24,7 @@ pub struct TaskOutcome {
 }
 
 /// Aggregate accuracy of a candidate engine against the dense gold.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyReport {
     /// Per-task outcomes.
     pub outcomes: Vec<TaskOutcome>,
@@ -100,6 +107,35 @@ pub fn evaluate_against_gold(
     AccuracyReport { outcomes }
 }
 
+/// Evaluates an [`Engine`] against precomputed gold continuations: each
+/// task prompt is decoded greedily through the request layer with `eos` as
+/// the stop token and `max_new` as the budget. The request pins the greedy
+/// sampler explicitly, so an engine whose default sampler is stochastic is
+/// still scored on its argmax decode (gold continuations are greedy).
+///
+/// # Panics
+///
+/// Panics if `gold.len() != suite.len()` or a task prompt is empty.
+pub fn evaluate_engine(
+    engine: &mut dyn Engine,
+    suite: &TaskSuite,
+    gold: &[Vec<u32>],
+    max_new: usize,
+    eos: u32,
+) -> AccuracyReport {
+    evaluate_against_gold(suite, gold, |prompt| {
+        generate(
+            engine,
+            &GenerateRequest::new(prompt)
+                .max_new(max_new)
+                .stop_at(eos)
+                .sampler(sparseinfer_model::Sampler::greedy()),
+        )
+        .expect("task prompts are non-empty")
+        .tokens
+    })
+}
+
 /// Position-wise overlap of `candidate` with `gold`, normalized by the gold
 /// length. Empty gold counts as full overlap only if the candidate is empty
 /// too.
@@ -107,11 +143,7 @@ pub fn token_overlap(gold: &[u32], candidate: &[u32]) -> f64 {
     if gold.is_empty() {
         return if candidate.is_empty() { 1.0 } else { 0.0 };
     }
-    let matches = gold
-        .iter()
-        .zip(candidate)
-        .filter(|(g, c)| g == c)
-        .count();
+    let matches = gold.iter().zip(candidate).filter(|(g, c)| g == c).count();
     matches as f64 / gold.len() as f64
 }
 
@@ -149,6 +181,35 @@ pub fn teacher_forced_matches(
         let predicted = logits.argmax().expect("nonzero vocab") as u32;
         out.push(predicted == *g);
         logits = step(*g); // force the gold token regardless of prediction
+    }
+    out
+}
+
+/// Teacher-forced scoring of an [`Engine`]: the prompt is prefilled
+/// *densely* up to its last token (the paper exploits sparsity only in
+/// decode), the last prompt token and every gold token go through the
+/// engine, and each position is scored by whether the engine's argmax
+/// reproduces the gold token.
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+pub fn teacher_forced_engine_matches(
+    engine: &mut dyn Engine,
+    prompt: &[u32],
+    gold: &[u32],
+) -> Vec<bool> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let mut session = engine.model().start_session();
+    for t in &prompt[..prompt.len() - 1] {
+        let _ = engine.model().forward_token(*t, &mut session);
+    }
+    let mut logits = engine.step(prompt[prompt.len() - 1], &mut session);
+    let mut out = Vec::with_capacity(gold.len());
+    for g in gold {
+        let predicted = logits.argmax().expect("nonzero vocab") as u32;
+        out.push(predicted == *g);
+        logits = engine.step(*g, &mut session);
     }
     out
 }
@@ -193,8 +254,7 @@ mod tests {
     use super::*;
     use sparseinfer_model::generator::WeightGenerator;
     use sparseinfer_model::ModelConfig;
-    use sparseinfer_predictor::{OraclePredictor, RandomPredictor};
-    use sparseinfer_sparse::engine::{EngineOptions, SparseEngine};
+    use sparseinfer_sparse::engine::EngineBuilder;
 
     fn small_suite() -> TaskSuite {
         TaskSuite::gsm8k_syn(4, 9)
@@ -235,11 +295,14 @@ mod tests {
         let model = sim_model();
         let suite = small_suite();
         let gold = gold_continuations(&model, &suite, 8);
-        let oracle = OraclePredictor::from_model(&model);
-        let mut engine = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
-        let report = evaluate_against_gold(&suite, &gold, |prompt| {
-            engine.generate_greedy(prompt, 8, sparseinfer_model::tokenizer::EOS)
-        });
+        let mut engine = EngineBuilder::new(&model).oracle().build().unwrap();
+        let report = evaluate_engine(
+            engine.as_mut(),
+            &suite,
+            &gold,
+            8,
+            sparseinfer_model::tokenizer::EOS,
+        );
         assert_eq!(report.exact_rate(), 1.0, "oracle masking must be lossless");
     }
 
@@ -249,15 +312,35 @@ mod tests {
         let model = sim_model();
         let suite = small_suite();
         let gold = gold_continuations(&model, &suite, 8);
-        let random =
-            RandomPredictor::new(0.9, model.config().mlp_dim, model.config().n_layers, 3);
-        let mut engine = SparseEngine::new(&model, random, EngineOptions::sparseinfer());
-        let report = evaluate_against_gold(&suite, &gold, |prompt| {
-            engine.generate_greedy(prompt, 8, sparseinfer_model::tokenizer::EOS)
-        });
+        let mut engine = EngineBuilder::new(&model).random(0.9, 3).build().unwrap();
+        let report = evaluate_engine(
+            engine.as_mut(),
+            &suite,
+            &gold,
+            8,
+            sparseinfer_model::tokenizer::EOS,
+        );
         assert_eq!(report.exact_rate(), 0.0);
-        assert!(report.mean_overlap() < 0.5, "overlap {}", report.mean_overlap());
+        assert!(
+            report.mean_overlap() < 0.5,
+            "overlap {}",
+            report.mean_overlap()
+        );
         assert_eq!(report.scaled_score(30.71), 0.0);
+    }
+
+    #[test]
+    fn teacher_forced_engine_agrees_with_closure_protocol() {
+        let model = sim_model();
+        let prompt = [1u32, 2, 3];
+        let gold = model.generate_greedy(&prompt, 6, u32::MAX);
+        let mut engine = EngineBuilder::new(&model).build().unwrap();
+        let matches = teacher_forced_engine_matches(engine.as_mut(), &prompt, &gold);
+        assert_eq!(matches.len(), gold.len());
+        assert!(
+            matches.iter().all(|m| *m),
+            "dense engine vs dense gold must agree"
+        );
     }
 
     #[test]
@@ -273,11 +356,13 @@ mod tests {
         let prompt = [1u32, 2, 3];
         let gold = model.generate_greedy(&prompt, 6, u32::MAX);
         let mut session = model.start_session();
-        let matches = teacher_forced_matches(&prompt, &gold, |t| {
-            model.forward_token(t, &mut session)
-        });
+        let matches =
+            teacher_forced_matches(&prompt, &gold, |t| model.forward_token(t, &mut session));
         assert_eq!(matches.len(), gold.len());
-        assert!(matches.iter().all(|m| *m), "dense vs itself must agree everywhere");
+        assert!(
+            matches.iter().all(|m| *m),
+            "dense vs itself must agree everywhere"
+        );
     }
 
     #[test]
@@ -309,10 +394,7 @@ mod tests {
         let report = evaluate_teacher_forced(&suite, &gold, || {
             let mut session = model_ref.start_session();
             let m = model_ref.clone();
-            Box::new(move |t| {
-                
-                m.forward_token(t, &mut session)
-            })
+            Box::new(move |t| m.forward_token(t, &mut session))
         });
         assert_eq!(report.outcomes.len(), 2);
         assert_eq!(report.exact_rate(), 1.0);

@@ -28,5 +28,5 @@ pub mod divergence;
 pub mod harness;
 pub mod tasks;
 
-pub use harness::{AccuracyReport, TaskOutcome};
+pub use harness::{evaluate_engine, teacher_forced_engine_matches, AccuracyReport, TaskOutcome};
 pub use tasks::{EvalTask, TaskSuite};

@@ -11,12 +11,11 @@
 //! come from the dense model itself (see the crate docs), so what matters is
 //! that every engine sees identical prompts.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::ByteTokenizer;
 use sparseinfer_tensor::Prng;
 
 /// One evaluation prompt.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalTask {
     /// Stable identifier (`gsm8k-syn/3`).
     pub id: String,
@@ -27,7 +26,7 @@ pub struct EvalTask {
 }
 
 /// A named collection of tasks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSuite {
     /// Suite name (`gsm8k-syn` or `bbh-syn`).
     pub name: String,
@@ -64,11 +63,17 @@ impl TaskSuite {
             let a = rng.below(40) + 2;
             let b = rng.below(30) + 2;
             let c = rng.below(9) + 2;
-            let text =
-                format!("Q: {who} has {a} {what}, buys {b}, gives {c}. How many left? A:");
-            tasks.push(EvalTask { id: format!("gsm8k-syn/{i}"), tokens: tok.encode(&text), text });
+            let text = format!("Q: {who} has {a} {what}, buys {b}, gives {c}. How many left? A:");
+            tasks.push(EvalTask {
+                id: format!("gsm8k-syn/{i}"),
+                tokens: tok.encode(&text),
+                text,
+            });
         }
-        Self { name: "gsm8k-syn".into(), tasks }
+        Self {
+            name: "gsm8k-syn".into(),
+            tasks,
+        }
     }
 
     /// Generates the symbolic-reasoning suite.
@@ -85,12 +90,18 @@ impl TaskSuite {
         for i in 0..n {
             let op = *rng.choose(&ops);
             let len = rng.below(4) + 3;
-            let seq: Vec<String> =
-                (0..len).map(|_| (rng.below(90) + 10).to_string()).collect();
+            let seq: Vec<String> = (0..len).map(|_| (rng.below(90) + 10).to_string()).collect();
             let text = format!("Task: {op} [{}]. Answer:", seq.join(", "));
-            tasks.push(EvalTask { id: format!("bbh-syn/{i}"), tokens: tok.encode(&text), text });
+            tasks.push(EvalTask {
+                id: format!("bbh-syn/{i}"),
+                tokens: tok.encode(&text),
+                text,
+            });
         }
-        Self { name: "bbh-syn".into(), tasks }
+        Self {
+            name: "bbh-syn".into(),
+            tasks,
+        }
     }
 }
 

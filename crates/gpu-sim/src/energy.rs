@@ -11,13 +11,11 @@
 //! recent LPDDR5 SoC (≈ 12 pJ/byte DRAM, fractions of a pJ per on-chip op);
 //! as with latency, *ratios* between engines are the meaningful output.
 
-use serde::{Deserialize, Serialize};
-
 use crate::kernel::KernelDesc;
 use crate::latency::TokenLatency;
 
 /// Energy cost coefficients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyModel {
     /// Energy per DRAM byte moved (picojoules).
     pub pj_per_dram_byte: f64,
@@ -75,8 +73,9 @@ impl EnergyModel {
 mod tests {
     use super::*;
     use crate::kernel::kernels;
-    use crate::latency::{dense_token_latency, sparseinfer_token_latency, MlpStepSparsity,
-        SparseVariant, DEFAULT_CTX};
+    use crate::latency::{
+        dense_token_latency, sparseinfer_token_latency, MlpStepSparsity, SparseVariant, DEFAULT_CTX,
+    };
     use crate::spec::GpuSpec;
     use sparseinfer_model::ModelConfig;
 
@@ -108,8 +107,13 @@ mod tests {
             sparseinfer_token_latency(&spec, &cfg, &per_layer, SparseVariant::fused(), DEFAULT_CTX);
         let sparse_bytes =
             layers * (3.0 * 0.09 * d * k + 4.0 * d * d) * 2.0 + layers * (k * d / 32.0 * 4.0);
-        let sparse_mj = em.token_mj(sparse_bytes, sparse_bytes / 2.0, 0.0,
-            layers * k * d / 16.0, &sparse_lat);
+        let sparse_mj = em.token_mj(
+            sparse_bytes,
+            sparse_bytes / 2.0,
+            0.0,
+            layers * k * d / 16.0,
+            &sparse_lat,
+        );
 
         assert!(
             sparse_mj < dense_mj * 0.75,
@@ -120,8 +124,14 @@ mod tests {
     #[test]
     fn static_term_scales_with_latency() {
         let em = EnergyModel::jetson_orin();
-        let short = TokenLatency { attention_us: 1000.0, ..Default::default() };
-        let long = TokenLatency { attention_us: 2000.0, ..Default::default() };
+        let short = TokenLatency {
+            attention_us: 1000.0,
+            ..Default::default()
+        };
+        let long = TokenLatency {
+            attention_us: 2000.0,
+            ..Default::default()
+        };
         let a = em.token_mj(0.0, 0.0, 0.0, 0.0, &short);
         let b = em.token_mj(0.0, 0.0, 0.0, 0.0, &long);
         assert!((b / a - 2.0).abs() < 1e-9);
@@ -133,6 +143,9 @@ mod tests {
         let cfg = ModelConfig::prosparse_13b_paper();
         let predictor = em.kernel_mj(&kernels::signbit_predictor(&cfg));
         let gate = em.kernel_mj(&kernels::dense_gemv(cfg.mlp_dim, cfg.hidden_dim, "gate"));
-        assert!(predictor < gate / 10.0, "predictor {predictor} vs gate {gate}");
+        assert!(
+            predictor < gate / 10.0,
+            "predictor {predictor} vs gate {gate}"
+        );
     }
 }

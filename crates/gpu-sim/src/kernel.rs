@@ -1,12 +1,11 @@
 //! Kernel cost descriptors and the roofline latency rule.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::ModelConfig;
 
 use crate::spec::GpuSpec;
 
 /// The resource footprint of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelDesc {
     /// Label for breakdowns.
     pub name: String,
@@ -128,7 +127,10 @@ pub mod kernels {
     ///
     /// Panics if `sparsity` is outside `[0, 1]`.
     pub fn sparse_gemv(rows: usize, cols: usize, sparsity: f64, name: &str) -> KernelDesc {
-        assert!((0.0..=1.0).contains(&sparsity), "sparsity {sparsity} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity {sparsity} out of [0,1]"
+        );
         let active = rows as f64 * (1.0 - sparsity);
         KernelDesc {
             name: name.into(),

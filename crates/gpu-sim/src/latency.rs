@@ -6,7 +6,6 @@
 //! the functional engines in `sparseinfer-sparse`, applied to the paper's
 //! full model dimensions.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::ModelConfig;
 
 use crate::kernel::{kernels, KernelDesc, ACT_BYTES};
@@ -21,7 +20,7 @@ pub const DEFAULT_CTX: usize = 256;
 /// `gate` comes from the predictor alone (step 1 runs before any exact
 /// values exist); `up` and `down` may additionally include actual-sparsity
 /// compensation (they are ≥ `gate` when `+AS` is on).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MlpStepSparsity {
     /// Row sparsity applied to the gate projection.
     pub gate: f64,
@@ -34,18 +33,26 @@ pub struct MlpStepSparsity {
 impl MlpStepSparsity {
     /// Same sparsity for all three steps (prediction only, no compensation).
     pub fn uniform(s: f64) -> Self {
-        Self { gate: s, up: s, down: s }
+        Self {
+            gate: s,
+            up: s,
+            down: s,
+        }
     }
 
     /// Predicted sparsity for the gate, effective (predicted ∪ actual) for
     /// up/down — the `+AS` configuration.
     pub fn with_actual(predicted: f64, effective: f64) -> Self {
-        Self { gate: predicted, up: effective, down: effective }
+        Self {
+            gate: predicted,
+            up: effective,
+            down: effective,
+        }
     }
 }
 
 /// A per-token latency breakdown in microseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TokenLatency {
     /// Attention sub-blocks across all layers.
     pub attention_us: f64,
@@ -79,8 +86,8 @@ fn attention_total(spec: &GpuSpec, config: &ModelConfig, ctx: usize) -> f64 {
     // The attention bundle plus the small per-layer kernels llama.cpp
     // launches around it (norms, RoPE, softmax, residual) — modeled as three
     // extra launches.
-    let per_layer = kernels::attention_layer(config, ctx).latency_s(spec)
-        + 3.0 * spec.kernel_launch_s;
+    let per_layer =
+        kernels::attention_layer(config, ctx).latency_s(spec) + 3.0 * spec.kernel_launch_s;
     per_layer * config.n_layers as f64 * 1e6
 }
 
@@ -110,7 +117,7 @@ pub fn dense_token_latency_at(spec: &GpuSpec, config: &ModelConfig, ctx: usize) 
 /// Execution switches for the SparseInfer latency model (the four Fig. 4
 /// variants; `+AS` is encoded in the sparsity values themselves via
 /// [`MlpStepSparsity::with_actual`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SparseVariant {
     /// Fuse steps 1–3 into one kernel (one launch, no h1/h2 round trips).
     pub kernel_fusion: bool,
@@ -123,17 +130,26 @@ pub struct SparseVariant {
 impl SparseVariant {
     /// Sequential, fused — the paper's preferred configuration.
     pub fn fused() -> Self {
-        Self { kernel_fusion: true, concurrent_gate_up: false }
+        Self {
+            kernel_fusion: true,
+            concurrent_gate_up: false,
+        }
     }
 
     /// Sequential, unfused.
     pub fn sequential() -> Self {
-        Self { kernel_fusion: false, concurrent_gate_up: false }
+        Self {
+            kernel_fusion: false,
+            concurrent_gate_up: false,
+        }
     }
 
     /// CKE: gate and up overlapped on two streams.
     pub fn cke() -> Self {
-        Self { kernel_fusion: false, concurrent_gate_up: true }
+        Self {
+            kernel_fusion: false,
+            concurrent_gate_up: true,
+        }
     }
 }
 
@@ -149,7 +165,11 @@ pub fn sparseinfer_token_latency(
     variant: SparseVariant,
     ctx: usize,
 ) -> TokenLatency {
-    assert_eq!(per_layer.len(), config.n_layers, "per-layer sparsity length");
+    assert_eq!(
+        per_layer.len(),
+        config.n_layers,
+        "per-layer sparsity length"
+    );
     let k = config.mlp_dim;
     let d = config.hidden_dim;
 
@@ -201,7 +221,11 @@ pub fn powerinfer_token_latency(
     rank: usize,
     ctx: usize,
 ) -> TokenLatency {
-    assert_eq!(per_layer.len(), config.n_layers, "per-layer sparsity length");
+    assert_eq!(
+        per_layer.len(),
+        config.n_layers,
+        "per-layer sparsity length"
+    );
     let k = config.mlp_dim;
     let d = config.hidden_dim;
 
@@ -305,7 +329,11 @@ mod tests {
         )
         .total_us();
         assert!(fused < seq);
-        assert!((seq - fused) / seq < 0.05, "fusion gain {:.3}", (seq - fused) / seq);
+        assert!(
+            (seq - fused) / seq < 0.05,
+            "fusion gain {:.3}",
+            (seq - fused) / seq
+        );
     }
 
     #[test]
@@ -332,11 +360,10 @@ mod tests {
         let c = cfg();
         let high = vec![MlpStepSparsity::uniform(0.92); 40];
         let low = vec![MlpStepSparsity::uniform(0.80); 40];
-        let t_high =
-            sparseinfer_token_latency(&s, &c, &high, SparseVariant::fused(), DEFAULT_CTX)
-                .total_us();
-        let t_low = sparseinfer_token_latency(&s, &c, &low, SparseVariant::fused(), DEFAULT_CTX)
+        let t_high = sparseinfer_token_latency(&s, &c, &high, SparseVariant::fused(), DEFAULT_CTX)
             .total_us();
+        let t_low =
+            sparseinfer_token_latency(&s, &c, &low, SparseVariant::fused(), DEFAULT_CTX).total_us();
         assert!(t_low > t_high);
     }
 

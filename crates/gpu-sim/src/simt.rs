@@ -16,7 +16,6 @@
 //! 3. expose microarchitectural counters (transactions, active-warp
 //!    fraction) that a roofline cannot.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_predictor::SkipMask;
 
 use crate::spec::GpuSpec;
@@ -28,7 +27,7 @@ pub const WARP_SIZE: usize = 32;
 pub const WARPS_PER_BLOCK: usize = 16;
 
 /// Machine parameters for the cycle model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimtMachine {
     /// Number of streaming multiprocessors.
     pub sm_count: usize,
@@ -57,7 +56,7 @@ impl SimtMachine {
 }
 
 /// Counters produced by one simulated kernel launch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimtReport {
     /// Thread blocks launched.
     pub blocks: usize,
@@ -103,7 +102,10 @@ pub fn simulate_predictor_kernel(
     machine: &SimtMachine,
     spec: &GpuSpec,
 ) -> SimtReport {
-    assert!(d.is_multiple_of(32), "d must be a multiple of 32 for sign packing");
+    assert!(
+        d.is_multiple_of(32),
+        "d must be a multiple of 32 for sign packing"
+    );
     let words_per_row = d / 32;
     // Each thread consumes one word per iteration; a warp covers 32 words.
     let iterations = words_per_row.div_ceil(WARP_SIZE);
@@ -145,8 +147,7 @@ pub fn simulate_sparse_gemv_kernel(
     assert_eq!(mask.len(), rows, "mask length");
     let blocks = rows.div_ceil(WARPS_PER_BLOCK);
     let weight_bytes_per_row = cols * 2; // FP16
-    let transactions_per_row =
-        weight_bytes_per_row.div_ceil(machine.bytes_per_transaction) as u64;
+    let transactions_per_row = weight_bytes_per_row.div_ceil(machine.bytes_per_transaction) as u64;
     // 32 lanes × fp16 elements per transaction; each lane: load+FMA.
     let iterations = cols.div_ceil(WARP_SIZE) as u64;
 
@@ -166,7 +167,15 @@ pub fn simulate_sparse_gemv_kernel(
         transactions += transactions_per_row;
     }
 
-    finish_report(blocks, active, skipped, warp_instructions, transactions, machine, spec)
+    finish_report(
+        blocks,
+        active,
+        skipped,
+        warp_instructions,
+        transactions,
+        machine,
+        spec,
+    )
 }
 
 fn finish_report(
@@ -229,8 +238,8 @@ mod tests {
         let r = simulate_predictor_kernel(5120, 13824, &machine, &spec);
         assert_eq!(r.blocks, 13824usize.div_ceil(16));
         assert_eq!(r.active_warps, 13824); // every row predicted
-        // d/32 = 160 words per row → 5 iterations of 32 words per warp.
-        // 3 instructions per iteration + 11 for reduce/compare = 26 per row.
+                                           // d/32 = 160 words per row → 5 iterations of 32 words per warp.
+                                           // 3 instructions per iteration + 11 for reduce/compare = 26 per row.
         assert_eq!(r.warp_instructions, 13824 * (5 * 3 + 11));
     }
 
@@ -239,20 +248,10 @@ mod tests {
         let (machine, spec) = setup();
         let rows = 1024;
         let cols = 512;
-        let all = simulate_sparse_gemv_kernel(
-            rows,
-            cols,
-            &SkipMask::all_dense(rows),
-            &machine,
-            &spec,
-        );
-        let none = simulate_sparse_gemv_kernel(
-            rows,
-            cols,
-            &SkipMask::all_skipped(rows),
-            &machine,
-            &spec,
-        );
+        let all =
+            simulate_sparse_gemv_kernel(rows, cols, &SkipMask::all_dense(rows), &machine, &spec);
+        let none =
+            simulate_sparse_gemv_kernel(rows, cols, &SkipMask::all_skipped(rows), &machine, &spec);
         assert_eq!(none.active_warps, 0);
         assert_eq!(none.warp_instructions, rows as u64); // flag tests only
         assert_eq!(none.transactions, 0);
@@ -291,6 +290,9 @@ mod tests {
         let cfg = ModelConfig::prosparse_13b_paper();
         let p = simulate_predictor_kernel(cfg.hidden_dim, cfg.mlp_dim, &machine, &spec);
         let compute_cycles = p.warp_instructions as f64 / machine.sm_count as f64;
-        assert!(p.cycles > compute_cycles, "predictor should be memory-bound");
+        assert!(
+            p.cycles > compute_cycles,
+            "predictor should be memory-bound"
+        );
     }
 }

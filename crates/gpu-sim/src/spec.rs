@@ -1,12 +1,10 @@
 //! Device specifications.
 
-use serde::{Deserialize, Serialize};
-
 /// A GPU device model for the roofline cost estimates.
 ///
 /// All bandwidth figures are in bytes per second; throughputs in operations
 /// per second.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable device name.
     pub name: String,

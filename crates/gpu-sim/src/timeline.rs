@@ -24,8 +24,7 @@ pub fn cke_latency_s(stream_a: &[KernelDesc], stream_b: &[KernelDesc], spec: &Gp
         .iter()
         .chain(stream_b)
         .map(|k| {
-            k.bytes_streamed / spec.stream_bandwidth()
-                + k.bytes_gathered / spec.gather_bandwidth()
+            k.bytes_streamed / spec.stream_bandwidth() + k.bytes_gathered / spec.gather_bandwidth()
         })
         .sum();
     let serial_a = serial_latency_s(stream_a, spec);

@@ -8,11 +8,8 @@
 //! mechanical `relufy` transform so the workspace can also demonstrate *why*
 //! SiLU models don't benefit.
 
-use serde::{Deserialize, Serialize};
-
 /// An MLP gate activation function.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Activation {
     /// Sigmoid Linear Unit `x · σ(x)` — Llama-2's default; essentially never
     /// outputs exact zeros.
@@ -77,7 +74,6 @@ impl Activation {
         }
     }
 }
-
 
 impl std::fmt::Display for Activation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

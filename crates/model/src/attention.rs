@@ -7,11 +7,10 @@
 //! the accuracy experiments exercise the same residual-stream dynamics as the
 //! paper's models.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::{gemv::gemv, Matrix, Vector};
 
 /// Grows-per-token key/value cache for one attention block.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct KvCache {
     keys: Vec<Vector>,
     values: Vec<Vector>,
@@ -47,7 +46,7 @@ impl KvCache {
 }
 
 /// Multi-head self-attention with RoPE.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Attention {
     w_q: Matrix,
     w_k: Matrix,
@@ -71,7 +70,13 @@ impl Attention {
         }
         assert_eq!(d % n_heads, 0, "dim {d} not divisible by {n_heads} heads");
         assert_eq!((d / n_heads) % 2, 0, "head_dim must be even for RoPE");
-        Self { w_q, w_k, w_v, w_o, n_heads }
+        Self {
+            w_q,
+            w_k,
+            w_v,
+            w_o,
+            n_heads,
+        }
     }
 
     /// Model dimension.
@@ -88,8 +93,7 @@ impl Attention {
     fn rope(head: &mut [f32], position: usize) {
         let half = head.len() / 2;
         for i in 0..half {
-            let theta = (position as f32)
-                * (10000.0f32).powf(-2.0 * i as f32 / head.len() as f32);
+            let theta = (position as f32) * (10000.0f32).powf(-2.0 * i as f32 / head.len() as f32);
             let (sin, cos) = theta.sin_cos();
             let a = head[2 * i];
             let b = head[2 * i + 1];
@@ -216,7 +220,11 @@ mod tests {
         let _ = attn.forward(&x0, 0, &mut c2);
         let far = attn.forward(&x1, 9, &mut c2);
 
-        let diff: f32 = near.iter().zip(far.iter()).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = near
+            .iter()
+            .zip(far.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 1e-4, "RoPE had no effect: diff {diff}");
     }
 

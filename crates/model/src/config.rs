@@ -1,7 +1,5 @@
 //! Model configurations: paper dimensions and scaled simulation dimensions.
 
-use serde::{Deserialize, Serialize};
-
 use crate::activation::Activation;
 
 /// Architecture hyper-parameters of a gated-MLP decoder model.
@@ -28,7 +26,7 @@ use crate::activation::Activation;
 /// // 3·d·k ≈ 2.123e8 MACs per MLP block (paper Table I).
 /// assert_eq!(paper.mlp_macs_per_block(), 3 * 5120 * 13824);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Human-readable name used in experiment printouts.
     pub name: String,
@@ -195,7 +193,10 @@ impl ModelConfig {
             ));
         }
         if !(0.0..1.0).contains(&self.target_sparsity) {
-            return Err(format!("target_sparsity {} out of [0,1)", self.target_sparsity));
+            return Err(format!(
+                "target_sparsity {} out of [0,1)",
+                self.target_sparsity
+            ));
         }
         Ok(())
     }
@@ -228,7 +229,8 @@ mod tests {
             ModelConfig::sim_7b(),
             ModelConfig::tiny(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

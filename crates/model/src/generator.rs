@@ -35,7 +35,6 @@
 //! precision) to large (stabilized layers, >99% precision), reproducing the
 //! paper's precision/recall structure.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::stats::normal_quantile;
 use sparseinfer_tensor::{Matrix, Prng, Vector};
 
@@ -47,7 +46,7 @@ use crate::model::Model;
 use crate::norm::RmsNorm;
 
 /// Tunable statistical profile of the generated weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorProfile {
     /// MLP-input mean in fully "stabilized" layers.
     pub x_mean_late: f64,
@@ -138,7 +137,11 @@ impl WeightGenerator {
     /// Panics if the configuration fails [`ModelConfig::validate`].
     pub fn new(config: &ModelConfig, seed: u64) -> Self {
         config.validate().expect("invalid model config");
-        Self { config: config.clone(), profile: GeneratorProfile::default(), seed }
+        Self {
+            config: config.clone(),
+            profile: GeneratorProfile::default(),
+            seed,
+        }
     }
 
     /// Overrides the statistical profile.
@@ -178,8 +181,9 @@ impl WeightGenerator {
 
         let mut head_rng = root.fork(0x1EAD);
         let inv_sqrt_d = 1.0 / (d as f64).sqrt();
-        let lm_head =
-            Matrix::from_fn(cfg.vocab_size, d, |_, _| head_rng.normal(0.0, inv_sqrt_d) as f32);
+        let lm_head = Matrix::from_fn(cfg.vocab_size, d, |_, _| {
+            head_rng.normal(0.0, inv_sqrt_d) as f32
+        });
 
         Model::new(cfg.clone(), embedding, layers, RmsNorm::unit(d), lm_head)
     }
@@ -203,8 +207,12 @@ impl WeightGenerator {
         let mu_x = self.profile.x_mean(l, cfg.n_layers);
         let sigma_x = self.profile.x_std(l, cfg.n_layers);
         let mut norm_rng = rng.fork(0x0127);
-        let gain = Vector::from_fn(d, |_| (sigma_x * (1.0 + 0.08 * norm_rng.standard_normal())) as f32);
-        let bias = Vector::from_fn(d, |_| (mu_x * (1.0 + 0.10 * norm_rng.standard_normal())) as f32);
+        let gain = Vector::from_fn(d, |_| {
+            (sigma_x * (1.0 + 0.08 * norm_rng.standard_normal())) as f32
+        });
+        let bias = Vector::from_fn(d, |_| {
+            (mu_x * (1.0 + 0.10 * norm_rng.standard_normal())) as f32
+        });
         let mlp_norm = RmsNorm::with_bias(gain, bias);
 
         // Gate matrix: per-row mean nu_r/sqrt(d) with nu_r ~ N(-m, s_m^2).

@@ -1,6 +1,5 @@
 //! One decoder layer: norm → attention → residual, norm → MLP → residual.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::Vector;
 
 use crate::attention::{Attention, KvCache};
@@ -8,7 +7,7 @@ use crate::mlp::GatedMlp;
 use crate::norm::RmsNorm;
 
 /// A pre-norm decoder layer (Llama topology).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecoderLayer {
     attn_norm: RmsNorm,
     attn: Attention,
@@ -27,7 +26,12 @@ impl DecoderLayer {
         assert_eq!(attn_norm.dim(), attn.hidden_dim(), "attn norm dim");
         assert_eq!(mlp_norm.dim(), mlp.hidden_dim(), "mlp norm dim");
         assert_eq!(attn.hidden_dim(), mlp.hidden_dim(), "attn/mlp dim");
-        Self { attn_norm, attn, mlp_norm, mlp }
+        Self {
+            attn_norm,
+            attn,
+            mlp_norm,
+            mlp,
+        }
     }
 
     /// Hidden dimension.
@@ -83,10 +87,7 @@ mod tests {
         let mut rng = Prng::seed(seed);
         let mut sq = |s: f64| Matrix::from_fn(d, d, |_, _| rng.normal(0.0, s) as f32);
         let attn = Attention::new(sq(0.1), sq(0.1), sq(0.1), sq(0.1), 2);
-        let mut rect = |s: f64| {
-            
-            Matrix::from_fn(k, d, |_, _| rng.normal(0.0, s) as f32)
-        };
+        let mut rect = |s: f64| Matrix::from_fn(k, d, |_, _| rng.normal(0.0, s) as f32);
         let mlp = GatedMlp::new(rect(0.3), rect(0.3), rect(0.3), Activation::Relu);
         DecoderLayer::new(RmsNorm::unit(d), attn, RmsNorm::unit(d), mlp)
     }

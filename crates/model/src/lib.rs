@@ -45,6 +45,7 @@ pub mod layer;
 pub mod mlp;
 pub mod model;
 pub mod norm;
+pub mod sampling;
 pub mod tokenizer;
 pub mod trace;
 
@@ -53,5 +54,6 @@ pub use config::ModelConfig;
 pub use layer::DecoderLayer;
 pub use mlp::GatedMlp;
 pub use model::Model;
+pub use sampling::Sampler;
 pub use tokenizer::ByteTokenizer;
 pub use trace::MlpTrace;

@@ -9,7 +9,6 @@
 //! transposed (`k×d` as well) at load time so output sparsity skips rows
 //! (§IV-B4).
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::{gemv::gemv, gemv::gemv_transposed, Matrix, Vector};
 
 use crate::activation::Activation;
@@ -31,7 +30,7 @@ use crate::activation::Activation;
 /// let y = mlp.forward(&Vector::zeros(4));
 /// assert_eq!(y.len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GatedMlp {
     w_gate: Matrix,
     w_up: Matrix,
@@ -53,7 +52,12 @@ impl GatedMlp {
         assert_eq!(w_gate.cols(), w_up.cols(), "gate/up col mismatch");
         assert_eq!(w_gate.rows(), w_down_t.rows(), "gate/down row mismatch");
         assert_eq!(w_gate.cols(), w_down_t.cols(), "gate/down col mismatch");
-        Self { w_gate, w_up, w_down_t, activation }
+        Self {
+            w_gate,
+            w_up,
+            w_down_t,
+            activation,
+        }
     }
 
     /// Builds a block from a `d×k` down-projection, transposing it at load

@@ -1,6 +1,5 @@
 //! The full decoder-only model: embedding → layers → final norm → LM head.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::{gemv::gemv, Matrix, Vector};
 
 use crate::attention::KvCache;
@@ -14,7 +13,7 @@ use crate::norm::RmsNorm;
 /// in a [`DecodeSession`] so multiple engines (dense, SparseInfer,
 /// PowerInfer-style) can run the *same* weights concurrently during
 /// comparisons.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Model {
     config: ModelConfig,
     embedding: Matrix, // vocab × d
@@ -45,7 +44,13 @@ impl Model {
         for (i, l) in layers.iter().enumerate() {
             assert_eq!(l.hidden_dim(), config.hidden_dim, "layer {i} dim");
         }
-        Self { config, embedding, layers, final_norm, lm_head }
+        Self {
+            config,
+            embedding,
+            layers,
+            final_norm,
+            lm_head,
+        }
     }
 
     /// The configuration.
@@ -92,7 +97,11 @@ impl Model {
     ///
     /// Panics if the session's cache count does not match this model.
     pub fn forward_token(&self, token: u32, session: &mut DecodeSession) -> Vector {
-        assert_eq!(session.caches.len(), self.layers.len(), "session/model mismatch");
+        assert_eq!(
+            session.caches.len(),
+            self.layers.len(),
+            "session/model mismatch"
+        );
         let mut h = self.embed(token);
         for (layer, cache) in self.layers.iter().zip(session.caches.iter_mut()) {
             h = layer.forward(&h, session.position, cache);
@@ -125,11 +134,34 @@ impl Model {
 
     /// Greedy decode: prefill `prompt`, then generate until EOS/`max_new`.
     pub fn generate_greedy(&self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        self.generate_with(
+            prompt,
+            max_new,
+            eos,
+            &mut crate::sampling::Sampler::greedy(),
+        )
+    }
+
+    /// Sampled decode: prefill `prompt`, then draw up to `max_new` tokens
+    /// from `sampler`, stopping early at `eos`. The sampler is advanced in
+    /// place so a caller can continue its stream across calls; clone it for
+    /// a replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn generate_with(
+        &self,
+        prompt: &[u32],
+        max_new: usize,
+        eos: u32,
+        sampler: &mut crate::sampling::Sampler,
+    ) -> Vec<u32> {
         let mut session = self.start_session();
         let mut logits = self.prefill_session(prompt, &mut session);
         let mut out = Vec::new();
         for _ in 0..max_new {
-            let next = logits.argmax().expect("nonzero vocab") as u32;
+            let next = sampler.sample(&logits).expect("nonzero vocab") as u32;
             if next == eos {
                 break;
             }
@@ -150,6 +182,11 @@ pub struct DecodeSession {
 }
 
 impl DecodeSession {
+    /// Number of context tokens already absorbed (the next write position).
+    pub fn context_len(&self) -> usize {
+        self.position
+    }
+
     /// Resets to an empty context.
     pub fn reset(&mut self) {
         for c in &mut self.caches {

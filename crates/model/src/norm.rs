@@ -8,7 +8,6 @@
 //! layers wider). The substitution is documented in DESIGN.md; inference-side
 //! code treats the norm as a black box either way.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::Vector;
 
 /// Root-mean-square layer normalization: `y = x / rms(x) ⊙ gain (+ bias)`.
@@ -23,7 +22,7 @@ use sparseinfer_tensor::Vector;
 /// let y = norm.forward(&Vector::from_vec(vec![2.0, -2.0, 2.0, -2.0]));
 /// assert!((y[0] - 1.0).abs() < 1e-5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RmsNorm {
     gain: Vector,
     bias: Option<Vector>,
@@ -33,12 +32,20 @@ pub struct RmsNorm {
 impl RmsNorm {
     /// Creates a norm with all-ones gain and no bias.
     pub fn unit(dim: usize) -> Self {
-        Self { gain: Vector::from_fn(dim, |_| 1.0), bias: None, eps: 1e-5 }
+        Self {
+            gain: Vector::from_fn(dim, |_| 1.0),
+            bias: None,
+            eps: 1e-5,
+        }
     }
 
     /// Creates a norm with the given gain and no bias.
     pub fn new(gain: Vector) -> Self {
-        Self { gain, bias: None, eps: 1e-5 }
+        Self {
+            gain,
+            bias: None,
+            eps: 1e-5,
+        }
     }
 
     /// Creates a norm with gain and per-channel bias (the synthetic
@@ -49,7 +56,11 @@ impl RmsNorm {
     /// Panics if `gain.len() != bias.len()`.
     pub fn with_bias(gain: Vector, bias: Vector) -> Self {
         assert_eq!(gain.len(), bias.len(), "gain/bias length mismatch");
-        Self { gain, bias: Some(bias), eps: 1e-5 }
+        Self {
+            gain,
+            bias: Some(bias),
+            eps: 1e-5,
+        }
     }
 
     /// Normalized dimension.
@@ -64,8 +75,7 @@ impl RmsNorm {
     /// Panics if `x.len() != self.dim()`.
     pub fn forward(&self, x: &Vector) -> Vector {
         assert_eq!(x.len(), self.dim(), "rmsnorm input length mismatch");
-        let ms: f32 =
-            x.as_slice().iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+        let ms: f32 = x.as_slice().iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
         let inv_rms = 1.0 / (ms + self.eps).sqrt();
         let mut out = Vector::from_fn(x.len(), |i| x[i] * inv_rms * self.gain[i]);
         if let Some(bias) = &self.bias {
@@ -100,10 +110,7 @@ mod tests {
     #[test]
     fn bias_shifts_output_mean() {
         let dim = 16;
-        let norm = RmsNorm::with_bias(
-            Vector::from_fn(dim, |_| 1.0),
-            Vector::from_fn(dim, |_| 0.5),
-        );
+        let norm = RmsNorm::with_bias(Vector::from_fn(dim, |_| 1.0), Vector::from_fn(dim, |_| 0.5));
         let x = Vector::from_fn(dim, |i| if i % 2 == 0 { 1.0 } else { -1.0 });
         let y = norm.forward(&x);
         let mean: f32 = y.as_slice().iter().sum::<f32>() / dim as f32;

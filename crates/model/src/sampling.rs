@@ -1,0 +1,252 @@
+//! Token samplers: the policy that turns a logit vector into the next token.
+//!
+//! Decoding engines produce logits; a [`Sampler`] owns the (seeded,
+//! deterministic) policy that picks the token. Three policies cover the
+//! serving surface:
+//!
+//! * [`Sampler::greedy`] — argmax, the paper's evaluation setting;
+//! * [`Sampler::temperature`] — softmax sampling at a temperature;
+//! * [`Sampler::top_k`] — softmax restricted to the `k` most likely tokens.
+//!
+//! Stochastic samplers draw from their own [`Prng`], so a sampler
+//! constructed with the same seed reproduces the same token stream — the
+//! property the request layer relies on for replayable generations.
+
+use sparseinfer_tensor::{Prng, Vector};
+
+/// A deterministic, seeded next-token sampling policy.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_model::sampling::Sampler;
+/// use sparseinfer_tensor::Vector;
+///
+/// let logits = Vector::from_vec(vec![0.1, 2.0, -1.0]);
+/// assert_eq!(Sampler::greedy().sample(&logits), Some(1));
+///
+/// // Same seed, same draws.
+/// let mut a = Sampler::temperature(0.8, 7);
+/// let mut b = Sampler::temperature(0.8, 7);
+/// assert_eq!(a.sample(&logits), b.sample(&logits));
+/// ```
+#[derive(Debug, Clone)]
+pub enum Sampler {
+    /// Always pick the highest logit (first index on ties).
+    Greedy,
+    /// Softmax sampling at `temperature` from a seeded stream.
+    Temperature {
+        /// Softmax temperature (> 0).
+        temperature: f64,
+        /// The sampler's private random stream.
+        rng: Prng,
+    },
+    /// Softmax sampling restricted to the `k` highest logits.
+    TopK {
+        /// How many of the top logits stay candidates.
+        k: usize,
+        /// Softmax temperature (> 0).
+        temperature: f64,
+        /// The sampler's private random stream.
+        rng: Prng,
+    },
+}
+
+impl Sampler {
+    /// The argmax policy.
+    pub fn greedy() -> Self {
+        Sampler::Greedy
+    }
+
+    /// Softmax sampling at `temperature`, seeded. A non-positive or
+    /// non-finite temperature degenerates to [`Sampler::greedy`] (the
+    /// zero-temperature limit).
+    pub fn temperature(temperature: f64, seed: u64) -> Self {
+        if temperature <= 0.0 || !temperature.is_finite() {
+            return Sampler::Greedy;
+        }
+        Sampler::Temperature {
+            temperature,
+            rng: Prng::seed(seed),
+        }
+    }
+
+    /// Top-k softmax sampling at `temperature`, seeded. `k == 0` and
+    /// non-positive temperatures degenerate to [`Sampler::greedy`].
+    pub fn top_k(k: usize, temperature: f64, seed: u64) -> Self {
+        if k == 0 || temperature <= 0.0 || !temperature.is_finite() {
+            return Sampler::Greedy;
+        }
+        Sampler::TopK {
+            k,
+            temperature,
+            rng: Prng::seed(seed),
+        }
+    }
+
+    /// Short, stable policy name for printouts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Sampler::Greedy => "greedy",
+            Sampler::Temperature { .. } => "temperature",
+            Sampler::TopK { .. } => "top-k",
+        }
+    }
+
+    /// Whether this sampler draws randomness (false for greedy).
+    pub fn is_stochastic(&self) -> bool {
+        !matches!(self, Sampler::Greedy)
+    }
+
+    /// Picks the next token index from `logits`, or `None` on an empty
+    /// vector.
+    pub fn sample(&mut self, logits: &Vector) -> Option<usize> {
+        if logits.is_empty() {
+            return None;
+        }
+        match self {
+            Sampler::Greedy => logits.argmax(),
+            Sampler::Temperature { temperature, rng } => Some(draw_all(logits, *temperature, rng)),
+            Sampler::TopK {
+                k,
+                temperature,
+                rng,
+            } => {
+                let top = top_k_indices(logits, *k);
+                Some(draw(logits, &top, *temperature, rng))
+            }
+        }
+    }
+}
+
+/// Indices of the `k` largest logits, sorted descending by logit with
+/// index-ascending tie-breaks (a unique, reproducible candidate order). One
+/// O(V·log k) scan with a k-sized buffer — the decode hot path never pays a
+/// vocab-sized allocation.
+fn top_k_indices(logits: &Vector, k: usize) -> Vec<usize> {
+    let k = k.min(logits.len());
+    // `beats(a, b)`: candidate a ranks strictly ahead of candidate b.
+    let beats = |a: usize, b: usize| match logits[a].partial_cmp(&logits[b]) {
+        Some(std::cmp::Ordering::Greater) => true,
+        Some(std::cmp::Ordering::Less) => false,
+        _ => a < b,
+    };
+    let mut top: Vec<usize> = Vec::with_capacity(k + 1);
+    for i in 0..logits.len() {
+        if top.len() == k && !beats(i, top[k - 1]) {
+            continue;
+        }
+        let pos = top.partition_point(|&j| beats(j, i));
+        top.insert(pos, i);
+        top.truncate(k);
+    }
+    top
+}
+
+/// Softmax draw over every index at `temperature` via inverse CDF — the
+/// decode hot path, so no per-token allocation (three passes instead).
+fn draw_all(logits: &Vector, temperature: f64, rng: &mut Prng) -> usize {
+    let max = logits
+        .iter()
+        .fold(f64::NEG_INFINITY, |m, &v| m.max(v as f64));
+    let weight = |v: f32| ((v as f64 - max) / temperature).exp();
+    let total: f64 = logits.iter().map(|&v| weight(v)).sum();
+    let mut u = rng.uniform() * total;
+    for (i, &v) in logits.iter().enumerate() {
+        u -= weight(v);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    // Floating-point slack: fall back to the last index.
+    logits.len() - 1
+}
+
+/// Softmax draw over `candidates` at `temperature` via inverse CDF.
+fn draw(logits: &Vector, candidates: &[usize], temperature: f64, rng: &mut Prng) -> usize {
+    let max = candidates
+        .iter()
+        .map(|&i| logits[i] as f64)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let weight = |i: usize| ((logits[i] as f64 - max) / temperature).exp();
+    let total: f64 = candidates.iter().map(|&i| weight(i)).sum();
+    let mut u = rng.uniform() * total;
+    for &i in candidates {
+        u -= weight(i);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    // Floating-point slack: fall back to the last candidate.
+    *candidates.last().expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Vector {
+        Vector::from_vec(vec![1.0, 3.0, 2.0, -1.0])
+    }
+
+    #[test]
+    fn greedy_is_argmax() {
+        assert_eq!(Sampler::greedy().sample(&logits()), Some(1));
+    }
+
+    #[test]
+    fn samplers_are_reproducible_per_seed() {
+        let l = logits();
+        for make in [
+            |s| Sampler::temperature(0.7, s),
+            |s| Sampler::top_k(3, 0.7, s),
+        ] {
+            let mut a = make(42);
+            let mut b = make(42);
+            let draws_a: Vec<_> = (0..32).map(|_| a.sample(&l)).collect();
+            let draws_b: Vec<_> = (0..32).map(|_| b.sample(&l)).collect();
+            assert_eq!(draws_a, draws_b);
+        }
+    }
+
+    #[test]
+    fn different_seeds_eventually_diverge() {
+        let l = logits();
+        let mut a = Sampler::temperature(1.5, 1);
+        let mut b = Sampler::temperature(1.5, 2);
+        let same = (0..64).filter(|_| a.sample(&l) == b.sample(&l)).count();
+        assert!(same < 64, "independent streams should disagree somewhere");
+    }
+
+    #[test]
+    fn top_k_never_leaves_the_top_set() {
+        let l = logits();
+        let mut s = Sampler::top_k(2, 2.0, 9);
+        for _ in 0..64 {
+            let t = s.sample(&l).unwrap();
+            assert!(t == 1 || t == 2, "token {t} outside top-2");
+        }
+    }
+
+    #[test]
+    fn zero_temperature_and_zero_k_degenerate_to_greedy() {
+        assert!(!Sampler::temperature(0.0, 1).is_stochastic());
+        assert!(!Sampler::top_k(0, 1.0, 1).is_stochastic());
+        assert!(!Sampler::temperature(f64::NAN, 1).is_stochastic());
+        assert_eq!(Sampler::temperature(-1.0, 3).sample(&logits()), Some(1));
+    }
+
+    #[test]
+    fn empty_logits_sample_none() {
+        assert_eq!(Sampler::greedy().sample(&Vector::zeros(0)), None);
+        assert_eq!(Sampler::temperature(1.0, 0).sample(&Vector::zeros(0)), None);
+    }
+
+    #[test]
+    fn low_temperature_concentrates_on_argmax() {
+        let l = logits();
+        let mut s = Sampler::temperature(0.05, 11);
+        let hits = (0..128).filter(|_| s.sample(&l) == Some(1)).count();
+        assert!(hits > 120, "argmax drawn {hits}/128 times at T=0.05");
+    }
+}

@@ -4,8 +4,6 @@
 //! a few specials) keeps the substrate self-contained with no external vocab
 //! files, while still producing realistic token-by-token decoding dynamics.
 
-use serde::{Deserialize, Serialize};
-
 /// Token id of the beginning-of-sequence marker.
 pub const BOS: u32 = 256;
 /// Token id of the end-of-sequence marker.
@@ -27,7 +25,7 @@ pub const VOCAB_SIZE: usize = 259;
 /// assert_eq!(ids, vec![sparseinfer_model::tokenizer::BOS, 104, 105]);
 /// assert_eq!(tok.decode(&ids[1..]), "hi");
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ByteTokenizer;
 
 impl ByteTokenizer {

@@ -5,7 +5,6 @@
 //! consumers: the Fig. 2 distribution plots, predictor precision/recall
 //! measurement (Fig. 3), and DejaVu predictor training data.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_tensor::stats::Summary;
 use sparseinfer_tensor::Vector;
 
@@ -13,7 +12,7 @@ use crate::model::{DecodeSession, Model};
 
 /// One layer's capture for one token: the MLP input and the gate
 /// pre-activations.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MlpSample {
     /// Layer index.
     pub layer: usize,
@@ -25,7 +24,7 @@ pub struct MlpSample {
 }
 
 /// A collection of [`MlpSample`]s across layers and tokens.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MlpTrace {
     samples: Vec<MlpSample>,
     n_layers: usize,
@@ -34,7 +33,10 @@ pub struct MlpTrace {
 impl MlpTrace {
     /// Creates an empty trace for a model with `n_layers` layers.
     pub fn new(n_layers: usize) -> Self {
-        Self { samples: Vec::new(), n_layers }
+        Self {
+            samples: Vec::new(),
+            n_layers,
+        }
     }
 
     /// Records a trace by running `prompt` (and `extra_tokens` greedy
@@ -74,15 +76,18 @@ impl MlpTrace {
             let mid = layer.attention_half(&h, session.position, cache);
             let x = layer.mlp_norm().forward(&mid);
             let preact = layer.mlp().gate_preactivations(&x);
-            self.samples.push(MlpSample { layer: li, x: x.clone(), preact: preact.clone() });
+            self.samples.push(MlpSample {
+                layer: li,
+                x: x.clone(),
+                preact: preact.clone(),
+            });
 
             // Complete the MLP from the captured pre-activations.
             let mut h1 = preact;
             layer.mlp().activation().apply_slice(h1.as_mut_slice());
             let h2 = sparseinfer_tensor::gemv::gemv(layer.mlp().w_up(), &x);
             let h3 = h1.hadamard(&h2).expect("h1/h2 same length");
-            let mlp_out =
-                sparseinfer_tensor::gemv::gemv_transposed(layer.mlp().w_down_t(), &h3);
+            let mlp_out = sparseinfer_tensor::gemv::gemv_transposed(layer.mlp().w_down_t(), &h3);
             h = mid;
             h.add_assign(&mlp_out);
         }

@@ -12,8 +12,6 @@
 //! mirroring the CUDA kernel of Listing 1, which compares
 //! `count · 100  >  (total − count) · alpha_int` in integer arithmetic.
 
-use serde::{Deserialize, Serialize};
-
 /// A per-layer schedule of `alpha` values.
 ///
 /// # Example
@@ -27,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(schedule.alpha_percent(19), 103);
 /// assert_eq!(schedule.alpha_percent(20), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AlphaSchedule {
     /// The same alpha everywhere.
     Uniform(u32),
@@ -61,7 +59,10 @@ impl AlphaSchedule {
     ///
     /// Panics if `alpha` is not in `(0, 10]`.
     pub fn early_layers(alpha: f64, n_early: usize) -> Self {
-        AlphaSchedule::EarlyLayers { alpha_early: Self::to_percent(alpha), n_early }
+        AlphaSchedule::EarlyLayers {
+            alpha_early: Self::to_percent(alpha),
+            n_early,
+        }
     }
 
     /// Per-layer schedule from float alphas.
@@ -70,7 +71,10 @@ impl AlphaSchedule {
     ///
     /// Panics if `alphas` is empty or any value is out of `(0, 10]`.
     pub fn per_layer(alphas: &[f64]) -> Self {
-        assert!(!alphas.is_empty(), "per-layer schedule needs at least one value");
+        assert!(
+            !alphas.is_empty(),
+            "per-layer schedule needs at least one value"
+        );
         AlphaSchedule::PerLayer(alphas.iter().map(|a| Self::to_percent(*a)).collect())
     }
 
@@ -86,16 +90,19 @@ impl AlphaSchedule {
     pub fn alpha_percent(&self, layer: usize) -> u32 {
         match self {
             AlphaSchedule::Uniform(a) => *a,
-            AlphaSchedule::EarlyLayers { alpha_early, n_early } => {
+            AlphaSchedule::EarlyLayers {
+                alpha_early,
+                n_early,
+            } => {
                 if layer < *n_early {
                     *alpha_early
                 } else {
                     100
                 }
             }
-            AlphaSchedule::PerLayer(v) => *v.get(layer).unwrap_or_else(|| {
-                v.last().expect("per-layer schedule is non-empty")
-            }),
+            AlphaSchedule::PerLayer(v) => *v
+                .get(layer)
+                .unwrap_or_else(|| v.last().expect("per-layer schedule is non-empty")),
         }
     }
 
@@ -145,11 +152,10 @@ pub fn calibrate_per_layer(
 
     for (li, alpha_out) in chosen.iter_mut().enumerate() {
         for alpha in grid {
-            let mut predictor =
-                SignBitPredictor::from_gate_matrices(
-                    std::slice::from_ref(model.layers()[li].mlp().w_gate()),
-                    AlphaSchedule::uniform(*alpha),
-                );
+            let mut predictor = SignBitPredictor::from_gate_matrices(
+                std::slice::from_ref(model.layers()[li].mlp().w_gate()),
+                AlphaSchedule::uniform(*alpha),
+            );
             let mut counts = ConfusionCounts::default();
             for s in trace.layer_samples(li) {
                 let predicted = predictor.predict(0, &s.x);

@@ -17,15 +17,14 @@
 //! formula, and the learned quality is enough to reach high precision on the
 //! synthetic models.
 
-use serde::{Deserialize, Serialize};
-use sparseinfer_model::{Model, MlpTrace};
+use sparseinfer_model::{MlpTrace, Model};
 use sparseinfer_tensor::{gemv::gemv, Matrix, Prng, Vector};
 
 use crate::mask::SkipMask;
 use crate::traits::SparsityPredictor;
 
 /// One layer's low-rank predictor: `score = B · relu(A·x) + bias`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DejaVuLayer {
     /// Fixed random projection, `r × d`.
     a: Matrix,
@@ -54,7 +53,7 @@ impl DejaVuLayer {
 }
 
 /// The full multi-layer DejaVu-style predictor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DejaVuPredictor {
     layers: Vec<DejaVuLayer>,
     rank: usize,
@@ -119,7 +118,7 @@ impl SparsityPredictor for DejaVuPredictor {
 }
 
 /// Training hyper-parameters for [`Trainer`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Low-rank dimension `r`.
     pub rank: usize,
@@ -136,7 +135,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { rank: 16, epochs: 12, learning_rate: 0.15, positive_weight: 2.0, seed: 0xDE7A }
+        Self {
+            rank: 16,
+            epochs: 12,
+            learning_rate: 0.15,
+            positive_weight: 2.0,
+            seed: 0xDE7A,
+        }
     }
 }
 
@@ -166,7 +171,11 @@ impl Trainer {
             assert!(!samples.is_empty(), "no trace samples for layer {layer}");
             layers.push(self.train_layer(cfg.hidden_dim, cfg.mlp_dim, &samples, &mut rng));
         }
-        DejaVuPredictor { layers, rank: self.config.rank, margin: 0.0 }
+        DejaVuPredictor {
+            layers,
+            rank: self.config.rank,
+            margin: 0.0,
+        }
     }
 
     fn train_layer(
@@ -265,7 +274,11 @@ mod tests {
         let overall = metrics.overall();
         // Trained on its own trace it must separate active from sparse far
         // better than the ~90/10 base rate would by chance.
-        assert!(overall.precision() > 0.9, "precision {}", overall.precision());
+        assert!(
+            overall.precision() > 0.9,
+            "precision {}",
+            overall.precision()
+        );
         assert!(overall.recall() > 0.5, "recall {}", overall.recall());
     }
 
@@ -285,8 +298,7 @@ mod tests {
     fn memory_matches_dejavu_formula() {
         let (model, predictor, _) = trained_setup();
         let cfg = model.config();
-        let expected =
-            cfg.n_layers * (cfg.hidden_dim * 16 + 16 * cfg.mlp_dim) * 2;
+        let expected = cfg.n_layers * (cfg.hidden_dim * 16 + 16 * cfg.mlp_dim) * 2;
         assert_eq!(predictor.memory_bytes(), expected);
     }
 }

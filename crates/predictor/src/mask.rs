@@ -8,8 +8,6 @@
 //! before the later steps (§IV: "adjusted skip flags, which is the union of
 //! the predicted sparsity or previous flags and the actual sparsity").
 
-use serde::{Deserialize, Serialize};
-
 /// Per-row skip flags for one MLP block (true = skip).
 ///
 /// # Example
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(mask.is_skipped(3));
 /// assert_eq!(mask.active_rows().collect::<Vec<_>>(), vec![0, 2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkipMask {
     words: Vec<u64>,
     len: usize,
@@ -34,7 +32,10 @@ pub struct SkipMask {
 impl SkipMask {
     /// Creates a mask with every row active (nothing skipped).
     pub fn all_dense(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a mask with every row skipped.

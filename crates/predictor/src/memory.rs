@@ -45,7 +45,10 @@ mod tests {
         assert_eq!(signbit_bytes(&cfg), 13_824 * 160 * 4 * 40);
         assert!((to_mib(signbit_bytes(&cfg)) - 337.5).abs() < 1e-9);
         // (5120·1024 + 1024·13824) × 2 × 40 = 1480 MiB
-        assert_eq!(dejavu_bytes(&cfg, 1024), (5120 * 1024 + 1024 * 13824) * 2 * 40);
+        assert_eq!(
+            dejavu_bytes(&cfg, 1024),
+            (5120 * 1024 + 1024 * 13824) * 2 * 40
+        );
         assert!((to_mib(dejavu_bytes(&cfg, 1024)) - 1480.0).abs() < 1.0);
         // Ratio ≈ 4.38×.
         assert!((memory_ratio(&cfg, 1024) - 4.38).abs() < 0.01);

@@ -6,12 +6,10 @@
 //! fraction of truly sparse elements the predictor captured (a miss here
 //! only costs speed, not accuracy).
 
-use serde::{Deserialize, Serialize};
-
 use crate::mask::SkipMask;
 
 /// Confusion counts over (predicted sparse?, truly sparse?) pairs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfusionCounts {
     /// Predicted sparse, truly sparse.
     pub true_positive: u64,
@@ -104,7 +102,7 @@ impl ConfusionCounts {
 }
 
 /// Per-layer confusion counts (the data behind Fig. 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LayerMetrics {
     layers: Vec<ConfusionCounts>,
 }
@@ -112,7 +110,9 @@ pub struct LayerMetrics {
 impl LayerMetrics {
     /// Creates empty metrics for `n_layers` layers.
     pub fn new(n_layers: usize) -> Self {
-        Self { layers: vec![ConfusionCounts::default(); n_layers] }
+        Self {
+            layers: vec![ConfusionCounts::default(); n_layers],
+        }
     }
 
     /// Records one mask pair for `layer`.
@@ -145,7 +145,10 @@ impl LayerMetrics {
 
     /// `(precision, recall)` per layer — the two series of Fig. 3.
     pub fn precision_recall_series(&self) -> Vec<(f64, f64)> {
-        self.layers.iter().map(|c| (c.precision(), c.recall())).collect()
+        self.layers
+            .iter()
+            .map(|c| (c.precision(), c.recall()))
+            .collect()
     }
 }
 
@@ -219,8 +222,14 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a = ConfusionCounts { true_positive: 1, ..Default::default() };
-        let b = ConfusionCounts { false_negative: 2, ..Default::default() };
+        let mut a = ConfusionCounts {
+            true_positive: 1,
+            ..Default::default()
+        };
+        let b = ConfusionCounts {
+            false_negative: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.true_positive, 1);
         assert_eq!(a.false_negative, 2);

@@ -24,8 +24,16 @@ impl OraclePredictor {
     /// Captures references to every layer's gate weights.
     pub fn from_model(model: &Model) -> Self {
         Self {
-            gates: model.layers().iter().map(|l| l.mlp().w_gate().clone()).collect(),
-            activations: model.layers().iter().map(|l| l.mlp().activation()).collect(),
+            gates: model
+                .layers()
+                .iter()
+                .map(|l| l.mlp().w_gate().clone())
+                .collect(),
+            activations: model
+                .layers()
+                .iter()
+                .map(|l| l.mlp().activation())
+                .collect(),
         }
     }
 

@@ -29,7 +29,12 @@ impl RandomPredictor {
     /// Panics if `p` is outside `[0, 1]`.
     pub fn new(p: f64, rows: usize, layers: usize, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
-        Self { p, rows, layers, rng: Prng::seed(seed) }
+        Self {
+            p,
+            rows,
+            layers,
+            rng: Prng::seed(seed),
+        }
     }
 
     /// The skip probability.

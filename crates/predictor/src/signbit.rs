@@ -15,7 +15,6 @@
 //! products must mean *skip*; we implement the prose/Eq. 2 semantics and
 //! note the typo here.)
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::Model;
 use sparseinfer_tensor::sign::{PackedSignMatrix, SignPack};
 use sparseinfer_tensor::{Matrix, Vector};
@@ -39,7 +38,7 @@ use crate::traits::SparsityPredictor;
 /// let x = Vector::from_fn(32, |_| 1.0);
 /// assert!(p.predict(0, &x).is_skipped(0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SignBitPredictor {
     layers: Vec<PackedSignMatrix>,
     schedule: AlphaSchedule,
@@ -59,7 +58,10 @@ impl SignBitPredictor {
 
     /// Builds from raw gate matrices (one per layer).
     pub fn from_gate_matrices(gates: &[Matrix], schedule: AlphaSchedule) -> Self {
-        Self { layers: gates.iter().map(PackedSignMatrix::pack).collect(), schedule }
+        Self {
+            layers: gates.iter().map(PackedSignMatrix::pack).collect(),
+            schedule,
+        }
     }
 
     /// Builds from already-packed sign matrices — the INT8/FP16 path, where

@@ -23,8 +23,9 @@ pub struct PredictionCost {
 /// Implementations receive the *normalized MLP input* `X` for a layer and
 /// return a [`SkipMask`] over the layer's `k` intermediate rows (true =
 /// predicted sparse, skip the row). Predictors may carry mutable state
-/// (e.g. an RNG), hence `&mut self`.
-pub trait SparsityPredictor {
+/// (e.g. an RNG), hence `&mut self`. `Debug` is a supertrait so boxed
+/// predictors compose with `#[derive(Debug)]` engines.
+pub trait SparsityPredictor: std::fmt::Debug {
     /// Predicts the skip mask for `layer` given the MLP input `x`.
     ///
     /// # Panics
@@ -43,6 +44,27 @@ pub trait SparsityPredictor {
     /// oracle and random baselines, which have no realizable hardware cost).
     fn prediction_cost(&self, _layer: usize) -> PredictionCost {
         PredictionCost::default()
+    }
+}
+
+/// Boxed predictors forward to the inner implementation, so `Box<dyn
+/// SparsityPredictor>` plugs into anything generic over predictors — the
+/// ergonomic backbone of the engine builder's dynamic configuration.
+impl<P: SparsityPredictor + ?Sized> SparsityPredictor for Box<P> {
+    fn predict(&mut self, layer: usize, x: &Vector) -> SkipMask {
+        (**self).predict(layer, x)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn n_layers(&self) -> usize {
+        (**self).n_layers()
+    }
+
+    fn prediction_cost(&self, layer: usize) -> PredictionCost {
+        (**self).prediction_cost(layer)
     }
 }
 

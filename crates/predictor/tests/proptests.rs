@@ -1,43 +1,52 @@
-//! Property-based tests for the predictor crate.
+//! Property-style tests for the predictor crate, driven by seeded
+//! pseudo-random sweeps (offline replacement for the `proptest` crate).
 
-use proptest::prelude::*;
 use sparseinfer_predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
 use sparseinfer_tensor::{Matrix, Prng, Vector};
 
-proptest! {
-    /// Eq. (2) monotonicity: raising alpha can only turn skips into
-    /// non-skips, never the reverse — for every row count and total.
-    #[test]
-    fn decide_is_monotone_in_alpha(n_neg in 0u32..2048, extra in 0u32..2048) {
-        let total = n_neg + extra;
+/// Eq. (2) monotonicity: raising alpha can only turn skips into non-skips,
+/// never the reverse — for every row count and total.
+#[test]
+fn decide_is_monotone_in_alpha() {
+    let mut rng = Prng::seed(21);
+    for _ in 0..512 {
+        let n_neg = rng.below(2048) as u32;
+        let total = n_neg + rng.below(2048) as u32;
         let mut prev_skip = true;
         for alpha in [50u32, 80, 100, 101, 103, 120, 200, 400] {
             let skip = SignBitPredictor::decide(n_neg, total, alpha);
             if !prev_skip {
-                prop_assert!(!skip, "skip reappeared at alpha {alpha} (n_neg={n_neg}, total={total})");
+                assert!(
+                    !skip,
+                    "skip reappeared at alpha {alpha} (n_neg={n_neg}, total={total})"
+                );
             }
             prev_skip = skip;
         }
     }
+}
 
-    /// At alpha = 1.00 the rule is exactly the majority test N_neg > N_pos.
-    #[test]
-    fn decide_at_unit_alpha_is_majority(n_neg in 0u32..4096, extra in 0u32..4096) {
-        let total = n_neg + extra;
+/// At alpha = 1.00 the rule is exactly the majority test N_neg > N_pos.
+#[test]
+fn decide_at_unit_alpha_is_majority() {
+    let mut rng = Prng::seed(22);
+    for _ in 0..2048 {
+        let n_neg = rng.below(4096) as u32;
+        let total = n_neg + rng.below(4096) as u32;
         let n_pos = total - n_neg;
-        prop_assert_eq!(SignBitPredictor::decide(n_neg, total, 100), n_neg > n_pos);
+        assert_eq!(SignBitPredictor::decide(n_neg, total, 100), n_neg > n_pos);
     }
+}
 
-    /// The packed predictor agrees with a scalar reimplementation of
-    /// Eq. (2) on random matrices and inputs.
-    #[test]
-    fn predictor_matches_scalar_reference(
-        seed in 0u64..500,
-        k in 1usize..24,
-        alpha in prop::sample::select(vec![100u32, 101, 103, 150])
-    ) {
+/// The packed predictor agrees with a scalar reimplementation of Eq. (2) on
+/// random matrices and inputs.
+#[test]
+fn predictor_matches_scalar_reference() {
+    for seed in 0..48u64 {
         let d = 64usize;
         let mut rng = Prng::seed(seed);
+        let k = 1 + rng.below(23);
+        let alpha = *rng.choose(&[100u32, 101, 103, 150]);
         let gate = Matrix::from_fn(k, d, |_, _| rng.normal(-0.05, 1.0) as f32);
         let x = Vector::from_fn(d, |_| rng.normal(0.4, 1.0) as f32);
         let mut p = SignBitPredictor::from_gate_matrices(
@@ -53,47 +62,53 @@ proptest! {
                 .filter(|(w, xi)| w.is_sign_negative() != xi.is_sign_negative())
                 .count() as u32;
             let expect = SignBitPredictor::decide(n_neg, d as u32, alpha);
-            prop_assert_eq!(mask.is_skipped(r), expect, "row {}", r);
+            assert_eq!(mask.is_skipped(r), expect, "seed {seed} row {r}");
         }
     }
+}
 
-    /// Mask union is commutative, associative, idempotent and monotone.
-    #[test]
-    fn skip_mask_union_laws(
-        a_bits in prop::collection::vec(any::<bool>(), 1..200),
-        b_bits in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
-        let len = a_bits.len().min(b_bits.len());
-        let a = SkipMask::from_fn(len, |i| a_bits[i]);
-        let b = SkipMask::from_fn(len, |i| b_bits[i]);
+/// Mask union is commutative, associative, idempotent and monotone.
+#[test]
+fn skip_mask_union_laws() {
+    let mut rng = Prng::seed(23);
+    for trial in 0..128 {
+        let len = 1 + rng.below(199);
+        let a = SkipMask::from_fn(len, |_| rng.flip(0.5));
+        let b = SkipMask::from_fn(len, |_| rng.flip(0.5));
 
         let mut ab = a.clone();
         ab.union_with(&b);
         let mut ba = b.clone();
         ba.union_with(&a);
-        prop_assert_eq!(&ab, &ba); // commutative
+        assert_eq!(&ab, &ba, "trial {trial}: union must commute");
 
         let mut aa = a.clone();
         aa.union_with(&a);
-        prop_assert_eq!(&aa, &a); // idempotent
+        assert_eq!(&aa, &a, "trial {trial}: union must be idempotent");
 
-        prop_assert!(ab.skip_count() >= a.skip_count().max(b.skip_count())); // monotone
+        assert!(ab.skip_count() >= a.skip_count().max(b.skip_count()));
         for i in 0..len {
-            prop_assert_eq!(ab.is_skipped(i), a.is_skipped(i) || b.is_skipped(i));
+            assert_eq!(ab.is_skipped(i), a.is_skipped(i) || b.is_skipped(i));
         }
     }
+}
 
-    /// skip_count + active_rows always partition the mask.
-    #[test]
-    fn mask_partition_invariant(bits in prop::collection::vec(any::<bool>(), 0..300)) {
-        let mask = SkipMask::from_fn(bits.len(), |i| bits[i]);
-        prop_assert_eq!(mask.skip_count() + mask.active_rows().count(), bits.len());
-        prop_assert_eq!(mask.skipped_rows().count(), mask.skip_count());
+/// skip_count + active_rows always partition the mask.
+#[test]
+fn mask_partition_invariant() {
+    let mut rng = Prng::seed(24);
+    for _ in 0..128 {
+        let len = rng.below(300);
+        let mask = SkipMask::from_fn(len, |_| rng.flip(0.3));
+        assert_eq!(mask.skip_count() + mask.active_rows().count(), len);
+        assert_eq!(mask.skipped_rows().count(), mask.skip_count());
     }
+}
 
-    /// Raising alpha never increases the number of predicted-sparse rows.
-    #[test]
-    fn higher_alpha_never_skips_more(seed in 0u64..300) {
+/// Raising alpha never increases the number of predicted-sparse rows.
+#[test]
+fn higher_alpha_never_skips_more() {
+    for seed in 0..32u64 {
         let d = 96usize;
         let k = 32usize;
         let mut rng = Prng::seed(seed);
@@ -106,7 +121,7 @@ proptest! {
                 AlphaSchedule::uniform(alpha),
             );
             let count = p.predict(0, &x).skip_count();
-            prop_assert!(count <= last, "alpha {alpha}: {count} > {last}");
+            assert!(count <= last, "seed {seed} alpha {alpha}: {count} > {last}");
             last = count;
         }
     }

@@ -1,0 +1,277 @@
+//! Batched multi-session decoding: one scheduler, many concurrent requests.
+//!
+//! A [`Batch`] owns a set of (engine, request) pairs — dense and sparse
+//! engines mix freely because everything is `Box<dyn Engine>` — and
+//! advances them in round-robin order, one model step per request per
+//! [`tick`](Batch::tick). Every request keeps its own
+//! [`DecodeSession`](sparseinfer_model::model::DecodeSession), sampler
+//! stream and op counters, so interleaving changes *scheduling* only: the
+//! tokens of each request are bit-identical to running it alone (proven by
+//! the workspace integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use sparseinfer_model::{generator::WeightGenerator, ModelConfig};
+//! use sparseinfer_predictor::AlphaSchedule;
+//! use sparseinfer_sparse::batch::Batch;
+//! use sparseinfer_sparse::engine::EngineBuilder;
+//! use sparseinfer_sparse::request::GenerateRequest;
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 3).build();
+//! let mut batch = Batch::new();
+//! for (i, prompt) in [[1u32, 2], [3, 4], [5, 6]].iter().enumerate() {
+//!     let engine = if i % 2 == 0 {
+//!         EngineBuilder::new(&model).build().unwrap()
+//!     } else {
+//!         EngineBuilder::new(&model).signbit(AlphaSchedule::uniform(1.0)).build().unwrap()
+//!     };
+//!     batch.push(engine, &GenerateRequest::new(prompt).max_new(4)).unwrap();
+//! }
+//! let outputs = batch.run();
+//! assert_eq!(outputs.len(), 3);
+//! assert!(outputs.iter().all(|o| o.tokens.len() == 4));
+//! ```
+
+use crate::engine::{Engine, SparsityStats};
+use crate::error::EngineError;
+use crate::ops::OpCounter;
+use crate::request::{FinishReason, GenerateRequest, RequestRun, TokenEvent};
+
+/// A token emitted by one request inside a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// The request id returned by [`Batch::push`].
+    pub request: usize,
+    /// Zero-based position in that request's continuation.
+    pub index: usize,
+    /// The token id.
+    pub token: u32,
+}
+
+/// The finished result of one batched request, with per-request accounting.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// The request id returned by [`Batch::push`].
+    pub id: usize,
+    /// The generated tokens.
+    pub tokens: Vec<u32>,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+    /// Operations this request executed (prefill through the bare model is
+    /// not counted, matching the single-request path).
+    pub ops: OpCounter,
+    /// Sparsity statistics, for sparse engines.
+    pub stats: Option<SparsityStats>,
+    /// The engine configuration name that served the request.
+    pub engine: String,
+}
+
+struct Slot<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    run: RequestRun,
+}
+
+/// A round-robin scheduler over concurrent decode sessions.
+///
+/// Fairness is strict: each [`tick`](Batch::tick) advances every live
+/// request by exactly one model step, so short prompts start decoding while
+/// long prompts are still prefilling, and no request starves.
+#[derive(Default)]
+pub struct Batch<'m> {
+    slots: Vec<Slot<'m>>,
+}
+
+impl std::fmt::Debug for Batch<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batch")
+            .field("requests", &self.slots.len())
+            .field("active", &self.active_requests())
+            .finish()
+    }
+}
+
+impl<'m> Batch<'m> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Adds a request served by `engine`, returning its id. The engine's
+    /// counters are reset so the eventual [`BatchOutput::ops`] is exactly
+    /// this request's work.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the request's prompt is empty.
+    pub fn push(
+        &mut self,
+        mut engine: Box<dyn Engine + 'm>,
+        req: &GenerateRequest,
+    ) -> Result<usize, EngineError> {
+        let run = RequestRun::new(req, engine.as_ref())?;
+        engine.reset_ops();
+        let id = self.slots.len();
+        self.slots.push(Slot { id, engine, run });
+        Ok(id)
+    }
+
+    /// Number of requests in the batch (finished or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of requests still decoding.
+    pub fn active_requests(&self) -> usize {
+        self.slots.iter().filter(|s| !s.run.finished()).count()
+    }
+
+    /// Advances every live request by one model step, invoking `on_token`
+    /// for each token emitted this round. Returns the number of requests
+    /// still active afterwards.
+    pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
+        for slot in &mut self.slots {
+            if let Some(TokenEvent { index, token }) = slot.run.advance(slot.engine.as_mut()) {
+                on_token(BatchEvent {
+                    request: slot.id,
+                    index,
+                    token,
+                });
+            }
+        }
+        self.active_requests()
+    }
+
+    /// Runs every request to completion and returns the outputs in push
+    /// order.
+    pub fn run(self) -> Vec<BatchOutput> {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs every request to completion, streaming each token through
+    /// `on_token` as it is produced, interleaved across requests.
+    pub fn run_streaming(mut self, mut on_token: impl FnMut(BatchEvent)) -> Vec<BatchOutput> {
+        while self.tick(&mut on_token) > 0 {}
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                let Slot { id, engine, run } = slot;
+                let generation = run.into_generation();
+                BatchOutput {
+                    id,
+                    tokens: generation.tokens,
+                    finish: generation.finish,
+                    ops: *engine.ops(),
+                    stats: engine.stats().cloned(),
+                    engine: engine.name().to_string(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::{Model, ModelConfig};
+    use sparseinfer_predictor::AlphaSchedule;
+
+    fn model() -> Model {
+        WeightGenerator::new(&ModelConfig::tiny(), 13).build()
+    }
+
+    #[test]
+    fn empty_batch_runs_to_nothing() {
+        let batch = Batch::new();
+        assert!(batch.is_empty());
+        assert!(batch.run().is_empty());
+    }
+
+    #[test]
+    fn push_rejects_empty_prompts() {
+        let m = model();
+        let mut batch = Batch::new();
+        let engine = EngineBuilder::new(&m).build().unwrap();
+        let err = batch.push(engine, &GenerateRequest::new(&[])).unwrap_err();
+        assert_eq!(err, EngineError::EmptyPrompt);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn outputs_keep_push_order_and_ids() {
+        let m = model();
+        let mut batch = Batch::new();
+        for p in [[1u32, 2], [9, 8], [4, 4]] {
+            let e = EngineBuilder::new(&m).build().unwrap();
+            batch.push(e, &GenerateRequest::new(&p).max_new(3)).unwrap();
+        }
+        let out = batch.run();
+        assert_eq!(out.iter().map(|o| o.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn per_request_ops_are_isolated() {
+        let m = model();
+        let mut batch = Batch::new();
+        for max_new in [2usize, 8] {
+            let e = EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap();
+            batch
+                .push(e, &GenerateRequest::new(&[1, 2]).max_new(max_new))
+                .unwrap();
+        }
+        let out = batch.run();
+        assert!(
+            out[1].ops.macs > out[0].ops.macs,
+            "8-token request must cost more than the 2-token one"
+        );
+        assert_eq!(out[0].stats.as_ref().unwrap().tokens(), 2);
+        assert_eq!(out[1].stats.as_ref().unwrap().tokens(), 8);
+    }
+
+    #[test]
+    fn streaming_interleaves_requests() {
+        let m = model();
+        let mut batch = Batch::new();
+        for p in [[1u32, 2], [3, 4]] {
+            let e = EngineBuilder::new(&m).build().unwrap();
+            batch.push(e, &GenerateRequest::new(&p).max_new(3)).unwrap();
+        }
+        let mut order = Vec::new();
+        let _ = batch.run_streaming(|ev| order.push(ev.request));
+        // Equal-length prompts: tokens alternate 0,1,0,1,0,1.
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn mixed_engine_kinds_share_one_scheduler() {
+        let m = model();
+        let mut batch = Batch::new();
+        let dense = EngineBuilder::new(&m).build().unwrap();
+        let sparse = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        batch
+            .push(dense, &GenerateRequest::new(&[1, 2]).max_new(4))
+            .unwrap();
+        batch
+            .push(sparse, &GenerateRequest::new(&[1, 2]).max_new(4))
+            .unwrap();
+        let out = batch.run();
+        assert_eq!(out[0].engine, "dense");
+        assert_eq!(out[1].engine, "sparse:sparseinfer");
+        assert!(out[0].stats.is_none());
+        assert!(out[1].stats.is_some());
+    }
+}

@@ -1,25 +1,60 @@
-//! Whole-model inference engines.
+//! The unified serving-grade engine API.
 //!
-//! Three frontends share the same model weights and the same attention path,
-//! differing only in how they execute the MLP blocks:
+//! One object-safe [`Engine`] trait fronts every way this workspace can run
+//! a model — dense (the llama.cpp baseline) or sparse under any
+//! [`SparsityPredictor`] (sign-bit, DejaVu-style trained, oracle, random) —
+//! and one [`EngineBuilder`] constructs them all:
 //!
-//! * [`DenseEngine`] — every row computed; the llama.cpp baseline.
-//! * [`SparseEngine`] driven by a
-//!   [`SignBitPredictor`](sparseinfer_predictor::SignBitPredictor) — the
-//!   SparseInfer engine (with `+KF`/`+AS` switches).
-//! * [`SparseEngine`] driven by a
-//!   [`DejaVuPredictor`](sparseinfer_predictor::DejaVuPredictor) — the
-//!   PowerInfer-style baseline.
+//! ```
+//! use sparseinfer_model::{generator::WeightGenerator, ModelConfig, Sampler};
+//! use sparseinfer_predictor::AlphaSchedule;
+//! use sparseinfer_sparse::engine::EngineBuilder;
+//! use sparseinfer_sparse::request::{generate, GenerateRequest};
 //!
-//! Engines accumulate [`OpCounter`] statistics and per-layer sparsity so the
-//! benchmark harness can hand *measured* masks and traffic to the GPU cost
-//! model.
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+//!
+//! // Dense baseline: a builder with no predictor.
+//! let mut dense = EngineBuilder::new(&model).build().unwrap();
+//!
+//! // SparseInfer: the training-free sign-bit predictor.
+//! let mut sparse = EngineBuilder::new(&model)
+//!     .signbit(AlphaSchedule::uniform(1.0))
+//!     .sampler(Sampler::greedy())
+//!     .build()
+//!     .unwrap();
+//!
+//! let req = GenerateRequest::new(&[1, 2, 3]).max_new(8);
+//! let a = generate(dense.as_mut(), &req).unwrap();
+//! let b = generate(sparse.as_mut(), &req).unwrap();
+//! assert_eq!(a.tokens.len(), 8);
+//! assert_eq!(b.tokens.len(), 8);
+//! println!("sparse skipped {} rows", sparse.ops().rows_skipped);
+//! ```
+//!
+//! The trait is deliberately small: [`Engine::step`] advances one token
+//! through one [`DecodeSession`] and returns logits. Everything above it —
+//! sampling policies, [`GenerateRequest`](crate::request::GenerateRequest)s,
+//! streaming callbacks, and the round-robin [`Batch`](crate::batch::Batch)
+//! scheduler that interleaves many concurrent sessions — composes against
+//! `&mut dyn Engine`, so batching, sharding and async layers can be added
+//! without touching the execution cores.
+//!
+//! Engines accumulate [`OpCounter`] statistics and per-layer sparsity so
+//! the benchmark harness can hand *measured* masks and traffic to the GPU
+//! cost model. Construction errors ([`EngineError`]) are values, not
+//! panics: a layer-count mismatch between predictor and model comes back as
+//! `Err`, the contract a serving frontend needs.
 
 use sparseinfer_model::model::DecodeSession;
+use sparseinfer_model::sampling::Sampler;
 use sparseinfer_model::Model;
-use sparseinfer_predictor::{SkipMask, SparsityPredictor};
+use sparseinfer_predictor::{
+    AlphaSchedule, DejaVuPredictor, OraclePredictor, RandomPredictor, SignBitPredictor, SkipMask,
+    SparsityPredictor,
+};
 use sparseinfer_tensor::Vector;
 
+use crate::error::EngineError;
 use crate::mlp::{dense_mlp_forward, sparse_mlp_forward, MlpOptions};
 use crate::ops::OpCounter;
 
@@ -33,22 +68,42 @@ pub struct EngineOptions {
 impl EngineOptions {
     /// Full SparseInfer configuration: kernel fusion + actual sparsity.
     pub fn sparseinfer() -> Self {
-        Self { mlp: MlpOptions { kernel_fusion: true, actual_sparsity: true } }
+        Self {
+            mlp: MlpOptions {
+                kernel_fusion: true,
+                actual_sparsity: true,
+            },
+        }
     }
 
     /// Base variant: prediction only, no fusion, no actual sparsity.
     pub fn base() -> Self {
-        Self { mlp: MlpOptions { kernel_fusion: false, actual_sparsity: false } }
+        Self {
+            mlp: MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: false,
+            },
+        }
     }
 
     /// Base + kernel fusion.
     pub fn with_kernel_fusion() -> Self {
-        Self { mlp: MlpOptions { kernel_fusion: true, actual_sparsity: false } }
+        Self {
+            mlp: MlpOptions {
+                kernel_fusion: true,
+                actual_sparsity: false,
+            },
+        }
     }
 
     /// Base + actual sparsity.
     pub fn with_actual_sparsity() -> Self {
-        Self { mlp: MlpOptions { kernel_fusion: false, actual_sparsity: true } }
+        Self {
+            mlp: MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: true,
+            },
+        }
     }
 }
 
@@ -90,6 +145,35 @@ impl SparsityStats {
         self.tokens
     }
 
+    /// Merges another run's statistics into this one (token-weighted, so
+    /// the means stay means over the union of tokens). An empty accumulator
+    /// adopts the other side's layer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sides are non-empty and cover different layer counts.
+    pub fn merge(&mut self, other: &SparsityStats) {
+        if other.tokens == 0 {
+            return;
+        }
+        if self.tokens == 0 {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.predicted_sum.len(),
+            other.predicted_sum.len(),
+            "cannot merge stats over different layer counts"
+        );
+        for (a, b) in self.predicted_sum.iter_mut().zip(&other.predicted_sum) {
+            *a += b;
+        }
+        for (a, b) in self.effective_sum.iter_mut().zip(&other.effective_sum) {
+            *a += b;
+        }
+        self.tokens += other.tokens;
+    }
+
     fn means(&self, sums: &[f64]) -> Vec<f64> {
         if self.tokens == 0 {
             return vec![0.0; sums.len()];
@@ -98,31 +182,76 @@ impl SparsityStats {
     }
 }
 
+/// One decode-capable execution configuration of a model.
+///
+/// Object-safe on purpose: the request layer, the eval harness and the
+/// [`Batch`](crate::batch::Batch) scheduler all drive `&mut dyn Engine` /
+/// `Box<dyn Engine>`, so dense and sparse configurations mix freely in one
+/// scheduler.
+pub trait Engine: std::fmt::Debug {
+    /// The model this engine executes.
+    fn model(&self) -> &Model;
+
+    /// Advances `session` by one token and returns the logits.
+    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector;
+
+    /// The accumulated operation counts.
+    fn ops(&self) -> &OpCounter;
+
+    /// Resets counters and sparsity statistics.
+    fn reset_ops(&mut self);
+
+    /// Accumulated sparsity statistics; `None` for engines that never skip
+    /// (the dense baseline).
+    fn stats(&self) -> Option<&SparsityStats> {
+        None
+    }
+
+    /// The sampler requests fall back to when they don't carry their own
+    /// (set via [`EngineBuilder::sampler`]).
+    fn default_sampler(&self) -> Sampler {
+        Sampler::greedy()
+    }
+
+    /// Short, stable configuration name for printouts.
+    fn name(&self) -> &str;
+}
+
 /// Dense decoding engine (the llama.cpp baseline) with op accounting.
 #[derive(Debug)]
 pub struct DenseEngine<'m> {
     model: &'m Model,
     ops: OpCounter,
+    sampler: Sampler,
 }
 
 impl<'m> DenseEngine<'m> {
     /// Wraps a model.
     pub fn new(model: &'m Model) -> Self {
-        Self { model, ops: OpCounter::default() }
+        Self {
+            model,
+            ops: OpCounter::default(),
+            sampler: Sampler::greedy(),
+        }
     }
 
-    /// The accumulated operation counts.
-    pub fn ops(&self) -> &OpCounter {
-        &self.ops
+    /// Greedy generation with dense execution — a thin wrapper over the
+    /// request layer ([`generate`](crate::request::generate)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        generate_greedy_via_request(self, prompt, max_new, eos)
+    }
+}
+
+impl Engine for DenseEngine<'_> {
+    fn model(&self) -> &Model {
+        self.model
     }
 
-    /// Resets the accumulated counts.
-    pub fn reset_ops(&mut self) {
-        self.ops = OpCounter::default();
-    }
-
-    /// Forward one token (dense MLPs), counting operations.
-    pub fn forward_token(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
         let model = self.model;
         let mut h = model.embed(token);
         for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
@@ -137,70 +266,96 @@ impl<'m> DenseEngine<'m> {
         model.logits(&h)
     }
 
-    /// Greedy generation with dense execution.
-    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
-        generate_greedy_with(prompt, max_new, eos, self.model, |engine_token, session| {
-            self.forward_token(engine_token, session)
-        })
-    }
-}
-
-/// Sparsity-exploiting decoding engine, generic over the predictor.
-#[derive(Debug)]
-pub struct SparseEngine<'m, P: SparsityPredictor> {
-    model: &'m Model,
-    predictor: P,
-    options: EngineOptions,
-    ops: OpCounter,
-    stats: SparsityStats,
-}
-
-impl<'m, P: SparsityPredictor> SparseEngine<'m, P> {
-    /// Wraps a model and predictor.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the predictor covers a different number of layers than the
-    /// model.
-    pub fn new(model: &'m Model, predictor: P, options: EngineOptions) -> Self {
-        assert_eq!(
-            predictor.n_layers(),
-            model.layers().len(),
-            "predictor/model layer count mismatch"
-        );
-        let n = model.layers().len();
-        Self { model, predictor, options, ops: OpCounter::default(), stats: SparsityStats::new(n) }
-    }
-
-    /// The accumulated operation counts.
-    pub fn ops(&self) -> &OpCounter {
+    fn ops(&self) -> &OpCounter {
         &self.ops
     }
 
-    /// The accumulated sparsity statistics.
-    pub fn stats(&self) -> &SparsityStats {
-        &self.stats
+    fn reset_ops(&mut self) {
+        self.ops = OpCounter::default();
+    }
+
+    fn default_sampler(&self) -> Sampler {
+        self.sampler.clone()
+    }
+
+    fn name(&self) -> &str {
+        "dense"
+    }
+}
+
+/// Sparsity-exploiting decoding engine over a boxed, dynamically chosen
+/// predictor.
+#[derive(Debug)]
+pub struct SparseEngine<'m> {
+    model: &'m Model,
+    predictor: Box<dyn SparsityPredictor>,
+    options: EngineOptions,
+    ops: OpCounter,
+    stats: SparsityStats,
+    sampler: Sampler,
+    label: String,
+}
+
+impl<'m> SparseEngine<'m> {
+    /// Wraps a model and predictor, verifying they cover the same layers.
+    pub fn new(
+        model: &'m Model,
+        predictor: Box<dyn SparsityPredictor>,
+        options: EngineOptions,
+    ) -> Result<Self, EngineError> {
+        if predictor.n_layers() != model.layers().len() {
+            return Err(EngineError::LayerCountMismatch {
+                model_layers: model.layers().len(),
+                predictor_layers: predictor.n_layers(),
+            });
+        }
+        let n = model.layers().len();
+        let label = format!("sparse:{}", predictor.name());
+        Ok(Self {
+            model,
+            predictor,
+            options,
+            ops: OpCounter::default(),
+            stats: SparsityStats::new(n),
+            sampler: Sampler::greedy(),
+            label,
+        })
     }
 
     /// The wrapped predictor.
-    pub fn predictor(&self) -> &P {
-        &self.predictor
+    pub fn predictor(&self) -> &dyn SparsityPredictor {
+        self.predictor.as_ref()
     }
 
     /// Mutable access to the predictor (e.g. to change the alpha schedule
     /// mid-experiment).
-    pub fn predictor_mut(&mut self) -> &mut P {
-        &mut self.predictor
+    pub fn predictor_mut(&mut self) -> &mut dyn SparsityPredictor {
+        self.predictor.as_mut()
     }
 
-    /// Resets counters and statistics.
-    pub fn reset_ops(&mut self) {
-        self.ops = OpCounter::default();
-        self.stats = SparsityStats::new(self.model.layers().len());
+    /// The execution options.
+    pub fn options(&self) -> EngineOptions {
+        self.options
     }
 
-    /// Forward one token, predicting and exploiting sparsity in every MLP.
-    pub fn forward_token(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+    /// Greedy generation with sparse execution — a thin wrapper over the
+    /// request layer. The prefill phase runs *densely* (the paper exploits
+    /// sparsity only during decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt` is empty.
+    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
+        generate_greedy_via_request(self, prompt, max_new, eos)
+    }
+}
+
+impl Engine for SparseEngine<'_> {
+    fn model(&self) -> &Model {
+        self.model
+    }
+
+    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
         let model = self.model;
         let mut h = model.embed(token);
         for (li, (layer, cache)) in model
@@ -231,44 +386,134 @@ impl<'m, P: SparsityPredictor> SparseEngine<'m, P> {
         model.logits(&h)
     }
 
-    /// Greedy generation with sparse execution. The prefill phase runs
-    /// *densely* (the paper exploits sparsity only during decode).
-    pub fn generate_greedy(&mut self, prompt: &[u32], max_new: usize, eos: u32) -> Vec<u32> {
-        generate_greedy_with(prompt, max_new, eos, self.model, |token, session| {
-            self.forward_token(token, session)
-        })
+    fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    fn reset_ops(&mut self) {
+        self.ops = OpCounter::default();
+        self.stats = SparsityStats::new(self.model.layers().len());
+    }
+
+    fn stats(&self) -> Option<&SparsityStats> {
+        Some(&self.stats)
+    }
+
+    fn default_sampler(&self) -> Sampler {
+        self.sampler.clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
     }
 }
 
-/// Shared greedy decode loop: dense prefill, engine-specific decode.
-fn generate_greedy_with(
+/// Builds any engine configuration against one model.
+///
+/// No predictor ⇒ the dense baseline; otherwise a [`SparseEngine`] over the
+/// boxed predictor. Convenience methods cover every predictor family in the
+/// paper. `build` validates the configuration and returns `Err` instead of
+/// panicking.
+#[derive(Debug)]
+pub struct EngineBuilder<'m> {
+    model: &'m Model,
+    predictor: Option<Box<dyn SparsityPredictor>>,
+    options: EngineOptions,
+    sampler: Sampler,
+}
+
+impl<'m> EngineBuilder<'m> {
+    /// Starts a builder for `model` (dense, SparseInfer options, greedy
+    /// sampler until told otherwise).
+    pub fn new(model: &'m Model) -> Self {
+        Self {
+            model,
+            predictor: None,
+            options: EngineOptions::default(),
+            sampler: Sampler::greedy(),
+        }
+    }
+
+    /// Uses an explicit boxed predictor.
+    pub fn predictor(mut self, predictor: Box<dyn SparsityPredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Uses the training-free sign-bit predictor at `schedule` (packs the
+    /// model's gate sign bits now — the one-time load-time step).
+    pub fn signbit(self, schedule: AlphaSchedule) -> Self {
+        let p = SignBitPredictor::from_model(self.model, schedule);
+        self.predictor(Box::new(p))
+    }
+
+    /// Uses the exact oracle predictor (upper bound / test reference).
+    pub fn oracle(self) -> Self {
+        let p = OraclePredictor::from_model(self.model);
+        self.predictor(Box::new(p))
+    }
+
+    /// Uses the random-skipping baseline at skip probability `p`.
+    pub fn random(self, p: f64, seed: u64) -> Self {
+        let cfg = self.model.config();
+        let r = RandomPredictor::new(p, cfg.mlp_dim, cfg.n_layers, seed);
+        self.predictor(Box::new(r))
+    }
+
+    /// Uses a trained DejaVu-style predictor (the PowerInfer role).
+    pub fn dejavu(self, predictor: DejaVuPredictor) -> Self {
+        self.predictor(Box::new(predictor))
+    }
+
+    /// Sets the execution options (kernel fusion / actual sparsity).
+    pub fn options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the default sampler requests fall back to.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Builds the engine, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::LayerCountMismatch`] if a predictor covers a
+    /// different number of layers than the model.
+    pub fn build(self) -> Result<Box<dyn Engine + 'm>, EngineError> {
+        match self.predictor {
+            None => {
+                let mut e = DenseEngine::new(self.model);
+                e.sampler = self.sampler;
+                Ok(Box::new(e))
+            }
+            Some(p) => {
+                let mut e = SparseEngine::new(self.model, p, self.options)?;
+                e.sampler = self.sampler;
+                Ok(Box::new(e))
+            }
+        }
+    }
+}
+
+/// Legacy greedy entry point, shared by the engines' `generate_greedy`
+/// wrappers: one request through the request layer.
+fn generate_greedy_via_request(
+    engine: &mut dyn Engine,
     prompt: &[u32],
     max_new: usize,
     eos: u32,
-    model: &Model,
-    mut step: impl FnMut(u32, &mut DecodeSession) -> Vector,
 ) -> Vec<u32> {
-    assert!(!prompt.is_empty(), "prompt must be non-empty");
-    let mut session = model.start_session();
-    // Dense prefill (all but the last prompt token go through the dense
-    // model; the last token goes through the engine so decode statistics
-    // start with the first generated token).
-    let mut logits = Vector::zeros(model.config().vocab_size);
-    for t in &prompt[..prompt.len() - 1] {
-        logits = model.forward_token(*t, &mut session);
-    }
-    let _ = logits;
-    let mut logits = step(prompt[prompt.len() - 1], &mut session);
-    let mut out = Vec::new();
-    for _ in 0..max_new {
-        let next = logits.argmax().expect("nonzero vocab") as u32;
-        if next == eos {
-            break;
-        }
-        out.push(next);
-        logits = step(next, &mut session);
-    }
-    out
+    let req = crate::request::GenerateRequest::new(prompt)
+        .max_new(max_new)
+        .stop_at(eos)
+        .sampler(Sampler::greedy());
+    crate::request::generate(engine, &req)
+        .expect("prompt must be non-empty")
+        .tokens
 }
 
 /// Counts the dense attention work of one layer at context length `ctx`:
@@ -287,9 +532,6 @@ mod tests {
     use super::*;
     use sparseinfer_model::generator::WeightGenerator;
     use sparseinfer_model::ModelConfig;
-    use sparseinfer_predictor::{
-        AlphaSchedule, OraclePredictor, RandomPredictor, SignBitPredictor,
-    };
 
     fn model() -> Model {
         WeightGenerator::new(&ModelConfig::tiny(), 77).build()
@@ -306,15 +548,36 @@ mod tests {
     }
 
     #[test]
+    fn builder_dense_equals_dense_engine() {
+        let m = model();
+        let mut built = EngineBuilder::new(&m).build().unwrap();
+        let mut session = m.start_session();
+        let logits = built.step(3, &mut session);
+        let mut direct = DenseEngine::new(&m);
+        let mut session2 = m.start_session();
+        let expected = direct.step(3, &mut session2);
+        assert_eq!(logits, expected);
+        assert_eq!(built.name(), "dense");
+        assert!(built.stats().is_none());
+    }
+
+    #[test]
     fn oracle_sparse_engine_matches_dense_decode_exactly() {
         let m = model();
-        let oracle = OraclePredictor::from_model(&m);
-        let mut engine = SparseEngine::new(&m, oracle, EngineOptions::sparseinfer());
+        let mut engine = EngineBuilder::new(&m).oracle().build().unwrap();
         let dense = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
-        let sparse = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
+        let sparse = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(8),
+        )
+        .unwrap()
+        .tokens;
         assert_eq!(sparse, dense, "oracle-masked execution must be lossless");
         // And it must skip a large fraction of rows on the calibrated model.
-        let eff = engine.stats().mean_effective();
+        let eff = engine
+            .stats()
+            .expect("sparse engine has stats")
+            .mean_effective();
         let mean: f64 = eff.iter().sum::<f64>() / eff.len() as f64;
         assert!(mean > 0.5, "mean effective sparsity {mean}");
     }
@@ -322,13 +585,24 @@ mod tests {
     #[test]
     fn signbit_engine_decodes_and_skips_rows() {
         let m = model();
-        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.0));
-        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
+        let mut engine = SparseEngine::new(
+            &m,
+            Box::new(SignBitPredictor::from_model(
+                &m,
+                AlphaSchedule::uniform(1.0),
+            )),
+            EngineOptions::sparseinfer(),
+        )
+        .unwrap();
         let out = engine.generate_greedy(&[1, 2, 3], 6, u32::MAX);
         assert_eq!(out.len(), 6);
-        assert!(engine.ops().xor_popc > 0, "predictor cost must be accounted");
+        assert!(
+            engine.ops().xor_popc > 0,
+            "predictor cost must be accounted"
+        );
         assert!(engine.ops().rows_skipped > 0);
-        assert!(engine.stats().tokens() > 0);
+        assert!(Engine::stats(&engine).expect("sparse stats").tokens() > 0);
+        assert_eq!(Engine::name(&engine), "sparse:sparseinfer");
     }
 
     #[test]
@@ -337,9 +611,15 @@ mod tests {
         let mut dense = DenseEngine::new(&m);
         let _ = dense.generate_greedy(&[1, 2, 3], 6, u32::MAX);
 
-        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.0));
-        let mut sparse = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
-        let _ = sparse.generate_greedy(&[1, 2, 3], 6, u32::MAX);
+        let mut sparse = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        let _ = crate::request::generate(
+            sparse.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(6),
+        )
+        .unwrap();
 
         assert!(
             sparse.ops().macs < dense.ops().macs,
@@ -353,10 +633,17 @@ mod tests {
     fn random_predictor_engine_diverges_from_dense() {
         let m = model();
         let dense_out = m.generate_greedy(&[1, 2, 3], 8, u32::MAX);
-        let p = RandomPredictor::new(0.9, m.config().mlp_dim, m.config().n_layers, 5);
-        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
-        let sparse_out = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
-        assert_ne!(sparse_out, dense_out, "random 90% skipping must corrupt decode");
+        let mut engine = EngineBuilder::new(&m).random(0.9, 5).build().unwrap();
+        let sparse_out = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(8),
+        )
+        .unwrap()
+        .tokens;
+        assert_ne!(
+            sparse_out, dense_out,
+            "random 90% skipping must corrupt decode"
+        );
     }
 
     #[test]
@@ -364,24 +651,50 @@ mod tests {
         let m = model();
         // A conservative schedule under-predicts, leaving room for actual
         // sparsity to help.
-        let p = SignBitPredictor::from_model(&m, AlphaSchedule::uniform(1.5));
-        let mut engine = SparseEngine::new(&m, p, EngineOptions::sparseinfer());
-        let _ = engine.generate_greedy(&[1, 2, 3], 4, u32::MAX);
-        let predicted = engine.stats().mean_predicted();
-        let effective = engine.stats().mean_effective();
+        let mut engine = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.5))
+            .options(EngineOptions::sparseinfer())
+            .build()
+            .unwrap();
+        let _ = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(4),
+        )
+        .unwrap();
+        let stats = engine.stats().expect("sparse stats");
+        let predicted = stats.mean_predicted();
+        let effective = stats.mean_effective();
         for (l, (p, e)) in predicted.iter().zip(&effective).enumerate() {
             assert!(e >= p, "layer {l}: effective {e} < predicted {p}");
         }
-        let gain: f64 =
-            effective.iter().sum::<f64>() - predicted.iter().sum::<f64>();
+        let gain: f64 = effective.iter().sum::<f64>() - predicted.iter().sum::<f64>();
         assert!(gain > 0.0, "actual sparsity must add something");
     }
 
     #[test]
-    #[should_panic(expected = "layer count mismatch")]
-    fn predictor_layer_mismatch_panics() {
+    fn predictor_layer_mismatch_is_an_error_not_a_panic() {
         let m = model();
         let p = RandomPredictor::new(0.5, m.config().mlp_dim, 1, 1);
-        let _ = SparseEngine::new(&m, p, EngineOptions::base());
+        let err = EngineBuilder::new(&m)
+            .predictor(Box::new(p))
+            .build()
+            .expect_err("mismatch must be rejected");
+        assert_eq!(
+            err,
+            EngineError::LayerCountMismatch {
+                model_layers: m.layers().len(),
+                predictor_layers: 1
+            }
+        );
+    }
+
+    #[test]
+    fn builder_sampler_becomes_engine_default() {
+        let m = model();
+        let engine = EngineBuilder::new(&m)
+            .sampler(Sampler::temperature(0.5, 3))
+            .build()
+            .unwrap();
+        assert_eq!(engine.default_sampler().name(), "temperature");
     }
 }

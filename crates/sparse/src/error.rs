@@ -1,0 +1,56 @@
+//! Engine construction and request errors.
+
+/// Errors surfaced by [`EngineBuilder`](crate::engine::EngineBuilder) and
+/// the request layer. Configuration mistakes are data, not panics, so a
+/// serving frontend can reject a bad request without dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The predictor covers a different number of layers than the model.
+    LayerCountMismatch {
+        /// Layers in the model.
+        model_layers: usize,
+        /// Layers the predictor covers.
+        predictor_layers: usize,
+    },
+    /// A generate request arrived with an empty prompt.
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::LayerCountMismatch {
+                model_layers,
+                predictor_layers,
+            } => write!(
+                f,
+                "predictor/model layer count mismatch: model has {model_layers} layers, \
+                 predictor covers {predictor_layers}"
+            ),
+            EngineError::EmptyPrompt => write!(f, "prompt must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_counts() {
+        let e = EngineError::LayerCountMismatch {
+            model_layers: 4,
+            predictor_layers: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('4') && msg.contains('1'), "{msg}");
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(EngineError::EmptyPrompt);
+        assert_eq!(e.to_string(), "prompt must be non-empty");
+    }
+}

@@ -1,5 +1,6 @@
 //! Sparse execution engine: exploiting predicted activation sparsity in the
-//! gated MLP (paper §IV, §IV-B3/4).
+//! gated MLP (paper §IV, §IV-B3/4), fronted by a unified serving-grade
+//! engine API.
 //!
 //! Given a per-token [`SkipMask`](sparseinfer_predictor::SkipMask) from any
 //! predictor, this crate executes the four MLP steps while skipping masked
@@ -13,11 +14,16 @@
 //!   zeros found after step 1 into the mask used by steps 2–4) and **kernel
 //!   fusion** (steps 1–3 in one kernel; affects memory traffic, which the
 //!   [`ops`](mod@crate::ops) accounting and the GPU cost model track).
-//! * [`engine`](mod@crate::engine) — whole-model decoding frontends:
-//!   [`DenseEngine`] (the llama.cpp baseline) and
-//!   [`SparseEngine`] (SparseInfer when driven
-//!   by the sign-bit predictor, PowerInfer-style when driven by the DejaVu
-//!   predictor).
+//! * [`engine`](mod@crate::engine) — the [`Engine`] trait (one object-safe
+//!   interface for dense, sign-bit, DejaVu, oracle and random execution)
+//!   and the [`EngineBuilder`] that constructs every configuration,
+//!   returning [`EngineError`] values instead of panicking.
+//! * [`request`](mod@crate::request) — [`GenerateRequest`]s, seeded
+//!   [`Sampler`](sparseinfer_model::Sampler) policies, streaming per-token
+//!   callbacks.
+//! * [`batch`](mod@crate::batch) — the round-robin [`Batch`] scheduler that
+//!   interleaves decode steps across many concurrent sessions with
+//!   per-request accounting.
 //! * [`ops`](mod@crate::ops) — operation and byte accounting that regenerates
 //!   Table I.
 //!
@@ -25,28 +31,37 @@
 //!
 //! ```
 //! use sparseinfer_model::{ModelConfig, generator::WeightGenerator};
-//! use sparseinfer_predictor::{AlphaSchedule, SignBitPredictor};
-//! use sparseinfer_sparse::engine::{EngineOptions, SparseEngine};
+//! use sparseinfer_predictor::AlphaSchedule;
+//! use sparseinfer_sparse::engine::EngineBuilder;
+//! use sparseinfer_sparse::request::{generate, GenerateRequest};
 //!
 //! let model = WeightGenerator::new(&ModelConfig::tiny(), 1).build();
-//! let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
-//! let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
-//! let tokens = engine.generate_greedy(&[1, 2], 4, u32::MAX);
-//! assert_eq!(tokens.len(), 4);
+//! let mut engine = EngineBuilder::new(&model)
+//!     .signbit(AlphaSchedule::uniform(1.0))
+//!     .build()
+//!     .unwrap();
+//! let gen = generate(engine.as_mut(), &GenerateRequest::new(&[1, 2]).max_new(4)).unwrap();
+//! assert_eq!(gen.tokens.len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod cats;
 pub mod engine;
+pub mod error;
 pub mod gemv;
 pub mod mlp;
 pub mod ops;
 pub mod quantized;
+pub mod request;
 
-pub use engine::{DenseEngine, EngineOptions, SparseEngine};
+pub use batch::{Batch, BatchEvent, BatchOutput};
+pub use engine::{DenseEngine, Engine, EngineBuilder, EngineOptions, SparseEngine, SparsityStats};
+pub use error::EngineError;
 pub use mlp::SparseMlpOutput;
 pub use ops::OpCounter;
 pub use quantized::QuantizedGatedMlp;
+pub use request::{FinishReason, GenerateRequest, Generation, TokenEvent};

@@ -6,7 +6,6 @@
 //! into the mask used by the up and down projections, compensating rows the
 //! conservative predictor kept alive unnecessarily.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::GatedMlp;
 use sparseinfer_predictor::SkipMask;
 use sparseinfer_tensor::Vector;
@@ -16,7 +15,7 @@ use crate::ops::OpCounter;
 
 /// Switches for the sparse MLP execution, matching the four SparseInfer
 /// variants of the paper's Fig. 4 (`base`, `+KF`, `+AS`, `+KF+AS`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MlpOptions {
     /// Fuse steps 1–3 into one "kernel": numerically identical, but X is
     /// loaded once and `h1`/`h2` never round-trip through memory (§IV-B4's
@@ -29,12 +28,15 @@ pub struct MlpOptions {
 
 impl Default for MlpOptions {
     fn default() -> Self {
-        Self { kernel_fusion: true, actual_sparsity: true }
+        Self {
+            kernel_fusion: true,
+            actual_sparsity: true,
+        }
     }
 }
 
 /// Result of one sparse MLP execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparseMlpOutput {
     /// The block output (length `d`).
     pub output: Vector,
@@ -93,10 +95,18 @@ pub fn sparse_mlp_forward(
     //   fused:   load X once + write h3;      then step 4: read h3, write out.
     //   unfused: load X twice, h1 and h2 each store+load, h3 store;
     //            then step 4: read h3, write out.
-    let elems = if options.kernel_fusion { 2 * d + 2 * k } else { 3 * d + 6 * k };
+    let elems = if options.kernel_fusion {
+        2 * d + 2 * k
+    } else {
+        3 * d + 6 * k
+    };
     ops.activation_bytes += elems * OpCounter::ACTIVATION_BYTES;
 
-    SparseMlpOutput { output, predicted_sparsity, effective_sparsity }
+    SparseMlpOutput {
+        output,
+        predicted_sparsity,
+        effective_sparsity,
+    }
 }
 
 /// Dense reference execution with identical accounting hooks — the
@@ -106,7 +116,10 @@ pub fn dense_mlp_forward(mlp: &GatedMlp, x: &Vector, ops: &mut OpCounter) -> Vec
         mlp,
         x,
         &SkipMask::all_dense(mlp.mlp_dim()),
-        MlpOptions { kernel_fusion: false, actual_sparsity: false },
+        MlpOptions {
+            kernel_fusion: false,
+            actual_sparsity: false,
+        },
         ops,
     );
     out.output
@@ -154,10 +167,7 @@ mod tests {
             assert!((a - b).abs() < 1e-5);
         }
         // Dense path computes 3·d·k MACs.
-        assert_eq!(
-            ops.macs,
-            3 * (mlp.hidden_dim() * mlp.mlp_dim()) as u64
-        );
+        assert_eq!(ops.macs, 3 * (mlp.hidden_dim() * mlp.mlp_dim()) as u64);
     }
 
     #[test]
@@ -170,12 +180,19 @@ mod tests {
             mlp,
             &x,
             &predicted,
-            MlpOptions { kernel_fusion: false, actual_sparsity: true },
+            MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: true,
+            },
             &mut ops,
         );
         assert_eq!(out.predicted_sparsity, 0.0);
         // The calibrated model is ~90% sparse, so actual sparsity must fire.
-        assert!(out.effective_sparsity > 0.5, "effective {}", out.effective_sparsity);
+        assert!(
+            out.effective_sparsity > 0.5,
+            "effective {}",
+            out.effective_sparsity
+        );
         // And the result still matches dense exactly (zeros contribute
         // nothing to steps 2–4).
         let dense = mlp.forward(&x);
@@ -195,7 +212,10 @@ mod tests {
             mlp,
             &x,
             &predicted,
-            MlpOptions { kernel_fusion: false, actual_sparsity: true },
+            MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: true,
+            },
             &mut with,
         );
         let mut without = OpCounter::default();
@@ -203,10 +223,18 @@ mod tests {
             mlp,
             &x,
             &predicted,
-            MlpOptions { kernel_fusion: false, actual_sparsity: false },
+            MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: false,
+            },
             &mut without,
         );
-        assert!(with.macs < without.macs, "{} vs {}", with.macs, without.macs);
+        assert!(
+            with.macs < without.macs,
+            "{} vs {}",
+            with.macs,
+            without.macs
+        );
         assert!(with.weight_bytes_loaded < without.weight_bytes_loaded);
     }
 
@@ -221,7 +249,10 @@ mod tests {
             mlp,
             &x,
             &mask,
-            MlpOptions { kernel_fusion: true, actual_sparsity: false },
+            MlpOptions {
+                kernel_fusion: true,
+                actual_sparsity: false,
+            },
             &mut fused,
         );
         let mut unfused = OpCounter::default();
@@ -229,10 +260,16 @@ mod tests {
             mlp,
             &x,
             &mask,
-            MlpOptions { kernel_fusion: false, actual_sparsity: false },
+            MlpOptions {
+                kernel_fusion: false,
+                actual_sparsity: false,
+            },
             &mut unfused,
         );
-        assert_eq!(out_f.output, out_u.output, "fusion must be numerically neutral");
+        assert_eq!(
+            out_f.output, out_u.output,
+            "fusion must be numerically neutral"
+        );
         assert!(fused.activation_bytes < unfused.activation_bytes);
         assert_eq!(fused.macs, unfused.macs);
         assert_eq!(fused.weight_bytes_loaded, unfused.weight_bytes_loaded);
@@ -248,7 +285,9 @@ mod tests {
         let mlp = model.layers()[model.config().n_layers - 1].mlp();
         let z = mlp.gate_preactivations(&x);
         // Find an active row and force-skip it.
-        let active_row = (0..mlp.mlp_dim()).find(|r| z[*r] > 0.0).expect("some active row");
+        let active_row = (0..mlp.mlp_dim())
+            .find(|r| z[*r] > 0.0)
+            .expect("some active row");
         let mask = SkipMask::from_fn(mlp.mlp_dim(), |r| r == active_row);
         let mut ops = OpCounter::default();
         let sparse = sparse_mlp_forward(mlp, &x, &mask, MlpOptions::default(), &mut ops);

@@ -6,11 +6,10 @@
 //! block) and feed the GPU cost model, whose latency estimates are driven by
 //! bytes moved and operations executed.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::ModelConfig;
 
 /// Accumulated operation and traffic counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCounter {
     /// Multiply–accumulate operations executed (weight-precision math).
     pub macs: u64,
@@ -62,7 +61,7 @@ impl OpCounter {
 
 /// Analytic Table I rows: operation counts per MLP block for the three
 /// engines, computed from the paper dimensions (no simulation involved).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table1Row {
     /// Engine label.
     pub engine: &'static str,
@@ -112,8 +111,16 @@ mod tests {
 
     #[test]
     fn merge_is_componentwise_addition() {
-        let mut a = OpCounter { macs: 1, xor_popc: 2, ..Default::default() };
-        let b = OpCounter { macs: 10, atomic_adds: 5, ..Default::default() };
+        let mut a = OpCounter {
+            macs: 1,
+            xor_popc: 2,
+            ..Default::default()
+        };
+        let b = OpCounter {
+            macs: 10,
+            atomic_adds: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.macs, 11);
         assert_eq!(a.xor_popc, 2);
@@ -123,7 +130,11 @@ mod tests {
     #[test]
     fn skip_fraction_handles_zero() {
         assert_eq!(OpCounter::default().skip_fraction(), 0.0);
-        let c = OpCounter { rows_skipped: 9, rows_computed: 1, ..Default::default() };
+        let c = OpCounter {
+            rows_skipped: 9,
+            rows_computed: 1,
+            ..Default::default()
+        };
         assert!((c.skip_fraction() - 0.9).abs() < 1e-12);
     }
 

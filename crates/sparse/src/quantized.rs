@@ -10,7 +10,6 @@
 //! DejaVu); here the packed-sign table is simply re-derived from the INT8
 //! payloads at load time.
 
-use serde::{Deserialize, Serialize};
 use sparseinfer_model::{Activation, GatedMlp};
 use sparseinfer_predictor::SkipMask;
 use sparseinfer_tensor::{QuantizedMatrix, Vector};
@@ -18,7 +17,7 @@ use sparseinfer_tensor::{QuantizedMatrix, Vector};
 use crate::ops::OpCounter;
 
 /// A gated MLP block with INT8 weights (per-row scales), skip-capable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedGatedMlp {
     gate: QuantizedMatrix,
     up: QuantizedMatrix,
@@ -196,8 +195,7 @@ mod tests {
         let (model, _) = setup();
         let mlp = model.layers()[0].mlp();
         let qmlp = QuantizedGatedMlp::quantize(mlp);
-        let fp32_bytes =
-            3 * mlp.mlp_dim() * mlp.hidden_dim() * std::mem::size_of::<f32>();
+        let fp32_bytes = 3 * mlp.mlp_dim() * mlp.hidden_dim() * std::mem::size_of::<f32>();
         let ratio = fp32_bytes as f64 / qmlp.size_bytes() as f64;
         assert!((3.5..4.01).contains(&ratio), "compression ratio {ratio}");
     }

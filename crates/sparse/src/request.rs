@@ -1,0 +1,338 @@
+//! The request layer: prompts in, sampled token streams out.
+//!
+//! A [`GenerateRequest`] bundles everything one generation needs — prompt,
+//! budget, stop tokens and an optional [`Sampler`] — and [`generate`] /
+//! [`generate_streaming`] run it against any [`Engine`]. The same
+//! [`RequestRun`] state machine drives the single-request path here and the
+//! multi-session [`Batch`](crate::batch::Batch) scheduler, so a request
+//! decodes bit-identically alone or interleaved with others.
+//!
+//! Prefill is always dense (the paper exploits sparsity only during
+//! decode): all but the last prompt token go through the bare model, the
+//! last token goes through the engine so decode statistics start with the
+//! first generated token.
+
+use sparseinfer_model::model::DecodeSession;
+use sparseinfer_model::sampling::Sampler;
+use sparseinfer_tensor::Vector;
+
+use crate::engine::Engine;
+use crate::error::EngineError;
+
+/// Why a generation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The `max_new` budget was exhausted.
+    MaxTokens,
+    /// A stop token was sampled (the token is not part of the output).
+    Stop(u32),
+}
+
+/// One generation request.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_model::Sampler;
+/// use sparseinfer_sparse::request::GenerateRequest;
+///
+/// let req = GenerateRequest::new(&[1, 2, 3])
+///     .max_new(32)
+///     .stop_at(0)
+///     .sampler(Sampler::top_k(8, 0.7, 42));
+/// assert_eq!(req.max_new, 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenerateRequest {
+    /// Prompt token ids (must be non-empty at run time).
+    pub prompt: Vec<u32>,
+    /// Maximum number of new tokens to generate.
+    pub max_new: usize,
+    /// Tokens that end the generation when sampled (e.g. EOS).
+    pub stop: Vec<u32>,
+    /// Sampling policy; `None` falls back to the engine's default sampler.
+    pub sampler: Option<Sampler>,
+}
+
+impl GenerateRequest {
+    /// A request with a 16-token budget, no stop tokens and the engine's
+    /// default sampler.
+    pub fn new(prompt: &[u32]) -> Self {
+        Self {
+            prompt: prompt.to_vec(),
+            max_new: 16,
+            stop: Vec::new(),
+            sampler: None,
+        }
+    }
+
+    /// Sets the new-token budget.
+    pub fn max_new(mut self, max_new: usize) -> Self {
+        self.max_new = max_new;
+        self
+    }
+
+    /// Adds a stop token.
+    pub fn stop_at(mut self, token: u32) -> Self {
+        self.stop.push(token);
+        self
+    }
+
+    /// Sets the sampling policy.
+    pub fn sampler(mut self, sampler: Sampler) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
+}
+
+/// A finished generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generation {
+    /// The generated tokens (stop token excluded).
+    pub tokens: Vec<u32>,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+}
+
+/// One streamed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// Zero-based position in the generated continuation.
+    pub index: usize,
+    /// The token id.
+    pub token: u32,
+}
+
+/// The per-request decode state machine.
+///
+/// Each [`advance`](RequestRun::advance) call performs exactly one model
+/// step (a prefill token or a decode token), which is the granularity the
+/// batch scheduler interleaves at. Used directly only by the scheduler;
+/// normal callers go through [`generate`] / [`generate_streaming`].
+#[derive(Debug)]
+pub struct RequestRun {
+    prompt: Vec<u32>,
+    fed: usize,
+    max_new: usize,
+    stop: Vec<u32>,
+    sampler: Sampler,
+    session: DecodeSession,
+    logits: Option<Vector>,
+    tokens: Vec<u32>,
+    finish: Option<FinishReason>,
+}
+
+impl RequestRun {
+    /// Prepares a run of `req` on `engine` (fresh session, resolved
+    /// sampler).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty.
+    pub fn new(req: &GenerateRequest, engine: &dyn Engine) -> Result<Self, EngineError> {
+        if req.prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let sampler = req
+            .sampler
+            .clone()
+            .unwrap_or_else(|| engine.default_sampler());
+        Ok(Self {
+            prompt: req.prompt.clone(),
+            fed: 0,
+            max_new: req.max_new,
+            stop: req.stop.clone(),
+            sampler,
+            session: engine.model().start_session(),
+            logits: None,
+            tokens: Vec::new(),
+            // A zero budget can produce nothing: finish immediately rather
+            // than paying a full engine step whose logits are never
+            // sampled.
+            finish: if req.max_new == 0 {
+                Some(FinishReason::MaxTokens)
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Whether the run has finished.
+    pub fn finished(&self) -> bool {
+        self.finish.is_some()
+    }
+
+    /// The tokens generated so far.
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// Performs one step: feeds the next prefill token, or samples and
+    /// decodes the next token. Returns the emitted token, if this step
+    /// produced one.
+    pub fn advance(&mut self, engine: &mut dyn Engine) -> Option<TokenEvent> {
+        if self.finish.is_some() {
+            return None;
+        }
+        let last = self.prompt.len() - 1;
+        if self.fed < last {
+            // Dense prefill through the bare model.
+            let _ = engine
+                .model()
+                .forward_token(self.prompt[self.fed], &mut self.session);
+            self.fed += 1;
+            None
+        } else if self.fed == last {
+            // The last prompt token goes through the engine: decode
+            // statistics start at the first generated position.
+            self.logits = Some(engine.step(self.prompt[last], &mut self.session));
+            self.fed += 1;
+            None
+        } else {
+            let logits = self.logits.take().expect("decode state holds logits");
+            let next = self.sampler.sample(&logits).expect("nonzero vocab") as u32;
+            if self.stop.contains(&next) {
+                self.finish = Some(FinishReason::Stop(next));
+                return None;
+            }
+            let index = self.tokens.len();
+            self.tokens.push(next);
+            if self.tokens.len() >= self.max_new {
+                self.finish = Some(FinishReason::MaxTokens);
+            } else {
+                self.logits = Some(engine.step(next, &mut self.session));
+            }
+            Some(TokenEvent { index, token: next })
+        }
+    }
+
+    /// Consumes the run into its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has not finished.
+    pub fn into_generation(self) -> Generation {
+        Generation {
+            tokens: self.tokens,
+            finish: self.finish.expect("run must be finished"),
+        }
+    }
+}
+
+/// Runs `req` to completion on `engine`.
+///
+/// # Errors
+///
+/// [`EngineError::EmptyPrompt`] if the prompt is empty.
+pub fn generate(engine: &mut dyn Engine, req: &GenerateRequest) -> Result<Generation, EngineError> {
+    generate_streaming(engine, req, |_| {})
+}
+
+/// Runs `req` to completion, invoking `on_token` for every generated token
+/// as soon as it is sampled — the serving-style streaming interface.
+///
+/// # Errors
+///
+/// [`EngineError::EmptyPrompt`] if the prompt is empty.
+pub fn generate_streaming(
+    engine: &mut dyn Engine,
+    req: &GenerateRequest,
+    mut on_token: impl FnMut(TokenEvent),
+) -> Result<Generation, EngineError> {
+    let mut run = RequestRun::new(req, engine)?;
+    while !run.finished() {
+        if let Some(event) = run.advance(engine) {
+            on_token(event);
+        }
+    }
+    Ok(run.into_generation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::{Model, ModelConfig};
+    use sparseinfer_predictor::AlphaSchedule;
+
+    fn model() -> Model {
+        WeightGenerator::new(&ModelConfig::tiny(), 7).build()
+    }
+
+    #[test]
+    fn empty_prompt_is_an_error() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m).build().unwrap();
+        let err = generate(e.as_mut(), &GenerateRequest::new(&[])).unwrap_err();
+        assert_eq!(err, EngineError::EmptyPrompt);
+    }
+
+    #[test]
+    fn greedy_request_matches_model_generate_greedy() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m).build().unwrap();
+        let req = GenerateRequest::new(&[1, 2, 3])
+            .max_new(6)
+            .stop_at(u32::MAX);
+        let got = generate(e.as_mut(), &req).unwrap();
+        assert_eq!(got.tokens, m.generate_greedy(&[1, 2, 3], 6, u32::MAX));
+        assert_eq!(got.finish, FinishReason::MaxTokens);
+    }
+
+    #[test]
+    fn streaming_sees_every_token_in_order() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        let req = GenerateRequest::new(&[2, 4]).max_new(5);
+        let mut streamed = Vec::new();
+        let gen = generate_streaming(e.as_mut(), &req, |ev| {
+            assert_eq!(ev.index, streamed.len());
+            streamed.push(ev.token);
+        })
+        .unwrap();
+        assert_eq!(streamed, gen.tokens);
+        assert_eq!(streamed.len(), 5);
+    }
+
+    #[test]
+    fn stop_token_finishes_and_is_excluded() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m).build().unwrap();
+        // Find what greedy decoding emits first, then declare it a stop.
+        let first = generate(e.as_mut(), &GenerateRequest::new(&[1]).max_new(1))
+            .unwrap()
+            .tokens[0];
+        let gen = generate(
+            e.as_mut(),
+            &GenerateRequest::new(&[1]).max_new(8).stop_at(first),
+        )
+        .unwrap();
+        assert!(gen.tokens.is_empty());
+        assert_eq!(gen.finish, FinishReason::Stop(first));
+    }
+
+    #[test]
+    fn zero_budget_generates_nothing() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m).build().unwrap();
+        let gen = generate(e.as_mut(), &GenerateRequest::new(&[5, 6]).max_new(0)).unwrap();
+        assert!(gen.tokens.is_empty());
+        assert_eq!(gen.finish, FinishReason::MaxTokens);
+    }
+
+    #[test]
+    fn seeded_sampling_requests_are_reproducible() {
+        let m = model();
+        let mut e = EngineBuilder::new(&m).build().unwrap();
+        let req = GenerateRequest::new(&[3, 1])
+            .max_new(8)
+            .sampler(Sampler::temperature(1.0, 99));
+        let a = generate(e.as_mut(), &req).unwrap();
+        let b = generate(e.as_mut(), &req).unwrap();
+        assert_eq!(a, b, "same request, same seed, same tokens");
+    }
+}

@@ -1,6 +1,6 @@
-//! Property-based tests for the sparse execution crate.
+//! Property-style tests for the sparse execution crate, driven by seeded
+//! pseudo-random sweeps (offline replacement for the `proptest` crate).
 
-use proptest::prelude::*;
 use sparseinfer_model::{Activation, GatedMlp};
 use sparseinfer_predictor::SkipMask;
 use sparseinfer_sparse::gemv::{sparse_down_proj, sparse_gemv};
@@ -15,17 +15,16 @@ fn random_mlp(seed: u64, k: usize, d: usize) -> GatedMlp {
     GatedMlp::new(m(-0.05), m(0.0), m(0.0), Activation::Relu)
 }
 
-proptest! {
-    /// Sparse GEMV equals dense GEMV with skipped outputs forced to zero.
-    #[test]
-    fn sparse_gemv_equals_masked_dense(
-        seed in 0u64..400, k in 1usize..24, d in 1usize..48,
-        mask_seed in 0u64..100,
-    ) {
+/// Sparse GEMV equals dense GEMV with skipped outputs forced to zero.
+#[test]
+fn sparse_gemv_equals_masked_dense() {
+    for seed in 0..48u64 {
         let mut rng = Prng::seed(seed);
+        let k = 1 + rng.below(23);
+        let d = 1 + rng.below(47);
         let w = Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
         let x = Vector::from_fn(d, |_| rng.normal(0.0, 1.0) as f32);
-        let mut mrng = Prng::seed(mask_seed);
+        let mut mrng = Prng::seed(seed ^ 0x1111);
         let mask = SkipMask::from_fn(k, |_| mrng.flip(0.5));
 
         let mut ops = OpCounter::default();
@@ -33,27 +32,28 @@ proptest! {
         let dense = gemv(&w, &x);
         for r in 0..k {
             if mask.is_skipped(r) {
-                prop_assert_eq!(sparse[r], 0.0);
+                assert_eq!(sparse[r], 0.0, "seed {seed} row {r}");
             } else {
-                prop_assert!((sparse[r] - dense[r]).abs() < 1e-4);
+                assert!((sparse[r] - dense[r]).abs() < 1e-4, "seed {seed} row {r}");
             }
         }
         // Work accounting matches the mask exactly.
-        prop_assert_eq!(ops.rows_skipped as usize, mask.skip_count());
-        prop_assert_eq!(ops.macs, ((k - mask.skip_count()) * d) as u64);
+        assert_eq!(ops.rows_skipped as usize, mask.skip_count());
+        assert_eq!(ops.macs, ((k - mask.skip_count()) * d) as u64);
     }
+}
 
-    /// Down projection under a mask equals the transposed GEMV on an h3
-    /// whose masked entries are zeroed.
-    #[test]
-    fn down_proj_equals_zeroed_transposed_gemv(
-        seed in 0u64..400, k in 1usize..24, d in 1usize..32,
-        mask_seed in 0u64..100,
-    ) {
-        let mut rng = Prng::seed(seed);
+/// Down projection under a mask equals the transposed GEMV on an h3 whose
+/// masked entries are zeroed.
+#[test]
+fn down_proj_equals_zeroed_transposed_gemv() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed(seed ^ 0x2222);
+        let k = 1 + rng.below(23);
+        let d = 1 + rng.below(31);
         let w = Matrix::from_fn(k, d, |_, _| rng.normal(0.0, 1.0) as f32);
         let h3 = Vector::from_fn(k, |_| rng.normal(0.0, 1.0) as f32);
-        let mut mrng = Prng::seed(mask_seed);
+        let mut mrng = Prng::seed(seed ^ 0x3333);
         let mask = SkipMask::from_fn(k, |_| mrng.flip(0.4));
 
         let mut ops = OpCounter::default();
@@ -65,14 +65,19 @@ proptest! {
         }
         let reference = gemv_transposed(&w, &zeroed);
         for (a, b) in masked.iter().zip(reference.iter()) {
-            prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-3, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    /// Skipping rows whose gate output is truly zero is lossless: for any
-    /// mask that only contains true zeros, the sparse MLP equals dense.
-    #[test]
-    fn true_zero_masks_are_lossless(seed in 0u64..300, k in 8usize..48, d in 4usize..24) {
+/// Skipping rows whose gate output is truly zero is lossless: for any mask
+/// that only contains true zeros, the sparse MLP equals dense.
+#[test]
+fn true_zero_masks_are_lossless() {
+    for seed in 0..32u64 {
+        let mut dims = Prng::seed(seed ^ 0xD1D5);
+        let k = 8 + dims.below(40);
+        let d = 4 + dims.below(20);
         let mlp = random_mlp(seed, k, d);
         let mut rng = Prng::seed(seed ^ 0xF00D);
         let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
@@ -83,22 +88,22 @@ proptest! {
         let sparse = sparse_mlp_forward(&mlp, &x, &mask, MlpOptions::default(), &mut ops);
         let dense = mlp.forward(&x);
         for (a, b) in sparse.output.iter().zip(dense.iter()) {
-            prop_assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-4, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    /// Kernel fusion and actual sparsity never change the numeric output,
-    /// for any predicted mask.
-    #[test]
-    fn execution_options_are_numerically_neutral(
-        seed in 0u64..300, mask_seed in 0u64..100,
-    ) {
+/// Kernel fusion and actual sparsity never change the numeric output, for
+/// any predicted mask.
+#[test]
+fn execution_options_are_numerically_neutral() {
+    for seed in 0..32u64 {
         let k = 32;
         let d = 16;
         let mlp = random_mlp(seed, k, d);
         let mut rng = Prng::seed(seed ^ 0xBEEF);
         let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
-        let mut mrng = Prng::seed(mask_seed);
+        let mut mrng = Prng::seed(seed ^ 0x4444);
         let mask = SkipMask::from_fn(k, |_| mrng.flip(0.3));
 
         let mut outputs = Vec::new();
@@ -108,45 +113,66 @@ proptest! {
                 &mlp,
                 &x,
                 &mask,
-                MlpOptions { kernel_fusion: kf, actual_sparsity: asp },
+                MlpOptions {
+                    kernel_fusion: kf,
+                    actual_sparsity: asp,
+                },
                 &mut ops,
             );
             outputs.push(out.output);
         }
         for w in outputs.windows(2) {
-            prop_assert_eq!(&w[0], &w[1]);
+            assert_eq!(&w[0], &w[1], "seed {seed}");
         }
     }
+}
 
-    /// Effective sparsity is always >= predicted sparsity, and both lie in
-    /// [0, 1].
-    #[test]
-    fn sparsity_bounds_hold(seed in 0u64..300, mask_seed in 0u64..100, p in 0.0f64..1.0) {
+/// Effective sparsity is always >= predicted sparsity, and both lie in
+/// [0, 1].
+#[test]
+fn sparsity_bounds_hold() {
+    for seed in 0..32u64 {
         let k = 40;
         let d = 16;
         let mlp = random_mlp(seed, k, d);
         let mut rng = Prng::seed(seed ^ 0xCAFE);
         let x = Vector::from_fn(d, |_| rng.normal(0.2, 1.0) as f32);
-        let mut mrng = Prng::seed(mask_seed);
+        let mut mrng = Prng::seed(seed ^ 0x5555);
+        let p = mrng.uniform();
         let mask = SkipMask::from_fn(k, |_| mrng.flip(p));
 
         let mut ops = OpCounter::default();
         let out = sparse_mlp_forward(&mlp, &x, &mask, MlpOptions::default(), &mut ops);
-        prop_assert!(out.effective_sparsity >= out.predicted_sparsity - 1e-12);
-        prop_assert!((0.0..=1.0).contains(&out.predicted_sparsity));
-        prop_assert!((0.0..=1.0).contains(&out.effective_sparsity));
+        assert!(
+            out.effective_sparsity >= out.predicted_sparsity - 1e-12,
+            "seed {seed}"
+        );
+        assert!((0.0..=1.0).contains(&out.predicted_sparsity));
+        assert!((0.0..=1.0).contains(&out.effective_sparsity));
     }
+}
 
-    /// Op counters merge additively.
-    #[test]
-    fn op_counter_merge_is_additive(
-        a_macs in 0u64..1_000_000, b_macs in 0u64..1_000_000,
-        a_bytes in 0u64..1_000_000, b_bytes in 0u64..1_000_000,
-    ) {
-        let mut a = OpCounter { macs: a_macs, weight_bytes_loaded: a_bytes, ..Default::default() };
-        let b = OpCounter { macs: b_macs, weight_bytes_loaded: b_bytes, ..Default::default() };
+/// Op counters merge additively.
+#[test]
+fn op_counter_merge_is_additive() {
+    let mut rng = Prng::seed(25);
+    for _ in 0..128 {
+        let a_macs = rng.below(1_000_000) as u64;
+        let b_macs = rng.below(1_000_000) as u64;
+        let a_bytes = rng.below(1_000_000) as u64;
+        let b_bytes = rng.below(1_000_000) as u64;
+        let mut a = OpCounter {
+            macs: a_macs,
+            weight_bytes_loaded: a_bytes,
+            ..Default::default()
+        };
+        let b = OpCounter {
+            macs: b_macs,
+            weight_bytes_loaded: b_bytes,
+            ..Default::default()
+        };
         a.merge(&b);
-        prop_assert_eq!(a.macs, a_macs + b_macs);
-        prop_assert_eq!(a.weight_bytes_loaded, a_bytes + b_bytes);
+        assert_eq!(a.macs, a_macs + b_macs);
+        assert_eq!(a.weight_bytes_loaded, a_bytes + b_bytes);
     }
 }

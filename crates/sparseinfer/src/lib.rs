@@ -7,30 +7,67 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`tensor`] | `sparseinfer-tensor` | vectors/matrices, GEMV, **sign-bit packing**, f16/int8, RNG, stats |
-//! | [`model`] | `sparseinfer-model` | ReLU-fied Llama-style decoder + sparsity-calibrated synthetic weights |
+//! | [`model`] | `sparseinfer-model` | ReLU-fied Llama-style decoder, sparsity-calibrated synthetic weights, samplers |
 //! | [`predictor`] | `sparseinfer-predictor` | the **sign-bit predictor**, alpha schedules, DejaVu baseline, oracle/random, metrics |
-//! | [`sparse`] | `sparseinfer-sparse` | skip masks in action: sparse GEMVs, the sparse gated MLP, inference engines, op accounting |
+//! | [`sparse`] | `sparseinfer-sparse` | sparse GEMVs and MLPs, the unified **`Engine` API**, request layer, batch scheduler, op accounting |
 //! | [`gpu_sim`] | `sparseinfer-gpu-sim` | Jetson Orin AGX roofline cost model: kernels, CKE, per-token latency |
 //! | [`eval`] | `sparseinfer-eval` | synthetic GSM8K/BBH-analog suites, dense-gold accuracy, logit divergence |
 //!
 //! # Quickstart
 //!
+//! Every execution configuration — dense baseline, sign-bit SparseInfer,
+//! trained DejaVu, oracle, random — is built through one
+//! [`EngineBuilder`](sparse::engine::EngineBuilder) and served through one
+//! request layer:
+//!
 //! ```
 //! use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
-//! use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
-//! use sparseinfer::sparse::engine::{EngineOptions, SparseEngine};
+//! use sparseinfer::predictor::AlphaSchedule;
+//! use sparseinfer::sparse::engine::EngineBuilder;
+//! use sparseinfer::sparse::request::{generate, GenerateRequest};
 //!
 //! // A ReLU-fied model with ~92% activation sparsity.
 //! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
 //!
-//! // The training-free predictor: packed sign bits + XOR/popcount.
-//! let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.02, 1));
+//! // The training-free predictor: packed sign bits + XOR/popcount,
+//! // validated by the builder (layer mismatches are `Err`, not panics).
+//! let mut engine = EngineBuilder::new(&model)
+//!     .signbit(AlphaSchedule::early_layers(1.02, 1))
+//!     .build()
+//!     .expect("predictor covers every layer");
 //!
 //! // Decode with sparsity exploitation (kernel fusion + actual sparsity).
-//! let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
-//! let tokens = engine.generate_greedy(&[1, 2, 3], 8, u32::MAX);
-//! assert_eq!(tokens.len(), 8);
+//! let req = GenerateRequest::new(&[1, 2, 3]).max_new(8);
+//! let generation = generate(engine.as_mut(), &req).expect("non-empty prompt");
+//! assert_eq!(generation.tokens.len(), 8);
 //! println!("skipped {} rows", engine.ops().rows_skipped);
+//! ```
+//!
+//! # Batched serving
+//!
+//! Concurrent requests — mixed engine kinds, per-request samplers —
+//! interleave through one round-robin [`Batch`](sparse::batch::Batch)
+//! scheduler; each request's tokens are bit-identical to running it alone:
+//!
+//! ```
+//! use sparseinfer::model::{generator::WeightGenerator, ModelConfig, Sampler};
+//! use sparseinfer::predictor::AlphaSchedule;
+//! use sparseinfer::sparse::batch::Batch;
+//! use sparseinfer::sparse::engine::EngineBuilder;
+//! use sparseinfer::sparse::request::GenerateRequest;
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+//! let mut batch = Batch::new();
+//! let dense = EngineBuilder::new(&model).build().unwrap();
+//! let sparse = EngineBuilder::new(&model).signbit(AlphaSchedule::uniform(1.0)).build().unwrap();
+//! batch.push(dense, &GenerateRequest::new(&[1, 2]).max_new(4)).unwrap();
+//! batch.push(
+//!     sparse,
+//!     &GenerateRequest::new(&[3, 4]).max_new(4).sampler(Sampler::top_k(8, 0.7, 7)),
+//! ).unwrap();
+//! for out in batch.run() {
+//!     println!("request {} via {}: {:?} ({} MACs)", out.id, out.engine, out.tokens, out.ops.macs);
+//! }
 //! ```
 
 #![forbid(unsafe_code)]

@@ -8,8 +8,6 @@
 //! quantization-robustness tests and by the memory accounting (2 bytes per
 //! weight).
 
-use serde::{Deserialize, Serialize};
-
 /// An IEEE-754 binary16 value stored as its raw bit pattern.
 ///
 /// Conversions implement round-to-nearest-even, the hardware default.
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!h.is_sign_negative());
 /// assert!(F16::from_f32(-0.0).is_sign_negative());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct F16(u16);
 
 impl F16 {

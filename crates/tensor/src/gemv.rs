@@ -37,7 +37,10 @@ pub fn gemv(w: &Matrix, x: &Vector) -> Vector {
 /// Returns [`ShapeError::DimensionMismatch`] if `x.len() != w.cols()`.
 pub fn try_gemv(w: &Matrix, x: &Vector) -> Result<Vector, ShapeError> {
     if x.len() != w.cols() {
-        return Err(ShapeError::DimensionMismatch { expected: w.cols(), actual: x.len() });
+        return Err(ShapeError::DimensionMismatch {
+            expected: w.cols(),
+            actual: x.len(),
+        });
     }
     let xs = x.as_slice();
     let mut out = Vec::with_capacity(w.rows());

@@ -83,7 +83,10 @@ impl std::fmt::Display for ShapeError {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
             ShapeError::BadBuffer { rows, cols, len } => {
-                write!(f, "buffer of length {len} cannot hold a {rows}x{cols} matrix")
+                write!(
+                    f,
+                    "buffer of length {len} cannot hold a {rows}x{cols} matrix"
+                )
             }
         }
     }
@@ -97,9 +100,16 @@ mod tests {
 
     #[test]
     fn shape_error_display_is_lowercase_and_concise() {
-        let e = ShapeError::DimensionMismatch { expected: 4, actual: 3 };
+        let e = ShapeError::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 3");
-        let e = ShapeError::BadBuffer { rows: 2, cols: 3, len: 5 };
+        let e = ShapeError::BadBuffer {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
         assert_eq!(e.to_string(), "buffer of length 5 cannot hold a 2x3 matrix");
     }
 

@@ -1,7 +1,5 @@
 //! Dense row-major `f32` matrix used for model weights.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ShapeError, Vector};
 
 /// A dense, row-major `f32` matrix.
@@ -21,7 +19,7 @@ use crate::{ShapeError, Vector};
 /// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
 /// assert_eq!(m[(0, 2)], 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -31,7 +29,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero-filled `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -52,7 +54,11 @@ impl Matrix {
     /// Returns [`ShapeError::BadBuffer`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
         if data.len() != rows * cols {
-            return Err(ShapeError::BadBuffer { rows, cols, len: data.len() });
+            return Err(ShapeError::BadBuffer {
+                rows,
+                cols,
+                len: data.len(),
+            });
         }
         Ok(Self { rows, cols, data })
     }
@@ -73,7 +79,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -83,7 +93,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -128,7 +142,10 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     pub fn row_dot(&self, r: usize, x: &Vector) -> Result<f32, ShapeError> {
         if x.len() != self.cols {
-            return Err(ShapeError::DimensionMismatch { expected: self.cols, actual: x.len() });
+            return Err(ShapeError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
         }
         Ok(self
             .row(r)
@@ -147,14 +164,20 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -176,7 +199,11 @@ mod tests {
         assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
         assert!(matches!(
             Matrix::from_vec(2, 2, vec![0.0; 5]),
-            Err(ShapeError::BadBuffer { rows: 2, cols: 2, len: 5 })
+            Err(ShapeError::BadBuffer {
+                rows: 2,
+                cols: 2,
+                len: 5
+            })
         ));
     }
 

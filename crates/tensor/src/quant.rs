@@ -7,9 +7,7 @@
 //! values that quantize to zero, which contribute nothing to the inner
 //! product anyway).
 
-use serde::{Deserialize, Serialize};
-
-use crate::{Matrix, sign::PackedSignMatrix};
+use crate::{sign::PackedSignMatrix, Matrix};
 
 /// A matrix quantized to INT8 with one `f32` scale per row.
 ///
@@ -27,7 +25,7 @@ use crate::{Matrix, sign::PackedSignMatrix};
 ///     }
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedMatrix {
     rows: usize,
     cols: usize,
@@ -51,7 +49,12 @@ impl QuantizedMatrix {
                 values.push(q);
             }
         }
-        Self { rows, cols, values, scales }
+        Self {
+            rows,
+            cols,
+            values,
+            scales,
+        }
     }
 
     /// Number of rows.
@@ -156,11 +159,7 @@ mod tests {
         for r in 0..m.rows() {
             for (c, qv) in q.row(r).iter().enumerate() {
                 if *qv != 0 {
-                    assert_eq!(
-                        (*qv < 0),
-                        m[(r, c)] < 0.0,
-                        "sign flipped at ({r},{c})"
-                    );
+                    assert_eq!((*qv < 0), m[(r, c)] < 0.0, "sign flipped at ({r},{c})");
                 }
             }
         }
@@ -182,7 +181,10 @@ mod tests {
         for r in 0..m.rows() {
             let exact: f32 = m.row(r).iter().zip(&x).map(|(w, xi)| w * xi).sum();
             let approx = q.row_dot(r, &x);
-            assert!((exact - approx).abs() < 0.25, "row {r}: {exact} vs {approx}");
+            assert!(
+                (exact - approx).abs() < 0.25,
+                "row {r}: {exact} vs {approx}"
+            );
         }
     }
 

@@ -1,13 +1,12 @@
 //! Seeded pseudo-random sampling for reproducible experiments.
 //!
 //! Every stochastic piece of the workspace (synthetic weights, task
-//! generation, predictor training) draws from a [`Prng`] with an explicit
-//! seed, so each experiment binary regenerates bit-identical data.
-//! Gaussian sampling is implemented with the Box–Muller transform on top of
-//! `rand`'s uniform source; `rand_distr` is deliberately not a dependency.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! generation, predictor training, samplers) draws from a [`Prng`] with an
+//! explicit seed, so each experiment binary regenerates bit-identical data.
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through SplitMix64 — no external crates, so
+//! the workspace builds in fully offline environments. Gaussian sampling is
+//! the Box–Muller transform on top of the uniform source.
 
 /// A seeded pseudo-random number generator with Gaussian sampling.
 ///
@@ -22,26 +21,60 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Prng {
-    rng: StdRng,
+    state: [u64; 4],
     cached_normal: Option<f64>,
+}
+
+/// SplitMix64 step, used to expand the 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Prng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), cached_normal: None }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self {
+            state,
+            cached_normal: None,
+        }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each layer /
     /// task / trial its own stream without coupling draw counts.
     pub fn fork(&mut self, salt: u64) -> Prng {
-        let s = self.rng.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Prng::seed(s)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -51,7 +84,9 @@ impl Prng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below(0) is meaningless");
-        self.rng.gen_range(0..bound)
+        // Widening-multiply range reduction (Lemire); the bias for 64-bit
+        // draws against usize bounds is far below observability.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -81,7 +116,9 @@ impl Prng {
 
     /// Fills a fresh `f32` buffer with `N(mean, std_dev)` samples.
     pub fn normal_vec(&mut self, len: usize, mean: f64, std_dev: f64) -> Vec<f32> {
-        (0..len).map(|_| self.normal(mean, std_dev) as f32).collect()
+        (0..len)
+            .map(|_| self.normal(mean, std_dev) as f32)
+            .collect()
     }
 
     /// Shuffles a slice in place (Fisher–Yates).

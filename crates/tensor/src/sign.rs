@@ -12,8 +12,6 @@
 //! weight distributions exact zeros are measure-zero; the paper's predictor
 //! makes the same approximation.
 
-use serde::{Deserialize, Serialize};
-
 /// Lanes per packed word — mirrors the CUDA warp size, which the paper's
 /// kernel exploits so that one warp processes one packed word per thread.
 pub const LANES: usize = 32;
@@ -37,7 +35,7 @@ pub const LANES: usize = 32;
 /// assert_eq!(signs.bit(3), true); // -0.0 has its sign bit set
 /// assert_eq!(signs.count_negative(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignPack {
     words: Vec<u32>,
     len: usize,
@@ -52,7 +50,10 @@ impl SignPack {
                 words[i / LANES] |= 1u32 << (i % LANES);
             }
         }
-        Self { words, len: values.len() }
+        Self {
+            words,
+            len: values.len(),
+        }
     }
 
     /// Packs sign bits from raw IEEE-754 bit patterns (e.g. stored `f16` or
@@ -98,7 +99,11 @@ impl SignPack {
     ///
     /// Panics if `i >= self.len()`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "sign index {i} out of bounds ({} bits)", self.len);
+        assert!(
+            i < self.len,
+            "sign index {i} out of bounds ({} bits)",
+            self.len
+        );
         (self.words[i / LANES] >> (i % LANES)) & 1 == 1
     }
 
@@ -144,7 +149,7 @@ impl SignPack {
 ///
 /// Rows are stored contiguously so that, like the CUDA kernel, a consumer can
 /// stream `row_words` per row with perfectly coalesced accesses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedSignMatrix {
     words: Vec<u32>,
     rows: usize,
@@ -167,7 +172,12 @@ impl PackedSignMatrix {
                 }
             }
         }
-        Self { words, rows, cols, row_words }
+        Self {
+            words,
+            rows,
+            cols,
+            row_words,
+        }
     }
 
     /// Number of rows.
@@ -191,7 +201,11 @@ impl PackedSignMatrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[u32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.words[r * self.row_words..(r + 1) * self.row_words]
     }
 
@@ -252,10 +266,15 @@ mod tests {
 
     #[test]
     fn pack_spans_multiple_words() {
-        let values: Vec<f32> = (0..70).map(|i| if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let values: Vec<f32> = (0..70)
+            .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let p = SignPack::pack(&values);
         assert_eq!(p.word_count(), 3);
-        assert_eq!(p.count_negative(), values.iter().filter(|v| **v < 0.0).count() as u32);
+        assert_eq!(
+            p.count_negative(),
+            values.iter().filter(|v| **v < 0.0).count() as u32
+        );
         for (i, v) in values.iter().enumerate() {
             assert_eq!(p.bit(i), *v < 0.0, "bit {i}");
         }

@@ -4,8 +4,6 @@
 //! and `Y = X ⊙ W_gate,i`) and to validate the Gaussian-symmetry assumption
 //! the predictor rests on.
 
-use serde::{Deserialize, Serialize};
-
 /// Running summary statistics (count, mean, variance, min/max, sign split).
 ///
 /// Welford's algorithm is used so very long activation streams stay
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 0.0);
 /// assert_eq!(s.negative_fraction(), 0.5);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -34,7 +32,14 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, negatives: 0 }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            negatives: 0,
+        }
     }
 
     /// Adds one observation.
@@ -71,12 +76,20 @@ impl Summary {
 
     /// Sample mean (0 for an empty summary).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population variance (0 for fewer than two observations).
     pub fn variance(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { self.m2 / self.count as f64 }
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
     }
 
     /// Population standard deviation.
@@ -98,7 +111,11 @@ impl Summary {
     /// predictor's symmetry assumption (≈ 0.5 for zero-mean products) is
     /// judged by.
     pub fn negative_fraction(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.negatives as f64 / self.count as f64 }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.negatives as f64 / self.count as f64
+        }
     }
 }
 
@@ -114,7 +131,7 @@ impl Summary {
 /// assert_eq!(h.counts(), &[1, 1, 1, 1]);
 /// assert_eq!(h.outliers(), 1);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -131,7 +148,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins], outliers: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
     }
 
     /// Adds one observation; values outside `[lo, hi)` count as outliers.
@@ -205,7 +227,11 @@ impl Histogram {
 /// paper's Fig. 2 discussion.
 pub fn standardized_mean(values: &[f32]) -> f64 {
     let s = Summary::from_slice(values);
-    if s.std_dev() == 0.0 { 0.0 } else { s.mean() / s.std_dev() }
+    if s.std_dev() == 0.0 {
+        0.0
+    } else {
+        s.mean() / s.std_dev()
+    }
 }
 
 /// Standard normal cumulative distribution function `Φ(x)`.
@@ -224,8 +250,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -1,7 +1,5 @@
 //! Dense `f32` vector used for activations and hidden states.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense, heap-allocated `f32` vector.
 ///
 /// `Vector` is the activation container used throughout the workspace: model
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
 /// assert_eq!(v.dot(&v).unwrap(), 14.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Vector {
     data: Vec<f32>,
 }
@@ -25,12 +23,16 @@ pub struct Vector {
 impl Vector {
     /// Creates a zero-filled vector of length `len`.
     pub fn zeros(len: usize) -> Self {
-        Self { data: vec![0.0; len] }
+        Self {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector by evaluating `f` at every index.
     pub fn from_fn(len: usize, f: impl FnMut(usize) -> f32) -> Self {
-        Self { data: (0..len).map(f).collect() }
+        Self {
+            data: (0..len).map(f).collect(),
+        }
     }
 
     /// Wraps an existing buffer.
@@ -184,7 +186,9 @@ impl From<Vec<f32>> for Vector {
 
 impl FromIterator<f32> for Vector {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
-        Self { data: iter.into_iter().collect() }
+        Self {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -234,7 +238,10 @@ mod tests {
         let b = Vector::zeros(4);
         assert!(matches!(
             a.dot(&b),
-            Err(crate::ShapeError::DimensionMismatch { expected: 3, actual: 4 })
+            Err(crate::ShapeError::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 

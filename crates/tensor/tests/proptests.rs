@@ -1,69 +1,92 @@
-//! Property-based tests for the tensor substrate.
+//! Property-style tests for the tensor substrate, driven by seeded
+//! pseudo-random sweeps (the workspace builds offline, so the `proptest`
+//! crate is replaced by explicit [`Prng`] loops over the same properties).
 
-use proptest::prelude::*;
 use sparseinfer_tensor::gemv::{gemv, gemv_transposed};
 use sparseinfer_tensor::sign::{count_negative_products, PackedSignMatrix, SignPack};
-use sparseinfer_tensor::{F16, Matrix, QuantizedMatrix, Vector};
+use sparseinfer_tensor::{Matrix, Prng, QuantizedMatrix, Vector, F16};
 
-fn finite_f32() -> impl Strategy<Value = f32> {
-    // Values in a range representable in f16 without overflow, excluding 0 so
-    // sign comparisons are unambiguous.
-    prop_oneof![(-1000.0f32..-1e-3), (1e-3f32..1000.0)]
+/// A value in a range representable in f16 without overflow, excluding a
+/// band around 0 so sign comparisons are unambiguous.
+fn finite_f32(rng: &mut Prng) -> f32 {
+    let magnitude = (1e-3 + rng.uniform() * 999.0) as f32;
+    if rng.flip(0.5) {
+        -magnitude
+    } else {
+        magnitude
+    }
 }
 
-proptest! {
-    #[test]
-    fn sign_pack_roundtrips_bits(values in prop::collection::vec(finite_f32(), 1..200)) {
+#[test]
+fn sign_pack_roundtrips_bits() {
+    let mut rng = Prng::seed(101);
+    for trial in 0..64 {
+        let len = 1 + rng.below(199);
+        let values: Vec<f32> = (0..len).map(|_| finite_f32(&mut rng)).collect();
         let pack = SignPack::pack(&values);
-        prop_assert_eq!(pack.len(), values.len());
+        assert_eq!(pack.len(), values.len());
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(pack.bit(i), v.is_sign_negative());
+            assert_eq!(pack.bit(i), v.is_sign_negative(), "trial {trial} bit {i}");
         }
     }
+}
 
-    #[test]
-    fn xor_popcount_equals_scalar_count(
-        pair in prop::collection::vec((finite_f32(), finite_f32()), 1..300)
-    ) {
-        let a: Vec<f32> = pair.iter().map(|(x, _)| *x).collect();
-        let b: Vec<f32> = pair.iter().map(|(_, y)| *y).collect();
+#[test]
+fn xor_popcount_equals_scalar_count() {
+    let mut rng = Prng::seed(102);
+    for trial in 0..64 {
+        let len = 1 + rng.below(299);
+        let a: Vec<f32> = (0..len).map(|_| finite_f32(&mut rng)).collect();
+        let b: Vec<f32> = (0..len).map(|_| finite_f32(&mut rng)).collect();
         let pa = SignPack::pack(&a);
         let pb = SignPack::pack(&b);
-        prop_assert_eq!(pa.xor_popcount(&pb), count_negative_products(&a, &b));
+        assert_eq!(
+            pa.xor_popcount(&pb),
+            count_negative_products(&a, &b),
+            "trial {trial} len {len}"
+        );
     }
+}
 
-    #[test]
-    fn f16_roundtrip_preserves_sign_and_bounds_error(v in finite_f32()) {
+#[test]
+fn f16_roundtrip_preserves_sign_and_bounds_error() {
+    let mut rng = Prng::seed(103);
+    for _ in 0..512 {
+        let v = finite_f32(&mut rng);
         let h = F16::from_f32(v);
         let back = h.to_f32();
-        prop_assert_eq!(h.is_sign_negative(), v.is_sign_negative());
+        assert_eq!(h.is_sign_negative(), v.is_sign_negative());
         // f16 has 11 significand bits: relative error bounded by 2^-11.
         let rel = ((back - v) / v).abs();
-        prop_assert!(rel <= 1.0 / 2048.0, "v={v} back={back} rel={rel}");
+        assert!(rel <= 1.0 / 2048.0, "v={v} back={back} rel={rel}");
     }
+}
 
-    #[test]
-    fn int8_quantization_preserves_nonunderflow_signs(
-        rows in 1usize..6, cols in 1usize..40,
-        seed in 0u64..1000
-    ) {
-        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+#[test]
+fn int8_quantization_preserves_nonunderflow_signs() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed(seed);
+        let rows = 1 + rng.below(5);
+        let cols = 1 + rng.below(39);
         let m = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
         let q = QuantizedMatrix::quantize(&m);
         for r in 0..rows {
             for (c, qv) in q.row(r).iter().enumerate() {
                 if *qv != 0 {
-                    prop_assert_eq!(*qv < 0, m[(r, c)] < 0.0);
+                    assert_eq!(*qv < 0, m[(r, c)] < 0.0, "seed {seed} ({r},{c})");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn gemv_is_linear_in_x(
-        seed in 0u64..500, rows in 1usize..8, cols in 1usize..32, scale in -4.0f32..4.0
-    ) {
-        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+#[test]
+fn gemv_is_linear_in_x() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed(seed);
+        let rows = 1 + rng.below(7);
+        let cols = 1 + rng.below(31);
+        let scale = (rng.uniform() * 8.0 - 4.0) as f32;
         let w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
         let x = Vector::from_fn(cols, |_| rng.normal(0.0, 1.0) as f32);
         let mut sx = x.clone();
@@ -72,34 +95,41 @@ proptest! {
         let mut y2 = gemv(&w, &x);
         y2.scale(scale);
         for (a, b) in y1.iter().zip(y2.iter()) {
-            prop_assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+            assert!(
+                (a - b).abs() <= 1e-3 * (1.0 + b.abs()),
+                "seed {seed}: {a} vs {b}"
+            );
         }
     }
+}
 
-    #[test]
-    fn transposed_gemv_agrees_with_materialized_transpose(
-        seed in 0u64..500, rows in 1usize..8, cols in 1usize..16
-    ) {
-        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+#[test]
+fn transposed_gemv_agrees_with_materialized_transpose() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed(seed ^ 0xA5A5);
+        let rows = 1 + rng.below(7);
+        let cols = 1 + rng.below(15);
         let w = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
         let x = Vector::from_fn(rows, |_| rng.normal(0.0, 1.0) as f32);
         let a = gemv_transposed(&w, &x);
         let b = gemv(&w.transposed(), &x);
         for (u, v) in a.iter().zip(b.iter()) {
-            prop_assert!((u - v).abs() < 1e-4);
+            assert!((u - v).abs() < 1e-4, "seed {seed}: {u} vs {v}");
         }
     }
+}
 
-    #[test]
-    fn packed_matrix_equals_per_row_packs(
-        seed in 0u64..500, rows in 1usize..6, cols in 1usize..80
-    ) {
-        let mut rng = sparseinfer_tensor::Prng::seed(seed);
+#[test]
+fn packed_matrix_equals_per_row_packs() {
+    for seed in 0..48u64 {
+        let mut rng = Prng::seed(seed ^ 0x5A5A);
+        let rows = 1 + rng.below(5);
+        let cols = 1 + rng.below(79);
         let m = Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0) as f32);
         let pm = PackedSignMatrix::pack(&m);
         for r in 0..rows {
             let expected = SignPack::pack(m.row(r));
-            prop_assert_eq!(pm.row(r), expected.words());
+            assert_eq!(pm.row(r), expected.words(), "seed {seed} row {r}");
         }
     }
 }

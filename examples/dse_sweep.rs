@@ -10,14 +10,14 @@
 //! cargo run --release --example dse_sweep
 //! ```
 
-use sparseinfer::eval::TaskSuite;
+use sparseinfer::eval::{teacher_forced_engine_matches, TaskSuite};
 use sparseinfer::gpu_sim::latency::{
     dense_token_latency, sparseinfer_token_latency, MlpStepSparsity, SparseVariant, DEFAULT_CTX,
 };
 use sparseinfer::gpu_sim::GpuSpec;
 use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
-use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
-use sparseinfer::sparse::engine::{EngineOptions, SparseEngine};
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::EngineBuilder;
 
 fn main() {
     let mut config = ModelConfig::sim_7b();
@@ -44,32 +44,25 @@ fn main() {
     for alpha in [1.0, 1.05, 1.1, 1.2] {
         for depth in [8usize, 16, 32] {
             let schedule = AlphaSchedule::early_layers(alpha, depth);
-            let predictor = SignBitPredictor::from_model(&model, schedule);
-            let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+            let mut engine = EngineBuilder::new(&model)
+                .signbit(schedule)
+                .build()
+                .expect("signbit predictor covers every layer");
 
             // Teacher-forced accuracy over the suite.
             let mut matches = 0usize;
             let mut total = 0usize;
             for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
-                let mut session = model.start_session();
-                for t in &task.tokens[..task.tokens.len() - 1] {
-                    let _ = model.forward_token(*t, &mut session);
-                }
-                let mut logits =
-                    engine.forward_token(task.tokens[task.tokens.len() - 1], &mut session);
-                for g in gold_tokens {
-                    if logits.argmax().expect("vocab") as u32 == *g {
-                        matches += 1;
-                    }
-                    total += 1;
-                    logits = engine.forward_token(*g, &mut session);
-                }
+                let m = teacher_forced_engine_matches(engine.as_mut(), &task.tokens, gold_tokens);
+                matches += m.iter().filter(|x| **x).count();
+                total += m.len();
             }
             let accuracy = matches as f64 / total.max(1) as f64;
 
             // Measured sparsity → projected device latency at paper dims.
-            let predicted = engine.stats().mean_predicted();
-            let effective = engine.stats().mean_effective();
+            let stats = engine.stats().expect("sparse engine has stats");
+            let predicted = stats.mean_predicted();
+            let effective = stats.mean_effective();
             let per_layer: Vec<MlpStepSparsity> = predicted
                 .iter()
                 .zip(&effective)

@@ -4,8 +4,9 @@
 //! saved.
 //!
 //! Decodes a batch of user queries with the dense engine, PowerInfer-style
-//! trained prediction, and SparseInfer, and reports measured work plus
-//! projected device latency/energy proxies for each.
+//! trained prediction, and SparseInfer — each through the unified
+//! [`EngineBuilder`] and the round-robin [`Batch`] scheduler — and reports
+//! measured work plus projected device latency/energy proxies for each.
 //!
 //! ```text
 //! cargo run --release --example ondevice_assistant
@@ -20,7 +21,45 @@ use sparseinfer::gpu_sim::GpuSpec;
 use sparseinfer::model::{generator::WeightGenerator, MlpTrace, ModelConfig};
 use sparseinfer::predictor::dejavu::{TrainConfig, Trainer};
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
-use sparseinfer::sparse::engine::{DenseEngine, EngineOptions, SparseEngine};
+use sparseinfer::sparse::batch::Batch;
+use sparseinfer::sparse::engine::{EngineBuilder, EngineOptions};
+use sparseinfer::sparse::ops::OpCounter;
+use sparseinfer::sparse::request::GenerateRequest;
+use sparseinfer::sparse::SparsityStats;
+
+/// Decodes every query through one batch scheduler, one engine instance per
+/// request (so per-request accounting stays isolated), and returns the op
+/// counters and per-layer sparsity merged over the whole batch.
+fn serve_batch<'m>(
+    queries: &TaskSuite,
+    max_new: usize,
+    eos: u32,
+    make_engine: impl Fn() -> EngineBuilder<'m>,
+) -> (OpCounter, Option<SparsityStats>) {
+    let mut batch = Batch::new();
+    for q in &queries.tasks {
+        let engine = make_engine()
+            .build()
+            .expect("engine configuration is valid");
+        batch
+            .push(
+                engine,
+                &GenerateRequest::new(&q.tokens)
+                    .max_new(max_new)
+                    .stop_at(eos),
+            )
+            .expect("non-empty prompt");
+    }
+    let mut ops = OpCounter::default();
+    let mut stats: Option<SparsityStats> = None;
+    for o in batch.run() {
+        ops.merge(&o.ops);
+        if let Some(s) = &o.stats {
+            stats.get_or_insert_with(SparsityStats::default).merge(s);
+        }
+    }
+    (ops, stats)
+}
 
 fn main() {
     let mut config = ModelConfig::sim_7b();
@@ -34,36 +73,42 @@ fn main() {
     let eos = sparseinfer::model::tokenizer::EOS;
 
     // --- Dense (llama.cpp role) ---
-    let mut dense = DenseEngine::new(&model);
-    for q in &queries.tasks {
-        let _ = dense.generate_greedy(&q.tokens, max_new, eos);
-    }
+    let (dense_ops, _) = serve_batch(&queries, max_new, eos, || EngineBuilder::new(&model));
 
-    // --- PowerInfer role: trained DejaVu predictor ---
+    // --- PowerInfer role: trained DejaVu predictor (trained once, cloned
+    // into each request's engine) ---
     let trace = MlpTrace::capture(&model, &(1..=10).collect::<Vec<u32>>(), 6);
-    let dejavu = Trainer::new(TrainConfig { rank: 24, epochs: 8, ..TrainConfig::default() })
-        .train(&model, &trace);
-    let mut powerinfer = SparseEngine::new(&model, dejavu, EngineOptions::base());
-    for q in &queries.tasks {
-        let _ = powerinfer.generate_greedy(&q.tokens, max_new, eos);
-    }
+    let dejavu = Trainer::new(TrainConfig {
+        rank: 24,
+        epochs: 8,
+        ..TrainConfig::default()
+    })
+    .train(&model, &trace);
+    let (pi_ops, pi_stats) = serve_batch(&queries, max_new, eos, || {
+        EngineBuilder::new(&model)
+            .dejavu(dejavu.clone())
+            .options(EngineOptions::base())
+    });
 
-    // --- SparseInfer ---
-    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.1, 16));
-    let mut sparseinfer = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
-    for q in &queries.tasks {
-        let _ = sparseinfer.generate_greedy(&q.tokens, max_new, eos);
-    }
+    // --- SparseInfer (sign bits packed once — the load-time step — then
+    // cloned into each request's engine) ---
+    let signbit = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.1, 16));
+    let (si_ops, si_stats) = serve_batch(&queries, max_new, eos, || {
+        EngineBuilder::new(&model).predictor(Box::new(signbit.clone()))
+    });
 
-    println!("on-device assistant batch: {} queries x {max_new} tokens\n", queries.len());
+    println!(
+        "on-device assistant batch: {} queries x {max_new} tokens\n",
+        queries.len()
+    );
     println!(
         "{:<14} {:>14} {:>16} {:>14}",
         "engine", "MACs", "weight bytes", "rows skipped"
     );
     for (name, ops) in [
-        ("dense", dense.ops()),
-        ("powerinfer", powerinfer.ops()),
-        ("sparseinfer", sparseinfer.ops()),
+        ("dense", &dense_ops),
+        ("powerinfer", &pi_ops),
+        ("sparseinfer", &si_ops),
     ] {
         println!(
             "{name:<14} {:>14} {:>16} {:>14}",
@@ -72,15 +117,15 @@ fn main() {
     }
 
     // Projected device latency at paper dimensions from measured sparsity.
-    let si_layers: Vec<MlpStepSparsity> = sparseinfer
-        .stats()
+    let si_stats = si_stats.expect("sparse engine reports stats");
+    let si_layers: Vec<MlpStepSparsity> = si_stats
         .mean_predicted()
         .iter()
-        .zip(&sparseinfer.stats().mean_effective())
+        .zip(&si_stats.mean_effective())
         .map(|(p, e)| MlpStepSparsity::with_actual(*p, *e))
         .collect();
-    let pi_layers: Vec<MlpStepSparsity> = powerinfer
-        .stats()
+    let pi_stats = pi_stats.expect("sparse engine reports stats");
+    let pi_layers: Vec<MlpStepSparsity> = pi_stats
         .mean_predicted()
         .iter()
         .map(|p| MlpStepSparsity::uniform(*p))
@@ -88,10 +133,18 @@ fn main() {
 
     let t_dense = dense_token_latency(&spec, &paper_cfg);
     let t_pi = powerinfer_token_latency(&spec, &paper_cfg, &pi_layers, 1024, DEFAULT_CTX);
-    let t_si =
-        sparseinfer_token_latency(&spec, &paper_cfg, &si_layers, SparseVariant::fused(), DEFAULT_CTX);
+    let t_si = sparseinfer_token_latency(
+        &spec,
+        &paper_cfg,
+        &si_layers,
+        SparseVariant::fused(),
+        DEFAULT_CTX,
+    );
 
-    println!("\nprojected per-token latency on {} ({} dims):", spec.name, paper_cfg.name);
+    println!(
+        "\nprojected per-token latency on {} ({} dims):",
+        spec.name, paper_cfg.name
+    );
     println!("  dense:       {:>7.1} ms", t_dense.total_ms());
     println!(
         "  powerinfer:  {:>7.1} ms  ({:.2}x)",
@@ -108,6 +161,6 @@ fn main() {
     // Energy proxy: DRAM traffic dominates edge-SoC decode energy.
     println!(
         "\nDRAM-traffic energy proxy (weight bytes, sparse/dense): {:.3}",
-        sparseinfer.ops().weight_bytes_loaded as f64 / dense.ops().weight_bytes_loaded as f64
+        si_ops.weight_bytes_loaded as f64 / dense_ops.weight_bytes_loaded as f64
     );
 }

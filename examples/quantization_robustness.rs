@@ -76,9 +76,17 @@ fn main() {
 
     println!("skip-mask agreement with the FP32 reference over {total} decisions:");
     println!("  FP16: {:.4}", fp16_agree as f64 / total as f64);
-    println!("  INT8: {:.4}  (int8 zeros pack as 'positive'; only sub-quantum weights differ)", int8_agree as f64 / total as f64);
-    println!("\nNo retraining, no recalibration — the predictor consumed each format's MSBs directly.");
+    println!(
+        "  INT8: {:.4}  (int8 zeros pack as 'positive'; only sub-quantum weights differ)",
+        int8_agree as f64 / total as f64
+    );
+    println!(
+        "\nNo retraining, no recalibration — the predictor consumed each format's MSBs directly."
+    );
 
-    assert!(fp16_agree == total, "FP16 conversion preserves every sign bit");
+    assert!(
+        fp16_agree == total,
+        "FP16 conversion preserves every sign bit"
+    );
     assert!(int8_agree as f64 / total as f64 > 0.99);
 }

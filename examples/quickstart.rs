@@ -1,13 +1,15 @@
-//! Quickstart: build a ReLU-fied model, attach the training-free sign-bit
-//! predictor, and decode with sparsity exploitation.
+//! Quickstart: build a ReLU-fied model, construct engines through the
+//! unified builder, and serve requests — single, streaming, and batched.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use sparseinfer::model::{generator::WeightGenerator, ByteTokenizer, ModelConfig};
-use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
-use sparseinfer::sparse::engine::{DenseEngine, EngineOptions, SparseEngine};
+use sparseinfer::model::{generator::WeightGenerator, ByteTokenizer, ModelConfig, Sampler};
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::batch::Batch;
+use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer::sparse::request::{generate, generate_streaming, GenerateRequest};
 
 fn main() {
     // 1. A ReLU-fied gated-MLP decoder with ~92% activation sparsity,
@@ -15,36 +17,101 @@ fn main() {
     let mut config = ModelConfig::sim_7b();
     config.vocab_size = 512;
     let model = WeightGenerator::new(&config, 7).build();
-    println!("model: {} ({} layers, d={}, k={})", config.name, config.n_layers, config.hidden_dim, config.mlp_dim);
+    println!(
+        "model: {} ({} layers, d={}, k={})",
+        config.name, config.n_layers, config.hidden_dim, config.mlp_dim
+    );
 
     // 2. Tokenize a prompt.
     let tokenizer = ByteTokenizer::new();
     let prompt = tokenizer.encode("Q: Ada has 3 apples, buys 4. How many? A:");
+    let eos = sparseinfer::model::tokenizer::EOS;
+    let req = GenerateRequest::new(&prompt).max_new(16).stop_at(eos);
 
-    // 3. Dense baseline (the llama.cpp role).
-    let mut dense = DenseEngine::new(&model);
-    let dense_out = dense.generate_greedy(&prompt, 16, sparseinfer::model::tokenizer::EOS);
-    println!("\ndense continuation:  {:?}", tokenizer.decode(&dense_out));
+    // 3. Dense baseline (the llama.cpp role): a builder with no predictor.
+    let mut dense = EngineBuilder::new(&model).build().expect("dense engine");
+    let dense_out = generate(dense.as_mut(), &req).expect("non-empty prompt");
+    println!(
+        "\ndense continuation:  {:?}",
+        tokenizer.decode(&dense_out.tokens)
+    );
     println!("dense MLP+attn MACs: {}", dense.ops().macs);
 
     // 4. SparseInfer: pack the gate sign bits once, then predict per token
-    //    with XOR + popcount. alpha = 1.02 on the early layers compensates
+    //    with XOR + popcount. alpha > 1 on the early layers compensates
     //    their lower prediction precision.
-    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.1, 16));
-    println!("\npredictor memory: {} KiB of packed sign bits", predictor.memory_bytes() / 1024);
+    let mut engine = EngineBuilder::new(&model)
+        .signbit(AlphaSchedule::early_layers(1.1, 16))
+        .build()
+        .expect("predictor covers every layer");
 
-    let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
-    let sparse_out = engine.generate_greedy(&prompt, 16, sparseinfer::model::tokenizer::EOS);
-    println!("sparse continuation: {:?}", tokenizer.decode(&sparse_out));
+    // Streaming: tokens arrive through the callback as they are sampled.
+    let mut streamed = Vec::new();
+    let sparse_out = generate_streaming(engine.as_mut(), &req, |ev| {
+        // A real frontend would flush each token to the client here.
+        streamed.push(ev.token);
+    })
+    .expect("non-empty prompt");
+    assert_eq!(streamed, sparse_out.tokens);
+    println!(
+        "sparse continuation: {:?} (streamed token by token)",
+        tokenizer.decode(&streamed)
+    );
 
     // 5. What sparsity bought us.
     let ops = engine.ops();
-    println!("\nsparse MACs:     {} ({:.1}% of dense)", ops.macs, 100.0 * ops.macs as f64 / dense.ops().macs as f64);
-    println!("rows skipped:    {} of {}", ops.rows_skipped, ops.rows_skipped + ops.rows_computed);
+    println!(
+        "\nsparse MACs:     {} ({:.1}% of dense)",
+        ops.macs,
+        100.0 * ops.macs as f64 / dense.ops().macs as f64
+    );
+    println!(
+        "rows skipped:    {} of {}",
+        ops.rows_skipped,
+        ops.rows_skipped + ops.rows_computed
+    );
     println!("predictor cost:  {} xor+popc operations", ops.xor_popc);
-    let eff = engine.stats().mean_effective();
+    let eff = engine.stats().expect("sparse stats").mean_effective();
     println!(
         "mean effective sparsity: {:.3}",
         eff.iter().sum::<f64>() / eff.len() as f64
     );
+
+    // 6. Serving-style batch: four concurrent sessions — two dense, two
+    //    sparse, one of them temperature-sampled — through one round-robin
+    //    scheduler, each with isolated sessions and per-request accounting.
+    let mut batch = Batch::new();
+    let prompts = [
+        "Q: 1 + 1? A:",
+        "Q: name a prime. A:",
+        "Q: 9 - 4? A:",
+        "Q: color of the sky? A:",
+    ];
+    for (i, text) in prompts.iter().enumerate() {
+        let engine = if i % 2 == 0 {
+            EngineBuilder::new(&model).build().expect("dense engine")
+        } else {
+            EngineBuilder::new(&model)
+                .signbit(AlphaSchedule::early_layers(1.1, 16))
+                .build()
+                .expect("sparse engine")
+        };
+        let mut r = GenerateRequest::new(&tokenizer.encode(text))
+            .max_new(8)
+            .stop_at(eos);
+        if i == 3 {
+            r = r.sampler(Sampler::top_k(8, 0.8, 42));
+        }
+        batch.push(engine, &r).expect("non-empty prompt");
+    }
+    println!("\nbatched decode of {} concurrent requests:", prompts.len());
+    for out in batch.run() {
+        println!(
+            "  [{}] {:<18} {:?}  ({} MACs)",
+            out.id,
+            out.engine,
+            tokenizer.decode(&out.tokens),
+            out.ops.macs
+        );
+    }
 }

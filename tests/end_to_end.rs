@@ -1,15 +1,15 @@
 //! Cross-crate integration tests: the full SparseInfer pipeline from weight
-//! generation through prediction, sparse execution and evaluation.
+//! generation through prediction, sparse execution and evaluation, driven
+//! through the unified `Engine` API.
 
 use sparseinfer::eval::harness::{
-    evaluate_against_gold, gold_continuations, teacher_forced_matches,
+    evaluate_against_gold, evaluate_engine, gold_continuations, teacher_forced_engine_matches,
 };
 use sparseinfer::eval::TaskSuite;
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
-use sparseinfer::predictor::{
-    AlphaSchedule, OraclePredictor, RandomPredictor, SignBitPredictor,
-};
-use sparseinfer::sparse::engine::{DenseEngine, EngineOptions, SparseEngine};
+use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
+use sparseinfer::sparse::engine::{Engine, EngineBuilder, EngineOptions};
+use sparseinfer::sparse::request::{generate, GenerateRequest};
 use sparseinfer::tensor::Prng;
 
 const EOS: u32 = sparseinfer::model::tokenizer::EOS;
@@ -24,17 +24,25 @@ fn test_model() -> Model {
     WeightGenerator::new(&cfg, 1234).build()
 }
 
+fn run_greedy(engine: &mut dyn Engine, prompt: &[u32], max_new: usize) -> Vec<u32> {
+    generate(
+        engine,
+        &GenerateRequest::new(prompt).max_new(max_new).stop_at(EOS),
+    )
+    .expect("non-empty prompt")
+    .tokens
+}
+
 #[test]
 fn oracle_masked_engine_is_bit_identical_to_dense() {
     let model = test_model();
-    let mut dense = DenseEngine::new(&model);
-    let oracle = OraclePredictor::from_model(&model);
-    let mut sparse = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
+    let mut dense = EngineBuilder::new(&model).build().unwrap();
+    let mut sparse = EngineBuilder::new(&model).oracle().build().unwrap();
 
     let prompt = [1u32, 5, 9];
     assert_eq!(
-        sparse.generate_greedy(&prompt, 12, EOS),
-        dense.generate_greedy(&prompt, 12, EOS)
+        run_greedy(sparse.as_mut(), &prompt, 12),
+        run_greedy(dense.as_mut(), &prompt, 12)
     );
     // And it skipped most of the rows while doing so.
     assert!(sparse.ops().skip_fraction() > 0.5);
@@ -46,16 +54,15 @@ fn signbit_engine_tracks_dense_under_teacher_forcing() {
     let suite = TaskSuite::gsm8k_syn(2, 5);
     let gold = gold_continuations(&model, &suite, 8);
 
-    let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
-    let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+    let mut engine = EngineBuilder::new(&model)
+        .signbit(AlphaSchedule::uniform(1.0))
+        .build()
+        .unwrap();
 
     let mut matches = 0usize;
     let mut total = 0usize;
     for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
-        let mut session = model.start_session();
-        let m = teacher_forced_matches(&task.tokens, gold_tokens, |t| {
-            engine.forward_token(t, &mut session)
-        });
+        let m = teacher_forced_engine_matches(engine.as_mut(), &task.tokens, gold_tokens);
         matches += m.iter().filter(|x| **x).count();
         total += m.len();
     }
@@ -72,24 +79,26 @@ fn alpha_increases_match_rate_and_decreases_sparsity() {
     let mut sparsities = Vec::new();
     let mut rates = Vec::new();
     for alpha in [1.0, 1.5, 2.5] {
-        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(alpha));
-        let mut engine = SparseEngine::new(&model, predictor, EngineOptions::sparseinfer());
+        let mut engine = EngineBuilder::new(&model)
+            .signbit(AlphaSchedule::uniform(alpha))
+            .build()
+            .unwrap();
         let mut matches = 0usize;
         let mut total = 0usize;
         for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
-            let mut session = model.start_session();
-            let m = teacher_forced_matches(&task.tokens, gold_tokens, |t| {
-                engine.forward_token(t, &mut session)
-            });
+            let m = teacher_forced_engine_matches(engine.as_mut(), &task.tokens, gold_tokens);
             matches += m.iter().filter(|x| **x).count();
             total += m.len();
         }
         rates.push(matches as f64 / total as f64);
-        let p = engine.stats().mean_predicted();
+        let p = engine.stats().expect("sparse stats").mean_predicted();
         sparsities.push(p.iter().sum::<f64>() / p.len() as f64);
     }
     // Higher alpha -> strictly less predicted sparsity.
-    assert!(sparsities[0] > sparsities[1] && sparsities[1] > sparsities[2], "{sparsities:?}");
+    assert!(
+        sparsities[0] > sparsities[1] && sparsities[1] > sparsities[2],
+        "{sparsities:?}"
+    );
     // And at least as much agreement with dense at the conservative end.
     assert!(rates[2] >= rates[0], "{rates:?}");
 }
@@ -100,17 +109,11 @@ fn free_running_random_skip_destroys_output_but_oracle_does_not() {
     let suite = TaskSuite::bbh_syn(2, 7);
     let gold = gold_continuations(&model, &suite, 8);
 
-    let random = RandomPredictor::new(0.9, model.config().mlp_dim, model.config().n_layers, 9);
-    let mut random_engine = SparseEngine::new(&model, random, EngineOptions::sparseinfer());
-    let random_report = evaluate_against_gold(&suite, &gold, |p| {
-        random_engine.generate_greedy(p, 8, EOS)
-    });
+    let mut random_engine = EngineBuilder::new(&model).random(0.9, 9).build().unwrap();
+    let random_report = evaluate_engine(random_engine.as_mut(), &suite, &gold, 8, EOS);
 
-    let oracle = OraclePredictor::from_model(&model);
-    let mut oracle_engine = SparseEngine::new(&model, oracle, EngineOptions::sparseinfer());
-    let oracle_report = evaluate_against_gold(&suite, &gold, |p| {
-        oracle_engine.generate_greedy(p, 8, EOS)
-    });
+    let mut oracle_engine = EngineBuilder::new(&model).oracle().build().unwrap();
+    let oracle_report = evaluate_engine(oracle_engine.as_mut(), &suite, &gold, 8, EOS);
 
     assert_eq!(oracle_report.exact_rate(), 1.0);
     assert!(random_report.mean_overlap() < oracle_report.mean_overlap());
@@ -127,9 +130,12 @@ fn actual_sparsity_and_fusion_do_not_change_decode_output() {
         EngineOptions::with_actual_sparsity(),
         EngineOptions::sparseinfer(),
     ] {
-        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.0));
-        let mut engine = SparseEngine::new(&model, predictor, options);
-        outputs.push(engine.generate_greedy(&prompt, 10, EOS));
+        let mut engine = EngineBuilder::new(&model)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .options(options)
+            .build()
+            .unwrap();
+        outputs.push(run_greedy(engine.as_mut(), &prompt, 10));
     }
     // +KF and +AS are execution optimizations, not semantic changes: all
     // four variants must decode the same tokens.
@@ -141,9 +147,12 @@ fn actual_sparsity_strictly_reduces_work() {
     let model = test_model();
     let prompt = [3u32, 6, 9];
     let run = |options| {
-        let predictor = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.3));
-        let mut engine = SparseEngine::new(&model, predictor, options);
-        let _ = engine.generate_greedy(&prompt, 8, EOS);
+        let mut engine = EngineBuilder::new(&model)
+            .signbit(AlphaSchedule::uniform(1.3))
+            .options(options)
+            .build()
+            .unwrap();
+        let _ = run_greedy(engine.as_mut(), &prompt, 8);
         engine.ops().macs
     };
     let without = run(EngineOptions::base());
@@ -155,9 +164,9 @@ fn actual_sparsity_strictly_reduces_work() {
 fn engine_op_accounting_matches_analytic_dense_count() {
     let model = test_model();
     let cfg = model.config();
-    let mut dense = DenseEngine::new(&model);
+    let mut dense = EngineBuilder::new(&model).build().unwrap();
     let mut session = model.start_session();
-    let _ = dense.forward_token(1, &mut session);
+    let _ = dense.step(1, &mut session);
 
     // One token, context length 1: per layer 3dk (MLP) + 4d^2 + 2*1*d (attn).
     let d = cfg.hidden_dim as u64;
@@ -182,9 +191,25 @@ fn generation_is_reproducible_across_engine_instances() {
     let mut rng = Prng::seed(0);
     let prompt: Vec<u32> = (0..4).map(|_| rng.below(250) as u32).collect();
     let make = || {
-        let p = SignBitPredictor::from_model(&model, AlphaSchedule::uniform(1.02));
-        let mut e = SparseEngine::new(&model, p, EngineOptions::sparseinfer());
-        e.generate_greedy(&prompt, 10, EOS)
+        let mut e = EngineBuilder::new(&model)
+            .signbit(AlphaSchedule::uniform(1.02))
+            .build()
+            .unwrap();
+        run_greedy(e.as_mut(), &prompt, 10)
     };
     assert_eq!(make(), make());
+}
+
+#[test]
+fn legacy_closure_harness_agrees_with_engine_harness() {
+    let model = test_model();
+    let suite = TaskSuite::gsm8k_syn(2, 8);
+    let gold = gold_continuations(&model, &suite, 6);
+
+    let mut engine = EngineBuilder::new(&model).oracle().build().unwrap();
+    let via_engine = evaluate_engine(engine.as_mut(), &suite, &gold, 6, EOS);
+    let via_closure = evaluate_against_gold(&suite, &gold, |prompt| {
+        model.generate_greedy(prompt, 6, EOS)
+    });
+    assert_eq!(via_engine.exact_rate(), via_closure.exact_rate());
 }

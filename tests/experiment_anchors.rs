@@ -35,14 +35,24 @@ fn predictor_latency_anchors_hold() {
     let cfg = ModelConfig::prosparse_13b_paper();
     let si = kernels::signbit_predictor(&cfg).latency_us(&spec);
     let dv = kernels::dejavu_predictor(&cfg, 1024).latency_us(&spec);
-    assert!((45.0..95.0).contains(&si), "predictor {si:.1} us (paper ~70)");
-    assert!((2.5..5.0).contains(&(dv / si)), "ratio {:.2} (paper 3.66)", dv / si);
+    assert!(
+        (45.0..95.0).contains(&si),
+        "predictor {si:.1} us (paper ~70)"
+    );
+    assert!(
+        (2.5..5.0).contains(&(dv / si)),
+        "ratio {:.2} (paper 3.66)",
+        dv / si
+    );
 }
 
 #[test]
 fn fig4_headline_ordering_holds() {
     let spec = GpuSpec::jetson_orin_agx_64gb();
-    for cfg in [ModelConfig::prosparse_13b_paper(), ModelConfig::prosparse_7b_paper()] {
+    for cfg in [
+        ModelConfig::prosparse_13b_paper(),
+        ModelConfig::prosparse_7b_paper(),
+    ] {
         let n = cfg.n_layers;
         let dense = dense_token_latency(&spec, &cfg).total_us();
         let si = sparseinfer_token_latency(
@@ -63,7 +73,11 @@ fn fig4_headline_ordering_holds() {
         .total_us();
         // Paper: SparseInfer 1.79×/1.74× over dense, 1.27×/1.30× over PowerInfer.
         let speedup = dense / si;
-        assert!((1.4..2.6).contains(&speedup), "{}: speedup {speedup:.2}", cfg.name);
+        assert!(
+            (1.4..2.6).contains(&speedup),
+            "{}: speedup {speedup:.2}",
+            cfg.name
+        );
         assert!(si < pi, "{}: SparseInfer must beat PowerInfer", cfg.name);
         assert!(pi < dense, "{}: PowerInfer must beat dense", cfg.name);
     }
@@ -74,7 +88,11 @@ fn decode_profile_is_mlp_dominated() {
     // Paper §III: attention 38% / MLP 62% during dense decode.
     let spec = GpuSpec::jetson_orin_agx_64gb();
     let t = dense_token_latency(&spec, &ModelConfig::prosparse_13b_paper());
-    assert!((0.5..0.75).contains(&t.mlp_share()), "MLP share {:.2}", t.mlp_share());
+    assert!(
+        (0.5..0.75).contains(&t.mlp_share()),
+        "MLP share {:.2}",
+        t.mlp_share()
+    );
 }
 
 #[test]
@@ -92,7 +110,10 @@ fn speedup_decreases_with_alpha_conservativeness() {
             DEFAULT_CTX,
         )
         .total_us();
-        assert!(t > last, "latency must grow as sparsity falls ({t} vs {last})");
+        assert!(
+            t > last,
+            "latency must grow as sparsity falls ({t} vs {last})"
+        );
         last = t;
     }
 }

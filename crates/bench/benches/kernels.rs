@@ -1,20 +1,23 @@
 //! Microbenchmarks of the Rust kernels: sign packing, the XOR/popcount
-//! predictor, and dense vs sparse GEMV. Self-timed with `std::time`
-//! (criterion is unavailable offline); the *ratios* mirror Table I's
-//! operation-count story.
+//! predictor, dense vs sparse GEMV, scalar vs unrolled inner loops, and
+//! thread scaling. Self-timed with `std::time` (criterion is unavailable
+//! offline); the *ratios* mirror Table I's operation-count story, and every
+//! measurement also lands in `BENCH_kernels.json` so the perf trajectory is
+//! tracked across PRs.
 //!
 //! ```text
-//! cargo bench --bench kernels
+//! cargo bench --bench kernels                  # full run
+//! SPARSEINFER_BENCH_QUICK=1 cargo bench ...    # 1-iter CI smoke
 //! ```
 
 use sparseinfer::model::ModelConfig;
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
-use sparseinfer::sparse::gemv::sparse_gemv;
+use sparseinfer::sparse::gemv::{sparse_gemv, sparse_gemv_into};
 use sparseinfer::sparse::OpCounter;
-use sparseinfer::tensor::gemv::gemv;
+use sparseinfer::tensor::gemv::{gemv, reference};
 use sparseinfer::tensor::sign::{PackedSignMatrix, SignPack};
-use sparseinfer::tensor::{Matrix, Prng, Vector};
-use sparseinfer_bench::time_us;
+use sparseinfer::tensor::{Matrix, ParallelOptions, Prng, ThreadPool, Vector};
+use sparseinfer_bench::{bench_iters, BenchReport};
 
 fn layer_shapes() -> (Matrix, Vector) {
     // One sim-13B-sized gate layer.
@@ -27,21 +30,65 @@ fn layer_shapes() -> (Matrix, Vector) {
     (w, x)
 }
 
+/// A larger matrix for the thread-scaling section: per-call work must
+/// dominate the scoped-thread spawn cost for scaling to be visible.
+fn scaling_shapes() -> (Matrix, Vector) {
+    let mut rng = Prng::seed(2);
+    let w = Matrix::from_fn(4096, 1024, |_, _| rng.normal(0.0, 0.1) as f32);
+    let x = Vector::from_fn(1024, |_| rng.normal(0.4, 1.0) as f32);
+    (w, x)
+}
+
 fn main() {
+    let mut report = BenchReport::new("kernels");
     let (w, x) = layer_shapes();
+
     println!("== sign packing ==");
-    time_us("pack_gate_signs_once_per_model_load", 50, || {
-        PackedSignMatrix::pack(&w)
-    });
-    time_us("pack_x_signs_per_token", 2000, || {
+    report.time(
+        "pack_gate_signs_once_per_model_load",
+        bench_iters(50),
+        1,
+        None,
+        || PackedSignMatrix::pack(&w),
+    );
+    report.time("pack_x_signs_per_token", bench_iters(2000), 1, None, || {
         SignPack::pack(x.as_slice())
     });
+
+    println!("\n== scalar (pre-PR) vs unrolled dense gemv ==");
+    let t_scalar = report.time("dense_gemv_scalar_ref", bench_iters(100), 1, None, || {
+        reference::gemv(&w, &x)
+    });
+    let t_gemv = {
+        let us =
+            sparseinfer_bench::time_us("dense_gemv_unrolled", bench_iters(200), || gemv(&w, &x));
+        report.record(
+            "dense_gemv_unrolled",
+            bench_iters(200),
+            us,
+            Some(t_scalar / us),
+            1,
+        );
+        us
+    };
+    println!(
+        "unrolled gemv is {:.1}x the scalar baseline",
+        t_scalar / t_gemv
+    );
 
     println!("\n== prediction vs dense gate ==");
     let mut predictor =
         SignBitPredictor::from_gate_matrices(std::slice::from_ref(&w), AlphaSchedule::uniform(1.0));
-    let t_pred = time_us("signbit_predictor", 500, || predictor.predict(0, &x));
-    let t_gemv = time_us("dense_gate_gemv", 100, || gemv(&w, &x));
+    let t_pred = sparseinfer_bench::time_us("signbit_predictor", bench_iters(500), || {
+        predictor.predict(0, &x)
+    });
+    report.record(
+        "signbit_predictor",
+        bench_iters(500),
+        t_pred,
+        Some(t_gemv / t_pred),
+        1,
+    );
     println!(
         "predictor is {:.1}x cheaper than the dense gate",
         t_gemv / t_pred
@@ -52,9 +99,34 @@ fn main() {
         let mask = SkipMask::from_fn(w.rows(), |r| {
             (r as u32 * 100 / w.rows() as u32) < sparsity_pct
         });
-        time_us(&format!("sparse_gemv_{sparsity_pct}pct"), 200, || {
+        let name = format!("sparse_gemv_{sparsity_pct}pct");
+        let us = sparseinfer_bench::time_us(&name, bench_iters(200), || {
             let mut ops = OpCounter::default();
             sparse_gemv(&w, &x, &mask, &mut ops)
         });
+        report.record(&name, bench_iters(200), us, Some(t_gemv / us), 1);
     }
+
+    println!("\n== sparse GEMV thread scaling (workspace path, 4096x1024) ==");
+    let (sw, sx) = scaling_shapes();
+    let smask = SkipMask::from_fn(sw.rows(), |r| r % 10 == 0); // 10% sparse
+    let mut t1 = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::new(ParallelOptions::threads(threads));
+        let mut out = Vector::zeros(0);
+        let name = format!("sparse_gemv_into_{threads}t");
+        let us = sparseinfer_bench::time_us(&name, bench_iters(100), || {
+            let mut ops = OpCounter::default();
+            sparse_gemv_into(&sw, &sx, &smask, &pool, &mut ops, &mut out);
+        });
+        if threads == 1 {
+            t1 = us;
+        }
+        report.record(&name, bench_iters(100), us, Some(t1 / us), threads);
+        if threads > 1 {
+            println!("  -> {:.2}x over 1 thread", t1 / us);
+        }
+    }
+
+    report.write();
 }

@@ -134,6 +134,128 @@ pub fn time_us<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
     us
 }
 
+/// Scales an iteration count down to 1 when `SPARSEINFER_BENCH_QUICK` is
+/// set — the CI smoke mode that keeps the bench binaries compiling *and
+/// running* without paying for stable timings.
+pub fn bench_iters(iters: usize) -> usize {
+    if std::env::var_os("SPARSEINFER_BENCH_QUICK").is_some() {
+        1
+    } else {
+        iters
+    }
+}
+
+/// One machine-readable benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Stable measurement name (snake_case).
+    pub name: String,
+    /// Iterations timed.
+    pub iters: usize,
+    /// Mean microseconds per iteration.
+    pub us_per_iter: f64,
+    /// Speedup relative to the run's dense/scalar baseline, when the
+    /// measurement has one.
+    pub speedup_over_dense: Option<f64>,
+    /// Kernel thread count the measurement ran with.
+    pub threads: usize,
+}
+
+/// Collects [`BenchRecord`]s and writes them as a `BENCH_<name>.json` file
+/// at the workspace root, so the perf trajectory is tracked across PRs in
+/// version control alongside the human-readable output.
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: String,
+    records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Starts a report for the bench binary `bench` (e.g. `"kernels"`).
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Records one measurement.
+    pub fn record(
+        &mut self,
+        name: &str,
+        iters: usize,
+        us_per_iter: f64,
+        speedup_over_dense: Option<f64>,
+        threads: usize,
+    ) {
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            iters,
+            us_per_iter,
+            speedup_over_dense,
+            threads,
+        });
+    }
+
+    /// Times `f`, prints the human line, and records it in one move.
+    pub fn time<T>(
+        &mut self,
+        name: &str,
+        iters: usize,
+        threads: usize,
+        speedup_over_dense: Option<f64>,
+        f: impl FnMut() -> T,
+    ) -> f64 {
+        let us = time_us(name, iters, f);
+        self.record(name, iters, us, speedup_over_dense, threads);
+        us
+    }
+
+    /// Serializes the report as JSON (dependency-free; names are plain
+    /// snake_case ASCII).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let speedup = match r.speedup_over_dense {
+                Some(s) => format!("{s:.4}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters\": {}, \"us_per_iter\": {:.4}, \"speedup_over_dense\": {}, \"threads\": {}}}{}\n",
+                r.name,
+                r.iters,
+                r.us_per_iter,
+                speedup,
+                r.threads,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<bench>.json` at the workspace root and reports the
+    /// path on stdout. Failures are printed, not fatal — a read-only
+    /// checkout still gets the human output. Skipped under
+    /// `SPARSEINFER_BENCH_QUICK` so the 1-iteration CI smoke run cannot
+    /// clobber the version-controlled perf trajectory with timing noise.
+    pub fn write(&self) {
+        if std::env::var_os("SPARSEINFER_BENCH_QUICK").is_some() {
+            println!("\nquick mode: not overwriting BENCH_{}.json", self.bench);
+            return;
+        }
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{}.json", self.bench));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => println!("\ncould not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Baseline benchmark scores from the paper's accuracy tables.
 #[derive(Debug, Clone, Copy)]
 pub struct PaperBaselines {
@@ -328,5 +450,18 @@ mod tests {
     #[test]
     fn cell_formats_fixed_width() {
         assert_eq!(cell(1.2345, 8, 2), "    1.23");
+    }
+
+    #[test]
+    fn bench_report_serializes_records() {
+        let mut report = BenchReport::new("kernels");
+        report.record("dense_gemv", 100, 12.5, None, 1);
+        report.record("sparse_gemv", 100, 3.125, Some(4.0), 2);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"name\": \"dense_gemv\""));
+        assert!(json.contains("\"speedup_over_dense\": null"));
+        assert!(json.contains("\"speedup_over_dense\": 4.0000"));
+        assert!(json.contains("\"threads\": 2"));
     }
 }

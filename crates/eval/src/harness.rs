@@ -200,16 +200,20 @@ pub fn teacher_forced_engine_matches(
     gold: &[u32],
 ) -> Vec<bool> {
     assert!(!prompt.is_empty(), "prompt must be non-empty");
-    let mut session = engine.model().start_session();
+    let mut session = engine
+        .model()
+        .start_session_with_capacity(prompt.len() + gold.len());
     for t in &prompt[..prompt.len() - 1] {
         let _ = engine.model().forward_token(*t, &mut session);
     }
-    let mut logits = engine.step(prompt[prompt.len() - 1], &mut session);
+    // One recycled logits buffer for the whole teacher-forced pass.
+    let mut logits = sparseinfer_tensor::Vector::zeros(0);
+    engine.step_into(prompt[prompt.len() - 1], &mut session, &mut logits);
     let mut out = Vec::with_capacity(gold.len());
     for g in gold {
         let predicted = logits.argmax().expect("nonzero vocab") as u32;
         out.push(predicted == *g);
-        logits = engine.step(*g, &mut session);
+        engine.step_into(*g, &mut session, &mut logits);
     }
     out
 }

@@ -7,24 +7,43 @@
 //! the accuracy experiments exercise the same residual-stream dynamics as the
 //! paper's models.
 
-use sparseinfer_tensor::{gemv::gemv, Matrix, Vector};
+use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector, Workspace};
 
 /// Grows-per-token key/value cache for one attention block.
+///
+/// Keys and values are stored *flat* (position-major `f32` runs) instead of
+/// one `Vector` per position: appending a token is two `extend_from_slice`
+/// calls that never allocate while the reserved capacity lasts, which is
+/// what makes steady-state decode allocation-free. Reserve up front with
+/// [`with_capacity`](KvCache::with_capacity) (or
+/// [`Model::start_session_with_capacity`](crate::Model::start_session_with_capacity));
+/// an unreserved cache still works, growing amortized like a `Vec`.
 #[derive(Debug, Clone, Default)]
 pub struct KvCache {
-    keys: Vec<Vector>,
-    values: Vec<Vector>,
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    dim: usize,
 }
 
 impl KvCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache (dimension fixed by the first push).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty cache with room for `tokens` positions of dimension
+    /// `dim` — pushes within that budget perform no allocation.
+    pub fn with_capacity(dim: usize, tokens: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(dim * tokens),
+            values: Vec::with_capacity(dim * tokens),
+            dim,
+        }
+    }
+
     /// Number of cached positions.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.keys.len().checked_div(self.dim).unwrap_or(0)
     }
 
     /// Whether the cache is empty.
@@ -32,13 +51,48 @@ impl KvCache {
         self.keys.is_empty()
     }
 
-    /// Appends one position.
-    pub fn push(&mut self, key: Vector, value: Vector) {
-        self.keys.push(key);
-        self.values.push(value);
+    /// Number of positions the cache can hold before its next allocation.
+    pub fn reserved_tokens(&self) -> usize {
+        self.keys.capacity().checked_div(self.dim).unwrap_or(0)
     }
 
-    /// Clears all cached positions (start of a new sequence).
+    /// Appends one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` and `value` differ in length, or disagree with the
+    /// dimension established by earlier pushes.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), value.len(), "key/value length mismatch");
+        if self.dim == 0 {
+            self.dim = key.len();
+        } else {
+            assert_eq!(key.len(), self.dim, "kv dimension mismatch");
+        }
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
+    }
+
+    /// The key vector cached at position `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn key(&self, t: usize) -> &[f32] {
+        &self.keys[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// The value vector cached at position `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn value(&self, t: usize) -> &[f32] {
+        &self.values[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// Clears all cached positions (start of a new sequence), retaining the
+    /// reserved capacity.
     pub fn clear(&mut self) {
         self.keys.clear();
         self.values.clear();
@@ -102,7 +156,10 @@ impl Attention {
         }
     }
 
-    /// Processes one token at `position`, reading and extending `cache`.
+    /// Processes one token at `position`, reading and extending `cache` —
+    /// thin wrapper over [`forward_ws`](Self::forward_ws) that owns a
+    /// throwaway workspace (bit-identical to the workspace path, which
+    /// shares every kernel).
     ///
     /// Returns the attention output (before the residual connection).
     ///
@@ -110,13 +167,36 @@ impl Attention {
     ///
     /// Panics if `x.len() != self.hidden_dim()`.
     pub fn forward(&self, x: &Vector, position: usize, cache: &mut KvCache) -> Vector {
+        let mut ws = Workspace::new();
+        self.forward_ws(x, position, cache, &ThreadPool::single(), &mut ws)
+    }
+
+    /// Workspace variant of [`forward`](Self::forward): every intermediate
+    /// (q/k/v, scores, head outputs) comes from `ws`, so after warm-up the
+    /// call performs no heap allocation. QKV and output projections are
+    /// row-partitioned across `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.hidden_dim()`.
+    pub fn forward_ws(
+        &self,
+        x: &Vector,
+        position: usize,
+        cache: &mut KvCache,
+        pool: &ThreadPool,
+        ws: &mut Workspace,
+    ) -> Vector {
         let d = self.hidden_dim();
         assert_eq!(x.len(), d, "attention input length mismatch");
         let head_dim = d / self.n_heads;
 
-        let mut q = gemv(&self.w_q, x);
-        let mut k = gemv(&self.w_k, x);
-        let v = gemv(&self.w_v, x);
+        let mut q = ws.take(d);
+        let mut k = ws.take(d);
+        let mut v = ws.take(d);
+        gemv_into(&self.w_q, x, pool, &mut q);
+        gemv_into(&self.w_k, x, pool, &mut k);
+        gemv_into(&self.w_v, x, pool, &mut v);
 
         for h in 0..self.n_heads {
             let span = h * head_dim..(h + 1) * head_dim;
@@ -124,49 +204,60 @@ impl Attention {
             Self::rope(&mut k.as_mut_slice()[span], position);
         }
 
-        cache.push(k, v);
+        cache.push(k.as_slice(), v.as_slice());
+        ws.give(k);
+        ws.give(v);
 
         let scale = 1.0 / (head_dim as f32).sqrt();
         let seq = cache.len();
-        let mut out = Vector::zeros(d);
+        // Sized to the cache reservation so the buffer does not regrow (and
+        // reallocate) as the context extends token by token.
+        let mut scores_buf = ws.take(seq.max(cache.reserved_tokens()));
+        let mut out = ws.take(d);
+        out.fill(0.0);
 
         for h in 0..self.n_heads {
             let span = h * head_dim..(h + 1) * head_dim;
             let qh = &q.as_slice()[span.clone()];
 
             // Scores against every cached position (causal by construction).
-            let mut scores = Vec::with_capacity(seq);
-            for t in 0..seq {
-                let kh = &cache.keys[t].as_slice()[span.clone()];
+            let scores = &mut scores_buf.as_mut_slice()[..seq];
+            for (t, slot) in scores.iter_mut().enumerate() {
+                let kh = &cache.key(t)[span.clone()];
                 let s: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
-                scores.push(s * scale);
+                *slot = s * scale;
             }
             // Softmax (max-subtracted for stability).
             let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0f32;
-            for s in &mut scores {
+            for s in scores.iter_mut() {
                 *s = (*s - max).exp();
                 denom += *s;
             }
             // Weighted sum of values.
             let out_h = &mut out.as_mut_slice()[span];
             for (t, w) in scores.iter().enumerate() {
-                let vh = &cache.values[t].as_slice()[h * head_dim..(h + 1) * head_dim];
+                let vh = &cache.value(t)[h * head_dim..(h + 1) * head_dim];
                 let w = w / denom;
                 for (o, vv) in out_h.iter_mut().zip(vh) {
                     *o += w * vv;
                 }
             }
         }
+        ws.give(q);
+        ws.give(scores_buf);
 
-        gemv(&self.w_o, &out)
+        let mut result = ws.take(d);
+        gemv_into(&self.w_o, &out, pool, &mut result);
+        ws.give(out);
+        result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparseinfer_tensor::Prng;
+    use sparseinfer_tensor::{gemv::gemv, Prng};
 
     fn random_attention(seed: u64, d: usize, heads: usize) -> Attention {
         let mut rng = Prng::seed(seed);
@@ -235,6 +326,35 @@ mod tests {
         Attention::rope(&mut head, 7);
         let after: f32 = head.iter().map(|v| v * v).sum();
         assert!((before - after).abs() < 1e-3);
+    }
+
+    #[test]
+    fn flat_cache_stores_and_returns_positions() {
+        let mut cache = KvCache::with_capacity(4, 8);
+        assert_eq!(cache.reserved_tokens(), 8);
+        cache.push(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        cache.push(&[9.0; 4], &[10.0; 4]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.key(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cache.value(1), &[10.0; 4]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.reserved_tokens() >= 8, "capacity retained");
+    }
+
+    #[test]
+    fn workspace_forward_is_bitwise_identical_to_plain_forward() {
+        let attn = random_attention(9, 16, 2);
+        let mut c1 = KvCache::new();
+        let mut c2 = KvCache::with_capacity(16, 16);
+        let mut ws = sparseinfer_tensor::Workspace::new();
+        let pool = sparseinfer_tensor::ThreadPool::single();
+        for pos in 0..6 {
+            let x = Vector::from_fn(16, |i| ((i + pos * 3) as f32 * 0.21).sin());
+            let plain = attn.forward(&x, pos, &mut c1);
+            let via_ws = attn.forward_ws(&x, pos, &mut c2, &pool, &mut ws);
+            assert_eq!(plain, via_ws, "position {pos}");
+        }
     }
 
     #[test]

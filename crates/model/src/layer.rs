@@ -1,6 +1,6 @@
 //! One decoder layer: norm → attention → residual, norm → MLP → residual.
 
-use sparseinfer_tensor::Vector;
+use sparseinfer_tensor::{ThreadPool, Vector, Workspace};
 
 use crate::attention::{Attention, KvCache};
 use crate::mlp::GatedMlp;
@@ -57,12 +57,31 @@ impl DecoderLayer {
 
     /// Runs attention and its residual, returning the hidden state *before*
     /// the MLP sub-block. Split out so sparse engines can substitute their
-    /// own MLP execution while sharing the attention path.
+    /// own MLP execution while sharing the attention path. Thin wrapper
+    /// over [`attention_half_ws`](Self::attention_half_ws).
     pub fn attention_half(&self, h: &Vector, position: usize, cache: &mut KvCache) -> Vector {
-        let normed = self.attn_norm.forward(h);
-        let attn_out = self.attn.forward(&normed, position, cache);
-        let mut out = h.clone();
-        out.add_assign(&attn_out);
+        let mut ws = Workspace::new();
+        self.attention_half_ws(h, position, cache, &ThreadPool::single(), &mut ws)
+    }
+
+    /// Workspace variant of [`attention_half`](Self::attention_half): the
+    /// returned vector and every intermediate come from `ws` (give the
+    /// result back to `ws` when done). Bit-identical to the wrapper.
+    pub fn attention_half_ws(
+        &self,
+        h: &Vector,
+        position: usize,
+        cache: &mut KvCache,
+        pool: &ThreadPool,
+        ws: &mut Workspace,
+    ) -> Vector {
+        let mut normed = ws.take(h.len());
+        self.attn_norm.forward_into(h, &mut normed);
+        let mut out = self.attn.forward_ws(&normed, position, cache, pool, ws);
+        ws.give(normed);
+        // Residual: x + y is commutative bitwise, so accumulating the
+        // residual into the attention output equals the seed's h + attn.
+        out.add_assign(h);
         out
     }
 

@@ -1,6 +1,6 @@
 //! The full decoder-only model: embedding → layers → final norm → LM head.
 
-use sparseinfer_tensor::{gemv::gemv, Matrix, Vector};
+use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector, Workspace};
 
 use crate::attention::KvCache;
 use crate::config::ModelConfig;
@@ -77,15 +77,53 @@ impl Model {
         Vector::from_vec(self.embedding.row(token as usize).to_vec())
     }
 
-    /// Projects a final hidden state to logits.
-    pub fn logits(&self, h: &Vector) -> Vector {
-        gemv(&self.lm_head, &self.final_norm.forward(h))
+    /// Embeds a token id into a caller-provided buffer (no allocation once
+    /// its capacity suffices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token as usize >= vocab_size`.
+    pub fn embed_into(&self, token: u32, out: &mut Vector) {
+        out.copy_from(self.embedding.row(token as usize));
     }
 
-    /// Starts a decode session (fresh KV caches at position 0).
+    /// Projects a final hidden state to logits.
+    pub fn logits(&self, h: &Vector) -> Vector {
+        let mut out = Vector::zeros(0);
+        let mut ws = Workspace::new();
+        self.logits_into(h, &ThreadPool::single(), &mut ws, &mut out);
+        out
+    }
+
+    /// Projects a final hidden state to logits into a caller-provided
+    /// buffer, with the LM-head GEMV row-partitioned across `pool`.
+    /// Bit-identical to [`logits`](Self::logits), which wraps this.
+    pub fn logits_into(&self, h: &Vector, pool: &ThreadPool, ws: &mut Workspace, out: &mut Vector) {
+        let mut normed = ws.take(h.len());
+        self.final_norm.forward_into(h, &mut normed);
+        gemv_into(&self.lm_head, &normed, pool, out);
+        ws.give(normed);
+    }
+
+    /// Starts a decode session (fresh KV caches at position 0). Caches are
+    /// unreserved — they grow amortized; serving paths that want strict
+    /// allocation-free decode use
+    /// [`start_session_with_capacity`](Self::start_session_with_capacity).
     pub fn start_session(&self) -> DecodeSession {
         DecodeSession {
             caches: (0..self.layers.len()).map(|_| KvCache::new()).collect(),
+            position: 0,
+        }
+    }
+
+    /// Starts a decode session whose KV caches are pre-reserved for
+    /// `tokens` positions: decoding within that budget never reallocates
+    /// cache storage.
+    pub fn start_session_with_capacity(&self, tokens: usize) -> DecodeSession {
+        DecodeSession {
+            caches: (0..self.layers.len())
+                .map(|_| KvCache::with_capacity(self.config.hidden_dim, tokens))
+                .collect(),
             position: 0,
         }
     }

@@ -74,14 +74,29 @@ impl RmsNorm {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn forward(&self, x: &Vector) -> Vector {
+        let mut out = Vector::zeros(0);
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Applies the normalization into a caller-provided buffer (resized to
+    /// `self.dim()`; no allocation once its capacity suffices). Numerically
+    /// identical to [`forward`](Self::forward), which wraps this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn forward_into(&self, x: &Vector, out: &mut Vector) {
         assert_eq!(x.len(), self.dim(), "rmsnorm input length mismatch");
         let ms: f32 = x.as_slice().iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
         let inv_rms = 1.0 / (ms + self.eps).sqrt();
-        let mut out = Vector::from_fn(x.len(), |i| x[i] * inv_rms * self.gain[i]);
+        out.resize(x.len(), 0.0);
+        for (i, slot) in out.as_mut_slice().iter_mut().enumerate() {
+            *slot = x[i] * inv_rms * self.gain[i];
+        }
         if let Some(bias) = &self.bias {
             out.add_assign(bias);
         }
-        out
     }
 }
 

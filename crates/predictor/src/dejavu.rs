@@ -18,10 +18,13 @@
 //! synthetic models.
 
 use sparseinfer_model::{MlpTrace, Model};
-use sparseinfer_tensor::{gemv::gemv, Matrix, Prng, Vector};
+use sparseinfer_tensor::{
+    gemv::{gemv, gemv_into},
+    Matrix, Prng, ThreadPool, Vector,
+};
 
 use crate::mask::SkipMask;
-use crate::traits::SparsityPredictor;
+use crate::traits::{PredictorScratch, SparsityPredictor};
 
 /// One layer's low-rank predictor: `score = B · relu(A·x) + bias`.
 #[derive(Debug, Clone)]
@@ -90,11 +93,30 @@ impl DejaVuPredictor {
 }
 
 impl SparsityPredictor for DejaVuPredictor {
-    fn predict(&mut self, layer: usize, x: &Vector) -> SkipMask {
+    fn predict_into(
+        &self,
+        layer: usize,
+        x: &Vector,
+        scratch: &mut PredictorScratch,
+        mask: &mut SkipMask,
+    ) {
         assert!(layer < self.layers.len(), "layer {layer} out of range");
-        let scores = self.layers[layer].scores(x);
+        let l = &self.layers[layer];
+        let PredictorScratch { hidden, scores, .. } = scratch;
+        let pool = ThreadPool::single();
+        gemv_into(&l.a, x, &pool, hidden);
+        for v in hidden.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        gemv_into(&l.b, hidden, &pool, scores);
+        scores.add_assign(&l.bias);
         let margin = self.margin;
-        SkipMask::from_fn(scores.len(), |r| scores[r] < -margin)
+        mask.reset_dense(scores.len());
+        for (r, s) in scores.iter().enumerate() {
+            if *s < -margin {
+                mask.set_skip(r);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -114,6 +136,13 @@ impl SparsityPredictor for DejaVuPredictor {
             macs,
             bytes_loaded: macs * 2,
         }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| ((l.a.element_count() + l.b.element_count()) * 2) as u64)
+            .sum()
     }
 }
 

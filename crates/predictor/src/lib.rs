@@ -51,10 +51,10 @@ pub mod signbit;
 pub mod traits;
 
 pub use alpha::AlphaSchedule;
-pub use dejavu::DejaVuPredictor;
+pub use dejavu::{DejaVuPredictor, TrainConfig, Trainer};
 pub use mask::SkipMask;
 pub use metrics::{ConfusionCounts, LayerMetrics};
 pub use oracle::OraclePredictor;
 pub use random::RandomPredictor;
 pub use signbit::SignBitPredictor;
-pub use traits::SparsityPredictor;
+pub use traits::{PredictorScratch, SparsityPredictor};

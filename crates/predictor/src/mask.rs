@@ -64,6 +64,39 @@ impl SkipMask {
         Self::from_fn(h1.len(), |i| h1[i] == 0.0)
     }
 
+    /// Resizes to `len` rows with every row active, reusing the existing
+    /// word buffer (no allocation once its capacity suffices) — the
+    /// in-place reset the allocation-free predictor path starts from.
+    pub fn reset_dense(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Replaces this mask's contents with a copy of `other`, reusing the
+    /// word buffer (the in-place analogue of `clone`).
+    pub fn copy_from(&mut self, other: &SkipMask) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// In-place union with the exact zeros of a gate output — equivalent to
+    /// `self.union_with(&SkipMask::from_exact_zeros(h1))` without the
+    /// temporary mask (the hot-path form of actual-sparsity compensation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h1.len() != self.len()`.
+    pub fn union_exact_zeros(&mut self, h1: &sparseinfer_tensor::Vector) {
+        assert_eq!(self.len, h1.len(), "mask length mismatch");
+        for (i, v) in h1.iter().enumerate() {
+            if *v == 0.0 {
+                self.words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+    }
+
     /// Number of rows covered.
     pub fn len(&self) -> usize {
         self.len
@@ -195,6 +228,26 @@ mod tests {
         assert!(!m.is_skipped(1));
         assert!(m.is_skipped(2));
         assert!(!m.is_skipped(3));
+    }
+
+    #[test]
+    fn reset_copy_and_union_zeros_work_in_place() {
+        let mut m = SkipMask::all_skipped(70);
+        m.reset_dense(70);
+        assert_eq!(m.skip_count(), 0);
+        m.reset_dense(5);
+        assert_eq!(m.len(), 5);
+
+        let src = SkipMask::from_fn(8, |i| i % 2 == 0);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+
+        let h1 = Vector::from_vec(vec![1.0, 0.0, 3.0, 0.0, 5.0, 0.5, -1.0, 0.0]);
+        let mut a = SkipMask::all_dense(8);
+        a.union_exact_zeros(&h1);
+        let mut b = SkipMask::all_dense(8);
+        b.union_with(&SkipMask::from_exact_zeros(&h1));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! is bit-exact with dense execution.
 
 use sparseinfer_model::{Activation, Model};
-use sparseinfer_tensor::{Matrix, Vector};
+use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector};
 
 use crate::mask::SkipMask;
-use crate::traits::SparsityPredictor;
+use crate::traits::{PredictorScratch, SparsityPredictor};
 
 /// Oracle predictor: recomputes the gate GEMV and thresholds exactly.
 #[derive(Debug, Clone)]
@@ -46,9 +46,27 @@ impl OraclePredictor {
 }
 
 impl SparsityPredictor for OraclePredictor {
-    fn predict(&mut self, layer: usize, x: &Vector) -> SkipMask {
+    fn predict_into(
+        &self,
+        layer: usize,
+        x: &Vector,
+        scratch: &mut PredictorScratch,
+        mask: &mut SkipMask,
+    ) {
         assert!(layer < self.gates.len(), "layer {layer} out of range");
-        self.exact_mask(layer, x)
+        gemv_into(
+            &self.gates[layer],
+            x,
+            &ThreadPool::single(),
+            &mut scratch.hidden,
+        );
+        let act = self.activations[layer];
+        mask.reset_dense(scratch.hidden.len());
+        for (r, z) in scratch.hidden.iter().enumerate() {
+            if act.is_sparse_at(*z) {
+                mask.set_skip(r);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -57,6 +75,14 @@ impl SparsityPredictor for OraclePredictor {
 
     fn n_layers(&self) -> usize {
         self.gates.len()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        // The oracle holds a full copy of every gate matrix.
+        self.gates
+            .iter()
+            .map(|g| (g.element_count() * 4) as u64)
+            .sum()
     }
 }
 

@@ -9,14 +9,24 @@
 use sparseinfer_tensor::{Prng, Vector};
 
 use crate::mask::SkipMask;
-use crate::traits::SparsityPredictor;
+use crate::traits::{PredictorScratch, SparsityPredictor};
 
 /// Skips each row with probability `p`, independent of the input.
+///
+/// The random stream lives in the caller's [`PredictorScratch`], seeded
+/// lazily from this predictor's base seed: every decode session draws its
+/// own deterministic stream, so a request decodes identically whether it
+/// runs alone, batched, or across different thread counts — the shared
+/// predictor itself stays immutable.
 #[derive(Debug, Clone)]
 pub struct RandomPredictor {
     p: f64,
     rows: usize,
     layers: usize,
+    seed: u64,
+    /// Stream for the legacy one-shot [`predict`](SparsityPredictor::predict)
+    /// convenience path only (it keeps advancing across calls, matching the
+    /// pre-scratch behavior).
     rng: Prng,
 }
 
@@ -33,6 +43,7 @@ impl RandomPredictor {
             p,
             rows,
             layers,
+            seed,
             rng: Prng::seed(seed),
         }
     }
@@ -44,6 +55,23 @@ impl RandomPredictor {
 }
 
 impl SparsityPredictor for RandomPredictor {
+    fn predict_into(
+        &self,
+        layer: usize,
+        _x: &Vector,
+        scratch: &mut PredictorScratch,
+        mask: &mut SkipMask,
+    ) {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        let rng = scratch.rng.get_or_insert_with(|| Prng::seed(self.seed));
+        mask.reset_dense(self.rows);
+        for r in 0..self.rows {
+            if rng.flip(self.p) {
+                mask.set_skip(r);
+            }
+        }
+    }
+
     fn predict(&mut self, layer: usize, _x: &Vector) -> SkipMask {
         assert!(layer < self.layers, "layer {layer} out of range");
         let p = self.p;

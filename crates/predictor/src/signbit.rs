@@ -16,12 +16,12 @@
 //! note the typo here.)
 
 use sparseinfer_model::Model;
-use sparseinfer_tensor::sign::{PackedSignMatrix, SignPack};
+use sparseinfer_tensor::sign::{pack_signs_into, PackedSignMatrix, SignPack};
 use sparseinfer_tensor::{Matrix, Vector};
 
 use crate::alpha::AlphaSchedule;
 use crate::mask::SkipMask;
-use crate::traits::SparsityPredictor;
+use crate::traits::{PredictorScratch, SparsityPredictor};
 
 /// Training-free sign-bit activation sparsity predictor.
 ///
@@ -113,17 +113,28 @@ impl SignBitPredictor {
 }
 
 impl SparsityPredictor for SignBitPredictor {
-    fn predict(&mut self, layer: usize, x: &Vector) -> SkipMask {
+    fn predict_into(
+        &self,
+        layer: usize,
+        x: &Vector,
+        scratch: &mut PredictorScratch,
+        mask: &mut SkipMask,
+    ) {
         assert!(layer < self.layers.len(), "layer {layer} out of range");
         let packed = &self.layers[layer];
         assert_eq!(x.len(), packed.cols(), "input length mismatch");
         let alpha = self.schedule.alpha_percent(layer);
         let total = packed.cols() as u32;
-        let x_signs = SignPack::pack(x.as_slice());
-        SkipMask::from_fn(packed.rows(), |r| {
-            let n_neg = packed.row_xor_popcount(r, &x_signs);
-            Self::decide(n_neg, total, alpha)
-        })
+        // The per-token sign pack goes into session scratch: packed sign
+        // *tables* are shared across sessions, the input pack is not.
+        pack_signs_into(x.as_slice(), &mut scratch.sign_words);
+        mask.reset_dense(packed.rows());
+        for r in 0..packed.rows() {
+            let n_neg = packed.row_xor_popcount_words(r, &scratch.sign_words);
+            if Self::decide(n_neg, total, alpha) {
+                mask.set_skip(r);
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -144,6 +155,10 @@ impl SparsityPredictor for SignBitPredictor {
             // Sign table traffic plus the freshly packed input signs.
             bytes_loaded: words * 4 + (packed.cols() as u64 / 8),
         }
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.size_bytes() as u64).sum()
     }
 }
 

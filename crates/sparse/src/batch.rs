@@ -33,7 +33,9 @@
 //! assert!(outputs.iter().all(|o| o.tokens.len() == 4));
 //! ```
 
-use crate::engine::{Engine, SparsityStats};
+use sparseinfer_tensor::{ParallelOptions, ThreadPool};
+
+use crate::engine::{Engine, MemoryEstimate, SparsityStats};
 use crate::error::EngineError;
 use crate::ops::OpCounter;
 use crate::request::{FinishReason, GenerateRequest, RequestRun, TokenEvent};
@@ -71,6 +73,10 @@ struct Slot<'m> {
     id: usize,
     engine: Box<dyn Engine + 'm>,
     run: RequestRun,
+    /// Event produced by the most recent tick (drained in slot order so
+    /// streaming callbacks see a deterministic sequence even when slots
+    /// advance on worker threads).
+    last_event: Option<TokenEvent>,
 }
 
 /// A round-robin scheduler over concurrent decode sessions.
@@ -78,9 +84,15 @@ struct Slot<'m> {
 /// Fairness is strict: each [`tick`](Batch::tick) advances every live
 /// request by exactly one model step, so short prompts start decoding while
 /// long prompts are still prefilling, and no request starves.
+///
+/// With [`parallel`](Batch::parallel), each tick advances independent
+/// sessions on worker threads (sessions share no mutable state — engines
+/// behind shared `Arc` predictors read them concurrently); tokens and
+/// callback order are bit-identical to the sequential schedule.
 #[derive(Default)]
 pub struct Batch<'m> {
     slots: Vec<Slot<'m>>,
+    pool: ThreadPool,
 }
 
 impl std::fmt::Debug for Batch<'_> {
@@ -95,7 +107,18 @@ impl std::fmt::Debug for Batch<'_> {
 impl<'m> Batch<'m> {
     /// An empty batch.
     pub fn new() -> Self {
-        Self { slots: Vec::new() }
+        Self {
+            slots: Vec::new(),
+            pool: ThreadPool::single(),
+        }
+    }
+
+    /// Sets the scheduler's slot-level parallelism: each tick advances up
+    /// to `parallel.threads` sessions concurrently. Token streams are
+    /// bit-identical to the sequential schedule.
+    pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
+        self.pool = ThreadPool::new(parallel);
+        self
     }
 
     /// Adds a request served by `engine`, returning its id. The engine's
@@ -113,8 +136,35 @@ impl<'m> Batch<'m> {
         let run = RequestRun::new(req, engine.as_ref())?;
         engine.reset_ops();
         let id = self.slots.len();
-        self.slots.push(Slot { id, engine, run });
+        self.slots.push(Slot {
+            id,
+            engine,
+            run,
+            last_event: None,
+        });
         Ok(id)
+    }
+
+    /// Shared-vs-per-session memory of the batch's execution state: shared
+    /// predictor bytes are counted **once per distinct predictor**
+    /// (deduplicated by `Arc` identity), per-session bytes once per slot —
+    /// the measurable form of the O(1)-batch-memory property.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut seen = Vec::new();
+        let mut total = MemoryEstimate::default();
+        for slot in &self.slots {
+            let est = slot.engine.memory_estimate();
+            total.per_session_bytes += est.per_session_bytes;
+            match slot.engine.shared_state_id() {
+                Some(id) if seen.contains(&id) => {}
+                Some(id) => {
+                    seen.push(id);
+                    total.shared_bytes += est.shared_bytes;
+                }
+                None => total.shared_bytes += est.shared_bytes,
+            }
+        }
+        total
     }
 
     /// Number of requests in the batch (finished or not).
@@ -132,12 +182,16 @@ impl<'m> Batch<'m> {
         self.slots.iter().filter(|s| !s.run.finished()).count()
     }
 
-    /// Advances every live request by one model step, invoking `on_token`
-    /// for each token emitted this round. Returns the number of requests
-    /// still active afterwards.
+    /// Advances every live request by one model step — concurrently when
+    /// the batch was built with [`parallel`](Batch::parallel) — invoking
+    /// `on_token` in slot order for each token emitted this round. Returns
+    /// the number of requests still active afterwards.
     pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
+        self.pool.run_tasks(&mut self.slots, |_, slot| {
+            slot.last_event = slot.run.advance(slot.engine.as_mut());
+        });
         for slot in &mut self.slots {
-            if let Some(TokenEvent { index, token }) = slot.run.advance(slot.engine.as_mut()) {
+            if let Some(TokenEvent { index, token }) = slot.last_event.take() {
                 on_token(BatchEvent {
                     request: slot.id,
                     index,
@@ -161,7 +215,9 @@ impl<'m> Batch<'m> {
         self.slots
             .into_iter()
             .map(|slot| {
-                let Slot { id, engine, run } = slot;
+                let Slot {
+                    id, engine, run, ..
+                } = slot;
                 let generation = run.into_generation();
                 BatchOutput {
                     id,

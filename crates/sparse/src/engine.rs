@@ -31,13 +31,31 @@
 //! println!("sparse skipped {} rows", sparse.ops().rows_skipped);
 //! ```
 //!
-//! The trait is deliberately small: [`Engine::step`] advances one token
-//! through one [`DecodeSession`] and returns logits. Everything above it —
+//! The trait is deliberately small: [`Engine::step_into`] advances one token
+//! through one [`DecodeSession`] and writes logits into a caller-owned
+//! buffer — the allocation-free decode hot path. Everything above it —
 //! sampling policies, [`GenerateRequest`](crate::request::GenerateRequest)s,
 //! streaming callbacks, and the round-robin [`Batch`](crate::batch::Batch)
 //! scheduler that interleaves many concurrent sessions — composes against
 //! `&mut dyn Engine`, so batching, sharding and async layers can be added
 //! without touching the execution cores.
+//!
+//! # Hot-path architecture
+//!
+//! * **Workspace reuse** — every engine owns a
+//!   [`Workspace`](sparseinfer_tensor::Workspace), a per-session
+//!   [`PredictorScratch`] and two recycled [`SkipMask`]s; with a
+//!   capacity-reserved session, a steady-state decode step performs **zero
+//!   heap allocations** (proven by the workspace allocation-guard test).
+//! * **Thread parallelism** — [`EngineBuilder::parallel`] plumbs a
+//!   [`ParallelOptions`] thread count into every GEMV/down-projection;
+//!   outputs are bit-identical at any thread count because each output
+//!   element has a single writer and a fixed reduction order.
+//! * **Shared predictors** — predictors sit behind `Arc`, so a
+//!   [`Batch`](crate::batch::Batch) of N sessions loads one copy of the
+//!   packed sign tables (or DejaVu weights): batch memory is O(1) in
+//!   in-flight requests (see [`MemoryEstimate`]), while per-slot
+//!   [`OpCounter`]/[`SparsityStats`]/sampler state stays isolated.
 //!
 //! Engines accumulate [`OpCounter`] statistics and per-layer sparsity so
 //! the benchmark harness can hand *measured* masks and traffic to the GPU
@@ -45,17 +63,19 @@
 //! panics: a layer-count mismatch between predictor and model comes back as
 //! `Err`, the contract a serving frontend needs.
 
+use std::sync::Arc;
+
 use sparseinfer_model::model::DecodeSession;
 use sparseinfer_model::sampling::Sampler;
 use sparseinfer_model::Model;
 use sparseinfer_predictor::{
-    AlphaSchedule, DejaVuPredictor, OraclePredictor, RandomPredictor, SignBitPredictor, SkipMask,
-    SparsityPredictor,
+    AlphaSchedule, DejaVuPredictor, OraclePredictor, PredictorScratch, RandomPredictor,
+    SignBitPredictor, SkipMask, SparsityPredictor,
 };
-use sparseinfer_tensor::Vector;
+use sparseinfer_tensor::{ParallelOptions, ThreadPool, Vector, Workspace};
 
 use crate::error::EngineError;
-use crate::mlp::{dense_mlp_forward, sparse_mlp_forward, MlpOptions};
+use crate::mlp::{sparse_mlp_forward_into, MlpOptions};
 use crate::ops::OpCounter;
 
 /// Per-engine execution options (the paper's Fig. 4 variants).
@@ -182,18 +202,56 @@ impl SparsityStats {
     }
 }
 
+/// Split memory footprint of one engine: state that can be shared across
+/// concurrent sessions versus state every session must own.
+///
+/// The split is what makes the ROADMAP's batch-memory story measurable:
+/// `Batch::memory_estimate` counts `shared_bytes` once per *distinct*
+/// predictor (deduplicated by `Arc` identity) and `per_session_bytes` once
+/// per slot, so a 32-slot batch over one shared predictor costs
+/// `shared + 32·per_session` instead of `32·(shared + per_session)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Bytes of shared, read-only state (packed sign tables, DejaVu
+    /// weights, oracle gate copies). Zero for the dense baseline.
+    pub shared_bytes: u64,
+    /// Bytes of per-session state (scratch buffers, masks, workspace pool,
+    /// statistics). Model weights and KV caches are accounted elsewhere.
+    pub per_session_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Shared plus per-session bytes.
+    pub fn total(&self) -> u64 {
+        self.shared_bytes + self.per_session_bytes
+    }
+}
+
 /// One decode-capable execution configuration of a model.
 ///
 /// Object-safe on purpose: the request layer, the eval harness and the
 /// [`Batch`](crate::batch::Batch) scheduler all drive `&mut dyn Engine` /
 /// `Box<dyn Engine>`, so dense and sparse configurations mix freely in one
-/// scheduler.
-pub trait Engine: std::fmt::Debug {
+/// scheduler. `Send` is a supertrait so the batch scheduler can advance
+/// independent sessions on worker threads.
+pub trait Engine: std::fmt::Debug + Send {
     /// The model this engine executes.
     fn model(&self) -> &Model;
 
-    /// Advances `session` by one token and returns the logits.
-    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector;
+    /// Advances `session` by one token, writing the logits into `logits`
+    /// (resized in place). The allocation-free decode hot path: with a
+    /// capacity-reserved session and a recycled `logits` buffer, a warm
+    /// engine performs zero heap allocations per call.
+    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector);
+
+    /// Advances `session` by one token and returns the logits — convenience
+    /// wrapper over [`step_into`](Self::step_into) (allocates the returned
+    /// buffer).
+    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+        let mut logits = Vector::zeros(0);
+        self.step_into(token, session, &mut logits);
+        logits
+    }
 
     /// The accumulated operation counts.
     fn ops(&self) -> &OpCounter;
@@ -213,6 +271,20 @@ pub trait Engine: std::fmt::Debug {
         Sampler::greedy()
     }
 
+    /// Shared-vs-per-session memory footprint of this engine's execution
+    /// state (excluding model weights and KV caches).
+    fn memory_estimate(&self) -> MemoryEstimate {
+        MemoryEstimate::default()
+    }
+
+    /// Identity of the shared predictor state, if any — the same value for
+    /// engines sharing one `Arc`ed predictor, used by
+    /// [`Batch::memory_estimate`](crate::batch::Batch::memory_estimate) to
+    /// count shared bytes once.
+    fn shared_state_id(&self) -> Option<usize> {
+        None
+    }
+
     /// Short, stable configuration name for printouts.
     fn name(&self) -> &str;
 }
@@ -223,6 +295,10 @@ pub struct DenseEngine<'m> {
     model: &'m Model,
     ops: OpCounter,
     sampler: Sampler,
+    pool: ThreadPool,
+    ws: Workspace,
+    dense_mask: SkipMask,
+    effective: SkipMask,
 }
 
 impl<'m> DenseEngine<'m> {
@@ -232,6 +308,10 @@ impl<'m> DenseEngine<'m> {
             model,
             ops: OpCounter::default(),
             sampler: Sampler::greedy(),
+            pool: ThreadPool::single(),
+            ws: Workspace::new(),
+            dense_mask: SkipMask::all_dense(0),
+            effective: SkipMask::all_dense(0),
         }
     }
 
@@ -251,19 +331,43 @@ impl Engine for DenseEngine<'_> {
         self.model
     }
 
-    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector) {
         let model = self.model;
-        let mut h = model.embed(token);
+        let mut h = self.ws.take(model.config().hidden_dim);
+        model.embed_into(token, &mut h);
         for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
-            let mid = layer.attention_half(&h, session.position, cache);
+            let mid =
+                layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
             account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
-            let x = layer.mlp_norm().forward(&mid);
-            let mlp_out = dense_mlp_forward(layer.mlp(), &x, &mut self.ops);
-            h = mid;
-            h.add_assign(&mlp_out);
+            let mut x = self.ws.take(layer.hidden_dim());
+            layer.mlp_norm().forward_into(&mid, &mut x);
+            if self.dense_mask.len() != layer.mlp().mlp_dim() {
+                self.dense_mask.reset_dense(layer.mlp().mlp_dim());
+            }
+            // Dense = sparse execution under the all-active mask with the
+            // base options (no fusion, no actual sparsity) — exactly the
+            // seed's `dense_mlp_forward`.
+            let _ = sparse_mlp_forward_into(
+                layer.mlp(),
+                &x,
+                &self.dense_mask,
+                MlpOptions {
+                    kernel_fusion: false,
+                    actual_sparsity: false,
+                },
+                &self.pool,
+                &mut self.ws,
+                &mut self.effective,
+                &mut self.ops,
+                &mut h,
+            );
+            self.ws.give(x);
+            h.add_assign(&mid);
+            self.ws.give(mid);
         }
         session.position += 1;
-        model.logits(&h)
+        model.logits_into(&h, &self.pool, &mut self.ws, logits);
+        self.ws.give(h);
     }
 
     fn ops(&self) -> &OpCounter {
@@ -278,31 +382,53 @@ impl Engine for DenseEngine<'_> {
         self.sampler.clone()
     }
 
+    fn memory_estimate(&self) -> MemoryEstimate {
+        MemoryEstimate {
+            shared_bytes: 0,
+            per_session_bytes: self.ws.pooled_bytes()
+                + mask_bytes(&self.dense_mask)
+                + mask_bytes(&self.effective),
+        }
+    }
+
     fn name(&self) -> &str {
         "dense"
     }
 }
 
-/// Sparsity-exploiting decoding engine over a boxed, dynamically chosen
+/// Sparsity-exploiting decoding engine over a shared, dynamically chosen
 /// predictor.
+///
+/// The predictor sits behind an `Arc` and is **read-only**: any number of
+/// engines (batch slots) share one copy of its packed-sign/DejaVu state,
+/// while each engine owns the mutable per-session pieces — scratch buffers,
+/// masks, workspace, counters, sampler.
 #[derive(Debug)]
 pub struct SparseEngine<'m> {
     model: &'m Model,
-    predictor: Box<dyn SparsityPredictor>,
+    predictor: Arc<dyn SparsityPredictor>,
     options: EngineOptions,
     ops: OpCounter,
     stats: SparsityStats,
     sampler: Sampler,
     label: String,
+    pool: ThreadPool,
+    ws: Workspace,
+    scratch: PredictorScratch,
+    mask: SkipMask,
+    effective: SkipMask,
 }
 
 impl<'m> SparseEngine<'m> {
     /// Wraps a model and predictor, verifying they cover the same layers.
+    /// Accepts `Box` or `Arc` predictors; `Arc` enables sharing one
+    /// predictor across many engines.
     pub fn new(
         model: &'m Model,
-        predictor: Box<dyn SparsityPredictor>,
+        predictor: impl Into<Arc<dyn SparsityPredictor>>,
         options: EngineOptions,
     ) -> Result<Self, EngineError> {
+        let predictor = predictor.into();
         if predictor.n_layers() != model.layers().len() {
             return Err(EngineError::LayerCountMismatch {
                 model_layers: model.layers().len(),
@@ -319,6 +445,11 @@ impl<'m> SparseEngine<'m> {
             stats: SparsityStats::new(n),
             sampler: Sampler::greedy(),
             label,
+            pool: ThreadPool::single(),
+            ws: Workspace::new(),
+            scratch: PredictorScratch::new(),
+            mask: SkipMask::all_dense(0),
+            effective: SkipMask::all_dense(0),
         })
     }
 
@@ -327,10 +458,10 @@ impl<'m> SparseEngine<'m> {
         self.predictor.as_ref()
     }
 
-    /// Mutable access to the predictor (e.g. to change the alpha schedule
-    /// mid-experiment).
-    pub fn predictor_mut(&mut self) -> &mut dyn SparsityPredictor {
-        self.predictor.as_mut()
+    /// A handle to the shared predictor, cloneable into further engines so
+    /// many sessions reuse one packed-sign/DejaVu state.
+    pub fn predictor_handle(&self) -> Arc<dyn SparsityPredictor> {
+        Arc::clone(&self.predictor)
     }
 
     /// The execution options.
@@ -355,35 +486,51 @@ impl Engine for SparseEngine<'_> {
         self.model
     }
 
-    fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
+    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector) {
         let model = self.model;
-        let mut h = model.embed(token);
+        let mut h = self.ws.take(model.config().hidden_dim);
+        model.embed_into(token, &mut h);
         for (li, (layer, cache)) in model
             .layers()
             .iter()
             .zip(session.caches.iter_mut())
             .enumerate()
         {
-            let mid = layer.attention_half(&h, session.position, cache);
+            let mid =
+                layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
             account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
-            let x = layer.mlp_norm().forward(&mid);
+            let mut x = self.ws.take(layer.hidden_dim());
+            layer.mlp_norm().forward_into(&mid, &mut x);
 
-            let mask: SkipMask = self.predictor.predict(li, &x);
+            self.predictor
+                .predict_into(li, &x, &mut self.scratch, &mut self.mask);
             let cost = self.predictor.prediction_cost(li);
             self.ops.xor_popc += cost.xor_popc;
             self.ops.predictor_macs += cost.macs;
             self.ops.weight_bytes_loaded += cost.bytes_loaded;
 
-            let out = sparse_mlp_forward(layer.mlp(), &x, &mask, self.options.mlp, &mut self.ops);
-            self.stats.predicted_sum[li] += out.predicted_sparsity;
-            self.stats.effective_sum[li] += out.effective_sparsity;
+            let (predicted, effective) = sparse_mlp_forward_into(
+                layer.mlp(),
+                &x,
+                &self.mask,
+                self.options.mlp,
+                &self.pool,
+                &mut self.ws,
+                &mut self.effective,
+                &mut self.ops,
+                &mut h,
+            );
+            self.stats.predicted_sum[li] += predicted;
+            self.stats.effective_sum[li] += effective;
 
-            h = mid;
-            h.add_assign(&out.output);
+            self.ws.give(x);
+            h.add_assign(&mid);
+            self.ws.give(mid);
         }
         self.stats.tokens += 1;
         session.position += 1;
-        model.logits(&h)
+        model.logits_into(&h, &self.pool, &mut self.ws, logits);
+        self.ws.give(h);
     }
 
     fn ops(&self) -> &OpCounter {
@@ -403,39 +550,69 @@ impl Engine for SparseEngine<'_> {
         self.sampler.clone()
     }
 
+    fn memory_estimate(&self) -> MemoryEstimate {
+        MemoryEstimate {
+            shared_bytes: self.predictor.memory_bytes(),
+            per_session_bytes: self.ws.pooled_bytes()
+                + self.scratch.memory_bytes()
+                + mask_bytes(&self.mask)
+                + mask_bytes(&self.effective)
+                + (self.stats.predicted_sum.len() as u64) * 16,
+        }
+    }
+
+    fn shared_state_id(&self) -> Option<usize> {
+        Some(Arc::as_ptr(&self.predictor) as *const () as usize)
+    }
+
     fn name(&self) -> &str {
         &self.label
     }
 }
 
+fn mask_bytes(mask: &SkipMask) -> u64 {
+    (mask.len().div_ceil(64) * 8) as u64
+}
+
 /// Builds any engine configuration against one model.
 ///
 /// No predictor ⇒ the dense baseline; otherwise a [`SparseEngine`] over the
-/// boxed predictor. Convenience methods cover every predictor family in the
-/// paper. `build` validates the configuration and returns `Err` instead of
-/// panicking.
+/// shared predictor. Convenience methods cover every predictor family in
+/// the paper. `build` validates the configuration and returns `Err` instead
+/// of panicking. [`parallel`](Self::parallel) sets the kernel thread count;
+/// [`predictor_shared`](Self::predictor_shared) lets many engines share one
+/// predictor's memory.
 #[derive(Debug)]
 pub struct EngineBuilder<'m> {
     model: &'m Model,
-    predictor: Option<Box<dyn SparsityPredictor>>,
+    predictor: Option<Arc<dyn SparsityPredictor>>,
     options: EngineOptions,
     sampler: Sampler,
+    parallel: ParallelOptions,
 }
 
 impl<'m> EngineBuilder<'m> {
     /// Starts a builder for `model` (dense, SparseInfer options, greedy
-    /// sampler until told otherwise).
+    /// sampler, single-threaded until told otherwise).
     pub fn new(model: &'m Model) -> Self {
         Self {
             model,
             predictor: None,
             options: EngineOptions::default(),
             sampler: Sampler::greedy(),
+            parallel: ParallelOptions::single(),
         }
     }
 
-    /// Uses an explicit boxed predictor.
+    /// Uses an explicit boxed predictor (moved behind an `Arc`).
     pub fn predictor(mut self, predictor: Box<dyn SparsityPredictor>) -> Self {
+        self.predictor = Some(Arc::from(predictor));
+        self
+    }
+
+    /// Uses an already-shared predictor — engines built from clones of the
+    /// same `Arc` share one copy of its state (the O(1)-batch-memory knob).
+    pub fn predictor_shared(mut self, predictor: Arc<dyn SparsityPredictor>) -> Self {
         self.predictor = Some(predictor);
         self
     }
@@ -477,6 +654,13 @@ impl<'m> EngineBuilder<'m> {
         self
     }
 
+    /// Sets the kernel thread count. Decoded tokens are bit-identical at
+    /// every setting; only wall-clock changes.
+    pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Builds the engine, validating the configuration.
     ///
     /// # Errors
@@ -484,15 +668,18 @@ impl<'m> EngineBuilder<'m> {
     /// [`EngineError::LayerCountMismatch`] if a predictor covers a
     /// different number of layers than the model.
     pub fn build(self) -> Result<Box<dyn Engine + 'm>, EngineError> {
+        let pool = ThreadPool::new(self.parallel);
         match self.predictor {
             None => {
                 let mut e = DenseEngine::new(self.model);
                 e.sampler = self.sampler;
+                e.pool = pool;
                 Ok(Box::new(e))
             }
             Some(p) => {
                 let mut e = SparseEngine::new(self.model, p, self.options)?;
                 e.sampler = self.sampler;
+                e.pool = pool;
                 Ok(Box::new(e))
             }
         }
@@ -590,7 +777,7 @@ mod tests {
             Box::new(SignBitPredictor::from_model(
                 &m,
                 AlphaSchedule::uniform(1.0),
-            )),
+            )) as Box<dyn SparsityPredictor>,
             EngineOptions::sparseinfer(),
         )
         .unwrap();
@@ -696,5 +883,70 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(engine.default_sampler().name(), "temperature");
+    }
+
+    #[test]
+    fn parallel_engine_decodes_identically_to_sequential() {
+        let m = model();
+        let sequential = {
+            let mut e = EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap();
+            crate::request::generate(
+                e.as_mut(),
+                &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(8),
+            )
+            .unwrap()
+            .tokens
+        };
+        for threads in [2, 4] {
+            let mut e = EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .parallel(ParallelOptions::threads(threads))
+                .build()
+                .unwrap();
+            let tokens = crate::request::generate(
+                e.as_mut(),
+                &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(8),
+            )
+            .unwrap()
+            .tokens;
+            assert_eq!(tokens, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn shared_predictor_reports_one_shared_state_id() {
+        let m = model();
+        let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+            &m,
+            AlphaSchedule::uniform(1.0),
+        ));
+        let a = EngineBuilder::new(&m)
+            .predictor_shared(Arc::clone(&shared))
+            .build()
+            .unwrap();
+        let b = EngineBuilder::new(&m)
+            .predictor_shared(Arc::clone(&shared))
+            .build()
+            .unwrap();
+        assert_eq!(a.shared_state_id(), b.shared_state_id());
+        assert!(a.shared_state_id().is_some());
+        assert_eq!(
+            a.memory_estimate().shared_bytes,
+            shared.memory_bytes(),
+            "shared bytes are the predictor's packed tables"
+        );
+        // A separately built engine has different shared identity.
+        let c = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        assert_ne!(a.shared_state_id(), c.shared_state_id());
+        // The dense baseline shares nothing.
+        let d = EngineBuilder::new(&m).build().unwrap();
+        assert_eq!(d.shared_state_id(), None);
+        assert_eq!(d.memory_estimate().shared_bytes, 0);
     }
 }

@@ -1,48 +1,84 @@
 //! Row-skipping GEMV kernels (the CPU analogues of §IV-B3/4's CUDA kernels).
+//!
+//! The `*_into` forms are the serving hot path: they write into
+//! caller-provided buffers (recycled through a
+//! [`Workspace`](sparseinfer_tensor::Workspace)), reduce through the
+//! fixed-order chunked dot product of
+//! [`tensor::gemv::dot`](sparseinfer_tensor::gemv::dot), and row/column-
+//! partition across a [`ThreadPool`] with one writer per output element —
+//! so dense vs sparse, sequential vs parallel, allocating vs workspace
+//! paths are all bit-identical. The original allocating signatures survive
+//! as thin wrappers.
 
 use sparseinfer_predictor::SkipMask;
-use sparseinfer_tensor::{Matrix, Vector};
+use sparseinfer_tensor::gemv::dot;
+use sparseinfer_tensor::{Matrix, ThreadPool, Vector};
 
 use crate::ops::OpCounter;
+
+/// Minimum rows per worker before the sparse GEMV fans out.
+const MIN_ROWS_PER_WORKER: usize = 64;
+/// Minimum output columns per worker before the down projection fans out.
+const MIN_COLS_PER_WORKER: usize = 64;
 
 /// Sparse GEMV: `y[r] = W_r · x` for active rows, `y[r] = 0` for skipped
 /// rows. Mirrors the paper's sparse GEMV kernel, where a warp assigned a
 /// skipped row "immediately returns 0 without any computation" — in
 /// particular the row's weights are never *loaded*, which is where the
-/// memory-bound speedup comes from.
+/// memory-bound speedup comes from. Thin wrapper over
+/// [`sparse_gemv_into`].
 ///
 /// # Panics
 ///
 /// Panics if `mask.len() != w.rows()` or `x.len() != w.cols()`.
 pub fn sparse_gemv(w: &Matrix, x: &Vector, mask: &SkipMask, ops: &mut OpCounter) -> Vector {
+    let mut out = Vector::zeros(0);
+    sparse_gemv_into(w, x, mask, &ThreadPool::single(), ops, &mut out);
+    out
+}
+
+/// [`sparse_gemv`] into a caller-provided buffer, row-partitioned across
+/// `pool`. Every output slot is written exactly once — the dot product for
+/// active rows, `0.0` for skipped rows — fixing the seed's double write
+/// (zero-fill then overwrite) of active slots.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != w.rows()` or `x.len() != w.cols()`.
+pub fn sparse_gemv_into(
+    w: &Matrix,
+    x: &Vector,
+    mask: &SkipMask,
+    pool: &ThreadPool,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) {
     assert_eq!(mask.len(), w.rows(), "mask/rows mismatch");
     assert_eq!(x.len(), w.cols(), "input length mismatch");
     let xs = x.as_slice();
-    let mut out = vec![0.0f32; w.rows()];
-    let mut active_rows = 0u64;
-    for (r, slot) in out.iter_mut().enumerate() {
-        if mask.is_skipped(r) {
-            continue;
+    out.resize(w.rows(), 0.0);
+    pool.run_chunks(out.as_mut_slice(), MIN_ROWS_PER_WORKER, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let r = offset + i;
+            *slot = if mask.is_skipped(r) {
+                0.0
+            } else {
+                dot(w.row(r), xs)
+            };
         }
-        active_rows += 1;
-        let mut acc = 0.0f32;
-        for (wi, xi) in w.row(r).iter().zip(xs) {
-            acc += wi * xi;
-        }
-        *slot = acc;
-    }
+    });
+    let active_rows = (w.rows() - mask.skip_count()) as u64;
     ops.macs += active_rows * w.cols() as u64;
     ops.weight_bytes_loaded += active_rows * w.cols() as u64 * OpCounter::WEIGHT_BYTES;
     ops.rows_computed += active_rows;
     ops.rows_skipped += (w.rows() as u64) - active_rows;
-    Vector::from_vec(out)
 }
 
 /// Sparse transposed-weight accumulation for the down projection (step 4):
 /// `y += W_down_t[r] · h3[r]` for every *active* row `r`. `W_down` was
 /// transposed at load time so sparsity skips whole rows; on the GPU each
 /// active row's contribution is an `atomicAdd`, a skipped row simply returns
-/// (§IV-B4).
+/// (§IV-B4). Thin wrapper over [`sparse_down_proj_into`].
 ///
 /// # Panics
 ///
@@ -53,26 +89,84 @@ pub fn sparse_down_proj(
     mask: &SkipMask,
     ops: &mut OpCounter,
 ) -> Vector {
+    let mut out = Vector::zeros(0);
+    sparse_down_proj_into(w_down_t, h3, mask, &ThreadPool::single(), ops, &mut out);
+    out
+}
+
+/// [`sparse_down_proj`] into a caller-provided buffer, partitioned across
+/// `pool` by *output column*: each worker accumulates its column range over
+/// the active rows in ascending order, so every output element sees the
+/// exact same addition sequence regardless of thread count (single writer,
+/// fixed order — the CPU stand-in for the GPU's deterministic-sum concern
+/// around `atomicAdd`).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn sparse_down_proj_into(
+    w_down_t: &Matrix,
+    h3: &Vector,
+    mask: &SkipMask,
+    pool: &ThreadPool,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) {
     assert_eq!(mask.len(), w_down_t.rows(), "mask/rows mismatch");
     assert_eq!(h3.len(), w_down_t.rows(), "h3 length mismatch");
-    let mut out = vec![0.0f32; w_down_t.cols()];
-    let mut active_rows = 0u64;
-    for r in 0..w_down_t.rows() {
-        if mask.is_skipped(r) {
-            continue;
+    out.resize(w_down_t.cols(), 0.0);
+    pool.run_chunks(out.as_mut_slice(), MIN_COLS_PER_WORKER, |offset, chunk| {
+        chunk.fill(0.0);
+        // Active rows are applied in blocks of four per pass over the
+        // output chunk: one load/store of each output element per four
+        // rows instead of per row. The per-element addition chain stays
+        // strictly row-ascending (acc += w_r·h3_r one row at a time), so
+        // the result is bit-identical to the row-at-a-time form.
+        let mut pending = [(0usize, 0.0f32); 4];
+        let mut n = 0usize;
+        let mut apply = |pending: &[(usize, f32)]| match *pending {
+            [(r0, s0), (r1, s1), (r2, s2), (r3, s3)] => {
+                let row0 = &w_down_t.row(r0)[offset..offset + chunk.len()];
+                let row1 = &w_down_t.row(r1)[offset..offset + chunk.len()];
+                let row2 = &w_down_t.row(r2)[offset..offset + chunk.len()];
+                let row3 = &w_down_t.row(r3)[offset..offset + chunk.len()];
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += row0[i] * s0;
+                    acc += row1[i] * s1;
+                    acc += row2[i] * s2;
+                    acc += row3[i] * s3;
+                    *o = acc;
+                }
+            }
+            ref rest => {
+                for &(r, s) in rest {
+                    let row = &w_down_t.row(r)[offset..offset + chunk.len()];
+                    for (o, wi) in chunk.iter_mut().zip(row) {
+                        *o += wi * s;
+                    }
+                }
+            }
+        };
+        for r in 0..w_down_t.rows() {
+            if mask.is_skipped(r) {
+                continue;
+            }
+            pending[n] = (r, h3[r]);
+            n += 1;
+            if n == 4 {
+                apply(&pending);
+                n = 0;
+            }
         }
-        active_rows += 1;
-        let scale = h3[r];
-        for (o, wi) in out.iter_mut().zip(w_down_t.row(r)) {
-            *o += wi * scale;
-        }
-    }
+        apply(&pending[..n]);
+    });
+    let active_rows = (w_down_t.rows() - mask.skip_count()) as u64;
     ops.macs += active_rows * w_down_t.cols() as u64;
     ops.weight_bytes_loaded += active_rows * w_down_t.cols() as u64 * OpCounter::WEIGHT_BYTES;
     ops.atomic_adds += active_rows * w_down_t.cols() as u64;
     ops.rows_computed += active_rows;
     ops.rows_skipped += (w_down_t.rows() as u64) - active_rows;
-    Vector::from_vec(out)
 }
 
 #[cfg(test)]
@@ -163,6 +257,47 @@ mod tests {
         let reference = gemv_transposed(&w, &h3_zeroed);
         for (a, b) in masked.iter().zip(reference.iter()) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_across_thread_counts() {
+        use sparseinfer_tensor::ParallelOptions;
+        let (w, x) = random_case(9, 300, 96);
+        let mask = SkipMask::from_fn(300, |r| r % 3 == 0);
+        let mut rng = Prng::seed(10);
+        let h3 = Vector::from_fn(300, |_| rng.normal(0.0, 1.0) as f32);
+
+        let mut ops = OpCounter::default();
+        let gemv_seq = sparse_gemv(&w, &x, &mask, &mut ops);
+        let down_seq = sparse_down_proj(&w, &h3, &mask, &mut ops);
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut ops_p = OpCounter::default();
+            let mut a = Vector::zeros(0);
+            sparse_gemv_into(&w, &x, &mask, &pool, &mut ops_p, &mut a);
+            assert_eq!(a, gemv_seq, "sparse_gemv @ {threads} threads");
+            let mut b = Vector::zeros(0);
+            sparse_down_proj_into(&w, &h3, &mask, &pool, &mut ops_p, &mut b);
+            assert_eq!(b, down_seq, "sparse_down_proj @ {threads} threads");
+        }
+    }
+
+    #[test]
+    fn into_variant_overwrites_stale_buffer_slots_once() {
+        // A recycled workspace buffer arrives full of garbage; skipped rows
+        // must still come out exactly zero.
+        let (w, x) = random_case(11, 10, 8);
+        let mask = SkipMask::from_fn(10, |r| r % 2 == 0);
+        let mut out = Vector::from_vec(vec![f32::NAN; 10]);
+        let mut ops = OpCounter::default();
+        sparse_gemv_into(&w, &x, &mask, &ThreadPool::single(), &mut ops, &mut out);
+        for r in 0..10 {
+            if r % 2 == 0 {
+                assert_eq!(out[r], 0.0, "skipped row {r} must be zeroed");
+            } else {
+                assert!(out[r].is_finite(), "active row {r} must be computed");
+            }
         }
     }
 

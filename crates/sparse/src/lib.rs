@@ -59,7 +59,9 @@ pub mod quantized;
 pub mod request;
 
 pub use batch::{Batch, BatchEvent, BatchOutput};
-pub use engine::{DenseEngine, Engine, EngineBuilder, EngineOptions, SparseEngine, SparsityStats};
+pub use engine::{
+    DenseEngine, Engine, EngineBuilder, EngineOptions, MemoryEstimate, SparseEngine, SparsityStats,
+};
 pub use error::EngineError;
 pub use mlp::SparseMlpOutput;
 pub use ops::OpCounter;

@@ -8,9 +8,9 @@
 
 use sparseinfer_model::GatedMlp;
 use sparseinfer_predictor::SkipMask;
-use sparseinfer_tensor::Vector;
+use sparseinfer_tensor::{ThreadPool, Vector, Workspace};
 
-use crate::gemv::{sparse_down_proj, sparse_gemv};
+use crate::gemv::{sparse_down_proj_into, sparse_gemv_into};
 use crate::ops::OpCounter;
 
 /// Switches for the sparse MLP execution, matching the four SparseInfer
@@ -64,6 +64,53 @@ pub fn sparse_mlp_forward(
     options: MlpOptions,
     ops: &mut OpCounter,
 ) -> SparseMlpOutput {
+    let mut ws = Workspace::new();
+    let mut effective = SkipMask::all_dense(0);
+    let mut output = Vector::zeros(0);
+    let (predicted_sparsity, effective_sparsity) = sparse_mlp_forward_into(
+        mlp,
+        x,
+        predicted,
+        options,
+        &ThreadPool::single(),
+        &mut ws,
+        &mut effective,
+        ops,
+        &mut output,
+    );
+    SparseMlpOutput {
+        output,
+        predicted_sparsity,
+        effective_sparsity,
+    }
+}
+
+/// Workspace variant of [`sparse_mlp_forward`] — the decode hot path.
+///
+/// All intermediates (`h1`, `h2`) come from `ws`, the applied mask is built
+/// in place in `effective` (enter with any contents; leaves holding
+/// `predicted ∪ actual`), the block output lands in `out`, and the three
+/// GEMVs fan out across `pool`. After warm-up the call performs zero heap
+/// allocations, and its output is bit-identical to the allocating wrapper
+/// at every thread count (shared kernels, fixed reduction order).
+///
+/// Returns `(predicted_sparsity, effective_sparsity)`.
+///
+/// # Panics
+///
+/// Panics if `x` or `predicted` disagree with the block's dimensions.
+#[allow(clippy::too_many_arguments)] // the hot path threads every resource explicitly
+pub fn sparse_mlp_forward_into(
+    mlp: &GatedMlp,
+    x: &Vector,
+    predicted: &SkipMask,
+    options: MlpOptions,
+    pool: &ThreadPool,
+    ws: &mut Workspace,
+    effective: &mut SkipMask,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) -> (f64, f64) {
     assert_eq!(x.len(), mlp.hidden_dim(), "input length mismatch");
     assert_eq!(predicted.len(), mlp.mlp_dim(), "mask length mismatch");
 
@@ -72,24 +119,30 @@ pub fn sparse_mlp_forward(
     let predicted_sparsity = predicted.sparsity();
 
     // Step 1 (gate computation) under the predicted mask.
-    let mut h1 = sparse_gemv(mlp.w_gate(), x, predicted, ops);
+    let mut h1 = ws.take(mlp.mlp_dim());
+    sparse_gemv_into(mlp.w_gate(), x, predicted, pool, ops, &mut h1);
     mlp.activation().apply_slice(h1.as_mut_slice());
 
     // Actual-sparsity compensation: exact zeros after the activation join
     // the mask for steps 2–4.
-    let mut mask = predicted.clone();
+    effective.copy_from(predicted);
     if options.actual_sparsity {
-        let actual = SkipMask::from_exact_zeros(&h1);
-        mask.union_with(&actual);
+        effective.union_exact_zeros(&h1);
     }
-    let effective_sparsity = mask.sparsity();
+    let effective_sparsity = effective.sparsity();
 
-    // Step 2 (input processing) and step 3 (gate application).
-    let h2 = sparse_gemv(mlp.w_up(), x, &mask, ops);
-    let h3 = h1.hadamard(&h2).expect("h1/h2 same length");
+    // Step 2 (input processing) and step 3 (gate application, in place:
+    // h1 becomes h3 = h1 ⊙ h2).
+    let mut h2 = ws.take(mlp.mlp_dim());
+    sparse_gemv_into(mlp.w_up(), x, effective, pool, ops, &mut h2);
+    for (a, b) in h1.as_mut_slice().iter_mut().zip(h2.as_slice()) {
+        *a *= b;
+    }
 
     // Step 4 (output generation) over the transposed down projection.
-    let output = sparse_down_proj(mlp.w_down_t(), &h3, &mask, ops);
+    sparse_down_proj_into(mlp.w_down_t(), &h1, effective, pool, ops, out);
+    ws.give(h1);
+    ws.give(h2);
 
     // Inter-kernel activation traffic (§IV-B4):
     //   fused:   load X once + write h3;      then step 4: read h3, write out.
@@ -102,11 +155,7 @@ pub fn sparse_mlp_forward(
     };
     ops.activation_bytes += elems * OpCounter::ACTIVATION_BYTES;
 
-    SparseMlpOutput {
-        output,
-        predicted_sparsity,
-        effective_sparsity,
-    }
+    (predicted_sparsity, effective_sparsity)
 }
 
 /// Dense reference execution with identical accounting hooks — the

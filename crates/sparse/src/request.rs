@@ -117,7 +117,11 @@ pub struct RequestRun {
     stop: Vec<u32>,
     sampler: Sampler,
     session: DecodeSession,
-    logits: Option<Vector>,
+    /// Recycled logits buffer: every engine step writes into this one
+    /// vector, so steady-state decode allocates nothing at the request
+    /// layer either.
+    logits: Vector,
+    has_logits: bool,
     tokens: Vec<u32>,
     finish: Option<FinishReason>,
 }
@@ -143,8 +147,13 @@ impl RequestRun {
             max_new: req.max_new,
             stop: req.stop.clone(),
             sampler,
-            session: engine.model().start_session(),
-            logits: None,
+            // Reserve KV capacity for the whole request up front so decode
+            // never reallocates cache storage.
+            session: engine
+                .model()
+                .start_session_with_capacity(req.prompt.len() + req.max_new),
+            logits: Vector::zeros(0),
+            has_logits: false,
             tokens: Vec::new(),
             // A zero budget can produce nothing: finish immediately rather
             // than paying a full engine step whose logits are never
@@ -185,12 +194,13 @@ impl RequestRun {
         } else if self.fed == last {
             // The last prompt token goes through the engine: decode
             // statistics start at the first generated position.
-            self.logits = Some(engine.step(self.prompt[last], &mut self.session));
+            engine.step_into(self.prompt[last], &mut self.session, &mut self.logits);
+            self.has_logits = true;
             self.fed += 1;
             None
         } else {
-            let logits = self.logits.take().expect("decode state holds logits");
-            let next = self.sampler.sample(&logits).expect("nonzero vocab") as u32;
+            assert!(self.has_logits, "decode state holds logits");
+            let next = self.sampler.sample(&self.logits).expect("nonzero vocab") as u32;
             if self.stop.contains(&next) {
                 self.finish = Some(FinishReason::Stop(next));
                 return None;
@@ -200,7 +210,7 @@ impl RequestRun {
             if self.tokens.len() >= self.max_new {
                 self.finish = Some(FinishReason::MaxTokens);
             } else {
-                self.logits = Some(engine.step(next, &mut self.session));
+                engine.step_into(next, &mut self.session, &mut self.logits);
             }
             Some(TokenEvent { index, token: next })
         }

@@ -5,8 +5,69 @@
 //! loaded exactly once per token. These reference kernels are the dense
 //! baseline that the `sparse` crate's row-skipping kernels are verified
 //! against, and that plays the role of llama.cpp in the benchmarks.
+//!
+//! # Kernel shape
+//!
+//! The inner dot product is a *chunked multi-accumulator* loop
+//! ([`dot`]): eight independent partial sums, combined in a fixed tree at
+//! the end. A single-accumulator loop chains every FMA through one register
+//! and caps throughput at one add per FP-add latency; eight independent
+//! chains break the dependency and let rustc autovectorize. The reduction
+//! order is **fixed and shared by every path** — sequential, row-partitioned
+//! parallel, dense and sparse — so all of them produce bit-identical
+//! outputs. The pre-optimization scalar forms survive in [`reference`] and
+//! the test suite proves exact equivalence of the lane-ordered scalar form
+//! and close agreement of the single-accumulator form.
+//!
+//! Output-buffer (`*_into`) variants write into caller-provided storage so
+//! the decode hot path can recycle buffers through a
+//! [`Workspace`](crate::Workspace) instead of allocating per call; the
+//! original allocating entry points survive as thin wrappers.
 
+use crate::pool::ThreadPool;
 use crate::{Matrix, ShapeError, Vector};
+
+/// Number of independent accumulators in the unrolled dot product. Eight
+/// `f32` lanes fill one AVX2 register; on narrower ISAs the compiler splits
+/// the array into two or four vector registers, still breaking the
+/// dependency chain.
+pub const DOT_LANES: usize = 8;
+
+/// Minimum rows per worker before a GEMV fans out to threads; below this
+/// the spawn cost of a scoped thread exceeds the row work.
+const MIN_ROWS_PER_WORKER: usize = 64;
+
+/// Chunked multi-accumulator dot product with a fixed reduction order:
+/// element `i` accumulates into lane `i % 8`, and the eight lanes combine
+/// as `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+///
+/// Every kernel in the workspace reduces through this function, which is
+/// what makes dense/sparse and sequential/parallel paths bit-identical.
+///
+/// # Panics
+///
+/// Panics (debug) if the slices differ in length; release builds truncate
+/// to the shorter operand, which shape-checked callers never hit.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot operand length mismatch");
+    let main = a.len() - a.len() % DOT_LANES;
+    let mut acc = [0.0f32; DOT_LANES];
+    let (a_main, a_tail) = a.split_at(main);
+    let (b_main, b_tail) = b.split_at(main.min(b.len()));
+    for (ca, cb) in a_main
+        .chunks_exact(DOT_LANES)
+        .zip(b_main.chunks_exact(DOT_LANES))
+    {
+        for l in 0..DOT_LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    for (l, (x, y)) in a_tail.iter().zip(b_tail).enumerate() {
+        acc[l] += x * y;
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
 
 /// Computes `y = W · x` where `W` is `rows × cols` and `x` has `cols`
 /// elements.
@@ -42,16 +103,29 @@ pub fn try_gemv(w: &Matrix, x: &Vector) -> Result<Vector, ShapeError> {
             actual: x.len(),
         });
     }
+    let mut out = Vector::zeros(0);
+    gemv_into(w, x, &ThreadPool::single(), &mut out);
+    Ok(out)
+}
+
+/// `y = W · x` into a caller-provided buffer, row-partitioned across
+/// `pool`'s workers. `out` is resized to `w.rows()` (no allocation when its
+/// capacity suffices) and every element is overwritten. Bit-identical for
+/// every thread count: each output row is one [`dot`] with a fixed
+/// reduction order, and chunking only selects which rows a worker computes.
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.cols()`.
+pub fn gemv_into(w: &Matrix, x: &Vector, pool: &ThreadPool, out: &mut Vector) {
+    assert_eq!(x.len(), w.cols(), "gemv shape mismatch");
     let xs = x.as_slice();
-    let mut out = Vec::with_capacity(w.rows());
-    for row in w.iter_rows() {
-        let mut acc = 0.0f32;
-        for (wi, xi) in row.iter().zip(xs) {
-            acc += wi * xi;
+    out.resize(w.rows(), 0.0);
+    pool.run_chunks(out.as_mut_slice(), MIN_ROWS_PER_WORKER, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = dot(w.row(offset + i), xs);
         }
-        out.push(acc);
-    }
-    Ok(Vector::from_vec(out))
+    });
 }
 
 /// Computes `y = Wᵀ · x` without materializing the transpose, i.e.
@@ -108,9 +182,55 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Pre-optimization scalar kernels, kept as verification references and as
+/// the "before" baseline for the self-timed benchmarks.
+///
+/// [`reference::dot_lanes`] reproduces the unrolled kernel's exact lane
+/// assignment and reduction tree in plain scalar code — the test suite
+/// asserts **bitwise** equality with [`dot`]. [`reference::dot_scalar`] is
+/// the original single-accumulator loop (different reduction order, so only
+/// approximately equal), and [`reference::gemv`] the original allocating
+/// GEMV built on it.
+pub mod reference {
+    use super::DOT_LANES;
+    use crate::{Matrix, Vector};
+
+    /// The seed implementation: one accumulator, strictly left-to-right.
+    pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (x, y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// Scalar re-statement of the unrolled kernel's reduction order:
+    /// element `i` accumulates into lane `i % 8`, lanes combine in the same
+    /// fixed tree. Bit-identical to [`super::dot`] by construction.
+    pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; DOT_LANES];
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            acc[i % DOT_LANES] += x * y;
+        }
+        ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+    }
+
+    /// The seed GEMV: allocating, single-accumulator rows.
+    pub fn gemv(w: &Matrix, x: &Vector) -> Vector {
+        let xs = x.as_slice();
+        let mut out = Vec::with_capacity(w.rows());
+        for row in w.iter_rows() {
+            out.push(dot_scalar(row, xs));
+        }
+        Vector::from_vec(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::ParallelOptions;
+    use crate::Prng;
 
     #[test]
     fn gemv_identity() {
@@ -124,6 +244,75 @@ mod tests {
         let w = Matrix::zeros(2, 3);
         let x = Vector::zeros(2);
         assert!(try_gemv(&w, &x).is_err());
+    }
+
+    #[test]
+    fn unrolled_dot_is_bitwise_equal_to_lane_ordered_scalar() {
+        let mut rng = Prng::seed(11);
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 64, 100, 448, 1210] {
+            let a: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal(0.1, 2.0) as f32).collect();
+            let unrolled = dot(&a, &b);
+            let scalar = reference::dot_lanes(&a, &b);
+            assert_eq!(
+                unrolled.to_bits(),
+                scalar.to_bits(),
+                "len {len}: {unrolled} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_dot_tracks_single_accumulator_reference() {
+        let mut rng = Prng::seed(12);
+        for len in [5usize, 64, 333, 1024] {
+            let a: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+            let unrolled = dot(&a, &b);
+            let scalar = reference::dot_scalar(&a, &b);
+            let scale = 1.0 + a.iter().map(|v| v.abs()).sum::<f32>();
+            assert!(
+                (unrolled - scalar).abs() / scale < 1e-5,
+                "len {len}: {unrolled} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference_within_tolerance() {
+        let mut rng = Prng::seed(13);
+        let w = Matrix::from_fn(37, 129, |_, _| rng.normal(0.0, 0.5) as f32);
+        let x = Vector::from_fn(129, |_| rng.normal(0.2, 1.0) as f32);
+        let fast = gemv(&w, &x);
+        let slow = reference::gemv(&w, &x);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gemv_into_is_bitwise_identical_across_thread_counts() {
+        let mut rng = Prng::seed(14);
+        let w = Matrix::from_fn(301, 96, |_, _| rng.normal(0.0, 1.0) as f32);
+        let x = Vector::from_fn(96, |_| rng.normal(0.0, 1.0) as f32);
+        let mut expected = Vector::zeros(0);
+        gemv_into(&w, &x, &ThreadPool::single(), &mut expected);
+        assert_eq!(expected, gemv(&w, &x), "wrapper must share the kernel");
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut out = Vector::zeros(0);
+            gemv_into(&w, &x, &pool, &mut out);
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn gemv_into_overwrites_stale_output() {
+        let w = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = Vector::from_vec(vec![5.0, -6.0]);
+        let mut out = Vector::from_vec(vec![9.0; 7]);
+        gemv_into(&w, &x, &ThreadPool::single(), &mut out);
+        assert_eq!(out.as_slice(), &[5.0, -6.0]);
     }
 
     #[test]

@@ -6,7 +6,14 @@
 //! * [`Vector`] and [`Matrix`] — dense, row-major `f32` containers sized for
 //!   LLM decode workloads (matrix–vector products, not general BLAS).
 //! * [`gemv`](mod@crate::gemv) — dense matrix–vector kernels (normal and
-//!   transposed), the operation that dominates LLM decoding.
+//!   transposed), the operation that dominates LLM decoding. Inner loops are
+//!   chunked multi-accumulator form with a fixed reduction order shared by
+//!   every execution path.
+//! * [`workspace`](mod@crate::workspace) — recycled scratch buffers making
+//!   steady-state decode allocation-free.
+//! * [`pool`](mod@crate::pool) — a dependency-free scoped-thread pool that
+//!   row-partitions kernels deterministically (bit-identical at any thread
+//!   count).
 //! * [`sign`](mod@crate::sign) — the paper's key primitive: packing the sign bits
 //!   of 32 consecutive `f32` elements into one `u32` word, plus the
 //!   XOR/popcount machinery used by the training-free predictor.
@@ -42,18 +49,22 @@
 pub mod f16;
 pub mod gemv;
 pub mod matrix;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod sign;
 pub mod stats;
 pub mod vector;
+pub mod workspace;
 
 pub use f16::F16;
 pub use matrix::Matrix;
+pub use pool::{ParallelOptions, ThreadPool};
 pub use quant::QuantizedMatrix;
 pub use rng::Prng;
 pub use sign::SignPack;
 pub use vector::Vector;
+pub use workspace::Workspace;
 
 /// Errors produced by shape-checked tensor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

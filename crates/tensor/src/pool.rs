@@ -1,0 +1,258 @@
+//! A tiny scoped-thread pool for deterministic data-parallel kernels.
+//!
+//! The decode hot path is memory-bandwidth bound, and one core cannot
+//! saturate the memory system of a modern machine; the paper's CUDA kernels
+//! row-partition every GEMV across warps for exactly this reason. This
+//! module is the CPU analogue: a dependency-free helper that splits an
+//! output slice into contiguous chunks and computes each chunk on its own
+//! `std::thread::scope` thread.
+//!
+//! Determinism is by construction, not by luck: every output element has a
+//! **single writer**, and the arithmetic performed for one element does not
+//! depend on how the slice was chunked. Running with 1, 2 or 4 threads
+//! therefore produces bit-identical results (proven by the workspace
+//! integration tests), which is what lets the serving layer turn the
+//! `threads` knob freely without perturbing decoded tokens.
+//!
+//! With `threads == 1` every entry point degenerates to an inline call with
+//! zero overhead (no spawn, no allocation) — the default for engines, so
+//! the allocation-free guarantee of the workspace hot path is preserved.
+
+/// User-facing parallelism knob, plumbed through `EngineBuilder` and
+/// `Batch`.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_tensor::pool::ParallelOptions;
+///
+/// assert_eq!(ParallelOptions::default().threads, 1);
+/// assert_eq!(ParallelOptions::threads(4).threads, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Number of worker threads kernels may fan out to (≥ 1).
+    pub threads: usize,
+}
+
+impl ParallelOptions {
+    /// Single-threaded execution (the default; zero overhead).
+    pub fn single() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Fan out to `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        Self { threads }
+    }
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// A reusable handle that row-partitions kernel work across scoped threads.
+///
+/// The pool is a *policy* object (how many workers to fan out to); workers
+/// themselves are scoped `std::thread`s spawned per call, so borrowed data
+/// flows into kernels without `'static` bounds or unsafe code, and the pool
+/// is trivially `Copy` + `Send` + `Sync`.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_tensor::pool::{ParallelOptions, ThreadPool};
+///
+/// let pool = ThreadPool::new(ParallelOptions::threads(2));
+/// let mut out = vec![0.0f32; 1000];
+/// pool.run_chunks(&mut out, 1, |offset, chunk| {
+///     for (i, slot) in chunk.iter_mut().enumerate() {
+///         *slot = (offset + i) as f32;
+///     }
+/// });
+/// assert_eq!(out[999], 999.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool fanning out to `options.threads` workers.
+    pub fn new(options: ParallelOptions) -> Self {
+        Self {
+            threads: options.threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool (inline execution, zero overhead).
+    pub fn single() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Number of workers this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many workers would actually be used for `len` items at a minimum
+    /// chunk size of `min_chunk` (small problems stay single-threaded —
+    /// spawning threads for a 64-row GEMV costs more than it saves).
+    fn effective_workers(&self, len: usize, min_chunk: usize) -> usize {
+        if self.threads <= 1 || len == 0 {
+            return 1;
+        }
+        self.threads.min(len / min_chunk.max(1)).max(1)
+    }
+
+    /// Splits `out` into at most [`threads`](Self::threads) contiguous
+    /// chunks and runs `f(chunk_offset, chunk)` on each, in parallel. Each
+    /// element of `out` is written by exactly one worker; results are
+    /// bit-identical to the single-threaded call as long as `f`'s work per
+    /// element does not depend on the chunking (true for every kernel in
+    /// this workspace: chunk boundaries select *which rows/columns* a
+    /// worker computes, never *how*).
+    pub fn run_chunks<F>(&self, out: &mut [f32], min_chunk: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let workers = self.effective_workers(out.len(), min_chunk);
+        if workers <= 1 {
+            f(0, out);
+            return;
+        }
+        let chunk = out.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = out;
+            let mut offset = 0usize;
+            while rest.len() > chunk {
+                let (head, tail) = rest.split_at_mut(chunk);
+                let off = offset;
+                scope.spawn(move || f(off, head));
+                offset += chunk;
+                rest = tail;
+            }
+            // The last chunk runs on the calling thread.
+            f(offset, rest);
+        });
+    }
+
+    /// Runs `f(index, item)` over every item, partitioned across workers.
+    /// Items are mutated independently (single writer each), so the result
+    /// is identical to the sequential loop regardless of thread count. Used
+    /// by the batch scheduler to advance independent decode sessions
+    /// concurrently.
+    pub fn run_tasks<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let workers = self.effective_workers(items.len(), 1);
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = items.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut rest = items;
+            let mut offset = 0usize;
+            while rest.len() > chunk {
+                let (head, tail) = rest.split_at_mut(chunk);
+                let off = offset;
+                scope.spawn(move || {
+                    for (i, item) in head.iter_mut().enumerate() {
+                        f(off + i, item);
+                    }
+                });
+                offset += chunk;
+                rest = tail;
+            }
+            for (i, item) in rest.iter_mut().enumerate() {
+                f(offset + i, item);
+            }
+        });
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::single();
+        let mut out = vec![0.0f32; 10];
+        pool.run_chunks(&mut out, 1, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (off + i) as f32 + 1.0;
+            }
+        });
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[9], 10.0);
+    }
+
+    #[test]
+    fn chunked_results_match_sequential_for_every_thread_count() {
+        let compute = |off: usize, chunk: &mut [f32]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let x = (off + i) as f32;
+                *v = x * 0.5 - 3.0;
+            }
+        };
+        let mut expected = vec![0.0f32; 1003];
+        ThreadPool::single().run_chunks(&mut expected, 1, compute);
+        for threads in [2, 3, 4, 8] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut out = vec![0.0f32; 1003];
+            pool.run_chunks(&mut out, 1, compute);
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn small_problems_stay_single_threaded() {
+        let pool = ThreadPool::new(ParallelOptions::threads(8));
+        assert_eq!(pool.effective_workers(10, 64), 1);
+        assert_eq!(pool.effective_workers(1024, 64), 8);
+        assert_eq!(pool.effective_workers(0, 1), 1);
+        // Every element still gets written.
+        let mut out = vec![0.0f32; 10];
+        pool.run_chunks(&mut out, 64, |_, chunk| chunk.fill(1.0));
+        assert!(out.iter().all(|v| *v == 1.0));
+    }
+
+    #[test]
+    fn run_tasks_visits_every_item_once() {
+        for threads in [1, 2, 5] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut items = vec![0usize; 97];
+            pool.run_tasks(&mut items, |i, item| *item = i + 1);
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(*item, i + 1, "{threads} threads, item {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = ParallelOptions::threads(0);
+    }
+}

@@ -16,6 +16,49 @@
 /// kernel exploits so that one warp processes one packed word per thread.
 pub const LANES: usize = 32;
 
+/// Independent accumulators in the unrolled XOR+popcount sweep. Popcounts
+/// are integer sums, so any accumulator count yields the exact same result;
+/// four chains are enough to hide the popcount latency.
+const POPC_LANES: usize = 4;
+
+/// Packs the sign bits of `values` into `words` in place (bit `j` of word
+/// `i` = sign of element `i*32+j`), reusing the buffer's capacity — the
+/// per-token packing step of the predictor, allocation-free after warm-up.
+pub fn pack_signs_into(values: &[f32], words: &mut Vec<u32>) {
+    words.clear();
+    words.resize(values.len().div_ceil(LANES), 0);
+    for (chunk, word) in values.chunks(LANES).zip(words.iter_mut()) {
+        let mut w = 0u32;
+        for (j, v) in chunk.iter().enumerate() {
+            w |= u32::from(v.is_sign_negative()) << j;
+        }
+        *word = w;
+    }
+}
+
+/// Chunked multi-accumulator XOR+popcount sweep:
+/// `Σ popcount(a[i] ^ b[i])` over the common length. Integer addition is
+/// associative, so the unrolling is exactly equivalent to the scalar sweep
+/// (asserted by tests) while breaking the add dependency chain.
+#[inline]
+pub fn xor_popcount_words(a: &[u32], b: &[u32]) -> u32 {
+    let main = a.len().min(b.len());
+    let main = main - main % POPC_LANES;
+    let mut acc = [0u32; POPC_LANES];
+    for (ca, cb) in a[..main]
+        .chunks_exact(POPC_LANES)
+        .zip(b[..main].chunks_exact(POPC_LANES))
+    {
+        for l in 0..POPC_LANES {
+            acc[l] += (ca[l] ^ cb[l]).count_ones();
+        }
+    }
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        acc[0] += (x ^ y).count_ones();
+    }
+    acc[0] + acc[1] + acc[2] + acc[3]
+}
+
 /// Packed sign bits of an `f32` sequence, 32 signs per `u32` word.
 ///
 /// Bit `j` of word `i` holds the sign of element `i * 32 + j` (1 = negative).
@@ -44,12 +87,8 @@ pub struct SignPack {
 impl SignPack {
     /// Packs the sign bits of `values` (1 = negative).
     pub fn pack(values: &[f32]) -> Self {
-        let mut words = vec![0u32; values.len().div_ceil(LANES)];
-        for (i, v) in values.iter().enumerate() {
-            if v.is_sign_negative() {
-                words[i / LANES] |= 1u32 << (i % LANES);
-            }
-        }
+        let mut words = Vec::new();
+        pack_signs_into(values, &mut words);
         Self {
             words,
             len: values.len(),
@@ -127,11 +166,7 @@ impl SignPack {
             self.len, other.len,
             "xor_popcount requires equal-length sign packs"
         );
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        xor_popcount_words(&self.words, &other.words)
     }
 
     /// Memory footprint of the packed representation in bytes.
@@ -221,11 +256,22 @@ impl PackedSignMatrix {
             self.cols,
             "input sign pack length must equal matrix columns"
         );
-        self.row(r)
-            .iter()
-            .zip(x_signs.words())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        xor_popcount_words(self.row(r), x_signs.words())
+    }
+
+    /// [`row_xor_popcount`](Self::row_xor_popcount) against raw packed
+    /// words (the predictor's per-session scratch buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != self.row_words()`.
+    pub fn row_xor_popcount_words(&self, r: usize, words: &[u32]) -> u32 {
+        assert_eq!(
+            words.len(),
+            self.row_words,
+            "packed input words must match row word count"
+        );
+        xor_popcount_words(self.row(r), words)
     }
 
     /// Memory footprint in bytes (the §V-A2 accounting unit).
@@ -322,6 +368,31 @@ mod tests {
         let m = Matrix::zeros(128, 320);
         let pm = PackedSignMatrix::pack(&m);
         assert_eq!(pm.size_bytes(), 128 * (320 / 32) * 4);
+    }
+
+    #[test]
+    fn unrolled_sweep_equals_scalar_sweep_exactly() {
+        // Integer sums are order-independent: the 4-accumulator sweep must
+        // agree with the plain scalar loop on every length, tail included.
+        for len in [0usize, 1, 3, 4, 5, 8, 11, 16, 64] {
+            let a: Vec<u32> = (0..len)
+                .map(|i| (i as u32).wrapping_mul(2654435761))
+                .collect();
+            let b: Vec<u32> = (0..len).map(|i| (i as u32).wrapping_mul(40503)).collect();
+            let scalar: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+            assert_eq!(xor_popcount_words(&a, &b), scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pack_signs_into_reuses_buffer_and_matches_pack() {
+        let values: Vec<f32> = (0..70).map(|i| (i as f32 * 0.7).sin() - 0.2).collect();
+        let mut words = Vec::new();
+        pack_signs_into(&values, &mut words);
+        assert_eq!(words, SignPack::pack(&values).words());
+        // Repacking shorter data reuses the buffer (stale words cleared).
+        pack_signs_into(&values[..10], &mut words);
+        assert_eq!(words, SignPack::pack(&values[..10]).words());
     }
 
     #[test]

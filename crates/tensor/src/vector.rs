@@ -45,6 +45,12 @@ impl Vector {
         self.data.len()
     }
 
+    /// Number of elements the buffer can hold without reallocating (memory
+    /// accounting uses this, not `len`, to count retained heap).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Whether the vector has no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
@@ -127,6 +133,31 @@ impl Vector {
         for a in &mut self.data {
             *a *= s;
         }
+    }
+
+    /// Resizes to `len`, filling any new tail elements with `value`. Does
+    /// not allocate while `len` stays within the buffer's capacity — the
+    /// property the workspace hot path relies on.
+    pub fn resize(&mut self, len: usize, value: f32) {
+        self.data.resize(len, value);
+    }
+
+    /// Shortens to `len` elements (no-op if already shorter). Never
+    /// allocates or shrinks capacity.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Replaces the contents with a copy of `src`, resizing as needed (no
+    /// allocation while `src.len()` fits the existing capacity).
+    pub fn copy_from(&mut self, src: &[f32]) {
+        self.data.clear();
+        self.data.extend_from_slice(src);
     }
 
     /// Euclidean norm.
@@ -279,6 +310,19 @@ mod tests {
     fn norm_is_euclidean() {
         let v = Vector::from_vec(vec![3.0, 4.0]);
         assert_eq!(v.norm(), 5.0);
+    }
+
+    #[test]
+    fn resize_fill_copy_from_manage_length_in_place() {
+        let mut v = Vector::from_vec(vec![1.0, 2.0]);
+        v.resize(4, 9.0);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 9.0, 9.0]);
+        v.truncate(3);
+        assert_eq!(v.len(), 3);
+        v.fill(0.5);
+        assert_eq!(v.as_slice(), &[0.5, 0.5, 0.5]);
+        v.copy_from(&[7.0]);
+        assert_eq!(v.as_slice(), &[7.0]);
     }
 
     #[test]

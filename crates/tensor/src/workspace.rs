@@ -1,0 +1,138 @@
+//! Reusable scratch buffers for the allocation-free decode hot path.
+//!
+//! Every kernel in the seed implementation heap-allocated its output
+//! (`Vec::with_capacity` per GEMV, per activation, per mask). At decode
+//! time that is pure overhead: the same sizes recur every token, so after
+//! the first step the allocator is only recycling what it just freed — at
+//! the cost of lock traffic and cache pollution on every call.
+//!
+//! A [`Workspace`] is a small LIFO arena of recycled `f32` buffers. Kernels
+//! [`take`](Workspace::take) a buffer, write every element they own, and
+//! [`give`](Workspace::give) it back; because a decode step performs the
+//! same sequence of takes and gives every token, buffer sizes stabilize
+//! after one warm-up step and **steady-state decode performs zero heap
+//! allocations** (proven by the workspace integration tests with a counting
+//! allocator).
+//!
+//! Buffers returned by [`take`](Workspace::take) have *unspecified
+//! contents* — callers must write every element they read (kernels do; the
+//! sparse GEMV writes `0.0` to skipped rows and the dot product to active
+//! rows, each exactly once). [`take_zeroed`](Workspace::take_zeroed) exists
+//! for accumulation patterns.
+
+use crate::Vector;
+
+/// A LIFO pool of recycled `f32` scratch buffers.
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_tensor::Workspace;
+///
+/// let mut ws = Workspace::new();
+/// let a = ws.take_zeroed(128);
+/// assert_eq!(a.len(), 128);
+/// ws.give(a); // recycled: the next take of ≤ 128 elements will not allocate
+/// let b = ws.take(64);
+/// assert_eq!(b.len(), 64);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer of length `len` with **unspecified contents** (stale
+    /// values from a previous use). Reuses the most recently returned
+    /// buffer when possible; allocates only while the pool is still warming
+    /// up or a larger length than ever seen is requested.
+    pub fn take(&mut self, len: usize) -> Vector {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        if buf.len() < len {
+            // Grows only beyond the largest size this buffer has held;
+            // within capacity this writes the new tail without allocating.
+            buf.resize(len, 0.0);
+        } else {
+            buf.truncate(len);
+        }
+        Vector::from_vec(buf)
+    }
+
+    /// Takes a zero-filled buffer of length `len`.
+    pub fn take_zeroed(&mut self, len: usize) -> Vector {
+        let mut v = self.take(len);
+        v.fill(0.0);
+        v
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, v: Vector) {
+        self.pool.push(v.into_vec());
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total bytes held by pooled buffers (capacity, not length) — the
+    /// workspace's contribution to a per-session memory estimate.
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pool
+            .iter()
+            .map(|b| (b.capacity() * std::mem::size_of::<f32>()) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles_the_same_buffer() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(100);
+        a[0] = 42.0;
+        ws.give(a);
+        assert_eq!(ws.pooled(), 1);
+        let b = ws.take(100);
+        assert_eq!(ws.pooled(), 0);
+        // Contents are unspecified but the capacity was reused: the stale
+        // value written above is still visible, proving no fresh allocation.
+        assert_eq!(b[0], 42.0);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(8);
+        a.fill(7.0);
+        ws.give(a);
+        let b = ws.take_zeroed(8);
+        assert!(b.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn shrinking_take_truncates_without_reallocating() {
+        let mut ws = Workspace::new();
+        ws.give(Vector::zeros(256));
+        let v = ws.take(16);
+        assert_eq!(v.len(), 16);
+        ws.give(v);
+        assert!(ws.pooled_bytes() >= 256 * 4, "capacity must be retained");
+    }
+
+    #[test]
+    fn empty_workspace_allocates_on_demand() {
+        let mut ws = Workspace::new();
+        let v = ws.take(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(ws.pooled(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Allocation-count guard: steady-state decode performs **zero** heap
+//! allocations.
+//!
+//! A counting global allocator wraps `System`; after warming an engine up
+//! (one step populates the workspace pool, the predictor scratch, the mask
+//! buffers and the logits vector, while the session's KV capacity is
+//! reserved up front), every further decode step must allocate nothing.
+//! This is the enforceable form of the workspace-reuse tentpole — a
+//! regression that re-introduces a per-token `Vec::with_capacity` anywhere
+//! on the hot path fails this test immediately.
+//!
+//! (This integration-test binary is the one place in the workspace that
+//! uses `unsafe`: implementing `GlobalAlloc` requires it. Library crates
+//! remain `#![forbid(unsafe_code)]`.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::tensor::Vector;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is a
+// relaxed atomic side effect with no influence on allocation behavior.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn test_model() -> Model {
+    let mut cfg = ModelConfig::tiny();
+    cfg.hidden_dim = 64;
+    cfg.mlp_dim = 160;
+    cfg.n_heads = 2;
+    cfg.n_layers = 3;
+    cfg.vocab_size = 300;
+    WeightGenerator::new(&cfg, 7).build()
+}
+
+/// Decodes `steps` tokens through `engine` on a capacity-reserved session
+/// and returns the number of heap allocations the *steady-state* steps
+/// performed (everything after the warm-up steps).
+fn steady_state_allocations(engine: &mut dyn Engine, warmup: usize, steps: usize) -> u64 {
+    let model = engine.model();
+    let mut session = model.start_session_with_capacity(warmup + steps + 1);
+    let mut logits = Vector::zeros(0);
+    for i in 0..warmup {
+        engine.step_into((i % 7) as u32 + 1, &mut session, &mut logits);
+    }
+    let before = allocations();
+    for i in 0..steps {
+        engine.step_into((i % 5) as u32 + 1, &mut session, &mut logits);
+    }
+    allocations() - before
+}
+
+#[test]
+fn dense_steady_state_decode_is_allocation_free() {
+    let model = test_model();
+    let mut engine = EngineBuilder::new(&model).build().unwrap();
+    let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+    assert_eq!(allocs, 0, "dense decode allocated {allocs} times");
+}
+
+#[test]
+fn signbit_steady_state_decode_is_allocation_free() {
+    let model = test_model();
+    let mut engine = EngineBuilder::new(&model)
+        .signbit(AlphaSchedule::uniform(1.0))
+        .build()
+        .unwrap();
+    let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+    assert_eq!(allocs, 0, "signbit decode allocated {allocs} times");
+}
+
+#[test]
+fn oracle_and_random_steady_state_decode_are_allocation_free() {
+    let model = test_model();
+    for (name, mut engine) in [
+        (
+            "oracle",
+            EngineBuilder::new(&model).oracle().build().unwrap(),
+        ),
+        (
+            "random",
+            EngineBuilder::new(&model).random(0.5, 3).build().unwrap(),
+        ),
+    ] {
+        let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+        assert_eq!(allocs, 0, "{name} decode allocated {allocs} times");
+    }
+}
+
+#[test]
+fn warmup_does_allocate_proving_the_counter_works() {
+    // Sanity check on the instrument itself: the *first* step must
+    // allocate (workspace pool, scratch, masks are built lazily).
+    let model = test_model();
+    let mut engine = EngineBuilder::new(&model)
+        .signbit(AlphaSchedule::uniform(1.0))
+        .build()
+        .unwrap();
+    let mut session = model.start_session_with_capacity(8);
+    let mut logits = Vector::zeros(0);
+    let before = allocations();
+    engine.step_into(1, &mut session, &mut logits);
+    assert!(
+        allocations() > before,
+        "cold-start step must populate buffers (counter must tick)"
+    );
+}

@@ -5,8 +5,10 @@
 //! and sparse engines) decodes each request **bit-identically** to running
 //! that request alone — interleaving is pure scheduling.
 
+use std::sync::Arc;
+
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig, Sampler};
-use sparseinfer::predictor::{AlphaSchedule, SparsityPredictor};
+use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
 use sparseinfer::sparse::batch::Batch;
 use sparseinfer::sparse::engine::{EngineBuilder, EngineOptions};
 use sparseinfer::sparse::error::EngineError;
@@ -135,6 +137,99 @@ fn batched_stochastic_requests_replay_their_seeds() {
     );
 }
 
+/// The ROADMAP open item, closed: a 32-slot batch sharing one `Arc`ed
+/// predictor holds **one** copy of the packed sign tables, so its memory
+/// estimate is within a small per-session constant of a 1-slot batch.
+#[test]
+fn batch_memory_is_o1_in_slots_with_a_shared_predictor() {
+    let model = test_model();
+    let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+        &model,
+        AlphaSchedule::uniform(1.0),
+    ));
+
+    let build_batch = |slots: usize| {
+        let mut batch = Batch::new();
+        for i in 0..slots {
+            let engine = EngineBuilder::new(&model)
+                .predictor_shared(Arc::clone(&shared))
+                .build()
+                .unwrap();
+            batch
+                .push(
+                    engine,
+                    &GenerateRequest::new(&[1, 2 + i as u32 % 7]).max_new(3),
+                )
+                .unwrap();
+        }
+        batch
+    };
+
+    // Decode both batches to completion first, so the estimates measure
+    // *warm* per-session buffers (workspace pools, scratch, masks at their
+    // steady-state sizes), then take the estimates from the still-live
+    // batches.
+    let mut one = build_batch(1);
+    while one.tick(|_| {}) > 0 {}
+    let est1 = one.memory_estimate();
+
+    let mut thirty_two = build_batch(32);
+    while thirty_two.tick(|_| {}) > 0 {}
+    let est32 = thirty_two.memory_estimate();
+
+    // Shared predictor bytes are counted once, regardless of slot count —
+    // the O(1) claim itself.
+    assert_eq!(
+        est32.shared_bytes, est1.shared_bytes,
+        "shared predictor state must not scale with slots"
+    );
+    assert_eq!(est32.shared_bytes, shared.memory_bytes());
+    assert!(est32.shared_bytes > 0);
+
+    // Per-session state scales linearly with an *independently measured*
+    // per-slot constant: the warm 32-slot batch must stay within the warm
+    // 1-slot batch plus 31 per-slot shares (2x slack absorbs per-slot
+    // buffer-size jitter). A regression that replicates predictor state
+    // per slot (the pre-PR design) blows through this bound by ~31x the
+    // packed-table size.
+    let per_slot = est1.per_session_bytes;
+    assert!(per_slot > 0, "warm slots must report their scratch");
+    assert!(
+        est32.total() <= est1.total() + 31 * 2 * per_slot,
+        "32-slot total {} vs 1-slot total {} + 31·2·{per_slot}",
+        est32.total(),
+        est1.total()
+    );
+    // And the requests themselves completed.
+    assert_eq!(thirty_two.active_requests(), 0);
+    assert_eq!(thirty_two.len(), 32);
+}
+
+/// Per-request isolation survives sharing: slots over one predictor keep
+/// independent op counters and stats.
+#[test]
+fn shared_predictor_slots_keep_isolated_counters() {
+    let model = test_model();
+    let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+        &model,
+        AlphaSchedule::uniform(1.0),
+    ));
+    let mut batch = Batch::new();
+    for max_new in [2usize, 8] {
+        let engine = EngineBuilder::new(&model)
+            .predictor_shared(Arc::clone(&shared))
+            .build()
+            .unwrap();
+        batch
+            .push(engine, &GenerateRequest::new(&[1, 2]).max_new(max_new))
+            .unwrap();
+    }
+    let out = batch.run();
+    assert!(out[1].ops.macs > out[0].ops.macs);
+    assert_eq!(out[0].stats.as_ref().unwrap().tokens(), 2);
+    assert_eq!(out[1].stats.as_ref().unwrap().tokens(), 8);
+}
+
 #[test]
 fn boxed_predictor_costs_flow_into_op_counter() {
     let model = test_model();
@@ -146,12 +241,14 @@ fn boxed_predictor_costs_flow_into_op_counter() {
         rows: usize,
     }
     impl SparsityPredictor for CountingPredictor {
-        fn predict(
-            &mut self,
+        fn predict_into(
+            &self,
             _layer: usize,
             _x: &sparseinfer::tensor::Vector,
-        ) -> sparseinfer::predictor::SkipMask {
-            sparseinfer::predictor::SkipMask::all_dense(self.rows)
+            _scratch: &mut sparseinfer::predictor::PredictorScratch,
+            mask: &mut sparseinfer::predictor::SkipMask,
+        ) {
+            mask.reset_dense(self.rows);
         }
         fn name(&self) -> &'static str {
             "counting"

@@ -19,6 +19,27 @@ use sparseinfer::tensor::sign::{PackedSignMatrix, SignPack};
 use sparseinfer::tensor::{Matrix, ParallelOptions, Prng, ThreadPool, Vector};
 use sparseinfer_bench::{bench_iters, BenchReport};
 
+/// The pre-rework dispatch strategy, preserved here as the baseline: split
+/// into per-worker chunks and spawn one scoped `std::thread` per chunk,
+/// every call. This is what `ThreadPool::run_chunks` did before workers
+/// became persistent and parked.
+fn scoped_spawn_chunks(out: &mut [f32], workers: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let chunk = out.len().div_ceil(workers.max(1));
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = out;
+        let mut offset = 0usize;
+        while rest.len() > chunk {
+            let (head, tail) = rest.split_at_mut(chunk);
+            let off = offset;
+            scope.spawn(move || f(off, head));
+            offset += chunk;
+            rest = tail;
+        }
+        f(offset, rest);
+    });
+}
+
 fn layer_shapes() -> (Matrix, Vector) {
     // One sim-13B-sized gate layer.
     let cfg = ModelConfig::sim_13b();
@@ -106,6 +127,47 @@ fn main() {
         });
         report.record(&name, bench_iters(200), us, Some(t_gemv / us), 1);
     }
+
+    println!("\n== dispatch overhead: per-call spawn vs parked workers ==");
+    // The cost being amortized: waking parked workers (the pool since the
+    // parked rework) vs spawning scoped threads per call (the pool before
+    // it). A near-trivial kernel isolates dispatch latency; the thread
+    // count can be pinned from CI via SPARSEINFER_BENCH_THREADS.
+    let dispatch_threads: usize = std::env::var("SPARSEINFER_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t| *t >= 2)
+        .unwrap_or(4);
+    let mut dispatch_buf = vec![0.0f32; 8192];
+    let touch = |offset: usize, chunk: &mut [f32]| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = (offset + i) as f32;
+        }
+    };
+    let spawn_name = format!("spawn_dispatch_{dispatch_threads}t");
+    let t_spawn = report.time(
+        &spawn_name,
+        bench_iters(2000),
+        dispatch_threads,
+        None,
+        || scoped_spawn_chunks(&mut dispatch_buf, dispatch_threads, touch),
+    );
+    let parked_pool = ThreadPool::new(ParallelOptions::threads(dispatch_threads));
+    let parked_name = format!("parked_dispatch_{dispatch_threads}t");
+    // Recorded with speedup None: the JSON field means "over the dense
+    // baseline", and this measurement's baseline is `spawn_dispatch` (the
+    // ratio is recomputable from the two us_per_iter entries).
+    let t_parked = report.time(
+        &parked_name,
+        bench_iters(2000),
+        dispatch_threads,
+        None,
+        || parked_pool.run_chunks(&mut dispatch_buf, 1, touch),
+    );
+    println!(
+        "parked-worker dispatch is {:.1}x cheaper than per-call spawn",
+        t_spawn / t_parked
+    );
 
     println!("\n== sparse GEMV thread scaling (workspace path, 4096x1024) ==");
     let (sw, sx) = scaling_shapes();

@@ -71,12 +71,61 @@ pub struct BatchOutput {
 
 struct Slot<'m> {
     id: usize,
-    engine: Box<dyn Engine + 'm>,
-    run: RequestRun,
+    state: SlotState<'m>,
     /// Event produced by the most recent tick (drained in slot order so
     /// streaming callbacks see a deterministic sequence even when slots
     /// advance on worker threads).
     last_event: Option<TokenEvent>,
+}
+
+/// A slot's decode memory lives only while the request does: the moment a
+/// run finishes, the slot **retires** — engine scratch (workspace pool,
+/// predictor scratch, masks) and the session's KV cache are dropped, and
+/// only the finished [`BatchOutput`] stays resident. A batch with N
+/// finished and one live request therefore costs what a 1-slot batch costs,
+/// within the size of the outputs themselves (asserted by the serving
+/// integration tests via [`Batch::memory_estimate`]).
+enum SlotState<'m> {
+    Live {
+        engine: Box<dyn Engine + 'm>,
+        run: RequestRun,
+    },
+    Done(BatchOutput),
+}
+
+impl<'m> Slot<'m> {
+    /// Converts a finished live run into its output, dropping the engine's
+    /// per-session scratch and the run's KV cache.
+    fn retire_if_finished(&mut self) {
+        let finished = matches!(&self.state, SlotState::Live { run, .. } if run.finished());
+        if !finished {
+            return;
+        }
+        // Two-step replace: the placeholder is overwritten before anyone
+        // can observe it.
+        let state = std::mem::replace(
+            &mut self.state,
+            SlotState::Done(BatchOutput {
+                id: self.id,
+                tokens: Vec::new(),
+                finish: FinishReason::MaxTokens,
+                ops: OpCounter::default(),
+                stats: None,
+                engine: String::new(),
+            }),
+        );
+        if let SlotState::Live { engine, run } = state {
+            let generation = run.into_generation();
+            self.state = SlotState::Done(BatchOutput {
+                id: self.id,
+                tokens: generation.tokens,
+                finish: generation.finish,
+                ops: *engine.ops(),
+                stats: engine.stats().cloned(),
+                engine: engine.name().to_string(),
+            });
+        }
+    }
 }
 
 /// A round-robin scheduler over concurrent decode sessions.
@@ -138,8 +187,7 @@ impl<'m> Batch<'m> {
         let id = self.slots.len();
         self.slots.push(Slot {
             id,
-            engine,
-            run,
+            state: SlotState::Live { engine, run },
             last_event: None,
         });
         Ok(id)
@@ -147,15 +195,20 @@ impl<'m> Batch<'m> {
 
     /// Shared-vs-per-session memory of the batch's execution state: shared
     /// predictor bytes are counted **once per distinct predictor**
-    /// (deduplicated by `Arc` identity), per-session bytes once per slot —
-    /// the measurable form of the O(1)-batch-memory property.
+    /// (deduplicated by `Arc` identity), per-session bytes once per *live*
+    /// slot — the measurable form of the O(1)-batch-memory property.
+    /// Finished slots have already dropped their engine scratch and KV
+    /// cache, so they contribute nothing.
     pub fn memory_estimate(&self) -> MemoryEstimate {
         let mut seen = Vec::new();
         let mut total = MemoryEstimate::default();
         for slot in &self.slots {
-            let est = slot.engine.memory_estimate();
+            let SlotState::Live { engine, .. } = &slot.state else {
+                continue;
+            };
+            let est = engine.memory_estimate();
             total.per_session_bytes += est.per_session_bytes;
-            match slot.engine.shared_state_id() {
+            match engine.shared_state_id() {
                 Some(id) if seen.contains(&id) => {}
                 Some(id) => {
                     seen.push(id);
@@ -179,16 +232,30 @@ impl<'m> Batch<'m> {
 
     /// Number of requests still decoding.
     pub fn active_requests(&self) -> usize {
-        self.slots.iter().filter(|s| !s.run.finished()).count()
+        self.slots
+            .iter()
+            .filter(|s| matches!(&s.state, SlotState::Live { run, .. } if !run.finished()))
+            .count()
     }
 
     /// Advances every live request by one model step — concurrently when
     /// the batch was built with [`parallel`](Batch::parallel) — invoking
     /// `on_token` in slot order for each token emitted this round. Returns
     /// the number of requests still active afterwards.
+    ///
+    /// A slot whose engine fails mid-decode ([`EngineError`]) finishes with
+    /// [`FinishReason::Failed`] and retires like any other; the batch keeps
+    /// serving its remaining requests. Slots that finish this tick release
+    /// their decode memory (engine scratch, workspace, KV cache)
+    /// immediately rather than when the batch is dropped.
     pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
         self.pool.run_tasks(&mut self.slots, |_, slot| {
-            slot.last_event = slot.run.advance(slot.engine.as_mut());
+            if let SlotState::Live { engine, run } = &mut slot.state {
+                // An Err has already marked the run finished with a
+                // Failed reason; retirement below records it.
+                slot.last_event = run.advance(engine.as_mut()).unwrap_or(None);
+            }
+            slot.retire_if_finished();
         });
         for slot in &mut self.slots {
             if let Some(TokenEvent { index, token }) = slot.last_event.take() {
@@ -214,18 +281,13 @@ impl<'m> Batch<'m> {
         while self.tick(&mut on_token) > 0 {}
         self.slots
             .into_iter()
-            .map(|slot| {
-                let Slot {
-                    id, engine, run, ..
-                } = slot;
-                let generation = run.into_generation();
-                BatchOutput {
-                    id,
-                    tokens: generation.tokens,
-                    finish: generation.finish,
-                    ops: *engine.ops(),
-                    stats: engine.stats().cloned(),
-                    engine: engine.name().to_string(),
+            .map(|mut slot| {
+                slot.retire_if_finished();
+                match slot.state {
+                    SlotState::Done(output) => output,
+                    SlotState::Live { .. } => {
+                        unreachable!("every run has finished when the tick loop exits")
+                    }
                 }
             })
             .collect()
@@ -307,6 +369,113 @@ mod tests {
         let _ = batch.run_streaming(|ev| order.push(ev.request));
         // Equal-length prompts: tokens alternate 0,1,0,1,0,1.
         assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn finished_slots_release_their_decode_memory() {
+        fn build<'m>(m: &'m Model, max_new: usize, batch: &mut Batch<'m>) {
+            let e = EngineBuilder::new(m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap();
+            batch
+                .push(e, &GenerateRequest::new(&[1, 2]).max_new(max_new))
+                .unwrap();
+        }
+        let m = model();
+        // Seven requests that finish quickly + one that keeps decoding.
+        let mut batch = Batch::new();
+        for _ in 0..7 {
+            build(&m, 2, &mut batch);
+        }
+        build(&m, 24, &mut batch);
+        let full = batch.memory_estimate().total();
+        while batch.active_requests() > 1 {
+            batch.tick(|_| {});
+        }
+        let drained = batch.memory_estimate().total();
+
+        // A fresh 1-slot batch over the same engine kind, advanced the same
+        // number of steps, is the floor the drained batch must be near.
+        let mut solo = Batch::new();
+        build(&m, 24, &mut solo);
+        for _ in 0..(2 + 2 + 2) {
+            solo.tick(|_| {});
+        }
+        let solo_total = solo.memory_estimate().total();
+        assert!(
+            drained <= solo_total + solo_total / 4 + 1024,
+            "7 finished + 1 live ({drained} B) must be within a small \
+             constant of a 1-slot batch ({solo_total} B)"
+        );
+        assert!(
+            full > drained,
+            "retiring slots must shrink the estimate ({full} -> {drained})"
+        );
+        // The retired outputs are still delivered.
+        let out = batch.run();
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().take(7).all(|o| o.tokens.len() == 2));
+    }
+
+    /// An engine that never produces logits: the first decode step fails.
+    #[derive(Debug)]
+    struct BrokenEngine<'m> {
+        model: &'m sparseinfer_model::Model,
+        ops: OpCounter,
+    }
+
+    impl Engine for BrokenEngine<'_> {
+        fn model(&self) -> &sparseinfer_model::Model {
+            self.model
+        }
+
+        fn step_into(
+            &mut self,
+            _token: u32,
+            session: &mut sparseinfer_model::model::DecodeSession,
+            logits: &mut sparseinfer_tensor::Vector,
+        ) {
+            session.position += 1;
+            *logits = sparseinfer_tensor::Vector::zeros(0);
+        }
+
+        fn ops(&self) -> &OpCounter {
+            &self.ops
+        }
+
+        fn reset_ops(&mut self) {}
+
+        fn name(&self) -> &str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn failed_slot_retires_without_poisoning_the_batch() {
+        let m = model();
+        let mut batch = Batch::new();
+        let healthy = EngineBuilder::new(&m).build().unwrap();
+        batch
+            .push(healthy, &GenerateRequest::new(&[1, 2]).max_new(3))
+            .unwrap();
+        let broken = Box::new(BrokenEngine {
+            model: &m,
+            ops: OpCounter::default(),
+        });
+        batch
+            .push(broken, &GenerateRequest::new(&[5]).max_new(3))
+            .unwrap();
+        let out = batch.run();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].tokens.len(), 3, "healthy request completes");
+        assert_eq!(out[0].finish, FinishReason::MaxTokens);
+        assert_eq!(
+            out[1].finish,
+            FinishReason::Failed(EngineError::EmptyVocab),
+            "broken request fails as data, not a panic"
+        );
+        assert!(out[1].tokens.is_empty());
     }
 
     #[test]

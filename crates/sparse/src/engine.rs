@@ -581,7 +581,8 @@ fn mask_bytes(mask: &SkipMask) -> u64 {
 /// the paper. `build` validates the configuration and returns `Err` instead
 /// of panicking. [`parallel`](Self::parallel) sets the kernel thread count;
 /// [`predictor_shared`](Self::predictor_shared) lets many engines share one
-/// predictor's memory.
+/// predictor's memory and [`pool`](Self::pool) lets them share one set of
+/// parked worker threads.
 #[derive(Debug)]
 pub struct EngineBuilder<'m> {
     model: &'m Model,
@@ -589,6 +590,7 @@ pub struct EngineBuilder<'m> {
     options: EngineOptions,
     sampler: Sampler,
     parallel: ParallelOptions,
+    pool: Option<ThreadPool>,
 }
 
 impl<'m> EngineBuilder<'m> {
@@ -601,6 +603,7 @@ impl<'m> EngineBuilder<'m> {
             options: EngineOptions::default(),
             sampler: Sampler::greedy(),
             parallel: ParallelOptions::single(),
+            pool: None,
         }
     }
 
@@ -655,9 +658,24 @@ impl<'m> EngineBuilder<'m> {
     }
 
     /// Sets the kernel thread count. Decoded tokens are bit-identical at
-    /// every setting; only wall-clock changes.
+    /// every setting; only wall-clock changes. Each engine built this way
+    /// spawns its own parked workers — to share one worker set across many
+    /// engines (e.g. batch slots), build a [`ThreadPool`] once and pass
+    /// clones via [`pool`](Self::pool) instead.
     pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Uses an existing thread pool — the worker-thread analogue of
+    /// [`predictor_shared`](Self::predictor_shared): `ThreadPool` is a
+    /// cheap `Arc`-backed clone handle, so N engines built from clones of
+    /// one pool share one set of parked workers instead of keeping
+    /// `N·(threads−1)` idle threads alive. Takes precedence over
+    /// [`parallel`](Self::parallel). Tokens are unaffected either way
+    /// (dispatch never changes results, only wall-clock).
+    pub fn pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -667,8 +685,16 @@ impl<'m> EngineBuilder<'m> {
     ///
     /// [`EngineError::LayerCountMismatch`] if a predictor covers a
     /// different number of layers than the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`parallel`](Self::parallel) requested `threads > 1` and
+    /// the OS refuses to spawn a worker thread (see [`ThreadPool::new`]);
+    /// serving layers that build engines per request should construct one
+    /// pool at startup and pass clones via [`pool`](Self::pool), which
+    /// spawns nothing here.
     pub fn build(self) -> Result<Box<dyn Engine + 'm>, EngineError> {
-        let pool = ThreadPool::new(self.parallel);
+        let pool = self.pool.unwrap_or_else(|| ThreadPool::new(self.parallel));
         match self.predictor {
             None => {
                 let mut e = DenseEngine::new(self.model);
@@ -913,6 +939,39 @@ mod tests {
             .unwrap()
             .tokens;
             assert_eq!(tokens, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn engines_sharing_one_pool_decode_identically() {
+        let m = model();
+        let req = crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(6);
+        let solo = {
+            let mut e = EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap();
+            crate::request::generate(e.as_mut(), &req).unwrap().tokens
+        };
+        // One worker set serves many engines — including concurrently from
+        // batch slot threads, where the pool's in-flight-dispatch fallback
+        // keeps the second dispatcher inline.
+        let kernel_pool = ThreadPool::new(ParallelOptions::threads(2));
+        let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+            &m,
+            AlphaSchedule::uniform(1.0),
+        ));
+        let mut batch = crate::batch::Batch::new().parallel(ParallelOptions::threads(2));
+        for _ in 0..4 {
+            let engine = EngineBuilder::new(&m)
+                .predictor_shared(Arc::clone(&shared))
+                .pool(kernel_pool.clone())
+                .build()
+                .unwrap();
+            batch.push(engine, &req).unwrap();
+        }
+        for output in batch.run() {
+            assert_eq!(output.tokens, solo, "request {}", output.id);
         }
     }
 

@@ -3,7 +3,7 @@
 /// Errors surfaced by [`EngineBuilder`](crate::engine::EngineBuilder) and
 /// the request layer. Configuration mistakes are data, not panics, so a
 /// serving frontend can reject a bad request without dying.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineError {
     /// The predictor covers a different number of layers than the model.
     LayerCountMismatch {
@@ -14,6 +14,13 @@ pub enum EngineError {
     },
     /// A generate request arrived with an empty prompt.
     EmptyPrompt,
+    /// The engine produced no logits to sample from (zero-sized
+    /// vocabulary) — a degenerate model configuration, not a crash.
+    EmptyVocab,
+    /// Decode reached the sampling state without logits from a prior
+    /// engine step — an engine-implementation bug surfaced as an error so
+    /// a serving process drops the request instead of aborting.
+    MissingLogits,
 }
 
 impl std::fmt::Display for EngineError {
@@ -28,6 +35,18 @@ impl std::fmt::Display for EngineError {
                  predictor covers {predictor_layers}"
             ),
             EngineError::EmptyPrompt => write!(f, "prompt must be non-empty"),
+            EngineError::EmptyVocab => {
+                write!(
+                    f,
+                    "engine produced no logits to sample from (empty vocabulary)"
+                )
+            }
+            EngineError::MissingLogits => {
+                write!(
+                    f,
+                    "decode reached sampling without logits from an engine step"
+                )
+            }
         }
     }
 }

@@ -26,6 +26,12 @@ pub enum FinishReason {
     MaxTokens,
     /// A stop token was sampled (the token is not part of the output).
     Stop(u32),
+    /// Decoding failed mid-run; the tokens generated before the failure
+    /// are preserved. Produced by the [`Batch`](crate::batch::Batch)
+    /// scheduler, which must keep serving its other slots — the
+    /// single-request [`generate`] path surfaces the error as `Err`
+    /// instead.
+    Failed(EngineError),
 }
 
 /// One generation request.
@@ -179,9 +185,17 @@ impl RequestRun {
     /// Performs one step: feeds the next prefill token, or samples and
     /// decodes the next token. Returns the emitted token, if this step
     /// produced one.
-    pub fn advance(&mut self, engine: &mut dyn Engine) -> Option<TokenEvent> {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyVocab`] if the engine produced no logits to
+    /// sample from, [`EngineError::MissingLogits`] if decode reached the
+    /// sampling state without a prior engine step. Either way the run is
+    /// marked finished with [`FinishReason::Failed`] — a degenerate input
+    /// fails one request, it does not abort a serving process.
+    pub fn advance(&mut self, engine: &mut dyn Engine) -> Result<Option<TokenEvent>, EngineError> {
         if self.finish.is_some() {
-            return None;
+            return Ok(None);
         }
         let last = self.prompt.len() - 1;
         if self.fed < last {
@@ -190,20 +204,25 @@ impl RequestRun {
                 .model()
                 .forward_token(self.prompt[self.fed], &mut self.session);
             self.fed += 1;
-            None
+            Ok(None)
         } else if self.fed == last {
             // The last prompt token goes through the engine: decode
             // statistics start at the first generated position.
             engine.step_into(self.prompt[last], &mut self.session, &mut self.logits);
             self.has_logits = true;
             self.fed += 1;
-            None
+            Ok(None)
         } else {
-            assert!(self.has_logits, "decode state holds logits");
-            let next = self.sampler.sample(&self.logits).expect("nonzero vocab") as u32;
+            if !self.has_logits {
+                return Err(self.fail(EngineError::MissingLogits));
+            }
+            let Some(next) = self.sampler.sample(&self.logits) else {
+                return Err(self.fail(EngineError::EmptyVocab));
+            };
+            let next = next as u32;
             if self.stop.contains(&next) {
                 self.finish = Some(FinishReason::Stop(next));
-                return None;
+                return Ok(None);
             }
             let index = self.tokens.len();
             self.tokens.push(next);
@@ -212,8 +231,15 @@ impl RequestRun {
             } else {
                 engine.step_into(next, &mut self.session, &mut self.logits);
             }
-            Some(TokenEvent { index, token: next })
+            Ok(Some(TokenEvent { index, token: next }))
         }
+    }
+
+    /// Marks the run finished with a failure and hands the error back for
+    /// propagation.
+    fn fail(&mut self, error: EngineError) -> EngineError {
+        self.finish = Some(FinishReason::Failed(error));
+        error
     }
 
     /// Consumes the run into its result.
@@ -233,7 +259,9 @@ impl RequestRun {
 ///
 /// # Errors
 ///
-/// [`EngineError::EmptyPrompt`] if the prompt is empty.
+/// [`EngineError::EmptyPrompt`] if the prompt is empty;
+/// [`EngineError::EmptyVocab`] / [`EngineError::MissingLogits`] if decoding
+/// fails on a degenerate engine (no logits to sample from).
 pub fn generate(engine: &mut dyn Engine, req: &GenerateRequest) -> Result<Generation, EngineError> {
     generate_streaming(engine, req, |_| {})
 }
@@ -243,7 +271,9 @@ pub fn generate(engine: &mut dyn Engine, req: &GenerateRequest) -> Result<Genera
 ///
 /// # Errors
 ///
-/// [`EngineError::EmptyPrompt`] if the prompt is empty.
+/// [`EngineError::EmptyPrompt`] if the prompt is empty;
+/// [`EngineError::EmptyVocab`] / [`EngineError::MissingLogits`] if decoding
+/// fails on a degenerate engine (no logits to sample from).
 pub fn generate_streaming(
     engine: &mut dyn Engine,
     req: &GenerateRequest,
@@ -251,7 +281,7 @@ pub fn generate_streaming(
 ) -> Result<Generation, EngineError> {
     let mut run = RequestRun::new(req, engine)?;
     while !run.finished() {
-        if let Some(event) = run.advance(engine) {
+        if let Some(event) = run.advance(engine)? {
             on_token(event);
         }
     }
@@ -332,6 +362,75 @@ mod tests {
         let gen = generate(e.as_mut(), &GenerateRequest::new(&[5, 6]).max_new(0)).unwrap();
         assert!(gen.tokens.is_empty());
         assert_eq!(gen.finish, FinishReason::MaxTokens);
+    }
+
+    /// An engine that advances the session but never produces logits — the
+    /// degenerate case that used to abort via `expect("nonzero vocab")`.
+    #[derive(Debug)]
+    struct EmptyLogitsEngine<'m> {
+        model: &'m Model,
+        ops: crate::ops::OpCounter,
+    }
+
+    impl Engine for EmptyLogitsEngine<'_> {
+        fn model(&self) -> &Model {
+            self.model
+        }
+
+        fn step_into(
+            &mut self,
+            _token: u32,
+            session: &mut sparseinfer_model::model::DecodeSession,
+            logits: &mut Vector,
+        ) {
+            session.position += 1;
+            *logits = Vector::zeros(0);
+        }
+
+        fn ops(&self) -> &crate::ops::OpCounter {
+            &self.ops
+        }
+
+        fn reset_ops(&mut self) {}
+
+        fn name(&self) -> &str {
+            "empty-logits"
+        }
+    }
+
+    #[test]
+    fn empty_logits_surface_as_engine_error_not_panic() {
+        let m = model();
+        let mut e = EmptyLogitsEngine {
+            model: &m,
+            ops: crate::ops::OpCounter::default(),
+        };
+        let err = generate(&mut e, &GenerateRequest::new(&[1, 2]).max_new(4)).unwrap_err();
+        assert_eq!(err, EngineError::EmptyVocab);
+        // Streaming takes the same exit.
+        let err =
+            generate_streaming(&mut e, &GenerateRequest::new(&[9]).max_new(2), |_| {}).unwrap_err();
+        assert_eq!(err, EngineError::EmptyVocab);
+    }
+
+    #[test]
+    fn failed_run_records_the_finish_reason() {
+        let m = model();
+        let mut e = EmptyLogitsEngine {
+            model: &m,
+            ops: crate::ops::OpCounter::default(),
+        };
+        let mut run = RequestRun::new(&GenerateRequest::new(&[1]).max_new(4), &e).unwrap();
+        while !run.finished() {
+            if run.advance(&mut e).is_err() {
+                break;
+            }
+        }
+        assert!(run.finished(), "a failed run is finished");
+        assert_eq!(
+            run.into_generation().finish,
+            FinishReason::Failed(EngineError::EmptyVocab)
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //!   every execution path.
 //! * [`workspace`](mod@crate::workspace) — recycled scratch buffers making
 //!   steady-state decode allocation-free.
-//! * [`pool`](mod@crate::pool) — a dependency-free scoped-thread pool that
-//!   row-partitions kernels deterministically (bit-identical at any thread
-//!   count).
+//! * [`pool`](mod@crate::pool) — a dependency-free persistent parked-worker
+//!   thread pool that row-partitions kernels deterministically
+//!   (bit-identical at any thread count) with allocation-free dispatch.
 //! * [`sign`](mod@crate::sign) — the paper's key primitive: packing the sign bits
 //!   of 32 consecutive `f32` elements into one `u32` word, plus the
 //!   XOR/popcount machinery used by the training-free predictor.
@@ -42,7 +42,11 @@
 //! assert!(negatives <= 64);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the parked-worker pool needs one locally-allowed,
+// heavily documented pocket of `unsafe` (feeding borrowed chunks to
+// persistent threads — the same thing `std::thread::scope` does inside).
+// Every other module rejects `unsafe` outright.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -48,14 +48,38 @@ impl Workspace {
     }
 
     /// Takes a buffer of length `len` with **unspecified contents** (stale
-    /// values from a previous use). Reuses the most recently returned
-    /// buffer when possible; allocates only while the pool is still warming
-    /// up or a larger length than ever seen is requested.
+    /// values from a previous use). Reuses the **best-fitting** pooled
+    /// buffer: the smallest capacity that already holds `len`, falling back
+    /// to the largest buffer (the one needing the least regrowth) when none
+    /// fits. Allocates only while the pool is still warming up or a larger
+    /// length than ever seen is requested — in particular, a mixed-size
+    /// take/give pattern (small give followed by a large take) reuses the
+    /// idle large buffer instead of regrowing the small one.
     pub fn take(&mut self, len: usize) -> Vector {
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut best: Option<(usize, usize, bool)> = None; // (index, capacity, fits)
+        for (i, buf) in self.pool.iter().enumerate() {
+            let cap = buf.capacity();
+            let fits = cap >= len;
+            let better = match best {
+                None => true,
+                Some((_, best_cap, best_fits)) => match (fits, best_fits) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    (true, true) => cap < best_cap,
+                    (false, false) => cap > best_cap,
+                },
+            };
+            if better {
+                best = Some((i, cap, fits));
+            }
+        }
+        let mut buf = match best {
+            Some((i, _, _)) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
         if buf.len() < len {
-            // Grows only beyond the largest size this buffer has held;
-            // within capacity this writes the new tail without allocating.
+            // Grows only beyond the largest capacity in the pool; within
+            // capacity this writes the new tail without allocating.
             buf.resize(len, 0.0);
         } else {
             buf.truncate(len);
@@ -126,6 +150,43 @@ mod tests {
         assert_eq!(v.len(), 16);
         ws.give(v);
         assert!(ws.pooled_bytes() >= 256 * 4, "capacity must be retained");
+    }
+
+    #[test]
+    fn mixed_size_take_prefers_the_best_fitting_buffer() {
+        // Regression: with LIFO reuse, giving a big buffer back *before* a
+        // small one meant the next big take popped the small buffer and
+        // regrew it while the big one idled in the pool.
+        let mut ws = Workspace::new();
+        let mut big = Vector::zeros(1024);
+        big[0] = 42.0;
+        let mut small = Vector::zeros(16);
+        small[0] = 7.0;
+        ws.give(big);
+        ws.give(small); // most recent — the old LIFO pick for any take
+        let bytes_before = ws.pooled_bytes();
+
+        let b = ws.take(1024);
+        assert_eq!(b[0], 42.0, "must reuse the idle 1024-buffer, not regrow");
+        let s = ws.take(16);
+        assert_eq!(s[0], 7.0, "the small buffer serves the small take");
+
+        // No buffer was regrown: total pooled capacity is unchanged after
+        // a full give-back.
+        ws.give(b);
+        ws.give(s);
+        assert_eq!(ws.pooled_bytes(), bytes_before, "no reallocation");
+    }
+
+    #[test]
+    fn unfittable_take_grows_the_largest_buffer() {
+        let mut ws = Workspace::new();
+        ws.give(Vector::zeros(8));
+        ws.give(Vector::zeros(128));
+        let v = ws.take(256); // nothing fits: the 128-buffer grows (least regrowth)
+        assert_eq!(v.len(), 256);
+        assert_eq!(ws.pooled(), 1, "the 8-buffer stays pooled untouched");
+        assert_eq!(ws.pooled_bytes(), 8 * 4);
     }
 
     #[test]

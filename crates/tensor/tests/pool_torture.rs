@@ -1,0 +1,177 @@
+//! Torture coverage for the persistent parked-worker pool: lifecycle,
+//! reuse, panic containment and degenerate inputs. These are the scenarios
+//! a per-call scoped-spawn design got for free (every call had fresh
+//! threads) and a parked design must prove it still handles.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sparseinfer_tensor::{ParallelOptions, ThreadPool};
+
+#[test]
+fn drop_while_parked_shuts_down_cleanly() {
+    // Workers that never received any work must still park out and join.
+    for threads in [2, 4, 8] {
+        let pool = ThreadPool::new(ParallelOptions::threads(threads));
+        drop(pool); // must not hang or leak
+    }
+}
+
+#[test]
+fn drop_after_use_joins_workers() {
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let mut out = vec![0.0f32; 4096];
+    pool.run_chunks(&mut out, 1, |off, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = (off + i) as f32;
+        }
+    });
+    assert_eq!(out[4095], 4095.0);
+    drop(pool);
+}
+
+#[test]
+fn clone_keeps_workers_alive_until_the_last_handle_drops() {
+    let pool = ThreadPool::new(ParallelOptions::threads(2));
+    let clone = pool.clone();
+    drop(pool);
+    // The clone still dispatches to the shared workers.
+    let mut out = vec![0.0f32; 1024];
+    clone.run_chunks(&mut out, 1, |_, chunk| chunk.fill(3.0));
+    assert!(out.iter().all(|v| *v == 3.0));
+}
+
+#[test]
+fn many_consecutive_dispatches_reuse_the_same_workers() {
+    // 500 back-to-back dispatches through one pool: every one must see
+    // freshly parked workers (no lost wakeups, no stale tasks).
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let mut out = vec![0.0f32; 2048];
+    for round in 0..500usize {
+        let bias = round as f32;
+        pool.run_chunks(&mut out, 1, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (off + i) as f32 + bias;
+            }
+        });
+        assert_eq!(out[0], bias, "round {round}");
+        assert_eq!(out[2047], 2047.0 + bias, "round {round}");
+    }
+}
+
+#[test]
+fn alternating_run_chunks_and_run_tasks_share_the_pool() {
+    let pool = ThreadPool::new(ParallelOptions::threads(3));
+    let mut floats = vec![0.0f32; 999];
+    let mut counters = vec![0usize; 17];
+    for round in 1..=50usize {
+        pool.run_chunks(&mut floats, 1, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ((off + i) * round) as f32;
+            }
+        });
+        pool.run_tasks(&mut counters, |i, c| *c += i);
+        assert_eq!(floats[998], (998 * round) as f32);
+    }
+    for (i, c) in counters.iter().enumerate() {
+        assert_eq!(*c, i * 50);
+    }
+}
+
+#[test]
+fn worker_panic_propagates_without_deadlocking_peers() {
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let mut out = vec![0.0f32; 4096];
+    // Chunk 0 always runs on a parked worker (the caller takes the last
+    // chunk), so this exercises the worker-side panic path.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_chunks(&mut out, 1, |off, _chunk| {
+            if off == 0 {
+                panic!("kernel exploded in a worker");
+            }
+        });
+    }));
+    assert!(result.is_err(), "the worker panic must reach the caller");
+
+    // The pool survives: peers were not deadlocked mid-dispatch and the
+    // next dispatch runs normally on the same workers.
+    pool.run_chunks(&mut out, 1, |off, chunk| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = (off + i) as f32;
+        }
+    });
+    assert_eq!(out[4095], 4095.0);
+}
+
+#[test]
+fn caller_chunk_panic_still_waits_for_workers() {
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let touched = AtomicUsize::new(0);
+    let mut out = vec![0.0f32; 4096];
+    let last_offset = 3072; // the caller's chunk at 4 workers
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_chunks(&mut out, 1, |off, chunk| {
+            touched.fetch_add(chunk.len(), Ordering::SeqCst);
+            if off == last_offset {
+                panic!("kernel exploded on the calling thread");
+            }
+        });
+    }));
+    assert!(result.is_err());
+    // Every worker chunk completed before the panic unwound out of the
+    // dispatch — the borrow behind the chunks stayed valid throughout.
+    assert_eq!(touched.load(Ordering::SeqCst), 4096);
+    // And the pool remains usable.
+    pool.run_tasks(&mut [1usize, 2, 3][..], |_, v| *v += 1);
+}
+
+#[test]
+fn run_tasks_on_an_empty_slice_is_a_no_op() {
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let mut empty: [u64; 0] = [];
+    pool.run_tasks(&mut empty, |_, _| panic!("must never be called"));
+    // `run_chunks` degenerates to one inline call over the (empty) slice:
+    // nothing is dispatched to workers and nothing can be written.
+    let calls = AtomicUsize::new(0);
+    let mut out: Vec<f32> = Vec::new();
+    pool.run_chunks(&mut out, 1, |off, chunk| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        assert_eq!((off, chunk.len()), (0, 0));
+    });
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn single_item_run_tasks_stays_inline() {
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    let caller = std::thread::current().id();
+    let mut ids = vec![None; 1];
+    pool.run_tasks(&mut ids, |_, id| *id = Some(std::thread::current().id()));
+    assert_eq!(ids[0], Some(caller), "one item must not pay dispatch");
+}
+
+#[test]
+fn concurrent_dispatch_from_two_threads_is_safe() {
+    // Two threads sharing one pool handle: one wins the dispatch flag, the
+    // other falls back to inline execution. Either way every element is
+    // written exactly once with the correct value.
+    let pool = ThreadPool::new(ParallelOptions::threads(4));
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let pool = pool.clone();
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let mut out = vec![0.0f32; 1024];
+                    pool.run_chunks(&mut out, 1, |off, chunk| {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = (off + i) as f32;
+                        }
+                    });
+                    for (i, v) in out.iter().enumerate() {
+                        assert_eq!(*v, i as f32);
+                    }
+                }
+            });
+        }
+    });
+}

@@ -9,9 +9,16 @@
 //! regression that re-introduces a per-token `Vec::with_capacity` anywhere
 //! on the hot path fails this test immediately.
 //!
-//! (This integration-test binary is the one place in the workspace that
-//! uses `unsafe`: implementing `GlobalAlloc` requires it. Library crates
-//! remain `#![forbid(unsafe_code)]`.)
+//! The guarantee covers `threads > 1` too: parked-worker dispatch deposits
+//! stack-allocated chunk descriptors into preallocated mailboxes, so
+//! fanning a decode step across workers allocates exactly as much as
+//! running it inline — nothing. The counting allocator is global, so
+//! worker-thread allocations would be caught just like caller ones.
+//!
+//! (This integration-test binary and the tensor pool internals are the only
+//! places in the workspace that use `unsafe`: implementing `GlobalAlloc`
+//! requires it here, and feeding borrowed chunks to persistent workers
+//! requires it there. Every other library module rejects `unsafe`.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
 use sparseinfer::predictor::AlphaSchedule;
 use sparseinfer::sparse::engine::{Engine, EngineBuilder};
-use sparseinfer::tensor::Vector;
+use sparseinfer::tensor::{ParallelOptions, Vector};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -116,6 +123,39 @@ fn oracle_and_random_steady_state_decode_are_allocation_free() {
     ] {
         let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
         assert_eq!(allocs, 0, "{name} decode allocated {allocs} times");
+    }
+}
+
+#[test]
+fn parallel_steady_state_decode_is_allocation_free() {
+    // The parked-worker pool must not charge the hot path for dispatch:
+    // chunk descriptors live on the caller's stack and mailboxes are
+    // preallocated at pool construction.
+    let model = test_model();
+    for threads in [2usize, 4] {
+        for (name, mut engine) in [
+            (
+                "dense",
+                EngineBuilder::new(&model)
+                    .parallel(ParallelOptions::threads(threads))
+                    .build()
+                    .unwrap(),
+            ),
+            (
+                "signbit",
+                EngineBuilder::new(&model)
+                    .signbit(AlphaSchedule::uniform(1.0))
+                    .parallel(ParallelOptions::threads(threads))
+                    .build()
+                    .unwrap(),
+            ),
+        ] {
+            let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+            assert_eq!(
+                allocs, 0,
+                "{name} decode at {threads} threads allocated {allocs} times"
+            );
+        }
     }
 }
 

@@ -165,16 +165,23 @@ fn batch_memory_is_o1_in_slots_with_a_shared_predictor() {
         batch
     };
 
-    // Decode both batches to completion first, so the estimates measure
-    // *warm* per-session buffers (workspace pools, scratch, masks at their
-    // steady-state sizes), then take the estimates from the still-live
-    // batches.
+    // Warm both batches with a few decode ticks — but stop *before* any
+    // request finishes, because finished slots retire and release their
+    // memory (measured separately below): the estimates here must see
+    // every slot live with steady-state buffer sizes.
+    let warm_ticks = 4; // 2 prompt tokens + max_new 3 => finished on tick 5
     let mut one = build_batch(1);
-    while one.tick(|_| {}) > 0 {}
+    for _ in 0..warm_ticks {
+        one.tick(|_| {});
+    }
+    assert_eq!(one.active_requests(), 1, "warm-up must keep the slot live");
     let est1 = one.memory_estimate();
 
     let mut thirty_two = build_batch(32);
-    while thirty_two.tick(|_| {}) > 0 {}
+    for _ in 0..warm_ticks {
+        thirty_two.tick(|_| {});
+    }
+    assert_eq!(thirty_two.active_requests(), 32);
     let est32 = thirty_two.memory_estimate();
 
     // Shared predictor bytes are counted once, regardless of slot count —
@@ -200,9 +207,80 @@ fn batch_memory_is_o1_in_slots_with_a_shared_predictor() {
         est32.total(),
         est1.total()
     );
-    // And the requests themselves completed.
+    // Run both batches to completion: every slot retires, releasing its
+    // per-session scratch and KV cache — the estimate drops to zero.
+    while thirty_two.tick(|_| {}) > 0 {}
     assert_eq!(thirty_two.active_requests(), 0);
     assert_eq!(thirty_two.len(), 32);
+    assert_eq!(
+        thirty_two.memory_estimate().total(),
+        0,
+        "a fully finished batch must hold no decode memory"
+    );
+}
+
+/// Finished slots release their decode memory immediately: a batch that has
+/// drained down to one live request costs what a 1-slot batch costs, within
+/// a small constant — not O(total requests ever pushed).
+#[test]
+fn finished_slots_release_memory_while_the_batch_keeps_serving() {
+    let model = test_model();
+    let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+        &model,
+        AlphaSchedule::uniform(1.0),
+    ));
+    fn push<'m>(
+        model: &'m Model,
+        shared: &Arc<dyn SparsityPredictor>,
+        batch: &mut Batch<'m>,
+        max_new: usize,
+    ) {
+        let engine = EngineBuilder::new(model)
+            .predictor_shared(Arc::clone(shared))
+            .build()
+            .unwrap();
+        batch
+            .push(engine, &GenerateRequest::new(&[1, 2]).max_new(max_new))
+            .unwrap();
+    }
+
+    // Fifteen short requests + one long one.
+    let mut batch = Batch::new();
+    for _ in 0..15 {
+        push(&model, &shared, &mut batch, 2);
+    }
+    push(&model, &shared, &mut batch, 32);
+    while batch.active_requests() > 1 {
+        batch.tick(|_| {});
+    }
+    let drained = batch.memory_estimate();
+
+    // Reference: a 1-slot batch with the same long request, equally warm.
+    let mut solo = Batch::new();
+    push(&model, &shared, &mut solo, 32);
+    for _ in 0..8 {
+        solo.tick(|_| {});
+    }
+    let solo_est = solo.memory_estimate();
+
+    assert_eq!(
+        drained.shared_bytes, solo_est.shared_bytes,
+        "one live slot, one shared predictor copy"
+    );
+    // 15 finished + 1 live must sit within a small constant of 1 live
+    // (2x slack absorbs warm-buffer size jitter between the two runs).
+    assert!(
+        drained.total() <= 2 * solo_est.total(),
+        "drained batch holds {} B, 1-slot batch {} B",
+        drained.total(),
+        solo_est.total()
+    );
+    // The batch still serves: the long request runs to completion with its
+    // tokens intact.
+    let out = batch.run();
+    assert_eq!(out.len(), 16);
+    assert_eq!(out[15].tokens.len(), 32);
+    assert!(out.iter().take(15).all(|o| o.tokens.len() == 2));
 }
 
 /// Per-request isolation survives sharing: slots over one predictor keep

@@ -1,0 +1,242 @@
+//! Serving throughput under churn: the closed `Batch` baseline vs the
+//! continuous-batching `Scheduler`.
+//!
+//! The workload models real serving traffic: requests arrive over time
+//! (staggered submission), mix dense and sparse engines over one shared
+//! predictor, and a few cancel mid-flight. The closed baseline cannot
+//! accept the stragglers until a fresh batch starts, so it serves the same
+//! request set as one pre-loaded batch — the best it can do — while the
+//! continuous scheduler admits each request the tick after it arrives
+//! within `max_slots` and a KV block budget.
+//!
+//! Reported per engine-side: overall decode throughput (µs per emitted
+//! token over the whole run) and the p50/p95 **inter-token latency** — the
+//! gap between consecutive tokens of the same request, the quantity a
+//! streaming client actually experiences. Machine-readable copies land in
+//! `BENCH_serving.json` (skipped under `SPARSEINFER_BENCH_QUICK=1`, which
+//! runs one small pass as a CI smoke).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
+use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
+use sparseinfer::sparse::batch::Batch;
+use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::request::GenerateRequest;
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
+use sparseinfer_bench::{bench_iters, BenchReport};
+
+fn bench_model() -> Model {
+    let mut cfg = ModelConfig::tiny();
+    cfg.hidden_dim = 64;
+    cfg.mlp_dim = 160;
+    cfg.n_heads = 2;
+    cfg.n_layers = 3;
+    cfg.vocab_size = 300;
+    WeightGenerator::new(&cfg, 99).build()
+}
+
+/// One synthetic churn request: prompt, budget, and (for the continuous
+/// side) the tick it arrives on plus whether it cancels mid-flight.
+struct ChurnRequest {
+    prompt: Vec<u32>,
+    max_new: usize,
+    arrives_at_tick: usize,
+    cancel_after_tokens: Option<usize>,
+}
+
+fn churn_workload(n: usize) -> Vec<ChurnRequest> {
+    (0..n)
+        .map(|i| ChurnRequest {
+            prompt: (1..=(2 + (i % 4) as u32)).collect(),
+            max_new: 6 + (i % 5) * 3,
+            // A third arrive up front, the rest trickle in.
+            arrives_at_tick: if i.is_multiple_of(3) { 0 } else { 2 * i },
+            cancel_after_tokens: if i % 8 == 5 { Some(3) } else { None },
+        })
+        .collect()
+}
+
+fn engine_for<'m>(
+    model: &'m Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    i: usize,
+) -> Box<dyn Engine + 'm> {
+    if i.is_multiple_of(2) {
+        EngineBuilder::new(model)
+            .predictor_shared(Arc::clone(shared))
+            .build()
+            .unwrap()
+    } else {
+        EngineBuilder::new(model).build().unwrap()
+    }
+}
+
+/// Timing of one serving run: total wall time plus every inter-token gap.
+struct RunTiming {
+    tokens: usize,
+    total_us: f64,
+    inter_token_us: Vec<f64>,
+}
+
+/// Per-request last-emission clock feeding the inter-token gaps.
+struct GapClock {
+    start: Instant,
+    last: Vec<Option<f64>>,
+    gaps: Vec<f64>,
+    tokens: usize,
+}
+
+impl GapClock {
+    fn new(n_requests: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            last: vec![None; n_requests],
+            gaps: Vec::new(),
+            tokens: 0,
+        }
+    }
+
+    fn observe(&mut self, request: usize) {
+        let now = self.start.elapsed().as_secs_f64() * 1e6;
+        if let Some(prev) = self.last[request] {
+            self.gaps.push(now - prev);
+        }
+        self.last[request] = Some(now);
+        self.tokens += 1;
+    }
+
+    fn finish(self) -> RunTiming {
+        RunTiming {
+            tokens: self.tokens,
+            total_us: self.start.elapsed().as_secs_f64() * 1e6,
+            inter_token_us: self.gaps,
+        }
+    }
+}
+
+/// Closed baseline: every request pre-loaded into one `Batch`.
+fn run_closed(
+    model: &Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    work: &[ChurnRequest],
+) -> RunTiming {
+    let mut batch = Batch::new();
+    for (i, r) in work.iter().enumerate() {
+        batch
+            .push(
+                engine_for(model, shared, i),
+                &GenerateRequest::new(&r.prompt).max_new(r.max_new),
+            )
+            .unwrap();
+    }
+    let mut clock = GapClock::new(work.len());
+    let _ = batch.run_streaming(|ev| clock.observe(ev.request));
+    clock.finish()
+}
+
+/// Continuous scheduler: requests join on their arrival tick, some cancel
+/// mid-flight, admission bounded by slots and a KV block budget.
+fn run_continuous(
+    model: &Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    work: &[ChurnRequest],
+) -> RunTiming {
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: 4,
+        block_tokens: 8,
+        kv_block_budget: usize::MAX,
+    });
+    let mut clock = GapClock::new(work.len());
+    let mut handles: Vec<Option<sparseinfer::sparse::scheduler::RequestHandle>> =
+        (0..work.len()).map(|_| None).collect();
+    let mut emitted = vec![0usize; work.len()];
+    let mut next = 0usize; // requests are submitted in arrival order
+    let mut tick = 0usize;
+    loop {
+        while next < work.len() && work[next].arrives_at_tick <= tick {
+            let handle = scheduler
+                .submit(
+                    engine_for(model, shared, next),
+                    &GenerateRequest::new(&work[next].prompt).max_new(work[next].max_new),
+                )
+                .unwrap();
+            handles[next] = Some(handle);
+            next += 1;
+        }
+        let unfinished = scheduler.tick(|ev| {
+            clock.observe(ev.request);
+            emitted[ev.request] += 1;
+        });
+        for (i, r) in work.iter().enumerate() {
+            if let (Some(cancel_at), Some(handle)) = (r.cancel_after_tokens, handles[i].as_ref()) {
+                if emitted[i] >= cancel_at {
+                    handle.cancel();
+                }
+            }
+        }
+        tick += 1;
+        if unfinished == 0 && next == work.len() {
+            break;
+        }
+    }
+    clock.finish()
+}
+
+/// The signature both serving-side runners share.
+type Runner = dyn Fn(&Model, &Arc<dyn SparsityPredictor>, &[ChurnRequest]) -> RunTiming;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let quick = std::env::var_os("SPARSEINFER_BENCH_QUICK").is_some();
+    let model = bench_model();
+    let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+        &model,
+        AlphaSchedule::uniform(1.0),
+    ));
+    let n_requests = if quick { 6 } else { 24 };
+    let work = churn_workload(n_requests);
+    let passes = bench_iters(5);
+
+    println!(
+        "serving churn workload: {n_requests} requests x {passes} pass(es), \
+         max_slots=4, block_tokens=8\n"
+    );
+
+    let mut report = BenchReport::new("serving");
+    let mut measure = |name: &str, runner: &Runner| {
+        let mut tokens = 0usize;
+        let mut total_us = 0.0f64;
+        let mut gaps: Vec<f64> = Vec::new();
+        for _ in 0..passes {
+            let timing = runner(&model, &shared, &work);
+            tokens += timing.tokens;
+            total_us += timing.total_us;
+            gaps.extend(timing.inter_token_us);
+        }
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let us_per_token = total_us / tokens as f64;
+        let p50 = percentile(&gaps, 0.50);
+        let p95 = percentile(&gaps, 0.95);
+        println!(
+            "{name:<24} {:>8} tokens  {us_per_token:>9.2} us/token \
+             ({:>9.0} tok/s)  itl p50 {p50:>8.2} us  p95 {p95:>8.2} us",
+            tokens,
+            1e6 / us_per_token,
+        );
+        report.record(&format!("{name}_throughput"), tokens, us_per_token, None, 1);
+        report.record(&format!("{name}_itl_p50"), gaps.len(), p50, None, 1);
+        report.record(&format!("{name}_itl_p95"), gaps.len(), p95, None, 1);
+    };
+    measure("closed_batch", &run_closed);
+    measure("continuous_scheduler", &run_continuous);
+    report.write();
+}

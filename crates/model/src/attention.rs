@@ -9,51 +9,109 @@
 
 use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector, Workspace};
 
-/// Grows-per-token key/value cache for one attention block.
-///
-/// Keys and values are stored *flat* (position-major `f32` runs) instead of
-/// one `Vector` per position: appending a token is two `extend_from_slice`
-/// calls that never allocate while the reserved capacity lasts, which is
-/// what makes steady-state decode allocation-free. Reserve up front with
-/// [`with_capacity`](KvCache::with_capacity) (or
-/// [`Model::start_session_with_capacity`](crate::Model::start_session_with_capacity));
-/// an unreserved cache still works, growing amortized like a `Vec`.
+use crate::kv::{KvBlockPool, PagedKvCache};
+
+/// Contiguous KV storage: keys and values stored *flat* (position-major
+/// `f32` runs). Appending a token is two `extend_from_slice` calls that
+/// never allocate while the reserved capacity lasts — the strict
+/// allocation-free decode layout.
 #[derive(Debug, Clone, Default)]
-pub struct KvCache {
+struct ContiguousKv {
     keys: Vec<f32>,
     values: Vec<f32>,
     dim: usize,
 }
 
+/// The two KV layouts behind [`KvCache`].
+#[derive(Debug, Clone)]
+enum KvStorage {
+    Contiguous(ContiguousKv),
+    Paged(PagedKvCache),
+}
+
+impl Default for KvStorage {
+    fn default() -> Self {
+        KvStorage::Contiguous(ContiguousKv::default())
+    }
+}
+
+/// Grows-per-token key/value cache for one attention block, over either of
+/// two storage layouts:
+///
+/// * **Contiguous** (the default): one flat buffer per side. Reserve up
+///   front with [`with_capacity`](KvCache::with_capacity) (or
+///   [`Model::start_session_with_capacity`](crate::Model::start_session_with_capacity))
+///   and pushes within the budget perform no allocation — the layout the
+///   strict allocation-free decode tests pin down. An unreserved cache
+///   still works, growing amortized like a `Vec`.
+/// * **Paged** ([`paged`](KvCache::paged), or
+///   [`Model::start_paged_session`](crate::Model::start_paged_session)):
+///   fixed-size token blocks allocated **lazily** from a shared
+///   [`KvBlockPool`] as tokens are produced, and returned to the pool the
+///   moment the cache drops — the serving layout, where memory tracks
+///   tokens *actually generated* instead of the `prompt + max_new` worst
+///   case.
+///
+/// Both layouts hand out identical `&[f32]` position slices in identical
+/// order, so every kernel reading through [`key`](KvCache::key) /
+/// [`value`](KvCache::value) is bit-identical over either.
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    storage: KvStorage,
+}
+
 impl KvCache {
-    /// Creates an empty cache (dimension fixed by the first push).
+    /// Creates an empty contiguous cache (dimension fixed by the first
+    /// push).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates an empty cache with room for `tokens` positions of dimension
-    /// `dim` — pushes within that budget perform no allocation.
+    /// Creates an empty contiguous cache with room for `tokens` positions
+    /// of dimension `dim` — pushes within that budget perform no
+    /// allocation.
     pub fn with_capacity(dim: usize, tokens: usize) -> Self {
         Self {
-            keys: Vec::with_capacity(dim * tokens),
-            values: Vec::with_capacity(dim * tokens),
-            dim,
+            storage: KvStorage::Contiguous(ContiguousKv {
+                keys: Vec::with_capacity(dim * tokens),
+                values: Vec::with_capacity(dim * tokens),
+                dim,
+            }),
         }
+    }
+
+    /// Creates an empty paged cache allocating fixed-size blocks from
+    /// `pool` as tokens arrive, and returning them on drop.
+    pub fn paged(pool: &KvBlockPool) -> Self {
+        Self {
+            storage: KvStorage::Paged(PagedKvCache::new(pool)),
+        }
+    }
+
+    /// Whether this cache uses paged (pool-backed) storage.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.storage, KvStorage::Paged(_))
     }
 
     /// Number of cached positions.
     pub fn len(&self) -> usize {
-        self.keys.len().checked_div(self.dim).unwrap_or(0)
+        match &self.storage {
+            KvStorage::Contiguous(c) => c.keys.len().checked_div(c.dim).unwrap_or(0),
+            KvStorage::Paged(p) => p.len(),
+        }
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len() == 0
     }
 
     /// Number of positions the cache can hold before its next allocation.
     pub fn reserved_tokens(&self) -> usize {
-        self.keys.capacity().checked_div(self.dim).unwrap_or(0)
+        match &self.storage {
+            KvStorage::Contiguous(c) => c.keys.capacity().checked_div(c.dim).unwrap_or(0),
+            KvStorage::Paged(p) => p.capacity_tokens(),
+        }
     }
 
     /// Appends one position.
@@ -61,16 +119,22 @@ impl KvCache {
     /// # Panics
     ///
     /// Panics if `key` and `value` differ in length, or disagree with the
-    /// dimension established by earlier pushes.
+    /// dimension established by earlier pushes; a paged cache additionally
+    /// panics if its pool's block budget is exhausted.
     pub fn push(&mut self, key: &[f32], value: &[f32]) {
-        assert_eq!(key.len(), value.len(), "key/value length mismatch");
-        if self.dim == 0 {
-            self.dim = key.len();
-        } else {
-            assert_eq!(key.len(), self.dim, "kv dimension mismatch");
+        match &mut self.storage {
+            KvStorage::Contiguous(c) => {
+                assert_eq!(key.len(), value.len(), "key/value length mismatch");
+                if c.dim == 0 {
+                    c.dim = key.len();
+                } else {
+                    assert_eq!(key.len(), c.dim, "kv dimension mismatch");
+                }
+                c.keys.extend_from_slice(key);
+                c.values.extend_from_slice(value);
+            }
+            KvStorage::Paged(p) => p.push(key, value),
         }
-        self.keys.extend_from_slice(key);
-        self.values.extend_from_slice(value);
     }
 
     /// The key vector cached at position `t`.
@@ -79,7 +143,10 @@ impl KvCache {
     ///
     /// Panics if `t >= self.len()`.
     pub fn key(&self, t: usize) -> &[f32] {
-        &self.keys[t * self.dim..(t + 1) * self.dim]
+        match &self.storage {
+            KvStorage::Contiguous(c) => &c.keys[t * c.dim..(t + 1) * c.dim],
+            KvStorage::Paged(p) => p.key(t),
+        }
     }
 
     /// The value vector cached at position `t`.
@@ -88,14 +155,23 @@ impl KvCache {
     ///
     /// Panics if `t >= self.len()`.
     pub fn value(&self, t: usize) -> &[f32] {
-        &self.values[t * self.dim..(t + 1) * self.dim]
+        match &self.storage {
+            KvStorage::Contiguous(c) => &c.values[t * c.dim..(t + 1) * c.dim],
+            KvStorage::Paged(p) => p.value(t),
+        }
     }
 
-    /// Clears all cached positions (start of a new sequence), retaining the
-    /// reserved capacity.
+    /// Clears all cached positions (start of a new sequence). A contiguous
+    /// cache retains its reserved capacity; a paged cache returns every
+    /// block to its pool.
     pub fn clear(&mut self) {
-        self.keys.clear();
-        self.values.clear();
+        match &mut self.storage {
+            KvStorage::Contiguous(c) => {
+                c.keys.clear();
+                c.values.clear();
+            }
+            KvStorage::Paged(p) => p.clear(),
+        }
     }
 }
 
@@ -355,6 +431,33 @@ mod tests {
             let via_ws = attn.forward_ws(&x, pos, &mut c2, &pool, &mut ws);
             assert_eq!(plain, via_ws, "position {pos}");
         }
+    }
+
+    #[test]
+    fn paged_cache_attention_is_bitwise_identical_to_contiguous() {
+        // The load-bearing property of the paged refactor: reading KV
+        // through the block table returns the same floats in the same
+        // order, so attention outputs are bit-identical across layouts —
+        // including at block boundaries.
+        let attn = random_attention(11, 16, 2);
+        let pool = crate::kv::KvBlockPool::new(3); // deliberately unaligned
+        let mut contiguous = KvCache::with_capacity(16, 16);
+        let mut paged = KvCache::paged(&pool);
+        assert!(paged.is_paged() && !contiguous.is_paged());
+        let mut ws = sparseinfer_tensor::Workspace::new();
+        let tp = sparseinfer_tensor::ThreadPool::single();
+        for pos in 0..10 {
+            let x = Vector::from_fn(16, |i| ((i * 5 + pos * 2) as f32 * 0.17).sin());
+            let a = attn.forward_ws(&x, pos, &mut contiguous, &tp, &mut ws);
+            let b = attn.forward_ws(&x, pos, &mut paged, &tp, &mut ws);
+            assert_eq!(a, b, "position {pos}");
+            ws.give(a);
+            ws.give(b);
+        }
+        assert_eq!(paged.len(), 10);
+        assert_eq!(paged.reserved_tokens(), 12, "4 blocks of 3 tokens");
+        paged.clear();
+        assert_eq!(pool.blocks_in_use(), 0, "clear returns blocks");
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! Paged KV-cache storage: fixed-size token blocks from a shared pool.
+//!
+//! The serving-scale problem with a contiguous
+//! [`KvCache`](crate::attention::KvCache): a request that *might* generate
+//! `max_new` tokens reserves `prompt + max_new` positions of cache up
+//! front, per layer — memory proportional to the *worst case*, even when
+//! generation stops after three tokens. Under churning traffic that
+//! over-reservation, multiplied by concurrent requests, is the capacity
+//! wall (the same one vLLM's PagedAttention removes for GPU serving).
+//!
+//! This module splits KV storage into:
+//!
+//! * [`KvBlockPool`] — a shared, thread-safe allocator of **fixed-size
+//!   token blocks** (`block_tokens` positions each). Released blocks go on
+//!   a free list and are recycled, so pool capacity tracks *peak live*
+//!   usage, never cumulative traffic. An optional block budget
+//!   ([`KvBlockPool::with_budget`]) turns the pool into the admission
+//!   throttle the scheduler's capacity control is built on.
+//! * [`PagedKvCache`] — one sequence's view: a block table that grows **one
+//!   block at a time, lazily, as tokens are actually produced**, and
+//!   returns every block to the pool on drop (or
+//!   [`clear`](PagedKvCache::clear)). A request that stops early only ever
+//!   allocated blocks for the tokens it really produced.
+//!
+//! Reads go through the block table (`t → block[t / block_tokens]`), but
+//! deliver exactly the same `&[f32]` slices in exactly the same order as
+//! the contiguous layout, so every attention kernel is bit-identical over
+//! either storage — the compatibility wrapper in
+//! [`attention`](crate::attention) dispatches between them.
+
+use std::sync::{Arc, Mutex};
+
+/// Default tokens per KV block: small enough that a short answer wastes at
+/// most a fraction of a block per layer, large enough that the block table
+/// stays tiny for long contexts.
+pub const DEFAULT_BLOCK_TOKENS: usize = 16;
+
+/// One fixed-size block of KV storage: up to `block_tokens` positions of
+/// keys and values, filled front to back.
+#[derive(Debug)]
+struct KvBlock {
+    keys: Vec<f32>,
+    values: Vec<f32>,
+}
+
+impl KvBlock {
+    fn new(block_tokens: usize, dim: usize) -> Self {
+        Self {
+            keys: Vec::with_capacity(block_tokens * dim),
+            values: Vec::with_capacity(block_tokens * dim),
+        }
+    }
+
+    /// Empties the block for reuse, retaining its allocation.
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    free: Vec<KvBlock>,
+    /// Blocks created and not yet dropped (free + in use).
+    created: usize,
+    /// Blocks currently held by caches.
+    in_use: usize,
+    /// KV dimension, established by the first allocation (0 = none yet).
+    dim: usize,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    block_tokens: usize,
+    max_blocks: usize,
+    state: Mutex<PoolState>,
+}
+
+/// A shared, thread-safe pool of fixed-size KV blocks.
+///
+/// Cloning the pool clones a handle (`Arc`): every [`PagedKvCache`] built
+/// from any clone allocates from, and releases to, the same free list.
+/// Allocation takes a mutex, but only once per `block_tokens` produced
+/// tokens per layer — never per token read (caches own their blocks
+/// outright, so attention reads are lock-free).
+///
+/// # Example
+///
+/// ```
+/// use sparseinfer_model::kv::{KvBlockPool, PagedKvCache};
+///
+/// let pool = KvBlockPool::new(4);
+/// let mut cache = PagedKvCache::new(&pool);
+/// cache.push(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(cache.key(0), &[1.0, 2.0]);
+/// assert_eq!(pool.blocks_in_use(), 1);
+/// drop(cache);
+/// assert_eq!(pool.blocks_in_use(), 0); // blocks return on drop
+/// assert_eq!(pool.blocks_created(), 1); // …and are recycled, not freed
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvBlockPool {
+    shared: Arc<PoolShared>,
+}
+
+impl KvBlockPool {
+    /// An unbounded pool with `block_tokens` positions per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn new(block_tokens: usize) -> Self {
+        Self::with_budget(block_tokens, usize::MAX)
+    }
+
+    /// A pool capped at `max_blocks` total blocks — the capacity that
+    /// admission control budgets against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` or `max_blocks` is zero.
+    pub fn with_budget(block_tokens: usize, max_blocks: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        assert!(max_blocks > 0, "max_blocks must be positive");
+        Self {
+            shared: Arc::new(PoolShared {
+                block_tokens,
+                max_blocks,
+                state: Mutex::new(PoolState::default()),
+            }),
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> usize {
+        self.shared.block_tokens
+    }
+
+    /// The block budget (`usize::MAX` when unbounded).
+    pub fn max_blocks(&self) -> usize {
+        self.shared.max_blocks
+    }
+
+    /// Blocks needed to hold `tokens` positions of one sequence in one
+    /// layer's cache.
+    pub fn blocks_for_tokens(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.shared.block_tokens)
+    }
+
+    /// Blocks currently held by live caches.
+    pub fn blocks_in_use(&self) -> usize {
+        self.state().in_use
+    }
+
+    /// Blocks sitting on the free list, ready for reuse.
+    pub fn blocks_free(&self) -> usize {
+        self.state().free.len()
+    }
+
+    /// Blocks created over the pool's lifetime and not yet dropped
+    /// (free + in use). Bounded by **peak** concurrent usage, not by how
+    /// many requests the pool has ever served.
+    pub fn blocks_created(&self) -> usize {
+        self.state().created
+    }
+
+    /// Blocks still available under the budget (free-list blocks plus
+    /// blocks that may still be created).
+    pub fn available_blocks(&self) -> usize {
+        self.shared.max_blocks.saturating_sub(self.state().in_use)
+    }
+
+    /// Bytes of one block (keys + values), once the KV dimension is known.
+    fn block_bytes(&self, dim: usize) -> u64 {
+        2 * (self.shared.block_tokens * dim * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Total bytes of every block the pool has created (free + in use) —
+    /// the pool's resident footprint.
+    pub fn memory_bytes(&self) -> u64 {
+        let state = self.state();
+        state.created as u64 * self.block_bytes(state.dim)
+    }
+
+    /// Bytes of the blocks currently held by live caches — the
+    /// O(live tokens) quantity admission control keeps bounded.
+    pub fn in_use_bytes(&self) -> u64 {
+        let state = self.state();
+        state.in_use as u64 * self.block_bytes(state.dim)
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // Poison-tolerant: every mutation in the critical sections leaves
+        // PoolState valid on its own (the budget/dimension asserts fire
+        // between them, never mid-update), so a poisoned lock still guards
+        // a consistent state — and `Drop` must be able to return blocks
+        // during the very unwind that poisoned it.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Hands out one block for `dim`-sized keys/values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is exhausted (a serving layer must gate
+    /// admission on [`available_blocks`](Self::available_blocks) so this
+    /// never fires) or if `dim` disagrees with earlier allocations.
+    fn alloc(&self, dim: usize) -> KvBlock {
+        let mut state = self.state();
+        if state.dim == 0 {
+            state.dim = dim;
+        } else {
+            assert_eq!(
+                state.dim, dim,
+                "KV block pool is dimension-{} but a cache pushed dimension-{dim} vectors \
+                 (one pool serves one model)",
+                state.dim
+            );
+        }
+        let block = match state.free.pop() {
+            Some(block) => block,
+            None => {
+                assert!(
+                    state.created < self.shared.max_blocks,
+                    "KV block budget exhausted ({} blocks): admission control must keep \
+                     worst-case reservations within the pool budget",
+                    self.shared.max_blocks
+                );
+                state.created += 1;
+                KvBlock::new(self.shared.block_tokens, dim)
+            }
+        };
+        state.in_use += 1;
+        block
+    }
+
+    /// Returns a block to the free list.
+    fn release(&self, mut block: KvBlock) {
+        block.reset();
+        let mut state = self.state();
+        state.free.push(block);
+        state.in_use -= 1;
+    }
+}
+
+/// One sequence's paged KV cache: a lazily grown block table over a shared
+/// [`KvBlockPool`].
+///
+/// Tokens append in order; every `block_tokens`-th push allocates one more
+/// block from the pool. [`clear`](Self::clear) and `Drop` return every
+/// block, so a retired request's KV memory is reusable immediately.
+#[derive(Debug)]
+pub struct PagedKvCache {
+    pool: KvBlockPool,
+    blocks: Vec<KvBlock>,
+    /// KV dimension, established by the first push (0 = none yet).
+    dim: usize,
+    /// Cached positions.
+    len: usize,
+}
+
+impl PagedKvCache {
+    /// An empty cache over `pool` (no blocks held yet).
+    pub fn new(pool: &KvBlockPool) -> Self {
+        Self {
+            pool: pool.clone(),
+            blocks: Vec::new(),
+            dim: 0,
+            len: 0,
+        }
+    }
+
+    /// The pool this cache allocates from.
+    pub fn pool(&self) -> &KvBlockPool {
+        &self.pool
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Blocks currently held.
+    pub fn blocks_held(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Positions the held blocks can store before the next allocation.
+    pub fn capacity_tokens(&self) -> usize {
+        self.blocks.len() * self.pool.block_tokens()
+    }
+
+    /// Appends one position, allocating a block from the pool when the
+    /// current one is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` and `value` differ in length or disagree with the
+    /// dimension established by earlier pushes, or if the pool's block
+    /// budget is exhausted.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), value.len(), "key/value length mismatch");
+        if self.dim == 0 {
+            assert!(!key.is_empty(), "kv dimension must be positive");
+            self.dim = key.len();
+        } else {
+            assert_eq!(key.len(), self.dim, "kv dimension mismatch");
+        }
+        if self.len == self.capacity_tokens() {
+            self.blocks.push(self.pool.alloc(self.dim));
+        }
+        let block = self.blocks.last_mut().expect("block allocated above");
+        block.keys.extend_from_slice(key);
+        block.values.extend_from_slice(value);
+        self.len += 1;
+    }
+
+    fn slot(&self, t: usize) -> (usize, usize) {
+        assert!(
+            t < self.len,
+            "position {t} out of bounds (len {})",
+            self.len
+        );
+        let bt = self.pool.block_tokens();
+        (t / bt, (t % bt) * self.dim)
+    }
+
+    /// The key vector cached at position `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn key(&self, t: usize) -> &[f32] {
+        let (block, offset) = self.slot(t);
+        &self.blocks[block].keys[offset..offset + self.dim]
+    }
+
+    /// The value vector cached at position `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()`.
+    pub fn value(&self, t: usize) -> &[f32] {
+        let (block, offset) = self.slot(t);
+        &self.blocks[block].values[offset..offset + self.dim]
+    }
+
+    /// Returns every block to the pool and resets to an empty context.
+    pub fn clear(&mut self) {
+        for block in self.blocks.drain(..) {
+            self.pool.release(block);
+        }
+        self.len = 0;
+    }
+}
+
+impl Drop for PagedKvCache {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl Clone for PagedKvCache {
+    /// Deep copy: fresh blocks from the same pool, contents copied.
+    ///
+    /// The copy's blocks are **not** covered by any scheduler-level
+    /// admission reservation, and like any allocation this panics if it
+    /// would exceed the pool's block budget — clone sessions only on
+    /// unbounded pools (or with explicit headroom), not mid-serving.
+    fn clone(&self) -> Self {
+        let mut copy = Self::new(&self.pool);
+        copy.dim = self.dim;
+        for block in &self.blocks {
+            let mut fresh = self.pool.alloc(self.dim.max(1));
+            fresh.keys.extend_from_slice(&block.keys);
+            fresh.values.extend_from_slice(&block.values);
+            copy.blocks.push(fresh);
+        }
+        copy.len = self.len;
+        copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_grow_lazily_and_return_on_clear() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = PagedKvCache::new(&pool);
+        assert_eq!(pool.blocks_in_use(), 0);
+        for t in 0..9 {
+            cache.push(&[t as f32; 2], &[t as f32 + 0.5; 2]);
+        }
+        // 9 tokens at 4 per block = 3 blocks, allocated only as needed.
+        assert_eq!(cache.blocks_held(), 3);
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.key(5), &[5.0; 2]);
+        assert_eq!(cache.value(8), &[8.5; 2]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(pool.blocks_in_use(), 0);
+        assert_eq!(pool.blocks_free(), 3);
+        assert_eq!(pool.blocks_created(), 3);
+    }
+
+    #[test]
+    fn released_blocks_are_recycled_not_recreated() {
+        let pool = KvBlockPool::new(2);
+        for _ in 0..5 {
+            let mut cache = PagedKvCache::new(&pool);
+            for t in 0..6 {
+                cache.push(&[t as f32], &[t as f32]);
+            }
+        } // drop returns blocks each round
+        assert_eq!(pool.blocks_created(), 3, "peak usage, not cumulative");
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn reads_match_a_contiguous_reference_across_block_boundaries() {
+        let pool = KvBlockPool::new(3);
+        let mut cache = PagedKvCache::new(&pool);
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        for t in 0..11 {
+            let k: Vec<f32> = (0..4).map(|i| (t * 4 + i) as f32).collect();
+            let v: Vec<f32> = (0..4).map(|i| -((t * 4 + i) as f32)).collect();
+            cache.push(&k, &v);
+            keys.push(k);
+            values.push(v);
+        }
+        for t in 0..11 {
+            assert_eq!(cache.key(t), &keys[t][..], "key {t}");
+            assert_eq!(cache.value(t), &values[t][..], "value {t}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_tracks_blocks() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = PagedKvCache::new(&pool);
+        assert_eq!(pool.memory_bytes(), 0);
+        for t in 0..5 {
+            cache.push(&[t as f32; 8], &[t as f32; 8]);
+        }
+        // 2 blocks × 2 (k+v) × 4 tokens × 8 floats × 4 bytes.
+        assert_eq!(pool.memory_bytes(), 2 * 2 * 4 * 8 * 4);
+        assert_eq!(pool.in_use_bytes(), pool.memory_bytes());
+        cache.clear();
+        assert_eq!(pool.in_use_bytes(), 0);
+        assert_eq!(
+            pool.memory_bytes(),
+            2 * 2 * 4 * 8 * 4,
+            "free blocks stay resident"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "KV block budget exhausted")]
+    fn budget_exhaustion_panics_with_direction() {
+        let pool = KvBlockPool::with_budget(2, 1);
+        let mut cache = PagedKvCache::new(&pool);
+        for t in 0..3 {
+            cache.push(&[t as f32], &[t as f32]);
+        }
+    }
+
+    #[test]
+    fn available_blocks_tracks_budget() {
+        let pool = KvBlockPool::with_budget(2, 4);
+        assert_eq!(pool.available_blocks(), 4);
+        let mut cache = PagedKvCache::new(&pool);
+        for t in 0..4 {
+            cache.push(&[t as f32], &[t as f32]);
+        }
+        assert_eq!(pool.available_blocks(), 2);
+        drop(cache);
+        assert_eq!(pool.available_blocks(), 4, "released blocks free budget");
+    }
+
+    #[test]
+    fn clone_is_a_deep_copy_with_its_own_blocks() {
+        let pool = KvBlockPool::new(2);
+        let mut cache = PagedKvCache::new(&pool);
+        for t in 0..3 {
+            cache.push(&[t as f32; 2], &[t as f32; 2]);
+        }
+        let copy = cache.clone();
+        assert_eq!(pool.blocks_in_use(), 4, "copy holds its own blocks");
+        cache.push(&[9.0; 2], &[9.0; 2]);
+        assert_eq!(copy.len(), 3);
+        assert_eq!(copy.key(2), &[2.0; 2]);
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones() {
+        let pool = KvBlockPool::new(2);
+        let handle = pool.clone();
+        let mut cache = PagedKvCache::new(&handle);
+        cache.push(&[1.0], &[2.0]);
+        assert_eq!(pool.blocks_in_use(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pool serves one model")]
+    fn mixed_dimensions_on_one_pool_panic() {
+        let pool = KvBlockPool::new(2);
+        let mut a = PagedKvCache::new(&pool);
+        a.push(&[1.0, 2.0], &[3.0, 4.0]);
+        let mut b = PagedKvCache::new(&pool);
+        b.push(&[1.0], &[2.0]);
+    }
+}

@@ -41,6 +41,7 @@ pub mod activation;
 pub mod attention;
 pub mod config;
 pub mod generator;
+pub mod kv;
 pub mod layer;
 pub mod mlp;
 pub mod model;
@@ -51,6 +52,7 @@ pub mod trace;
 
 pub use activation::Activation;
 pub use config::ModelConfig;
+pub use kv::{KvBlockPool, PagedKvCache};
 pub use layer::DecoderLayer;
 pub use mlp::GatedMlp;
 pub use model::Model;

@@ -128,6 +128,20 @@ impl Model {
         }
     }
 
+    /// Starts a decode session whose per-layer KV caches page their
+    /// storage out of `pool`: blocks are allocated lazily as tokens are
+    /// produced and returned the moment the session drops — memory tracks
+    /// tokens actually generated, never a `prompt + max_new` reservation.
+    /// Decoded tokens are bit-identical to any other session layout.
+    pub fn start_paged_session(&self, pool: &crate::kv::KvBlockPool) -> DecodeSession {
+        DecodeSession {
+            caches: (0..self.layers.len())
+                .map(|_| KvCache::paged(pool))
+                .collect(),
+            position: 0,
+        }
+    }
+
     /// Dense forward pass of one token through all layers; advances the
     /// session and returns the logits.
     ///

@@ -237,6 +237,59 @@ mod tests {
     }
 
     #[test]
+    fn greedy_breaks_ties_by_lowest_index() {
+        // argmax over exact ties must be reproducible: first index wins.
+        let tied = Vector::from_vec(vec![0.5, 2.0, 2.0, 2.0, -1.0]);
+        for _ in 0..8 {
+            assert_eq!(Sampler::greedy().sample(&tied), Some(1));
+        }
+    }
+
+    #[test]
+    fn top_k_candidate_set_breaks_ties_by_lowest_index() {
+        // Four logits tie for the top; k=2 must deterministically keep the
+        // two lowest-indexed of them, so every draw lands in {1, 2}.
+        let tied = Vector::from_vec(vec![0.0, 7.0, 7.0, 7.0, 7.0, 3.0]);
+        let mut s = Sampler::top_k(2, 1.0, 31);
+        for _ in 0..64 {
+            let t = s.sample(&tied).unwrap();
+            assert!(t == 1 || t == 2, "tie-break let index {t} in");
+        }
+        // The same seed over the same tied logits replays identically —
+        // tie handling must not introduce hidden order dependence.
+        let mut a = Sampler::top_k(3, 0.9, 77);
+        let mut b = Sampler::top_k(3, 0.9, 77);
+        let draws_a: Vec<_> = (0..32).map(|_| a.sample(&tied)).collect();
+        let draws_b: Vec<_> = (0..32).map(|_| b.sample(&tied)).collect();
+        assert_eq!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn top_k_of_one_is_greedy_even_under_ties() {
+        let tied = Vector::from_vec(vec![4.0, 9.0, 9.0, 2.0]);
+        let mut s = Sampler::top_k(1, 5.0, 13);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&tied), Some(1), "k=1 must argmax with ties");
+        }
+    }
+
+    #[test]
+    fn vanishing_temperature_degrades_to_greedy() {
+        // As T → 0 the softmax collapses onto the argmax: a tiny but
+        // positive temperature must reproduce greedy on every draw, for
+        // both the full-vocab and the top-k samplers.
+        let l = logits();
+        let argmax = Sampler::greedy().sample(&l);
+        let mut t = Sampler::temperature(1e-6, 5);
+        let mut tk = Sampler::top_k(3, 1e-6, 5);
+        assert!(t.is_stochastic(), "positive temperature stays a sampler");
+        for _ in 0..128 {
+            assert_eq!(t.sample(&l), argmax);
+            assert_eq!(tk.sample(&l), argmax);
+        }
+    }
+
+    #[test]
     fn empty_logits_sample_none() {
         assert_eq!(Sampler::greedy().sample(&Vector::zeros(0)), None);
         assert_eq!(Sampler::temperature(1.0, 0).sample(&Vector::zeros(0)), None);

@@ -1,9 +1,19 @@
-//! Batched multi-session decoding: one scheduler, many concurrent requests.
+//! Closed-batch decoding: the offline-evaluation face of the
+//! [`Scheduler`](crate::scheduler::Scheduler).
 //!
-//! A [`Batch`] owns a set of (engine, request) pairs — dense and sparse
-//! engines mix freely because everything is `Box<dyn Engine>` — and
-//! advances them in round-robin order, one model step per request per
-//! [`tick`](Batch::tick). Every request keeps its own
+//! A [`Batch`] is a thin wrapper over a pre-loaded continuous-batching
+//! scheduler with admission limits disabled
+//! ([`SchedulerConfig::unbounded`]): every pushed request is admitted on
+//! the first tick and advances round-robin, one model step per request per
+//! [`tick`](Batch::tick) — exactly the closed push-everything-then-`run()`
+//! model the evaluation harness and the paper experiments want. Everything
+//! load-bearing — slot advancement, retirement, paged KV reclamation,
+//! per-request accounting, deterministic event order — lives in the
+//! scheduler; this wrapper only pins the closed-world configuration and
+//! the push-order output contract. Serving paths that need mid-run
+//! admission, capacity control or cancellation use the scheduler directly.
+//!
+//! Every request keeps its own
 //! [`DecodeSession`](sparseinfer_model::model::DecodeSession), sampler
 //! stream and op counters, so interleaving changes *scheduling* only: the
 //! tokens of each request are bit-identical to running it alone (proven by
@@ -33,102 +43,16 @@
 //! assert!(outputs.iter().all(|o| o.tokens.len() == 4));
 //! ```
 
-use sparseinfer_tensor::{ParallelOptions, ThreadPool};
+use sparseinfer_tensor::ParallelOptions;
 
-use crate::engine::{Engine, MemoryEstimate, SparsityStats};
+use crate::engine::{Engine, MemoryEstimate};
 use crate::error::EngineError;
-use crate::ops::OpCounter;
-use crate::request::{FinishReason, GenerateRequest, RequestRun, TokenEvent};
+use crate::request::GenerateRequest;
+use crate::scheduler::{Scheduler, SchedulerConfig};
 
-/// A token emitted by one request inside a batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BatchEvent {
-    /// The request id returned by [`Batch::push`].
-    pub request: usize,
-    /// Zero-based position in that request's continuation.
-    pub index: usize,
-    /// The token id.
-    pub token: u32,
-}
+pub use crate::scheduler::{BatchEvent, BatchOutput};
 
-/// The finished result of one batched request, with per-request accounting.
-#[derive(Debug, Clone)]
-pub struct BatchOutput {
-    /// The request id returned by [`Batch::push`].
-    pub id: usize,
-    /// The generated tokens.
-    pub tokens: Vec<u32>,
-    /// Why decoding stopped.
-    pub finish: FinishReason,
-    /// Operations this request executed (prefill through the bare model is
-    /// not counted, matching the single-request path).
-    pub ops: OpCounter,
-    /// Sparsity statistics, for sparse engines.
-    pub stats: Option<SparsityStats>,
-    /// The engine configuration name that served the request.
-    pub engine: String,
-}
-
-struct Slot<'m> {
-    id: usize,
-    state: SlotState<'m>,
-    /// Event produced by the most recent tick (drained in slot order so
-    /// streaming callbacks see a deterministic sequence even when slots
-    /// advance on worker threads).
-    last_event: Option<TokenEvent>,
-}
-
-/// A slot's decode memory lives only while the request does: the moment a
-/// run finishes, the slot **retires** — engine scratch (workspace pool,
-/// predictor scratch, masks) and the session's KV cache are dropped, and
-/// only the finished [`BatchOutput`] stays resident. A batch with N
-/// finished and one live request therefore costs what a 1-slot batch costs,
-/// within the size of the outputs themselves (asserted by the serving
-/// integration tests via [`Batch::memory_estimate`]).
-enum SlotState<'m> {
-    Live {
-        engine: Box<dyn Engine + 'm>,
-        run: RequestRun,
-    },
-    Done(BatchOutput),
-}
-
-impl<'m> Slot<'m> {
-    /// Converts a finished live run into its output, dropping the engine's
-    /// per-session scratch and the run's KV cache.
-    fn retire_if_finished(&mut self) {
-        let finished = matches!(&self.state, SlotState::Live { run, .. } if run.finished());
-        if !finished {
-            return;
-        }
-        // Two-step replace: the placeholder is overwritten before anyone
-        // can observe it.
-        let state = std::mem::replace(
-            &mut self.state,
-            SlotState::Done(BatchOutput {
-                id: self.id,
-                tokens: Vec::new(),
-                finish: FinishReason::MaxTokens,
-                ops: OpCounter::default(),
-                stats: None,
-                engine: String::new(),
-            }),
-        );
-        if let SlotState::Live { engine, run } = state {
-            let generation = run.into_generation();
-            self.state = SlotState::Done(BatchOutput {
-                id: self.id,
-                tokens: generation.tokens,
-                finish: generation.finish,
-                ops: *engine.ops(),
-                stats: engine.stats().cloned(),
-                engine: engine.name().to_string(),
-            });
-        }
-    }
-}
-
-/// A round-robin scheduler over concurrent decode sessions.
+/// A closed round-robin batch over concurrent decode sessions.
 ///
 /// Fairness is strict: each [`tick`](Batch::tick) advances every live
 /// request by exactly one model step, so short prompts start decoding while
@@ -138,27 +62,30 @@ impl<'m> Slot<'m> {
 /// sessions on worker threads (sessions share no mutable state — engines
 /// behind shared `Arc` predictors read them concurrently); tokens and
 /// callback order are bit-identical to the sequential schedule.
-#[derive(Default)]
 pub struct Batch<'m> {
-    slots: Vec<Slot<'m>>,
-    pool: ThreadPool,
+    scheduler: Scheduler<'m>,
+}
+
+impl Default for Batch<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl std::fmt::Debug for Batch<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Batch")
-            .field("requests", &self.slots.len())
+            .field("requests", &self.len())
             .field("active", &self.active_requests())
             .finish()
     }
 }
 
 impl<'m> Batch<'m> {
-    /// An empty batch.
+    /// An empty batch (an unbounded scheduler: no slot cap, no KV budget).
     pub fn new() -> Self {
         Self {
-            slots: Vec::new(),
-            pool: ThreadPool::single(),
+            scheduler: Scheduler::new(SchedulerConfig::unbounded()),
         }
     }
 
@@ -166,7 +93,7 @@ impl<'m> Batch<'m> {
     /// to `parallel.threads` sessions concurrently. Token streams are
     /// bit-identical to the sequential schedule.
     pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
-        self.pool = ThreadPool::new(parallel);
+        self.scheduler = self.scheduler.parallel(parallel);
         self
     }
 
@@ -176,66 +103,43 @@ impl<'m> Batch<'m> {
     ///
     /// # Errors
     ///
-    /// [`EngineError::EmptyPrompt`] if the request's prompt is empty.
+    /// [`EngineError::EmptyPrompt`] if the request's prompt is empty;
+    /// [`EngineError::KvDimensionMismatch`] if the engine's model uses a
+    /// different KV dimension than earlier pushes — all of a batch's
+    /// sessions page out of one shared block pool, so one batch serves
+    /// models of one KV width (mixed engine *kinds* over one model, and
+    /// distinct models agreeing on `hidden_dim`, mix freely as before).
     pub fn push(
         &mut self,
-        mut engine: Box<dyn Engine + 'm>,
+        engine: Box<dyn Engine + 'm>,
         req: &GenerateRequest,
     ) -> Result<usize, EngineError> {
-        let run = RequestRun::new(req, engine.as_ref())?;
-        engine.reset_ops();
-        let id = self.slots.len();
-        self.slots.push(Slot {
-            id,
-            state: SlotState::Live { engine, run },
-            last_event: None,
-        });
-        Ok(id)
+        self.scheduler.submit(engine, req).map(|handle| handle.id())
     }
 
     /// Shared-vs-per-session memory of the batch's execution state: shared
     /// predictor bytes are counted **once per distinct predictor**
-    /// (deduplicated by `Arc` identity), per-session bytes once per *live*
-    /// slot — the measurable form of the O(1)-batch-memory property.
-    /// Finished slots have already dropped their engine scratch and KV
-    /// cache, so they contribute nothing.
+    /// (deduplicated by `Arc` identity), per-session bytes — engine
+    /// scratch plus the KV blocks live sessions hold — once per unfinished
+    /// request. Finished requests have already dropped their engine
+    /// scratch and returned their KV blocks, so they contribute nothing.
     pub fn memory_estimate(&self) -> MemoryEstimate {
-        let mut seen = Vec::new();
-        let mut total = MemoryEstimate::default();
-        for slot in &self.slots {
-            let SlotState::Live { engine, .. } = &slot.state else {
-                continue;
-            };
-            let est = engine.memory_estimate();
-            total.per_session_bytes += est.per_session_bytes;
-            match engine.shared_state_id() {
-                Some(id) if seen.contains(&id) => {}
-                Some(id) => {
-                    seen.push(id);
-                    total.shared_bytes += est.shared_bytes;
-                }
-                None => total.shared_bytes += est.shared_bytes,
-            }
-        }
-        total
+        self.scheduler.memory_estimate()
     }
 
     /// Number of requests in the batch (finished or not).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.scheduler.submitted()
     }
 
     /// Whether the batch holds no requests.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
-    /// Number of requests still decoding.
+    /// Number of requests still decoding (or awaiting their first tick).
     pub fn active_requests(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| matches!(&s.state, SlotState::Live { run, .. } if !run.finished()))
-            .count()
+        self.scheduler.unfinished_requests()
     }
 
     /// Advances every live request by one model step — concurrently when
@@ -244,53 +148,25 @@ impl<'m> Batch<'m> {
     /// the number of requests still active afterwards.
     ///
     /// A slot whose engine fails mid-decode ([`EngineError`]) finishes with
-    /// [`FinishReason::Failed`] and retires like any other; the batch keeps
-    /// serving its remaining requests. Slots that finish this tick release
-    /// their decode memory (engine scratch, workspace, KV cache)
-    /// immediately rather than when the batch is dropped.
-    pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
-        self.pool.run_tasks(&mut self.slots, |_, slot| {
-            if let SlotState::Live { engine, run } = &mut slot.state {
-                // An Err has already marked the run finished with a
-                // Failed reason; retirement below records it.
-                slot.last_event = run.advance(engine.as_mut()).unwrap_or(None);
-            }
-            slot.retire_if_finished();
-        });
-        for slot in &mut self.slots {
-            if let Some(TokenEvent { index, token }) = slot.last_event.take() {
-                on_token(BatchEvent {
-                    request: slot.id,
-                    index,
-                    token,
-                });
-            }
-        }
-        self.active_requests()
+    /// [`crate::request::FinishReason::Failed`] and retires like any other;
+    /// the batch keeps serving its remaining requests. Slots that finish
+    /// this tick release their decode memory (engine scratch, workspace,
+    /// KV blocks) immediately rather than when the batch is dropped.
+    pub fn tick(&mut self, on_token: impl FnMut(BatchEvent)) -> usize {
+        self.scheduler.tick(on_token)
     }
 
     /// Runs every request to completion and returns the outputs in push
     /// order.
     pub fn run(self) -> Vec<BatchOutput> {
-        self.run_streaming(|_| {})
+        self.scheduler.run()
     }
 
     /// Runs every request to completion, streaming each token through
-    /// `on_token` as it is produced, interleaved across requests.
-    pub fn run_streaming(mut self, mut on_token: impl FnMut(BatchEvent)) -> Vec<BatchOutput> {
-        while self.tick(&mut on_token) > 0 {}
-        self.slots
-            .into_iter()
-            .map(|mut slot| {
-                slot.retire_if_finished();
-                match slot.state {
-                    SlotState::Done(output) => output,
-                    SlotState::Live { .. } => {
-                        unreachable!("every run has finished when the tick loop exits")
-                    }
-                }
-            })
-            .collect()
+    /// `on_token` as it is produced, interleaved across requests. Outputs
+    /// are returned in push order.
+    pub fn run_streaming(self, on_token: impl FnMut(BatchEvent)) -> Vec<BatchOutput> {
+        self.scheduler.run_streaming(on_token)
     }
 }
 
@@ -298,6 +174,8 @@ impl<'m> Batch<'m> {
 mod tests {
     use super::*;
     use crate::engine::EngineBuilder;
+    use crate::ops::OpCounter;
+    use crate::request::FinishReason;
     use sparseinfer_model::generator::WeightGenerator;
     use sparseinfer_model::{Model, ModelConfig};
     use sparseinfer_predictor::AlphaSchedule;
@@ -389,7 +267,11 @@ mod tests {
             build(&m, 2, &mut batch);
         }
         build(&m, 24, &mut batch);
-        let full = batch.memory_estimate().total();
+        let full = {
+            // Warm every slot first so the estimate sees live buffers.
+            batch.tick(|_| {});
+            batch.memory_estimate().total()
+        };
         while batch.active_requests() > 1 {
             batch.tick(|_| {});
         }

@@ -35,10 +35,11 @@
 //! through one [`DecodeSession`] and writes logits into a caller-owned
 //! buffer — the allocation-free decode hot path. Everything above it —
 //! sampling policies, [`GenerateRequest`](crate::request::GenerateRequest)s,
-//! streaming callbacks, and the round-robin [`Batch`](crate::batch::Batch)
-//! scheduler that interleaves many concurrent sessions — composes against
-//! `&mut dyn Engine`, so batching, sharding and async layers can be added
-//! without touching the execution cores.
+//! streaming callbacks, and the continuous-batching
+//! [`Scheduler`](crate::scheduler::Scheduler) that admits, interleaves and
+//! retires many concurrent sessions — composes against `&mut dyn Engine`,
+//! so batching, sharding and async layers can be added without touching
+//! the execution cores.
 //!
 //! # Hot-path architecture
 //!

@@ -21,6 +21,28 @@ pub enum EngineError {
     /// engine step — an engine-implementation bug surfaced as an error so
     /// a serving process drops the request instead of aborting.
     MissingLogits,
+    /// A request's worst-case KV footprint (`prompt + max_new` tokens
+    /// across every layer) exceeds the scheduler's total block budget: it
+    /// could never be admitted, so [`submit`](crate::scheduler::Scheduler::submit)
+    /// rejects it up front instead of queueing it forever.
+    KvBudgetExceeded {
+        /// Blocks the request needs in the worst case.
+        required_blocks: usize,
+        /// The scheduler's total KV block budget.
+        budget_blocks: usize,
+    },
+    /// The engine's model uses a different KV dimension than the models
+    /// already submitted to this scheduler. One scheduler pages every
+    /// session out of one fixed-block-size [`KvBlockPool`](sparseinfer_model::kv::KvBlockPool),
+    /// so all of its models must agree on the per-position KV width;
+    /// [`submit`](crate::scheduler::Scheduler::submit) rejects the
+    /// mismatch up front instead of panicking mid-decode.
+    KvDimensionMismatch {
+        /// KV dimension the scheduler's pool serves.
+        scheduler_dim: usize,
+        /// KV dimension of the submitted engine's model.
+        model_dim: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -47,6 +69,23 @@ impl std::fmt::Display for EngineError {
                     "decode reached sampling without logits from an engine step"
                 )
             }
+            EngineError::KvBudgetExceeded {
+                required_blocks,
+                budget_blocks,
+            } => write!(
+                f,
+                "request needs up to {required_blocks} KV blocks but the scheduler's \
+                 budget is {budget_blocks}: it can never be admitted"
+            ),
+            EngineError::KvDimensionMismatch {
+                scheduler_dim,
+                model_dim,
+            } => write!(
+                f,
+                "engine's model has KV dimension {model_dim} but this scheduler's \
+                 pool serves dimension {scheduler_dim}: one scheduler pages one \
+                 KV width"
+            ),
         }
     }
 }

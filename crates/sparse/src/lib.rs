@@ -21,9 +21,16 @@
 //! * [`request`](mod@crate::request) — [`GenerateRequest`]s, seeded
 //!   [`Sampler`](sparseinfer_model::Sampler) policies, streaming per-token
 //!   callbacks.
-//! * [`batch`](mod@crate::batch) — the round-robin [`Batch`] scheduler that
-//!   interleaves decode steps across many concurrent sessions with
-//!   per-request accounting.
+//! * [`scheduler`](mod@crate::scheduler) — **the serving entry point**: a
+//!   continuous-batching [`Scheduler`] over a paged KV cache
+//!   ([`KvBlockPool`](sparseinfer_model::kv::KvBlockPool)). Requests
+//!   [`submit`](Scheduler::submit) at any time (including mid-run), are
+//!   admitted FIFO under `max_slots` and a KV-block budget, can be
+//!   cancelled through a [`RequestHandle`], and release their KV blocks
+//!   the moment they finish.
+//! * [`batch`](mod@crate::batch) — the closed round-robin [`Batch`]
+//!   wrapper over a pre-loaded, unbounded scheduler, for offline
+//!   evaluation workloads.
 //! * [`ops`](mod@crate::ops) — operation and byte accounting that regenerates
 //!   Table I.
 //!
@@ -57,8 +64,9 @@ pub mod mlp;
 pub mod ops;
 pub mod quantized;
 pub mod request;
+pub mod scheduler;
 
-pub use batch::{Batch, BatchEvent, BatchOutput};
+pub use batch::Batch;
 pub use engine::{
     DenseEngine, Engine, EngineBuilder, EngineOptions, MemoryEstimate, SparseEngine, SparsityStats,
 };
@@ -67,3 +75,4 @@ pub use mlp::SparseMlpOutput;
 pub use ops::OpCounter;
 pub use quantized::QuantizedGatedMlp;
 pub use request::{FinishReason, GenerateRequest, Generation, TokenEvent};
+pub use scheduler::{BatchEvent, BatchOutput, RequestHandle, Scheduler, SchedulerConfig};

@@ -12,6 +12,7 @@
 //! last token goes through the engine so decode statistics start with the
 //! first generated token.
 
+use sparseinfer_model::kv::{KvBlockPool, DEFAULT_BLOCK_TOKENS};
 use sparseinfer_model::model::DecodeSession;
 use sparseinfer_model::sampling::Sampler;
 use sparseinfer_tensor::Vector;
@@ -26,11 +27,15 @@ pub enum FinishReason {
     MaxTokens,
     /// A stop token was sampled (the token is not part of the output).
     Stop(u32),
+    /// The request was cancelled (queued or mid-stream) through a
+    /// [`RequestHandle`](crate::scheduler::RequestHandle); the tokens
+    /// generated before the cancellation are preserved.
+    Cancelled,
     /// Decoding failed mid-run; the tokens generated before the failure
-    /// are preserved. Produced by the [`Batch`](crate::batch::Batch)
-    /// scheduler, which must keep serving its other slots — the
-    /// single-request [`generate`] path surfaces the error as `Err`
-    /// instead.
+    /// are preserved. Produced by the
+    /// [`Scheduler`](crate::scheduler::Scheduler), which must keep serving
+    /// its other slots — the single-request [`generate`] path surfaces the
+    /// error as `Err` instead.
     Failed(EngineError),
 }
 
@@ -134,12 +139,32 @@ pub struct RequestRun {
 
 impl RequestRun {
     /// Prepares a run of `req` on `engine` (fresh session, resolved
-    /// sampler).
+    /// sampler) over a **private** KV block pool: cache blocks are
+    /// allocated lazily as tokens are produced — a request that stops at
+    /// token three never paid for `prompt + max_new` positions of KV.
+    /// Serving layers that multiplex many runs over one budgeted pool use
+    /// [`with_kv_pool`](Self::with_kv_pool) instead.
     ///
     /// # Errors
     ///
     /// [`EngineError::EmptyPrompt`] if the prompt is empty.
     pub fn new(req: &GenerateRequest, engine: &dyn Engine) -> Result<Self, EngineError> {
+        Self::with_kv_pool(req, engine, &KvBlockPool::new(DEFAULT_BLOCK_TOKENS))
+    }
+
+    /// Prepares a run whose session pages its KV storage out of `pool` —
+    /// the entry point the continuous-batching
+    /// [`Scheduler`](crate::scheduler::Scheduler) uses so every slot
+    /// draws on one budgeted pool and returns its blocks at retirement.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty.
+    pub fn with_kv_pool(
+        req: &GenerateRequest,
+        engine: &dyn Engine,
+        pool: &KvBlockPool,
+    ) -> Result<Self, EngineError> {
         if req.prompt.is_empty() {
             return Err(EngineError::EmptyPrompt);
         }
@@ -153,11 +178,9 @@ impl RequestRun {
             max_new: req.max_new,
             stop: req.stop.clone(),
             sampler,
-            // Reserve KV capacity for the whole request up front so decode
-            // never reallocates cache storage.
-            session: engine
-                .model()
-                .start_session_with_capacity(req.prompt.len() + req.max_new),
+            // Lazy paged growth: blocks are allocated as tokens are
+            // produced, never reserved for the whole budget up front.
+            session: engine.model().start_paged_session(pool),
             logits: Vector::zeros(0),
             has_logits: false,
             tokens: Vec::new(),
@@ -175,6 +198,22 @@ impl RequestRun {
     /// Whether the run has finished.
     pub fn finished(&self) -> bool {
         self.finish.is_some()
+    }
+
+    /// Marks a still-running request as cancelled: the next
+    /// [`advance`](Self::advance) is a no-op and retirement records
+    /// [`FinishReason::Cancelled`] with the tokens produced so far. A run
+    /// that already finished keeps its original reason.
+    pub fn cancel(&mut self) {
+        if self.finish.is_none() {
+            self.finish = Some(FinishReason::Cancelled);
+        }
+    }
+
+    /// Context tokens absorbed so far (prompt fed plus tokens decoded) —
+    /// the quantity KV memory is proportional to under paged growth.
+    pub fn context_len(&self) -> usize {
+        self.session.context_len()
     }
 
     /// The tokens generated so far.

@@ -1,0 +1,923 @@
+//! Continuous-batching scheduler: requests join, decode, cancel and retire
+//! **while the engine is running**.
+//!
+//! The closed [`Batch`](crate::batch::Batch) model — push everything, then
+//! run — is fine for offline evaluation but is the wrong shape for serving:
+//! real traffic churns. This module is the serving loop proper:
+//!
+//! * [`Scheduler::submit`] accepts a request **at any time**, including
+//!   mid-run, and returns a [`RequestHandle`] that can cancel it (queued or
+//!   mid-stream).
+//! * Each [`tick`](Scheduler::tick) first **admits** queued requests — in
+//!   strict FIFO order, up to [`max_slots`](SchedulerConfig::max_slots)
+//!   concurrent decodes and within the KV block budget — then advances
+//!   every live slot by one model step.
+//! * Admission is **capacity-based**: a request is admitted only when its
+//!   worst-case KV footprint (`prompt + max_new` tokens across every
+//!   layer) fits in the unreserved remainder of the pool budget, so the
+//!   pool can never be exhausted mid-decode and nothing ever needs to be
+//!   preempted. Actual allocation stays **lazy** — a request that stops
+//!   after three tokens only ever allocated blocks for three tokens — so
+//!   the reservation is an upper bound the blocks of finished requests
+//!   immediately flow back out of.
+//! * The moment a request finishes (budget, stop token, cancellation or
+//!   failure) its slot **retires**: engine scratch, workspace and the
+//!   session's KV blocks are released and the freed capacity admits the
+//!   next queued request on the very next tick.
+//!
+//! # Determinism contract
+//!
+//! Admission is FIFO (head-of-line blocking included: when the oldest
+//! queued request does not fit, nothing younger jumps it), slots advance in
+//! admission order, and events are delivered in slot order — so a fixed
+//! submission sequence yields a fixed admission schedule, a fixed event
+//! stream, and **bit-identical tokens per request to running that request
+//! alone**, at any slot-thread count ([`parallel`](Scheduler::parallel))
+//! and any kernel-thread count. Interleaving is pure scheduling; it never
+//! touches the math.
+//!
+//! # Example
+//!
+//! ```
+//! use sparseinfer_model::{generator::WeightGenerator, ModelConfig};
+//! use sparseinfer_sparse::engine::EngineBuilder;
+//! use sparseinfer_sparse::request::GenerateRequest;
+//! use sparseinfer_sparse::scheduler::{Scheduler, SchedulerConfig};
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 3).build();
+//! let mut scheduler = Scheduler::new(SchedulerConfig {
+//!     max_slots: 2,                  // at most two concurrent decodes
+//!     block_tokens: 8,               // KV page granularity
+//!     kv_block_budget: usize::MAX,   // no memory cap in this example
+//! });
+//! let first = scheduler
+//!     .submit(
+//!         EngineBuilder::new(&model).build().unwrap(),
+//!         &GenerateRequest::new(&[1, 2]).max_new(4),
+//!     )
+//!     .unwrap();
+//! scheduler.tick(|_| {}); // decoding has started…
+//! let late = scheduler
+//!     .submit(
+//!         EngineBuilder::new(&model).build().unwrap(),
+//!         &GenerateRequest::new(&[3]).max_new(3),
+//!     )
+//!     .unwrap(); // …and this request joins mid-run on the next tick.
+//! let outputs = scheduler.run();
+//! assert_eq!(outputs.len(), 2);
+//! assert_eq!(outputs[0].id, first.id());
+//! assert_eq!(outputs[1].id, late.id());
+//! assert_eq!(outputs[1].tokens.len(), 3);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sparseinfer_model::kv::{KvBlockPool, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_tensor::{ParallelOptions, ThreadPool};
+
+use crate::engine::{Engine, MemoryEstimate, SparsityStats};
+use crate::error::EngineError;
+use crate::ops::OpCounter;
+use crate::request::{FinishReason, GenerateRequest, RequestRun, TokenEvent};
+
+/// A token emitted by one request inside a scheduler or batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// The request id returned by [`Scheduler::submit`] /
+    /// [`Batch::push`](crate::batch::Batch::push).
+    pub request: usize,
+    /// Zero-based position in that request's continuation.
+    pub index: usize,
+    /// The token id.
+    pub token: u32,
+}
+
+/// The finished result of one scheduled request, with per-request
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// The request id returned by [`Scheduler::submit`] /
+    /// [`Batch::push`](crate::batch::Batch::push).
+    pub id: usize,
+    /// The generated tokens.
+    pub tokens: Vec<u32>,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+    /// Operations this request executed (prefill through the bare model is
+    /// not counted, matching the single-request path).
+    pub ops: OpCounter,
+    /// Sparsity statistics, for sparse engines.
+    pub stats: Option<SparsityStats>,
+    /// The engine configuration name that served the request.
+    pub engine: String,
+}
+
+/// Admission-control knobs of a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently decoding requests. Queued requests past this
+    /// wait for a slot to retire.
+    pub max_slots: usize,
+    /// Tokens per KV block — the paging granularity. Smaller blocks waste
+    /// less on short answers; larger blocks take the pool lock less often.
+    pub block_tokens: usize,
+    /// Total KV blocks the scheduler's pool may ever hold (across all
+    /// layers of all live requests). Admission reserves each request's
+    /// worst case against this, so decode can never run out mid-flight.
+    /// `usize::MAX` disables the memory gate.
+    pub kv_block_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    /// Eight slots, default block size, no KV budget.
+    fn default() -> Self {
+        Self {
+            max_slots: 8,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            kv_block_budget: usize::MAX,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// No admission limits at all: every submitted request is admitted on
+    /// the next tick — the configuration the closed
+    /// [`Batch`](crate::batch::Batch) wrapper runs on.
+    pub fn unbounded() -> Self {
+        Self {
+            max_slots: usize::MAX,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            kv_block_budget: usize::MAX,
+        }
+    }
+}
+
+/// A cancellation handle for one submitted request.
+///
+/// Cloneable and thread-safe; [`cancel`](Self::cancel) takes effect at the
+/// start of the next tick, whether the request is still queued or already
+/// decoding. The request still appears in the outputs, finished with
+/// [`FinishReason::Cancelled`] and whatever tokens it had produced.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    id: usize,
+    cancel: Arc<AtomicBool>,
+}
+
+impl RequestHandle {
+    /// The request id (also [`BatchOutput::id`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// A request waiting for admission.
+struct QueuedRequest<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    req: GenerateRequest,
+    cancel: Arc<AtomicBool>,
+    /// Worst-case KV blocks (`prompt + max_new` tokens × layers) reserved
+    /// at admission.
+    worst_blocks: usize,
+}
+
+/// A request occupying a decode slot.
+struct LiveSlot<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    run: RequestRun,
+    cancel: Arc<AtomicBool>,
+    worst_blocks: usize,
+    /// Event produced by the most recent tick (drained in slot order so
+    /// streaming callbacks see a deterministic sequence even when slots
+    /// advance on worker threads).
+    last_event: Option<TokenEvent>,
+}
+
+impl<'m> LiveSlot<'m> {
+    /// Consumes a finished slot into its output, dropping the engine's
+    /// per-session scratch and returning the session's KV blocks to the
+    /// pool.
+    fn into_output(self) -> BatchOutput {
+        let generation = self.run.into_generation();
+        BatchOutput {
+            id: self.id,
+            tokens: generation.tokens,
+            finish: generation.finish,
+            ops: *self.engine.ops(),
+            stats: self.engine.stats().cloned(),
+            engine: self.engine.name().to_string(),
+        }
+    }
+}
+
+/// The output of a request that never occupied a decode slot (cancelled in
+/// the queue, or — defensively — failed at admission): no tokens, counters
+/// as the engine left them.
+fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
+    BatchOutput {
+        id: q.id,
+        tokens: Vec::new(),
+        finish,
+        ops: *q.engine.ops(),
+        stats: q.engine.stats().cloned(),
+        engine: q.engine.name().to_string(),
+    }
+}
+
+/// A continuous-batching scheduler over a paged KV cache.
+///
+/// See the [module docs](self) for the serving model and the determinism
+/// contract. Constructed via [`new`](Scheduler::new) (plus
+/// [`parallel`](Scheduler::parallel) for slot-level thread parallelism);
+/// driven either tick by tick ([`tick`](Scheduler::tick) +
+/// [`take_finished`](Scheduler::take_finished), the open-ended serving
+/// loop) or to completion ([`run`](Scheduler::run) /
+/// [`run_streaming`](Scheduler::run_streaming)).
+pub struct Scheduler<'m> {
+    config: SchedulerConfig,
+    pool: ThreadPool,
+    kv: KvBlockPool,
+    queue: VecDeque<QueuedRequest<'m>>,
+    slots: Vec<LiveSlot<'m>>,
+    finished: Vec<BatchOutput>,
+    next_id: usize,
+    /// Worst-case blocks reserved by the live slots.
+    reserved_blocks: usize,
+    /// KV dimension established by the first submission: every session
+    /// pages out of one fixed-block-size pool, so later submissions must
+    /// match (validated in [`submit`](Self::submit)).
+    kv_dim: Option<usize>,
+}
+
+impl std::fmt::Debug for Scheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("queued", &self.queue.len())
+            .field("active", &self.slots.len())
+            .field("finished", &self.finished.len())
+            .field("reserved_blocks", &self.reserved_blocks)
+            .finish()
+    }
+}
+
+impl<'m> Scheduler<'m> {
+    /// An empty scheduler with the given admission-control configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_slots`, `config.block_tokens` or
+    /// `config.kv_block_budget` is zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.max_slots > 0, "max_slots must be positive");
+        Self {
+            kv: KvBlockPool::with_budget(config.block_tokens, config.kv_block_budget),
+            config,
+            pool: ThreadPool::single(),
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            reserved_blocks: 0,
+            kv_dim: None,
+        }
+    }
+
+    /// Sets slot-level parallelism: each tick advances up to
+    /// `parallel.threads` live slots concurrently. Token streams and event
+    /// order are bit-identical to the sequential schedule.
+    pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
+        self.pool = ThreadPool::new(parallel);
+        self
+    }
+
+    /// Uses an existing worker pool for slot-level parallelism (the
+    /// scheduler analogue of
+    /// [`EngineBuilder::pool`](crate::engine::EngineBuilder::pool)).
+    pub fn slot_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The admission-control configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The scheduler's KV block pool — exposed for capacity monitoring
+    /// (`blocks_in_use`, `memory_bytes`) and tests.
+    pub fn kv_pool(&self) -> &KvBlockPool {
+        &self.kv
+    }
+
+    /// Worst-case KV blocks `req` can ever need on `engine`'s model: one
+    /// cache per layer, each holding up to `prompt + max_new` tokens.
+    fn worst_case_blocks(&self, engine: &dyn Engine, req: &GenerateRequest) -> usize {
+        let worst_tokens = req.prompt.len() + req.max_new;
+        engine.model().layers().len() * self.kv.blocks_for_tokens(worst_tokens)
+    }
+
+    /// Submits a request, at any time — before the first tick or while
+    /// other requests are mid-decode. The request waits in a FIFO
+    /// admission queue until a slot and enough unreserved KV budget are
+    /// available. The engine's counters are reset so the eventual
+    /// [`BatchOutput::ops`] is exactly this request's work.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty;
+    /// [`EngineError::KvBudgetExceeded`] if the request's worst-case KV
+    /// footprint exceeds the *total* budget (it could never be admitted);
+    /// [`EngineError::KvDimensionMismatch`] if the engine's model uses a
+    /// different KV dimension than this scheduler's earlier submissions —
+    /// every session pages out of one shared pool of fixed-size blocks,
+    /// so one scheduler serves models of one KV width (mixed *engine
+    /// kinds* over one model remain fully supported).
+    pub fn submit(
+        &mut self,
+        mut engine: Box<dyn Engine + 'm>,
+        req: &GenerateRequest,
+    ) -> Result<RequestHandle, EngineError> {
+        if req.prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let model_dim = engine.model().config().hidden_dim;
+        if let Some(dim) = self.kv_dim {
+            if dim != model_dim {
+                return Err(EngineError::KvDimensionMismatch {
+                    scheduler_dim: dim,
+                    model_dim,
+                });
+            }
+        }
+        let worst_blocks = self.worst_case_blocks(engine.as_ref(), req);
+        if worst_blocks > self.config.kv_block_budget {
+            return Err(EngineError::KvBudgetExceeded {
+                required_blocks: worst_blocks,
+                budget_blocks: self.config.kv_block_budget,
+            });
+        }
+        // Latch the pool's dimension only once the request is accepted — a
+        // rejected submit must not pin the scheduler to its model.
+        self.kv_dim = Some(model_dim);
+        engine.reset_ops();
+        let id = self.next_id;
+        self.next_id += 1;
+        let cancel = Arc::new(AtomicBool::new(false));
+        self.queue.push_back(QueuedRequest {
+            id,
+            engine,
+            req: req.clone(),
+            cancel: Arc::clone(&cancel),
+            worst_blocks,
+        });
+        Ok(RequestHandle { id, cancel })
+    }
+
+    /// Admits queued requests in FIFO order while a slot is free and the
+    /// head of the queue fits in the unreserved KV budget. Head-of-line
+    /// blocking is deliberate: skipping ahead would make the admission
+    /// schedule depend on sizes, not order, breaking both fairness and the
+    /// determinism contract.
+    fn admit(&mut self) {
+        // Cancelled-while-queued requests retire immediately, wherever
+        // they sit in the queue: cancellation's point is to release the
+        // engine's memory now, and it must not wait behind a blocked
+        // queue head. (Dropping entries never reorders the survivors, so
+        // FIFO determinism is untouched.)
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].cancel.load(Ordering::Relaxed) {
+                let q = self.queue.remove(i).expect("index in bounds");
+                self.finished
+                    .push(unstarted_output(q, FinishReason::Cancelled));
+            } else {
+                i += 1;
+            }
+        }
+        loop {
+            let Some(front) = self.queue.front() else {
+                return;
+            };
+            if self.slots.len() >= self.config.max_slots
+                || self.reserved_blocks + front.worst_blocks > self.config.kv_block_budget
+            {
+                return;
+            }
+            let q = self.queue.pop_front().expect("front exists");
+            match RequestRun::with_kv_pool(&q.req, q.engine.as_ref(), &self.kv) {
+                Ok(run) => {
+                    self.reserved_blocks += q.worst_blocks;
+                    self.slots.push(LiveSlot {
+                        id: q.id,
+                        engine: q.engine,
+                        run,
+                        cancel: q.cancel,
+                        worst_blocks: q.worst_blocks,
+                        last_event: None,
+                    });
+                }
+                // Unreachable today (submit validates the prompt), kept as
+                // data so a future validation gap degrades to a failed
+                // request instead of a poisoned serving loop.
+                Err(err) => self
+                    .finished
+                    .push(unstarted_output(q, FinishReason::Failed(err))),
+            }
+        }
+    }
+
+    /// One scheduling round: admit what fits, apply pending cancellations,
+    /// advance every live slot by one model step — concurrently when built
+    /// with [`parallel`](Self::parallel) — deliver this round's tokens to
+    /// `on_token` in slot order, and retire finished slots (releasing
+    /// their KV blocks and engine scratch immediately). Returns the number
+    /// of unfinished requests (queued + live) remaining.
+    ///
+    /// A slot whose engine fails mid-decode finishes with
+    /// [`FinishReason::Failed`] and retires like any other; the scheduler
+    /// keeps serving its remaining requests.
+    pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
+        self.admit();
+        for slot in &mut self.slots {
+            if slot.cancel.load(Ordering::Relaxed) {
+                slot.run.cancel();
+            }
+        }
+        self.pool.run_tasks(&mut self.slots, |_, slot| {
+            slot.last_event = if slot.run.finished() {
+                None
+            } else {
+                // An Err has already marked the run finished with a
+                // Failed reason; retirement below records it.
+                slot.run.advance(slot.engine.as_mut()).unwrap_or(None)
+            };
+        });
+        for slot in &mut self.slots {
+            if let Some(TokenEvent { index, token }) = slot.last_event.take() {
+                on_token(BatchEvent {
+                    request: slot.id,
+                    index,
+                    token,
+                });
+            }
+        }
+        // Retire in slot order; `Vec::remove` keeps admission order for
+        // the survivors (max_slots is small, the O(n) shift is noise).
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].run.finished() {
+                let slot = self.slots.remove(i);
+                self.reserved_blocks -= slot.worst_blocks;
+                self.finished.push(slot.into_output());
+            } else {
+                i += 1;
+            }
+        }
+        self.unfinished_requests()
+    }
+
+    /// Requests submitted over the scheduler's lifetime.
+    pub fn submitted(&self) -> usize {
+        self.next_id
+    }
+
+    /// Requests not yet finished (queued plus live).
+    pub fn unfinished_requests(&self) -> usize {
+        self.queue.len() + self.slots.len()
+    }
+
+    /// Requests waiting for admission.
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently occupying decode slots.
+    pub fn active_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Worst-case KV blocks currently reserved by the live slots.
+    pub fn reserved_blocks(&self) -> usize {
+        self.reserved_blocks
+    }
+
+    /// Drains the outputs of every request finished so far, in finish
+    /// order — the incremental collection point for open-ended serving
+    /// loops that never drain the scheduler completely.
+    pub fn take_finished(&mut self) -> Vec<BatchOutput> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Memory of the scheduler's execution state: engine memory over every
+    /// queued and live request (shared predictor bytes counted **once per
+    /// distinct predictor**, deduplicated by `Arc` identity) plus the KV
+    /// blocks live sessions currently hold. Retired requests contribute
+    /// nothing — their scratch is dropped and their blocks are back in the
+    /// pool — which is the measurable form of the O(live tokens) memory
+    /// property.
+    pub fn memory_estimate(&self) -> MemoryEstimate {
+        let mut seen = Vec::new();
+        let mut total = MemoryEstimate::default();
+        let engines = self
+            .slots
+            .iter()
+            .map(|s| s.engine.as_ref())
+            .chain(self.queue.iter().map(|q| q.engine.as_ref()));
+        for engine in engines {
+            let est = engine.memory_estimate();
+            total.per_session_bytes += est.per_session_bytes;
+            match engine.shared_state_id() {
+                Some(id) if seen.contains(&id) => {}
+                Some(id) => {
+                    seen.push(id);
+                    total.shared_bytes += est.shared_bytes;
+                }
+                None => total.shared_bytes += est.shared_bytes,
+            }
+        }
+        total.per_session_bytes += self.kv.in_use_bytes();
+        total
+    }
+
+    /// Runs every remaining request to completion and returns the
+    /// outputs, in submission order, of every request not already drained
+    /// through [`take_finished`](Self::take_finished) — on a scheduler
+    /// that never called it, that is every request ever submitted (and
+    /// `outputs[handle.id()]` indexing is valid).
+    pub fn run(self) -> Vec<BatchOutput> {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs every remaining request to completion, streaming each token
+    /// through `on_token` as it is produced, interleaved across requests.
+    /// Returns the outputs of every request not already drained through
+    /// [`take_finished`](Self::take_finished), in submission order.
+    pub fn run_streaming(mut self, mut on_token: impl FnMut(BatchEvent)) -> Vec<BatchOutput> {
+        while self.tick(&mut on_token) > 0 {}
+        let mut outputs = self.finished;
+        outputs.sort_by_key(|o| o.id);
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use crate::request::{generate, GenerateRequest};
+    use sparseinfer_model::generator::WeightGenerator;
+    use sparseinfer_model::{Model, ModelConfig};
+    use sparseinfer_predictor::AlphaSchedule;
+
+    fn model() -> Model {
+        WeightGenerator::new(&ModelConfig::tiny(), 23).build()
+    }
+
+    fn dense<'m>(m: &'m Model) -> Box<dyn Engine + 'm> {
+        EngineBuilder::new(m).build().unwrap()
+    }
+
+    fn solo_tokens(m: &Model, req: &GenerateRequest) -> Vec<u32> {
+        let mut e = dense(m);
+        generate(e.as_mut(), req).unwrap().tokens
+    }
+
+    #[test]
+    fn empty_scheduler_runs_to_nothing() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        assert_eq!(s.unfinished_requests(), 0);
+        assert!(s.run().is_empty());
+    }
+
+    #[test]
+    fn submit_rejects_empty_prompts() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let err = s.submit(dense(&m), &GenerateRequest::new(&[])).unwrap_err();
+        assert_eq!(err, EngineError::EmptyPrompt);
+        assert_eq!(s.submitted(), 0);
+    }
+
+    #[test]
+    fn submit_rejects_requests_that_can_never_fit() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 4,
+            block_tokens: 4,
+            kv_block_budget: 3,
+        });
+        // tiny() has 2 layers: 2 · ceil((2 + 30)/4) = 16 blocks > 3.
+        let err = s
+            .submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(30))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::KvBudgetExceeded {
+                required_blocks: 16,
+                budget_blocks: 3
+            }
+        );
+    }
+
+    #[test]
+    fn max_slots_caps_concurrency_and_everything_still_finishes() {
+        let m = model();
+        let req = GenerateRequest::new(&[1, 2]).max_new(4);
+        let expected = solo_tokens(&m, &req);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            ..SchedulerConfig::default()
+        });
+        for _ in 0..5 {
+            s.submit(dense(&m), &req).unwrap();
+        }
+        let mut peak = 0;
+        while s.tick(|_| {}) > 0 {
+            peak = peak.max(s.active_slots());
+        }
+        assert_eq!(peak, 2, "admission must fill, but never exceed, the slots");
+        let outputs = s.take_finished();
+        assert_eq!(outputs.len(), 5);
+        for o in &outputs {
+            assert_eq!(o.tokens, expected);
+            assert_eq!(o.finish, FinishReason::MaxTokens);
+        }
+    }
+
+    #[test]
+    fn kv_budget_serializes_admission_without_starving_anyone() {
+        let m = model();
+        let req = GenerateRequest::new(&[1, 2]).max_new(4);
+        // Worst case per request: 2 layers · ceil(6/4) = 4 blocks; a
+        // budget of 5 fits exactly one at a time.
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 4,
+            block_tokens: 4,
+            kv_block_budget: 5,
+        });
+        for _ in 0..3 {
+            s.submit(dense(&m), &req).unwrap();
+        }
+        let mut peak = 0;
+        while s.tick(|_| {}) > 0 {
+            peak = peak.max(s.active_slots());
+            assert!(s.reserved_blocks() <= 5, "reservation within budget");
+            assert!(s.kv_pool().blocks_in_use() <= 5, "usage within budget");
+        }
+        assert_eq!(peak, 1, "budget admits one request at a time");
+        let outputs = s.take_finished();
+        assert_eq!(outputs.len(), 3, "head-of-line blocking is not starvation");
+        let expected = solo_tokens(&m, &req);
+        assert!(outputs.iter().all(|o| o.tokens == expected));
+    }
+
+    #[test]
+    fn requests_join_mid_run_and_decode_identically() {
+        let m = model();
+        let req_a = GenerateRequest::new(&[1, 2, 3]).max_new(6);
+        let req_b = GenerateRequest::new(&[7, 8]).max_new(4);
+        let solo_a = solo_tokens(&m, &req_a);
+        let solo_b = solo_tokens(&m, &req_b);
+
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let a = s.submit(dense(&m), &req_a).unwrap();
+        for _ in 0..3 {
+            s.tick(|_| {});
+        }
+        // Joins while `a` is mid-decode.
+        let b = s.submit(dense(&m), &req_b).unwrap();
+        let outputs = s.run();
+        assert_eq!(outputs[a.id()].tokens, solo_a);
+        assert_eq!(outputs[b.id()].tokens, solo_b);
+    }
+
+    #[test]
+    fn cancelling_a_queued_request_retires_it_without_decoding() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 1,
+            ..SchedulerConfig::default()
+        });
+        let keep = s
+            .submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(3))
+            .unwrap();
+        let doomed = s
+            .submit(dense(&m), &GenerateRequest::new(&[4]).max_new(3))
+            .unwrap();
+        doomed.cancel();
+        assert!(doomed.is_cancelled());
+        let outputs = s.run();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[keep.id()].finish, FinishReason::MaxTokens);
+        assert_eq!(outputs[doomed.id()].finish, FinishReason::Cancelled);
+        assert!(outputs[doomed.id()].tokens.is_empty());
+    }
+
+    #[test]
+    fn cancelling_mid_stream_keeps_the_tokens_so_far_and_frees_blocks() {
+        let m = model();
+        let req = GenerateRequest::new(&[1, 2]).max_new(32);
+        let solo = solo_tokens(&m, &req);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            kv_block_budget: usize::MAX,
+        });
+        let handle = s.submit(dense(&m), &req).unwrap();
+        let kv = s.kv_pool().clone();
+        let mut streamed = Vec::new();
+        for _ in 0..6 {
+            s.tick(|ev| streamed.push(ev.token));
+        }
+        handle.cancel();
+        let outputs = s.run();
+        assert_eq!(outputs[0].finish, FinishReason::Cancelled);
+        assert!(!outputs[0].tokens.is_empty(), "partial output preserved");
+        assert!(
+            outputs[0].tokens.len() < 32,
+            "cancelled well short of budget"
+        );
+        assert_eq!(outputs[0].tokens, streamed);
+        assert_eq!(
+            outputs[0].tokens[..],
+            solo[..outputs[0].tokens.len()],
+            "the prefix matches solo decode exactly"
+        );
+        assert_eq!(kv.blocks_in_use(), 0, "blocks reclaimed");
+    }
+
+    #[test]
+    fn retirement_frees_capacity_that_admits_the_next_request() {
+        let m = model();
+        let short = GenerateRequest::new(&[1, 2]).max_new(2);
+        let long = GenerateRequest::new(&[3, 4]).max_new(8);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 1,
+            ..SchedulerConfig::default()
+        });
+        s.submit(dense(&m), &short).unwrap();
+        s.submit(dense(&m), &long).unwrap();
+        // Tick until the short request retires; the long one must then be
+        // admitted into the freed slot.
+        let mut ticks = 0;
+        while s.pending_requests() > 0 {
+            s.tick(|_| {});
+            ticks += 1;
+            assert!(ticks < 64, "the queued request must eventually be admitted");
+        }
+        let outputs = s.run();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[1].tokens, solo_tokens(&m, &long));
+    }
+
+    #[test]
+    fn mixed_engine_kinds_share_one_scheduler() {
+        let m = model();
+        let req = GenerateRequest::new(&[1, 2]).max_new(4);
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.submit(dense(&m), &req).unwrap();
+        s.submit(
+            EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap(),
+            &req,
+        )
+        .unwrap();
+        let out = s.run();
+        assert_eq!(out[0].engine, "dense");
+        assert_eq!(out[1].engine, "sparse:sparseinfer");
+        assert!(out[0].stats.is_none());
+        assert!(out[1].stats.is_some());
+    }
+
+    #[test]
+    fn mixed_kv_dimensions_are_rejected_at_submit_not_mid_decode() {
+        let m_small = model(); // tiny(): one hidden_dim…
+        let mut cfg = ModelConfig::tiny();
+        cfg.hidden_dim *= 2; // …and a model with another
+        cfg.n_heads = 2;
+        let m_big = WeightGenerator::new(&cfg, 5).build();
+        let m_twin = WeightGenerator::new(&ModelConfig::tiny(), 77).build();
+
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.submit(dense(&m_small), &GenerateRequest::new(&[1]).max_new(2))
+            .unwrap();
+        let err = s
+            .submit(dense(&m_big), &GenerateRequest::new(&[2]).max_new(2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::KvDimensionMismatch {
+                scheduler_dim: m_small.config().hidden_dim,
+                model_dim: m_big.config().hidden_dim,
+            },
+            "a mismatched model must be rejected as data, not a pool panic"
+        );
+        // The scheduler keeps serving, and distinct models of the *same*
+        // KV dimension still mix freely (the pre-scheduler Batch contract).
+        s.submit(dense(&m_twin), &GenerateRequest::new(&[3]).max_new(2))
+            .unwrap();
+        let outputs = s.run();
+        assert_eq!(outputs.len(), 2);
+        assert!(outputs.iter().all(|o| o.tokens.len() == 2));
+    }
+
+    #[test]
+    fn rejected_submit_does_not_latch_the_kv_dimension() {
+        let m_small = model();
+        let mut cfg = ModelConfig::tiny();
+        cfg.hidden_dim *= 2;
+        cfg.n_heads = 2;
+        let m_big = WeightGenerator::new(&cfg, 9).build();
+
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            kv_block_budget: 3,
+        });
+        // Budget-rejected: must not pin the scheduler to m_big's width.
+        let err = s
+            .submit(dense(&m_big), &GenerateRequest::new(&[1, 2]).max_new(30))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::KvBudgetExceeded { .. }));
+        // A fitting request over a *different* dimension is still welcome.
+        s.submit(dense(&m_small), &GenerateRequest::new(&[1]).max_new(2))
+            .unwrap();
+        assert_eq!(s.run().len(), 1);
+    }
+
+    #[test]
+    fn cancelled_requests_behind_a_blocked_head_retire_immediately() {
+        let m = model();
+        // Budget fits exactly one small request; the big head can never be
+        // joined by anything while it waits… but cancellation must not
+        // wait with it.
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 3,
+            block_tokens: 4,
+            kv_block_budget: 4,
+        });
+        let head = s
+            .submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(4))
+            .unwrap();
+        let mut doomed = Vec::new();
+        for t in 0..3 {
+            doomed.push(
+                s.submit(dense(&m), &GenerateRequest::new(&[3 + t]).max_new(4))
+                    .unwrap(),
+            );
+        }
+        s.tick(|_| {}); // head admitted, the rest queue behind it
+        assert_eq!(s.active_slots(), 1);
+        assert_eq!(s.pending_requests(), 3);
+        for h in &doomed {
+            h.cancel();
+        }
+        s.tick(|_| {});
+        assert_eq!(
+            s.pending_requests(),
+            0,
+            "cancelled entries must leave the queue (and drop their \
+             engines) even though the head is still decoding"
+        );
+        let _ = head;
+        let outputs = s.run();
+        assert_eq!(outputs.len(), 4);
+        assert!(outputs[1..]
+            .iter()
+            .all(|o| o.finish == FinishReason::Cancelled));
+        assert_eq!(outputs[0].tokens.len(), 4);
+    }
+
+    #[test]
+    fn take_finished_drains_incrementally() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        s.submit(dense(&m), &GenerateRequest::new(&[1]).max_new(1))
+            .unwrap();
+        s.submit(dense(&m), &GenerateRequest::new(&[2, 3]).max_new(6))
+            .unwrap();
+        while s.take_finished().is_empty() {
+            s.tick(|_| {});
+        }
+        assert!(s.unfinished_requests() > 0, "long request still going");
+        while s.tick(|_| {}) > 0 {}
+        assert_eq!(s.take_finished().len(), 1);
+        assert!(s.take_finished().is_empty(), "drained");
+    }
+}

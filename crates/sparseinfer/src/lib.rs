@@ -7,9 +7,9 @@
 //! | Module | Crate | Contents |
 //! |---|---|---|
 //! | [`tensor`] | `sparseinfer-tensor` | vectors/matrices, GEMV, **sign-bit packing**, f16/int8, RNG, stats |
-//! | [`model`] | `sparseinfer-model` | ReLU-fied Llama-style decoder, sparsity-calibrated synthetic weights, samplers |
+//! | [`model`] | `sparseinfer-model` | ReLU-fied Llama-style decoder, paged KV block pool, sparsity-calibrated synthetic weights, samplers |
 //! | [`predictor`] | `sparseinfer-predictor` | the **sign-bit predictor**, alpha schedules, DejaVu baseline, oracle/random, metrics |
-//! | [`sparse`] | `sparseinfer-sparse` | sparse GEMVs and MLPs, the unified **`Engine` API**, request layer, batch scheduler, op accounting |
+//! | [`sparse`] | `sparseinfer-sparse` | sparse GEMVs and MLPs, the unified **`Engine` API**, request layer, the **continuous-batching scheduler**, op accounting |
 //! | [`gpu_sim`] | `sparseinfer-gpu-sim` | Jetson Orin AGX roofline cost model: kernels, CKE, per-token latency |
 //! | [`eval`] | `sparseinfer-eval` | synthetic GSM8K/BBH-analog suites, dense-gold accuracy, logit divergence |
 //!
@@ -43,32 +43,45 @@
 //! println!("skipped {} rows", engine.ops().rows_skipped);
 //! ```
 //!
-//! # Batched serving
+//! # Serving
 //!
-//! Concurrent requests — mixed engine kinds, per-request samplers —
-//! interleave through one round-robin [`Batch`](sparse::batch::Batch)
-//! scheduler; each request's tokens are bit-identical to running it alone:
+//! The serving entry point is the continuous-batching
+//! [`Scheduler`](sparse::scheduler::Scheduler) over a paged KV cache:
+//! requests [`submit`](sparse::scheduler::Scheduler::submit) at any time
+//! (including while others are mid-decode), are admitted FIFO under
+//! `max_slots` and a KV-block budget, stream tokens per tick, can be
+//! cancelled through their [`RequestHandle`](sparse::scheduler::RequestHandle),
+//! and release their KV blocks the moment they finish. Each request's
+//! tokens are bit-identical to running it alone:
 //!
 //! ```
 //! use sparseinfer::model::{generator::WeightGenerator, ModelConfig, Sampler};
 //! use sparseinfer::predictor::AlphaSchedule;
-//! use sparseinfer::sparse::batch::Batch;
 //! use sparseinfer::sparse::engine::EngineBuilder;
 //! use sparseinfer::sparse::request::GenerateRequest;
+//! use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
 //!
 //! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
-//! let mut batch = Batch::new();
+//! let mut scheduler = Scheduler::new(SchedulerConfig {
+//!     max_slots: 2,            // concurrent decode slots
+//!     block_tokens: 16,        // paged-KV granularity
+//!     kv_block_budget: 1024,   // admission-control memory cap
+//! });
 //! let dense = EngineBuilder::new(&model).build().unwrap();
 //! let sparse = EngineBuilder::new(&model).signbit(AlphaSchedule::uniform(1.0)).build().unwrap();
-//! batch.push(dense, &GenerateRequest::new(&[1, 2]).max_new(4)).unwrap();
-//! batch.push(
+//! scheduler.submit(dense, &GenerateRequest::new(&[1, 2]).max_new(4)).unwrap();
+//! let handle = scheduler.submit(
 //!     sparse,
 //!     &GenerateRequest::new(&[3, 4]).max_new(4).sampler(Sampler::top_k(8, 0.7, 7)),
 //! ).unwrap();
-//! for out in batch.run() {
+//! assert_eq!(handle.id(), 1); // cancel mid-stream with handle.cancel()
+//! for out in scheduler.run() {
 //!     println!("request {} via {}: {:?} ({} MACs)", out.id, out.engine, out.tokens, out.ops.macs);
 //! }
 //! ```
+//!
+//! The closed [`Batch`](sparse::batch::Batch) wrapper (push everything,
+//! then `run()`) remains for offline evaluation workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

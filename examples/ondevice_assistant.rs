@@ -3,10 +3,13 @@
 //! SoC (Jetson Orin AGX), where every skipped weight row is DRAM traffic
 //! saved.
 //!
-//! Decodes a batch of user queries with the dense engine, PowerInfer-style
-//! trained prediction, and SparseInfer — each through the unified
-//! [`EngineBuilder`] and the round-robin [`Batch`] scheduler — and reports
+//! Decodes a stream of user queries with the dense engine, PowerInfer-style
+//! trained prediction, and SparseInfer — each submitted through the
+//! continuous-batching [`Scheduler`] over a paged KV cache — and reports
 //! measured work plus projected device latency/energy proxies for each.
+//! The final section demonstrates the serving behaviours an on-device
+//! assistant needs: a query **joining mid-decode** while another is
+//! streaming, and a **mid-stream cancellation** (the user taps "stop").
 //!
 //! ```text
 //! cargo run --release --example ondevice_assistant
@@ -21,28 +24,40 @@ use sparseinfer::gpu_sim::GpuSpec;
 use sparseinfer::model::{generator::WeightGenerator, MlpTrace, ModelConfig};
 use sparseinfer::predictor::dejavu::{TrainConfig, Trainer};
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor};
-use sparseinfer::sparse::batch::Batch;
 use sparseinfer::sparse::engine::{EngineBuilder, EngineOptions};
 use sparseinfer::sparse::ops::OpCounter;
-use sparseinfer::sparse::request::GenerateRequest;
+use sparseinfer::sparse::request::{FinishReason, GenerateRequest};
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
 use sparseinfer::sparse::SparsityStats;
 
-/// Decodes every query through one batch scheduler, one engine instance per
-/// request (so per-request accounting stays isolated), and returns the op
-/// counters and per-layer sparsity merged over the whole batch.
-fn serve_batch<'m>(
+/// Admission knobs an edge SoC would run with: a couple of concurrent
+/// decodes, paged KV at a 16-token granularity, and a hard block budget
+/// standing in for the device's KV memory ceiling.
+fn edge_config() -> SchedulerConfig {
+    SchedulerConfig {
+        max_slots: 2,
+        block_tokens: 16,
+        kv_block_budget: 4096,
+    }
+}
+
+/// Serves every query through one continuous-batching scheduler — one
+/// engine instance per request so per-request accounting stays isolated —
+/// and returns the op counters and per-layer sparsity merged over the
+/// whole stream.
+fn serve_stream<'m>(
     queries: &TaskSuite,
     max_new: usize,
     eos: u32,
     make_engine: impl Fn() -> EngineBuilder<'m>,
 ) -> (OpCounter, Option<SparsityStats>) {
-    let mut batch = Batch::new();
+    let mut scheduler = Scheduler::new(edge_config());
     for q in &queries.tasks {
         let engine = make_engine()
             .build()
             .expect("engine configuration is valid");
-        batch
-            .push(
+        scheduler
+            .submit(
                 engine,
                 &GenerateRequest::new(&q.tokens)
                     .max_new(max_new)
@@ -52,7 +67,7 @@ fn serve_batch<'m>(
     }
     let mut ops = OpCounter::default();
     let mut stats: Option<SparsityStats> = None;
-    for o in batch.run() {
+    for o in scheduler.run() {
         ops.merge(&o.ops);
         if let Some(s) = &o.stats {
             stats.get_or_insert_with(SparsityStats::default).merge(s);
@@ -73,7 +88,7 @@ fn main() {
     let eos = sparseinfer::model::tokenizer::EOS;
 
     // --- Dense (llama.cpp role) ---
-    let (dense_ops, _) = serve_batch(&queries, max_new, eos, || EngineBuilder::new(&model));
+    let (dense_ops, _) = serve_stream(&queries, max_new, eos, || EngineBuilder::new(&model));
 
     // --- PowerInfer role: trained DejaVu predictor (trained once, cloned
     // into each request's engine) ---
@@ -84,7 +99,7 @@ fn main() {
         ..TrainConfig::default()
     })
     .train(&model, &trace);
-    let (pi_ops, pi_stats) = serve_batch(&queries, max_new, eos, || {
+    let (pi_ops, pi_stats) = serve_stream(&queries, max_new, eos, || {
         EngineBuilder::new(&model)
             .dejavu(dejavu.clone())
             .options(EngineOptions::base())
@@ -93,12 +108,12 @@ fn main() {
     // --- SparseInfer (sign bits packed once — the load-time step — then
     // cloned into each request's engine) ---
     let signbit = SignBitPredictor::from_model(&model, AlphaSchedule::early_layers(1.1, 16));
-    let (si_ops, si_stats) = serve_batch(&queries, max_new, eos, || {
+    let (si_ops, si_stats) = serve_stream(&queries, max_new, eos, || {
         EngineBuilder::new(&model).predictor(Box::new(signbit.clone()))
     });
 
     println!(
-        "on-device assistant batch: {} queries x {max_new} tokens\n",
+        "on-device assistant stream: {} queries x {max_new} tokens (continuous scheduler)\n",
         queries.len()
     );
     println!(
@@ -162,5 +177,79 @@ fn main() {
     println!(
         "\nDRAM-traffic energy proxy (weight bytes, sparse/dense): {:.3}",
         si_ops.weight_bytes_loaded as f64 / dense_ops.weight_bytes_loaded as f64
+    );
+
+    // --- Live serving: a request joins while another is decoding, and a
+    // third is cancelled mid-stream (the user taps "stop"). Tokens stream
+    // tick by tick; paged KV blocks flow back to the pool the moment a
+    // request retires. ---
+    println!("\nlive serving demo (max_slots=2, paged KV):");
+    let mut scheduler = Scheduler::new(edge_config());
+    let assistant_request = |prompt: &[u32], max_new: usize| {
+        (
+            EngineBuilder::new(&model)
+                .predictor(Box::new(signbit.clone()))
+                .build()
+                .expect("engine configuration is valid"),
+            GenerateRequest::new(prompt).max_new(max_new).stop_at(eos),
+        )
+    };
+    let (engine, req) = assistant_request(&queries.tasks[0].tokens, 24);
+    let first = scheduler.submit(engine, &req).expect("non-empty prompt");
+    let (engine, req) = assistant_request(&queries.tasks[1].tokens, 24);
+    let stopped = scheduler.submit(engine, &req).expect("non-empty prompt");
+    let mut late = None;
+    let mut streamed = [0usize; 3];
+    let mut tick = 0usize;
+    loop {
+        scheduler.tick(|ev| streamed[ev.request] += 1);
+        tick += 1;
+        if tick == 6 && late.is_none() {
+            // A new query arrives while the first two are mid-decode; it
+            // queues and is admitted as soon as a slot retires.
+            let (engine, req) = assistant_request(&queries.tasks[2].tokens, 8);
+            let handle = scheduler.submit(engine, &req).expect("non-empty prompt");
+            println!(
+                "  tick {tick:>2}: request {} joins mid-run ({} live, {} KV blocks in use)",
+                handle.id(),
+                scheduler.active_slots(),
+                scheduler.kv_pool().blocks_in_use(),
+            );
+            late = Some(handle);
+        }
+        if streamed[stopped.id()] >= 5 && !stopped.is_cancelled() {
+            stopped.cancel();
+            println!(
+                "  tick {tick:>2}: request {} cancelled mid-stream after {} tokens",
+                stopped.id(),
+                streamed[stopped.id()],
+            );
+        }
+        // Re-read after this tick's submissions so the late joiner is
+        // never stranded by a count captured before it arrived.
+        if scheduler.unfinished_requests() == 0 && (late.is_some() || tick >= 6) {
+            break;
+        }
+    }
+    for out in scheduler.take_finished() {
+        let role = match out.id {
+            i if i == first.id() => "first",
+            i if i == stopped.id() => "stopped",
+            i if late.as_ref().is_some_and(|h| h.id() == i) => "late-join",
+            _ => "?",
+        };
+        println!(
+            "  [{role:<9}] {:>2} tokens, finish {:?}",
+            out.tokens.len(),
+            out.finish
+        );
+        if out.id == stopped.id() && stopped.is_cancelled() {
+            assert_eq!(out.finish, FinishReason::Cancelled);
+        }
+    }
+    println!(
+        "  drained: {} KV blocks in use, {} recycled in the pool",
+        scheduler.kv_pool().blocks_in_use(),
+        scheduler.kv_pool().blocks_free(),
     );
 }

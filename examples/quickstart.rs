@@ -7,9 +7,9 @@
 
 use sparseinfer::model::{generator::WeightGenerator, ByteTokenizer, ModelConfig, Sampler};
 use sparseinfer::predictor::AlphaSchedule;
-use sparseinfer::sparse::batch::Batch;
 use sparseinfer::sparse::engine::EngineBuilder;
 use sparseinfer::sparse::request::{generate, generate_streaming, GenerateRequest};
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
 
 fn main() {
     // 1. A ReLU-fied gated-MLP decoder with ~92% activation sparsity,
@@ -77,10 +77,18 @@ fn main() {
         eff.iter().sum::<f64>() / eff.len() as f64
     );
 
-    // 6. Serving-style batch: four concurrent sessions — two dense, two
-    //    sparse, one of them temperature-sampled — through one round-robin
-    //    scheduler, each with isolated sessions and per-request accounting.
-    let mut batch = Batch::new();
+    // 6. Serving: four requests — two dense, two sparse, one of them
+    //    temperature-sampled — through the continuous-batching scheduler.
+    //    Admission control caps concurrency at two slots, so two requests
+    //    queue until earlier ones retire and release their paged KV
+    //    blocks; each request's tokens are bit-identical to running it
+    //    alone. (Requests can also `submit` mid-run and cancel through
+    //    their handle — see examples/ondevice_assistant.rs.)
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: 2,
+        block_tokens: 16,
+        kv_block_budget: 1024,
+    });
     let prompts = [
         "Q: 1 + 1? A:",
         "Q: name a prime. A:",
@@ -102,10 +110,13 @@ fn main() {
         if i == 3 {
             r = r.sampler(Sampler::top_k(8, 0.8, 42));
         }
-        batch.push(engine, &r).expect("non-empty prompt");
+        scheduler.submit(engine, &r).expect("non-empty prompt");
     }
-    println!("\nbatched decode of {} concurrent requests:", prompts.len());
-    for out in batch.run() {
+    println!(
+        "\nscheduled decode of {} requests over 2 slots:",
+        prompts.len()
+    );
+    for out in scheduler.run() {
         println!(
             "  [{}] {:<18} {:?}  ({} MACs)",
             out.id,

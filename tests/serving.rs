@@ -13,6 +13,8 @@ use sparseinfer::sparse::batch::Batch;
 use sparseinfer::sparse::engine::{EngineBuilder, EngineOptions};
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::request::{generate, FinishReason, GenerateRequest};
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
+use sparseinfer::tensor::ParallelOptions;
 
 const EOS: u32 = sparseinfer::model::tokenizer::EOS;
 
@@ -449,6 +451,241 @@ fn default_sampler_from_builder_drives_requests_without_one() {
     assert_eq!(
         s1, s2,
         "default sampler state must not leak across requests"
+    );
+}
+
+/// The continuous-batching determinism contract (acceptance criterion):
+/// with FIFO admission and fixed seeds, every request's scheduler tokens
+/// are bit-identical to solo `generate()` — across engine kinds, across
+/// 1/2/4 slot threads, with admission capped so requests genuinely queue
+/// and join mid-flight, and with identical streamed event order.
+#[test]
+fn scheduler_is_token_identical_to_solo_decode_at_1_2_4_threads() {
+    let model = test_model();
+    let prompts: Vec<Vec<u32>> = vec![
+        vec![1, 2, 3],
+        vec![7, 8],
+        vec![10, 20, 30, 40],
+        vec![5],
+        vec![9, 9, 9],
+        vec![2, 4, 6, 8, 10],
+    ];
+    let budgets = [6usize, 9, 4, 7, 5, 8];
+
+    let solo: Vec<Vec<u32>> = prompts
+        .iter()
+        .zip(budgets)
+        .enumerate()
+        .map(|(i, (p, max_new))| {
+            let mut e = engine_for(&model, i);
+            generate(
+                e.as_mut(),
+                &GenerateRequest::new(p).max_new(max_new).stop_at(EOS),
+            )
+            .expect("non-empty prompt")
+            .tokens
+        })
+        .collect();
+
+    let run_at = |threads: usize| {
+        let mut scheduler = Scheduler::new(SchedulerConfig {
+            max_slots: 3, // half the requests must wait for retirement
+            block_tokens: 4,
+            kv_block_budget: usize::MAX,
+        })
+        .parallel(ParallelOptions::threads(threads));
+        for (i, (p, max_new)) in prompts.iter().zip(budgets).enumerate() {
+            scheduler
+                .submit(
+                    engine_for(&model, i),
+                    &GenerateRequest::new(p).max_new(max_new).stop_at(EOS),
+                )
+                .expect("non-empty prompt");
+        }
+        let mut events = Vec::new();
+        let outputs = scheduler.run_streaming(|ev| events.push((ev.request, ev.index, ev.token)));
+        (
+            outputs.into_iter().map(|o| o.tokens).collect::<Vec<_>>(),
+            events,
+        )
+    };
+
+    let (seq_tokens, seq_events) = run_at(1);
+    assert_eq!(seq_tokens, solo, "scheduled == solo at 1 thread");
+    for threads in [2usize, 4] {
+        let (tokens, events) = run_at(threads);
+        assert_eq!(tokens, solo, "scheduled == solo at {threads} threads");
+        assert_eq!(events, seq_events, "event order at {threads} threads");
+    }
+}
+
+/// Satellite regression: a request that stops early must only ever have
+/// allocated KV blocks for the tokens it actually produced — lazy paged
+/// growth, never a `prompt + max_new` reservation-as-allocation.
+#[test]
+fn early_stop_allocates_blocks_for_produced_tokens_not_max_new() {
+    let model = test_model();
+    let block_tokens = 4usize;
+    let n_layers = model.config().n_layers;
+
+    // Find the first greedy token, then declare it a stop token: the
+    // request ends after sampling one token (zero emitted tokens).
+    let first = {
+        let mut e = EngineBuilder::new(&model).build().unwrap();
+        generate(e.as_mut(), &GenerateRequest::new(&[1, 2]).max_new(1))
+            .unwrap()
+            .tokens[0]
+    };
+
+    let max_new = 256usize;
+    let prompt = [1u32, 2];
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: 1,
+        block_tokens,
+        kv_block_budget: usize::MAX,
+    });
+    scheduler
+        .submit(
+            EngineBuilder::new(&model).build().unwrap(),
+            &GenerateRequest::new(&prompt)
+                .max_new(max_new)
+                .stop_at(first),
+        )
+        .unwrap();
+    let kv = scheduler.kv_pool().clone();
+    let outputs = scheduler.run();
+    assert_eq!(outputs[0].finish, FinishReason::Stop(first));
+    assert!(outputs[0].tokens.is_empty());
+
+    // The pool's high-water mark (blocks created) is proportional to the
+    // context actually absorbed — prompt plus at most a couple of decode
+    // steps — not to the 256-token budget.
+    let produced_ctx = prompt.len() + 2;
+    let lazy_bound = n_layers * produced_ctx.div_ceil(block_tokens);
+    let eager_blocks = n_layers * (prompt.len() + max_new).div_ceil(block_tokens);
+    assert!(
+        kv.blocks_created() <= lazy_bound,
+        "{} blocks created; lazy growth allows at most {lazy_bound} \
+         (eager reservation would have taken {eager_blocks})",
+        kv.blocks_created()
+    );
+    assert_eq!(kv.blocks_in_use(), 0, "all blocks returned at retirement");
+}
+
+/// Satellite: scheduler churn. Requests continuously join, cancel and
+/// finish across 200+ ticks; KV memory must stay bounded by the live
+/// requests (never by cumulative traffic), and at drain every block must
+/// be back in the pool.
+#[test]
+fn churning_scheduler_memory_is_bounded_by_live_tokens_and_drains_clean() {
+    let model = test_model();
+    let n_layers = model.config().n_layers;
+    let block_tokens = 4usize;
+    let max_slots = 3usize;
+    let prompts: [&[u32]; 4] = [&[1, 2], &[3, 4, 5], &[6], &[7, 8, 9, 10]];
+    let budgets = [5usize, 8, 3, 11];
+    let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+        &model,
+        AlphaSchedule::uniform(1.0),
+    ));
+
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots,
+        block_tokens,
+        kv_block_budget: usize::MAX,
+    });
+
+    // Worst-case live context any slot can hold, in blocks — the O(live
+    // tokens) ceiling the pool must respect at every tick.
+    let per_slot_ceiling = {
+        let worst_tokens =
+            prompts.iter().map(|p| p.len()).max().unwrap() + budgets.iter().max().unwrap();
+        n_layers * worst_tokens.div_ceil(block_tokens)
+    };
+    let live_ceiling = max_slots * per_slot_ceiling;
+
+    let mut handles = Vec::new();
+    let mut submitted = 0usize;
+    let mut cancelled = 0usize;
+    let mut tokens_streamed = 0usize;
+    let mut created_mid_churn = 0usize;
+    for tick in 0usize..220 {
+        // Join: a new request every other tick.
+        if tick.is_multiple_of(2) {
+            let i = submitted % prompts.len();
+            let engine = if i.is_multiple_of(2) {
+                EngineBuilder::new(&model)
+                    .predictor_shared(Arc::clone(&shared))
+                    .build()
+                    .unwrap()
+            } else {
+                EngineBuilder::new(&model).build().unwrap()
+            };
+            let handle = scheduler
+                .submit(
+                    engine,
+                    &GenerateRequest::new(prompts[i]).max_new(budgets[i]),
+                )
+                .unwrap();
+            handles.push(handle);
+            submitted += 1;
+        }
+        // Cancel: every 7th tick, cancel the oldest handle still around —
+        // sometimes queued, sometimes mid-stream, sometimes already done.
+        if tick % 7 == 3 && !handles.is_empty() {
+            handles.remove(0).cancel();
+            cancelled += 1;
+        }
+        scheduler.tick(|_| tokens_streamed += 1);
+
+        // Invariants, every tick of the churn:
+        let in_use = scheduler.kv_pool().blocks_in_use();
+        assert!(
+            in_use <= live_ceiling,
+            "tick {tick}: {in_use} blocks in use exceeds the live-slot \
+             ceiling {live_ceiling}"
+        );
+        assert!(scheduler.active_slots() <= max_slots);
+        if tick == 110 {
+            created_mid_churn = scheduler.kv_pool().blocks_created();
+        }
+    }
+
+    // Stop submitting; drain.
+    while scheduler.tick(|_| tokens_streamed += 1) > 0 {}
+    let outputs = scheduler.take_finished();
+    assert_eq!(outputs.len(), submitted, "every submission resolves");
+    assert!(submitted >= 100, "the churn must be substantial");
+    assert!(cancelled >= 20);
+    assert!(tokens_streamed > 100);
+
+    // No leaks: every block is back in the pool…
+    let kv = scheduler.kv_pool();
+    assert_eq!(kv.blocks_in_use(), 0, "drain must return every block");
+    assert_eq!(kv.blocks_free(), kv.blocks_created());
+    assert_eq!(scheduler.reserved_blocks(), 0);
+    assert_eq!(
+        scheduler.memory_estimate().total(),
+        0,
+        "a drained scheduler holds no decode memory"
+    );
+    // …and the pool's total footprint reflects peak concurrency, not the
+    // 100+ requests served: a scheduler that retired N requests costs
+    // what a fresh one serving the same live set costs.
+    assert!(
+        kv.blocks_created() <= live_ceiling,
+        "{} blocks created vs live ceiling {live_ceiling}: pool capacity \
+         must be O(live tokens), not O(requests served)",
+        kv.blocks_created()
+    );
+    // Half the churn happened after tick 110; a leak (or any per-request
+    // growth) would show up as continued block creation. A warm pool only
+    // recycles.
+    assert!(
+        kv.blocks_created() <= created_mid_churn + per_slot_ceiling,
+        "pool grew from {created_mid_churn} to {} blocks after warm-up: \
+         blocks are leaking instead of being recycled",
+        kv.blocks_created()
     );
 }
 

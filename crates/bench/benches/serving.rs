@@ -147,6 +147,7 @@ fn run_continuous(
         max_slots: 4,
         block_tokens: 8,
         kv_block_budget: usize::MAX,
+        ..SchedulerConfig::default()
     });
     let mut clock = GapClock::new(work.len());
     let mut handles: Vec<Option<sparseinfer::sparse::scheduler::RequestHandle>> =
@@ -186,6 +187,100 @@ fn run_continuous(
 
 /// The signature both serving-side runners share.
 type Runner = dyn Fn(&Model, &Arc<dyn SparsityPredictor>, &[ChurnRequest]) -> RunTiming;
+
+/// One cold-vs-warm shared-prefix pass: mean time-to-first-token, peak KV
+/// bytes, and total skipped prefill tokens.
+struct PrefixTiming {
+    mean_ttft_us: f64,
+    peak_kv_bytes: u64,
+    skipped_tokens: u64,
+}
+
+/// Shared-prefix churn: `n_requests` requests share one `prefix_len`-token
+/// system prompt (plus a unique tail token each). Cold runs with the
+/// prefix cache off; warm runs with it on, pre-warmed by a single
+/// publisher request, so every measured request attaches the shared
+/// blocks instead of re-prefilling and re-storing them.
+fn run_prefix(
+    model: &Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    n_requests: usize,
+    prefix_len: usize,
+    prefix_cache: bool,
+) -> PrefixTiming {
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: n_requests + 1, // admission is not the variable here
+        block_tokens: 8,
+        kv_block_budget: usize::MAX,
+        prefix_cache,
+        prefix_retain_blocks: 4096,
+    });
+    let prefix: Vec<u32> = (0..prefix_len).map(|i| (i * 5 % 290 + 1) as u32).collect();
+    let mut id_base = 0usize;
+    if prefix_cache {
+        // Publish the prefix once, outside the measured window.
+        let mut p = prefix.clone();
+        p.push(295);
+        scheduler
+            .submit(
+                engine_for(model, shared, 0),
+                &GenerateRequest::new(&p).max_new(1),
+            )
+            .unwrap();
+        while scheduler.tick(|_| {}) > 0 {}
+        let _ = scheduler.take_finished();
+        id_base = 1;
+    }
+    let start = Instant::now();
+    for i in 0..n_requests {
+        let mut p = prefix.clone();
+        p.push(270 + (i % 8) as u32);
+        scheduler
+            .submit(
+                engine_for(model, shared, i),
+                &GenerateRequest::new(&p).max_new(4),
+            )
+            .unwrap();
+    }
+    let mut first_token_us: Vec<Option<f64>> = vec![None; n_requests];
+    let mut peak_kv_bytes = 0u64;
+    loop {
+        let unfinished = scheduler.tick(|ev| {
+            let slot = first_token_us[ev.request - id_base].get_or_insert(0.0);
+            if *slot == 0.0 {
+                *slot = start.elapsed().as_secs_f64() * 1e6;
+            }
+        });
+        peak_kv_bytes = peak_kv_bytes.max(scheduler.kv_pool().in_use_bytes());
+        if unfinished == 0 {
+            break;
+        }
+    }
+    let skipped_tokens: u64 = scheduler
+        .take_finished()
+        .iter()
+        .map(|o| o.prefill_skipped_tokens as u64)
+        .sum();
+    // Directional guard, shape-independent (so it holds in the quick CI
+    // smoke too): with a pre-warmed cache every measured request must
+    // attach the full shared prefix. The JSON regression gate is
+    // one-sided (it only flags increases), so "prefix caching silently
+    // stopped working" is caught here, by the bench run itself failing.
+    if prefix_cache {
+        let expected = (n_requests * prefix_len) as u64;
+        assert_eq!(
+            skipped_tokens, expected,
+            "warm shared-prefix run skipped {skipped_tokens} prefill tokens, \
+             expected {expected}: the prefix cache is not attaching"
+        );
+    }
+    let observed: Vec<f64> = first_token_us.into_iter().flatten().collect();
+    PrefixTiming {
+        mean_ttft_us: observed.iter().sum::<f64>() / observed.len() as f64,
+        peak_kv_bytes,
+        skipped_tokens,
+    }
+}
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -238,5 +333,47 @@ fn main() {
     };
     measure("closed_batch", &run_closed);
     measure("continuous_scheduler", &run_continuous);
+
+    // Shared-prefix churn: the prefix-cache win, cold vs warm. Reported as
+    // mean time-to-first-token (prefill latency a client sees) and peak
+    // physical KV bytes; the warm side also reports how much prefill it
+    // skipped. Byte/token records carry their value in the generic
+    // `us_per_iter` JSON column (see `BenchReport::record_value`).
+    let prefix_requests = if quick { 4 } else { 8 };
+    let prefix_len = if quick { 24 } else { 48 };
+    println!(
+        "\nshared-prefix workload: {prefix_requests} requests x {passes} pass(es), \
+         {prefix_len}-token shared prompt, block_tokens=8\n"
+    );
+    for (name, warm) in [("prefix_cold", false), ("prefix_warm", true)] {
+        let mut ttft_sum = 0.0f64;
+        let mut peak_bytes = 0u64;
+        let mut skipped = 0u64;
+        for _ in 0..passes {
+            let timing = run_prefix(&model, &shared, prefix_requests, prefix_len, warm);
+            ttft_sum += timing.mean_ttft_us;
+            peak_bytes = peak_bytes.max(timing.peak_kv_bytes);
+            skipped += timing.skipped_tokens;
+        }
+        let ttft = ttft_sum / passes as f64;
+        println!(
+            "{name:<24} ttft {ttft:>9.2} us  kv peak {peak_bytes:>9} B  \
+             skipped {:>5} tokens/pass",
+            skipped / passes as u64,
+        );
+        report.record(&format!("{name}_ttft"), prefix_requests, ttft, None, 1);
+        report.record_value(
+            &format!("{name}_kv_peak_bytes"),
+            prefix_requests,
+            peak_bytes as f64,
+        );
+        if warm {
+            report.record_value(
+                &format!("{name}_skipped_tokens_per_pass"),
+                prefix_requests,
+                (skipped / passes as u64) as f64,
+            );
+        }
+    }
     report.write();
 }

@@ -1,0 +1,135 @@
+//! Bench-regression gate: compares a fresh `BENCH_*.json` (produced by a
+//! `SPARSEINFER_BENCH_QUICK=1 SPARSEINFER_BENCH_OUT=<dir>` smoke run)
+//! against the committed baseline of the same bench and **fails** (exit 1)
+//! when any shared record slowed down by more than the allowed ratio.
+//!
+//! The default bound is deliberately loose (2.5×): CI runners are noisy and
+//! the quick smoke times a single iteration, so the gate is a tripwire for
+//! order-of-magnitude regressions (an accidental O(n²), a lost fast path,
+//! a byte-count blow-up), not a microbenchmark police. Byte/count records
+//! (`*_bytes`, `*_tokens`) are near-deterministic, so the ratio bounds
+//! their *increases* tightly. The gate is deliberately **one-sided** —
+//! only increases fail — so records whose failure mode is a *decrease*
+//! (e.g. warm-prefix skipped tokens dropping to zero) are guarded inside
+//! the bench binaries themselves with shape-independent asserts, not here.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--max-ratio R] [--min-delta D]
+//! ```
+//!
+//! A record fails only when the ratio is exceeded **and** the absolute
+//! regression is larger than `--min-delta` (default 50, in the record's
+//! own unit): a 16 µs dispatch measurement wobbling to 45 µs under a
+//! noisy single-iteration smoke is jitter, not a regression, while any
+//! slowdown large enough to matter clears both bars.
+//!
+//! Records present only in the fresh run (new benches) pass; records
+//! missing from the fresh run are reported as warnings but do not fail —
+//! the committed file may carry full-mode-only measurements.
+
+use std::process::ExitCode;
+
+use sparseinfer_bench::parse_bench_json;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--max-ratio R] [--min-delta D]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.5f64;
+    let mut min_delta = 50.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-ratio" || args[i] == "--min-delta" {
+            let Some(value) = args.get(i + 1) else {
+                return usage();
+            };
+            let Ok(parsed) = value.parse::<f64>() else {
+                return usage();
+            };
+            if args[i] == "--max-ratio" {
+                max_ratio = parsed;
+            } else {
+                min_delta = parsed;
+            }
+            i += 2;
+        } else {
+            paths.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if paths.len() != 2 || max_ratio <= 0.0 {
+        return usage();
+    }
+
+    let read = |path: &str| -> Option<Vec<(String, f64)>> {
+        match std::fs::read_to_string(path) {
+            Ok(json) => Some(parse_bench_json(&json)),
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let Some(baseline) = read(&paths[0]) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(fresh) = read(&paths[1]) else {
+        return ExitCode::FAILURE;
+    };
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no records in baseline {}", paths[0]);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "bench_gate: {} (baseline) vs {} (fresh), max ratio {max_ratio:.2}x",
+        paths[0], paths[1]
+    );
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}",
+        "record", "baseline", "fresh", "ratio"
+    );
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, base) in &baseline {
+        let Some((_, new)) = fresh.iter().find(|(n, _)| n == name) else {
+            println!("{name:<40} {base:>12.2} {:>12} {:>8}", "missing", "warn");
+            continue;
+        };
+        if *base <= 0.0 {
+            continue; // nothing meaningful to ratio against
+        }
+        compared += 1;
+        let ratio = new / base;
+        let regressed = ratio > max_ratio && new - base > min_delta;
+        let verdict = if regressed {
+            "FAIL"
+        } else if ratio > max_ratio {
+            "noise" // over-ratio but under the absolute floor
+        } else {
+            "ok"
+        };
+        if regressed {
+            failures += 1;
+        }
+        println!("{name:<40} {base:>12.2} {new:>12.2} {ratio:>7.2}{verdict:>5}");
+    }
+    if compared == 0 {
+        eprintln!("bench_gate: no shared records to compare");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} record(s) regressed beyond {max_ratio:.2}x \
+             — investigate before merging (or refresh the committed baseline \
+             if the change is intentional)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: {compared} record(s) within {max_ratio:.2}x");
+    ExitCode::SUCCESS
+}

@@ -197,6 +197,15 @@ impl BenchReport {
         });
     }
 
+    /// Records one measurement whose value is not a timing — byte counts,
+    /// token counts, ratios. The value still lands in the `us_per_iter`
+    /// JSON column (the report's single generic value field; such records
+    /// name their unit, e.g. `*_bytes`), so the bench-regression gate
+    /// bounds it with the same ratio check as the timings.
+    pub fn record_value(&mut self, name: &str, iters: usize, value: f64) {
+        self.record(name, iters, value, None, 1);
+    }
+
     /// Times `f`, prints the human line, and records it in one move.
     pub fn time<T>(
         &mut self,
@@ -241,7 +250,21 @@ impl BenchReport {
     /// checkout still gets the human output. Skipped under
     /// `SPARSEINFER_BENCH_QUICK` so the 1-iteration CI smoke run cannot
     /// clobber the version-controlled perf trajectory with timing noise.
+    ///
+    /// When `SPARSEINFER_BENCH_OUT` names a directory, the report is
+    /// *additionally* written there — in quick mode too. That is the CI
+    /// hand-off: the smoke run drops fresh JSON into the out dir, and the
+    /// `bench_gate` binary compares it against the committed baselines.
     pub fn write(&self) {
+        if let Some(dir) = std::env::var_os("SPARSEINFER_BENCH_OUT") {
+            let dir = std::path::PathBuf::from(dir);
+            let _ = std::fs::create_dir_all(&dir);
+            let path = dir.join(format!("BENCH_{}.json", self.bench));
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => println!("\nwrote fresh copy {}", path.display()),
+                Err(e) => println!("\ncould not write {}: {e}", path.display()),
+            }
+        }
         if std::env::var_os("SPARSEINFER_BENCH_QUICK").is_some() {
             println!("\nquick mode: not overwriting BENCH_{}.json", self.bench);
             return;
@@ -254,6 +277,36 @@ impl BenchReport {
             Err(e) => println!("\ncould not write {}: {e}", path.display()),
         }
     }
+}
+
+/// Extracts `(name, us_per_iter)` pairs from a `BENCH_*.json` report — the
+/// dependency-free inverse of [`BenchReport::to_json`], used by the
+/// `bench_gate` regression gate. Tolerant of unknown fields; records
+/// missing either key are skipped.
+pub fn parse_bench_json(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name_at) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[name_at + 7..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else {
+            continue;
+        };
+        let name = &rest[open + 1..open + 1 + close];
+        let Some(value_at) = line.find("\"us_per_iter\":") else {
+            continue;
+        };
+        let tail = line[value_at + 14..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(tail.len());
+        if let Ok(value) = tail[..end].parse::<f64>() {
+            out.push((name.to_string(), value));
+        }
+    }
+    out
 }
 
 /// Baseline benchmark scores from the paper's accuracy tables.
@@ -450,6 +503,25 @@ mod tests {
     #[test]
     fn cell_formats_fixed_width() {
         assert_eq!(cell(1.2345, 8, 2), "    1.23");
+    }
+
+    #[test]
+    fn parse_bench_json_roundtrips_the_report_writer() {
+        let mut report = BenchReport::new("serving");
+        report.record("continuous_itl_p50", 1185, 155.202, None, 1);
+        report.record("dense_gemv", 100, 12.5, Some(3.5), 4);
+        report.record_value("prefix_warm_kv_peak_bytes", 8, 73728.0);
+        let parsed = parse_bench_json(&report.to_json());
+        assert_eq!(
+            parsed,
+            vec![
+                ("continuous_itl_p50".to_string(), 155.202),
+                ("dense_gemv".to_string(), 12.5),
+                ("prefix_warm_kv_peak_bytes".to_string(), 73728.0),
+            ]
+        );
+        assert!(parse_bench_json("{}").is_empty());
+        assert!(parse_bench_json("not json at all").is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Dense-gold accuracy evaluation.
 //!
 //! Candidate engines plug in through the unified
-//! [`Engine`](sparseinfer_sparse::Engine) trait: [`evaluate_engine`] decodes
+//! [`sparseinfer_sparse::Engine`] trait: [`evaluate_engine`] decodes
 //! every task through the request layer, and
 //! [`teacher_forced_engine_matches`] scores per-position argmax agreement
 //! with dense prefill (the protocol behind the paper's Tables II/III).

@@ -88,9 +88,33 @@ impl KvCache {
         }
     }
 
+    /// Creates a paged cache whose context starts as `blocks` — full,
+    /// shared blocks from a prefix-cache hit (see
+    /// [`PagedKvCache::with_prefix`]). The blocks are aliased, not copied;
+    /// pushes continue past them into fresh private blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is partial, from another pool, or dimension-
+    /// mismatched.
+    pub fn paged_with_prefix(pool: &KvBlockPool, blocks: Vec<crate::kv::SharedKvBlock>) -> Self {
+        Self {
+            storage: KvStorage::Paged(PagedKvCache::with_prefix(pool, blocks)),
+        }
+    }
+
     /// Whether this cache uses paged (pool-backed) storage.
     pub fn is_paged(&self) -> bool {
         matches!(self.storage, KvStorage::Paged(_))
+    }
+
+    /// The paged storage behind this cache, if it is paged — the access
+    /// point for block-table sharing (prefix publication) and diagnostics.
+    pub fn as_paged(&self) -> Option<&PagedKvCache> {
+        match &self.storage {
+            KvStorage::Contiguous(_) => None,
+            KvStorage::Paged(p) => Some(p),
+        }
     }
 
     /// Number of cached positions.

@@ -1,4 +1,5 @@
-//! Paged KV-cache storage: fixed-size token blocks from a shared pool.
+//! Paged KV-cache storage: reference-counted, fixed-size token blocks from
+//! a shared pool, with copy-on-write block tables and a prefix index.
 //!
 //! The serving-scale problem with a contiguous
 //! [`KvCache`](crate::attention::KvCache): a request that *might* generate
@@ -16,11 +17,23 @@
 //!   usage, never cumulative traffic. An optional block budget
 //!   ([`KvBlockPool::with_budget`]) turns the pool into the admission
 //!   throttle the scheduler's capacity control is built on.
-//! * [`PagedKvCache`] — one sequence's view: a block table that grows **one
-//!   block at a time, lazily, as tokens are actually produced**, and
-//!   returns every block to the pool on drop (or
-//!   [`clear`](PagedKvCache::clear)). A request that stops early only ever
-//!   allocated blocks for the tokens it really produced.
+//! * [`SharedKvBlock`] — one **reference-counted** block. Many caches (and
+//!   the [`PrefixIndex`]) can hold the same physical block at once; its
+//!   storage returns to the pool's free list only when the *last* referrer
+//!   drops. The pool's `in_use` accounting counts physical blocks, so a
+//!   block shared by ten sessions costs its bytes once.
+//! * [`PagedKvCache`] — one sequence's view: a **copy-on-write block
+//!   table** that grows one block at a time, lazily, as tokens are
+//!   actually produced. Shared blocks (attached from the prefix index, or
+//!   aliased by a [`Clone`](PagedKvCache::clone)) are read-only through
+//!   this table; the first write into a shared *partial tail* block forks
+//!   a private copy, and writes past a shared boundary allocate fresh
+//!   private blocks — a fork never mutates the shared copy.
+//! * [`PrefixIndex`] — a map over token-id runs (keyed per model) through
+//!   which a full block of prompt KV, once computed, is **published** and
+//!   re-attached to later sessions with the same prompt prefix. Retained
+//!   entries whose blocks nobody else references are evicted LRU-first
+//!   under a configurable cap.
 //!
 //! Reads go through the block table (`t → block[t / block_tokens]`), but
 //! deliver exactly the same `&[f32]` slices in exactly the same order as
@@ -28,6 +41,7 @@
 //! either storage — the compatibility wrapper in
 //! [`attention`](crate::attention) dispatches between them.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Default tokens per KV block: small enough that a short answer wastes at
@@ -35,35 +49,93 @@ use std::sync::{Arc, Mutex};
 /// stays tiny for long contexts.
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
-/// One fixed-size block of KV storage: up to `block_tokens` positions of
-/// keys and values, filled front to back.
-#[derive(Debug)]
-struct KvBlock {
+/// Raw storage of one block, as recycled through the pool's free list:
+/// the key/value buffers keep their allocation between owners.
+#[derive(Debug, Default)]
+struct KvBlockData {
     keys: Vec<f32>,
     values: Vec<f32>,
 }
 
-impl KvBlock {
-    fn new(block_tokens: usize, dim: usize) -> Self {
-        Self {
-            keys: Vec::with_capacity(block_tokens * dim),
-            values: Vec::with_capacity(block_tokens * dim),
-        }
+/// One live, fixed-size block of KV storage: up to `block_tokens` positions
+/// of keys and values, filled front to back. Returns its buffers to the
+/// owning pool's free list when dropped — which, behind the [`Arc`] in
+/// [`SharedKvBlock`], happens exactly when the last referrer lets go.
+#[derive(Debug)]
+struct PooledKvBlock {
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    /// Per-position vector width (fixed at allocation).
+    dim: usize,
+    /// The pool the storage came from and returns to.
+    shared: Arc<PoolShared>,
+}
+
+impl Drop for PooledKvBlock {
+    fn drop(&mut self) {
+        let mut data = KvBlockData {
+            keys: std::mem::take(&mut self.keys),
+            values: std::mem::take(&mut self.values),
+        };
+        data.keys.clear();
+        data.values.clear();
+        let mut state = PoolShared::state(&self.shared);
+        state.free.push(data);
+        state.in_use -= 1;
+    }
+}
+
+/// A reference-counted KV block handle.
+///
+/// Cloning the handle shares the **same physical block** (the pool's
+/// `in_use` count does not move); the storage is recycled only when every
+/// clone — block tables and [`PrefixIndex`] entries alike — has dropped.
+/// Shared blocks are read-only: [`PagedKvCache`] forks a private copy
+/// before its first write into a block with other referrers.
+#[derive(Debug, Clone)]
+pub struct SharedKvBlock {
+    inner: Arc<PooledKvBlock>,
+}
+
+impl SharedKvBlock {
+    /// Positions currently stored in this block.
+    pub fn tokens(&self) -> usize {
+        self.inner
+            .keys
+            .len()
+            .checked_div(self.inner.dim)
+            .unwrap_or(0)
     }
 
-    /// Empties the block for reuse, retaining its allocation.
-    fn reset(&mut self) {
-        self.keys.clear();
-        self.values.clear();
+    /// How many handles (caches, prefix-index entries) reference this
+    /// physical block right now — diagnostics for sharing tests.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Whether this handle is the block's only referrer (safe to mutate).
+    fn is_unique(&self) -> bool {
+        // No `Weak` handles are ever created, so a strong count of one is
+        // exclusive ownership.
+        Arc::strong_count(&self.inner) == 1
+    }
+
+    fn get_mut(&mut self) -> Option<&mut PooledKvBlock> {
+        Arc::get_mut(&mut self.inner)
+    }
+
+    fn belongs_to(&self, pool: &KvBlockPool) -> bool {
+        Arc::ptr_eq(&self.inner.shared, &pool.shared)
     }
 }
 
 #[derive(Debug, Default)]
 struct PoolState {
-    free: Vec<KvBlock>,
+    free: Vec<KvBlockData>,
     /// Blocks created and not yet dropped (free + in use).
     created: usize,
-    /// Blocks currently held by caches.
+    /// Physical blocks currently held by caches or the prefix index
+    /// (shared blocks count **once**, however many referrers they have).
     in_use: usize,
     /// KV dimension, established by the first allocation (0 = none yet).
     dim: usize,
@@ -76,13 +148,27 @@ struct PoolShared {
     state: Mutex<PoolState>,
 }
 
+impl PoolShared {
+    fn state(shared: &Arc<PoolShared>) -> std::sync::MutexGuard<'_, PoolState> {
+        // Poison-tolerant: every mutation in the critical sections leaves
+        // PoolState valid on its own (the budget/dimension asserts fire
+        // between them, never mid-update), so a poisoned lock still guards
+        // a consistent state — and block `Drop`s must be able to return
+        // storage during the very unwind that poisoned it.
+        shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// A shared, thread-safe pool of fixed-size KV blocks.
 ///
 /// Cloning the pool clones a handle (`Arc`): every [`PagedKvCache`] built
 /// from any clone allocates from, and releases to, the same free list.
 /// Allocation takes a mutex, but only once per `block_tokens` produced
-/// tokens per layer — never per token read (caches own their blocks
-/// outright, so attention reads are lock-free).
+/// tokens per layer — never per token read (caches hold [`SharedKvBlock`]
+/// handles outright, so attention reads are lock-free).
 ///
 /// # Example
 ///
@@ -147,7 +233,8 @@ impl KvBlockPool {
         tokens.div_ceil(self.shared.block_tokens)
     }
 
-    /// Blocks currently held by live caches.
+    /// Physical blocks currently held by live caches or a prefix index.
+    /// A block shared by many referrers counts **once**.
     pub fn blocks_in_use(&self) -> usize {
         self.state().in_use
     }
@@ -182,80 +269,97 @@ impl KvBlockPool {
         state.created as u64 * self.block_bytes(state.dim)
     }
 
-    /// Bytes of the blocks currently held by live caches — the
-    /// O(live tokens) quantity admission control keeps bounded.
+    /// Bytes of the physical blocks currently held by live caches or a
+    /// prefix index — the O(live tokens) quantity admission control keeps
+    /// bounded. Shared blocks are counted **once**, not per referrer, so
+    /// serving-layer memory estimates must add this exactly once (never
+    /// per session).
     pub fn in_use_bytes(&self) -> u64 {
         let state = self.state();
         state.in_use as u64 * self.block_bytes(state.dim)
     }
 
     fn state(&self) -> std::sync::MutexGuard<'_, PoolState> {
-        // Poison-tolerant: every mutation in the critical sections leaves
-        // PoolState valid on its own (the budget/dimension asserts fire
-        // between them, never mid-update), so a poisoned lock still guards
-        // a consistent state — and `Drop` must be able to return blocks
-        // during the very unwind that poisoned it.
-        self.shared
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        PoolShared::state(&self.shared)
     }
 
-    /// Hands out one block for `dim`-sized keys/values.
+    /// Hands out one private (refcount-1) block for `dim`-sized
+    /// keys/values.
     ///
     /// # Panics
     ///
     /// Panics if the budget is exhausted (a serving layer must gate
     /// admission on [`available_blocks`](Self::available_blocks) so this
     /// never fires) or if `dim` disagrees with earlier allocations.
-    fn alloc(&self, dim: usize) -> KvBlock {
-        let mut state = self.state();
-        if state.dim == 0 {
-            state.dim = dim;
-        } else {
-            assert_eq!(
-                state.dim, dim,
-                "KV block pool is dimension-{} but a cache pushed dimension-{dim} vectors \
-                 (one pool serves one model)",
-                state.dim
-            );
-        }
-        let block = match state.free.pop() {
-            Some(block) => block,
-            None => {
-                assert!(
-                    state.created < self.shared.max_blocks,
-                    "KV block budget exhausted ({} blocks): admission control must keep \
-                     worst-case reservations within the pool budget",
-                    self.shared.max_blocks
+    fn alloc(&self, dim: usize) -> SharedKvBlock {
+        let data = {
+            let mut state = self.state();
+            if state.dim == 0 {
+                state.dim = dim;
+            } else {
+                assert_eq!(
+                    state.dim, dim,
+                    "KV block pool is dimension-{} but a cache pushed dimension-{dim} vectors \
+                     (one pool serves one model)",
+                    state.dim
                 );
-                state.created += 1;
-                KvBlock::new(self.shared.block_tokens, dim)
             }
+            let data = match state.free.pop() {
+                Some(data) => data,
+                None => {
+                    assert!(
+                        state.created < self.shared.max_blocks,
+                        "KV block budget exhausted ({} blocks): admission control must keep \
+                         worst-case reservations within the pool budget",
+                        self.shared.max_blocks
+                    );
+                    state.created += 1;
+                    let cap = self.shared.block_tokens * dim;
+                    KvBlockData {
+                        keys: Vec::with_capacity(cap),
+                        values: Vec::with_capacity(cap),
+                    }
+                }
+            };
+            state.in_use += 1;
+            data
         };
-        state.in_use += 1;
-        block
+        SharedKvBlock {
+            inner: Arc::new(PooledKvBlock {
+                keys: data.keys,
+                values: data.values,
+                dim,
+                shared: Arc::clone(&self.shared),
+            }),
+        }
     }
 
-    /// Returns a block to the free list.
-    fn release(&self, mut block: KvBlock) {
-        block.reset();
-        let mut state = self.state();
-        state.free.push(block);
-        state.in_use -= 1;
+    /// Allocates a private block and copies `src`'s contents into it —
+    /// the copy-on-write fork.
+    fn alloc_copy(&self, src: &SharedKvBlock) -> SharedKvBlock {
+        let mut copy = self.alloc(src.inner.dim);
+        let block = copy.get_mut().expect("freshly allocated block is private");
+        block.keys.extend_from_slice(&src.inner.keys);
+        block.values.extend_from_slice(&src.inner.values);
+        copy
     }
 }
 
-/// One sequence's paged KV cache: a lazily grown block table over a shared
-/// [`KvBlockPool`].
+/// One sequence's paged KV cache: a lazily grown, copy-on-write block
+/// table over a shared [`KvBlockPool`].
 ///
 /// Tokens append in order; every `block_tokens`-th push allocates one more
-/// block from the pool. [`clear`](Self::clear) and `Drop` return every
-/// block, so a retired request's KV memory is reusable immediately.
+/// block from the pool. Blocks attached from a [`PrefixIndex`] hit (or
+/// aliased by [`Clone`](Self::clone)) are *shared* — reads go straight
+/// through, but the first push into a shared partial tail forks a private
+/// copy, so a fork never mutates the shared block. [`clear`](Self::clear)
+/// and `Drop` release every handle; the physical storage returns to the
+/// pool when the last referrer is gone, so a retired request's private KV
+/// memory is reusable immediately.
 #[derive(Debug)]
 pub struct PagedKvCache {
     pool: KvBlockPool,
-    blocks: Vec<KvBlock>,
+    blocks: Vec<SharedKvBlock>,
     /// KV dimension, established by the first push (0 = none yet).
     dim: usize,
     /// Cached positions.
@@ -270,6 +374,45 @@ impl PagedKvCache {
             blocks: Vec::new(),
             dim: 0,
             len: 0,
+        }
+    }
+
+    /// A cache whose context starts as `blocks` — **full**, shared blocks
+    /// (typically a [`PrefixIndex`] hit) covering
+    /// `blocks.len() × block_tokens` positions. The attached blocks are
+    /// aliased, not copied: no new physical block is allocated, and the
+    /// new cache must never write into them (pushes go past the attached
+    /// boundary into fresh private blocks by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is not completely full, came from a different
+    /// pool, or disagrees with the others on the KV dimension.
+    pub fn with_prefix(pool: &KvBlockPool, blocks: Vec<SharedKvBlock>) -> Self {
+        let bt = pool.block_tokens();
+        let mut dim = 0usize;
+        for (i, block) in blocks.iter().enumerate() {
+            assert!(
+                block.belongs_to(pool),
+                "prefix block {i} belongs to a different pool"
+            );
+            assert_eq!(
+                block.tokens(),
+                bt,
+                "prefix block {i} is partial: only full blocks are sharable"
+            );
+            if dim == 0 {
+                dim = block.inner.dim;
+            } else {
+                assert_eq!(dim, block.inner.dim, "prefix block {i} dimension mismatch");
+            }
+        }
+        let len = blocks.len() * bt;
+        Self {
+            pool: pool.clone(),
+            blocks,
+            dim,
+            len,
         }
     }
 
@@ -288,9 +431,16 @@ impl PagedKvCache {
         self.len == 0
     }
 
-    /// Blocks currently held.
+    /// Blocks currently referenced by this cache's block table (shared
+    /// blocks included).
     pub fn blocks_held(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// The block table itself — shared handles in position order, for
+    /// publication into a [`PrefixIndex`] and sharing diagnostics.
+    pub fn block_refs(&self) -> &[SharedKvBlock] {
+        &self.blocks
     }
 
     /// Positions the held blocks can store before the next allocation.
@@ -299,7 +449,8 @@ impl PagedKvCache {
     }
 
     /// Appends one position, allocating a block from the pool when the
-    /// current one is full.
+    /// current one is full — and forking a private copy first if the tail
+    /// block is shared (copy-on-write; the shared copy is never mutated).
     ///
     /// # Panics
     ///
@@ -317,7 +468,13 @@ impl PagedKvCache {
         if self.len == self.capacity_tokens() {
             self.blocks.push(self.pool.alloc(self.dim));
         }
-        let block = self.blocks.last_mut().expect("block allocated above");
+        let tail = self.blocks.last_mut().expect("block allocated above");
+        if !tail.is_unique() {
+            // Copy-on-write: the tail is shared (a COW clone, or a future
+            // partial-prefix attach) — fork before the first write.
+            *tail = self.pool.alloc_copy(tail);
+        }
+        let block = tail.get_mut().expect("tail is private after the fork");
         block.keys.extend_from_slice(key);
         block.values.extend_from_slice(value);
         self.len += 1;
@@ -340,7 +497,7 @@ impl PagedKvCache {
     /// Panics if `t >= self.len()`.
     pub fn key(&self, t: usize) -> &[f32] {
         let (block, offset) = self.slot(t);
-        &self.blocks[block].keys[offset..offset + self.dim]
+        &self.blocks[block].inner.keys[offset..offset + self.dim]
     }
 
     /// The value vector cached at position `t`.
@@ -350,48 +507,301 @@ impl PagedKvCache {
     /// Panics if `t >= self.len()`.
     pub fn value(&self, t: usize) -> &[f32] {
         let (block, offset) = self.slot(t);
-        &self.blocks[block].values[offset..offset + self.dim]
+        &self.blocks[block].inner.values[offset..offset + self.dim]
     }
 
-    /// Returns every block to the pool and resets to an empty context.
+    /// Releases every block handle and resets to an empty context.
+    /// Physical blocks whose last referrer this was return to the pool.
     pub fn clear(&mut self) {
-        for block in self.blocks.drain(..) {
-            self.pool.release(block);
-        }
+        self.blocks.clear();
         self.len = 0;
     }
 }
 
-impl Drop for PagedKvCache {
-    fn drop(&mut self) {
-        self.clear();
+impl Clone for PagedKvCache {
+    /// Copy-on-write clone: the copy shares every block with the original
+    /// (no physical allocation, the pool's `in_use` count is unchanged).
+    /// The first push on either side into the shared partial tail forks a
+    /// private copy of just that block; full shared blocks are never
+    /// touched by either side again.
+    fn clone(&self) -> Self {
+        Self {
+            pool: self.pool.clone(),
+            blocks: self.blocks.clone(),
+            dim: self.dim,
+            len: self.len,
+        }
     }
 }
 
-impl Clone for PagedKvCache {
-    /// Deep copy: fresh blocks from the same pool, contents copied.
+/// A prefix-cache hit: shared blocks covering the first
+/// [`tokens`](Self::tokens) positions of a prompt, per layer.
+#[derive(Debug, Clone)]
+pub struct PrefixHit {
+    /// Prompt positions the attached blocks cover (a multiple of the
+    /// pool's `block_tokens`).
+    pub tokens: usize,
+    /// `layer_blocks[layer]` holds that layer's shared blocks, in
+    /// position order — one entry per model layer.
+    pub layer_blocks: Vec<Vec<SharedKvBlock>>,
+}
+
+impl PrefixHit {
+    /// Total shared block handles across every layer.
+    pub fn total_blocks(&self) -> usize {
+        self.layer_blocks.iter().map(Vec::len).sum()
+    }
+}
+
+/// Key of one published block boundary: the model it was computed on
+/// (pointer identity — stable for the serving scope that owns the index,
+/// see [`PrefixIndex::lookup`]), the id of the **parent** boundary's
+/// entry (0 for the first block), and the token ids of **this block's run
+/// only**. Parent-chaining makes full-prefix equality hold by induction
+/// while keeping key size O(`block_tokens`) per boundary — a walk over an
+/// `L`-token prefix copies and hashes O(`L`) tokens total, not O(`L²`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PrefixKey {
+    model: usize,
+    parent: u64,
+    tokens: Box<[u32]>,
+}
+
+/// One published block boundary: the `i`-th block of every layer for a
+/// given token run of length `(i + 1) × block_tokens`.
+#[derive(Debug)]
+struct PrefixEntry {
+    /// This boundary's identity, referenced by its children's keys. Ids
+    /// are never reused, so an evicted boundary's children can never be
+    /// re-parented onto an unrelated later entry.
+    id: u64,
+    /// `blocks[layer]` is that layer's block for this boundary.
+    blocks: Vec<SharedKvBlock>,
+    /// LRU stamp (monotonic use counter, not wall time).
+    stamp: u64,
+}
+
+impl PrefixEntry {
+    /// Whether the index is this entry's only referrer (evictable).
+    fn is_unreferenced(&self) -> bool {
+        self.blocks.iter().all(|b| b.ref_count() == 1)
+    }
+}
+
+/// An index of published prompt-prefix KV blocks, keyed by token-id runs.
+///
+/// Serving layers publish the full blocks of a request's **densely
+/// prefilled** prompt region here once computed; later requests whose
+/// prompts start with the same token run re-attach those blocks instead of
+/// recomputing and re-storing them — prefill work and KV memory become
+/// O(unique tokens) instead of O(requests × tokens).
+///
+/// Entries are stored per block boundary and chained by parent id (each
+/// key holds only its own block’s tokens), so two
+/// prompts sharing only their first block still share that block, and
+/// both lookup and publication over an `L`-token prefix cost O(`L`)
+/// token copies/hashes total. Retained entries keep their blocks' storage
+/// alive in the pool; entries nobody else references are evicted
+/// LRU-first through [`evict_unreferenced_to`](Self::evict_unreferenced_to).
+/// Entries whose blocks are still attached to live sessions are never
+/// evicted.
+///
+/// The index is single-threaded by design (the scheduler owns it and
+/// touches it only between decode ticks); the blocks it hands out are
+/// `Send + Sync` and read lock-free from worker threads.
+#[derive(Debug, Default)]
+pub struct PrefixIndex {
+    entries: HashMap<PrefixKey, PrefixEntry>,
+    /// Monotonic use counter backing the LRU stamps.
+    clock: u64,
+    /// Boundary-id generator (0 is reserved for "no parent").
+    next_id: u64,
+}
+
+impl PrefixIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of published block boundaries (entries).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total block handles the index retains (each physical block appears
+    /// in exactly one entry, so this is also a physical count).
+    pub fn retained_blocks(&self) -> usize {
+        self.entries.values().map(|e| e.blocks.len()).sum()
+    }
+
+    /// Retained blocks whose **only** referrer is the index — the blocks
+    /// the LRU cap applies to. Blocks still attached to live sessions are
+    /// pinned and excluded.
+    pub fn unreferenced_blocks(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.is_unreferenced())
+            .map(|e| e.blocks.len())
+            .sum()
+    }
+
+    /// Looks up the longest run of published full blocks matching the
+    /// front of `tokens`, limited to `max_tokens` positions (the caller
+    /// passes the sharable region — full blocks of the densely prefilled
+    /// prompt). Returns `None` on a cold miss. Hits refresh the LRU stamp
+    /// of every entry in the run.
     ///
-    /// The copy's blocks are **not** covered by any scheduler-level
-    /// admission reservation, and like any allocation this panics if it
-    /// would exceed the pool's block budget — clone sessions only on
-    /// unbounded pools (or with explicit headroom), not mid-serving.
-    fn clone(&self) -> Self {
-        let mut copy = Self::new(&self.pool);
-        copy.dim = self.dim;
-        for block in &self.blocks {
-            let mut fresh = self.pool.alloc(self.dim.max(1));
-            fresh.keys.extend_from_slice(&block.keys);
-            fresh.values.extend_from_slice(&block.values);
-            copy.blocks.push(fresh);
+    /// `model` is the caller's identity key for the weights the blocks
+    /// were computed with (pointer identity is sound when every submitted
+    /// model outlives the index's owner, which the scheduler's lifetime
+    /// parameter guarantees).
+    pub fn lookup(
+        &mut self,
+        model: usize,
+        tokens: &[u32],
+        block_tokens: usize,
+        max_tokens: usize,
+    ) -> Option<PrefixHit> {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        self.clock += 1;
+        let stamp = self.clock;
+        let mut parent = 0u64;
+        let mut runs = 0usize;
+        let mut layer_blocks: Vec<Vec<SharedKvBlock>> = Vec::new();
+        loop {
+            let start = runs * block_tokens;
+            let end = start + block_tokens;
+            if end > max_tokens || end > tokens.len() {
+                break;
+            }
+            let key = PrefixKey {
+                model,
+                parent,
+                tokens: tokens[start..end].into(),
+            };
+            let Some(entry) = self.entries.get_mut(&key) else {
+                break;
+            };
+            entry.stamp = stamp;
+            parent = entry.id;
+            if layer_blocks.is_empty() {
+                layer_blocks = vec![Vec::new(); entry.blocks.len()];
+            }
+            for (layer, block) in entry.blocks.iter().enumerate() {
+                layer_blocks[layer].push(block.clone());
+            }
+            runs += 1;
         }
-        copy.len = self.len;
-        copy
+        if runs == 0 {
+            return None;
+        }
+        Some(PrefixHit {
+            tokens: runs * block_tokens,
+            layer_blocks,
+        })
+    }
+
+    /// Publishes the full blocks covering `tokens` (whose length must be a
+    /// multiple of `block_tokens`): `per_layer[layer][i]` is that layer's
+    /// `i`-th block. Boundaries already present are refreshed, not
+    /// replaced — the first publisher wins, so concurrent prefills of the
+    /// same prompt converge on one physical copy for all future requests.
+    /// Returns the number of block handles newly retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is not block-aligned or `per_layer` rows do not
+    /// all hold one block per boundary.
+    pub fn publish(
+        &mut self,
+        model: usize,
+        tokens: &[u32],
+        block_tokens: usize,
+        per_layer: &[Vec<SharedKvBlock>],
+    ) -> usize {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        assert!(
+            tokens.len().is_multiple_of(block_tokens),
+            "published run must end on a block boundary"
+        );
+        let runs = tokens.len() / block_tokens;
+        assert!(!per_layer.is_empty(), "at least one layer required");
+        for layer in per_layer {
+            assert_eq!(layer.len(), runs, "one block per boundary per layer");
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let mut inserted = 0usize;
+        let mut parent = 0u64;
+        for i in 0..runs {
+            let key = PrefixKey {
+                model,
+                parent,
+                tokens: tokens[i * block_tokens..(i + 1) * block_tokens].into(),
+            };
+            match self.entries.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                    let entry = occupied.get_mut();
+                    entry.stamp = stamp;
+                    parent = entry.id;
+                }
+                std::collections::hash_map::Entry::Vacant(vacant) => {
+                    let blocks: Vec<SharedKvBlock> =
+                        per_layer.iter().map(|layer| layer[i].clone()).collect();
+                    inserted += blocks.len();
+                    self.next_id += 1;
+                    let id = self.next_id;
+                    vacant.insert(PrefixEntry { id, blocks, stamp });
+                    parent = id;
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Evicts least-recently-used **unreferenced** entries until at most
+    /// `cap` unreferenced blocks remain (entries still attached to live
+    /// sessions are pinned). Returns the number of block handles dropped;
+    /// their storage returns to the pool's free list immediately.
+    ///
+    /// An evicted boundary makes any deeper boundaries of the same run
+    /// unreachable; untouched, their stamps age and they are evicted on
+    /// later passes. (Entry counts are small — bounded by the cap — so
+    /// the linear scans here are noise next to a single prefill.)
+    pub fn evict_unreferenced_to(&mut self, cap: usize) -> usize {
+        let mut evicted = 0usize;
+        while self.unreferenced_blocks() > cap {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.is_unreferenced())
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            let entry = self.entries.remove(&key).expect("victim probed above");
+            evicted += entry.blocks.len();
+        }
+        evicted
+    }
+
+    /// Drops every entry, returning how many block handles were released.
+    pub fn clear(&mut self) -> usize {
+        let released = self.retained_blocks();
+        self.entries.clear();
+        released
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparseinfer_tensor::Prng;
 
     #[test]
     fn blocks_grow_lazily_and_return_on_clear() {
@@ -490,17 +900,136 @@ mod tests {
     }
 
     #[test]
-    fn clone_is_a_deep_copy_with_its_own_blocks() {
+    fn clone_is_copy_on_write_sharing_blocks_until_a_push() {
         let pool = KvBlockPool::new(2);
         let mut cache = PagedKvCache::new(&pool);
         for t in 0..3 {
             cache.push(&[t as f32; 2], &[t as f32; 2]);
         }
+        // 2 blocks live (1 full, 1 half-full partial tail).
+        assert_eq!(pool.blocks_in_use(), 2);
         let copy = cache.clone();
-        assert_eq!(pool.blocks_in_use(), 4, "copy holds its own blocks");
-        cache.push(&[9.0; 2], &[9.0; 2]);
+        assert_eq!(
+            pool.blocks_in_use(),
+            2,
+            "a COW clone aliases blocks, it does not copy them"
+        );
         assert_eq!(copy.len(), 3);
         assert_eq!(copy.key(2), &[2.0; 2]);
+        // Writing through the original forks the shared partial tail…
+        cache.push(&[9.0; 2], &[9.0; 2]);
+        assert_eq!(pool.blocks_in_use(), 3, "first write forks one block");
+        // …and the clone still reads the pre-fork contents.
+        assert_eq!(copy.len(), 3);
+        assert_eq!(copy.key(2), &[2.0; 2]);
+        assert_eq!(cache.key(3), &[9.0; 2]);
+    }
+
+    #[test]
+    fn cow_fork_never_mutates_the_shared_copy() {
+        let pool = KvBlockPool::new(4);
+        let mut base = PagedKvCache::new(&pool);
+        for t in 0..6 {
+            base.push(&[t as f32; 2], &[-(t as f32); 2]);
+        }
+        let mut fork = base.clone();
+        // Both sides write their own continuations past the shared state.
+        fork.push(&[100.0; 2], &[100.0; 2]);
+        base.push(&[200.0; 2], &[200.0; 2]);
+        // The shared positions are intact and divergent positions private.
+        for t in 0..6 {
+            assert_eq!(base.key(t), &[t as f32; 2], "shared key {t}");
+            assert_eq!(fork.key(t), &[t as f32; 2], "shared key {t} via fork");
+        }
+        assert_eq!(fork.key(6), &[100.0; 2]);
+        assert_eq!(base.key(6), &[200.0; 2]);
+        // Full block 0 stayed physically shared; only the tail forked.
+        assert!(Arc::ptr_eq(
+            &base.block_refs()[0].inner,
+            &fork.block_refs()[0].inner
+        ));
+        assert!(!Arc::ptr_eq(
+            &base.block_refs()[1].inner,
+            &fork.block_refs()[1].inner
+        ));
+    }
+
+    #[test]
+    fn shared_blocks_free_only_when_the_last_referrer_drops() {
+        let pool = KvBlockPool::new(4);
+        let mut base = PagedKvCache::new(&pool);
+        for t in 0..8 {
+            base.push(&[t as f32], &[t as f32]);
+        }
+        let prefix: Vec<SharedKvBlock> = base.block_refs()[..2].to_vec();
+        assert!(prefix.iter().all(|b| b.tokens() == 4), "both blocks full");
+
+        // Five caches attach the same two full blocks, then drop in a
+        // seeded random order; the blocks must stay resident until the
+        // very last referrer (base included) is gone.
+        let mut attached: Vec<PagedKvCache> = (0..5)
+            .map(|_| PagedKvCache::with_prefix(&pool, prefix.clone()))
+            .collect();
+        drop(prefix);
+        assert_eq!(pool.blocks_in_use(), 2, "attaching allocates nothing");
+        for cache in &attached {
+            assert_eq!(cache.len(), 8);
+            assert_eq!(cache.key(5), &[5.0]);
+        }
+        let mut rng = Prng::seed(0xC0FFEE);
+        while !attached.is_empty() {
+            let i = rng.below(attached.len());
+            attached.swap_remove(i);
+            assert_eq!(
+                pool.blocks_in_use(),
+                2,
+                "blocks pinned while any referrer lives"
+            );
+        }
+        drop(base);
+        assert_eq!(pool.blocks_in_use(), 0, "last drop frees the blocks");
+        assert_eq!(pool.in_use_bytes(), 0);
+        assert_eq!(pool.blocks_free(), pool.blocks_created());
+    }
+
+    #[test]
+    fn with_prefix_extends_into_private_blocks() {
+        let pool = KvBlockPool::new(2);
+        let mut base = PagedKvCache::new(&pool);
+        for t in 0..4 {
+            base.push(&[t as f32; 3], &[t as f32; 3]);
+        }
+        let mut attached = PagedKvCache::with_prefix(&pool, base.block_refs().to_vec());
+        assert_eq!(attached.len(), 4);
+        attached.push(&[7.0; 3], &[7.0; 3]);
+        assert_eq!(attached.len(), 5);
+        assert_eq!(attached.key(4), &[7.0; 3]);
+        // The push allocated a fresh private block past the prefix.
+        assert_eq!(pool.blocks_in_use(), 3);
+        assert_eq!(base.len(), 4, "publisher untouched by the continuation");
+    }
+
+    #[test]
+    #[should_panic(expected = "only full blocks are sharable")]
+    fn with_prefix_rejects_partial_blocks() {
+        let pool = KvBlockPool::new(4);
+        let mut base = PagedKvCache::new(&pool);
+        for t in 0..6 {
+            base.push(&[t as f32], &[t as f32]);
+        }
+        // Block 1 holds only 2 of 4 positions.
+        let _ = PagedKvCache::with_prefix(&pool, base.block_refs().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "different pool")]
+    fn with_prefix_rejects_foreign_blocks() {
+        let pool_a = KvBlockPool::new(2);
+        let pool_b = KvBlockPool::new(2);
+        let mut base = PagedKvCache::new(&pool_a);
+        base.push(&[1.0], &[1.0]);
+        base.push(&[2.0], &[2.0]);
+        let _ = PagedKvCache::with_prefix(&pool_b, base.block_refs().to_vec());
     }
 
     #[test]
@@ -520,5 +1049,127 @@ mod tests {
         a.push(&[1.0, 2.0], &[3.0, 4.0]);
         let mut b = PagedKvCache::new(&pool);
         b.push(&[1.0], &[2.0]);
+    }
+
+    /// Builds a base cache of `tokens` positions over `pool` with a
+    /// recognizable fill.
+    fn filled_cache(pool: &KvBlockPool, tokens: usize) -> PagedKvCache {
+        let mut cache = PagedKvCache::new(pool);
+        for t in 0..tokens {
+            cache.push(&[t as f32; 2], &[-(t as f32); 2]);
+        }
+        cache
+    }
+
+    #[test]
+    fn prefix_index_publishes_and_attaches_runs() {
+        let pool = KvBlockPool::new(4);
+        let mut index = PrefixIndex::new();
+        let model = 0xA11CE;
+        let tokens: Vec<u32> = (1..=8).collect();
+        // Two layers, two full blocks each.
+        let layers: Vec<PagedKvCache> = (0..2).map(|_| filled_cache(&pool, 8)).collect();
+        let per_layer: Vec<Vec<SharedKvBlock>> =
+            layers.iter().map(|c| c.block_refs().to_vec()).collect();
+        let retained = index.publish(model, &tokens, 4, &per_layer);
+        assert_eq!(retained, 4, "2 boundaries × 2 layers newly retained");
+        assert_eq!(index.entries(), 2);
+        assert_eq!(index.retained_blocks(), 4);
+
+        // A prompt sharing both blocks hits both; one sharing only the
+        // first block hits one; a cold prompt misses.
+        let hit = index
+            .lookup(model, &[1, 2, 3, 4, 5, 6, 7, 8, 9], 4, 8)
+            .unwrap();
+        assert_eq!(hit.tokens, 8);
+        assert_eq!(hit.layer_blocks.len(), 2);
+        assert_eq!(hit.total_blocks(), 4);
+        let partial = index
+            .lookup(model, &[1, 2, 3, 4, 9, 9, 9, 9], 4, 8)
+            .unwrap();
+        assert_eq!(partial.tokens, 4);
+        assert!(index.lookup(model, &[9, 2, 3, 4], 4, 4).is_none());
+        assert!(
+            index.lookup(model + 1, &tokens, 4, 8).is_none(),
+            "another model's prompts never match"
+        );
+        assert!(
+            index.lookup(model, &tokens, 4, 3).is_none(),
+            "a sub-block sharable region cannot hit"
+        );
+
+        // Re-publication of an existing run retains nothing new.
+        assert_eq!(index.publish(model, &tokens, 4, &per_layer), 0);
+    }
+
+    #[test]
+    fn prefix_index_evicts_lru_unreferenced_entries_only() {
+        let pool = KvBlockPool::new(2);
+        let mut index = PrefixIndex::new();
+        let layer = filled_cache(&pool, 6); // 3 full blocks
+        index.publish(7, &[1, 2, 3, 4, 5, 6], 2, &[layer.block_refs().to_vec()]);
+        assert_eq!(index.retained_blocks(), 3);
+        assert_eq!(
+            index.unreferenced_blocks(),
+            0,
+            "publisher still references every block"
+        );
+        assert_eq!(
+            index.evict_unreferenced_to(0),
+            0,
+            "pinned entries never evict"
+        );
+
+        drop(layer);
+        assert_eq!(index.unreferenced_blocks(), 3);
+        assert_eq!(pool.blocks_in_use(), 3, "index retention keeps blocks live");
+        // Touch the deepest boundary so the shallow ones are LRU.
+        let _ = index.lookup(7, &[1, 2, 3, 4, 5, 6], 2, 6);
+        let evicted = index.evict_unreferenced_to(1);
+        assert_eq!(evicted, 2);
+        assert_eq!(index.retained_blocks(), 1);
+        assert_eq!(pool.blocks_in_use(), 1, "evicted storage returned");
+        assert_eq!(index.clear(), 1);
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn refcount_torture_random_drop_order_drains_to_zero_bytes() {
+        let pool = KvBlockPool::new(4);
+        let mut index = PrefixIndex::new();
+        let model = 42;
+        let tokens: Vec<u32> = (10..22).collect(); // 12 tokens = 3 full blocks
+        let base = filled_cache(&pool, 12);
+        index.publish(model, &tokens, 4, &[base.block_refs().to_vec()]);
+        drop(base);
+
+        // N sessions attach the same prefix and then finish (drop) in a
+        // seeded random order interleaved with new attachments.
+        let mut rng = Prng::seed(20260727);
+        let mut live: Vec<PagedKvCache> = Vec::new();
+        let mut peak = 0usize;
+        for round in 0..64 {
+            if round % 3 != 2 || live.is_empty() {
+                let hit = index.lookup(model, &tokens, 4, 12).expect("warm index");
+                let mut cache = PagedKvCache::with_prefix(&pool, hit.layer_blocks[0].clone());
+                // Each session writes a private continuation.
+                cache.push(&[round as f32; 2], &[round as f32; 2]);
+                live.push(cache);
+            } else {
+                let i = rng.below(live.len());
+                live.swap_remove(i);
+            }
+            peak = peak.max(pool.blocks_in_use());
+            // Shared prefix is 3 physical blocks however many sessions
+            // reference it; only tails multiply.
+            assert_eq!(pool.blocks_in_use(), 3 + live.len());
+        }
+        assert!(peak > 3, "the torture must actually share under load");
+        live.clear();
+        assert_eq!(pool.blocks_in_use(), 3, "index retention only");
+        assert_eq!(index.clear(), 3);
+        assert_eq!(pool.blocks_in_use(), 0, "pool drains to zero blocks");
+        assert_eq!(pool.in_use_bytes(), 0, "pool drains to zero bytes");
+        assert_eq!(pool.blocks_free(), pool.blocks_created());
     }
 }

@@ -142,6 +142,48 @@ impl Model {
         }
     }
 
+    /// Starts a paged decode session whose per-layer caches begin with the
+    /// shared blocks of a prefix-cache hit: the first `hit.tokens`
+    /// positions of context are already present (aliased, not copied —
+    /// attaching allocates nothing), and the session's position starts
+    /// past them. The caller is responsible for the hit actually matching
+    /// this model's weights and the prompt being fed (the serving layer
+    /// keys its [`PrefixIndex`](crate::kv::PrefixIndex) accordingly);
+    /// decode over attached blocks is bit-identical to recomputing them
+    /// because dense prefill is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hit does not cover exactly one block run per model
+    /// layer, or if its blocks are partial/foreign to `pool`.
+    pub fn start_paged_session_with_prefix(
+        &self,
+        pool: &crate::kv::KvBlockPool,
+        hit: &crate::kv::PrefixHit,
+    ) -> DecodeSession {
+        assert_eq!(
+            hit.layer_blocks.len(),
+            self.layers.len(),
+            "prefix hit layer count must match the model"
+        );
+        let caches: Vec<KvCache> = hit
+            .layer_blocks
+            .iter()
+            .map(|blocks| KvCache::paged_with_prefix(pool, blocks.clone()))
+            .collect();
+        for cache in &caches {
+            assert_eq!(
+                cache.len(),
+                hit.tokens,
+                "attached blocks must cover exactly the hit's token count"
+            );
+        }
+        DecodeSession {
+            caches,
+            position: hit.tokens,
+        }
+    }
+
     /// Dense forward pass of one token through all layers; advances the
     /// session and returns the logits.
     ///

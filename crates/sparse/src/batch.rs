@@ -1,5 +1,5 @@
 //! Closed-batch decoding: the offline-evaluation face of the
-//! [`Scheduler`](crate::scheduler::Scheduler).
+//! [`Scheduler`].
 //!
 //! A [`Batch`] is a thin wrapper over a pre-loaded continuous-batching
 //! scheduler with admission limits disabled

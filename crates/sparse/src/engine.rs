@@ -44,7 +44,7 @@
 //! # Hot-path architecture
 //!
 //! * **Workspace reuse** — every engine owns a
-//!   [`Workspace`](sparseinfer_tensor::Workspace), a per-session
+//!   [`Workspace`], a per-session
 //!   [`PredictorScratch`] and two recycled [`SkipMask`]s; with a
 //!   capacity-reserved session, a steady-state decode step performs **zero
 //!   heap allocations** (proven by the workspace allocation-guard test).

@@ -24,7 +24,13 @@ pub enum EngineError {
     /// A request's worst-case KV footprint (`prompt + max_new` tokens
     /// across every layer) exceeds the scheduler's total block budget: it
     /// could never be admitted, so [`submit`](crate::scheduler::Scheduler::submit)
-    /// rejects it up front instead of queueing it forever.
+    /// rejects it up front instead of queueing it forever. (Prefix
+    /// sharing does not relax this bound — shared blocks dedupe memory
+    /// *across* requests, but one request's shared-plus-private blocks
+    /// all exist physically. Defensively, the same error can also
+    /// surface as a [`FinishReason::Failed`](crate::request::FinishReason)
+    /// if an accounting gap ever left an admitted head request unable to
+    /// fit — failing one request instead of deadlocking the queue.)
     KvBudgetExceeded {
         /// Blocks the request needs in the worst case.
         required_blocks: usize,

@@ -27,7 +27,10 @@
 //!   [`submit`](Scheduler::submit) at any time (including mid-run), are
 //!   admitted FIFO under `max_slots` and a KV-block budget, can be
 //!   cancelled through a [`RequestHandle`], and release their KV blocks
-//!   the moment they finish.
+//!   the moment they finish. Requests sharing a prompt prefix share its
+//!   KV blocks (copy-on-write, refcounted) through a
+//!   [`PrefixIndex`](sparseinfer_model::kv::PrefixIndex), skipping the
+//!   shared prefill work — bit-identically to cold decode.
 //! * [`batch`](mod@crate::batch) — the closed round-robin [`Batch`]
 //!   wrapper over a pre-loaded, unbounded scheduler, for offline
 //!   evaluation workloads.
@@ -75,4 +78,6 @@ pub use mlp::SparseMlpOutput;
 pub use ops::OpCounter;
 pub use quantized::QuantizedGatedMlp;
 pub use request::{FinishReason, GenerateRequest, Generation, TokenEvent};
-pub use scheduler::{BatchEvent, BatchOutput, RequestHandle, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    BatchEvent, BatchOutput, PrefixCacheStats, RequestHandle, Scheduler, SchedulerConfig,
+};

@@ -12,7 +12,7 @@
 //! last token goes through the engine so decode statistics start with the
 //! first generated token.
 
-use sparseinfer_model::kv::{KvBlockPool, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_model::kv::{KvBlockPool, PrefixHit, DEFAULT_BLOCK_TOKENS};
 use sparseinfer_model::model::DecodeSession;
 use sparseinfer_model::sampling::Sampler;
 use sparseinfer_tensor::Vector;
@@ -124,6 +124,12 @@ pub struct TokenEvent {
 pub struct RequestRun {
     prompt: Vec<u32>,
     fed: usize,
+    /// Leading prompt positions whose KV arrived pre-computed from a
+    /// prefix-cache hit. [`advance`](Self::advance) still *consumes* one
+    /// call per cached position — the scheduling cadence is identical to
+    /// an uncached run, which is what keeps warm and cold event streams
+    /// bit-identical — but performs no model work for them.
+    prefill_cached: usize,
     max_new: usize,
     stop: Vec<u32>,
     sampler: Sampler,
@@ -165,9 +171,48 @@ impl RequestRun {
         engine: &dyn Engine,
         pool: &KvBlockPool,
     ) -> Result<Self, EngineError> {
+        Self::with_prefix(req, engine, pool, None)
+    }
+
+    /// Prepares a pool-backed run whose session starts with the shared KV
+    /// blocks of a prefix-cache hit, when one is given: the hit's
+    /// positions are attached (aliased, not recomputed), and
+    /// [`advance`](Self::advance) walks through them as **no-op prefill
+    /// steps** — one call per position, zero model work. Preserving the
+    /// one-position-per-step cadence is what makes a warm run's scheduler
+    /// event stream bit-identical to the cold run's; the saved prefill
+    /// *compute* is the win, reported via
+    /// [`prefill_skipped_tokens`](Self::prefill_skipped_tokens).
+    ///
+    /// The hit must come from an index keyed by this engine's model and
+    /// this run's prompt tokens (the scheduler guarantees both), and must
+    /// cover at most `prompt.len() - 1` positions — the densely prefilled
+    /// region, which is all that is engine-independent.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hit covers the whole prompt or more (the final
+    /// prompt token must go through the engine).
+    pub fn with_prefix(
+        req: &GenerateRequest,
+        engine: &dyn Engine,
+        pool: &KvBlockPool,
+        prefix: Option<&PrefixHit>,
+    ) -> Result<Self, EngineError> {
         if req.prompt.is_empty() {
             return Err(EngineError::EmptyPrompt);
         }
+        let prefill_cached = prefix.map_or(0, |hit| hit.tokens);
+        assert!(
+            prefill_cached < req.prompt.len(),
+            "prefix hit ({prefill_cached} tokens) must stay within the densely \
+             prefilled region of a {}-token prompt",
+            req.prompt.len()
+        );
         let sampler = req
             .sampler
             .clone()
@@ -175,12 +220,18 @@ impl RequestRun {
         Ok(Self {
             prompt: req.prompt.clone(),
             fed: 0,
+            prefill_cached,
             max_new: req.max_new,
             stop: req.stop.clone(),
             sampler,
             // Lazy paged growth: blocks are allocated as tokens are
-            // produced, never reserved for the whole budget up front.
-            session: engine.model().start_paged_session(pool),
+            // produced, never reserved for the whole budget up front. A
+            // prefix hit attaches its shared blocks and starts the
+            // session's position past them.
+            session: match prefix {
+                Some(hit) => engine.model().start_paged_session_with_prefix(pool, hit),
+                None => engine.model().start_paged_session(pool),
+            },
             logits: Vector::zeros(0),
             has_logits: false,
             tokens: Vec::new(),
@@ -221,6 +272,34 @@ impl RequestRun {
         &self.tokens
     }
 
+    /// The prompt this run decodes from.
+    pub fn prompt(&self) -> &[u32] {
+        &self.prompt
+    }
+
+    /// Prompt positions attached from a prefix-cache hit instead of being
+    /// prefilled — the per-request hit accounting
+    /// ([`BatchOutput::prefill_skipped_tokens`](crate::scheduler::BatchOutput::prefill_skipped_tokens)).
+    pub fn prefill_skipped_tokens(&self) -> usize {
+        self.prefill_cached
+    }
+
+    /// Whether the densely prefilled prompt region (every prompt token but
+    /// the last) has been fully absorbed — the point its full KV blocks
+    /// become publishable to a
+    /// [`PrefixIndex`](sparseinfer_model::kv::PrefixIndex): everything up
+    /// to here depends only on the model weights and the token ids, never
+    /// on the engine kind or sampler.
+    pub fn dense_prefill_complete(&self) -> bool {
+        self.fed + 1 >= self.prompt.len()
+    }
+
+    /// The session's per-layer KV caches — read access for prefix
+    /// publication.
+    pub fn kv_caches(&self) -> &[sparseinfer_model::attention::KvCache] {
+        &self.session.caches
+    }
+
     /// Performs one step: feeds the next prefill token, or samples and
     /// decodes the next token. Returns the emitted token, if this step
     /// produced one.
@@ -237,7 +316,13 @@ impl RequestRun {
             return Ok(None);
         }
         let last = self.prompt.len() - 1;
-        if self.fed < last {
+        if self.fed < self.prefill_cached {
+            // This position's KV was attached from a prefix-cache hit:
+            // consume the step (identical scheduling cadence to a cold
+            // run) without touching the model — the skipped prefill work.
+            self.fed += 1;
+            Ok(None)
+        } else if self.fed < last {
             // Dense prefill through the bare model.
             let _ = engine
                 .model()

@@ -49,6 +49,7 @@
 //!     max_slots: 2,                  // at most two concurrent decodes
 //!     block_tokens: 8,               // KV page granularity
 //!     kv_block_budget: usize::MAX,   // no memory cap in this example
+//!     ..SchedulerConfig::default()   // prefix cache on, default cap
 //! });
 //! let first = scheduler
 //!     .submit(
@@ -74,7 +75,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use sparseinfer_model::kv::{KvBlockPool, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_model::kv::{KvBlockPool, PrefixHit, PrefixIndex, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_model::Model;
 use sparseinfer_tensor::{ParallelOptions, ThreadPool};
 
 use crate::engine::{Engine, MemoryEstimate, SparsityStats};
@@ -112,7 +114,16 @@ pub struct BatchOutput {
     pub stats: Option<SparsityStats>,
     /// The engine configuration name that served the request.
     pub engine: String,
+    /// Prompt positions whose KV was attached from the scheduler's prefix
+    /// cache instead of being prefilled — the per-request hit accounting.
+    /// At least `shared full blocks × block_tokens` for a warm-prefix
+    /// request; zero on a cold miss or with the cache disabled.
+    pub prefill_skipped_tokens: usize,
 }
+
+/// Default cap on retained-but-unreferenced prefix blocks (see
+/// [`SchedulerConfig::prefix_retain_blocks`]).
+pub const DEFAULT_PREFIX_RETAIN_BLOCKS: usize = 512;
 
 /// Admission-control knobs of a [`Scheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,22 +132,40 @@ pub struct SchedulerConfig {
     /// wait for a slot to retire.
     pub max_slots: usize,
     /// Tokens per KV block — the paging granularity. Smaller blocks waste
-    /// less on short answers; larger blocks take the pool lock less often.
+    /// less on short answers; larger blocks take the pool lock less often
+    /// and share more aggressively (only *full* blocks of a prompt's
+    /// densely prefilled region are prefix-sharable).
     pub block_tokens: usize,
     /// Total KV blocks the scheduler's pool may ever hold (across all
-    /// layers of all live requests). Admission reserves each request's
-    /// worst case against this, so decode can never run out mid-flight.
-    /// `usize::MAX` disables the memory gate.
+    /// layers of all live requests, plus prefix-cache retention).
+    /// Admission reserves each request's worst case against this, so
+    /// decode can never run out mid-flight. `usize::MAX` disables the
+    /// memory gate.
     pub kv_block_budget: usize,
+    /// Enables prompt-prefix sharing: full KV blocks of each request's
+    /// densely prefilled prompt region are published to a
+    /// [`PrefixIndex`] and re-attached (copy-on-write, refcounted) to
+    /// later requests with the same prompt prefix, skipping their prefill
+    /// work and deduplicating their KV memory. Sharing never changes
+    /// tokens or event order — a warm run is bit-identical to a cold one.
+    pub prefix_cache: bool,
+    /// Cap on prefix blocks retained while **no live session references
+    /// them** (the warm cache kept for future requests). Exceeding it
+    /// evicts least-recently-used unreferenced entries; blocks attached
+    /// to live sessions are pinned and never count against the cap.
+    pub prefix_retain_blocks: usize,
 }
 
 impl Default for SchedulerConfig {
-    /// Eight slots, default block size, no KV budget.
+    /// Eight slots, default block size, no KV budget, prefix cache on
+    /// with the default retention cap.
     fn default() -> Self {
         Self {
             max_slots: 8,
             block_tokens: DEFAULT_BLOCK_TOKENS,
             kv_block_budget: usize::MAX,
+            prefix_cache: true,
+            prefix_retain_blocks: DEFAULT_PREFIX_RETAIN_BLOCKS,
         }
     }
 }
@@ -144,14 +173,40 @@ impl Default for SchedulerConfig {
 impl SchedulerConfig {
     /// No admission limits at all: every submitted request is admitted on
     /// the next tick — the configuration the closed
-    /// [`Batch`](crate::batch::Batch) wrapper runs on.
+    /// [`Batch`](crate::batch::Batch) wrapper runs on. The prefix cache
+    /// is off, preserving the closed batch's exact memory profile (a
+    /// fully finished batch holds zero decode memory).
     pub fn unbounded() -> Self {
         Self {
             max_slots: usize::MAX,
             block_tokens: DEFAULT_BLOCK_TOKENS,
             kv_block_budget: usize::MAX,
+            prefix_cache: false,
+            prefix_retain_blocks: 0,
         }
     }
+}
+
+/// Aggregate prefix-cache accounting of one [`Scheduler`] (see
+/// [`Scheduler::prefix_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixCacheStats {
+    /// Requests admitted with at least one attached prefix block.
+    pub attached_requests: usize,
+    /// Total prompt positions skipped across all requests (the sum of
+    /// every output's `prefill_skipped_tokens`).
+    pub skipped_tokens: u64,
+    /// Block handles newly published to the index over the scheduler's
+    /// lifetime.
+    pub published_blocks: usize,
+    /// Block handles evicted from the index (LRU cap or budget pressure).
+    pub evicted_blocks: usize,
+    /// Blocks the index currently retains (pinned + unreferenced).
+    pub retained_blocks: usize,
+    /// Retained blocks no live session references (the evictable set the
+    /// [`prefix_retain_blocks`](SchedulerConfig::prefix_retain_blocks)
+    /// cap applies to).
+    pub unreferenced_blocks: usize,
 }
 
 /// A cancellation handle for one submitted request.
@@ -189,9 +244,12 @@ struct QueuedRequest<'m> {
     engine: Box<dyn Engine + 'm>,
     req: GenerateRequest,
     cancel: Arc<AtomicBool>,
-    /// Worst-case KV blocks (`prompt + max_new` tokens × layers) reserved
-    /// at admission.
+    /// Gross worst-case KV blocks (`prompt + max_new` tokens × layers);
+    /// admission nets out prefix hits before reserving.
     worst_blocks: usize,
+    /// Prefix-index identity of the engine's model (see
+    /// [`Scheduler::model_key`]).
+    model_key: usize,
 }
 
 /// A request occupying a decode slot.
@@ -200,7 +258,15 @@ struct LiveSlot<'m> {
     engine: Box<dyn Engine + 'm>,
     run: RequestRun,
     cancel: Arc<AtomicBool>,
+    /// KV blocks this slot's reservation still covers. Starts at the
+    /// admission-time net worst case; shrinks when the slot publishes
+    /// blocks to the prefix index (ownership shifts to the index's
+    /// retention accounting).
     worst_blocks: usize,
+    model_key: usize,
+    /// Whether this slot's densely prefilled prompt blocks have been
+    /// offered to the prefix index (done at most once per request).
+    published: bool,
     /// Event produced by the most recent tick (drained in slot order so
     /// streaming callbacks see a deterministic sequence even when slots
     /// advance on worker threads).
@@ -212,6 +278,7 @@ impl<'m> LiveSlot<'m> {
     /// per-session scratch and returning the session's KV blocks to the
     /// pool.
     fn into_output(self) -> BatchOutput {
+        let prefill_skipped_tokens = self.run.prefill_skipped_tokens();
         let generation = self.run.into_generation();
         BatchOutput {
             id: self.id,
@@ -220,6 +287,7 @@ impl<'m> LiveSlot<'m> {
             ops: *self.engine.ops(),
             stats: self.engine.stats().cloned(),
             engine: self.engine.name().to_string(),
+            prefill_skipped_tokens,
         }
     }
 }
@@ -235,6 +303,7 @@ fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
         ops: *q.engine.ops(),
         stats: q.engine.stats().cloned(),
         engine: q.engine.name().to_string(),
+        prefill_skipped_tokens: 0,
     }
 }
 
@@ -251,16 +320,28 @@ pub struct Scheduler<'m> {
     config: SchedulerConfig,
     pool: ThreadPool,
     kv: KvBlockPool,
+    /// Published prompt-prefix blocks, re-attached to later requests.
+    /// Every physical block is covered by exactly one of: a live slot's
+    /// reservation, or the index's retention — the invariant the budget
+    /// math in [`admit`](Self::admit) rests on.
+    index: PrefixIndex,
     queue: VecDeque<QueuedRequest<'m>>,
     slots: Vec<LiveSlot<'m>>,
     finished: Vec<BatchOutput>,
     next_id: usize,
-    /// Worst-case blocks reserved by the live slots.
+    /// Worst-case blocks reserved by the live slots (net of prefix hits
+    /// and already-published blocks).
     reserved_blocks: usize,
     /// KV dimension established by the first submission: every session
     /// pages out of one fixed-block-size pool, so later submissions must
     /// match (validated in [`submit`](Self::submit)).
     kv_dim: Option<usize>,
+    /// Lifetime prefix-cache counters behind
+    /// [`prefix_stats`](Self::prefix_stats).
+    attached_requests: usize,
+    skipped_tokens: u64,
+    published_blocks: usize,
+    evicted_blocks: usize,
 }
 
 impl std::fmt::Debug for Scheduler<'_> {
@@ -287,12 +368,17 @@ impl<'m> Scheduler<'m> {
             kv: KvBlockPool::with_budget(config.block_tokens, config.kv_block_budget),
             config,
             pool: ThreadPool::single(),
+            index: PrefixIndex::new(),
             queue: VecDeque::new(),
             slots: Vec::new(),
             finished: Vec::new(),
             next_id: 0,
             reserved_blocks: 0,
             kv_dim: None,
+            attached_requests: 0,
+            skipped_tokens: 0,
+            published_blocks: 0,
+            evicted_blocks: 0,
         }
     }
 
@@ -330,6 +416,27 @@ impl<'m> Scheduler<'m> {
         engine.model().layers().len() * self.kv.blocks_for_tokens(worst_tokens)
     }
 
+    /// Prompt positions of a `prompt_len`-token prompt that are prefix-
+    /// sharable: whole blocks inside the densely prefilled region (every
+    /// prompt token but the last — the last goes through the engine, so
+    /// its KV is engine-dependent and never shared). The single source of
+    /// this bound: admission's lookup and prefix publication must agree
+    /// on it exactly, or hits and retained entries silently diverge.
+    fn sharable_tokens(prompt_len: usize, block_tokens: usize) -> usize {
+        ((prompt_len - 1) / block_tokens) * block_tokens
+    }
+
+    /// Prefix-index identity of `model`.
+    ///
+    /// Pointer identity is sound here: every submitted engine borrows its
+    /// model for `'m`, and a `Scheduler<'m>` value is only usable while
+    /// `'m` is alive — so every model ever submitted outlives every later
+    /// use of this scheduler, and an address can never be recycled by a
+    /// different model within its lifetime.
+    fn model_key(model: &Model) -> usize {
+        model as *const Model as usize
+    }
+
     /// Submits a request, at any time — before the first tick or while
     /// other requests are mid-decode. The request waits in a FIFO
     /// admission queue until a slot and enough unreserved KV budget are
@@ -340,7 +447,9 @@ impl<'m> Scheduler<'m> {
     ///
     /// [`EngineError::EmptyPrompt`] if the prompt is empty;
     /// [`EngineError::KvBudgetExceeded`] if the request's worst-case KV
-    /// footprint exceeds the *total* budget (it could never be admitted);
+    /// footprint exceeds the *total* budget (it could never be admitted:
+    /// prefix sharing dedupes blocks *across* requests, but this
+    /// request's shared-plus-private blocks still all exist physically);
     /// [`EngineError::KvDimensionMismatch`] if the engine's model uses a
     /// different KV dimension than this scheduler's earlier submissions —
     /// every session pages out of one shared pool of fixed-size blocks,
@@ -370,6 +479,7 @@ impl<'m> Scheduler<'m> {
                 budget_blocks: self.config.kv_block_budget,
             });
         }
+        let model_key = Self::model_key(engine.model());
         // Latch the pool's dimension only once the request is accepted — a
         // rejected submit must not pin the scheduler to its model.
         self.kv_dim = Some(model_dim);
@@ -383,6 +493,7 @@ impl<'m> Scheduler<'m> {
             req: req.clone(),
             cancel: Arc::clone(&cancel),
             worst_blocks,
+            model_key,
         });
         Ok(RequestHandle { id, cancel })
     }
@@ -412,21 +523,82 @@ impl<'m> Scheduler<'m> {
             let Some(front) = self.queue.front() else {
                 return;
             };
-            if self.slots.len() >= self.config.max_slots
-                || self.reserved_blocks + front.worst_blocks > self.config.kv_block_budget
-            {
+            if self.slots.len() >= self.config.max_slots {
+                return;
+            }
+            // Look up the head's prompt prefix *before* the budget check:
+            // shared blocks are already paid for by the index's retention
+            // (or a publisher's reservation), so the head only needs to
+            // reserve its net worst case. Attaching refreshes the LRU and
+            // pins the blocks for the slot's lifetime.
+            let hit = if self.config.prefix_cache {
+                let max_tokens =
+                    Self::sharable_tokens(front.req.prompt.len(), self.config.block_tokens);
+                self.index.lookup(
+                    front.model_key,
+                    &front.req.prompt,
+                    self.config.block_tokens,
+                    max_tokens,
+                )
+            } else {
+                None
+            };
+            let hit_blocks = hit.as_ref().map_or(0, PrefixHit::total_blocks);
+            let net_worst = front.worst_blocks - hit_blocks;
+            // Budget invariant: every physical block is covered by exactly
+            // one of (a) a live slot's reservation or (b) the index's
+            // retention — so admission fits `net_worst` into what is left
+            // of the budget after both.
+            let mut occupied = self.reserved_blocks + self.index.retained_blocks();
+            if occupied.saturating_add(net_worst) > self.config.kv_block_budget {
+                // Unreferenced warm-cache blocks are reclaimable: evict as
+                // many as needed (LRU-first) rather than stall admission
+                // behind memory we are only *keeping warm*. Blocks pinned
+                // by live sessions (including this hit's) stay put.
+                let needed = occupied.saturating_add(net_worst) - self.config.kv_block_budget;
+                let evicted = self
+                    .index
+                    .evict_unreferenced_to(self.index.unreferenced_blocks().saturating_sub(needed));
+                self.evicted_blocks += evicted;
+                occupied = self.reserved_blocks + self.index.retained_blocks();
+            }
+            if occupied.saturating_add(net_worst) > self.config.kv_block_budget {
+                if self.reserved_blocks == 0 {
+                    // Unreachable today: submit rejects gross-over-budget
+                    // requests, and with no live slots the eviction pass
+                    // above reclaims every retained block except the
+                    // head's own hit — which nets out exactly — so the
+                    // head always fits here. Kept as data so a future
+                    // accounting gap fails one request instead of
+                    // deadlocking the queue.
+                    drop(hit);
+                    let q = self.queue.pop_front().expect("front exists");
+                    let err = EngineError::KvBudgetExceeded {
+                        required_blocks: net_worst,
+                        budget_blocks: self.config.kv_block_budget,
+                    };
+                    self.finished
+                        .push(unstarted_output(q, FinishReason::Failed(err)));
+                    continue;
+                }
                 return;
             }
             let q = self.queue.pop_front().expect("front exists");
-            match RequestRun::with_kv_pool(&q.req, q.engine.as_ref(), &self.kv) {
+            match RequestRun::with_prefix(&q.req, q.engine.as_ref(), &self.kv, hit.as_ref()) {
                 Ok(run) => {
-                    self.reserved_blocks += q.worst_blocks;
+                    if let Some(hit) = &hit {
+                        self.attached_requests += 1;
+                        self.skipped_tokens += hit.tokens as u64;
+                    }
+                    self.reserved_blocks += net_worst;
                     self.slots.push(LiveSlot {
                         id: q.id,
                         engine: q.engine,
                         run,
                         cancel: q.cancel,
-                        worst_blocks: q.worst_blocks,
+                        worst_blocks: net_worst,
+                        model_key: q.model_key,
+                        published: false,
                         last_event: None,
                     });
                 }
@@ -438,6 +610,66 @@ impl<'m> Scheduler<'m> {
                     .push(unstarted_output(q, FinishReason::Failed(err))),
             }
         }
+    }
+
+    /// Offers every slot's densely prefilled prompt blocks to the prefix
+    /// index, once per request, the tick its dense prefill completes
+    /// (retiring slots included — a finished request's prefix stays warm
+    /// for the next one). Blocks the index newly retains shift out of the
+    /// publishing slot's reservation: the budget invariant (every block
+    /// covered exactly once) is preserved, and the index then answers for
+    /// them until eviction.
+    fn publish_prefixes(&mut self) {
+        if !self.config.prefix_cache {
+            return;
+        }
+        let bt = self.config.block_tokens;
+        for slot in &mut self.slots {
+            if slot.published || !slot.run.dense_prefill_complete() {
+                continue;
+            }
+            slot.published = true;
+            let prompt = slot.run.prompt();
+            let sharable = Self::sharable_tokens(prompt.len(), bt);
+            if sharable == 0 {
+                continue;
+            }
+            let runs = sharable / bt;
+            let per_layer: Vec<Vec<_>> = slot
+                .run
+                .kv_caches()
+                .iter()
+                .map(|cache| {
+                    cache
+                        .as_paged()
+                        .expect("scheduler sessions are paged")
+                        .block_refs()[..runs]
+                        .to_vec()
+                })
+                .collect();
+            let newly = self
+                .index
+                .publish(slot.model_key, &prompt[..sharable], bt, &per_layer);
+            self.published_blocks += newly;
+            // The newly retained blocks were allocated under this slot's
+            // reservation; hand their coverage to the index.
+            let shift = newly.min(slot.worst_blocks);
+            slot.worst_blocks -= shift;
+            self.reserved_blocks -= shift;
+        }
+    }
+
+    /// Enforces the retention cap on unreferenced prefix blocks — run at
+    /// the end of every tick, *after* retirement, so blocks a retiring
+    /// request just unpinned are re-checked immediately.
+    fn enforce_prefix_cap(&mut self) {
+        if !self.config.prefix_cache {
+            return;
+        }
+        let evicted = self
+            .index
+            .evict_unreferenced_to(self.config.prefix_retain_blocks);
+        self.evicted_blocks += evicted;
     }
 
     /// One scheduling round: admit what fits, apply pending cancellations,
@@ -466,6 +698,9 @@ impl<'m> Scheduler<'m> {
                 slot.run.advance(slot.engine.as_mut()).unwrap_or(None)
             };
         });
+        // Publish freshly completed prompt prefixes before retirement, so
+        // a request finishing this very tick still leaves its prefix warm.
+        self.publish_prefixes();
         for slot in &mut self.slots {
             if let Some(TokenEvent { index, token }) = slot.last_event.take() {
                 on_token(BatchEvent {
@@ -487,6 +722,7 @@ impl<'m> Scheduler<'m> {
                 i += 1;
             }
         }
+        self.enforce_prefix_cap();
         self.unfinished_requests()
     }
 
@@ -510,9 +746,25 @@ impl<'m> Scheduler<'m> {
         self.slots.len()
     }
 
-    /// Worst-case KV blocks currently reserved by the live slots.
+    /// Worst-case KV blocks currently reserved by the live slots (net of
+    /// prefix hits and blocks already handed to the index's retention).
     pub fn reserved_blocks(&self) -> usize {
         self.reserved_blocks
+    }
+
+    /// Aggregate prefix-cache accounting: hit/publication/eviction
+    /// counters over the scheduler's lifetime plus the index's current
+    /// retention. All zeros when
+    /// [`prefix_cache`](SchedulerConfig::prefix_cache) is off.
+    pub fn prefix_stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            attached_requests: self.attached_requests,
+            skipped_tokens: self.skipped_tokens,
+            published_blocks: self.published_blocks,
+            evicted_blocks: self.evicted_blocks,
+            retained_blocks: self.index.retained_blocks(),
+            unreferenced_blocks: self.index.unreferenced_blocks(),
+        }
     }
 
     /// Drains the outputs of every request finished so far, in finish
@@ -525,10 +777,13 @@ impl<'m> Scheduler<'m> {
     /// Memory of the scheduler's execution state: engine memory over every
     /// queued and live request (shared predictor bytes counted **once per
     /// distinct predictor**, deduplicated by `Arc` identity) plus the KV
-    /// blocks live sessions currently hold. Retired requests contribute
-    /// nothing — their scratch is dropped and their blocks are back in the
-    /// pool — which is the measurable form of the O(live tokens) memory
-    /// property.
+    /// blocks live sessions and the prefix cache currently hold. The pool
+    /// reports **physical** blocks — a prefix block attached to ten
+    /// sessions costs its bytes once — and is added exactly once here,
+    /// never per session, so shared blocks are never double-counted.
+    /// Retired requests contribute nothing — their scratch is dropped and
+    /// their private blocks are back in the pool — which is the
+    /// measurable form of the O(live tokens) memory property.
     pub fn memory_estimate(&self) -> MemoryEstimate {
         let mut seen = Vec::new();
         let mut total = MemoryEstimate::default();
@@ -619,6 +874,7 @@ mod tests {
             max_slots: 4,
             block_tokens: 4,
             kv_block_budget: 3,
+            ..SchedulerConfig::default()
         });
         // tiny() has 2 layers: 2 · ceil((2 + 30)/4) = 16 blocks > 3.
         let err = s
@@ -668,6 +924,7 @@ mod tests {
             max_slots: 4,
             block_tokens: 4,
             kv_block_budget: 5,
+            ..SchedulerConfig::default()
         });
         for _ in 0..3 {
             s.submit(dense(&m), &req).unwrap();
@@ -736,6 +993,7 @@ mod tests {
             max_slots: 2,
             block_tokens: 4,
             kv_block_budget: usize::MAX,
+            ..SchedulerConfig::default()
         });
         let handle = s.submit(dense(&m), &req).unwrap();
         let kv = s.kv_pool().clone();
@@ -849,6 +1107,7 @@ mod tests {
             max_slots: 2,
             block_tokens: 4,
             kv_block_budget: 3,
+            ..SchedulerConfig::default()
         });
         // Budget-rejected: must not pin the scheduler to m_big's width.
         let err = s
@@ -871,6 +1130,7 @@ mod tests {
             max_slots: 3,
             block_tokens: 4,
             kv_block_budget: 4,
+            ..SchedulerConfig::default()
         });
         let head = s
             .submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(4))
@@ -902,6 +1162,151 @@ mod tests {
             .iter()
             .all(|o| o.finish == FinishReason::Cancelled));
         assert_eq!(outputs[0].tokens.len(), 4);
+    }
+
+    #[test]
+    fn warm_prefix_resubmission_skips_prefill_and_reuses_blocks() {
+        let m = model();
+        let n_layers = m.config().n_layers;
+        // Prompt of 10 tokens at 4 per block: the densely prefilled region
+        // is 9 tokens, so 2 full blocks (8 tokens) are sharable.
+        let prompt: Vec<u32> = (1..=10).collect();
+        let req = GenerateRequest::new(&prompt).max_new(4);
+        let solo = solo_tokens(&m, &req);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            kv_block_budget: usize::MAX,
+            ..SchedulerConfig::default()
+        });
+        s.submit(dense(&m), &req).unwrap();
+        while s.tick(|_| {}) > 0 {}
+        let cold = s.take_finished();
+        assert_eq!(cold[0].tokens, solo);
+        assert_eq!(cold[0].prefill_skipped_tokens, 0, "first run is cold");
+        let created_after_cold = s.kv_pool().blocks_created();
+        let stats = s.prefix_stats();
+        assert_eq!(stats.published_blocks, 2 * n_layers);
+        assert_eq!(stats.retained_blocks, 2 * n_layers);
+        assert_eq!(
+            stats.unreferenced_blocks, stats.retained_blocks,
+            "publisher retired, the index is the sole referrer"
+        );
+        assert_eq!(stats.attached_requests, 0);
+
+        s.submit(dense(&m), &req).unwrap();
+        while s.tick(|_| {}) > 0 {}
+        let warm = s.take_finished();
+        assert_eq!(warm[0].tokens, solo, "warm decode is bit-identical");
+        assert_eq!(
+            warm[0].prefill_skipped_tokens, 8,
+            "shared full blocks × block_tokens"
+        );
+        let stats = s.prefix_stats();
+        assert_eq!(stats.attached_requests, 1);
+        assert_eq!(stats.skipped_tokens, 8);
+        assert_eq!(
+            s.kv_pool().blocks_created(),
+            created_after_cold,
+            "the warm run allocated nothing beyond recycled free blocks"
+        );
+    }
+
+    #[test]
+    fn prefix_cache_disabled_never_attaches_or_retains() {
+        let m = model();
+        let prompt: Vec<u32> = (1..=10).collect();
+        let req = GenerateRequest::new(&prompt).max_new(3);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            kv_block_budget: usize::MAX,
+            prefix_cache: false,
+            prefix_retain_blocks: 0,
+        });
+        for _ in 0..2 {
+            s.submit(dense(&m), &req).unwrap();
+            while s.tick(|_| {}) > 0 {}
+        }
+        let outputs = s.take_finished();
+        assert!(outputs.iter().all(|o| o.prefill_skipped_tokens == 0));
+        assert_eq!(s.prefix_stats(), PrefixCacheStats::default());
+        assert_eq!(s.kv_pool().blocks_in_use(), 0, "nothing retained");
+    }
+
+    #[test]
+    fn prefix_retention_cap_evicts_unreferenced_lru_entries() {
+        let m = model();
+        let n_layers = m.config().n_layers;
+        // Each distinct 6-token prompt publishes one full block per layer.
+        let cap = n_layers; // room for exactly one retained prefix
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 1,
+            block_tokens: 4,
+            kv_block_budget: usize::MAX,
+            prefix_cache: true,
+            prefix_retain_blocks: cap,
+        });
+        for start in [10u32, 25, 40] {
+            let prompt: Vec<u32> = (start..start + 6).collect();
+            s.submit(dense(&m), &GenerateRequest::new(&prompt).max_new(2))
+                .unwrap();
+            while s.tick(|_| {}) > 0 {}
+        }
+        let stats = s.prefix_stats();
+        assert!(
+            stats.unreferenced_blocks <= cap,
+            "cap {} exceeded: {} unreferenced blocks retained",
+            cap,
+            stats.unreferenced_blocks
+        );
+        assert!(stats.evicted_blocks >= n_layers, "older prefixes evicted");
+        // The most recent prefix is the survivor: resubmitting it hits.
+        let prompt: Vec<u32> = (40u32..46).collect();
+        s.submit(dense(&m), &GenerateRequest::new(&prompt).max_new(2))
+            .unwrap();
+        while s.tick(|_| {}) > 0 {}
+        let out = s.take_finished();
+        assert_eq!(out.last().unwrap().prefill_skipped_tokens, 4);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_warm_cache_to_admit_new_requests() {
+        let m = model();
+        let n_layers = m.config().n_layers; // tiny(): 2
+                                            // Each request: 5-token prompt + max_new 3 = 8 tokens = 2 blocks
+                                            // per layer gross; 1 full block per layer is sharable.
+        let gross = n_layers * 2;
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            kv_block_budget: gross, // exactly one cold request fits
+            prefix_cache: true,
+            prefix_retain_blocks: usize::MAX, // only budget pressure evicts
+        });
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[1, 2, 3, 4, 5]).max_new(3),
+        )
+        .unwrap();
+        while s.tick(|_| {}) > 0 {}
+        assert_eq!(s.prefix_stats().retained_blocks, n_layers);
+        // A *different* prompt needs the whole budget: the warm cache must
+        // be evicted to admit it rather than blocking the queue forever.
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[9, 8, 7, 6, 5]).max_new(3),
+        )
+        .unwrap();
+        let mut ticks = 0;
+        while s.tick(|_| {}) > 0 {
+            ticks += 1;
+            assert!(ticks < 64, "warm retention must not starve admission");
+        }
+        let outputs = s.take_finished();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[1].tokens.len(), 3);
+        assert!(s.prefix_stats().evicted_blocks >= n_layers);
     }
 
     #[test]

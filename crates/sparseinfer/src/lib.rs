@@ -66,6 +66,7 @@
 //!     max_slots: 2,            // concurrent decode slots
 //!     block_tokens: 16,        // paged-KV granularity
 //!     kv_block_budget: 1024,   // admission-control memory cap
+//!     ..SchedulerConfig::default() // prefix cache on, default retention
 //! });
 //! let dense = EngineBuilder::new(&model).build().unwrap();
 //! let sparse = EngineBuilder::new(&model).signbit(AlphaSchedule::uniform(1.0)).build().unwrap();

@@ -15,7 +15,7 @@
 //! chains break the dependency and let rustc autovectorize. The reduction
 //! order is **fixed and shared by every path** — sequential, row-partitioned
 //! parallel, dense and sparse — so all of them produce bit-identical
-//! outputs. The pre-optimization scalar forms survive in [`reference`] and
+//! outputs. The pre-optimization scalar forms survive in [`mod@reference`] and
 //! the test suite proves exact equivalence of the lane-ordered scalar form
 //! and close agreement of the single-accumulator form.
 //!

@@ -41,7 +41,7 @@
 //! lifetimes — the same thing `std::thread::scope` and rayon do internally.
 //! The invariants that make it sound are small and local:
 //!
-//! * A [`Task`] (erased closure pointer + chunk pointer/len) is only ever
+//! * A `Task` (erased closure pointer + chunk pointer/len) is only ever
 //!   created inside [`ThreadPool::run_chunks`] / [`ThreadPool::run_tasks`],
 //!   which do not return (or unwind) until the completion counter says
 //!   every deposited task has finished. Workers never touch a task after

@@ -88,6 +88,7 @@ fn main() {
         max_slots: 2,
         block_tokens: 16,
         kv_block_budget: 1024,
+        ..SchedulerConfig::default()
     });
     let prompts = [
         "Q: 1 + 1? A:",

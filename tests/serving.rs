@@ -492,6 +492,7 @@ fn scheduler_is_token_identical_to_solo_decode_at_1_2_4_threads() {
             max_slots: 3, // half the requests must wait for retirement
             block_tokens: 4,
             kv_block_budget: usize::MAX,
+            ..SchedulerConfig::default()
         })
         .parallel(ParallelOptions::threads(threads));
         for (i, (p, max_new)) in prompts.iter().zip(budgets).enumerate() {
@@ -543,6 +544,7 @@ fn early_stop_allocates_blocks_for_produced_tokens_not_max_new() {
         max_slots: 1,
         block_tokens,
         kv_block_budget: usize::MAX,
+        ..SchedulerConfig::default()
     });
     scheduler
         .submit(
@@ -593,6 +595,7 @@ fn churning_scheduler_memory_is_bounded_by_live_tokens_and_drains_clean() {
         max_slots,
         block_tokens,
         kv_block_budget: usize::MAX,
+        ..SchedulerConfig::default()
     });
 
     // Worst-case live context any slot can hold, in blocks — the O(live
@@ -686,6 +689,244 @@ fn churning_scheduler_memory_is_bounded_by_live_tokens_and_drains_clean() {
         "pool grew from {created_mid_churn} to {} blocks after warm-up: \
          blocks are leaking instead of being recycled",
         kv.blocks_created()
+    );
+}
+
+/// The prefix-sharing determinism contract (acceptance criterion): with
+/// fixed seeds, shared-prefix decode is **token- and event-order
+/// bit-identical** to unshared decode at 1/2/4 slot threads. Sharing only
+/// removes redundant prefill *work* — cached positions still consume one
+/// scheduling step each, so the admission schedule, the event stream and
+/// every token match the cold run exactly.
+#[test]
+fn shared_prefix_decode_is_bit_identical_to_unshared_at_1_2_4_threads() {
+    let model = test_model();
+    let block_tokens = 4usize;
+    // A 13-token shared system prompt; with a unique tail token appended,
+    // the densely prefilled region is 13 tokens = 3 full sharable blocks.
+    let prefix: Vec<u32> = (0..13).map(|i| (i * 7) % 90 + 3).collect();
+    let mut prompts: Vec<Vec<u32>> = (0..4)
+        .map(|i| {
+            let mut p = prefix.clone();
+            p.push(100 + i);
+            p
+        })
+        .collect();
+    prompts.push(vec![7, 8, 9]); // unrelated traffic in the same run
+    prompts.push(vec![50, 60]);
+    let budgets = [5usize, 7, 4, 6, 5, 3];
+
+    let solo: Vec<Vec<u32>> = prompts
+        .iter()
+        .zip(budgets)
+        .enumerate()
+        .map(|(i, (p, max_new))| {
+            let mut e = engine_for(&model, i);
+            generate(e.as_mut(), &GenerateRequest::new(p).max_new(max_new))
+                .expect("non-empty prompt")
+                .tokens
+        })
+        .collect();
+
+    let run_at = |threads: usize, prefix_cache: bool| {
+        let mut scheduler = Scheduler::new(SchedulerConfig {
+            max_slots: 3, // sharers 0..3 start cold; sharer 3 joins warm
+            block_tokens,
+            kv_block_budget: usize::MAX,
+            prefix_cache,
+            prefix_retain_blocks: 64,
+        })
+        .parallel(ParallelOptions::threads(threads));
+        for (i, (p, max_new)) in prompts.iter().zip(budgets).enumerate() {
+            scheduler
+                .submit(
+                    engine_for(&model, i),
+                    &GenerateRequest::new(p).max_new(max_new),
+                )
+                .expect("non-empty prompt");
+        }
+        let mut events = Vec::new();
+        let outputs = scheduler.run_streaming(|ev| events.push((ev.request, ev.index, ev.token)));
+        let skipped: Vec<usize> = outputs.iter().map(|o| o.prefill_skipped_tokens).collect();
+        let tokens: Vec<Vec<u32>> = outputs.into_iter().map(|o| o.tokens).collect();
+        (tokens, events, skipped)
+    };
+
+    let (cold_tokens, cold_events, cold_skipped) = run_at(1, false);
+    assert_eq!(cold_tokens, solo, "cold scheduler == solo decode");
+    assert!(cold_skipped.iter().all(|s| *s == 0), "cache off: no hits");
+
+    for threads in [1usize, 2, 4] {
+        let (tokens, events, skipped) = run_at(threads, true);
+        assert_eq!(tokens, solo, "warm tokens == solo at {threads} threads");
+        assert_eq!(
+            events, cold_events,
+            "warm event order == cold event order at {threads} threads"
+        );
+        // The fourth sharer is admitted only after one of the first three
+        // retires — long after their shared prefill published — so it must
+        // attach every sharable full block: 3 blocks × 4 tokens.
+        assert!(
+            skipped[3] >= 3 * block_tokens,
+            "warm sharer skipped {} < {} tokens at {threads} threads",
+            skipped[3],
+            3 * block_tokens
+        );
+        assert_eq!(skipped[4], 0, "unrelated prompts never hit");
+        assert_eq!(skipped[5], 0);
+    }
+}
+
+/// Refcount torture (acceptance satellite): many requests attach the same
+/// prefix and cancel/finish in a seeded random order; physical blocks stay
+/// bounded by shared-prefix + live-tail usage throughout, survive every
+/// individual drop, and the pool drains to zero bytes once the last
+/// referrer (the scheduler's index) is gone.
+#[test]
+fn prefix_refcount_torture_frees_blocks_only_at_the_last_referrer() {
+    let model = test_model();
+    let n_layers = model.config().n_layers;
+    let block_tokens = 4usize;
+    let max_slots = 3usize;
+    let prefix: Vec<u32> = (0..9).map(|i| i * 3 + 1).collect(); // 2 full blocks shared
+    let shared_blocks = n_layers * 2;
+    let max_new = 6usize;
+
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots,
+        block_tokens,
+        kv_block_budget: usize::MAX,
+        prefix_cache: true,
+        prefix_retain_blocks: 64,
+    });
+    let kv = scheduler.kv_pool().clone();
+    let n_requests = 16usize;
+    let mut handles = Vec::new();
+    for i in 0..n_requests {
+        let mut p = prefix.clone();
+        p.push(120 + i as u32);
+        handles.push(
+            scheduler
+                .submit(
+                    engine_for(&model, i),
+                    &GenerateRequest::new(&p).max_new(max_new),
+                )
+                .unwrap(),
+        );
+    }
+    // Worst case per live slot: private blocks for its whole context.
+    let per_slot = n_layers * (prefix.len() + 1 + max_new).div_ceil(block_tokens);
+    let ceiling = shared_blocks + max_slots * per_slot;
+
+    // Seeded pseudo-random cancellation order: every third tick, cancel
+    // the "random" oldest-half handle — queued, live or already done.
+    let mut seed = 0x5EEDu64;
+    let mut tick = 0usize;
+    loop {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if tick % 3 == 2 && !handles.is_empty() {
+            let i = (seed >> 33) as usize % handles.len();
+            handles.swap_remove(i).cancel();
+        }
+        let unfinished = scheduler.tick(|_| {});
+        assert!(
+            kv.blocks_in_use() <= ceiling,
+            "tick {tick}: {} blocks exceeds shared+live ceiling {ceiling}",
+            kv.blocks_in_use()
+        );
+        tick += 1;
+        if unfinished == 0 {
+            break;
+        }
+        assert!(tick < 1024, "torture must drain");
+    }
+    let outputs = scheduler.take_finished();
+    assert_eq!(outputs.len(), n_requests, "every submission resolves");
+    let stats = scheduler.prefix_stats();
+    assert!(stats.attached_requests > 0, "sharing must actually happen");
+    assert_eq!(
+        kv.blocks_in_use(),
+        stats.retained_blocks,
+        "after drain only index retention survives"
+    );
+    assert!(stats.retained_blocks >= shared_blocks);
+    // Dropping the scheduler drops the index — the last referrer.
+    drop(scheduler);
+    assert_eq!(kv.blocks_in_use(), 0, "pool drains to zero blocks");
+    assert_eq!(kv.in_use_bytes(), 0, "pool drains to zero bytes");
+    assert_eq!(kv.blocks_free(), kv.blocks_created());
+}
+
+/// Satellite fix regression: `Scheduler::memory_estimate()` counts shared
+/// prefix blocks once (physical pool bytes), not once per session — N
+/// warm sharers mid-decode cost strictly less KV than N cold copies.
+#[test]
+fn shared_prefix_blocks_are_counted_once_not_per_session() {
+    let model = test_model();
+    let n_layers = model.config().n_layers;
+    let block_tokens = 4usize;
+    let prefix: Vec<u32> = (0..13).map(|i| i * 2 + 5).collect(); // 3 full blocks
+    let sharers = 3usize;
+
+    // Drive both variants to the same mid-decode tick; the only difference
+    // is the prefix cache, so the estimate gap is exactly the deduped KV.
+    let run_to_mid_decode = |prefix_cache: bool| {
+        let mut scheduler = Scheduler::new(SchedulerConfig {
+            max_slots: sharers + 1,
+            block_tokens,
+            kv_block_budget: usize::MAX,
+            prefix_cache,
+            prefix_retain_blocks: 64,
+        });
+        // Warm-up request publishes the prefix (when the cache is on).
+        let mut warm = prefix.clone();
+        warm.push(90);
+        scheduler
+            .submit(
+                EngineBuilder::new(&model).build().unwrap(),
+                &GenerateRequest::new(&warm).max_new(1),
+            )
+            .unwrap();
+        while scheduler.tick(|_| {}) > 0 {}
+        for i in 0..sharers {
+            let mut p = prefix.clone();
+            p.push(100 + i as u32);
+            scheduler
+                .submit(
+                    EngineBuilder::new(&model).build().unwrap(),
+                    &GenerateRequest::new(&p).max_new(8),
+                )
+                .unwrap();
+        }
+        // Past prefill, a few decode tokens in, nobody finished.
+        for _ in 0..prefix.len() + 4 {
+            scheduler.tick(|_| {});
+        }
+        assert_eq!(scheduler.active_slots(), sharers);
+        (
+            scheduler.kv_pool().blocks_in_use(),
+            scheduler.memory_estimate(),
+        )
+    };
+
+    let (shared_blocks, shared_est) = run_to_mid_decode(true);
+    let (cold_blocks, cold_est) = run_to_mid_decode(false);
+    // Cold: every sharer stores the 3 prefix blocks per layer privately.
+    // Warm: one physical copy serves all three.
+    let dedup = (sharers - 1) * n_layers * 3;
+    assert!(
+        shared_blocks + dedup <= cold_blocks + n_layers * 3,
+        "warm {shared_blocks} blocks vs cold {cold_blocks}: sharing must \
+         deduplicate the prefix (expected ≥ {dedup} blocks saved, modulo \
+         one retained warm-up copy)"
+    );
+    assert!(
+        shared_est.total() < cold_est.total(),
+        "estimate must reflect physical sharing: warm {} B vs cold {} B",
+        shared_est.total(),
+        cold_est.total()
     );
 }
 

@@ -16,7 +16,7 @@
 //! `BENCH_serving.json` (skipped under `SPARSEINFER_BENCH_QUICK=1`, which
 //! runs one small pass as a CI smoke).
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
@@ -26,6 +26,7 @@ use sparseinfer::sparse::engine::{Engine, EngineBuilder};
 use sparseinfer::sparse::request::GenerateRequest;
 use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
 use sparseinfer_bench::{bench_iters, BenchReport};
+use sparseinfer_serve::{Client, Server, ServerConfig};
 
 fn bench_model() -> Model {
     let mut cfg = ModelConfig::tiny();
@@ -282,6 +283,176 @@ fn run_prefix(
     }
 }
 
+/// Latency profile of one loopback pass: per-request time-to-first-token
+/// plus every inter-token gap, in arrival order.
+#[derive(Default)]
+struct LoopbackTiming {
+    tokens: usize,
+    total_us: f64,
+    ttft_us: Vec<f64>,
+    inter_token_us: Vec<f64>,
+}
+
+fn loopback_prompt(i: usize) -> Vec<u32> {
+    vec![
+        (i as u32 % 37) + 1,
+        (i as u32 * 3) % 40 + 2,
+        (i as u32 % 29) + 11,
+    ]
+}
+
+const LOOPBACK_MAX_NEW: usize = 8;
+
+fn loopback_scheduler_config() -> SchedulerConfig {
+    SchedulerConfig {
+        max_slots: 4,
+        block_tokens: 8,
+        kv_block_budget: usize::MAX,
+        // Distinct short prompts: nothing to share, and a cold pool per
+        // pass keeps the two sides' working sets identical.
+        prefix_cache: false,
+        ..SchedulerConfig::default()
+    }
+}
+
+/// The serving tax, measured: the same requests the in-process reference
+/// runs, but over real loopback sockets — `n_requests` spread across
+/// `connections` keep-alive client connections, each worker streaming its
+/// share sequentially while all workers run concurrently.
+fn run_http_loopback(
+    model: &Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    n_requests: usize,
+    connections: usize,
+) -> LoopbackTiming {
+    let bodies: Vec<String> = (0..n_requests)
+        .map(|i| {
+            let p = loopback_prompt(i);
+            format!(
+                r#"{{"prompt":[{},{},{}],"max_new":{LOOPBACK_MAX_NEW}}}"#,
+                p[0], p[1], p[2]
+            )
+        })
+        .collect();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        scheduler: loopback_scheduler_config(),
+        connection_threads: connections,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let handle = server.handle();
+    let addr = handle.addr();
+
+    let timing = Mutex::new(LoopbackTiming::default());
+    // All workers prime their connection, then meet here, so the measured
+    // window covers only request streaming — not server boot, socket
+    // establishment, or the acceptor's poll interval (server tuning
+    // constants whose amortisation would differ between the quick and
+    // full workload shapes and confound the regression gate).
+    let ready = Barrier::new(connections + 1);
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| {
+            server.serve(&|_req| {
+                EngineBuilder::new(model)
+                    .predictor_shared(Arc::clone(shared))
+                    .build()
+            })
+        });
+        let mut start = Instant::now();
+        std::thread::scope(|workers| {
+            for w in 0..connections {
+                let bodies = &bodies;
+                let timing = &timing;
+                let ready = &ready;
+                workers.spawn(move || {
+                    let mut conn = Client::connect(addr).expect("connect");
+                    assert_eq!(conn.get("/healthz").expect("prime").status, 200);
+                    ready.wait();
+                    for body in bodies.iter().skip(w).step_by(connections) {
+                        let sent = Instant::now();
+                        let mut stream =
+                            conn.post_streaming("/v1/generate", body).expect("admitted");
+                        let mut ttft = None;
+                        let mut last: Option<Instant> = None;
+                        let mut gaps = Vec::new();
+                        let mut tokens = 0usize;
+                        while let Some(event) = stream.next_event().expect("stream") {
+                            if event.get("token").is_none() {
+                                continue; // the terminal finish event
+                            }
+                            let now = Instant::now();
+                            if let Some(prev) = last {
+                                gaps.push(now.duration_since(prev).as_secs_f64() * 1e6);
+                            } else {
+                                ttft = Some(now.duration_since(sent).as_secs_f64() * 1e6);
+                            }
+                            last = Some(now);
+                            tokens += 1;
+                        }
+                        conn = stream.into_client().expect("keep-alive reuse");
+                        let mut t = timing.lock().unwrap();
+                        t.tokens += tokens;
+                        t.ttft_us.extend(ttft);
+                        t.inter_token_us.extend(gaps);
+                    }
+                });
+            }
+            ready.wait();
+            start = Instant::now();
+        });
+        timing.lock().unwrap().total_us = start.elapsed().as_secs_f64() * 1e6;
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+    });
+    timing.into_inner().unwrap()
+}
+
+/// The in-process reference for the loopback workload: the same requests
+/// straight into a `Scheduler`, no sockets, no JSON — the gap between
+/// this and [`run_http_loopback`] is the HTTP frontend's overhead.
+fn run_inproc_loopback(
+    model: &Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    n_requests: usize,
+) -> LoopbackTiming {
+    let mut scheduler = Scheduler::new(loopback_scheduler_config());
+    let start = Instant::now();
+    for i in 0..n_requests {
+        scheduler
+            .submit(
+                EngineBuilder::new(model)
+                    .predictor_shared(Arc::clone(shared))
+                    .build()
+                    .unwrap(),
+                &GenerateRequest::new(&loopback_prompt(i)).max_new(LOOPBACK_MAX_NEW),
+            )
+            .unwrap();
+    }
+    let mut timing = LoopbackTiming::default();
+    let mut last: Vec<Option<Instant>> = vec![None; n_requests];
+    loop {
+        let unfinished = scheduler.tick(|ev| {
+            let now = Instant::now();
+            match last[ev.request] {
+                Some(prev) => timing
+                    .inter_token_us
+                    .push(now.duration_since(prev).as_secs_f64() * 1e6),
+                None => timing
+                    .ttft_us
+                    .push(now.duration_since(start).as_secs_f64() * 1e6),
+            }
+            last[ev.request] = Some(now);
+            timing.tokens += 1;
+        });
+        if unfinished == 0 {
+            break;
+        }
+    }
+    timing.total_us = start.elapsed().as_secs_f64() * 1e6;
+    timing
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -375,5 +546,59 @@ fn main() {
             );
         }
     }
+
+    // Loopback HTTP serving: the same request set through the network
+    // frontend (real sockets, SSE streaming, keep-alive reuse) and
+    // straight into the scheduler, so the serving tax — TTFT and
+    // inter-token latency added by the HTTP layer — is a subtraction of
+    // two rows in the same report.
+    let lb_requests = if quick { 4 } else { 16 };
+    let lb_connections = if quick { 2 } else { 4 };
+    println!(
+        "\nloopback HTTP workload: {lb_requests} requests over {lb_connections} \
+         connections x {passes} pass(es), max_new={LOOPBACK_MAX_NEW}\n"
+    );
+    let mut measure_loopback = |name: &str, runner: &dyn Fn() -> LoopbackTiming| {
+        let mut tokens = 0usize;
+        let mut total_us = 0.0f64;
+        let mut ttfts: Vec<f64> = Vec::new();
+        let mut gaps: Vec<f64> = Vec::new();
+        for _ in 0..passes {
+            let timing = runner();
+            assert_eq!(
+                timing.tokens,
+                lb_requests * LOOPBACK_MAX_NEW,
+                "{name}: every request must stream its full budget"
+            );
+            tokens += timing.tokens;
+            total_us += timing.total_us;
+            ttfts.extend(timing.ttft_us);
+            gaps.extend(timing.inter_token_us);
+        }
+        ttfts.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let us_per_token = total_us / tokens as f64;
+        let ttft_p50 = percentile(&ttfts, 0.50);
+        let ttft_p95 = percentile(&ttfts, 0.95);
+        let itl_p50 = percentile(&gaps, 0.50);
+        let itl_p95 = percentile(&gaps, 0.95);
+        println!(
+            "{name:<24} {tokens:>8} tokens  {us_per_token:>9.2} us/token  \
+             ttft p50 {ttft_p50:>8.2} us  p95 {ttft_p95:>8.2} us  \
+             itl p50 {itl_p50:>8.2} us  p95 {itl_p95:>8.2} us"
+        );
+        report.record(&format!("{name}_throughput"), tokens, us_per_token, None, 1);
+        report.record(&format!("{name}_ttft_p50"), ttfts.len(), ttft_p50, None, 1);
+        report.record(&format!("{name}_ttft_p95"), ttfts.len(), ttft_p95, None, 1);
+        report.record(&format!("{name}_itl_p50"), gaps.len(), itl_p50, None, 1);
+        report.record(&format!("{name}_itl_p95"), gaps.len(), itl_p95, None, 1);
+    };
+    measure_loopback("http_loopback", &|| {
+        run_http_loopback(&model, &shared, lb_requests, lb_connections)
+    });
+    measure_loopback("inproc_loopback", &|| {
+        run_inproc_loopback(&model, &shared, lb_requests)
+    });
+
     report.write();
 }

@@ -280,33 +280,29 @@ impl BenchReport {
 }
 
 /// Extracts `(name, us_per_iter)` pairs from a `BENCH_*.json` report — the
-/// dependency-free inverse of [`BenchReport::to_json`], used by the
-/// `bench_gate` regression gate. Tolerant of unknown fields; records
-/// missing either key are skipped.
+/// inverse of [`BenchReport::to_json`], used by the `bench_gate`
+/// regression gate. Built on the workspace's shared dependency-free
+/// [`sparseinfer::json`] parser; tolerant of unknown fields, records
+/// missing either key are skipped, and unparseable input yields no
+/// records rather than an error (the gate then reports the empty
+/// baseline/fresh set itself).
 pub fn parse_bench_json(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in json.lines() {
-        let Some(name_at) = line.find("\"name\":") else {
-            continue;
-        };
-        let rest = &line[name_at + 7..];
-        let Some(open) = rest.find('"') else { continue };
-        let Some(close) = rest[open + 1..].find('"') else {
-            continue;
-        };
-        let name = &rest[open + 1..open + 1 + close];
-        let Some(value_at) = line.find("\"us_per_iter\":") else {
-            continue;
-        };
-        let tail = line[value_at + 14..].trim_start();
-        let end = tail
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-            .unwrap_or(tail.len());
-        if let Ok(value) = tail[..end].parse::<f64>() {
-            out.push((name.to_string(), value));
-        }
-    }
-    out
+    use sparseinfer::json::Json;
+    let Ok(doc) = Json::parse(json) else {
+        return Vec::new();
+    };
+    let records = doc
+        .get("records")
+        .and_then(Json::as_array)
+        .unwrap_or_default();
+    records
+        .iter()
+        .filter_map(|r| {
+            let name = r.get("name")?.as_str()?;
+            let value = r.get("us_per_iter")?.as_f64()?;
+            Some((name.to_string(), value))
+        })
+        .collect()
 }
 
 /// Baseline benchmark scores from the paper's accuracy tables.

@@ -1,0 +1,327 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: the integration
+//! tests, the serving bench, the example consumer and the binary's
+//! `--smoke` self-test all speak to the server through this module, so
+//! the wire format is exercised by a *second*, independently written
+//! codec (the server never parses its own output).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sparseinfer::json::Json;
+
+/// A fully buffered HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The response body, de-chunked when chunked transfer encoding was
+    /// used.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Parse failure, as an [`io::Error`] for caller convenience.
+    pub fn json(&self) -> io::Result<Json> {
+        Json::parse(&self.text()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// One client connection, usable for several keep-alive requests.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous ceiling so a wedged server fails a test instead of
+        // hanging it; normal responses arrive in milliseconds.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends `GET path` and buffers the full response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or malformed response.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.send_request("GET", path, None)?;
+        self.read_response()
+    }
+
+    /// Sends `POST path` with a JSON body and buffers the full response —
+    /// including an SSE stream, which is simply read to its end.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or malformed response.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.send_request("POST", path, Some(body))?;
+        self.read_response()
+    }
+
+    /// Sends `POST path` and hands back an incremental [`SseStream`] over
+    /// the response body instead of buffering it — the consumer sees each
+    /// event as its chunk arrives.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or a non-streaming (error) response head.
+    pub fn post_streaming(mut self, path: &str, body: &str) -> io::Result<SseStream> {
+        self.send_request("POST", path, Some(body))?;
+        let (status, headers) = self.read_head()?;
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+        if status != 200 || !chunked {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a chunked 200 stream, got {status}"),
+            ));
+        }
+        Ok(SseStream {
+            client: self,
+            pending: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Drops the connection mid-whatever — used by disconnect tests. (An
+    /// explicit method, so tests read as intent rather than as a `drop`.)
+    pub fn abandon(self) {
+        drop(self);
+    }
+
+    fn send_request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: localhost\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            self.stream.write_all(body.as_bytes())?;
+        }
+        self.stream.flush()
+    }
+
+    /// Reads bytes until `self.buf` satisfies `complete`, then returns
+    /// the prefix length `complete` reported.
+    fn fill_until(&mut self, complete: impl Fn(&[u8]) -> Option<usize>) -> io::Result<usize> {
+        loop {
+            if let Some(len) = complete(&self.buf) {
+                return Ok(len);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads and consumes the response head (status line + headers).
+    fn read_head(&mut self) -> io::Result<(u16, Vec<(String, String)>)> {
+        let head_len =
+            self.fill_until(|buf| buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4))?;
+        let head: Vec<u8> = self.buf.drain(..head_len).collect();
+        let text = std::str::from_utf8(&head)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        let mut lines = text.trim_end_matches("\r\n").split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_string(), value.trim().to_string()));
+            }
+        }
+        Ok((status, headers))
+    }
+
+    /// Reads one full response, de-chunking if necessary.
+    fn read_response(&mut self) -> io::Result<Response> {
+        let (status, headers) = self.read_head()?;
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("transfer-encoding") && v == "chunked");
+        let body = if chunked {
+            let mut body = Vec::new();
+            while let Some(chunk) = self.read_chunk()? {
+                body.extend_from_slice(&chunk);
+            }
+            body
+        } else {
+            let len = headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            self.fill_until(|buf| (buf.len() >= len).then_some(len))?;
+            self.buf.drain(..len).collect()
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Reads one transfer-encoding chunk; `None` is the terminal chunk.
+    fn read_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let line_len =
+            self.fill_until(|buf| buf.windows(2).position(|w| w == b"\r\n").map(|i| i + 2))?;
+        let line: Vec<u8> = self.buf.drain(..line_len).collect();
+        let size_text = std::str::from_utf8(&line[..line.len() - 2])
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-ASCII chunk size"))?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+        // Chunk data plus its trailing CRLF.
+        let total = size + 2;
+        self.fill_until(|buf| (buf.len() >= total).then_some(total))?;
+        let mut data: Vec<u8> = self.buf.drain(..total).collect();
+        data.truncate(size);
+        Ok(if size == 0 { None } else { Some(data) })
+    }
+}
+
+/// An incremental reader over an SSE response body: one parsed JSON
+/// event per [`next_event`](Self::next_event) call.
+#[derive(Debug)]
+pub struct SseStream {
+    client: Client,
+    /// Bytes of the SSE body received but not yet consumed as events.
+    pending: Vec<u8>,
+    done: bool,
+}
+
+impl SseStream {
+    /// Returns the next event's JSON payload, or `None` once the stream
+    /// has ended (terminal chunk received).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or malformed framing.
+    pub fn next_event(&mut self) -> io::Result<Option<Json>> {
+        loop {
+            // A complete SSE frame is "data: {...}\n\n".
+            if let Some(end) = self.pending.windows(2).position(|w| w == b"\n\n") {
+                let frame: Vec<u8> = self.pending.drain(..end + 2).collect();
+                let text = std::str::from_utf8(&frame[..end])
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 event"))?;
+                let payload = text.strip_prefix("data: ").ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "missing data: prefix")
+                })?;
+                let json = Json::parse(payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                return Ok(Some(json));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            match self.client.read_chunk()? {
+                Some(chunk) => self.pending.extend_from_slice(&chunk),
+                None => self.done = true,
+            }
+        }
+    }
+
+    /// Reads the remaining events: generated tokens plus the terminal
+    /// summary object (the one with a `"finish"` field).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, malformed framing, or a stream that ends
+    /// without a finish event.
+    pub fn collect_generation(mut self) -> io::Result<(Vec<u32>, Json)> {
+        let mut tokens = Vec::new();
+        while let Some(event) = self.next_event()? {
+            if event.get("finish").is_some() {
+                return Ok((tokens, event));
+            }
+            let token = event
+                .get("token")
+                .and_then(Json::as_u64)
+                .filter(|&t| t <= u32::MAX as u64)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "event without token or finish")
+                })?;
+            tokens.push(token as u32);
+        }
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended without a finish event",
+        ))
+    }
+
+    /// Abandons the stream mid-flight by closing the socket — the server
+    /// must notice on its next write and cancel the request.
+    pub fn abandon(self) {
+        drop(self);
+    }
+
+    /// Hands the keep-alive connection back for the next request, once
+    /// the stream has fully ended (SSE bodies are chunked, so the
+    /// connection stays usable after the terminal chunk).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] if the stream has not ended or has
+    /// unconsumed events — reusing the socket then would desynchronise
+    /// the connection.
+    pub fn into_client(self) -> io::Result<Client> {
+        if !self.done || !self.pending.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream not fully consumed",
+            ));
+        }
+        Ok(self.client)
+    }
+}

@@ -1,0 +1,563 @@
+//! Minimal HTTP/1.1 over blocking sockets: an incremental request parser
+//! and response/chunked-body writers.
+//!
+//! Just enough protocol for the serving frontend — no routing tables, no
+//! TLS, no HTTP/2 — written for robustness against real network input:
+//! requests arrive split across arbitrary `read()` boundaries, headers are
+//! size-capped, bodies are length-checked *before* being buffered, and
+//! every malformed input is a typed [`HttpError`] carrying the status code
+//! to answer with, never a panic. Keep-alive is supported by leaving
+//! unconsumed bytes in the [`RequestReader`]'s buffer for the next
+//! request on the same connection.
+
+use std::io::{self, Read, Write};
+
+/// Parser size caps, chosen per [`ServerConfig`](crate::ServerConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers; beyond this the request is
+    /// answered `431` ([`HttpError::HeadersTooLarge`]).
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length`; beyond this the request is
+    /// answered `413` ([`HttpError::BodyTooLarge`]) without buffering the
+    /// body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    /// 16 KiB of headers, 1 MiB of body.
+    fn default() -> Self {
+        Self {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path plus optional query).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read. Protocol-level variants carry the
+/// status code the connection should answer with before closing;
+/// transport-level variants ([`Io`](Self::Io), [`Eof`](Self::Eof),
+/// [`Timeout`](Self::Timeout)) have no response — there is nobody left to
+/// answer, or nothing arrived yet.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or `Content-Length` → `400`.
+    BadRequest(&'static str),
+    /// Request line + headers exceeded [`Limits::max_header_bytes`] → `431`.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`Limits::max_body_bytes`] → `413`.
+    BodyTooLarge,
+    /// A method that carries a body (`POST`, `PUT`, `PATCH`) arrived
+    /// without `Content-Length` → `411`.
+    LengthRequired,
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// The read timed out with no (or only a partial) request buffered —
+    /// the caller decides whether to keep waiting (idle keep-alive) or
+    /// give up (slow sender, shutdown).
+    Timeout,
+    /// Transport failure; the connection is unusable.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The `(status, reason)` this protocol error is answered with;
+    /// `None` for transport-level errors that cannot be answered.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::BodyTooLarge => Some((413, "Payload Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            _ => None,
+        }
+    }
+
+    /// A short machine-readable description for the error response body.
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(m) => m,
+            HttpError::HeadersTooLarge => "request headers too large",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::LengthRequired => "Content-Length required",
+            HttpError::Eof => "connection closed",
+            HttpError::Timeout => "read timed out",
+            HttpError::Io(_) => "transport error",
+        }
+    }
+}
+
+/// Incremental request parser for one connection.
+///
+/// Owns the connection's receive buffer so a request split across any
+/// number of `read()` calls — or several requests pipelined into one —
+/// parses identically: bytes accumulate until a full head (and declared
+/// body) is present, and leftover bytes stay buffered for the next
+/// [`read_request`](Self::read_request) call.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a partial request is sitting in the buffer — distinguishes
+    /// an idle keep-alive connection from a slow sender on
+    /// [`HttpError::Timeout`].
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads one complete request from `stream`, blocking (subject to the
+    /// stream's read timeout) until it is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`]; on [`HttpError::Timeout`] the partial request
+    /// stays buffered and the call can simply be retried.
+    pub fn read_request(
+        &mut self,
+        stream: &mut impl Read,
+        limits: &Limits,
+    ) -> Result<Request, HttpError> {
+        loop {
+            if let Some(head_len) = find_head_end(&self.buf) {
+                if head_len > limits.max_header_bytes {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                let (mut request, content_len) = parse_head(&self.buf[..head_len], limits)?;
+                let total = head_len + content_len;
+                if self.buf.len() >= total {
+                    request.body = self.buf[head_len..total].to_vec();
+                    self.buf.drain(..total);
+                    return Ok(request);
+                }
+                // Head parsed, body still in flight: fall through to read.
+            } else if self.buf.len() > limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        HttpError::Eof
+                    } else {
+                        HttpError::BadRequest("connection closed mid-request")
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(HttpError::Timeout);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Index one past the `\r\n\r\n` head terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Parses request line + headers and returns the request (body empty) plus
+/// the validated body length to read.
+fn parse_head(head: &[u8], limits: &Limits) -> Result<(Request, usize), HttpError> {
+    let text = std::str::from_utf8(head).map_err(|_| HttpError::BadRequest("non-UTF-8 head"))?;
+    let mut lines = text.trim_end_matches("\r\n").split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest("malformed request line"));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(HttpError::BadRequest("malformed request target"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let content_len = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("malformed Content-Length"))?,
+        None if matches!(request.method.as_str(), "POST" | "PUT" | "PATCH") => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => 0,
+    };
+    if content_len > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    Ok((request, content_len))
+}
+
+/// Writes a complete fixed-length response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a `Transfer-Encoding: chunked` response body chunk by chunk —
+/// the transport under the SSE token stream. Every chunk is flushed
+/// immediately: a streaming client sees each token the moment it exists,
+/// and a vanished client surfaces as a write error on the very next token.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head (status + `Transfer-Encoding: chunked`)
+    /// and returns the writer for the body.
+    pub fn begin(
+        mut w: W,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\nCache-Control: no-store\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        w.write_all(head.as_bytes())?;
+        w.flush()?;
+        Ok(Self { w })
+    }
+
+    /// Writes one non-empty chunk and flushes it.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        debug_assert!(!data.is_empty(), "an empty chunk would terminate the body");
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Writes the terminal zero-length chunk, ending the body.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Formats one Server-Sent-Events `data:` frame.
+pub fn sse_event(json: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(json.len() + 8);
+    out.extend_from_slice(b"data: ");
+    out.extend_from_slice(json.as_bytes());
+    out.extend_from_slice(b"\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `Read` that delivers a script of byte slices one per call —
+    /// deterministic partial reads across arbitrary boundaries.
+    struct Script {
+        parts: Vec<Vec<u8>>,
+        next: usize,
+    }
+
+    impl Script {
+        fn new(parts: &[&[u8]]) -> Self {
+            Self {
+                parts: parts.iter().map(|p| p.to_vec()).collect(),
+                next: 0,
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.next >= self.parts.len() {
+                return Ok(0); // EOF after the script
+            }
+            let part = &self.parts[self.next];
+            self.next += 1;
+            buf[..part.len()].copy_from_slice(part);
+            Ok(part.len())
+        }
+    }
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn parses_a_request_split_across_arbitrary_read_boundaries() {
+        let raw = b"POST /v1/generate HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        // Split the same request at every possible boundary: one byte per
+        // read() is the worst case and must parse identically.
+        for split in 1..raw.len() {
+            let mut stream = Script::new(&[&raw[..split], &raw[split..]]);
+            let req = RequestReader::new()
+                .read_request(&mut stream, &limits())
+                .unwrap_or_else(|e| panic!("split at {split}: {e:?}"));
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/generate");
+            assert_eq!(req.header("host"), Some("x"));
+            assert_eq!(req.body, b"hello world");
+        }
+        let byte_at_a_time: Vec<&[u8]> = raw.chunks(1).collect();
+        let req = RequestReader::new()
+            .read_request(&mut Script::new(&byte_at_a_time), &limits())
+            .unwrap();
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn pipelined_requests_stay_buffered_for_the_next_call() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n";
+        let mut stream = Script::new(&[raw]);
+        let mut reader = RequestReader::new();
+        let first = reader.read_request(&mut stream, &limits()).unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(reader.mid_request(), "second request still buffered");
+        let second = reader.read_request(&mut stream, &limits()).unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(matches!(
+            reader.read_request(&mut stream, &limits()),
+            Err(HttpError::Eof)
+        ));
+    }
+
+    #[test]
+    fn header_cap_is_enforced_even_without_a_terminator() {
+        let caps = Limits {
+            max_header_bytes: 128,
+            max_body_bytes: 1024,
+        };
+        // An endless header that never terminates must fail at the cap,
+        // not buffer forever.
+        let junk = vec![b'a'; 4096];
+        let mut stream = Script::new(&[b"GET / HTTP/1.1\r\nX-Junk: ", &junk]);
+        let err = RequestReader::new()
+            .read_request(&mut stream, &caps)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge));
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+        // A terminated-but-oversized head takes the same exit.
+        let mut big = b"GET / HTTP/1.1\r\nX-Junk: ".to_vec();
+        big.extend_from_slice(&junk[..200]);
+        big.extend_from_slice(b"\r\n\r\n");
+        let err = RequestReader::new()
+            .read_request(&mut Script::new(&[&big]), &caps)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        let mut stream = Script::new(&[b"POST /v1/generate HTTP/1.1\r\nHost: x\r\n\r\n"]);
+        let err = RequestReader::new()
+            .read_request(&mut stream, &limits())
+            .unwrap_err();
+        assert!(matches!(err, HttpError::LengthRequired));
+        assert_eq!(err.status(), Some((411, "Length Required")));
+        // GET without a body is of course fine.
+        let mut stream = Script::new(&[b"GET / HTTP/1.1\r\n\r\n"]);
+        assert!(RequestReader::new()
+            .read_request(&mut stream, &limits())
+            .is_ok());
+    }
+
+    #[test]
+    fn oversized_declared_bodies_are_413_before_buffering() {
+        let caps = Limits {
+            max_header_bytes: 1024,
+            max_body_bytes: 16,
+        };
+        let mut stream = Script::new(&[b"POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"]);
+        let err = RequestReader::new()
+            .read_request(&mut stream, &caps)
+            .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn malformed_inputs_are_400_with_reasons() {
+        let cases: &[&[u8]] = &[
+            b"NOT-A-REQUEST\r\n\r\n",                          // no method/path/version
+            b"GET / HTTP/1.1 extra\r\n\r\n",                   // four request-line parts
+            b"get / HTTP/1.1\r\n\r\n",                         // lowercase method
+            b"GET nopath HTTP/1.1\r\n\r\n",                    // target missing leading /
+            b"GET / SPDY/3\r\n\r\n",                           // unsupported version
+            b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n",   // no colon
+            b"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",          // space in header name
+            b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n", // bad length
+        ];
+        for raw in cases {
+            let err = RequestReader::new()
+                .read_request(&mut Script::new(&[raw]), &limits())
+                .unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequest(_)),
+                "{:?} -> {err:?}",
+                String::from_utf8_lossy(raw)
+            );
+            assert_eq!(err.status(), Some((400, "Bad Request")));
+        }
+        // A connection dying mid-request is also a 400 (truncated), not Eof.
+        let err = RequestReader::new()
+            .read_request(
+                &mut Script::new(&[b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"]),
+                &limits(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)));
+    }
+
+    /// Decodes a chunked transfer-encoded body (test-side inverse of
+    /// [`ChunkedWriter`]).
+    fn decode_chunked(mut body: &[u8]) -> (Vec<u8>, bool) {
+        let mut out = Vec::new();
+        loop {
+            let Some(line_end) = body.windows(2).position(|w| w == b"\r\n") else {
+                return (out, false);
+            };
+            let size = usize::from_str_radix(
+                std::str::from_utf8(&body[..line_end]).expect("ascii size"),
+                16,
+            )
+            .expect("hex chunk size");
+            body = &body[line_end + 2..];
+            if size == 0 {
+                return (out, body.starts_with(b"\r\n"));
+            }
+            out.extend_from_slice(&body[..size]);
+            assert_eq!(&body[size..size + 2], b"\r\n");
+            body = &body[size + 2..];
+        }
+    }
+
+    #[test]
+    fn chunked_writer_round_trips_through_a_decoder() {
+        let mut wire = Vec::new();
+        let mut w = ChunkedWriter::begin(&mut wire, 200, "OK", "text/event-stream", true).unwrap();
+        w.chunk(&sse_event("{\"index\":0,\"token\":7}")).unwrap();
+        w.chunk(&sse_event("{\"index\":1,\"token\":1042}")).unwrap();
+        w.chunk(b"x".repeat(300).as_slice()).unwrap(); // multi-hex-digit size
+        w.finish().unwrap();
+
+        let text = String::from_utf8_lossy(&wire);
+        let head_end = text.find("\r\n\r\n").expect("head terminator") + 4;
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+
+        let (decoded, terminated) = decode_chunked(&wire[head_end..]);
+        assert!(terminated, "zero-length terminal chunk present");
+        let expected: Vec<u8> = [
+            sse_event("{\"index\":0,\"token\":7}"),
+            sse_event("{\"index\":1,\"token\":1042}"),
+            b"x".repeat(300),
+        ]
+        .concat();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn write_response_emits_content_length_and_extras() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{\"error\":\"overloaded\"}",
+            false,
+            &[("Retry-After", "1".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+}

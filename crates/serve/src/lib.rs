@@ -1,0 +1,49 @@
+//! # sparseinfer-serve — a dependency-free HTTP/1.1 streaming frontend
+//!
+//! Turns the continuous-batching
+//! [`Scheduler`](sparseinfer::sparse::scheduler::Scheduler) into a network
+//! service using nothing but `std::net`: one acceptor thread, a small pool
+//! of connection-handler threads, and a single scheduler-owner thread,
+//! joined by bounded mpsc channels.
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `POST /v1/generate` | JSON body in, Server-Sent-Events token stream out (`Transfer-Encoding: chunked`), closing with a finish event carrying the [`FinishReason`](sparseinfer::sparse::request::FinishReason) and per-request stats |
+//! | `GET /healthz` | liveness + load one-liner |
+//! | `GET /stats` | scheduler/KV/prefix-cache/memory counters as JSON |
+//!
+//! The contract that matters: **tokens over HTTP are bit-identical to
+//! library-level runs** of the same seeded requests. The server adds
+//! transport, backpressure (`503` + `Retry-After` on a full submission
+//! queue), per-request deadlines
+//! ([`FinishReason::DeadlineExceeded`](sparseinfer::sparse::request::FinishReason::DeadlineExceeded)),
+//! and disconnect-cancellation (a vanished client frees its decode slot
+//! and KV blocks) — never different tokens.
+//!
+//! ```no_run
+//! use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
+//! use sparseinfer::sparse::engine::EngineBuilder;
+//! use sparseinfer_serve::{Server, ServerConfig};
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+//! let server = Server::bind(ServerConfig::default()).unwrap();
+//! let handle = server.handle(); // addr + shutdown, usable from any thread
+//! println!("listening on http://{}", handle.addr());
+//! // Blocks until handle.shutdown(); engines may borrow `model`.
+//! let final_stats = server.serve(&|_req| EngineBuilder::new(&model).build());
+//! assert_eq!(final_stats.kv_blocks_in_use, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod owner;
+pub mod server;
+
+pub use client::{Client, Response, SseStream};
+pub use http::Limits;
+pub use owner::{FinishSummary, StatsSnapshot, StreamEvent, Submission};
+pub use server::{EngineFactory, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,265 @@
+//! The `sparseinfer-serve` binary: boots a synthetic model and serves it
+//! over HTTP until Ctrl-C territory (or, with `--smoke`, runs a built-in
+//! end-to-end self-test and exits — the CI smoke step).
+
+use std::process::ExitCode;
+
+use sparseinfer::model::generator::WeightGenerator;
+use sparseinfer::model::ModelConfig;
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer::sparse::scheduler::SchedulerConfig;
+use sparseinfer_serve::{Client, Server, ServerConfig};
+
+/// Parsed command line.
+struct Args {
+    addr: String,
+    slots: usize,
+    slot_threads: usize,
+    connection_threads: usize,
+    queue_capacity: usize,
+    block_tokens: usize,
+    kv_block_budget: usize,
+    prefix_cache: bool,
+    seed: u64,
+    signbit: bool,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8765".to_string(),
+            slots: 4,
+            slot_threads: 1,
+            connection_threads: 4,
+            queue_capacity: 64,
+            block_tokens: 16,
+            kv_block_budget: 8192,
+            prefix_cache: true,
+            seed: 42,
+            signbit: false,
+            smoke: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+sparseinfer-serve — HTTP/1.1 streaming frontend over the continuous-batching scheduler
+
+USAGE:
+    sparseinfer-serve [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>      bind address (default 127.0.0.1:8765; port 0 = ephemeral)
+    --slots <n>             concurrent decode slots (default 4)
+    --slot-threads <n>      scheduler worker threads (default 1 = serial)
+    --conn-threads <n>      connection-handler threads (default 4)
+    --queue <n>             submission queue depth; full => 503 (default 64)
+    --block-tokens <n>      KV paging granularity (default 16)
+    --kv-budget <n>         KV block budget for admission control (default 8192)
+    --no-prefix-cache       disable prompt-prefix sharing
+    --seed <n>              synthetic-model weight seed (default 42)
+    --signbit               serve the sign-bit sparse engine instead of dense
+    --smoke                 run the built-in end-to-end self-test and exit
+    --help                  print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = value(&mut it, "--addr")?,
+            "--slots" => args.slots = parse_num(&value(&mut it, "--slots")?, "--slots")?,
+            "--slot-threads" => {
+                args.slot_threads = parse_num(&value(&mut it, "--slot-threads")?, "--slot-threads")?
+            }
+            "--conn-threads" => {
+                args.connection_threads =
+                    parse_num(&value(&mut it, "--conn-threads")?, "--conn-threads")?
+            }
+            "--queue" => args.queue_capacity = parse_num(&value(&mut it, "--queue")?, "--queue")?,
+            "--block-tokens" => {
+                args.block_tokens = parse_num(&value(&mut it, "--block-tokens")?, "--block-tokens")?
+            }
+            "--kv-budget" => {
+                args.kv_block_budget = parse_num(&value(&mut it, "--kv-budget")?, "--kv-budget")?
+            }
+            "--no-prefix-cache" => args.prefix_cache = false,
+            "--seed" => {
+                args.seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?
+            }
+            "--signbit" => args.signbit = true,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        return smoke(args);
+    }
+
+    let model = WeightGenerator::new(&ModelConfig::tiny(), args.seed).build();
+    let server = match Server::bind(server_config(&args)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "sparseinfer-serve listening on http://{} ({} engine, {} slots)",
+        server.local_addr(),
+        if args.signbit { "signbit" } else { "dense" },
+        args.slots,
+    );
+    eprintln!("POST /v1/generate | GET /healthz | GET /stats");
+    let signbit = args.signbit;
+    // The factory borrows `model` (not `move`): the engines it builds
+    // must outlive their request, not just the closure call.
+    server.serve(&|_req| {
+        let builder = EngineBuilder::new(&model);
+        if signbit {
+            builder.signbit(AlphaSchedule::uniform(1.0)).build()
+        } else {
+            builder.build()
+        }
+    });
+    ExitCode::SUCCESS
+}
+
+fn server_config(args: &Args) -> ServerConfig {
+    ServerConfig {
+        addr: args.addr.clone(),
+        scheduler: SchedulerConfig {
+            max_slots: args.slots,
+            block_tokens: args.block_tokens,
+            kv_block_budget: args.kv_block_budget,
+            prefix_cache: args.prefix_cache,
+            ..SchedulerConfig::default()
+        },
+        slot_threads: args.slot_threads,
+        connection_threads: args.connection_threads,
+        queue_capacity: args.queue_capacity,
+        ..ServerConfig::default()
+    }
+}
+
+/// The CI smoke test: boot on an ephemeral port, run a real client over
+/// loopback (healthz → one streamed generation → stats), shut down
+/// gracefully, and verify the KV pool drained to zero. Exit code is the
+/// verdict.
+fn smoke(mut args: Args) -> ExitCode {
+    // Ephemeral port and no prefix retention, so "drained" means zero.
+    args.addr = "127.0.0.1:0".to_string();
+    args.prefix_cache = false;
+    let model = WeightGenerator::new(&ModelConfig::tiny(), args.seed).build();
+    let server = match Server::bind(server_config(&args)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("smoke: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    let addr = handle.addr();
+
+    let client = std::thread::spawn(move || -> Result<(), String> {
+        fn e(what: &'static str) -> impl Fn(std::io::Error) -> String {
+            move |err| format!("{what}: {err}")
+        }
+
+        let mut probe = Client::connect(addr).map_err(e("connect"))?;
+        let health = probe.get("/healthz").map_err(e("GET /healthz"))?;
+        if health.status != 200 {
+            return Err(format!("healthz returned {}", health.status));
+        }
+
+        let stream = Client::connect(addr)
+            .map_err(e("connect"))?
+            .post_streaming("/v1/generate", r#"{"prompt":[1,2,3],"max_new":8}"#)
+            .map_err(e("POST /v1/generate"))?;
+        let (tokens, finish) = stream.collect_generation().map_err(e("stream"))?;
+        if tokens.len() != 8 {
+            return Err(format!("expected 8 tokens, got {}", tokens.len()));
+        }
+        let reason = finish
+            .get("finish")
+            .and_then(sparseinfer::json::Json::as_str)
+            .unwrap_or("<missing>")
+            .to_string();
+        if reason != "max_tokens" {
+            return Err(format!("expected max_tokens finish, got {reason}"));
+        }
+
+        let stats = probe.get("/stats").map_err(e("GET /stats"))?;
+        if stats.status != 200 {
+            return Err(format!("stats returned {}", stats.status));
+        }
+        let doc = stats.json().map_err(e("stats body"))?;
+        let completed = doc
+            .get("scheduler")
+            .and_then(|s| s.get("completed"))
+            .and_then(sparseinfer::json::Json::as_u64);
+        if completed != Some(1) {
+            return Err(format!("expected 1 completed request, got {completed:?}"));
+        }
+        eprintln!("smoke: streamed {} tokens, stats ok", tokens.len());
+        Ok(())
+    });
+
+    // Serve until the client script finishes, then shut down and drain.
+    let watchdog = std::thread::spawn({
+        let handle = handle.clone();
+        move || {
+            let verdict = client.join().expect("client thread panicked");
+            handle.shutdown();
+            verdict
+        }
+    });
+    let final_stats = server.serve(&|_req| EngineBuilder::new(&model).build());
+
+    match watchdog.join().expect("watchdog thread panicked") {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("smoke: FAILED: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if final_stats.kv_blocks_in_use != 0 {
+        eprintln!(
+            "smoke: FAILED: {} KV blocks still in use after drain",
+            final_stats.kv_blocks_in_use
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("smoke: PASSED (pool drained to 0 in-use blocks)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,478 @@
+//! The scheduler-owner loop: the single thread that owns the
+//! [`Scheduler`] and is therefore the only place model work happens.
+//!
+//! Connection handlers never touch the scheduler. They package each
+//! accepted request as a [`Submission`] — engine, request, deadline, and
+//! a per-request event channel — and push it down one bounded mpsc
+//! channel. The owner loop drains that channel between ticks, submits,
+//! enforces deadlines via [`RequestHandle::expire`], routes every
+//! [`BatchEvent`](sparseinfer::sparse::scheduler::BatchEvent) to its
+//! request's event channel, and publishes a
+//! [`StatsSnapshot`] after every iteration so `/healthz` and `/stats`
+//! answer instantly even while a tick is decoding.
+//!
+//! Single ownership is also what keeps the determinism contract trivial:
+//! with exactly one thread calling [`Scheduler::tick`], the event order
+//! for any given submission order is the library's own — HTTP adds no
+//! interleaving of its own.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sparseinfer::sparse::engine::Engine;
+use sparseinfer::sparse::error::EngineError;
+use sparseinfer::sparse::request::{FinishReason, GenerateRequest, TokenEvent};
+use sparseinfer::sparse::scheduler::{PrefixCacheStats, RequestHandle, Scheduler};
+
+/// How long the owner loop sleeps on its submission channel when the
+/// scheduler has nothing to decode.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+/// One accepted generate request, en route from a connection handler to
+/// the owner loop.
+pub struct Submission<'m> {
+    /// The engine that will serve the request.
+    pub engine: Box<dyn Engine + 'm>,
+    /// The generation request.
+    pub request: GenerateRequest,
+    /// Relative deadline, measured from submission into the scheduler.
+    pub deadline: Option<Duration>,
+    /// Where the owner loop sends this request's stream events.
+    pub events: Sender<StreamEvent>,
+    /// Where the owner loop reports the submit outcome (the handle used
+    /// for disconnect-cancellation, or the admission error).
+    pub reply: Sender<Result<RequestHandle, EngineError>>,
+}
+
+impl std::fmt::Debug for Submission<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Submission")
+            .field("prompt_tokens", &self.request.prompt.len())
+            .field("max_new", &self.request.max_new)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+/// One event on a request's stream, in generation order: zero or more
+/// tokens, then exactly one finish.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// One generated token.
+    Token(TokenEvent),
+    /// The request finished; no further events follow.
+    Finished(FinishSummary),
+}
+
+/// The terminal accounting of one request, sent as the stream's last
+/// event and encoded into the closing SSE frame.
+#[derive(Debug, Clone)]
+pub struct FinishSummary {
+    /// The scheduler-assigned request id.
+    pub id: usize,
+    /// Number of tokens generated (also the number of preceding
+    /// [`StreamEvent::Token`] events).
+    pub tokens: usize,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+    /// Prompt positions served from the prefix cache instead of prefill.
+    pub prefill_skipped_tokens: usize,
+    /// The engine configuration name that served the request.
+    pub engine: String,
+}
+
+/// A point-in-time copy of the scheduler's observable state, refreshed by
+/// the owner loop after every iteration and read lock-free-ish (one
+/// uncontended mutex) by `/healthz` and `/stats`.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Requests waiting for admission inside the scheduler.
+    pub queued: usize,
+    /// Requests currently occupying decode slots.
+    pub active_slots: usize,
+    /// Worst-case KV blocks reserved by the live slots.
+    pub reserved_blocks: usize,
+    /// KV blocks currently allocated out of the pool.
+    pub kv_blocks_in_use: usize,
+    /// Bytes of those in-use KV blocks.
+    pub kv_in_use_bytes: u64,
+    /// Requests submitted over the server's lifetime.
+    pub submitted: usize,
+    /// Requests finished over the server's lifetime.
+    pub completed: usize,
+    /// Shared read-only engine bytes across queued + live requests.
+    pub memory_shared_bytes: u64,
+    /// Per-session engine bytes across queued + live requests.
+    pub memory_per_session_bytes: u64,
+    /// Prefix-cache accounting.
+    pub prefix: PrefixCacheStats,
+    /// Whether the server is draining (shutdown requested, in-flight
+    /// requests finishing, no new submissions accepted).
+    pub draining: bool,
+}
+
+/// Per-request bookkeeping the owner loop keeps while a request is live.
+struct LiveRequest {
+    events: Sender<StreamEvent>,
+    expires_at: Option<Instant>,
+    handle: RequestHandle,
+}
+
+/// Runs the owner loop to completion: drains submissions, ticks the
+/// scheduler, routes events, enforces deadlines, publishes stats.
+///
+/// `max_pending` bounds the scheduler's internal admission queue: once
+/// that many requests are waiting, the owner stops draining the
+/// submission channel, the bounded channel fills, and connection
+/// handlers see `try_send` fail — the `503` backpressure signal. Without
+/// this cap the scheduler's unbounded queue would absorb any burst and
+/// the channel bound would never bind.
+///
+/// Returns when the submission channel has disconnected (all connection
+/// handlers gone — server shutdown) **and** every in-flight request has
+/// finished: graceful drain is the only exit path.
+pub fn run_owner_loop<'m>(
+    mut scheduler: Scheduler<'m>,
+    submissions: Receiver<Submission<'m>>,
+    stats: Arc<Mutex<StatsSnapshot>>,
+    max_pending: usize,
+) {
+    let max_pending = max_pending.max(1);
+    let mut live: HashMap<usize, LiveRequest> = HashMap::new();
+    let mut completed = 0usize;
+    let mut disconnected = false;
+    loop {
+        // 1. Drain waiting submissions, up to the pending-queue cap.
+        // Draining before ticking keeps admission FIFO across connections
+        // at the granularity of the channel, which is the order contract
+        // we document: tokens for a given submission order are
+        // deterministic.
+        while scheduler.pending_requests() < max_pending {
+            match submissions.try_recv() {
+                Ok(sub) => submit_one(&mut scheduler, sub, &mut live),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Expire requests whose deadline has passed. The scheduler
+        // notices the signal on the next tick and retires them with
+        // `FinishReason::DeadlineExceeded`, keeping partial tokens.
+        let now = Instant::now();
+        for req in live.values() {
+            if req.expires_at.is_some_and(|t| now >= t) {
+                req.handle.expire();
+            }
+        }
+
+        // 3. One tick: advance every live slot one model step, routing
+        // tokens to their streams as they are produced.
+        if scheduler.unfinished_requests() > 0 {
+            scheduler.tick(|event| {
+                if let Some(req) = live.get(&event.request) {
+                    // A dead receiver means the connection handler is gone
+                    // (client disconnected); its handle-cancel path is
+                    // already reclaiming the slot, so drop the event.
+                    let _ = req.events.send(StreamEvent::Token(TokenEvent {
+                        index: event.index,
+                        token: event.token,
+                    }));
+                }
+            });
+        }
+
+        // 4. Retire finished requests. Stats are published *before* the
+        // terminal events go out: a client that has seen its finish event
+        // is guaranteed a subsequent /stats read counts its completion.
+        let finished = scheduler.take_finished();
+        completed += finished.len();
+        publish_stats(&scheduler, &stats, completed, disconnected);
+        for out in finished {
+            if let Some(req) = live.remove(&out.id) {
+                let _ = req.events.send(StreamEvent::Finished(FinishSummary {
+                    id: out.id,
+                    tokens: out.tokens.len(),
+                    finish: out.finish,
+                    prefill_skipped_tokens: out.prefill_skipped_tokens,
+                    engine: out.engine,
+                }));
+            }
+        }
+
+        if disconnected && scheduler.unfinished_requests() == 0 {
+            return; // drained: graceful shutdown completes
+        }
+
+        // 6. Idle: nothing to decode, so block on the channel instead of
+        // spinning. Bounded by IDLE_POLL so deadline expiry for *queued*
+        // requests (step 2) still happens promptly.
+        if scheduler.unfinished_requests() == 0 && !disconnected {
+            match submissions.recv_timeout(IDLE_POLL) {
+                Ok(sub) => submit_one(&mut scheduler, sub, &mut live),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => disconnected = true,
+            }
+        }
+    }
+}
+
+/// Submits one request into the scheduler and records its bookkeeping.
+fn submit_one<'m>(
+    scheduler: &mut Scheduler<'m>,
+    sub: Submission<'m>,
+    live: &mut HashMap<usize, LiveRequest>,
+) {
+    // The deadline clock starts at submission into the scheduler, not at
+    // admission: time spent queued counts against the deadline, which is
+    // what lets an overloaded server shed queued work.
+    let expires_at = sub.deadline.map(|d| Instant::now() + d);
+    match scheduler.submit(sub.engine, &sub.request) {
+        Ok(handle) => {
+            live.insert(
+                handle.id(),
+                LiveRequest {
+                    events: sub.events,
+                    expires_at,
+                    handle: handle.clone(),
+                },
+            );
+            let _ = sub.reply.send(Ok(handle));
+        }
+        // A rejected submit never entered the scheduler: it is neither
+        // submitted nor completed in /stats — only the reply reports it.
+        Err(err) => {
+            let _ = sub.reply.send(Err(err));
+        }
+    }
+}
+
+/// Copies the scheduler's observable state into the shared snapshot.
+fn publish_stats(
+    scheduler: &Scheduler<'_>,
+    stats: &Arc<Mutex<StatsSnapshot>>,
+    completed: usize,
+    draining: bool,
+) {
+    let memory = scheduler.memory_estimate();
+    let pool = scheduler.kv_pool();
+    let snapshot = StatsSnapshot {
+        queued: scheduler.pending_requests(),
+        active_slots: scheduler.active_slots(),
+        reserved_blocks: scheduler.reserved_blocks(),
+        kv_blocks_in_use: pool.blocks_in_use(),
+        kv_in_use_bytes: pool.in_use_bytes(),
+        submitted: scheduler.submitted(),
+        completed,
+        memory_shared_bytes: memory.shared_bytes,
+        memory_per_session_bytes: memory.per_session_bytes,
+        prefix: scheduler.prefix_stats(),
+        draining,
+    };
+    *stats.lock().expect("stats mutex poisoned") = snapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseinfer::model::generator::WeightGenerator;
+    use sparseinfer::model::ModelConfig;
+    use sparseinfer::sparse::engine::EngineBuilder;
+    use sparseinfer::sparse::scheduler::SchedulerConfig;
+    use std::sync::mpsc;
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 8,
+            kv_block_budget: 4096,
+            prefix_cache: false,
+            ..SchedulerConfig::default()
+        }
+    }
+
+    /// Collects a full stream from a receiver: tokens then the summary.
+    fn collect(events: Receiver<StreamEvent>) -> (Vec<u32>, FinishSummary) {
+        let mut tokens = Vec::new();
+        loop {
+            match events.recv().expect("stream ends with Finished") {
+                StreamEvent::Token(t) => {
+                    assert_eq!(t.index, tokens.len(), "in-order stream");
+                    tokens.push(t.token);
+                }
+                StreamEvent::Finished(summary) => return (tokens, summary),
+            }
+        }
+    }
+
+    #[test]
+    fn owner_loop_streams_tokens_identical_to_a_direct_run() {
+        let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+        let req = GenerateRequest::new(&[1, 2, 3]).max_new(6);
+
+        // Reference: the library-level scheduler run.
+        let mut reference = Scheduler::new(config());
+        let engine = EngineBuilder::new(&model).build().unwrap();
+        reference.submit(engine, &req).unwrap();
+        let expected = reference.run().pop().unwrap().tokens;
+
+        // Same request through the owner loop on its own thread.
+        let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission<'_>>(4);
+        let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
+        let (ev_tx, ev_rx) = mpsc::channel();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let stats = Arc::clone(&stats);
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            sub_tx
+                .send(Submission {
+                    engine: EngineBuilder::new(&model).build().unwrap(),
+                    request: req.clone(),
+                    deadline: None,
+                    events: ev_tx,
+                    reply: reply_tx,
+                })
+                .unwrap();
+            reply_rx.recv().unwrap().expect("submit accepted");
+            let (tokens, summary) = collect(ev_rx);
+            assert_eq!(tokens, expected, "HTTP-path tokens bit-identical");
+            assert_eq!(summary.tokens, expected.len());
+            assert!(matches!(summary.finish, FinishReason::MaxTokens));
+            drop(sub_tx); // disconnect -> owner loop drains and exits
+        });
+        let final_stats = stats.lock().unwrap().clone();
+        assert_eq!(final_stats.completed, 1);
+        assert_eq!(final_stats.kv_blocks_in_use, 0, "pool drained");
+        assert!(final_stats.draining);
+    }
+
+    #[test]
+    fn deadlines_expire_queued_and_running_requests() {
+        let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+        let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission<'_>>(4);
+        let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
+        std::thread::scope(|scope| {
+            let stats = Arc::clone(&stats);
+            // max_slots: 1 so the second request is stuck queued.
+            let cfg = SchedulerConfig {
+                max_slots: 1,
+                ..config()
+            };
+            scope.spawn(move || run_owner_loop(Scheduler::new(cfg), sub_rx, stats, 64));
+
+            // A long-running request with an immediate deadline...
+            let (ev_tx, ev_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            sub_tx
+                .send(Submission {
+                    engine: EngineBuilder::new(&model).build().unwrap(),
+                    request: GenerateRequest::new(&[1, 2]).max_new(10_000),
+                    deadline: Some(Duration::from_millis(1)),
+                    events: ev_tx,
+                    reply: reply_tx,
+                })
+                .unwrap();
+            reply_rx.recv().unwrap().unwrap();
+            // ...and one queued behind it, likewise doomed.
+            let (ev_tx2, ev_rx2) = mpsc::channel();
+            let (reply_tx2, reply_rx2) = mpsc::channel();
+            sub_tx
+                .send(Submission {
+                    engine: EngineBuilder::new(&model).build().unwrap(),
+                    request: GenerateRequest::new(&[3, 4]).max_new(10_000),
+                    deadline: Some(Duration::from_millis(1)),
+                    events: ev_tx2,
+                    reply: reply_tx2,
+                })
+                .unwrap();
+            reply_rx2.recv().unwrap().unwrap();
+
+            let (tokens, summary) = collect(ev_rx);
+            assert!(matches!(summary.finish, FinishReason::DeadlineExceeded));
+            assert_eq!(tokens.len(), summary.tokens, "partial tokens preserved");
+            assert!(tokens.len() < 10_000);
+            let (_, summary2) = collect(ev_rx2);
+            assert!(matches!(summary2.finish, FinishReason::DeadlineExceeded));
+            drop(sub_tx);
+        });
+        assert_eq!(stats.lock().unwrap().kv_blocks_in_use, 0);
+    }
+
+    #[test]
+    fn cancel_through_the_replied_handle_stops_the_stream() {
+        let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+        let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission<'_>>(4);
+        let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
+        std::thread::scope(|scope| {
+            let stats = Arc::clone(&stats);
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            let (ev_tx, ev_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            sub_tx
+                .send(Submission {
+                    engine: EngineBuilder::new(&model).build().unwrap(),
+                    request: GenerateRequest::new(&[1]).max_new(10_000),
+                    deadline: None,
+                    events: ev_tx,
+                    reply: reply_tx,
+                })
+                .unwrap();
+            let handle = reply_rx.recv().unwrap().unwrap();
+            // Wait for at least one token so cancellation is mid-stream,
+            // then cancel from this (foreign) thread.
+            match ev_rx.recv().unwrap() {
+                StreamEvent::Token(t) => assert_eq!(t.index, 0),
+                other => panic!("expected a token first, got {other:?}"),
+            }
+            handle.cancel();
+            let mut seen = 1;
+            let summary = loop {
+                match ev_rx.recv().unwrap() {
+                    StreamEvent::Token(t) => {
+                        assert_eq!(t.index, seen, "in-order stream");
+                        seen += 1;
+                    }
+                    StreamEvent::Finished(summary) => break summary,
+                }
+            };
+            assert!(matches!(summary.finish, FinishReason::Cancelled));
+            assert_eq!(summary.tokens, seen, "partial tokens preserved");
+            assert!(seen < 10_000, "cancelled well before the budget");
+            drop(sub_tx);
+        });
+        assert_eq!(stats.lock().unwrap().kv_blocks_in_use, 0);
+    }
+
+    #[test]
+    fn admission_errors_are_replied_not_streamed() {
+        let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+        let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission<'_>>(4);
+        let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
+        std::thread::scope(|scope| {
+            let stats = Arc::clone(&stats);
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            let (ev_tx, ev_rx) = mpsc::channel();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            sub_tx
+                .send(Submission {
+                    engine: EngineBuilder::new(&model).build().unwrap(),
+                    request: GenerateRequest::new(&[]), // empty prompt
+                    deadline: None,
+                    events: ev_tx,
+                    reply: reply_tx,
+                })
+                .unwrap();
+            let err = reply_rx.recv().unwrap().unwrap_err();
+            assert_eq!(err, EngineError::EmptyPrompt);
+            assert!(ev_rx.try_recv().is_err(), "no stream for rejected submit");
+            drop(sub_tx);
+        });
+        let final_stats = stats.lock().unwrap().clone();
+        assert_eq!(final_stats.submitted, 0, "rejection never entered");
+        assert_eq!(final_stats.completed, 0);
+    }
+}

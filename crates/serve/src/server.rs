@@ -1,0 +1,496 @@
+//! The server: acceptor + connection-handler threads around the
+//! scheduler-owner loop.
+//!
+//! # Threading model
+//!
+//! ```text
+//!              TcpListener (nonblocking accept poll)
+//!                   │ acceptor thread
+//!                   ▼
+//!        mpsc channel of TcpStream ──► N connection handlers
+//!                                          │  parse HTTP, route
+//!                                          │  POST /v1/generate
+//!                                          ▼
+//!                     bounded mpsc of Submission (full ⇒ 503)
+//!                                          │
+//!                                          ▼
+//!                           owner thread: owns the Scheduler,
+//!                           ticks, routes tokens back through
+//!                           per-request channels ──► SSE chunks
+//! ```
+//!
+//! Everything runs inside one [`std::thread::scope`], which is what lets
+//! the scheduler and its engines borrow the model (`&'m Model`) instead
+//! of demanding `'static` — the scope guarantees every thread is joined
+//! before [`Server::serve`] returns, so the borrow provably outlives all
+//! workers. The price is that `serve` blocks its caller; the
+//! [`ServerHandle`] (cloneable, `Send`) is split off *before* the
+//! blocking call so other threads can observe the address and request
+//! shutdown.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips an atomic flag. The acceptor stops
+//! accepting and drops the connection channel; handlers finish their
+//! in-flight request (streams run to completion) and exit; dropping the
+//! last submission sender disconnects the owner loop's channel, which
+//! drains every in-flight request and returns. `serve` then joins all
+//! threads and returns the final [`StatsSnapshot`] — with the prefix
+//! cache disabled, a clean drain means `kv_blocks_in_use == 0`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sparseinfer::sparse::engine::Engine;
+use sparseinfer::sparse::error::EngineError;
+use sparseinfer::sparse::request::GenerateRequest;
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
+
+use crate::api;
+use crate::http::{self, ChunkedWriter, HttpError, Limits, Request, RequestReader};
+use crate::owner::{run_owner_loop, StatsSnapshot, StreamEvent, Submission};
+
+/// How often the nonblocking acceptor polls for shutdown between
+/// connection attempts.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout on accepted connections — the cadence at which an idle
+/// keep-alive handler re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 selects an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// The scheduler's admission-control configuration.
+    pub scheduler: SchedulerConfig,
+    /// Worker threads for the scheduler's slot parallelism (1 = serial).
+    pub slot_threads: usize,
+    /// Connection-handler threads — the cap on concurrently *parsed*
+    /// connections (streaming responses each occupy one).
+    pub connection_threads: usize,
+    /// Bounded depth of the submission channel; a full channel answers
+    /// `503` with `Retry-After` instead of queueing unboundedly.
+    pub queue_capacity: usize,
+    /// HTTP parser caps.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    /// Loopback ephemeral port, default scheduler, serial slots, four
+    /// connection handlers, a 64-deep submission queue.
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig::default(),
+            slot_threads: 1,
+            connection_threads: 4,
+            queue_capacity: 64,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A cloneable, `Send` view of a running (or about-to-run) server: its
+/// bound address and its shutdown switch. Obtained from
+/// [`Server::handle`] *before* the blocking [`Server::serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<StatsSnapshot>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown: stop accepting, finish in-flight
+    /// streams, drain the scheduler, join all threads.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// The latest stats snapshot published by the owner loop.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.lock().expect("stats mutex poisoned").clone()
+    }
+}
+
+/// A bound-but-not-yet-serving server. Splitting bind from serve lets
+/// the caller learn the ephemeral port and clone off a [`ServerHandle`]
+/// before [`serve`](Self::serve) blocks the thread.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    handle: ServerHandle,
+}
+
+/// Per-request engine factory: called on the **connection-handler**
+/// thread for each accepted generate request, so engine construction
+/// (workspace allocation, predictor wiring) happens off the owner
+/// thread. `Sync` because all handlers share one reference.
+pub type EngineFactory<'m> =
+    dyn Fn(&GenerateRequest) -> Result<Box<dyn Engine + 'm>, EngineError> + Sync + 'm;
+
+impl Server {
+    /// Binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let addr = config
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let handle = ServerHandle {
+            addr: listener.local_addr()?,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(Mutex::new(StatsSnapshot::default())),
+        };
+        Ok(Self {
+            listener,
+            config,
+            handle,
+        })
+    }
+
+    /// The bound address (real port even when configured with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    /// A handle usable from other threads while [`serve`](Self::serve)
+    /// blocks this one.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Runs the server until [`ServerHandle::shutdown`] is called,
+    /// blocking the calling thread. `factory` builds one engine per
+    /// accepted generate request and may borrow non-`'static` data (the
+    /// model) — all server threads live inside a [`std::thread::scope`].
+    ///
+    /// Returns the final post-drain [`StatsSnapshot`].
+    pub fn serve<'m>(self, factory: &EngineFactory<'m>) -> StatsSnapshot {
+        let Server {
+            listener,
+            config,
+            handle,
+        } = self;
+        let mut scheduler = Scheduler::new(config.scheduler);
+        if config.slot_threads > 1 {
+            use sparseinfer::tensor::ParallelOptions;
+            scheduler = scheduler.parallel(ParallelOptions::threads(config.slot_threads));
+        }
+        let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission<'m>>(config.queue_capacity);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        std::thread::scope(|scope| {
+            let stats = Arc::clone(&handle.stats);
+            let max_pending = config.queue_capacity;
+            scope.spawn(move || run_owner_loop(scheduler, sub_rx, stats, max_pending));
+
+            for _ in 0..config.connection_threads.max(1) {
+                let conn_rx = Arc::clone(&conn_rx);
+                let sub_tx = sub_tx.clone();
+                let shutdown = Arc::clone(&handle.shutdown);
+                let stats = Arc::clone(&handle.stats);
+                let limits = config.limits;
+                scope.spawn(move || {
+                    connection_worker(&conn_rx, &sub_tx, factory, &shutdown, &stats, &limits);
+                });
+            }
+            // The owner loop exits when every submission sender is gone;
+            // the handlers hold the remaining clones.
+            drop(sub_tx);
+
+            // Acceptor, on this thread: poll accept until shutdown.
+            let shutdown = Arc::clone(&handle.shutdown);
+            while !shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(READ_POLL));
+                        if conn_tx.send(stream).is_err() {
+                            break; // all handlers died (unreachable in practice)
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            drop(conn_tx); // handlers drain queued conns, then exit
+        });
+        handle.stats()
+    }
+}
+
+/// One connection-handler thread: pull accepted connections off the
+/// shared channel and serve each until close/shutdown.
+fn connection_worker<'m>(
+    conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    sub_tx: &SyncSender<Submission<'m>>,
+    factory: &EngineFactory<'m>,
+    shutdown: &AtomicBool,
+    stats: &Mutex<StatsSnapshot>,
+    limits: &Limits,
+) {
+    loop {
+        // Hold the lock only to receive — handlers must not serialize on
+        // each other while serving.
+        let next = {
+            let rx = conn_rx.lock().expect("conn channel mutex poisoned");
+            rx.recv_timeout(READ_POLL)
+        };
+        match next {
+            Ok(stream) => serve_connection(stream, sub_tx, factory, shutdown, stats, limits),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection: keep-alive loop of parse → route → respond.
+/// Every protocol error is answered on the wire and at most closes this
+/// connection — never the handler thread.
+fn serve_connection<'m>(
+    mut stream: TcpStream,
+    sub_tx: &SyncSender<Submission<'m>>,
+    factory: &EngineFactory<'m>,
+    shutdown: &AtomicBool,
+    stats: &Mutex<StatsSnapshot>,
+    limits: &Limits,
+) {
+    let mut reader = RequestReader::new();
+    loop {
+        let request = match reader.read_request(&mut stream, limits) {
+            Ok(request) => request,
+            Err(HttpError::Timeout) => {
+                // Idle keep-alive: wait more unless shutting down. A
+                // *partial* request during shutdown gets a short grace via
+                // the same path (its sender is presumably mid-write).
+                if shutdown.load(Ordering::Acquire) && !reader.mid_request() {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::Eof) | Err(HttpError::Io(_)) => return,
+            Err(protocol_error) => {
+                let (status, reason) = protocol_error
+                    .status()
+                    .expect("remaining variants are protocol errors");
+                let body = api::error_json(protocol_error.message());
+                let _ = http::write_response(
+                    &mut stream,
+                    status,
+                    reason,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                    &[],
+                );
+                return; // parser state is unreliable after a bad request
+            }
+        };
+        let keep_alive = !request.wants_close();
+        let close = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => respond_healthz(&mut stream, stats, keep_alive),
+            ("GET", "/stats") => respond_stats(&mut stream, stats, keep_alive),
+            ("POST", "/v1/generate") => {
+                respond_generate(&mut stream, &request, sub_tx, factory, keep_alive)
+            }
+            _ => {
+                let body = api::error_json("no such endpoint");
+                http::write_response(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                    &[],
+                )
+                .is_err()
+                    || !keep_alive
+            }
+        };
+        if close {
+            return;
+        }
+    }
+}
+
+/// `GET /healthz`: liveness plus a one-line load summary.
+fn respond_healthz(stream: &mut TcpStream, stats: &Mutex<StatsSnapshot>, keep_alive: bool) -> bool {
+    let snapshot = stats.lock().expect("stats mutex poisoned").clone();
+    let body = format!(
+        "{{\"status\":\"ok\",\"active_slots\":{},\"queued\":{}}}",
+        snapshot.active_slots, snapshot.queued
+    );
+    http::write_response(
+        stream,
+        200,
+        "OK",
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+    .is_err()
+        || !keep_alive
+}
+
+/// `GET /stats`: the full owner-loop snapshot.
+fn respond_stats(stream: &mut TcpStream, stats: &Mutex<StatsSnapshot>, keep_alive: bool) -> bool {
+    let snapshot = stats.lock().expect("stats mutex poisoned").clone();
+    let body = api::stats_json(&snapshot);
+    http::write_response(
+        stream,
+        200,
+        "OK",
+        "application/json",
+        body.as_bytes(),
+        keep_alive,
+        &[],
+    )
+    .is_err()
+        || !keep_alive
+}
+
+/// `POST /v1/generate`: parse, submit, stream SSE until finished.
+/// Returns whether the connection must close.
+fn respond_generate<'m>(
+    stream: &mut TcpStream,
+    request: &Request,
+    sub_tx: &SyncSender<Submission<'m>>,
+    factory: &EngineFactory<'m>,
+    keep_alive: bool,
+) -> bool {
+    let respond_error = |stream: &mut TcpStream, status: u16, reason: &str, msg: &str| {
+        let body = api::error_json(msg);
+        let retry_after = [("Retry-After", String::from("1"))];
+        // Errors answer and keep the connection: the client can retry on
+        // the same socket.
+        http::write_response(
+            stream,
+            status,
+            reason,
+            "application/json",
+            body.as_bytes(),
+            keep_alive,
+            if status == 503 { &retry_after } else { &[] },
+        )
+        .is_err()
+            || !keep_alive
+    };
+
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return respond_error(stream, 400, "Bad Request", "body is not UTF-8"),
+    };
+    let params = match api::parse_generate_body(body) {
+        Ok(params) => params,
+        Err(msg) => return respond_error(stream, 400, "Bad Request", &msg),
+    };
+    let engine = match factory(&params.request) {
+        Ok(engine) => engine,
+        Err(err) => return respond_error(stream, 400, "Bad Request", &err.to_string()),
+    };
+
+    let (ev_tx, ev_rx) = mpsc::channel::<StreamEvent>();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let submission = Submission {
+        engine,
+        request: params.request,
+        deadline: params.deadline,
+        events: ev_tx,
+        reply: reply_tx,
+    };
+    // Bounded admission: a full channel is the overload signal.
+    if let Err(err) = sub_tx.try_send(submission) {
+        return match err {
+            TrySendError::Full(_) => respond_error(
+                stream,
+                503,
+                "Service Unavailable",
+                "server overloaded, retry later",
+            ),
+            TrySendError::Disconnected(_) => respond_error(
+                stream,
+                503,
+                "Service Unavailable",
+                "server is shutting down",
+            ),
+        };
+    }
+    let handle = match reply_rx.recv() {
+        Ok(Ok(handle)) => handle,
+        Ok(Err(err)) => return respond_error(stream, 400, "Bad Request", &err.to_string()),
+        Err(_) => {
+            return respond_error(
+                stream,
+                503,
+                "Service Unavailable",
+                "server is shutting down",
+            )
+        }
+    };
+
+    // Admitted: stream SSE. From here on, a write failure means the
+    // client is gone — cancel the request so its slot and KV blocks are
+    // reclaimed immediately, then drain the channel so the owner loop's
+    // sends never block on a dead stream.
+    let writer =
+        match ChunkedWriter::begin(&mut *stream, 200, "OK", "text/event-stream", keep_alive) {
+            Ok(writer) => writer,
+            Err(_) => {
+                handle.cancel();
+                while !matches!(ev_rx.recv(), Ok(StreamEvent::Finished(_)) | Err(_)) {}
+                return true;
+            }
+        };
+    let mut writer = writer;
+    loop {
+        match ev_rx.recv() {
+            Ok(StreamEvent::Token(token)) => {
+                let frame = http::sse_event(&api::token_event_json(&token));
+                if writer.chunk(&frame).is_err() {
+                    handle.cancel();
+                    // Drain to the Finished event so KV reclaim is
+                    // observable before this handler moves on.
+                    while !matches!(ev_rx.recv(), Ok(StreamEvent::Finished(_)) | Err(_)) {}
+                    return true;
+                }
+            }
+            Ok(StreamEvent::Finished(summary)) => {
+                let frame = http::sse_event(&api::finish_event_json(&summary));
+                let closed = writer.chunk(&frame).is_err() || writer.finish().is_err();
+                return closed || !keep_alive;
+            }
+            // Owner loop gone mid-stream (cannot happen before drain
+            // completes, but be safe): close the connection.
+            Err(_) => return true,
+        }
+    }
+}

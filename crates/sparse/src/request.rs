@@ -31,6 +31,12 @@ pub enum FinishReason {
     /// [`RequestHandle`](crate::scheduler::RequestHandle); the tokens
     /// generated before the cancellation are preserved.
     Cancelled,
+    /// The request's deadline passed before it finished (queued or
+    /// mid-stream), signalled through
+    /// [`RequestHandle::expire`](crate::scheduler::RequestHandle::expire)
+    /// by a serving loop enforcing per-request deadlines. Like
+    /// cancellation, the tokens generated before expiry are preserved.
+    DeadlineExceeded,
     /// Decoding failed mid-run; the tokens generated before the failure
     /// are preserved. Produced by the
     /// [`Scheduler`](crate::scheduler::Scheduler), which must keep serving
@@ -258,6 +264,16 @@ impl RequestRun {
     pub fn cancel(&mut self) {
         if self.finish.is_none() {
             self.finish = Some(FinishReason::Cancelled);
+        }
+    }
+
+    /// Marks a still-running request as past its deadline: the next
+    /// [`advance`](Self::advance) is a no-op and retirement records
+    /// [`FinishReason::DeadlineExceeded`] with the tokens produced so far.
+    /// A run that already finished keeps its original reason.
+    pub fn expire(&mut self) {
+        if self.finish.is_none() {
+            self.finish = Some(FinishReason::DeadlineExceeded);
         }
     }
 

@@ -72,7 +72,7 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use sparseinfer_model::kv::{KvBlockPool, PrefixHit, PrefixIndex, DEFAULT_BLOCK_TOKENS};
@@ -209,16 +209,27 @@ pub struct PrefixCacheStats {
     pub unreferenced_blocks: usize,
 }
 
-/// A cancellation handle for one submitted request.
+/// Out-of-band stop signals a [`RequestHandle`] can raise, in the shared
+/// atomic the scheduler polls each tick. The first raised signal wins:
+/// whichever of cancel/expire lands first determines the finish reason.
+const SIGNAL_LIVE: u8 = 0;
+const SIGNAL_CANCELLED: u8 = 1;
+const SIGNAL_EXPIRED: u8 = 2;
+
+/// A cancellation/deadline handle for one submitted request.
 ///
-/// Cloneable and thread-safe; [`cancel`](Self::cancel) takes effect at the
-/// start of the next tick, whether the request is still queued or already
-/// decoding. The request still appears in the outputs, finished with
-/// [`FinishReason::Cancelled`] and whatever tokens it had produced.
+/// Cheaply cloneable (one `Arc` bump) and fully thread-safe (`Send +
+/// Sync`), so a serving frontend can hand clones to connection threads
+/// that cancel or expire requests without ever touching the scheduler
+/// thread. [`cancel`](Self::cancel) and [`expire`](Self::expire) take
+/// effect at the start of the next tick, whether the request is still
+/// queued or already decoding. The request still appears in the outputs,
+/// finished with [`FinishReason::Cancelled`] /
+/// [`FinishReason::DeadlineExceeded`] and whatever tokens it had produced.
 #[derive(Debug, Clone)]
 pub struct RequestHandle {
     id: usize,
-    cancel: Arc<AtomicBool>,
+    signal: Arc<AtomicU8>,
 }
 
 impl RequestHandle {
@@ -227,14 +238,36 @@ impl RequestHandle {
         self.id
     }
 
-    /// Requests cancellation. Idempotent.
+    /// Raises `signal` unless one was already raised — the first signal
+    /// decides the finish reason, so a cancel racing an expiry is
+    /// deterministic per request: whichever atomically lands first wins.
+    fn raise(&self, signal: u8) {
+        let _ =
+            self.signal
+                .compare_exchange(SIGNAL_LIVE, signal, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Requests cancellation. Idempotent; a no-op after
+    /// [`expire`](Self::expire) already fired.
     pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::Relaxed);
+        self.raise(SIGNAL_CANCELLED);
+    }
+
+    /// Marks the request's deadline as exceeded, finishing it with
+    /// [`FinishReason::DeadlineExceeded`] on the next tick. Idempotent; a
+    /// no-op after [`cancel`](Self::cancel) already fired.
+    pub fn expire(&self) {
+        self.raise(SIGNAL_EXPIRED);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.cancel.load(Ordering::Relaxed)
+        self.signal.load(Ordering::Relaxed) == SIGNAL_CANCELLED
+    }
+
+    /// Whether deadline expiry has been signalled.
+    pub fn is_expired(&self) -> bool {
+        self.signal.load(Ordering::Relaxed) == SIGNAL_EXPIRED
     }
 }
 
@@ -243,7 +276,7 @@ struct QueuedRequest<'m> {
     id: usize,
     engine: Box<dyn Engine + 'm>,
     req: GenerateRequest,
-    cancel: Arc<AtomicBool>,
+    signal: Arc<AtomicU8>,
     /// Gross worst-case KV blocks (`prompt + max_new` tokens × layers);
     /// admission nets out prefix hits before reserving.
     worst_blocks: usize,
@@ -257,7 +290,7 @@ struct LiveSlot<'m> {
     id: usize,
     engine: Box<dyn Engine + 'm>,
     run: RequestRun,
-    cancel: Arc<AtomicBool>,
+    signal: Arc<AtomicU8>,
     /// KV blocks this slot's reservation still covers. Starts at the
     /// admission-time net worst case; shrinks when the slot publishes
     /// blocks to the prefix index (ownership shifts to the index's
@@ -486,16 +519,16 @@ impl<'m> Scheduler<'m> {
         engine.reset_ops();
         let id = self.next_id;
         self.next_id += 1;
-        let cancel = Arc::new(AtomicBool::new(false));
+        let signal = Arc::new(AtomicU8::new(SIGNAL_LIVE));
         self.queue.push_back(QueuedRequest {
             id,
             engine,
             req: req.clone(),
-            cancel: Arc::clone(&cancel),
+            signal: Arc::clone(&signal),
             worst_blocks,
             model_key,
         });
-        Ok(RequestHandle { id, cancel })
+        Ok(RequestHandle { id, signal })
     }
 
     /// Admits queued requests in FIFO order while a slot is free and the
@@ -504,17 +537,21 @@ impl<'m> Scheduler<'m> {
     /// schedule depend on sizes, not order, breaking both fairness and the
     /// determinism contract.
     fn admit(&mut self) {
-        // Cancelled-while-queued requests retire immediately, wherever
-        // they sit in the queue: cancellation's point is to release the
-        // engine's memory now, and it must not wait behind a blocked
-        // queue head. (Dropping entries never reorders the survivors, so
-        // FIFO determinism is untouched.)
+        // Cancelled- or expired-while-queued requests retire immediately,
+        // wherever they sit in the queue: the point of either signal is to
+        // release the engine's memory now, and it must not wait behind a
+        // blocked queue head. (Dropping entries never reorders the
+        // survivors, so FIFO determinism is untouched.)
         let mut i = 0;
         while i < self.queue.len() {
-            if self.queue[i].cancel.load(Ordering::Relaxed) {
+            let finish = match self.queue[i].signal.load(Ordering::Relaxed) {
+                SIGNAL_CANCELLED => Some(FinishReason::Cancelled),
+                SIGNAL_EXPIRED => Some(FinishReason::DeadlineExceeded),
+                _ => None,
+            };
+            if let Some(finish) = finish {
                 let q = self.queue.remove(i).expect("index in bounds");
-                self.finished
-                    .push(unstarted_output(q, FinishReason::Cancelled));
+                self.finished.push(unstarted_output(q, finish));
             } else {
                 i += 1;
             }
@@ -595,7 +632,7 @@ impl<'m> Scheduler<'m> {
                         id: q.id,
                         engine: q.engine,
                         run,
-                        cancel: q.cancel,
+                        signal: q.signal,
                         worst_blocks: net_worst,
                         model_key: q.model_key,
                         published: false,
@@ -685,8 +722,10 @@ impl<'m> Scheduler<'m> {
     pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
         self.admit();
         for slot in &mut self.slots {
-            if slot.cancel.load(Ordering::Relaxed) {
-                slot.run.cancel();
+            match slot.signal.load(Ordering::Relaxed) {
+                SIGNAL_CANCELLED => slot.run.cancel(),
+                SIGNAL_EXPIRED => slot.run.expire(),
+                _ => {}
             }
         }
         self.pool.run_tasks(&mut self.slots, |_, slot| {
@@ -1307,6 +1346,95 @@ mod tests {
         assert_eq!(outputs.len(), 2);
         assert_eq!(outputs[1].tokens.len(), 3);
         assert!(s.prefix_stats().evicted_blocks >= n_layers);
+    }
+
+    #[test]
+    fn request_handles_cancel_across_threads() {
+        // The serving contract: connection threads hold clones of the
+        // handle and cancel without touching the scheduler thread.
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<RequestHandle>();
+
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let handle = s
+            .submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(64))
+            .unwrap();
+        for _ in 0..4 {
+            s.tick(|_| {});
+        }
+        let remote = handle.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancelling thread");
+        assert!(handle.is_cancelled());
+        let outputs = s.run();
+        assert_eq!(outputs[0].finish, FinishReason::Cancelled);
+        assert!(outputs[0].tokens.len() < 64, "stopped well short of budget");
+    }
+
+    #[test]
+    fn expired_mid_stream_requests_keep_partial_tokens_and_free_blocks() {
+        let m = model();
+        let req = GenerateRequest::new(&[1, 2]).max_new(64);
+        let solo = solo_tokens(&m, &req);
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 2,
+            block_tokens: 4,
+            ..SchedulerConfig::default()
+        });
+        let handle = s.submit(dense(&m), &req).unwrap();
+        let kv = s.kv_pool().clone();
+        for _ in 0..6 {
+            s.tick(|_| {});
+        }
+        handle.expire();
+        assert!(handle.is_expired());
+        let outputs = s.run();
+        assert_eq!(outputs[0].finish, FinishReason::DeadlineExceeded);
+        assert!(!outputs[0].tokens.is_empty(), "partial output preserved");
+        assert_eq!(outputs[0].tokens[..], solo[..outputs[0].tokens.len()]);
+        assert_eq!(kv.blocks_in_use(), 0, "blocks reclaimed on expiry");
+    }
+
+    #[test]
+    fn expired_queued_requests_retire_without_decoding() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 1,
+            ..SchedulerConfig::default()
+        });
+        s.submit(dense(&m), &GenerateRequest::new(&[1, 2]).max_new(3))
+            .unwrap();
+        let queued = s
+            .submit(dense(&m), &GenerateRequest::new(&[4]).max_new(3))
+            .unwrap();
+        queued.expire();
+        let outputs = s.run();
+        assert_eq!(outputs[queued.id()].finish, FinishReason::DeadlineExceeded);
+        assert!(outputs[queued.id()].tokens.is_empty());
+    }
+
+    #[test]
+    fn first_raised_signal_wins() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let h = s
+            .submit(dense(&m), &GenerateRequest::new(&[1]).max_new(8))
+            .unwrap();
+        h.cancel();
+        h.expire(); // late expiry must not overwrite the cancellation
+        assert!(h.is_cancelled() && !h.is_expired());
+        assert_eq!(s.run()[0].finish, FinishReason::Cancelled);
+
+        let mut s = Scheduler::new(SchedulerConfig::default());
+        let h = s
+            .submit(dense(&m), &GenerateRequest::new(&[1]).max_new(8))
+            .unwrap();
+        h.expire();
+        h.cancel(); // and vice versa
+        assert!(h.is_expired() && !h.is_cancelled());
+        assert_eq!(s.run()[0].finish, FinishReason::DeadlineExceeded);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`sparse`] | `sparseinfer-sparse` | sparse GEMVs and MLPs, the unified **`Engine` API**, request layer, the **continuous-batching scheduler**, op accounting |
 //! | [`gpu_sim`] | `sparseinfer-gpu-sim` | Jetson Orin AGX roofline cost model: kernels, CKE, per-token latency |
 //! | [`eval`] | `sparseinfer-eval` | synthetic GSM8K/BBH-analog suites, dense-gold accuracy, logit divergence |
+//! | [`json`] | (this crate) | dependency-free JSON value tree, parser and writer, shared by the bench tooling and the HTTP serving frontend |
 //!
 //! # Quickstart
 //!
@@ -86,6 +87,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 pub use sparseinfer_eval as eval;
 pub use sparseinfer_gpu_sim as gpu_sim;

@@ -1,0 +1,90 @@
+//! HTTP streaming consumer: boot the serving frontend in-process on an
+//! ephemeral loopback port, stream a generation over real sockets token
+//! by token, inspect `/stats`, and shut the server down gracefully.
+//!
+//! ```text
+//! cargo run --release --example http_client
+//! ```
+//!
+//! The same client code works against a standalone server started with
+//! `cargo run --release -p sparseinfer-serve -- --addr 127.0.0.1:8765` —
+//! point [`Client::connect`] at that address instead.
+
+use sparseinfer::json::Json;
+use sparseinfer::model::{generator::WeightGenerator, ModelConfig};
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer_serve::{Client, Server, ServerConfig};
+
+fn main() {
+    // 1. A synthetic ReLU-fied model, served by the sign-bit engine.
+    let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+
+    // 2. Bind before serving: the handle carries the ephemeral port and
+    //    the shutdown switch; `serve` itself blocks, so it gets a thread.
+    let server = Server::bind(ServerConfig::default()).expect("bind loopback");
+    let handle = server.handle();
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| {
+            server.serve(&|_req| {
+                EngineBuilder::new(&model)
+                    .signbit(AlphaSchedule::uniform(1.0))
+                    .build()
+            })
+        });
+
+        // 3. Health check.
+        let mut probe = Client::connect(addr).expect("connect");
+        let health = probe.get("/healthz").expect("GET /healthz");
+        println!("healthz: {} {}", health.status, health.text());
+
+        // 4. Stream a generation. Each SSE event arrives the moment its
+        //    token is decoded — this loop prints them as they land.
+        let body = r#"{"prompt":[3,1,4,1,5],"max_new":12,"top_k":8,"temperature":0.7,"seed":9}"#;
+        println!("POST /v1/generate {body}");
+        let mut stream = Client::connect(addr)
+            .expect("connect")
+            .post_streaming("/v1/generate", body)
+            .expect("admitted");
+        while let Some(event) = stream.next_event().expect("stream") {
+            if let Some(reason) = event.get("finish").and_then(Json::as_str) {
+                println!(
+                    "finished: {reason} ({} tokens, engine {})",
+                    event.get("tokens").and_then(Json::as_u64).unwrap_or(0),
+                    event.get("engine").and_then(Json::as_str).unwrap_or("?"),
+                );
+                break;
+            }
+            println!(
+                "  token[{}] = {}",
+                event.get("index").and_then(Json::as_u64).unwrap_or(0),
+                event.get("token").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+
+        // 5. Server-side accounting.
+        let stats = probe.get("/stats").expect("GET /stats");
+        let doc = stats.json().expect("stats JSON");
+        let sched = doc.get("scheduler").expect("scheduler section");
+        println!(
+            "stats: {} submitted, {} completed, {} KV bytes in use",
+            sched.get("submitted").and_then(Json::as_u64).unwrap_or(0),
+            sched.get("completed").and_then(Json::as_u64).unwrap_or(0),
+            doc.get("kv")
+                .and_then(|kv| kv.get("in_use_bytes"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+
+        // 6. Graceful shutdown: drains in-flight work, joins all threads.
+        handle.shutdown();
+        let final_stats = server_thread.join().expect("server thread");
+        println!(
+            "shutdown: {} requests served, {} KV blocks in use after drain",
+            final_stats.completed, final_stats.kv_blocks_in_use
+        );
+    });
+}

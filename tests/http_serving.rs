@@ -1,0 +1,194 @@
+//! Workspace-level end-to-end test of the HTTP serving frontend: real
+//! sockets, concurrent clients, sparse engines, and the determinism
+//! contract against direct library runs.
+//!
+//! The serve crate's own integration tests cover protocol edges with the
+//! dense engine; this suite closes the loop at the workspace level — the
+//! engine behind the server is the paper's sign-bit sparse configuration,
+//! and every token that crosses the network must equal the token the
+//! library produces for the same seeded request.
+
+use std::time::{Duration, Instant};
+
+use sparseinfer::json::Json;
+use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig, Sampler};
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer::sparse::request::GenerateRequest;
+use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
+use sparseinfer_serve::{Client, Server, ServerConfig};
+
+fn test_model() -> Model {
+    let mut cfg = ModelConfig::tiny();
+    cfg.hidden_dim = 64;
+    cfg.mlp_dim = 160;
+    cfg.n_layers = 3;
+    cfg.vocab_size = 300;
+    WeightGenerator::new(&cfg, 99).build()
+}
+
+fn scheduler_config() -> SchedulerConfig {
+    SchedulerConfig {
+        max_slots: 4,
+        block_tokens: 8,
+        kv_block_budget: 4096,
+        prefix_cache: false, // so a drained pool provably holds 0 blocks
+        ..SchedulerConfig::default()
+    }
+}
+
+/// The requests under test: distinct prompts, lengths and samplers so any
+/// cross-request interference in the server shows up as token divergence.
+fn workload() -> Vec<(GenerateRequest, String)> {
+    (0..8u32)
+        .map(|i| {
+            let prompt = vec![i + 1, (i * 3) % 40 + 2, i + 11];
+            let seed = u64::from(i) * 17 + 3;
+            let req = GenerateRequest::new(&prompt)
+                .max_new(6 + (i as usize % 3))
+                .sampler(Sampler::top_k(8, 0.8, seed));
+            let body = format!(
+                r#"{{"prompt":[{},{},{}],"max_new":{},"top_k":8,"temperature":0.8,"seed":{}}}"#,
+                prompt[0],
+                prompt[1],
+                prompt[2],
+                6 + (i as usize % 3),
+                seed,
+            );
+            (req, body)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_http_clients_match_direct_scheduler_runs_across_slot_threads() {
+    let model = test_model();
+    let workload = workload();
+
+    // Reference tokens: each request run alone through the library with
+    // the engine the server's factory will build.
+    let expected: Vec<Vec<u32>> = workload
+        .iter()
+        .map(|(req, _)| {
+            let mut scheduler = Scheduler::new(scheduler_config());
+            let engine = EngineBuilder::new(&model)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap();
+            scheduler.submit(engine, req).unwrap();
+            scheduler.run().pop().unwrap().tokens
+        })
+        .collect();
+
+    for slot_threads in [1, 2, 4] {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: scheduler_config(),
+            slot_threads,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port");
+        let handle = server.handle();
+        let addr = handle.addr();
+
+        let mut results: Vec<Option<Vec<u32>>> = vec![None; workload.len()];
+        let mut final_stats = None;
+        std::thread::scope(|scope| {
+            let final_stats = &mut final_stats;
+            let server_thread = scope.spawn(|| {
+                // The factory serves the paper's training-free sparse
+                // engine for every request.
+                server.serve(&|_req| {
+                    EngineBuilder::new(&model)
+                        .signbit(AlphaSchedule::uniform(1.0))
+                        .build()
+                })
+            });
+            // All clients concurrently, one thread each.
+            std::thread::scope(|clients| {
+                for (slot, (_, body)) in results.iter_mut().zip(&workload) {
+                    clients.spawn(move || {
+                        let (tokens, finish) = Client::connect(addr)
+                            .expect("connect")
+                            .post_streaming("/v1/generate", body)
+                            .expect("admitted")
+                            .collect_generation()
+                            .expect("complete stream");
+                        assert_eq!(
+                            finish.get("finish").and_then(Json::as_str),
+                            Some("max_tokens"),
+                        );
+                        *slot = Some(tokens);
+                    });
+                }
+            });
+            handle.shutdown();
+            *final_stats = Some(server_thread.join().expect("server thread"));
+        });
+
+        let tokens: Vec<Vec<u32>> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(
+            tokens, expected,
+            "{slot_threads} slot threads: tokens over HTTP differ from library runs"
+        );
+        let final_stats = final_stats.unwrap();
+        assert_eq!(final_stats.completed, workload.len());
+        assert_eq!(
+            final_stats.kv_blocks_in_use, 0,
+            "{slot_threads} slot threads: pool must drain to zero"
+        );
+    }
+}
+
+#[test]
+fn mid_stream_disconnect_frees_the_slot_and_drains_the_pool() {
+    let model = test_model();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        scheduler: scheduler_config(),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let handle = server.handle();
+    let addr = handle.addr();
+
+    let mut final_stats = None;
+    std::thread::scope(|scope| {
+        let final_stats = &mut final_stats;
+        let server_thread = scope.spawn(|| {
+            server.serve(&|_req| {
+                EngineBuilder::new(&model)
+                    .signbit(AlphaSchedule::uniform(1.0))
+                    .build()
+            })
+        });
+
+        // Start a long stream, take one token, vanish.
+        let mut stream = Client::connect(addr)
+            .expect("connect")
+            .post_streaming("/v1/generate", r#"{"prompt":[1,2,3],"max_new":10000}"#)
+            .expect("admitted");
+        let first = stream.next_event().expect("stream alive").expect("token");
+        assert!(first.get("token").is_some());
+        stream.abandon();
+
+        // The server must notice the dead socket, cancel the request and
+        // free its slot + KV blocks — well before the 10000-token budget.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = handle.stats();
+            if stats.active_slots == 0 && stats.completed == 1 && stats.kv_blocks_in_use == 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "disconnected request never reclaimed: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        handle.shutdown();
+        *final_stats = Some(server_thread.join().expect("server thread"));
+    });
+    assert_eq!(final_stats.unwrap().kv_blocks_in_use, 0);
+}

@@ -117,6 +117,15 @@ impl KvCache {
         }
     }
 
+    /// Mutable access to the paged storage, if it is paged — the access
+    /// point for swap-out/restore under scheduler preemption.
+    pub fn as_paged_mut(&mut self) -> Option<&mut PagedKvCache> {
+        match &mut self.storage {
+            KvStorage::Contiguous(_) => None,
+            KvStorage::Paged(p) => Some(p),
+        }
+    }
+
     /// Number of cached positions.
     pub fn len(&self) -> usize {
         match &self.storage {

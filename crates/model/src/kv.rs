@@ -516,6 +516,88 @@ impl PagedKvCache {
         self.blocks.clear();
         self.len = 0;
     }
+
+    /// Bytes of KV **content** this cache currently holds (`len` positions
+    /// of keys plus values) — the size of the cold buffer a
+    /// [`swap_out`](Self::swap_out) would produce, counting shared blocks
+    /// as if they were private (a swapped cache is fully self-contained).
+    pub fn content_bytes(&self) -> u64 {
+        2 * (self.len * self.dim * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Swaps this cache out to a cold buffer: copies every cached position
+    /// (shared prefix blocks included — the cold copy is self-contained)
+    /// and releases **all** block handles, returning the physical storage
+    /// of every privately held block to the pool immediately. The cache is
+    /// left empty but attached to its pool; [`restore`](Self::restore)
+    /// brings the exact same contents back into freshly allocated private
+    /// blocks. Copies are raw `f32` moves, so a restored cache reads
+    /// bit-identically to the cache that was swapped out.
+    pub fn swap_out(&mut self) -> SwappedKvCache {
+        let mut keys = Vec::with_capacity(self.len * self.dim);
+        let mut values = Vec::with_capacity(self.len * self.dim);
+        for block in &self.blocks {
+            keys.extend_from_slice(&block.inner.keys);
+            values.extend_from_slice(&block.inner.values);
+        }
+        debug_assert_eq!(keys.len(), self.len * self.dim, "blocks cover len exactly");
+        let swapped = SwappedKvCache {
+            keys,
+            values,
+            dim: self.dim,
+            len: self.len,
+        };
+        self.blocks.clear();
+        self.len = 0;
+        swapped
+    }
+
+    /// Restores a previously swapped-out context into this (empty) cache:
+    /// allocates fresh private blocks from the pool and copies the cold
+    /// buffer back, position by position. After restore the cache holds
+    /// exactly the swapped contents — same length, same vectors — in
+    /// all-private blocks (shared prefix attachments do not survive a
+    /// swap/restore cycle; they are rebuilt as private copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is not empty, or if the pool's block budget
+    /// cannot cover the restored blocks (a serving layer must reserve
+    /// capacity before restoring).
+    pub fn restore(&mut self, swapped: &SwappedKvCache) {
+        assert!(self.is_empty(), "restore requires an empty cache");
+        let dim = swapped.dim;
+        for t in 0..swapped.len {
+            let at = t * dim;
+            self.push(&swapped.keys[at..at + dim], &swapped.values[at..at + dim]);
+        }
+    }
+}
+
+/// The cold buffer of one swapped-out [`PagedKvCache`]: a flat,
+/// self-contained copy of its keys and values, holding **no** pool blocks
+/// (the swapped cache's physical storage went back to the free list).
+/// Produced by [`PagedKvCache::swap_out`], consumed by
+/// [`PagedKvCache::restore`]; [`bytes`](Self::bytes) is the cold footprint
+/// a serving layer accounts against its swap budget.
+#[derive(Debug, Clone)]
+pub struct SwappedKvCache {
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    dim: usize,
+    len: usize,
+}
+
+impl SwappedKvCache {
+    /// Positions held in the cold buffer.
+    pub fn tokens(&self) -> usize {
+        self.len
+    }
+
+    /// Bytes of the cold buffer (keys plus values).
+    pub fn bytes(&self) -> u64 {
+        ((self.keys.len() + self.values.len()) * std::mem::size_of::<f32>()) as u64
+    }
 }
 
 impl Clone for PagedKvCache {
@@ -1131,6 +1213,97 @@ mod tests {
         assert_eq!(pool.blocks_in_use(), 1, "evicted storage returned");
         assert_eq!(index.clear(), 1);
         assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn swap_out_frees_blocks_and_restore_is_bit_identical() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = PagedKvCache::new(&pool);
+        for t in 0..11 {
+            cache.push(&[t as f32; 3], &[-(t as f32); 3]);
+        }
+        assert_eq!(pool.blocks_in_use(), 3);
+        let expected_bytes = cache.content_bytes();
+        assert_eq!(expected_bytes, 2 * 11 * 3 * 4);
+
+        let cold = cache.swap_out();
+        assert_eq!(cold.tokens(), 11);
+        assert_eq!(cold.bytes(), expected_bytes);
+        assert!(cache.is_empty());
+        assert_eq!(pool.blocks_in_use(), 0, "swap releases every block");
+        assert_eq!(cache.content_bytes(), 0);
+
+        cache.restore(&cold);
+        assert_eq!(cache.len(), 11);
+        assert_eq!(pool.blocks_in_use(), 3, "restored into fresh blocks");
+        for t in 0..11 {
+            assert_eq!(cache.key(t), &[t as f32; 3], "restored key {t}");
+            assert_eq!(cache.value(t), &[-(t as f32); 3], "restored value {t}");
+        }
+        // The restored cache keeps appending normally.
+        cache.push(&[99.0; 3], &[99.0; 3]);
+        assert_eq!(cache.key(11), &[99.0; 3]);
+    }
+
+    #[test]
+    fn swap_out_of_a_prefix_attached_cache_is_self_contained() {
+        let pool = KvBlockPool::new(4);
+        let mut index = PrefixIndex::new();
+        let base = filled_cache(&pool, 8); // 2 full blocks
+        index.publish(
+            3,
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            4,
+            &[base.block_refs().to_vec()],
+        );
+        drop(base);
+
+        let hit = index.lookup(3, &[1, 2, 3, 4, 5, 6, 7, 8], 4, 8).unwrap();
+        let mut attached = PagedKvCache::with_prefix(&pool, hit.layer_blocks[0].clone());
+        drop(hit);
+        attached.push(&[50.0; 2], &[50.0; 2]);
+        assert_eq!(pool.blocks_in_use(), 3, "2 shared + 1 private tail");
+
+        let cold = attached.swap_out();
+        assert_eq!(
+            pool.blocks_in_use(),
+            2,
+            "private tail freed; index retention keeps the shared prefix"
+        );
+        assert_eq!(cold.tokens(), 9, "shared positions are copied too");
+
+        attached.restore(&cold);
+        assert_eq!(pool.blocks_in_use(), 5, "restored blocks are all private");
+        for t in 0..8 {
+            assert_eq!(attached.key(t), &[t as f32; 2], "prefix position {t}");
+        }
+        assert_eq!(attached.key(8), &[50.0; 2]);
+        drop(attached);
+        assert_eq!(index.clear(), 2);
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn empty_swap_restore_round_trip_is_a_no_op() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = PagedKvCache::new(&pool);
+        let cold = cache.swap_out();
+        assert_eq!(cold.tokens(), 0);
+        assert_eq!(cold.bytes(), 0);
+        cache.restore(&cold);
+        assert!(cache.is_empty());
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore requires an empty cache")]
+    fn restore_into_a_non_empty_cache_panics() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = PagedKvCache::new(&pool);
+        cache.push(&[1.0], &[1.0]);
+        let cold = cache.swap_out();
+        cache.push(&[2.0], &[2.0]);
+        cache.restore(&cold);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use sparseinfer::json::Json;
 use sparseinfer::model::Sampler;
-use sparseinfer::sparse::request::{FinishReason, GenerateRequest, TokenEvent};
+use sparseinfer::sparse::request::{FinishReason, GenerateRequest, Priority, TokenEvent};
 
 use crate::owner::{FinishSummary, StatsSnapshot};
 
@@ -38,6 +38,7 @@ pub struct GenerateParams {
 /// | `top_k` | integer ≥ 1 | off | top-k truncation (uses `temperature` or 1.0) |
 /// | `seed` | integer | 0 | sampler RNG seed |
 /// | `deadline_ms` | integer ≥ 1 | none | per-request deadline |
+/// | `priority` | `"high"` / `"normal"` / `"batch"` | `"normal"` | admission class |
 ///
 /// # Errors
 ///
@@ -52,7 +53,14 @@ pub fn parse_generate_body(body: &str) -> Result<GenerateParams, String> {
     for (key, _) in fields {
         if !matches!(
             key.as_str(),
-            "prompt" | "max_new" | "stop" | "temperature" | "top_k" | "seed" | "deadline_ms"
+            "prompt"
+                | "max_new"
+                | "stop"
+                | "temperature"
+                | "top_k"
+                | "seed"
+                | "deadline_ms"
+                | "priority"
         ) {
             return Err(format!("unknown field `{key}`"));
         }
@@ -93,6 +101,23 @@ pub fn parse_generate_body(body: &str) -> Result<GenerateParams, String> {
             if let Some(t) = temperature {
                 request = request.sampler(Sampler::temperature(t, seed));
             }
+        }
+    }
+
+    match doc.get("priority") {
+        None => {}
+        Some(v) => {
+            let priority = match v.as_str() {
+                Some("high") => Priority::High,
+                Some("normal") => Priority::Normal,
+                Some("batch") => Priority::Batch,
+                _ => {
+                    return Err(
+                        "`priority` must be one of \"high\", \"normal\", \"batch\"".to_string()
+                    )
+                }
+            };
+            request = request.priority(priority);
         }
     }
 
@@ -166,6 +191,14 @@ pub fn finish_event_json(summary: &FinishSummary) -> String {
             "prefill_skipped_tokens".to_string(),
             Json::Number(summary.prefill_skipped_tokens as f64),
         ),
+        (
+            "preemptions".to_string(),
+            Json::Number(summary.preemptions as f64),
+        ),
+        (
+            "swapped_blocks".to_string(),
+            Json::Number(summary.swapped_blocks as f64),
+        ),
         ("engine".to_string(), Json::String(summary.engine.clone())),
     ];
     match summary.finish {
@@ -195,6 +228,10 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
                     "reserved_blocks".to_string(),
                     num(stats.reserved_blocks as u64),
                 ),
+                (
+                    "preempted".to_string(),
+                    num(stats.preemption.preempted_now as u64),
+                ),
                 ("submitted".to_string(), num(stats.submitted as u64)),
                 ("completed".to_string(), num(stats.completed as u64)),
                 ("draining".to_string(), Json::Bool(stats.draining)),
@@ -218,6 +255,7 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
                     "per_session_bytes".to_string(),
                     num(stats.memory_per_session_bytes),
                 ),
+                ("swapped_bytes".to_string(), num(stats.memory_swapped_bytes)),
             ]),
         ),
         (
@@ -246,6 +284,32 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
                 (
                     "unreferenced_blocks".to_string(),
                     num(stats.prefix.unreferenced_blocks as u64),
+                ),
+            ]),
+        ),
+        (
+            "preemption".to_string(),
+            Json::Object(vec![
+                (
+                    "preemptions".to_string(),
+                    num(stats.preemption.preemptions as u64),
+                ),
+                (
+                    "swapped_out".to_string(),
+                    num(stats.preemption.swapped_out as u64),
+                ),
+                (
+                    "recomputed".to_string(),
+                    num(stats.preemption.recomputed as u64),
+                ),
+                ("resumed".to_string(), num(stats.preemption.resumed as u64)),
+                (
+                    "preempted_now".to_string(),
+                    num(stats.preemption.preempted_now as u64),
+                ),
+                (
+                    "swapped_bytes".to_string(),
+                    num(stats.preemption.swapped_bytes),
                 ),
             ]),
         ),
@@ -296,6 +360,21 @@ mod tests {
     }
 
     #[test]
+    fn priority_parses_every_class_and_defaults_to_normal() {
+        for (name, expected) in [
+            ("high", Priority::High),
+            ("normal", Priority::Normal),
+            ("batch", Priority::Batch),
+        ] {
+            let body = format!(r#"{{"prompt":[1],"priority":"{name}"}}"#);
+            let params = parse_generate_body(&body).unwrap();
+            assert_eq!(params.request.priority, expected);
+        }
+        let params = parse_generate_body(r#"{"prompt":[1]}"#).unwrap();
+        assert_eq!(params.request.priority, Priority::Normal);
+    }
+
+    #[test]
     fn temperature_without_top_k_selects_softmax_sampling() {
         let params = parse_generate_body(r#"{"prompt":[1],"temperature":0.5,"seed":3}"#).unwrap();
         assert_eq!(
@@ -323,6 +402,14 @@ mod tests {
             (r#"{"prompt":[1],"top_k":0}"#, "`top_k` must be at least 1"),
             (r#"{"prompt":[1],"deadline_ms":0}"#, "`deadline_ms`"),
             (r#"{"prompt":[1],"max_mew":4}"#, "unknown field `max_mew`"),
+            (
+                r#"{"prompt":[1],"priority":"urgent"}"#,
+                "`priority` must be one of",
+            ),
+            (
+                r#"{"prompt":[1],"priority":3}"#,
+                "`priority` must be one of",
+            ),
         ] {
             let err = parse_generate_body(body).unwrap_err();
             assert!(err.contains(needle), "{body}: {err}");
@@ -344,6 +431,8 @@ mod tests {
             tokens: 7,
             finish: FinishReason::Stop(2),
             prefill_skipped_tokens: 16,
+            preemptions: 2,
+            swapped_blocks: 4,
             engine: "dense".to_string(),
         });
         let doc = Json::parse(&finish).unwrap();
@@ -354,6 +443,8 @@ mod tests {
             doc.get("prefill_skipped_tokens").and_then(Json::as_u64),
             Some(16)
         );
+        assert_eq!(doc.get("preemptions").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("swapped_blocks").and_then(Json::as_u64), Some(4));
         assert_eq!(doc.get("engine").and_then(Json::as_str), Some("dense"));
     }
 
@@ -385,7 +476,9 @@ mod tests {
             completed: 9,
             memory_shared_bytes: 1024,
             memory_per_session_bytes: 2048,
+            memory_swapped_bytes: 512,
             prefix: Default::default(),
+            preemption: Default::default(),
             draining: false,
         };
         let doc = Json::parse(&stats_json(&stats)).unwrap();
@@ -400,6 +493,15 @@ mod tests {
             memory.get("per_session_bytes").and_then(Json::as_u64),
             Some(2048)
         );
+        assert_eq!(
+            memory.get("swapped_bytes").and_then(Json::as_u64),
+            Some(512)
+        );
         assert!(doc.get("prefix_cache").is_some());
+        let preemption = doc.get("preemption").unwrap();
+        assert_eq!(
+            preemption.get("swapped_bytes").and_then(Json::as_u64),
+            Some(0)
+        );
     }
 }

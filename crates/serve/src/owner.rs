@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use sparseinfer::sparse::engine::Engine;
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::request::{FinishReason, GenerateRequest, TokenEvent};
-use sparseinfer::sparse::scheduler::{PrefixCacheStats, RequestHandle, Scheduler};
+use sparseinfer::sparse::scheduler::{PreemptionStats, PrefixCacheStats, RequestHandle, Scheduler};
 
 /// How long the owner loop sleeps on its submission channel when the
 /// scheduler has nothing to decode.
@@ -79,6 +79,11 @@ pub struct FinishSummary {
     pub finish: FinishReason,
     /// Prompt positions served from the prefix cache instead of prefill.
     pub prefill_skipped_tokens: usize,
+    /// Times the request was preempted (swapped out or dropped for
+    /// recompute) by higher-priority admissions.
+    pub preemptions: usize,
+    /// KV blocks its preemptions swapped out to cold buffers.
+    pub swapped_blocks: usize,
     /// The engine configuration name that served the request.
     pub engine: String,
 }
@@ -106,8 +111,13 @@ pub struct StatsSnapshot {
     pub memory_shared_bytes: u64,
     /// Per-session engine bytes across queued + live requests.
     pub memory_per_session_bytes: u64,
+    /// Cold bytes held by swapped-out preempted requests.
+    pub memory_swapped_bytes: u64,
     /// Prefix-cache accounting.
     pub prefix: PrefixCacheStats,
+    /// Preemption accounting (evictions, swap/recompute split, resumes,
+    /// current preempted population).
+    pub preemption: PreemptionStats,
     /// Whether the server is draining (shutdown requested, in-flight
     /// requests finishing, no new submissions accepted).
     pub draining: bool,
@@ -199,6 +209,8 @@ pub fn run_owner_loop<'m>(
                     tokens: out.tokens.len(),
                     finish: out.finish,
                     prefill_skipped_tokens: out.prefill_skipped_tokens,
+                    preemptions: out.preemptions,
+                    swapped_blocks: out.swapped_blocks,
                     engine: out.engine,
                 }));
             }
@@ -270,7 +282,9 @@ fn publish_stats(
         completed,
         memory_shared_bytes: memory.shared_bytes,
         memory_per_session_bytes: memory.per_session_bytes,
+        memory_swapped_bytes: memory.swapped_bytes,
         prefix: scheduler.prefix_stats(),
+        preemption: scheduler.preemption_stats(),
         draining,
     };
     *stats.lock().expect("stats mutex poisoned") = snapshot;

@@ -274,6 +274,22 @@ fn malformed_and_oversized_requests_do_not_kill_the_connection_handler() {
         assert_eq!(resp.status, 400);
         assert!(resp.text().contains("prompt"));
 
+        // Unknown priority class -> 400, connection still alive.
+        let resp = client
+            .post("/v1/generate", r#"{"prompt":[1],"priority":"urgent"}"#)
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("priority"));
+
+        // Same connection: a valid priority still works after the 400.
+        let resp = client
+            .post(
+                "/v1/generate",
+                r#"{"prompt":[1],"max_new":2,"priority":"high"}"#,
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+
         // Oversized body -> 413 (these close the connection: fresh client).
         let huge = format!(r#"{{"prompt":[{}]}}"#, "1,".repeat(200) + "1");
         let mut client = Client::connect(addr).unwrap();
@@ -290,6 +306,117 @@ fn malformed_and_oversized_requests_do_not_kill_the_connection_handler() {
         assert_eq!(client.get("/healthz").unwrap().status, 200);
     });
     assert_eq!(final_stats.kv_blocks_in_use, 0);
+}
+
+#[test]
+fn high_priority_preempts_a_batch_stream_and_the_finish_event_reports_it() {
+    // Budget fits exactly the batch request (tiny(): 2 layers, prompt 2 +
+    // max_new 2048 at 4 tokens/block -> 1026 blocks), so the High arrival
+    // must evict it; the swap-out restores and the batch stream still
+    // delivers every token, with the eviction visible in its finish
+    // event and in /stats. The batch decode is deliberately long
+    // (~300ms wall clock) so the separately-posted High request lands
+    // mid-decode rather than racing the batch request's completion.
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            max_slots: 4,
+            block_tokens: 4,
+            kv_block_budget: 1026,
+            prefix_cache: false,
+            ..SchedulerConfig::default()
+        },
+        ..test_config()
+    };
+    let ((batch_tokens, batch_finish, high_finish, stats_doc), final_stats) =
+        with_server(config, |addr, _| {
+            let mut batch_stream = Client::connect(addr)
+                .unwrap()
+                .post_streaming(
+                    "/v1/generate",
+                    r#"{"prompt":[1,2],"max_new":2048,"priority":"batch"}"#,
+                )
+                .unwrap();
+            // Wait for the first token so the batch request holds a slot.
+            let first = batch_stream.next_event().unwrap().expect("a token");
+            assert_eq!(first.get("index").and_then(Json::as_u64), Some(0));
+
+            let (high_tokens, high_finish) = Client::connect(addr)
+                .unwrap()
+                .post_streaming(
+                    "/v1/generate",
+                    r#"{"prompt":[7,8],"max_new":4,"priority":"high"}"#,
+                )
+                .unwrap()
+                .collect_generation()
+                .unwrap();
+            assert_eq!(high_tokens.len(), 4);
+
+            let mut batch_tokens = vec![first.get("token").and_then(Json::as_u64).unwrap() as u32];
+            let (rest, batch_finish) = batch_stream.collect_generation().unwrap();
+            batch_tokens.extend(rest);
+
+            let stats = Client::connect(addr).unwrap().get("/stats").unwrap();
+            assert_eq!(stats.status, 200);
+            (
+                batch_tokens,
+                batch_finish,
+                high_finish,
+                stats.json().unwrap(),
+            )
+        });
+    assert_eq!(
+        batch_tokens.len(),
+        2048,
+        "the evicted stream still completes"
+    );
+    assert_eq!(
+        batch_finish.get("finish").and_then(Json::as_str),
+        Some("max_tokens")
+    );
+    let preemptions = batch_finish
+        .get("preemptions")
+        .and_then(Json::as_u64)
+        .expect("finish event carries preemptions");
+    assert!(preemptions >= 1, "the batch stream must have been evicted");
+    assert!(
+        batch_finish
+            .get("swapped_blocks")
+            .and_then(Json::as_u64)
+            .expect("finish event carries swapped_blocks")
+            > 0,
+        "default config swaps rather than recomputes"
+    );
+    assert_eq!(
+        high_finish.get("preemptions").and_then(Json::as_u64),
+        Some(0)
+    );
+    let preemption = stats_doc.get("preemption").expect("preemption section");
+    assert!(
+        preemption
+            .get("preemptions")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        preemption
+            .get("swapped_out")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        preemption.get("preempted_now").and_then(Json::as_u64),
+        Some(0)
+    );
+    let memory = stats_doc.get("memory").expect("memory section");
+    assert_eq!(
+        memory.get("swapped_bytes").and_then(Json::as_u64),
+        Some(0),
+        "cold buffers drained once everything resumed"
+    );
+    assert_eq!(final_stats.kv_blocks_in_use, 0, "pool drained");
+    assert_eq!(final_stats.memory_swapped_bytes, 0);
 }
 
 #[test]

@@ -219,12 +219,17 @@ pub struct MemoryEstimate {
     /// Bytes of per-session state (scratch buffers, masks, workspace pool,
     /// statistics). Model weights and KV caches are accounted elsewhere.
     pub per_session_bytes: u64,
+    /// Bytes of cold KV buffers held by swapped-out preempted requests
+    /// (see [`Scheduler::preemption_stats`](crate::scheduler::Scheduler::preemption_stats)).
+    /// Counted separately from the pool so swap-out can never hide
+    /// memory from the estimate. Always zero for a single engine.
+    pub swapped_bytes: u64,
 }
 
 impl MemoryEstimate {
-    /// Shared plus per-session bytes.
+    /// Shared plus per-session plus swapped-out bytes.
     pub fn total(&self) -> u64 {
-        self.shared_bytes + self.per_session_bytes
+        self.shared_bytes + self.per_session_bytes + self.swapped_bytes
     }
 }
 
@@ -389,6 +394,7 @@ impl Engine for DenseEngine<'_> {
             per_session_bytes: self.ws.pooled_bytes()
                 + mask_bytes(&self.dense_mask)
                 + mask_bytes(&self.effective),
+            swapped_bytes: 0,
         }
     }
 
@@ -559,6 +565,7 @@ impl Engine for SparseEngine<'_> {
                 + mask_bytes(&self.mask)
                 + mask_bytes(&self.effective)
                 + (self.stats.predicted_sum.len() as u64) * 16,
+            swapped_bytes: 0,
         }
     }
 

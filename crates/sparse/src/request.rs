@@ -12,7 +12,7 @@
 //! last token goes through the engine so decode statistics start with the
 //! first generated token.
 
-use sparseinfer_model::kv::{KvBlockPool, PrefixHit, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_model::kv::{KvBlockPool, PrefixHit, SwappedKvCache, DEFAULT_BLOCK_TOKENS};
 use sparseinfer_model::model::DecodeSession;
 use sparseinfer_model::sampling::Sampler;
 use sparseinfer_tensor::Vector;
@@ -45,17 +45,49 @@ pub enum FinishReason {
     Failed(EngineError),
 }
 
+/// Scheduling priority class of a request.
+///
+/// Priority orders **admission**, never math: the scheduler admits FIFO
+/// within a class and higher classes first, and may preempt lower-class
+/// slots to make room — but a request's tokens depend only on its own
+/// engine, sampler and prompt, so priority (like preemption) can change
+/// *when* tokens arrive, never *which* tokens arrive. Ordered so that
+/// `Batch < Normal < High`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput traffic: admitted last, first in line for preemption.
+    Batch,
+    /// The default class for interactive traffic.
+    #[default]
+    Normal,
+    /// Latency-critical traffic: admitted first, may preempt lower
+    /// classes under slot or KV pressure.
+    High,
+}
+
+impl Priority {
+    /// The wire/CLI name of the class (`"high"`, `"normal"`, `"batch"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Batch => "batch",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// One generation request.
 ///
 /// # Example
 ///
 /// ```
 /// use sparseinfer_model::Sampler;
-/// use sparseinfer_sparse::request::GenerateRequest;
+/// use sparseinfer_sparse::request::{GenerateRequest, Priority};
 ///
 /// let req = GenerateRequest::new(&[1, 2, 3])
 ///     .max_new(32)
 ///     .stop_at(0)
+///     .priority(Priority::High)
 ///     .sampler(Sampler::top_k(8, 0.7, 42));
 /// assert_eq!(req.max_new, 32);
 /// ```
@@ -69,17 +101,22 @@ pub struct GenerateRequest {
     pub stop: Vec<u32>,
     /// Sampling policy; `None` falls back to the engine's default sampler.
     pub sampler: Option<Sampler>,
+    /// Scheduling priority class (admission order and preemption
+    /// eligibility inside the scheduler; ignored by the single-request
+    /// [`generate`] path).
+    pub priority: Priority,
 }
 
 impl GenerateRequest {
-    /// A request with a 16-token budget, no stop tokens and the engine's
-    /// default sampler.
+    /// A request with a 16-token budget, no stop tokens, `Normal` priority
+    /// and the engine's default sampler.
     pub fn new(prompt: &[u32]) -> Self {
         Self {
             prompt: prompt.to_vec(),
             max_new: 16,
             stop: Vec::new(),
             sampler: None,
+            priority: Priority::Normal,
         }
     }
 
@@ -98,6 +135,12 @@ impl GenerateRequest {
     /// Sets the sampling policy.
     pub fn sampler(mut self, sampler: Sampler) -> Self {
         self.sampler = Some(sampler);
+        self
+    }
+
+    /// Sets the scheduling priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
         self
     }
 }
@@ -146,6 +189,12 @@ pub struct RequestRun {
     logits: Vector,
     has_logits: bool,
     tokens: Vec<u32>,
+    /// Tokens this run must regenerate silently after a drop-and-recompute
+    /// preemption: sampling re-derives them bit-identically (same seed,
+    /// same prompt), and [`advance`](Self::advance) suppresses their
+    /// [`TokenEvent`]s — the stream already delivered them before the
+    /// preemption. Empty on a normal run.
+    replay: Vec<u32>,
     finish: Option<FinishReason>,
 }
 
@@ -209,6 +258,40 @@ impl RequestRun {
         pool: &KvBlockPool,
         prefix: Option<&PrefixHit>,
     ) -> Result<Self, EngineError> {
+        Self::with_replay(req, engine, pool, prefix, Vec::new())
+    }
+
+    /// Prepares a pool-backed run that **recomputes** a preempted request:
+    /// decoding restarts from the prompt (optionally warm through
+    /// `prefix`), and the first `replay.len()` sampled tokens — which
+    /// deterministic seeded sampling reproduces bit-identically — are
+    /// regenerated *silently*: [`advance`](Self::advance) rebuilds their
+    /// KV state but emits no [`TokenEvent`] for them, because the stream
+    /// already delivered them before the preemption. Token events resume
+    /// at index `replay.len()`, so a consumer sees one gapless stream.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replay` is not shorter than `max_new` (a run that
+    /// exhausted its budget is finished and cannot be recomputed), or if
+    /// the prefix hit covers the whole prompt.
+    pub fn with_replay(
+        req: &GenerateRequest,
+        engine: &dyn Engine,
+        pool: &KvBlockPool,
+        prefix: Option<&PrefixHit>,
+        replay: Vec<u32>,
+    ) -> Result<Self, EngineError> {
+        assert!(
+            replay.is_empty() || replay.len() < req.max_new,
+            "replay of {} tokens must stay under the {}-token budget",
+            replay.len(),
+            req.max_new
+        );
         if req.prompt.is_empty() {
             return Err(EngineError::EmptyPrompt);
         }
@@ -241,6 +324,7 @@ impl RequestRun {
             logits: Vector::zeros(0),
             has_logits: false,
             tokens: Vec::new(),
+            replay,
             // A zero budget can produce nothing: finish immediately rather
             // than paying a full engine step whose logits are never
             // sampled.
@@ -371,8 +455,85 @@ impl RequestRun {
             } else {
                 engine.step_into(next, &mut self.session, &mut self.logits);
             }
+            if index < self.replay.len() {
+                // Recompute replay: this token was already delivered
+                // before the preemption — rebuild its state silently.
+                debug_assert_eq!(
+                    next, self.replay[index],
+                    "deterministic recompute diverged at replay index {index}"
+                );
+                return Ok(None);
+            }
             Ok(Some(TokenEvent { index, token: next }))
         }
+    }
+
+    /// Swaps the session's paged KV caches out to cold buffers, one per
+    /// layer: block contents are copied, every block handle is released
+    /// (private storage returns to the pool immediately), and the run is
+    /// frozen until [`restore_kv`](Self::restore_kv) — sampler state,
+    /// pending logits and produced tokens all stay in place, so a restored
+    /// run continues exactly where it stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's caches are not paged (scheduler sessions
+    /// always are).
+    pub fn swap_out_kv(&mut self) -> Vec<SwappedKvCache> {
+        self.session
+            .caches
+            .iter_mut()
+            .map(|cache| {
+                cache
+                    .as_paged_mut()
+                    .expect("scheduler sessions are paged")
+                    .swap_out()
+            })
+            .collect()
+    }
+
+    /// Restores previously swapped-out KV caches into freshly allocated
+    /// private blocks — the inverse of [`swap_out_kv`](Self::swap_out_kv),
+    /// bit-identical contents included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swapped` does not hold one buffer per layer, or if the
+    /// caches are not empty (double restore).
+    pub fn restore_kv(&mut self, swapped: &[SwappedKvCache]) {
+        assert_eq!(
+            swapped.len(),
+            self.session.caches.len(),
+            "one cold buffer per layer"
+        );
+        for (cache, cold) in self.session.caches.iter_mut().zip(swapped) {
+            cache
+                .as_paged_mut()
+                .expect("scheduler sessions are paged")
+                .restore(cold);
+        }
+    }
+
+    /// Bytes of KV content currently held across the session's caches —
+    /// the cold-buffer size a swap-out of this run would produce.
+    pub fn kv_content_bytes(&self) -> u64 {
+        self.session
+            .caches
+            .iter()
+            .filter_map(|c| c.as_paged())
+            .map(|p| p.content_bytes())
+            .sum()
+    }
+
+    /// Block handles currently held across the session's caches (shared
+    /// prefix attachments included).
+    pub fn kv_blocks_held(&self) -> usize {
+        self.session
+            .caches
+            .iter()
+            .filter_map(|c| c.as_paged())
+            .map(|p| p.blocks_held())
+            .sum()
     }
 
     /// Marks the run finished with a failure and hands the error back for

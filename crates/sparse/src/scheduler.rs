@@ -9,17 +9,25 @@
 //!   mid-run, and returns a [`RequestHandle`] that can cancel it (queued or
 //!   mid-stream).
 //! * Each [`tick`](Scheduler::tick) first **admits** queued requests — in
-//!   strict FIFO order, up to [`max_slots`](SchedulerConfig::max_slots)
-//!   concurrent decodes and within the KV block budget — then advances
-//!   every live slot by one model step.
+//!   [`Priority`] order (higher classes first, FIFO within a class), up
+//!   to [`max_slots`](SchedulerConfig::max_slots) concurrent decodes and
+//!   within the KV block budget — then advances every live slot by one
+//!   model step.
 //! * Admission is **capacity-based**: a request is admitted only when its
 //!   worst-case KV footprint (`prompt + max_new` tokens across every
 //!   layer) fits in the unreserved remainder of the pool budget, so the
-//!   pool can never be exhausted mid-decode and nothing ever needs to be
-//!   preempted. Actual allocation stays **lazy** — a request that stops
-//!   after three tokens only ever allocated blocks for three tokens — so
-//!   the reservation is an upper bound the blocks of finished requests
-//!   immediately flow back out of.
+//!   pool can never be exhausted mid-decode. Actual allocation stays
+//!   **lazy** — a request that stops after three tokens only ever
+//!   allocated blocks for three tokens — so the reservation is an upper
+//!   bound the blocks of finished requests immediately flow back out of.
+//! * When a higher-priority request cannot fit, the scheduler (with
+//!   [`preemption`](SchedulerConfig::preemption) on) **preempts** a
+//!   strictly lower-priority victim slot: the victim's KV is swapped to
+//!   a cold buffer (restored verbatim on resume) or, past the
+//!   [`swap_budget_bytes`](SchedulerConfig::swap_budget_bytes) cap,
+//!   dropped and deterministically recomputed. Preempted requests resume
+//!   ahead of equal-priority fresh admissions and finish with exactly
+//!   the tokens of an uninterrupted run.
 //! * The moment a request finishes (budget, stop token, cancellation or
 //!   failure) its slot **retires**: engine scratch, workspace and the
 //!   session's KV blocks are released and the freed capacity admits the
@@ -27,14 +35,17 @@
 //!
 //! # Determinism contract
 //!
-//! Admission is FIFO (head-of-line blocking included: when the oldest
-//! queued request does not fit, nothing younger jumps it), slots advance in
-//! admission order, and events are delivered in slot order — so a fixed
-//! submission sequence yields a fixed admission schedule, a fixed event
-//! stream, and **bit-identical tokens per request to running that request
-//! alone**, at any slot-thread count ([`parallel`](Scheduler::parallel))
-//! and any kernel-thread count. Interleaving is pure scheduling; it never
-//! touches the math.
+//! Admission order is a pure function of the submission sequence:
+//! priority classes first, FIFO within a class (head-of-line blocking
+//! included: when the best candidate does not fit, nothing lesser jumps
+//! it), slots advance in admission order, and events are delivered in
+//! slot order — so a fixed submission sequence yields a fixed admission
+//! *and preemption* schedule, a fixed event stream, and **bit-identical
+//! tokens per request to running that request alone** — whether the
+//! request was never preempted, swapped out and restored, or dropped and
+//! recomputed — at any slot-thread count
+//! ([`parallel`](Scheduler::parallel)) and any kernel-thread count.
+//! Interleaving is pure scheduling; it never touches the math.
 //!
 //! # Example
 //!
@@ -75,14 +86,16 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use sparseinfer_model::kv::{KvBlockPool, PrefixHit, PrefixIndex, DEFAULT_BLOCK_TOKENS};
+use sparseinfer_model::kv::{
+    KvBlockPool, PrefixHit, PrefixIndex, SwappedKvCache, DEFAULT_BLOCK_TOKENS,
+};
 use sparseinfer_model::Model;
 use sparseinfer_tensor::{ParallelOptions, ThreadPool};
 
 use crate::engine::{Engine, MemoryEstimate, SparsityStats};
 use crate::error::EngineError;
 use crate::ops::OpCounter;
-use crate::request::{FinishReason, GenerateRequest, RequestRun, TokenEvent};
+use crate::request::{FinishReason, GenerateRequest, Priority, RequestRun, TokenEvent};
 
 /// A token emitted by one request inside a scheduler or batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +132,12 @@ pub struct BatchOutput {
     /// At least `shared full blocks × block_tokens` for a warm-prefix
     /// request; zero on a cold miss or with the cache disabled.
     pub prefill_skipped_tokens: usize,
+    /// Times this request was preempted (swapped out or dropped for
+    /// recompute) to make room for a higher-priority admission.
+    pub preemptions: usize,
+    /// KV blocks this request's preemptions swapped out to cold buffers
+    /// (summed over every swap-out; zero for the recompute path).
+    pub swapped_blocks: usize,
 }
 
 /// Default cap on retained-but-unreferenced prefix blocks (see
@@ -154,11 +173,29 @@ pub struct SchedulerConfig {
     /// evicts least-recently-used unreferenced entries; blocks attached
     /// to live sessions are pinned and never count against the cap.
     pub prefix_retain_blocks: usize,
+    /// Enables preemption: when the admission head outranks a live slot
+    /// and cannot fit, the scheduler evicts a victim slot (swap-out or
+    /// drop-and-recompute) instead of waiting for it to finish. Safe to
+    /// leave on for single-priority workloads — preemption only ever
+    /// fires across *strictly different* priority classes.
+    pub preemption: bool,
+    /// Cap on how many times one request may be preempted. Past it, a
+    /// slot becomes non-preemptable and higher-priority arrivals wait
+    /// for it like any other capacity — bounding worst-case thrash (each
+    /// preemption re-pays restore or recompute work).
+    pub max_preemptions_per_request: usize,
+    /// Byte budget for swapped-out cold KV buffers. A preemption whose
+    /// victim does not fit under it falls back to drop-and-recompute
+    /// (memory-free, but the resume re-runs prefill and replays the
+    /// generated tokens). `u64::MAX` means swap always; `0` means
+    /// recompute always.
+    pub swap_budget_bytes: u64,
 }
 
 impl Default for SchedulerConfig {
     /// Eight slots, default block size, no KV budget, prefix cache on
-    /// with the default retention cap.
+    /// with the default retention cap, preemption on (swap preferred,
+    /// at most three preemptions per request).
     fn default() -> Self {
         Self {
             max_slots: 8,
@@ -166,6 +203,9 @@ impl Default for SchedulerConfig {
             kv_block_budget: usize::MAX,
             prefix_cache: true,
             prefix_retain_blocks: DEFAULT_PREFIX_RETAIN_BLOCKS,
+            preemption: true,
+            max_preemptions_per_request: 3,
+            swap_budget_bytes: u64::MAX,
         }
     }
 }
@@ -183,6 +223,9 @@ impl SchedulerConfig {
             kv_block_budget: usize::MAX,
             prefix_cache: false,
             prefix_retain_blocks: 0,
+            preemption: false,
+            max_preemptions_per_request: 0,
+            swap_budget_bytes: 0,
         }
     }
 }
@@ -207,6 +250,28 @@ pub struct PrefixCacheStats {
     /// [`prefix_retain_blocks`](SchedulerConfig::prefix_retain_blocks)
     /// cap applies to).
     pub unreferenced_blocks: usize,
+}
+
+/// Aggregate preemption accounting of one [`Scheduler`] (see
+/// [`Scheduler::preemption_stats`]). All zeros when
+/// [`preemption`](SchedulerConfig::preemption) is off or traffic is
+/// single-priority.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreemptionStats {
+    /// Preemption events over the scheduler's lifetime (each counts one
+    /// victim eviction, whether by swap-out or drop-and-recompute).
+    pub preemptions: usize,
+    /// Preemptions that swapped the victim's KV to a cold buffer.
+    pub swapped_out: usize,
+    /// Preemptions that dropped the victim's KV for recompute.
+    pub recomputed: usize,
+    /// Preempted requests resumed into a slot so far.
+    pub resumed: usize,
+    /// Requests currently preempted and waiting to resume.
+    pub preempted_now: usize,
+    /// Bytes currently held in cold swap buffers (also surfaced as
+    /// [`MemoryEstimate::swapped_bytes`]).
+    pub swapped_bytes: u64,
 }
 
 /// Out-of-band stop signals a [`RequestHandle`] can raise, in the shared
@@ -290,16 +355,27 @@ struct LiveSlot<'m> {
     id: usize,
     engine: Box<dyn Engine + 'm>,
     run: RequestRun,
+    /// The original request — kept so preemption can rebuild the run
+    /// (recompute path) and admission can read the priority class.
+    req: GenerateRequest,
     signal: Arc<AtomicU8>,
     /// KV blocks this slot's reservation still covers. Starts at the
     /// admission-time net worst case; shrinks when the slot publishes
     /// blocks to the prefix index (ownership shifts to the index's
     /// retention accounting).
     worst_blocks: usize,
+    /// Gross worst-case blocks (no prefix netting) — what a swap-out
+    /// resume must re-reserve, since a restored cache is all-private.
+    gross_blocks: usize,
     model_key: usize,
     /// Whether this slot's densely prefilled prompt blocks have been
     /// offered to the prefix index (done at most once per request).
     published: bool,
+    /// Times this request has been preempted so far (capped by
+    /// [`SchedulerConfig::max_preemptions_per_request`]).
+    preempt_count: usize,
+    /// KV blocks this request's preemptions have swapped out so far.
+    swapped_blocks: usize,
     /// Event produced by the most recent tick (drained in slot order so
     /// streaming callbacks see a deterministic sequence even when slots
     /// advance on worker threads).
@@ -321,6 +397,8 @@ impl<'m> LiveSlot<'m> {
             stats: self.engine.stats().cloned(),
             engine: self.engine.name().to_string(),
             prefill_skipped_tokens,
+            preemptions: self.preempt_count,
+            swapped_blocks: self.swapped_blocks,
         }
     }
 }
@@ -337,6 +415,71 @@ fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
         stats: q.engine.stats().cloned(),
         engine: q.engine.name().to_string(),
         prefill_skipped_tokens: 0,
+        preemptions: 0,
+        swapped_blocks: 0,
+    }
+}
+
+/// Where a preempted request's decode state lives while it waits to
+/// resume.
+enum PreemptedState {
+    /// KV content copied to cold buffers; the run itself is kept (its
+    /// sampler state, emitted tokens and step cursor are all intact) but
+    /// holds **zero** pool blocks until restore.
+    Swapped {
+        run: Box<RequestRun>,
+        cold: Vec<SwappedKvCache>,
+        cold_bytes: u64,
+    },
+    /// KV dropped entirely; only the emitted tokens survive. Resume
+    /// rebuilds the run from scratch and deterministically replays them.
+    Recompute { tokens: Vec<u32> },
+}
+
+/// A request evicted from its slot by a higher-priority admission,
+/// waiting in the resume queue. Holds no pool blocks in either state —
+/// preempted requests can never deadlock the pool.
+struct PreemptedRequest<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    req: GenerateRequest,
+    signal: Arc<AtomicU8>,
+    model_key: usize,
+    /// Gross worst-case blocks — the swap-resume reservation.
+    gross_blocks: usize,
+    /// Times preempted so far (including the eviction that created this
+    /// entry).
+    preemptions: usize,
+    /// KV blocks swapped out over this request's lifetime.
+    swapped_blocks: usize,
+    /// Prefix-cache positions skipped by the *original* admission —
+    /// carried so the final output still reports them after a recompute
+    /// resume rebuilt the run (possibly with a different hit).
+    prefill_skipped: usize,
+    /// Whether the prompt prefix was already offered to the index.
+    published: bool,
+    state: PreemptedState,
+}
+
+/// The output of a request cancelled or expired while preempted: the
+/// tokens it had produced before eviction, with its preemption counters.
+/// Dropping `state` frees the cold buffers (swap path) here; the caller
+/// already settled the scheduler's `cold_bytes` accounting.
+fn preempted_output(p: PreemptedRequest<'_>, finish: FinishReason) -> BatchOutput {
+    let tokens = match p.state {
+        PreemptedState::Swapped { run, .. } => run.tokens().to_vec(),
+        PreemptedState::Recompute { tokens } => tokens,
+    };
+    BatchOutput {
+        id: p.id,
+        tokens,
+        finish,
+        ops: *p.engine.ops(),
+        stats: p.engine.stats().cloned(),
+        engine: p.engine.name().to_string(),
+        prefill_skipped_tokens: p.prefill_skipped,
+        preemptions: p.preemptions,
+        swapped_blocks: p.swapped_blocks,
     }
 }
 
@@ -360,6 +503,10 @@ pub struct Scheduler<'m> {
     index: PrefixIndex,
     queue: VecDeque<QueuedRequest<'m>>,
     slots: Vec<LiveSlot<'m>>,
+    /// Preempted requests waiting to resume, in eviction order. At equal
+    /// priority the resume queue is served *ahead* of fresh admissions —
+    /// a preempted request already earned its admission once.
+    preempted: VecDeque<PreemptedRequest<'m>>,
     finished: Vec<BatchOutput>,
     next_id: usize,
     /// Worst-case blocks reserved by the live slots (net of prefix hits
@@ -375,6 +522,15 @@ pub struct Scheduler<'m> {
     skipped_tokens: u64,
     published_blocks: usize,
     evicted_blocks: usize,
+    /// Lifetime preemption counters behind
+    /// [`preemption_stats`](Self::preemption_stats).
+    preemptions: usize,
+    swapped_out: usize,
+    recomputed: usize,
+    resumed: usize,
+    /// Bytes currently held by cold swap buffers across all preempted
+    /// requests — gated by [`SchedulerConfig::swap_budget_bytes`].
+    cold_bytes: u64,
 }
 
 impl std::fmt::Debug for Scheduler<'_> {
@@ -382,6 +538,7 @@ impl std::fmt::Debug for Scheduler<'_> {
         f.debug_struct("Scheduler")
             .field("queued", &self.queue.len())
             .field("active", &self.slots.len())
+            .field("preempted", &self.preempted.len())
             .field("finished", &self.finished.len())
             .field("reserved_blocks", &self.reserved_blocks)
             .finish()
@@ -404,6 +561,7 @@ impl<'m> Scheduler<'m> {
             index: PrefixIndex::new(),
             queue: VecDeque::new(),
             slots: Vec::new(),
+            preempted: VecDeque::new(),
             finished: Vec::new(),
             next_id: 0,
             reserved_blocks: 0,
@@ -412,6 +570,11 @@ impl<'m> Scheduler<'m> {
             skipped_tokens: 0,
             published_blocks: 0,
             evicted_blocks: 0,
+            preemptions: 0,
+            swapped_out: 0,
+            recomputed: 0,
+            resumed: 0,
+            cold_bytes: 0,
         }
     }
 
@@ -471,10 +634,11 @@ impl<'m> Scheduler<'m> {
     }
 
     /// Submits a request, at any time — before the first tick or while
-    /// other requests are mid-decode. The request waits in a FIFO
-    /// admission queue until a slot and enough unreserved KV budget are
-    /// available. The engine's counters are reset so the eventual
-    /// [`BatchOutput::ops`] is exactly this request's work.
+    /// other requests are mid-decode. The request waits in the admission
+    /// queue — served in [`Priority`] order, FIFO within its class —
+    /// until a slot and enough unreserved KV budget are available. The
+    /// engine's counters are reset so the eventual [`BatchOutput::ops`]
+    /// is exactly this request's work.
     ///
     /// # Errors
     ///
@@ -531,17 +695,20 @@ impl<'m> Scheduler<'m> {
         Ok(RequestHandle { id, signal })
     }
 
-    /// Admits queued requests in FIFO order while a slot is free and the
-    /// head of the queue fits in the unreserved KV budget. Head-of-line
-    /// blocking is deliberate: skipping ahead would make the admission
-    /// schedule depend on sizes, not order, breaking both fairness and the
-    /// determinism contract.
+    /// Admits work in priority order: the oldest request of the highest
+    /// priority class present — across both the resume queue and the
+    /// fresh queue, resume winning ties — admits first, FIFO within a
+    /// class. Head-of-line blocking *within that order* is deliberate:
+    /// when the best candidate cannot fit even after warm-cache eviction
+    /// and (if enabled) preemption, nothing else is admitted — skipping
+    /// ahead would make the schedule depend on sizes, not order, breaking
+    /// both fairness and the determinism contract.
     fn admit(&mut self) {
-        // Cancelled- or expired-while-queued requests retire immediately,
-        // wherever they sit in the queue: the point of either signal is to
-        // release the engine's memory now, and it must not wait behind a
-        // blocked queue head. (Dropping entries never reorders the
-        // survivors, so FIFO determinism is untouched.)
+        // Cancelled- or expired-while-waiting requests retire immediately,
+        // wherever they sit: the point of either signal is to release the
+        // engine's memory (and any cold swap buffer) now, and it must not
+        // wait behind a blocked head. (Dropping entries never reorders the
+        // survivors, so FIFO-within-class determinism is untouched.)
         let mut i = 0;
         while i < self.queue.len() {
             let finish = match self.queue[i].signal.load(Ordering::Relaxed) {
@@ -556,97 +723,363 @@ impl<'m> Scheduler<'m> {
                 i += 1;
             }
         }
+        let mut i = 0;
+        while i < self.preempted.len() {
+            let finish = match self.preempted[i].signal.load(Ordering::Relaxed) {
+                SIGNAL_CANCELLED => Some(FinishReason::Cancelled),
+                SIGNAL_EXPIRED => Some(FinishReason::DeadlineExceeded),
+                _ => None,
+            };
+            if let Some(finish) = finish {
+                let p = self.preempted.remove(i).expect("index in bounds");
+                if let PreemptedState::Swapped { cold_bytes, .. } = p.state {
+                    self.cold_bytes -= cold_bytes;
+                }
+                self.finished.push(preempted_output(p, finish));
+            } else {
+                i += 1;
+            }
+        }
         loop {
-            let Some(front) = self.queue.front() else {
+            let Some((resume, at)) = self.next_candidate() else {
                 return;
             };
-            if self.slots.len() >= self.config.max_slots {
+            let admitted = if resume {
+                self.try_resume(at)
+            } else {
+                self.try_admit_fresh(at)
+            };
+            if !admitted {
                 return;
             }
-            // Look up the head's prompt prefix *before* the budget check:
-            // shared blocks are already paid for by the index's retention
-            // (or a publisher's reservation), so the head only needs to
-            // reserve its net worst case. Attaching refreshes the LRU and
-            // pins the blocks for the slot's lifetime.
-            let hit = if self.config.prefix_cache {
-                let max_tokens =
-                    Self::sharable_tokens(front.req.prompt.len(), self.config.block_tokens);
-                self.index.lookup(
-                    front.model_key,
-                    &front.req.prompt,
-                    self.config.block_tokens,
-                    max_tokens,
-                )
-            } else {
-                None
-            };
-            let hit_blocks = hit.as_ref().map_or(0, PrefixHit::total_blocks);
-            let net_worst = front.worst_blocks - hit_blocks;
-            // Budget invariant: every physical block is covered by exactly
-            // one of (a) a live slot's reservation or (b) the index's
-            // retention — so admission fits `net_worst` into what is left
-            // of the budget after both.
-            let mut occupied = self.reserved_blocks + self.index.retained_blocks();
-            if occupied.saturating_add(net_worst) > self.config.kv_block_budget {
-                // Unreferenced warm-cache blocks are reclaimable: evict as
-                // many as needed (LRU-first) rather than stall admission
-                // behind memory we are only *keeping warm*. Blocks pinned
-                // by live sessions (including this hit's) stay put.
-                let needed = occupied.saturating_add(net_worst) - self.config.kv_block_budget;
+        }
+    }
+
+    /// The next admission candidate: the oldest entry of the highest
+    /// priority class present across the resume queue and the fresh
+    /// queue. The resume queue wins priority ties — a preempted request
+    /// already earned its admission once. Returns `(is_resume, index)`
+    /// into the winning queue.
+    fn next_candidate(&self) -> Option<(bool, usize)> {
+        fn best(priorities: impl Iterator<Item = Priority>) -> Option<(usize, Priority)> {
+            let mut best: Option<(usize, Priority)> = None;
+            for (i, p) in priorities.enumerate() {
+                if best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((i, p));
+                }
+            }
+            best
+        }
+        let resume = best(self.preempted.iter().map(|p| p.req.priority));
+        let fresh = best(self.queue.iter().map(|q| q.req.priority));
+        match (resume, fresh) {
+            (Some((ri, rp)), Some((_, fp))) if rp >= fp => Some((true, ri)),
+            (_, Some((fi, _))) => Some((false, fi)),
+            (Some((ri, _)), None) => Some((true, ri)),
+            (None, None) => None,
+        }
+    }
+
+    /// Makes room for a `priority`-class candidate needing a slot and
+    /// `need_blocks` unoccupied budget blocks: evicts unreferenced
+    /// warm-cache blocks first (they are only *kept warm*), then — with
+    /// [`preemption`](SchedulerConfig::preemption) on — preempts strictly
+    /// lower-priority victim slots one at a time. Returns whether the
+    /// candidate now fits. Blocks pinned by live sessions (including the
+    /// candidate's own prefix hit) are never evicted.
+    fn make_room(&mut self, priority: Priority, need_blocks: usize) -> bool {
+        loop {
+            let occupied = self.reserved_blocks + self.index.retained_blocks();
+            if occupied.saturating_add(need_blocks) > self.config.kv_block_budget {
+                let needed = occupied.saturating_add(need_blocks) - self.config.kv_block_budget;
                 let evicted = self
                     .index
                     .evict_unreferenced_to(self.index.unreferenced_blocks().saturating_sub(needed));
                 self.evicted_blocks += evicted;
-                occupied = self.reserved_blocks + self.index.retained_blocks();
             }
-            if occupied.saturating_add(net_worst) > self.config.kv_block_budget {
-                if self.reserved_blocks == 0 {
-                    // Unreachable today: submit rejects gross-over-budget
-                    // requests, and with no live slots the eviction pass
-                    // above reclaims every retained block except the
-                    // head's own hit — which nets out exactly — so the
-                    // head always fits here. Kept as data so a future
-                    // accounting gap fails one request instead of
-                    // deadlocking the queue.
-                    drop(hit);
-                    let q = self.queue.pop_front().expect("front exists");
-                    let err = EngineError::KvBudgetExceeded {
-                        required_blocks: net_worst,
-                        budget_blocks: self.config.kv_block_budget,
-                    };
-                    self.finished
-                        .push(unstarted_output(q, FinishReason::Failed(err)));
-                    continue;
-                }
-                return;
+            let occupied = self.reserved_blocks + self.index.retained_blocks();
+            let budget_ok = occupied.saturating_add(need_blocks) <= self.config.kv_block_budget;
+            let slot_ok = self.slots.len() < self.config.max_slots;
+            if budget_ok && slot_ok {
+                return true;
             }
-            let q = self.queue.pop_front().expect("front exists");
-            match RequestRun::with_prefix(&q.req, q.engine.as_ref(), &self.kv, hit.as_ref()) {
-                Ok(run) => {
-                    if let Some(hit) = &hit {
-                        self.attached_requests += 1;
-                        self.skipped_tokens += hit.tokens as u64;
-                    }
-                    self.reserved_blocks += net_worst;
-                    self.slots.push(LiveSlot {
-                        id: q.id,
-                        engine: q.engine,
-                        run,
-                        signal: q.signal,
-                        worst_blocks: net_worst,
-                        model_key: q.model_key,
-                        published: false,
-                        last_event: None,
-                    });
-                }
-                // Unreachable today (submit validates the prompt), kept as
-                // data so a future validation gap degrades to a failed
-                // request instead of a poisoned serving loop.
-                Err(err) => self
-                    .finished
-                    .push(unstarted_output(q, FinishReason::Failed(err))),
+            if !self.config.preemption {
+                return false;
+            }
+            let Some(victim) = self.select_victim(priority) else {
+                return false;
+            };
+            self.preempt(victim);
+        }
+    }
+
+    /// Selects the preemption victim for a `priority`-class candidate:
+    /// among slots of *strictly lower* priority still under the
+    /// per-request preemption cap, the lowest class loses first and the
+    /// youngest (latest-admitted) within that class loses first — oldest
+    /// work, which has absorbed the most compute, is disturbed last.
+    fn select_victim(&self, priority: Priority) -> Option<usize> {
+        let mut victim: Option<(usize, Priority)> = None;
+        // Slots are in admission order; `<=` on ties keeps the youngest.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.req.priority >= priority
+                || slot.preempt_count >= self.config.max_preemptions_per_request
+            {
+                continue;
+            }
+            if victim.is_none_or(|(_, vp)| slot.req.priority <= vp) {
+                victim = Some((i, slot.req.priority));
             }
         }
+        victim.map(|(i, _)| i)
+    }
+
+    /// Evicts slot `victim` to the resume queue: its reservation returns
+    /// to the budget, and its KV content is either swapped to a cold
+    /// buffer (within [`swap_budget_bytes`](SchedulerConfig::swap_budget_bytes))
+    /// or dropped for deterministic recompute. Either way the request
+    /// holds zero pool blocks afterwards.
+    fn preempt(&mut self, victim: usize) {
+        let slot = self.slots.remove(victim);
+        self.reserved_blocks -= slot.worst_blocks;
+        self.preemptions += 1;
+        let mut run = slot.run;
+        let prefill_skipped = run.prefill_skipped_tokens();
+        let bytes = run.kv_content_bytes();
+        let mut swapped_blocks = slot.swapped_blocks;
+        let state = if self.cold_bytes.saturating_add(bytes) <= self.config.swap_budget_bytes {
+            swapped_blocks += run.kv_blocks_held();
+            let cold = run.swap_out_kv();
+            self.cold_bytes += bytes;
+            self.swapped_out += 1;
+            PreemptedState::Swapped {
+                run: Box::new(run),
+                cold,
+                cold_bytes: bytes,
+            }
+        } else {
+            self.recomputed += 1;
+            let tokens = run.tokens().to_vec();
+            // Dropping the run frees every block the victim held.
+            drop(run);
+            PreemptedState::Recompute { tokens }
+        };
+        self.preempted.push_back(PreemptedRequest {
+            id: slot.id,
+            engine: slot.engine,
+            req: slot.req,
+            signal: slot.signal,
+            model_key: slot.model_key,
+            gross_blocks: slot.gross_blocks,
+            preemptions: slot.preempt_count + 1,
+            swapped_blocks,
+            prefill_skipped,
+            published: slot.published,
+            state,
+        });
+    }
+
+    /// Tries to resume preempted request `at`. A swapped request restores
+    /// its cold buffers into freshly allocated (all-private) blocks under
+    /// its gross reservation; a recompute request re-admits like a fresh
+    /// request (prefix lookup included) and deterministically replays its
+    /// already-emitted tokens. Returns whether it was admitted.
+    fn try_resume(&mut self, at: usize) -> bool {
+        let priority = self.preempted[at].req.priority;
+        match &self.preempted[at].state {
+            PreemptedState::Swapped { .. } => {
+                let need = self.preempted[at].gross_blocks;
+                if !self.make_room(priority, need) {
+                    return false;
+                }
+                let p = self.preempted.remove(at).expect("index in bounds");
+                let PreemptedState::Swapped {
+                    run,
+                    cold,
+                    cold_bytes,
+                } = p.state
+                else {
+                    unreachable!("state matched Swapped above");
+                };
+                let mut run = *run;
+                run.restore_kv(&cold);
+                drop(cold);
+                self.cold_bytes -= cold_bytes;
+                self.resumed += 1;
+                self.reserved_blocks += p.gross_blocks;
+                self.slots.push(LiveSlot {
+                    id: p.id,
+                    engine: p.engine,
+                    run,
+                    req: p.req,
+                    signal: p.signal,
+                    worst_blocks: p.gross_blocks,
+                    gross_blocks: p.gross_blocks,
+                    model_key: p.model_key,
+                    published: p.published,
+                    preempt_count: p.preemptions,
+                    swapped_blocks: p.swapped_blocks,
+                    last_event: None,
+                });
+                true
+            }
+            PreemptedState::Recompute { .. } => {
+                let hit = if self.config.prefix_cache {
+                    let p = &self.preempted[at];
+                    let max_tokens =
+                        Self::sharable_tokens(p.req.prompt.len(), self.config.block_tokens);
+                    self.index.lookup(
+                        p.model_key,
+                        &p.req.prompt,
+                        self.config.block_tokens,
+                        max_tokens,
+                    )
+                } else {
+                    None
+                };
+                let hit_blocks = hit.as_ref().map_or(0, PrefixHit::total_blocks);
+                let net_worst = self.preempted[at].gross_blocks - hit_blocks;
+                if !self.make_room(priority, net_worst) {
+                    return false;
+                }
+                let p = self.preempted.remove(at).expect("index in bounds");
+                let PreemptedState::Recompute { tokens } = p.state else {
+                    unreachable!("state matched Recompute above");
+                };
+                match RequestRun::with_replay(
+                    &p.req,
+                    p.engine.as_ref(),
+                    &self.kv,
+                    hit.as_ref(),
+                    tokens,
+                ) {
+                    Ok(run) => {
+                        if let Some(hit) = &hit {
+                            self.attached_requests += 1;
+                            self.skipped_tokens += hit.tokens as u64;
+                        }
+                        self.resumed += 1;
+                        self.reserved_blocks += net_worst;
+                        self.slots.push(LiveSlot {
+                            id: p.id,
+                            engine: p.engine,
+                            run,
+                            req: p.req,
+                            signal: p.signal,
+                            worst_blocks: net_worst,
+                            gross_blocks: p.gross_blocks,
+                            model_key: p.model_key,
+                            // Re-offering already-published blocks is a
+                            // no-op in the index, so republishing after a
+                            // recompute is harmless either way.
+                            published: false,
+                            preempt_count: p.preemptions,
+                            swapped_blocks: p.swapped_blocks,
+                            last_event: None,
+                        });
+                    }
+                    // Unreachable today (the request was admitted once
+                    // already), kept as data like the fresh path.
+                    Err(err) => {
+                        let prefill_skipped = p.prefill_skipped;
+                        self.finished.push(BatchOutput {
+                            id: p.id,
+                            tokens: Vec::new(),
+                            finish: FinishReason::Failed(err),
+                            ops: *p.engine.ops(),
+                            stats: p.engine.stats().cloned(),
+                            engine: p.engine.name().to_string(),
+                            prefill_skipped_tokens: prefill_skipped,
+                            preemptions: p.preemptions,
+                            swapped_blocks: p.swapped_blocks,
+                        });
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Tries to admit fresh queued request `at` into a slot. Returns
+    /// whether it left the queue (admitted, or defensively failed).
+    fn try_admit_fresh(&mut self, at: usize) -> bool {
+        // Look up the candidate's prompt prefix *before* the budget
+        // check: shared blocks are already paid for by the index's
+        // retention (or a publisher's reservation), so the candidate only
+        // needs to reserve its net worst case. Attaching refreshes the
+        // LRU and pins the blocks for the slot's lifetime.
+        let hit = if self.config.prefix_cache {
+            let q = &self.queue[at];
+            let max_tokens = Self::sharable_tokens(q.req.prompt.len(), self.config.block_tokens);
+            self.index.lookup(
+                q.model_key,
+                &q.req.prompt,
+                self.config.block_tokens,
+                max_tokens,
+            )
+        } else {
+            None
+        };
+        let hit_blocks = hit.as_ref().map_or(0, PrefixHit::total_blocks);
+        let net_worst = self.queue[at].worst_blocks - hit_blocks;
+        // Budget invariant: every physical block is covered by exactly
+        // one of (a) a live slot's reservation or (b) the index's
+        // retention — so admission fits `net_worst` into what is left of
+        // the budget after both (swapped-out requests hold no blocks).
+        if !self.make_room(self.queue[at].req.priority, net_worst) {
+            if self.reserved_blocks == 0 && self.slots.is_empty() {
+                // Unreachable today: submit rejects gross-over-budget
+                // requests, and with no live slots the eviction pass in
+                // `make_room` reclaims every retained block except the
+                // candidate's own hit — which nets out exactly — so the
+                // candidate always fits here. Kept as data so a future
+                // accounting gap fails one request instead of
+                // deadlocking the queue.
+                drop(hit);
+                let q = self.queue.remove(at).expect("index in bounds");
+                let err = EngineError::KvBudgetExceeded {
+                    required_blocks: net_worst,
+                    budget_blocks: self.config.kv_block_budget,
+                };
+                self.finished
+                    .push(unstarted_output(q, FinishReason::Failed(err)));
+                return true;
+            }
+            return false;
+        }
+        // Removing mid-queue never reorders the survivors, so FIFO
+        // within each priority class is preserved.
+        let q = self.queue.remove(at).expect("index in bounds");
+        match RequestRun::with_prefix(&q.req, q.engine.as_ref(), &self.kv, hit.as_ref()) {
+            Ok(run) => {
+                if let Some(hit) = &hit {
+                    self.attached_requests += 1;
+                    self.skipped_tokens += hit.tokens as u64;
+                }
+                self.reserved_blocks += net_worst;
+                self.slots.push(LiveSlot {
+                    id: q.id,
+                    engine: q.engine,
+                    run,
+                    req: q.req,
+                    signal: q.signal,
+                    worst_blocks: net_worst,
+                    gross_blocks: q.worst_blocks,
+                    model_key: q.model_key,
+                    published: false,
+                    preempt_count: 0,
+                    swapped_blocks: 0,
+                    last_event: None,
+                });
+            }
+            // Unreachable today (submit validates the prompt), kept as
+            // data so a future validation gap degrades to a failed
+            // request instead of a poisoned serving loop.
+            Err(err) => self
+                .finished
+                .push(unstarted_output(q, FinishReason::Failed(err))),
+        }
+        true
     }
 
     /// Offers every slot's densely prefilled prompt blocks to the prefix
@@ -770,12 +1203,14 @@ impl<'m> Scheduler<'m> {
         self.next_id
     }
 
-    /// Requests not yet finished (queued plus live).
+    /// Requests not yet finished (queued, live, or preempted).
     pub fn unfinished_requests(&self) -> usize {
-        self.queue.len() + self.slots.len()
+        self.queue.len() + self.slots.len() + self.preempted.len()
     }
 
-    /// Requests waiting for admission.
+    /// Requests waiting for admission (fresh submissions only; preempted
+    /// requests awaiting resume are counted by
+    /// [`preempted_requests`](Self::preempted_requests)).
     pub fn pending_requests(&self) -> usize {
         self.queue.len()
     }
@@ -783,6 +1218,11 @@ impl<'m> Scheduler<'m> {
     /// Requests currently occupying decode slots.
     pub fn active_slots(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Requests currently preempted and waiting to resume.
+    pub fn preempted_requests(&self) -> usize {
+        self.preempted.len()
     }
 
     /// Worst-case KV blocks currently reserved by the live slots (net of
@@ -806,6 +1246,20 @@ impl<'m> Scheduler<'m> {
         }
     }
 
+    /// Aggregate preemption accounting: eviction/swap/recompute/resume
+    /// counters over the scheduler's lifetime plus the current preempted
+    /// population and cold-buffer bytes.
+    pub fn preemption_stats(&self) -> PreemptionStats {
+        PreemptionStats {
+            preemptions: self.preemptions,
+            swapped_out: self.swapped_out,
+            recomputed: self.recomputed,
+            resumed: self.resumed,
+            preempted_now: self.preempted.len(),
+            swapped_bytes: self.cold_bytes,
+        }
+    }
+
     /// Drains the outputs of every request finished so far, in finish
     /// order — the incremental collection point for open-ended serving
     /// loops that never drain the scheduler completely.
@@ -814,9 +1268,12 @@ impl<'m> Scheduler<'m> {
     }
 
     /// Memory of the scheduler's execution state: engine memory over every
-    /// queued and live request (shared predictor bytes counted **once per
-    /// distinct predictor**, deduplicated by `Arc` identity) plus the KV
-    /// blocks live sessions and the prefix cache currently hold. The pool
+    /// queued, live and preempted request (shared predictor bytes counted
+    /// **once per distinct predictor**, deduplicated by `Arc` identity)
+    /// plus the KV blocks live sessions and the prefix cache currently
+    /// hold, plus — reported separately as
+    /// [`swapped_bytes`](MemoryEstimate::swapped_bytes) — the cold
+    /// buffers of swapped-out preempted requests. The pool
     /// reports **physical** blocks — a prefix block attached to ten
     /// sessions costs its bytes once — and is added exactly once here,
     /// never per session, so shared blocks are never double-counted.
@@ -830,7 +1287,8 @@ impl<'m> Scheduler<'m> {
             .slots
             .iter()
             .map(|s| s.engine.as_ref())
-            .chain(self.queue.iter().map(|q| q.engine.as_ref()));
+            .chain(self.queue.iter().map(|q| q.engine.as_ref()))
+            .chain(self.preempted.iter().map(|p| p.engine.as_ref()));
         for engine in engines {
             let est = engine.memory_estimate();
             total.per_session_bytes += est.per_session_bytes;
@@ -844,6 +1302,9 @@ impl<'m> Scheduler<'m> {
             }
         }
         total.per_session_bytes += self.kv.in_use_bytes();
+        // Cold swap buffers live outside the pool — counted separately so
+        // swap-out can never silently hide memory from the estimate.
+        total.swapped_bytes = self.cold_bytes;
         total
     }
 
@@ -872,10 +1333,11 @@ impl<'m> Scheduler<'m> {
 mod tests {
     use super::*;
     use crate::engine::EngineBuilder;
-    use crate::request::{generate, GenerateRequest};
+    use crate::request::{generate, GenerateRequest, Priority};
     use sparseinfer_model::generator::WeightGenerator;
     use sparseinfer_model::{Model, ModelConfig};
     use sparseinfer_predictor::AlphaSchedule;
+    use sparseinfer_tensor::ParallelOptions;
 
     fn model() -> Model {
         WeightGenerator::new(&ModelConfig::tiny(), 23).build()
@@ -1262,6 +1724,7 @@ mod tests {
             kv_block_budget: usize::MAX,
             prefix_cache: false,
             prefix_retain_blocks: 0,
+            ..SchedulerConfig::default()
         });
         for _ in 0..2 {
             s.submit(dense(&m), &req).unwrap();
@@ -1285,6 +1748,7 @@ mod tests {
             kv_block_budget: usize::MAX,
             prefix_cache: true,
             prefix_retain_blocks: cap,
+            ..SchedulerConfig::default()
         });
         for start in [10u32, 25, 40] {
             let prompt: Vec<u32> = (start..start + 6).collect();
@@ -1322,6 +1786,7 @@ mod tests {
             kv_block_budget: gross, // exactly one cold request fits
             prefix_cache: true,
             prefix_retain_blocks: usize::MAX, // only budget pressure evicts
+            ..SchedulerConfig::default()
         });
         s.submit(
             dense(&m),
@@ -1435,6 +1900,306 @@ mod tests {
         h.cancel(); // and vice versa
         assert!(h.is_expired() && !h.is_cancelled());
         assert_eq!(s.run()[0].finish, FinishReason::DeadlineExceeded);
+    }
+
+    /// One-request-at-a-time budget (2 layers × 2 blocks for a 2-token
+    /// prompt + 4 new tokens at 4 tokens/block), prefix cache off so the
+    /// block accounting in the assertions stays exact.
+    fn preemption_config() -> SchedulerConfig {
+        SchedulerConfig {
+            max_slots: 4,
+            block_tokens: 4,
+            kv_block_budget: 4,
+            prefix_cache: false,
+            prefix_retain_blocks: 0,
+            preemption: true,
+            max_preemptions_per_request: 8,
+            swap_budget_bytes: u64::MAX,
+        }
+    }
+
+    /// Drives the canonical preemption scenario: a Batch request fills
+    /// the whole budget, a High request arrives mid-decode and must
+    /// preempt it. Returns (batch output, high output, stats).
+    fn preempt_scenario(
+        config: SchedulerConfig,
+        threads: usize,
+    ) -> (BatchOutput, BatchOutput, PreemptionStats) {
+        let m = model();
+        let batch_req = GenerateRequest::new(&[1, 2])
+            .max_new(4)
+            .priority(Priority::Batch);
+        let high_req = GenerateRequest::new(&[7, 8])
+            .max_new(4)
+            .priority(Priority::High);
+        let mut s = Scheduler::new(config).parallel(ParallelOptions::threads(threads));
+        let a = s.submit(dense(&m), &batch_req).unwrap();
+        for _ in 0..3 {
+            s.tick(|_| {}); // Batch admitted, two tokens emitted…
+        }
+        let b = s.submit(dense(&m), &high_req).unwrap();
+        s.tick(|_| {}); // …and it is evicted for the High arrival here.
+        assert_eq!(s.preempted_requests(), 1, "batch request preempted");
+        assert_eq!(s.active_slots(), 1, "high request took the slot");
+        let kv = s.kv_pool().clone();
+        let stats_mid = s.preemption_stats();
+        let mut outputs = s.run();
+        assert_eq!(kv.blocks_in_use(), 0, "pool drained");
+        let high = outputs.remove(b.id());
+        let batch = outputs.remove(a.id());
+        (batch, high, stats_mid)
+    }
+
+    #[test]
+    fn high_priority_preempts_batch_by_swap_and_tokens_stay_bit_identical() {
+        let m = model();
+        let solo_batch = solo_tokens(&m, &GenerateRequest::new(&[1, 2]).max_new(4));
+        let solo_high = solo_tokens(&m, &GenerateRequest::new(&[7, 8]).max_new(4));
+        for threads in [1, 2, 4] {
+            let (batch, high, stats) = preempt_scenario(preemption_config(), threads);
+            assert_eq!(stats.preemptions, 1);
+            assert_eq!(stats.swapped_out, 1, "swap preferred under no byte cap");
+            assert_eq!(stats.recomputed, 0);
+            assert!(stats.swapped_bytes > 0, "cold buffer accounted mid-flight");
+            assert_eq!(batch.tokens, solo_batch, "swapped run is bit-identical");
+            assert_eq!(high.tokens, solo_high);
+            assert_eq!(batch.preemptions, 1);
+            assert!(batch.swapped_blocks > 0);
+            assert_eq!(high.preemptions, 0);
+            assert_eq!(high.swapped_blocks, 0);
+        }
+    }
+
+    #[test]
+    fn swap_budget_zero_falls_back_to_deterministic_recompute() {
+        let m = model();
+        let solo_batch = solo_tokens(&m, &GenerateRequest::new(&[1, 2]).max_new(4));
+        let solo_high = solo_tokens(&m, &GenerateRequest::new(&[7, 8]).max_new(4));
+        for threads in [1, 2, 4] {
+            let config = SchedulerConfig {
+                swap_budget_bytes: 0,
+                ..preemption_config()
+            };
+            let (batch, high, stats) = preempt_scenario(config, threads);
+            assert_eq!(stats.preemptions, 1);
+            assert_eq!(stats.swapped_out, 0);
+            assert_eq!(stats.recomputed, 1, "no swap budget: drop and recompute");
+            assert_eq!(stats.swapped_bytes, 0);
+            assert_eq!(batch.tokens, solo_batch, "recomputed run is bit-identical");
+            assert_eq!(high.tokens, solo_high);
+            assert_eq!(batch.preemptions, 1);
+            assert_eq!(batch.swapped_blocks, 0, "recompute swaps nothing");
+        }
+    }
+
+    #[test]
+    fn cancelling_a_swapped_out_request_frees_cold_bytes_and_pool_drains() {
+        let m = model();
+        let mut s = Scheduler::new(preemption_config());
+        let batch = s
+            .submit(
+                dense(&m),
+                &GenerateRequest::new(&[1, 2])
+                    .max_new(4)
+                    .priority(Priority::Batch),
+            )
+            .unwrap();
+        for _ in 0..3 {
+            s.tick(|_| {}); // two tokens emitted before eviction
+        }
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[7, 8])
+                .max_new(4)
+                .priority(Priority::High),
+        )
+        .unwrap();
+        s.tick(|_| {});
+        assert_eq!(s.preempted_requests(), 1);
+        assert!(s.preemption_stats().swapped_bytes > 0);
+        assert!(
+            s.memory_estimate().swapped_bytes > 0,
+            "cold buffers must show up in the memory estimate"
+        );
+        batch.cancel();
+        s.tick(|_| {});
+        assert_eq!(
+            s.preempted_requests(),
+            0,
+            "cancellation must not wait for a resume slot"
+        );
+        assert_eq!(s.preemption_stats().swapped_bytes, 0, "cold buffer freed");
+        assert_eq!(s.memory_estimate().swapped_bytes, 0);
+        let kv = s.kv_pool().clone();
+        let outputs = s.run();
+        assert_eq!(kv.blocks_in_use(), 0, "pool drains to zero");
+        let cancelled = &outputs[batch.id()];
+        assert_eq!(cancelled.finish, FinishReason::Cancelled);
+        assert!(!cancelled.tokens.is_empty(), "pre-preemption tokens kept");
+        assert_eq!(cancelled.preemptions, 1);
+    }
+
+    #[test]
+    fn preemption_cap_makes_slots_non_preemptable() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_preemptions_per_request: 0,
+            ..preemption_config()
+        });
+        let batch = s
+            .submit(
+                dense(&m),
+                &GenerateRequest::new(&[1, 2])
+                    .max_new(4)
+                    .priority(Priority::Batch),
+            )
+            .unwrap();
+        s.tick(|_| {});
+        let high = s
+            .submit(
+                dense(&m),
+                &GenerateRequest::new(&[7, 8])
+                    .max_new(4)
+                    .priority(Priority::High),
+            )
+            .unwrap();
+        let mut first_finished = None;
+        while s.tick(|_| {}) > 0 {
+            if first_finished.is_none() && !s.take_finished().is_empty() {
+                first_finished = Some(batch.id());
+                assert_eq!(
+                    s.preemption_stats().preemptions,
+                    0,
+                    "cap of 0 disables eviction"
+                );
+            }
+        }
+        assert_eq!(
+            first_finished,
+            Some(batch.id()),
+            "at the cap the high request waits for the batch one"
+        );
+        let _ = high;
+    }
+
+    #[test]
+    fn preemption_disabled_blocks_like_plain_fifo() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            preemption: false,
+            ..preemption_config()
+        });
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[1, 2])
+                .max_new(4)
+                .priority(Priority::Batch),
+        )
+        .unwrap();
+        s.tick(|_| {});
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[7, 8])
+                .max_new(4)
+                .priority(Priority::High),
+        )
+        .unwrap();
+        while s.tick(|_| {}) > 0 {}
+        assert_eq!(s.preemption_stats(), PreemptionStats::default());
+    }
+
+    #[test]
+    fn priority_classes_admit_before_older_lower_classes() {
+        let m = model();
+        // One slot, no preemption: admission order alone decides.
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 1,
+            preemption: false,
+            ..SchedulerConfig::default()
+        });
+        let req = |p: &[u32], prio: Priority| GenerateRequest::new(p).max_new(2).priority(prio);
+        let occupant = s.submit(dense(&m), &req(&[9], Priority::Normal)).unwrap();
+        s.tick(|_| {}); // occupant holds the only slot
+        let batch = s.submit(dense(&m), &req(&[1], Priority::Batch)).unwrap();
+        let normal = s.submit(dense(&m), &req(&[2], Priority::Normal)).unwrap();
+        let high = s.submit(dense(&m), &req(&[3], Priority::High)).unwrap();
+        let mut first_tokens = Vec::new();
+        while s.tick(|ev| {
+            if ev.index == 0 {
+                first_tokens.push(ev.request);
+            }
+        }) > 0
+        {}
+        assert_eq!(
+            first_tokens,
+            vec![occupant.id(), high.id(), normal.id(), batch.id()],
+            "admission is priority-first, FIFO within a class"
+        );
+    }
+
+    #[test]
+    fn resumed_requests_admit_ahead_of_equal_priority_fresh_ones() {
+        let m = model();
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_slots: 4,
+            block_tokens: 4,
+            kv_block_budget: 4,
+            prefix_cache: false,
+            prefix_retain_blocks: 0,
+            preemption: true,
+            max_preemptions_per_request: 8,
+            swap_budget_bytes: u64::MAX,
+        });
+        let batch = s
+            .submit(
+                dense(&m),
+                &GenerateRequest::new(&[1, 2])
+                    .max_new(4)
+                    .priority(Priority::Batch),
+            )
+            .unwrap();
+        for _ in 0..3 {
+            s.tick(|_| {}); // two tokens emitted before eviction
+        }
+        s.submit(
+            dense(&m),
+            &GenerateRequest::new(&[7, 8])
+                .max_new(4)
+                .priority(Priority::High),
+        )
+        .unwrap();
+        s.tick(|_| {});
+        assert_eq!(s.preempted_requests(), 1);
+        // A fresh Batch request arrives while the first waits to resume:
+        // the preempted one must come back first.
+        let fresh = s
+            .submit(
+                dense(&m),
+                &GenerateRequest::new(&[4, 5])
+                    .max_new(4)
+                    .priority(Priority::Batch),
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        while s.tick(|ev| events.push((ev.request, ev.index))) > 0 {}
+        let resumed_at = events
+            .iter()
+            .position(|&(r, i)| r == batch.id() && i == 2)
+            .expect("the resumed request continues at index 2, gapless");
+        let fresh_at = events
+            .iter()
+            .position(|&(r, i)| r == fresh.id() && i == 0)
+            .expect("the fresh request eventually starts");
+        assert!(
+            resumed_at < fresh_at,
+            "the resume queue admits ahead of equal-priority fresh work"
+        );
+        let outputs = s.take_finished();
+        let resumed = outputs.iter().find(|o| o.id == batch.id()).unwrap();
+        let fresh_out = outputs.iter().find(|o| o.id == fresh.id()).unwrap();
+        assert_eq!(resumed.preemptions, 1);
+        assert_eq!(fresh_out.preemptions, 0);
+        assert_eq!(s.preemption_stats().resumed, 1);
     }
 
     #[test]

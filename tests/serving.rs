@@ -12,7 +12,7 @@ use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor}
 use sparseinfer::sparse::batch::Batch;
 use sparseinfer::sparse::engine::{EngineBuilder, EngineOptions};
 use sparseinfer::sparse::error::EngineError;
-use sparseinfer::sparse::request::{generate, FinishReason, GenerateRequest};
+use sparseinfer::sparse::request::{generate, FinishReason, GenerateRequest, Priority};
 use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
 use sparseinfer::tensor::ParallelOptions;
 
@@ -735,6 +735,7 @@ fn shared_prefix_decode_is_bit_identical_to_unshared_at_1_2_4_threads() {
             kv_block_budget: usize::MAX,
             prefix_cache,
             prefix_retain_blocks: 64,
+            ..SchedulerConfig::default()
         })
         .parallel(ParallelOptions::threads(threads));
         for (i, (p, max_new)) in prompts.iter().zip(budgets).enumerate() {
@@ -798,6 +799,7 @@ fn prefix_refcount_torture_frees_blocks_only_at_the_last_referrer() {
         kv_block_budget: usize::MAX,
         prefix_cache: true,
         prefix_retain_blocks: 64,
+        ..SchedulerConfig::default()
     });
     let kv = scheduler.kv_pool().clone();
     let n_requests = 16usize;
@@ -879,6 +881,7 @@ fn shared_prefix_blocks_are_counted_once_not_per_session() {
             kv_block_budget: usize::MAX,
             prefix_cache,
             prefix_retain_blocks: 64,
+            ..SchedulerConfig::default()
         });
         // Warm-up request publishes the prefix (when the cache is on).
         let mut warm = prefix.clone();
@@ -946,4 +949,169 @@ fn finish_reasons_distinguish_budget_from_stop() {
     .unwrap();
     assert_eq!(stopped.finish, FinishReason::Stop(first));
     assert!(stopped.tokens.is_empty());
+}
+
+/// Satellite: the preemption storm (acceptance criterion). 220 ticks of
+/// mixed-priority traffic over a budget tight enough that High arrivals
+/// must evict Batch/Normal slots, with seeded cancels landing on queued,
+/// live, preempted and finished requests alike. Run once with an
+/// unlimited swap budget (every preemption swaps) and once with none
+/// (every preemption recomputes), each at 1/2/4 slot threads: every
+/// request's tokens must be bit-identical to its solo run (a prefix of
+/// it, when cancelled mid-flight), the whole schedule must be identical
+/// across thread counts, blocks in use must respect the budget every
+/// tick, and the drain must reach 0 blocks / 0 cold bytes.
+#[test]
+fn preemption_storm_is_bit_identical_at_any_thread_count_and_drains_clean() {
+    let model = test_model();
+    let block_tokens = 4usize;
+    // Worst cases (3 layers): 6, 9, 3, 12 blocks — a budget of 18 packs
+    // two to three requests and forces eviction when a High one arrives.
+    let kv_block_budget = 18usize;
+    let prompts: [&[u32]; 4] = [&[1, 2], &[3, 4, 5], &[6], &[7, 8, 9, 10]];
+    let budgets = [5usize, 8, 3, 11];
+    let priority_of = |i: usize| match i % 5 {
+        0 | 3 => Priority::Batch,
+        1 | 4 => Priority::Normal,
+        _ => Priority::High,
+    };
+    let request_of = |i: usize| {
+        GenerateRequest::new(prompts[i % prompts.len()])
+            .max_new(budgets[i % budgets.len()])
+            .priority(priority_of(i))
+    };
+
+    // Solo reference per request index (priority never changes tokens).
+    let solo: Vec<Vec<u32>> = (0..prompts.len())
+        .map(|i| {
+            let mut e = engine_for(&model, i);
+            generate(e.as_mut(), &request_of(i)).unwrap().tokens
+        })
+        .collect();
+
+    let run_storm = |threads: usize, swap_budget_bytes: u64| {
+        let mut scheduler = Scheduler::new(SchedulerConfig {
+            max_slots: 3,
+            block_tokens,
+            kv_block_budget,
+            prefix_cache: true,
+            prefix_retain_blocks: 6,
+            preemption: true,
+            max_preemptions_per_request: 4,
+            swap_budget_bytes,
+        })
+        .parallel(ParallelOptions::threads(threads));
+        let mut handles = Vec::new();
+        let mut submitted = 0usize;
+        let mut cancelled = 0usize;
+        let mut peak_cold_bytes = 0u64;
+        // Seeded LCG: the cancel schedule is fixed across runs.
+        let mut rng: u64 = 0x5eed_cafe;
+        for tick in 0usize..220 {
+            if tick % 2 == 0 {
+                let handle = scheduler
+                    .submit(engine_for(&model, submitted), &request_of(submitted))
+                    .unwrap();
+                handles.push(handle);
+                submitted += 1;
+            }
+            if tick % 5 == 4 && !handles.is_empty() {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pick = (rng >> 33) as usize % handles.len();
+                handles.remove(pick).cancel();
+                cancelled += 1;
+            }
+            scheduler.tick(|_| {});
+            let in_use = scheduler.kv_pool().blocks_in_use();
+            assert!(
+                in_use <= kv_block_budget,
+                "tick {tick}: {in_use} blocks in use exceeds the budget {kv_block_budget}"
+            );
+            peak_cold_bytes = peak_cold_bytes.max(scheduler.preemption_stats().swapped_bytes);
+        }
+        while scheduler.tick(|_| {}) > 0 {}
+        let stats = scheduler.preemption_stats();
+        assert!(
+            stats.preemptions >= 3,
+            "the storm must actually preempt (got {})",
+            stats.preemptions
+        );
+        if swap_budget_bytes == u64::MAX {
+            assert_eq!(
+                stats.recomputed, 0,
+                "unlimited swap budget never recomputes"
+            );
+            assert!(stats.swapped_out >= 3);
+            assert!(
+                peak_cold_bytes > 0,
+                "cold buffers must be visible mid-storm"
+            );
+        } else {
+            assert_eq!(stats.swapped_out, 0, "zero swap budget never swaps");
+            assert!(stats.recomputed >= 3);
+            assert_eq!(peak_cold_bytes, 0);
+        }
+        // Full drain: every block back, no cold bytes, no decode memory.
+        assert_eq!(
+            scheduler.kv_pool().blocks_in_use(),
+            0,
+            "pool drains to zero"
+        );
+        assert_eq!(scheduler.reserved_blocks(), 0);
+        assert_eq!(scheduler.preemption_stats().swapped_bytes, 0);
+        let memory = scheduler.memory_estimate();
+        assert_eq!(memory.swapped_bytes, 0, "no cold bytes after drain");
+        assert_eq!(
+            memory.total(),
+            0,
+            "a drained scheduler holds no decode memory"
+        );
+        let mut outputs = scheduler.take_finished();
+        outputs.sort_by_key(|o| o.id);
+        assert_eq!(outputs.len(), submitted, "every submission resolves");
+        assert!(cancelled >= 30, "the cancel churn must be substantial");
+        // Per-request bit-identity against the uninterrupted solo run —
+        // preempted-and-resumed (swap or recompute) included.
+        for out in &outputs {
+            let expected = &solo[out.id % solo.len()];
+            match out.finish {
+                FinishReason::Cancelled => assert_eq!(
+                    out.tokens[..],
+                    expected[..out.tokens.len()],
+                    "request {}: cancelled tokens must be a solo prefix",
+                    out.id
+                ),
+                _ => assert_eq!(
+                    &out.tokens, expected,
+                    "request {} (preempted {} times) diverged from solo",
+                    out.id, out.preemptions
+                ),
+            }
+        }
+        outputs
+            .into_iter()
+            .map(|o| {
+                (
+                    o.id,
+                    o.tokens,
+                    format!("{:?}", o.finish),
+                    o.preemptions,
+                    o.swapped_blocks,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+
+    for swap_budget_bytes in [u64::MAX, 0] {
+        let single = run_storm(1, swap_budget_bytes);
+        for threads in [2, 4] {
+            assert_eq!(
+                run_storm(threads, swap_budget_bytes),
+                single,
+                "the storm schedule must be bit-identical at {threads} slot threads"
+            );
+        }
+    }
 }

@@ -10,9 +10,12 @@
 //! SPARSEINFER_BENCH_QUICK=1 cargo bench ...    # 1-iter CI smoke
 //! ```
 
+use sparseinfer::model::generator::WeightGenerator;
 use sparseinfer::model::ModelConfig;
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
+use sparseinfer::sparse::engine::EngineBuilder;
 use sparseinfer::sparse::gemv::{sparse_gemv, sparse_gemv_into};
+use sparseinfer::sparse::request::{generate, GenerateRequest};
 use sparseinfer::sparse::OpCounter;
 use sparseinfer::tensor::gemv::{gemv, reference};
 use sparseinfer::tensor::sign::{PackedSignMatrix, SignPack};
@@ -167,6 +170,81 @@ fn main() {
     println!(
         "parked-worker dispatch is {:.1}x cheaper than per-call spawn",
         t_spawn / t_parked
+    );
+
+    println!("\n== speculative vs dense-only decode (single engine, greedy) ==");
+    // One engine decoding end to end: dense-only stepping vs sparse drafts
+    // verified densely in blocks. Tokens are bit-identical (asserted), so
+    // the per-token gap is the lossless block-decode speedup at engine
+    // level; the acceptance rate is recorded and asserted nonzero so the
+    // JSON gate cannot pass on a silently-disabled speculative path.
+    let decode_model = {
+        let mut cfg = ModelConfig::tiny();
+        cfg.hidden_dim = 64;
+        cfg.mlp_dim = 160;
+        cfg.n_heads = 2;
+        cfg.n_layers = 3;
+        cfg.vocab_size = 300;
+        WeightGenerator::new(&cfg, 99).build()
+    };
+    let decode_tokens = 24usize;
+    let decode_req = GenerateRequest::new(&[1, 2, 3, 4]).max_new(decode_tokens);
+    let mut dense_engine = EngineBuilder::new(&decode_model).build().unwrap();
+    let mut spec_engine = {
+        let draft = EngineBuilder::new(&decode_model)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        let verify = EngineBuilder::new(&decode_model).build().unwrap();
+        EngineBuilder::speculative(draft, verify, 4).unwrap()
+    };
+    assert_eq!(
+        generate(dense_engine.as_mut(), &decode_req).unwrap().tokens,
+        generate(spec_engine.as_mut(), &decode_req).unwrap().tokens,
+        "speculation must be lossless"
+    );
+    let decode_iters = bench_iters(20);
+    let t_dense_run = sparseinfer_bench::time_us("dense_decode_24_tokens", decode_iters, || {
+        generate(dense_engine.as_mut(), &decode_req).unwrap()
+    });
+    let dense_us_tok = t_dense_run / decode_tokens as f64;
+    report.record(
+        "dense_decode_us_per_token",
+        decode_iters,
+        dense_us_tok,
+        None,
+        1,
+    );
+    let t_spec_run =
+        sparseinfer_bench::time_us("speculative_decode_24_tokens", decode_iters, || {
+            generate(spec_engine.as_mut(), &decode_req).unwrap()
+        });
+    let spec_us_tok = t_spec_run / decode_tokens as f64;
+    report.record(
+        "speculative_decode_us_per_token",
+        decode_iters,
+        spec_us_tok,
+        Some(dense_us_tok / spec_us_tok),
+        1,
+    );
+    let spec_stats = spec_engine
+        .speculative_stats()
+        .expect("speculative engine reports draft counters");
+    assert!(
+        spec_stats.drafted > 0 && spec_stats.accepted > 0,
+        "speculative decode drafted/accepted nothing: the draft path is disabled"
+    );
+    println!(
+        "speculative decode is {:.2}x dense-only; acceptance {}/{} ({:.1}%)",
+        dense_us_tok / spec_us_tok,
+        spec_stats.accepted,
+        spec_stats.drafted,
+        spec_stats.acceptance_rate() * 100.0,
+    );
+    report.record_value(
+        "speculative_acceptance_rate_pct",
+        decode_iters,
+        spec_stats.acceptance_rate() * 100.0,
     );
 
     println!("\n== sparse GEMV thread scaling (workspace path, 4096x1024) ==");

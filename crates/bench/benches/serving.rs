@@ -22,7 +22,7 @@ use std::time::Instant;
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
 use sparseinfer::sparse::batch::Batch;
-use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::engine::{Engine, EngineBuilder, SpeculativeStats};
 use sparseinfer::sparse::request::{GenerateRequest, Priority};
 use sparseinfer::sparse::scheduler::{RequestHandle, Scheduler, SchedulerConfig};
 use sparseinfer_bench::{bench_iters, BenchReport};
@@ -454,6 +454,58 @@ fn run_inproc_loopback(
     timing
 }
 
+/// Draft depth of the speculative serving rows.
+const SPECULATIVE_K: usize = 4;
+
+/// The staggered-arrival workload decoded end to end through the
+/// scheduler, every request on either a dense-only engine or a
+/// sparse-draft/dense-verify speculative one. Tokens are bit-identical
+/// either way (the library's determinism-test surface); the rows differ
+/// only in wall clock, so the pair is the end-to-end speculative speedup.
+fn run_speculative_serving(
+    model: &Model,
+    work: &[ChurnRequest],
+    speculative: bool,
+) -> (RunTiming, SpeculativeStats) {
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: 4,
+        block_tokens: 8,
+        kv_block_budget: usize::MAX,
+        ..SchedulerConfig::default()
+    });
+    let mut clock = GapClock::new(work.len());
+    let mut next = 0usize;
+    let mut tick = 0usize;
+    loop {
+        while next < work.len() && work[next].arrives_at_tick <= tick {
+            let engine: Box<dyn Engine> = if speculative {
+                let draft = EngineBuilder::new(model)
+                    .signbit(AlphaSchedule::uniform(1.0))
+                    .build()
+                    .unwrap();
+                let verify = EngineBuilder::new(model).build().unwrap();
+                EngineBuilder::speculative(draft, verify, SPECULATIVE_K).unwrap()
+            } else {
+                EngineBuilder::new(model).build().unwrap()
+            };
+            scheduler
+                .submit(
+                    engine,
+                    &GenerateRequest::new(&work[next].prompt).max_new(work[next].max_new),
+                )
+                .unwrap();
+            next += 1;
+        }
+        let unfinished = scheduler.tick(|ev| clock.observe(ev.request));
+        tick += 1;
+        if unfinished == 0 && next == work.len() {
+            break;
+        }
+    }
+    let stats = scheduler.speculative_stats();
+    (clock.finish(), stats)
+}
+
 /// One priority-mix pass: time-to-first-token of every High arrival, plus
 /// how many evictions the scheduler performed to get them started.
 struct PriorityTiming {
@@ -770,6 +822,80 @@ fn main() {
             );
         }
     }
+
+    // Speculative decoding: the staggered-arrival workload dense-only vs
+    // with sparse drafts and dense verification. Tokens are bit-identical
+    // by construction, so the throughput gap is the lossless speedup; the
+    // acceptance rate is recorded and asserted nonzero so the JSON gate
+    // cannot pass on a silently-disabled speculative path.
+    let spec_requests = if quick { 4 } else { 12 };
+    let mut spec_work = churn_workload(spec_requests);
+    for r in &mut spec_work {
+        // No mid-flight cancels: both sides must decode the same tokens.
+        r.cancel_after_tokens = None;
+    }
+    println!(
+        "\nspeculative workload: {spec_requests} requests x {passes} pass(es), \
+         sparse draft k={SPECULATIVE_K}, dense verify\n"
+    );
+    let measure_speculative = |speculative: bool| -> (f64, usize, SpeculativeStats) {
+        let mut tokens = 0usize;
+        let mut total_us = 0.0f64;
+        let mut stats = SpeculativeStats::default();
+        for _ in 0..passes {
+            let (timing, s) = run_speculative_serving(&model, &spec_work, speculative);
+            tokens += timing.tokens;
+            total_us += timing.total_us;
+            stats.merge(&s);
+        }
+        (total_us / tokens as f64, tokens, stats)
+    };
+    let (dense_us_tok, dense_tokens, _) = measure_speculative(false);
+    let (spec_us_tok, spec_tokens, spec_stats) = measure_speculative(true);
+    assert_eq!(
+        spec_tokens, dense_tokens,
+        "lossless speculation must emit exactly the dense token count"
+    );
+    assert!(
+        spec_stats.drafted > 0 && spec_stats.accepted > 0,
+        "speculative serving pass drafted/accepted nothing: the draft path is disabled"
+    );
+    for (name, us_tok, speedup) in [
+        ("dense_only_scheduler", dense_us_tok, None),
+        (
+            "speculative_scheduler",
+            spec_us_tok,
+            Some(dense_us_tok / spec_us_tok),
+        ),
+    ] {
+        println!(
+            "{name:<24} {dense_tokens:>8} tokens  {us_tok:>9.2} us/token \
+             ({:>9.0} tok/s){}",
+            1e6 / us_tok,
+            match speedup {
+                Some(s) => format!("  {s:.2}x over dense-only"),
+                None => String::new(),
+            },
+        );
+        report.record(
+            &format!("{name}_throughput"),
+            dense_tokens,
+            us_tok,
+            speedup,
+            1,
+        );
+    }
+    println!(
+        "speculative acceptance: {}/{} drafts accepted ({:.1}%)",
+        spec_stats.accepted,
+        spec_stats.drafted,
+        spec_stats.acceptance_rate() * 100.0,
+    );
+    report.record_value(
+        "speculative_acceptance_rate_pct",
+        spec_requests,
+        spec_stats.acceptance_rate() * 100.0,
+    );
 
     report.write();
 }

@@ -194,6 +194,50 @@ impl KvCache {
         }
     }
 
+    /// Rolls the cache back to `len` positions (a no-op when `len` is not
+    /// smaller than the current length) — the rollback primitive of
+    /// speculative decoding. A contiguous cache keeps its reserved
+    /// capacity; a paged cache releases whole blocks past the boundary and
+    /// copy-on-write-forks a shared partial tail (see
+    /// [`PagedKvCache::truncate`]).
+    pub fn truncate(&mut self, len: usize) {
+        match &mut self.storage {
+            KvStorage::Contiguous(c) => {
+                if len * c.dim < c.keys.len() {
+                    c.keys.truncate(len * c.dim);
+                    c.values.truncate(len * c.dim);
+                }
+            }
+            KvStorage::Paged(p) => p.truncate(len),
+        }
+    }
+
+    /// Ensures a contiguous cache can hold `tokens` positions without
+    /// reallocating (no-op before the first push fixes the dimension, and
+    /// for paged caches, which grow block-wise from their pool).
+    pub fn reserve_tokens(&mut self, tokens: usize) {
+        if let KvStorage::Contiguous(c) = &mut self.storage {
+            if c.dim > 0 {
+                let need = tokens * c.dim;
+                if c.keys.len() < need {
+                    c.keys.reserve(need - c.keys.len());
+                    c.values.reserve(need - c.values.len());
+                }
+            }
+        }
+    }
+
+    /// Bytes of KV content currently cached (`len` positions of keys plus
+    /// values), for memory accounting.
+    pub fn content_bytes(&self) -> u64 {
+        match &self.storage {
+            KvStorage::Contiguous(c) => {
+                ((c.keys.len() + c.values.len()) * std::mem::size_of::<f32>()) as u64
+            }
+            KvStorage::Paged(p) => p.content_bytes(),
+        }
+    }
+
     /// Clears all cached positions (start of a new sequence). A contiguous
     /// cache retains its reserved capacity; a paged cache returns every
     /// block to its pool.

@@ -337,10 +337,22 @@ impl KvBlockPool {
     /// Allocates a private block and copies `src`'s contents into it —
     /// the copy-on-write fork.
     fn alloc_copy(&self, src: &SharedKvBlock) -> SharedKvBlock {
-        let mut copy = self.alloc(src.inner.dim);
+        self.alloc_copy_prefix(src, src.tokens())
+    }
+
+    /// Allocates a private block and copies the first `tokens` positions of
+    /// `src` into it — the copy-on-write fork of a truncation that lands
+    /// mid-way through a shared block.
+    fn alloc_copy_prefix(&self, src: &SharedKvBlock, tokens: usize) -> SharedKvBlock {
+        let dim = src.inner.dim;
+        let mut copy = self.alloc(dim);
         let block = copy.get_mut().expect("freshly allocated block is private");
-        block.keys.extend_from_slice(&src.inner.keys);
-        block.values.extend_from_slice(&src.inner.values);
+        block
+            .keys
+            .extend_from_slice(&src.inner.keys[..tokens * dim]);
+        block
+            .values
+            .extend_from_slice(&src.inner.values[..tokens * dim]);
         copy
     }
 }
@@ -508,6 +520,45 @@ impl PagedKvCache {
     pub fn value(&self, t: usize) -> &[f32] {
         let (block, offset) = self.slot(t);
         &self.blocks[block].inner.values[offset..offset + self.dim]
+    }
+
+    /// Rolls the cache back to `len` positions (a no-op when `len` is not
+    /// smaller than the current length). Whole blocks past the new boundary
+    /// are released — their physical storage returns to the pool the moment
+    /// this cache was the last referrer — and a partial tail is cut down in
+    /// place when private, or **forked** first when shared: a truncated
+    /// fork never mutates a block other referrers (a COW clone, the prefix
+    /// index) still read.
+    ///
+    /// This is the rollback primitive of speculative decoding: rejected
+    /// draft positions are discarded without disturbing the accepted
+    /// context, bit-for-bit.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        if len == 0 {
+            self.clear();
+            return;
+        }
+        let bt = self.pool.block_tokens();
+        let keep = len.div_ceil(bt);
+        self.blocks.truncate(keep);
+        // Tokens the boundary block must keep (1..=block_tokens).
+        let tail_tokens = len - (keep - 1) * bt;
+        let tail = self.blocks.last_mut().expect("len > 0 keeps a block");
+        if tail.tokens() > tail_tokens {
+            if tail.is_unique() {
+                let block = tail.get_mut().expect("unique tail");
+                let dim = block.dim;
+                block.keys.truncate(tail_tokens * dim);
+                block.values.truncate(tail_tokens * dim);
+            } else {
+                // Copy-on-write: other referrers keep the full block.
+                *tail = self.pool.alloc_copy_prefix(tail, tail_tokens);
+            }
+        }
+        self.len = len;
     }
 
     /// Releases every block handle and resets to an empty context.
@@ -1212,6 +1263,168 @@ mod tests {
         assert_eq!(index.retained_blocks(), 1);
         assert_eq!(pool.blocks_in_use(), 1, "evicted storage returned");
         assert_eq!(index.clear(), 1);
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn truncate_on_a_block_boundary_releases_whole_blocks() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = filled_cache(&pool, 11); // 3 blocks: 4 + 4 + 3
+        assert_eq!(pool.blocks_in_use(), 3);
+        cache.truncate(8);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.blocks_held(), 2);
+        assert_eq!(pool.blocks_in_use(), 2, "dropped block returned");
+        assert_eq!(pool.blocks_free(), 1);
+        for t in 0..8 {
+            assert_eq!(cache.key(t), &[t as f32; 2], "kept key {t}");
+            assert_eq!(cache.value(t), &[-(t as f32); 2], "kept value {t}");
+        }
+        // Appending after the rollback recycles the freed storage.
+        cache.push(&[50.0; 2], &[50.0; 2]);
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.key(8), &[50.0; 2]);
+        assert_eq!(pool.blocks_created(), 3, "no new blocks created");
+    }
+
+    #[test]
+    fn truncate_mid_block_cuts_the_private_tail_in_place() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = filled_cache(&pool, 10); // 3 blocks, tail holds 2
+        cache.truncate(6);
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.blocks_held(), 2);
+        assert_eq!(pool.blocks_in_use(), 2);
+        assert_eq!(
+            pool.blocks_created(),
+            3,
+            "a private mid-block cut must not allocate"
+        );
+        for t in 0..6 {
+            assert_eq!(cache.key(t), &[t as f32; 2], "kept key {t}");
+        }
+        // The cut tail refills from the truncation point.
+        cache.push(&[60.0; 2], &[60.0; 2]);
+        cache.push(&[61.0; 2], &[61.0; 2]);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.key(6), &[60.0; 2]);
+        assert_eq!(cache.key(7), &[61.0; 2]);
+        assert_eq!(cache.blocks_held(), 2, "refill reuses the cut block");
+    }
+
+    #[test]
+    fn truncate_to_zero_drains_every_block_to_the_pool() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = filled_cache(&pool, 9);
+        assert_eq!(pool.blocks_in_use(), 3);
+        cache.truncate(0);
+        assert!(cache.is_empty());
+        assert_eq!(cache.blocks_held(), 0);
+        assert_eq!(pool.blocks_in_use(), 0, "all storage back on the free list");
+        assert_eq!(pool.blocks_free(), pool.blocks_created());
+    }
+
+    #[test]
+    fn truncate_past_len_is_a_no_op() {
+        let pool = KvBlockPool::new(4);
+        let mut cache = filled_cache(&pool, 5);
+        cache.truncate(5);
+        cache.truncate(100);
+        assert_eq!(cache.len(), 5);
+        assert_eq!(pool.blocks_in_use(), 2);
+        assert_eq!(cache.key(4), &[4.0; 2]);
+    }
+
+    #[test]
+    fn truncating_a_cow_fork_never_touches_the_shared_blocks() {
+        let pool = KvBlockPool::new(4);
+        let base = filled_cache(&pool, 10); // blocks: 4 + 4 + 2 (partial tail)
+        let mut fork = base.clone();
+        assert_eq!(pool.blocks_in_use(), 3, "a clone aliases, it does not copy");
+        assert_eq!(base.block_refs()[2].ref_count(), 2);
+
+        // Cutting mid-way through the *shared* tail forks a private copy:
+        // the shared block keeps all 10 positions for the base.
+        fork.truncate(9);
+        assert_eq!(fork.len(), 9);
+        assert_eq!(pool.blocks_in_use(), 4, "the cut tail forked privately");
+        assert_eq!(
+            base.block_refs()[2].ref_count(),
+            1,
+            "fork released its handle on the shared tail"
+        );
+        assert_eq!(base.block_refs()[2].tokens(), 2, "shared tail intact");
+        assert_eq!(base.len(), 10);
+        assert_eq!(base.key(9), &[9.0; 2], "base reads its full context");
+        assert_eq!(fork.key(8), &[8.0; 2], "fork reads the kept prefix");
+        // Full shared blocks stay physically shared after the truncation.
+        for i in 0..2 {
+            assert!(
+                Arc::ptr_eq(&base.block_refs()[i].inner, &fork.block_refs()[i].inner),
+                "full block {i} must stay shared"
+            );
+            assert_eq!(base.block_refs()[i].ref_count(), 2, "refcount block {i}");
+        }
+
+        // Cutting *to a shared boundary* only drops handles — no fork, no
+        // mutation, and the shared blocks' refcounts drop by exactly one.
+        let mut fork2 = base.clone();
+        fork2.truncate(4);
+        assert_eq!(fork2.len(), 4);
+        assert_eq!(fork2.blocks_held(), 1);
+        assert_eq!(
+            base.block_refs()[0].ref_count(),
+            3,
+            "block 0: base+fork+fork2"
+        );
+        assert_eq!(base.block_refs()[1].ref_count(), 2, "block 1: base+fork");
+        assert_eq!(base.block_refs()[2].ref_count(), 1, "tail: base only");
+        drop(fork);
+        drop(fork2);
+        drop(base);
+        assert_eq!(pool.blocks_in_use(), 0, "pool drains after all forks drop");
+    }
+
+    #[test]
+    fn truncate_interacts_safely_with_a_prefix_attachment() {
+        let pool = KvBlockPool::new(4);
+        let mut index = PrefixIndex::new();
+        let base = filled_cache(&pool, 8); // 2 full blocks
+        index.publish(
+            5,
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            4,
+            &[base.block_refs().to_vec()],
+        );
+        drop(base);
+
+        let hit = index.lookup(5, &[1, 2, 3, 4, 5, 6, 7, 8], 4, 8).unwrap();
+        let mut attached = PagedKvCache::with_prefix(&pool, hit.layer_blocks[0].clone());
+        drop(hit);
+        for t in 8..11 {
+            attached.push(&[t as f32; 2], &[t as f32; 2]);
+        }
+        assert_eq!(pool.blocks_in_use(), 3);
+
+        // Rolling back within the private continuation leaves the published
+        // prefix blocks untouched (still retained, still shared).
+        attached.truncate(9);
+        assert_eq!(attached.len(), 9);
+        assert_eq!(pool.blocks_in_use(), 3, "private tail cut in place");
+        assert_eq!(index.retained_blocks(), 2);
+        assert_eq!(attached.key(8), &[8.0; 2]);
+
+        // Rolling back *into* the shared region forks the boundary block —
+        // the index's copy must stay bit-identical for future hits.
+        attached.truncate(6);
+        assert_eq!(attached.len(), 6);
+        assert_eq!(attached.blocks_held(), 2);
+        let refetch = index.lookup(5, &[1, 2, 3, 4, 5, 6, 7, 8], 4, 8).unwrap();
+        assert_eq!(refetch.tokens, 8, "published prefix still fully intact");
+        assert_eq!(refetch.layer_blocks[0][1].tokens(), 4);
+        drop(refetch);
+        drop(attached);
+        assert_eq!(index.clear(), 2);
         assert_eq!(pool.blocks_in_use(), 0);
     }
 

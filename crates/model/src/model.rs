@@ -288,6 +288,19 @@ impl DecodeSession {
         }
         self.position = 0;
     }
+
+    /// Rolls the whole session back to `len` context positions — every
+    /// layer's KV cache is truncated (see
+    /// [`KvCache::truncate`](crate::attention::KvCache::truncate)) and the
+    /// next write position rewound. The rollback step of speculative
+    /// decoding: rejected draft positions vanish from every layer at once,
+    /// leaving the accepted context bit-identical.
+    pub fn truncate(&mut self, len: usize) {
+        for c in &mut self.caches {
+            c.truncate(len);
+        }
+        self.position = self.position.min(len);
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use sparseinfer::json::Json;
 use sparseinfer::model::Sampler;
+use sparseinfer::sparse::engine::SpeculativeStats;
 use sparseinfer::sparse::request::{FinishReason, GenerateRequest, Priority, TokenEvent};
 
 use crate::owner::{FinishSummary, StatsSnapshot};
@@ -201,6 +202,9 @@ pub fn finish_event_json(summary: &FinishSummary) -> String {
         ),
         ("engine".to_string(), Json::String(summary.engine.clone())),
     ];
+    if let Some(spec) = &summary.speculative {
+        fields.push(("speculative".to_string(), speculative_json(spec)));
+    }
     match summary.finish {
         FinishReason::Stop(token) => {
             fields.push(("stop_token".to_string(), Json::Number(token as f64)));
@@ -211,6 +215,19 @@ pub fn finish_event_json(summary: &FinishSummary) -> String {
         _ => {}
     }
     Json::Object(fields).to_json()
+}
+
+/// Encodes draft/accept counters as a JSON object:
+/// `{"drafted":d,"accepted":a,"acceptance_rate":r}`.
+fn speculative_json(spec: &SpeculativeStats) -> Json {
+    Json::Object(vec![
+        ("drafted".to_string(), Json::Number(spec.drafted as f64)),
+        ("accepted".to_string(), Json::Number(spec.accepted as f64)),
+        (
+            "acceptance_rate".to_string(),
+            Json::Number(spec.acceptance_rate()),
+        ),
+    ])
 }
 
 /// Encodes the `GET /stats` response body.
@@ -286,6 +303,10 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
                     num(stats.prefix.unreferenced_blocks as u64),
                 ),
             ]),
+        ),
+        (
+            "speculative".to_string(),
+            speculative_json(&stats.speculative),
         ),
         (
             "preemption".to_string(),
@@ -434,6 +455,7 @@ mod tests {
             preemptions: 2,
             swapped_blocks: 4,
             engine: "dense".to_string(),
+            speculative: None,
         });
         let doc = Json::parse(&finish).unwrap();
         assert_eq!(doc.get("finish").and_then(Json::as_str), Some("stop"));
@@ -446,6 +468,35 @@ mod tests {
         assert_eq!(doc.get("preemptions").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("swapped_blocks").and_then(Json::as_u64), Some(4));
         assert_eq!(doc.get("engine").and_then(Json::as_str), Some("dense"));
+        assert!(
+            doc.get("speculative").is_none(),
+            "non-drafting engines emit no speculative section"
+        );
+    }
+
+    #[test]
+    fn finish_event_reports_speculative_counters_when_present() {
+        let finish = finish_event_json(&FinishSummary {
+            id: 0,
+            tokens: 12,
+            finish: FinishReason::MaxTokens,
+            prefill_skipped_tokens: 0,
+            preemptions: 0,
+            swapped_blocks: 0,
+            engine: "speculative:sparse:sparseinfer+dense".to_string(),
+            speculative: Some(SpeculativeStats {
+                drafted: 8,
+                accepted: 6,
+            }),
+        });
+        let doc = Json::parse(&finish).unwrap();
+        let spec = doc.get("speculative").expect("speculative section");
+        assert_eq!(spec.get("drafted").and_then(Json::as_u64), Some(8));
+        assert_eq!(spec.get("accepted").and_then(Json::as_u64), Some(6));
+        assert_eq!(
+            spec.get("acceptance_rate").and_then(Json::as_f64),
+            Some(0.75)
+        );
     }
 
     #[test]
@@ -479,6 +530,10 @@ mod tests {
             memory_swapped_bytes: 512,
             prefix: Default::default(),
             preemption: Default::default(),
+            speculative: SpeculativeStats {
+                drafted: 10,
+                accepted: 4,
+            },
             draining: false,
         };
         let doc = Json::parse(&stats_json(&stats)).unwrap();
@@ -498,6 +553,13 @@ mod tests {
             Some(512)
         );
         assert!(doc.get("prefix_cache").is_some());
+        let spec = doc.get("speculative").expect("speculative section");
+        assert_eq!(spec.get("drafted").and_then(Json::as_u64), Some(10));
+        assert_eq!(spec.get("accepted").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            spec.get("acceptance_rate").and_then(Json::as_f64),
+            Some(0.4)
+        );
         let preemption = doc.get("preemption").unwrap();
         assert_eq!(
             preemption.get("swapped_bytes").and_then(Json::as_u64),

@@ -5,9 +5,10 @@
 use std::process::ExitCode;
 
 use sparseinfer::model::generator::WeightGenerator;
-use sparseinfer::model::ModelConfig;
+use sparseinfer::model::{Model, ModelConfig};
 use sparseinfer::predictor::AlphaSchedule;
-use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::scheduler::SchedulerConfig;
 use sparseinfer_serve::{Client, Server, ServerConfig};
 
@@ -23,6 +24,7 @@ struct Args {
     prefix_cache: bool,
     seed: u64,
     signbit: bool,
+    speculate: usize,
     smoke: bool,
 }
 
@@ -39,6 +41,7 @@ impl Default for Args {
             prefix_cache: true,
             seed: 42,
             signbit: false,
+            speculate: 0,
             smoke: false,
         }
     }
@@ -61,6 +64,9 @@ OPTIONS:
     --no-prefix-cache       disable prompt-prefix sharing
     --seed <n>              synthetic-model weight seed (default 42)
     --signbit               serve the sign-bit sparse engine instead of dense
+    --speculate <k>         lossless speculative decoding: sign-bit sparse
+                            drafts up to k tokens per step, dense verifies
+                            (tokens stay bit-identical to dense decode)
     --smoke                 run the built-in end-to-end self-test and exit
     --help                  print this help
 ";
@@ -96,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--seed needs an integer".to_string())?
             }
             "--signbit" => args.signbit = true,
+            "--speculate" => {
+                args.speculate = parse_num(&value(&mut it, "--speculate")?, "--speculate")?
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -112,6 +121,39 @@ fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
         .ok()
         .filter(|&n| n > 0)
         .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+/// Build the engine the CLI flags ask for. `--speculate k` wraps a
+/// sign-bit sparse draft around a dense verifier; otherwise `--signbit`
+/// picks the sparse engine and the default is dense.
+fn build_engine<'m>(
+    model: &'m Model,
+    signbit: bool,
+    speculate: usize,
+) -> Result<Box<dyn Engine + 'm>, EngineError> {
+    if speculate > 0 {
+        let draft = EngineBuilder::new(model)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()?;
+        let verify = EngineBuilder::new(model).build()?;
+        EngineBuilder::speculative(draft, verify, speculate)
+    } else if signbit {
+        EngineBuilder::new(model)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+    } else {
+        EngineBuilder::new(model).build()
+    }
+}
+
+fn engine_label(args: &Args) -> String {
+    if args.speculate > 0 {
+        format!("speculative k={}", args.speculate)
+    } else if args.signbit {
+        "signbit".to_string()
+    } else {
+        "dense".to_string()
+    }
 }
 
 fn main() -> ExitCode {
@@ -137,21 +179,14 @@ fn main() -> ExitCode {
     eprintln!(
         "sparseinfer-serve listening on http://{} ({} engine, {} slots)",
         server.local_addr(),
-        if args.signbit { "signbit" } else { "dense" },
+        engine_label(&args),
         args.slots,
     );
     eprintln!("POST /v1/generate | GET /healthz | GET /stats");
-    let signbit = args.signbit;
+    let (signbit, speculate) = (args.signbit, args.speculate);
     // The factory borrows `model` (not `move`): the engines it builds
     // must outlive their request, not just the closure call.
-    server.serve(&|_req| {
-        let builder = EngineBuilder::new(&model);
-        if signbit {
-            builder.signbit(AlphaSchedule::uniform(1.0)).build()
-        } else {
-            builder.build()
-        }
-    });
+    server.serve(&|_req| build_engine(&model, signbit, speculate));
     ExitCode::SUCCESS
 }
 
@@ -190,6 +225,7 @@ fn smoke(mut args: Args) -> ExitCode {
     };
     let handle = server.handle();
     let addr = handle.addr();
+    let speculate = args.speculate;
 
     let client = std::thread::spawn(move || -> Result<(), String> {
         fn e(what: &'static str) -> impl Fn(std::io::Error) -> String {
@@ -231,6 +267,16 @@ fn smoke(mut args: Args) -> ExitCode {
         if completed != Some(1) {
             return Err(format!("expected 1 completed request, got {completed:?}"));
         }
+        if speculate > 0 {
+            let drafted = doc
+                .get("speculative")
+                .and_then(|s| s.get("drafted"))
+                .and_then(sparseinfer::json::Json::as_u64);
+            match drafted {
+                Some(n) if n > 0 => {}
+                other => return Err(format!("expected drafted > 0 in stats, got {other:?}")),
+            }
+        }
         eprintln!("smoke: streamed {} tokens, stats ok", tokens.len());
         Ok(())
     });
@@ -244,7 +290,7 @@ fn smoke(mut args: Args) -> ExitCode {
             verdict
         }
     });
-    let final_stats = server.serve(&|_req| EngineBuilder::new(&model).build());
+    let final_stats = server.serve(&|_req| build_engine(&model, args.signbit, args.speculate));
 
     match watchdog.join().expect("watchdog thread panicked") {
         Ok(()) => {}

@@ -21,7 +21,7 @@ use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sparseinfer::sparse::engine::Engine;
+use sparseinfer::sparse::engine::{Engine, SpeculativeStats};
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::request::{FinishReason, GenerateRequest, TokenEvent};
 use sparseinfer::sparse::scheduler::{PreemptionStats, PrefixCacheStats, RequestHandle, Scheduler};
@@ -86,6 +86,9 @@ pub struct FinishSummary {
     pub swapped_blocks: usize,
     /// The engine configuration name that served the request.
     pub engine: String,
+    /// Draft/accept counters when a speculative engine served the
+    /// request; `None` for non-drafting engines.
+    pub speculative: Option<SpeculativeStats>,
 }
 
 /// A point-in-time copy of the scheduler's observable state, refreshed by
@@ -118,6 +121,10 @@ pub struct StatsSnapshot {
     /// Preemption accounting (evictions, swap/recompute split, resumes,
     /// current preempted population).
     pub preemption: PreemptionStats,
+    /// Speculative-decoding accounting summed over retired requests plus
+    /// the engines currently live, queued or preempted. All zeros when no
+    /// submitted engine drafts.
+    pub speculative: SpeculativeStats,
     /// Whether the server is draining (shutdown requested, in-flight
     /// requests finishing, no new submissions accepted).
     pub draining: bool,
@@ -212,6 +219,7 @@ pub fn run_owner_loop<'m>(
                     preemptions: out.preemptions,
                     swapped_blocks: out.swapped_blocks,
                     engine: out.engine,
+                    speculative: out.speculative,
                 }));
             }
         }
@@ -285,6 +293,7 @@ fn publish_stats(
         memory_swapped_bytes: memory.swapped_bytes,
         prefix: scheduler.prefix_stats(),
         preemption: scheduler.preemption_stats(),
+        speculative: scheduler.speculative_stats(),
         draining,
     };
     *stats.lock().expect("stats mutex poisoned") = snapshot;

@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 use sparseinfer::json::Json;
 use sparseinfer::model::generator::WeightGenerator;
 use sparseinfer::model::{Model, ModelConfig};
-use sparseinfer::sparse::engine::EngineBuilder;
+use sparseinfer::predictor::AlphaSchedule;
+use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::scheduler::SchedulerConfig;
 use sparseinfer_serve::{Client, Limits, Server, ServerConfig, ServerHandle, StatsSnapshot};
 
@@ -34,10 +36,12 @@ fn test_config() -> ServerConfig {
     }
 }
 
-/// Boots a server on an ephemeral port, runs `client_script` against it,
-/// shuts down, and returns (script result, post-drain stats).
-fn with_server<T: Send>(
+/// Boots a server on an ephemeral port with a per-request engine built by
+/// `build`, runs `client_script` against it, shuts down, and returns
+/// (script result, post-drain stats).
+fn with_server_via<T: Send>(
     config: ServerConfig,
+    build: impl for<'m> Fn(&'m Model) -> Result<Box<dyn Engine + 'm>, EngineError> + Sync,
     client_script: impl FnOnce(SocketAddr, &ServerHandle) -> T + Send,
 ) -> (T, StatsSnapshot) {
     let model = test_model();
@@ -47,14 +51,32 @@ fn with_server<T: Send>(
     let mut stats = None;
     std::thread::scope(|scope| {
         let stats = &mut stats;
+        let build = &build;
         let server_thread = scope.spawn(move || {
-            *stats = Some(server.serve(&|_req| EngineBuilder::new(&model).build()));
+            *stats = Some(server.serve(&|_req| build(&model)));
         });
         result = Some(client_script(handle.addr(), &handle));
         handle.shutdown();
         server_thread.join().expect("server thread panicked");
     });
     (result.unwrap(), stats.unwrap())
+}
+
+/// `with_server_via` with the default dense engine.
+fn with_server<T: Send>(
+    config: ServerConfig,
+    client_script: impl FnOnce(SocketAddr, &ServerHandle) -> T + Send,
+) -> (T, StatsSnapshot) {
+    with_server_via(config, |m| EngineBuilder::new(m).build(), client_script)
+}
+
+/// A lossless speculative engine: sign-bit sparse draft, dense verify.
+fn speculative_engine(model: &Model, k: usize) -> Result<Box<dyn Engine + '_>, EngineError> {
+    let draft = EngineBuilder::new(model)
+        .signbit(AlphaSchedule::uniform(1.0))
+        .build()?;
+    let verify = EngineBuilder::new(model).build()?;
+    EngineBuilder::speculative(draft, verify, k)
 }
 
 #[test]
@@ -495,6 +517,92 @@ fn concurrent_clients_at_several_slot_thread_counts_match_library_runs() {
             all_tokens, expected,
             "{slot_threads} slot threads: HTTP tokens == library tokens"
         );
+        assert_eq!(final_stats.kv_blocks_in_use, 0);
+        assert_eq!(final_stats.completed, bodies.len());
+    }
+}
+
+#[test]
+fn speculative_server_is_bit_identical_to_dense_and_reports_counters() {
+    use sparseinfer::sparse::request::GenerateRequest;
+    use sparseinfer::sparse::scheduler::Scheduler;
+
+    // Dense-only library reference: lossless speculation must reproduce
+    // these tokens exactly, over HTTP, at every slot-thread count.
+    let model = test_model();
+    let bodies: Vec<String> = (0..4u32)
+        .map(|i| format!(r#"{{"prompt":[{},{}],"max_new":12}}"#, i + 3, i + 5))
+        .collect();
+    let expected: Vec<Vec<u32>> = (0..4u32)
+        .map(|i| {
+            let req = GenerateRequest::new(&[i + 3, i + 5]).max_new(12);
+            let mut scheduler = Scheduler::new(test_config().scheduler);
+            scheduler
+                .submit(EngineBuilder::new(&model).build().unwrap(), &req)
+                .unwrap();
+            scheduler.run().pop().unwrap().tokens
+        })
+        .collect();
+
+    for slot_threads in [1, 2, 4] {
+        let config = ServerConfig {
+            slot_threads,
+            scheduler: SchedulerConfig {
+                max_slots: 4,
+                ..test_config().scheduler
+            },
+            ..test_config()
+        };
+        let ((all_tokens, finishes, stats_doc), final_stats) = with_server_via(
+            config,
+            |m| speculative_engine(m, 4),
+            |addr, _| {
+                let mut results: Vec<Option<(Vec<u32>, Json)>> = vec![None; bodies.len()];
+                std::thread::scope(|scope| {
+                    for (slot, body) in results.iter_mut().zip(&bodies) {
+                        scope.spawn(move || {
+                            *slot = Some(
+                                Client::connect(addr)
+                                    .unwrap()
+                                    .post_streaming("/v1/generate", body)
+                                    .unwrap()
+                                    .collect_generation()
+                                    .unwrap(),
+                            );
+                        });
+                    }
+                });
+                let stats = Client::connect(addr).unwrap().get("/stats").unwrap();
+                assert_eq!(stats.status, 200);
+                let (tokens, finishes): (Vec<_>, Vec<_>) =
+                    results.into_iter().map(Option::unwrap).unzip();
+                (tokens, finishes, stats.json().unwrap())
+            },
+        );
+        assert_eq!(
+            all_tokens, expected,
+            "{slot_threads} slot threads: speculative HTTP tokens == dense library tokens"
+        );
+        for finish in &finishes {
+            assert_eq!(
+                finish.get("engine").and_then(Json::as_str),
+                Some("speculative:sparse:sparseinfer+dense")
+            );
+            let spec = finish
+                .get("speculative")
+                .expect("finish event carries speculative counters");
+            let drafted = spec.get("drafted").and_then(Json::as_u64).unwrap();
+            let accepted = spec.get("accepted").and_then(Json::as_u64).unwrap();
+            assert!(drafted > 0, "the draft engine proposed tokens");
+            assert!(accepted <= drafted);
+        }
+        let spec = stats_doc
+            .get("speculative")
+            .expect("/stats carries a speculative section");
+        let drafted = spec.get("drafted").and_then(Json::as_u64).unwrap();
+        assert!(drafted > 0);
+        assert!(spec.get("accepted").and_then(Json::as_u64).unwrap() <= drafted);
+        assert!(spec.get("acceptance_rate").and_then(Json::as_f64).is_some());
         assert_eq!(final_stats.kv_blocks_in_use, 0);
         assert_eq!(final_stats.completed, bodies.len());
     }

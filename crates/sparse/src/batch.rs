@@ -312,14 +312,17 @@ mod tests {
             self.model
         }
 
-        fn step_into(
+        fn score_block_into(
             &mut self,
-            _token: u32,
+            tokens: &[u32],
             session: &mut sparseinfer_model::model::DecodeSession,
-            logits: &mut sparseinfer_tensor::Vector,
+            logits: &mut [sparseinfer_tensor::Vector],
         ) {
-            session.position += 1;
-            *logits = sparseinfer_tensor::Vector::zeros(0);
+            assert_eq!(tokens.len(), logits.len(), "one logit vector per token");
+            session.position += tokens.len();
+            for out in logits {
+                *out = sparseinfer_tensor::Vector::zeros(0);
+            }
         }
 
         fn ops(&self) -> &OpCounter {

@@ -31,9 +31,13 @@
 //! println!("sparse skipped {} rows", sparse.ops().rows_skipped);
 //! ```
 //!
-//! The trait is deliberately small: [`Engine::step_into`] advances one token
-//! through one [`DecodeSession`] and writes logits into a caller-owned
-//! buffer — the allocation-free decode hot path. Everything above it —
+//! The trait is deliberately small: [`Engine::score_block_into`] — the one
+//! required decode entry point — teacher-forces a token run through one
+//! [`DecodeSession`] and writes per-position logits into caller-owned
+//! buffers (the allocation-free decode hot path; [`Engine::step_into`] is
+//! its k = 1 case, and [`Engine::step_block_into`] layers optional
+//! speculative drafting on top — see [`SpeculativeEngine`]). Everything
+//! above it —
 //! sampling policies, [`GenerateRequest`](crate::request::GenerateRequest)s,
 //! streaming callbacks, and the continuous-batching
 //! [`Scheduler`](crate::scheduler::Scheduler) that admits, interleaves and
@@ -233,6 +237,118 @@ impl MemoryEstimate {
     }
 }
 
+/// Lifetime draft/accept counters of a speculative engine.
+///
+/// `drafted` counts proposals put forward by the draft engine; `accepted`
+/// counts those confirmed by dense verification. The ratio is the
+/// *acceptance rate* — the knob-quality signal of speculative decoding
+/// (tokens are bit-identical to dense-only decode regardless; acceptance
+/// only decides how much dense work each verified block amortizes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculativeStats {
+    /// Draft tokens proposed.
+    pub drafted: u64,
+    /// Draft tokens confirmed by the verifier and emitted.
+    pub accepted: u64,
+}
+
+impl SpeculativeStats {
+    /// `accepted / drafted` (0 when nothing was drafted).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.drafted as f64
+        }
+    }
+
+    /// Adds another counter pair into this one.
+    pub fn merge(&mut self, other: &SpeculativeStats) {
+        self.drafted += other.drafted;
+        self.accepted += other.accepted;
+    }
+}
+
+/// One block-decode step's outputs, recycled across calls.
+///
+/// Holds the draft proposals and one verified logit vector per fed
+/// position: `logits(0)` follows the fed token, `logits(i)` follows
+/// `proposals()[i - 1]`. Buffers are grow-only — vectors keep their
+/// allocations between steps, so steady-state block decode stays
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct StepBlock {
+    proposals: Vec<u32>,
+    logits: Vec<Vector>,
+    /// Logit vectors valid this step (`proposals.len() + 1`).
+    scored: usize,
+}
+
+impl StepBlock {
+    /// An empty block buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the proposals and makes exactly `slots` logit vectors
+    /// addressable, reusing prior allocations.
+    pub fn reset(&mut self, slots: usize) {
+        self.proposals.clear();
+        if self.logits.len() < slots {
+            self.logits.resize_with(slots, || Vector::zeros(0));
+        }
+        self.scored = slots;
+    }
+
+    /// Records one draft proposal (in draft order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proposal would outnumber the logit slots reserved by
+    /// [`reset`](Self::reset).
+    pub fn push_proposal(&mut self, token: u32) {
+        assert!(
+            self.proposals.len() + 1 < self.scored,
+            "proposals must leave one logit slot for the fed token"
+        );
+        self.proposals.push(token);
+    }
+
+    /// Shrinks the addressable logit slots to `slots` (when fewer
+    /// proposals materialized than were reserved for).
+    pub fn truncate_scored(&mut self, slots: usize) {
+        debug_assert!(slots > self.proposals.len(), "one slot per fed position");
+        self.scored = self.scored.min(slots);
+    }
+
+    /// The draft proposals of this step, in order (empty for
+    /// non-speculative engines).
+    pub fn proposals(&self) -> &[u32] {
+        &self.proposals
+    }
+
+    /// The verified logits after the `i`-th fed position (`0` is the fed
+    /// token, `i >= 1` is proposal `i - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is past the scored positions.
+    pub fn logits(&self, i: usize) -> &Vector {
+        assert!(
+            i < self.scored,
+            "position {i} not scored (of {})",
+            self.scored
+        );
+        &self.logits[i]
+    }
+
+    /// Mutable access to every scored logit slot, for engines filling the
+    /// block.
+    pub fn logits_mut(&mut self) -> &mut [Vector] {
+        &mut self.logits[..self.scored]
+    }
+}
+
 /// One decode-capable execution configuration of a model.
 ///
 /// Object-safe on purpose: the request layer, the eval harness and the
@@ -244,19 +360,81 @@ pub trait Engine: std::fmt::Debug + Send {
     /// The model this engine executes.
     fn model(&self) -> &Model;
 
+    /// Teacher-forced scoring over a token run — the **one** required
+    /// decode entry point. Feeds `tokens[i]` at position
+    /// `session.position + i` and writes the logits following it into
+    /// `logits[i]` (resized in place); the session advances by
+    /// `tokens.len()` positions. Single-token stepping is the
+    /// `tokens.len() == 1` case, and speculative verification is one call
+    /// over `[fed token, draft₁, …, draftₖ]` — every position's logits are
+    /// bit-identical to feeding the same run one
+    /// [`step_into`](Self::step_into) at a time. With a capacity-reserved
+    /// session and recycled `logits` buffers, a warm engine performs zero
+    /// heap allocations per call (existing workspaces are reused across
+    /// positions).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `tokens.len() != logits.len()`.
+    fn score_block_into(
+        &mut self,
+        tokens: &[u32],
+        session: &mut DecodeSession,
+        logits: &mut [Vector],
+    );
+
     /// Advances `session` by one token, writing the logits into `logits`
-    /// (resized in place). The allocation-free decode hot path: with a
-    /// capacity-reserved session and a recycled `logits` buffer, a warm
-    /// engine performs zero heap allocations per call.
-    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector);
+    /// (resized in place) — the k = 1 case of
+    /// [`score_block_into`](Self::score_block_into).
+    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector) {
+        self.score_block_into(
+            std::slice::from_ref(&token),
+            session,
+            std::slice::from_mut(logits),
+        );
+    }
 
     /// Advances `session` by one token and returns the logits — convenience
-    /// wrapper over [`step_into`](Self::step_into) (allocates the returned
-    /// buffer).
+    /// wrapper over the block API (allocates the returned buffer).
     fn step(&mut self, token: u32, session: &mut DecodeSession) -> Vector {
         let mut logits = Vector::zeros(0);
         self.step_into(token, session, &mut logits);
         logits
+    }
+
+    /// One block-decode step: feeds `token`, optionally drafts up to
+    /// `limit - 1` speculative proposals, and scores every fed position,
+    /// leaving `out` with the proposals and one logit vector per fed
+    /// position (`out.logits(0)` follows `token`, `out.logits(i)` follows
+    /// `out.proposals()[i - 1]`). The session advances by
+    /// `1 + out.proposals().len()` positions; the **caller** samples
+    /// acceptance and rolls rejected positions back via
+    /// [`DecodeSession::truncate`]. `limit` is the caller's remaining
+    /// token budget (`>= 1`); the default implementation never drafts —
+    /// plain engines behave exactly like single-token stepping.
+    fn step_block_into(
+        &mut self,
+        token: u32,
+        session: &mut DecodeSession,
+        limit: usize,
+        out: &mut StepBlock,
+    ) {
+        debug_assert!(limit >= 1, "a block step must be allowed one token");
+        let _ = limit;
+        out.reset(1);
+        self.score_block_into(std::slice::from_ref(&token), session, out.logits_mut());
+    }
+
+    /// Feedback from the acceptance loop: how many of the last block's
+    /// proposals were accepted. Non-speculative engines ignore it.
+    fn note_accepted(&mut self, accepted: usize) {
+        let _ = accepted;
+    }
+
+    /// Accumulated draft/accept counters; `None` for engines that never
+    /// draft.
+    fn speculative_stats(&self) -> Option<SpeculativeStats> {
+        None
     }
 
     /// The accumulated operation counts.
@@ -337,43 +515,51 @@ impl Engine for DenseEngine<'_> {
         self.model
     }
 
-    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector) {
+    fn score_block_into(
+        &mut self,
+        tokens: &[u32],
+        session: &mut DecodeSession,
+        logits: &mut [Vector],
+    ) {
+        assert_eq!(tokens.len(), logits.len(), "one logit vector per token");
         let model = self.model;
-        let mut h = self.ws.take(model.config().hidden_dim);
-        model.embed_into(token, &mut h);
-        for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
-            let mid =
-                layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
-            account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
-            let mut x = self.ws.take(layer.hidden_dim());
-            layer.mlp_norm().forward_into(&mid, &mut x);
-            if self.dense_mask.len() != layer.mlp().mlp_dim() {
-                self.dense_mask.reset_dense(layer.mlp().mlp_dim());
+        for (&token, out) in tokens.iter().zip(logits.iter_mut()) {
+            let mut h = self.ws.take(model.config().hidden_dim);
+            model.embed_into(token, &mut h);
+            for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
+                let mid =
+                    layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
+                account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
+                let mut x = self.ws.take(layer.hidden_dim());
+                layer.mlp_norm().forward_into(&mid, &mut x);
+                if self.dense_mask.len() != layer.mlp().mlp_dim() {
+                    self.dense_mask.reset_dense(layer.mlp().mlp_dim());
+                }
+                // Dense = sparse execution under the all-active mask with the
+                // base options (no fusion, no actual sparsity) — exactly the
+                // seed's `dense_mlp_forward`.
+                let _ = sparse_mlp_forward_into(
+                    layer.mlp(),
+                    &x,
+                    &self.dense_mask,
+                    MlpOptions {
+                        kernel_fusion: false,
+                        actual_sparsity: false,
+                    },
+                    &self.pool,
+                    &mut self.ws,
+                    &mut self.effective,
+                    &mut self.ops,
+                    &mut h,
+                );
+                self.ws.give(x);
+                h.add_assign(&mid);
+                self.ws.give(mid);
             }
-            // Dense = sparse execution under the all-active mask with the
-            // base options (no fusion, no actual sparsity) — exactly the
-            // seed's `dense_mlp_forward`.
-            let _ = sparse_mlp_forward_into(
-                layer.mlp(),
-                &x,
-                &self.dense_mask,
-                MlpOptions {
-                    kernel_fusion: false,
-                    actual_sparsity: false,
-                },
-                &self.pool,
-                &mut self.ws,
-                &mut self.effective,
-                &mut self.ops,
-                &mut h,
-            );
-            self.ws.give(x);
-            h.add_assign(&mid);
-            self.ws.give(mid);
+            session.position += 1;
+            model.logits_into(&h, &self.pool, &mut self.ws, out);
+            self.ws.give(h);
         }
-        session.position += 1;
-        model.logits_into(&h, &self.pool, &mut self.ws, logits);
-        self.ws.give(h);
     }
 
     fn ops(&self) -> &OpCounter {
@@ -493,51 +679,59 @@ impl Engine for SparseEngine<'_> {
         self.model
     }
 
-    fn step_into(&mut self, token: u32, session: &mut DecodeSession, logits: &mut Vector) {
+    fn score_block_into(
+        &mut self,
+        tokens: &[u32],
+        session: &mut DecodeSession,
+        logits: &mut [Vector],
+    ) {
+        assert_eq!(tokens.len(), logits.len(), "one logit vector per token");
         let model = self.model;
-        let mut h = self.ws.take(model.config().hidden_dim);
-        model.embed_into(token, &mut h);
-        for (li, (layer, cache)) in model
-            .layers()
-            .iter()
-            .zip(session.caches.iter_mut())
-            .enumerate()
-        {
-            let mid =
-                layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
-            account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
-            let mut x = self.ws.take(layer.hidden_dim());
-            layer.mlp_norm().forward_into(&mid, &mut x);
+        for (&token, out) in tokens.iter().zip(logits.iter_mut()) {
+            let mut h = self.ws.take(model.config().hidden_dim);
+            model.embed_into(token, &mut h);
+            for (li, (layer, cache)) in model
+                .layers()
+                .iter()
+                .zip(session.caches.iter_mut())
+                .enumerate()
+            {
+                let mid =
+                    layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
+                account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
+                let mut x = self.ws.take(layer.hidden_dim());
+                layer.mlp_norm().forward_into(&mid, &mut x);
 
-            self.predictor
-                .predict_into(li, &x, &mut self.scratch, &mut self.mask);
-            let cost = self.predictor.prediction_cost(li);
-            self.ops.xor_popc += cost.xor_popc;
-            self.ops.predictor_macs += cost.macs;
-            self.ops.weight_bytes_loaded += cost.bytes_loaded;
+                self.predictor
+                    .predict_into(li, &x, &mut self.scratch, &mut self.mask);
+                let cost = self.predictor.prediction_cost(li);
+                self.ops.xor_popc += cost.xor_popc;
+                self.ops.predictor_macs += cost.macs;
+                self.ops.weight_bytes_loaded += cost.bytes_loaded;
 
-            let (predicted, effective) = sparse_mlp_forward_into(
-                layer.mlp(),
-                &x,
-                &self.mask,
-                self.options.mlp,
-                &self.pool,
-                &mut self.ws,
-                &mut self.effective,
-                &mut self.ops,
-                &mut h,
-            );
-            self.stats.predicted_sum[li] += predicted;
-            self.stats.effective_sum[li] += effective;
+                let (predicted, effective) = sparse_mlp_forward_into(
+                    layer.mlp(),
+                    &x,
+                    &self.mask,
+                    self.options.mlp,
+                    &self.pool,
+                    &mut self.ws,
+                    &mut self.effective,
+                    &mut self.ops,
+                    &mut h,
+                );
+                self.stats.predicted_sum[li] += predicted;
+                self.stats.effective_sum[li] += effective;
 
-            self.ws.give(x);
-            h.add_assign(&mid);
-            self.ws.give(mid);
+                self.ws.give(x);
+                h.add_assign(&mid);
+                self.ws.give(mid);
+            }
+            self.stats.tokens += 1;
+            session.position += 1;
+            model.logits_into(&h, &self.pool, &mut self.ws, out);
+            self.ws.give(h);
         }
-        self.stats.tokens += 1;
-        session.position += 1;
-        model.logits_into(&h, &self.pool, &mut self.ws, logits);
-        self.ws.give(h);
     }
 
     fn ops(&self) -> &OpCounter {
@@ -580,6 +774,222 @@ impl Engine for SparseEngine<'_> {
 
 fn mask_bytes(mask: &SkipMask) -> u64 {
     (mask.len().div_ceil(64) * 8) as u64
+}
+
+/// Lossless speculative decoding: a cheap **draft** engine (typically
+/// sparse) proposes up to `k` tokens per block step, an exact **verify**
+/// engine (typically dense) scores the whole run in one teacher-forced
+/// [`score_block_into`](Engine::score_block_into) pass, and the request
+/// layer accepts the longest agreeing prefix — so emitted tokens are
+/// **bit-identical to dense-only decode** while each verified block
+/// amortizes the dense work over `1 + accepted` tokens.
+///
+/// Both engines execute the *same* model (enforced at construction); the
+/// draft keeps its own private, contiguous KV session, resynced to the
+/// request's context by truncation (plus a one-position dense copy after a
+/// fully accepted block) — draft KV never enters the request's paged
+/// session, the scheduler's block budget, or the prefix index.
+#[derive(Debug)]
+pub struct SpeculativeEngine<'m> {
+    draft: Box<dyn Engine + 'm>,
+    verify: Box<dyn Engine + 'm>,
+    k: usize,
+    /// The draft's private KV context (contiguous, reserved once).
+    draft_session: DecodeSession,
+    draft_logits: Vector,
+    tokens_buf: Vec<u32>,
+    spec: SpeculativeStats,
+    ops: OpCounter,
+    label: String,
+}
+
+impl<'m> SpeculativeEngine<'m> {
+    /// Pairs a draft engine with a verify engine at draft length `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SpeculativeConfig`] if the two engines execute
+    /// different models or `k == 0`.
+    pub fn new(
+        draft: Box<dyn Engine + 'm>,
+        verify: Box<dyn Engine + 'm>,
+        k: usize,
+    ) -> Result<Self, EngineError> {
+        if k == 0 {
+            return Err(EngineError::SpeculativeConfig {
+                reason: "draft length k must be at least 1",
+            });
+        }
+        if !std::ptr::eq(draft.model(), verify.model()) {
+            return Err(EngineError::SpeculativeConfig {
+                reason: "draft and verify engines must execute the same model",
+            });
+        }
+        let label = format!("speculative:{}+{}", draft.name(), verify.name());
+        let draft_session = verify.model().start_session();
+        Ok(Self {
+            draft,
+            verify,
+            k,
+            draft_session,
+            draft_logits: Vector::zeros(0),
+            tokens_buf: Vec::new(),
+            spec: SpeculativeStats::default(),
+            ops: OpCounter::default(),
+            label,
+        })
+    }
+
+    /// The configured draft length (maximum proposals per block).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Brings the draft session level with the request's context: rolls
+    /// back past-the-context draft positions (rejected proposals) and
+    /// copies any missing positions' KV from the request session (the
+    /// initial prompt sync, and the one position a fully accepted block
+    /// leaves behind). Also reserves the run's worst-case draft capacity
+    /// once — `position + limit` never grows over a request's lifetime, so
+    /// steady-state drafting performs no allocation.
+    fn resync_draft(&mut self, session: &DecodeSession, limit: usize) {
+        let pos = session.position;
+        let ds = &mut self.draft_session;
+        if ds.position > pos {
+            ds.truncate(pos);
+        }
+        if ds.position < pos {
+            for (dst, src) in ds.caches.iter_mut().zip(&session.caches) {
+                for t in dst.len()..pos {
+                    dst.push(src.key(t), src.value(t));
+                }
+            }
+            ds.position = pos;
+        }
+        for cache in &mut ds.caches {
+            cache.reserve_tokens(pos + limit + 1);
+        }
+    }
+
+    fn refresh_ops(&mut self) {
+        let mut ops = *self.draft.ops();
+        ops.merge(self.verify.ops());
+        self.ops = ops;
+    }
+}
+
+impl Engine for SpeculativeEngine<'_> {
+    fn model(&self) -> &Model {
+        self.verify.model()
+    }
+
+    fn score_block_into(
+        &mut self,
+        tokens: &[u32],
+        session: &mut DecodeSession,
+        logits: &mut [Vector],
+    ) {
+        // Exactness flows from the verifier: plain scoring (the prefill
+        // hand-off, replays, k = 1 stepping) is always dense.
+        self.verify.score_block_into(tokens, session, logits);
+        self.refresh_ops();
+    }
+
+    fn step_block_into(
+        &mut self,
+        token: u32,
+        session: &mut DecodeSession,
+        limit: usize,
+        out: &mut StepBlock,
+    ) {
+        debug_assert!(limit >= 1, "a block step must be allowed one token");
+        let budget = limit.saturating_sub(1).min(self.k);
+        if budget == 0 {
+            // No room to speculate: a pure dense step.
+            out.reset(1);
+            self.verify
+                .score_block_into(std::slice::from_ref(&token), session, out.logits_mut());
+            self.refresh_ops();
+            return;
+        }
+        self.resync_draft(session, limit);
+        out.reset(budget + 1);
+        // Draft: greedy argmax chain through the cheap engine.
+        let mut t = token;
+        for _ in 0..budget {
+            self.draft
+                .step_into(t, &mut self.draft_session, &mut self.draft_logits);
+            let Some(next) = self.draft_logits.argmax() else {
+                break;
+            };
+            let next = next as u32;
+            out.push_proposal(next);
+            t = next;
+        }
+        let drafted = out.proposals().len();
+        out.truncate_scored(drafted + 1);
+        // Verify: one exact teacher-forced pass over the fed token plus
+        // every proposal. The caller samples acceptance from these logits
+        // and truncates the rejected tail out of `session`.
+        self.tokens_buf.clear();
+        self.tokens_buf.push(token);
+        self.tokens_buf.extend_from_slice(out.proposals());
+        self.verify
+            .score_block_into(&self.tokens_buf, session, out.logits_mut());
+        self.spec.drafted += drafted as u64;
+        self.refresh_ops();
+    }
+
+    fn ops(&self) -> &OpCounter {
+        &self.ops
+    }
+
+    fn reset_ops(&mut self) {
+        self.draft.reset_ops();
+        self.verify.reset_ops();
+        self.ops = OpCounter::default();
+        self.spec = SpeculativeStats::default();
+    }
+
+    fn stats(&self) -> Option<&SparsityStats> {
+        self.draft.stats()
+    }
+
+    fn default_sampler(&self) -> Sampler {
+        self.verify.default_sampler()
+    }
+
+    fn note_accepted(&mut self, accepted: usize) {
+        self.spec.accepted += accepted as u64;
+    }
+
+    fn speculative_stats(&self) -> Option<SpeculativeStats> {
+        Some(self.spec)
+    }
+
+    fn memory_estimate(&self) -> MemoryEstimate {
+        let d = self.draft.memory_estimate();
+        let v = self.verify.memory_estimate();
+        let draft_kv: u64 = self
+            .draft_session
+            .caches
+            .iter()
+            .map(|c| c.content_bytes())
+            .sum();
+        MemoryEstimate {
+            shared_bytes: d.shared_bytes + v.shared_bytes,
+            per_session_bytes: d.per_session_bytes + v.per_session_bytes + draft_kv,
+            swapped_bytes: d.swapped_bytes + v.swapped_bytes,
+        }
+    }
+
+    fn shared_state_id(&self) -> Option<usize> {
+        self.draft.shared_state_id()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
 }
 
 /// Builds any engine configuration against one model.
@@ -717,6 +1127,40 @@ impl<'m> EngineBuilder<'m> {
                 Ok(Box::new(e))
             }
         }
+    }
+
+    /// Wraps a draft/verify engine pair into a lossless
+    /// [`SpeculativeEngine`]: the draft proposes up to `k` tokens per
+    /// block, the verifier confirms them in one exact scoring pass, and
+    /// emitted tokens are bit-identical to running the verifier alone.
+    /// Compose it from two `build()` calls over the same model — e.g. a
+    /// sign-bit sparse draft and a dense verifier:
+    ///
+    /// ```
+    /// use sparseinfer_model::{generator::WeightGenerator, ModelConfig};
+    /// use sparseinfer_predictor::AlphaSchedule;
+    /// use sparseinfer_sparse::engine::EngineBuilder;
+    ///
+    /// let model = WeightGenerator::new(&ModelConfig::tiny(), 42).build();
+    /// let draft = EngineBuilder::new(&model)
+    ///     .signbit(AlphaSchedule::uniform(1.0))
+    ///     .build()
+    ///     .unwrap();
+    /// let verify = EngineBuilder::new(&model).build().unwrap();
+    /// let engine = EngineBuilder::speculative(draft, verify, 4).unwrap();
+    /// assert_eq!(engine.name(), "speculative:sparse:sparseinfer+dense");
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SpeculativeConfig`] if the engines execute different
+    /// models or `k == 0`.
+    pub fn speculative(
+        draft: Box<dyn Engine + 'm>,
+        verify: Box<dyn Engine + 'm>,
+        k: usize,
+    ) -> Result<Box<dyn Engine + 'm>, EngineError> {
+        Ok(Box::new(SpeculativeEngine::new(draft, verify, k)?))
     }
 }
 
@@ -1015,5 +1459,166 @@ mod tests {
         let d = EngineBuilder::new(&m).build().unwrap();
         assert_eq!(d.shared_state_id(), None);
         assert_eq!(d.memory_estimate().shared_bytes, 0);
+    }
+
+    #[test]
+    fn score_block_matches_sequential_single_steps() {
+        let m = model();
+        fn dense(m: &Model) -> Box<dyn Engine + '_> {
+            EngineBuilder::new(m).build().unwrap()
+        }
+        fn sparse(m: &Model) -> Box<dyn Engine + '_> {
+            EngineBuilder::new(m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .build()
+                .unwrap()
+        }
+        type Build = fn(&Model) -> Box<dyn Engine + '_>;
+        let builders: [Build; 2] = [dense, sparse];
+        for build in builders {
+            let tokens = [3u32, 1, 4, 1, 5];
+            let mut blocked = build(&m);
+            let mut block_session = m.start_session();
+            let mut block_logits: Vec<Vector> =
+                (0..tokens.len()).map(|_| Vector::zeros(0)).collect();
+            blocked.score_block_into(&tokens, &mut block_session, &mut block_logits);
+            assert_eq!(block_session.position, tokens.len());
+
+            let mut stepped = build(&m);
+            let mut step_session = m.start_session();
+            let mut logits = Vector::zeros(0);
+            for (i, &t) in tokens.iter().enumerate() {
+                stepped.step_into(t, &mut step_session, &mut logits);
+                assert_eq!(
+                    block_logits[i],
+                    logits,
+                    "{}: position {i} must score identically",
+                    blocked.name()
+                );
+            }
+        }
+    }
+
+    fn speculative_over(m: &Model, k: usize) -> Box<dyn Engine + '_> {
+        let draft = EngineBuilder::new(m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .build()
+            .unwrap();
+        let verify = EngineBuilder::new(m).build().unwrap();
+        EngineBuilder::speculative(draft, verify, k).unwrap()
+    }
+
+    #[test]
+    fn speculative_decode_is_bit_identical_to_dense() {
+        let m = model();
+        let dense = m.generate_greedy(&[1, 2, 3], 12, u32::MAX);
+        for k in [1, 2, 4, 8] {
+            let mut engine = speculative_over(&m, k);
+            let tokens = crate::request::generate(
+                engine.as_mut(),
+                &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(12),
+            )
+            .unwrap()
+            .tokens;
+            assert_eq!(tokens, dense, "k = {k} must be lossless");
+            let spec = engine.speculative_stats().expect("speculative counters");
+            assert!(spec.drafted > 0, "k = {k} must draft");
+        }
+    }
+
+    #[test]
+    fn oracle_draft_gets_full_acceptance() {
+        let m = model();
+        // The oracle predictor's sparse decode is exactly dense decode, so
+        // every greedy proposal matches what the verifier samples.
+        let draft = EngineBuilder::new(&m).oracle().build().unwrap();
+        let verify = EngineBuilder::new(&m).build().unwrap();
+        let mut engine = EngineBuilder::speculative(draft, verify, 4).unwrap();
+        let tokens = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(12),
+        )
+        .unwrap()
+        .tokens;
+        assert_eq!(tokens, m.generate_greedy(&[1, 2, 3], 12, u32::MAX));
+        let spec = engine.speculative_stats().expect("speculative counters");
+        assert_eq!(
+            spec.accepted, spec.drafted,
+            "an exact draft must never be rejected"
+        );
+        assert!(spec.drafted > 0);
+        assert!((spec.acceptance_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn speculative_matches_dense_under_seeded_sampling() {
+        let m = model();
+        // Sampled decode disagrees with the draft's greedy chain often,
+        // exercising the mismatch-correction and rollback paths — tokens
+        // must still be bit-identical to the dense-only stream.
+        let req = crate::request::GenerateRequest::new(&[2, 4])
+            .max_new(10)
+            .sampler(Sampler::temperature(1.0, 123));
+        let dense = {
+            let mut e = EngineBuilder::new(&m).build().unwrap();
+            crate::request::generate(e.as_mut(), &req).unwrap().tokens
+        };
+        let mut engine = speculative_over(&m, 4);
+        let spec_tokens = crate::request::generate(engine.as_mut(), &req)
+            .unwrap()
+            .tokens;
+        assert_eq!(spec_tokens, dense);
+    }
+
+    #[test]
+    fn speculative_step_block_respects_the_limit() {
+        let m = model();
+        let mut engine = speculative_over(&m, 8);
+        let mut session = m.start_session();
+        let mut logits = Vector::zeros(0);
+        engine.step_into(7, &mut session, &mut logits);
+        let mut block = StepBlock::new();
+        // limit = 1 leaves no room to speculate: a pure dense step.
+        engine.step_block_into(3, &mut session, 1, &mut block);
+        assert!(block.proposals().is_empty());
+        assert_eq!(session.position, 2);
+        // limit = 3 caps drafting at 2 proposals even though k = 8.
+        engine.step_block_into(5, &mut session, 3, &mut block);
+        assert!(block.proposals().len() <= 2, "{}", block.proposals().len());
+        assert_eq!(session.position, 3 + block.proposals().len());
+    }
+
+    #[test]
+    fn speculative_pairing_is_validated() {
+        let m = model();
+        let draft = EngineBuilder::new(&m).build().unwrap();
+        let verify = EngineBuilder::new(&m).build().unwrap();
+        let err = EngineBuilder::speculative(draft, verify, 0).unwrap_err();
+        assert!(matches!(err, EngineError::SpeculativeConfig { .. }));
+
+        let other = WeightGenerator::new(&ModelConfig::tiny(), 78).build();
+        let draft = EngineBuilder::new(&other).build().unwrap();
+        let verify = EngineBuilder::new(&m).build().unwrap();
+        let err = EngineBuilder::speculative(draft, verify, 4).unwrap_err();
+        assert!(matches!(err, EngineError::SpeculativeConfig { .. }));
+    }
+
+    #[test]
+    fn speculative_reset_clears_both_engines_and_counters() {
+        let m = model();
+        let mut engine = speculative_over(&m, 4);
+        let _ = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2]).max_new(6),
+        )
+        .unwrap();
+        assert!(engine.ops().macs > 0);
+        assert!(engine.speculative_stats().expect("counters").drafted > 0);
+        engine.reset_ops();
+        assert_eq!(engine.ops().macs, 0);
+        assert_eq!(
+            engine.speculative_stats().expect("counters"),
+            SpeculativeStats::default()
+        );
     }
 }

@@ -37,6 +37,14 @@ pub enum EngineError {
         /// The scheduler's total KV block budget.
         budget_blocks: usize,
     },
+    /// A speculative draft/verify pairing was invalid: the two engines
+    /// must execute the *same* model (same weights, same tokenizer — the
+    /// lossless-acceleration contract compares their logits position by
+    /// position) and the draft length `k` must be at least 1.
+    SpeculativeConfig {
+        /// What was wrong with the pairing.
+        reason: &'static str,
+    },
     /// The engine's model uses a different KV dimension than the models
     /// already submitted to this scheduler. One scheduler pages every
     /// session out of one fixed-block-size [`KvBlockPool`](sparseinfer_model::kv::KvBlockPool),
@@ -83,6 +91,9 @@ impl std::fmt::Display for EngineError {
                 "request needs up to {required_blocks} KV blocks but the scheduler's \
                  budget is {budget_blocks}: it can never be admitted"
             ),
+            EngineError::SpeculativeConfig { reason } => {
+                write!(f, "invalid speculative draft/verify pairing: {reason}")
+            }
             EngineError::KvDimensionMismatch {
                 scheduler_dim,
                 model_dim,

@@ -72,6 +72,7 @@ pub mod scheduler;
 pub use batch::Batch;
 pub use engine::{
     DenseEngine, Engine, EngineBuilder, EngineOptions, MemoryEstimate, SparseEngine, SparsityStats,
+    SpeculativeEngine, SpeculativeStats, StepBlock,
 };
 pub use error::EngineError;
 pub use mlp::SparseMlpOutput;

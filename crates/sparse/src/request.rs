@@ -17,7 +17,7 @@ use sparseinfer_model::model::DecodeSession;
 use sparseinfer_model::sampling::Sampler;
 use sparseinfer_tensor::Vector;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, StepBlock};
 use crate::error::EngineError;
 
 /// Why a generation ended.
@@ -166,9 +166,13 @@ pub struct TokenEvent {
 /// The per-request decode state machine.
 ///
 /// Each [`advance`](RequestRun::advance) call performs exactly one model
-/// step (a prefill token or a decode token), which is the granularity the
-/// batch scheduler interleaves at. Used directly only by the scheduler;
-/// normal callers go through [`generate`] / [`generate_streaming`].
+/// step (a prefill token or a decode *block*), which is the granularity the
+/// batch scheduler interleaves at. A prefill step emits no tokens; a decode
+/// step emits between one and `k + 1` [`TokenEvent`]s (plain engines emit
+/// exactly one, speculative engines emit one per accepted draft plus the
+/// correction/bonus token), collected via [`events`](Self::events). Used
+/// directly only by the scheduler; normal callers go through [`generate`] /
+/// [`generate_streaming`].
 #[derive(Debug)]
 pub struct RequestRun {
     prompt: Vec<u32>,
@@ -183,11 +187,22 @@ pub struct RequestRun {
     stop: Vec<u32>,
     sampler: Sampler,
     session: DecodeSession,
-    /// Recycled logits buffer: every engine step writes into this one
-    /// vector, so steady-state decode allocates nothing at the request
-    /// layer either.
+    /// Recycled logits buffer for the prefill→decode handoff: the last
+    /// prompt token's engine step writes here, and the first decode tick
+    /// samples from it.
     logits: Vector,
     has_logits: bool,
+    /// The sampled-but-not-yet-fed token decode feeds on its next tick:
+    /// the acceptance loop always ends on a token whose KV the engine has
+    /// not seen (the correction after a mismatch, or the bonus token after
+    /// a fully accepted block).
+    pending: Option<u32>,
+    /// Recycled block-step buffer (draft proposals + verified logits).
+    block: StepBlock,
+    /// Tokens emitted by the most recent [`advance`](Self::advance) call,
+    /// cleared at the start of the next — recycled, so steady-state decode
+    /// allocates nothing at the request layer.
+    events: Vec<TokenEvent>,
     tokens: Vec<u32>,
     /// Tokens this run must regenerate silently after a drop-and-recompute
     /// preemption: sampling re-derives them bit-identically (same seed,
@@ -323,6 +338,9 @@ impl RequestRun {
             },
             logits: Vector::zeros(0),
             has_logits: false,
+            pending: None,
+            block: StepBlock::new(),
+            events: Vec::new(),
             tokens: Vec::new(),
             replay,
             // A zero budget can produce nothing: finish immediately rather
@@ -400,9 +418,11 @@ impl RequestRun {
         &self.session.caches
     }
 
-    /// Performs one step: feeds the next prefill token, or samples and
-    /// decodes the next token. Returns the emitted token, if this step
-    /// produced one.
+    /// Performs one step: feeds the next prefill token, or decodes the
+    /// next token block. Tokens emitted by this step (none during prefill,
+    /// one to `k + 1` during decode) are collected via
+    /// [`events`](Self::events), which is cleared and refilled by every
+    /// call.
     ///
     /// # Errors
     ///
@@ -410,10 +430,12 @@ impl RequestRun {
     /// sample from, [`EngineError::MissingLogits`] if decode reached the
     /// sampling state without a prior engine step. Either way the run is
     /// marked finished with [`FinishReason::Failed`] — a degenerate input
-    /// fails one request, it does not abort a serving process.
-    pub fn advance(&mut self, engine: &mut dyn Engine) -> Result<Option<TokenEvent>, EngineError> {
+    /// fails one request, it does not abort a serving process. Tokens
+    /// emitted earlier in the same failing block are kept.
+    pub fn advance(&mut self, engine: &mut dyn Engine) -> Result<(), EngineError> {
+        self.events.clear();
         if self.finish.is_some() {
-            return Ok(None);
+            return Ok(());
         }
         let last = self.prompt.len() - 1;
         if self.fed < self.prefill_cached {
@@ -421,22 +443,27 @@ impl RequestRun {
             // consume the step (identical scheduling cadence to a cold
             // run) without touching the model — the skipped prefill work.
             self.fed += 1;
-            Ok(None)
+            Ok(())
         } else if self.fed < last {
             // Dense prefill through the bare model.
             let _ = engine
                 .model()
                 .forward_token(self.prompt[self.fed], &mut self.session);
             self.fed += 1;
-            Ok(None)
+            Ok(())
         } else if self.fed == last {
             // The last prompt token goes through the engine: decode
-            // statistics start at the first generated position.
+            // statistics start at the first generated position. Always a
+            // single-token step — drafting starts once decode owns a
+            // sampled token to feed.
             engine.step_into(self.prompt[last], &mut self.session, &mut self.logits);
             self.has_logits = true;
             self.fed += 1;
-            Ok(None)
+            Ok(())
+        } else if let Some(pending) = self.pending.take() {
+            self.decode_block(engine, pending)
         } else {
+            // First decode tick: sample from the prefill-handoff logits.
             if !self.has_logits {
                 return Err(self.fail(EngineError::MissingLogits));
             }
@@ -446,26 +473,101 @@ impl RequestRun {
             let next = next as u32;
             if self.stop.contains(&next) {
                 self.finish = Some(FinishReason::Stop(next));
-                return Ok(None);
+                return Ok(());
             }
-            let index = self.tokens.len();
-            self.tokens.push(next);
+            self.emit(next);
             if self.tokens.len() >= self.max_new {
                 self.finish = Some(FinishReason::MaxTokens);
             } else {
-                engine.step_into(next, &mut self.session, &mut self.logits);
+                self.pending = Some(next);
             }
-            if index < self.replay.len() {
-                // Recompute replay: this token was already delivered
-                // before the preemption — rebuild its state silently.
-                debug_assert_eq!(
-                    next, self.replay[index],
-                    "deterministic recompute diverged at replay index {index}"
-                );
-                return Ok(None);
-            }
-            Ok(Some(TokenEvent { index, token: next }))
+            Ok(())
         }
+    }
+
+    /// One decode block: feeds `pending` (plus up to `limit - 1` draft
+    /// proposals from a speculative engine), then samples the verified
+    /// logits position by position, accepting the longest run of proposals
+    /// that match what the sampler actually draws. Every emitted token is
+    /// sampled from **verified** logits over exactly the context a
+    /// non-speculative run would have fed — one sampler draw per emitted
+    /// token, in the same order — so the token stream is bit-identical to
+    /// plain decode. Rejected draft positions are rolled back out of the
+    /// session via [`DecodeSession::truncate`].
+    fn decode_block(&mut self, engine: &mut dyn Engine, pending: u32) -> Result<(), EngineError> {
+        // Remaining budget bounds the block: `tokens.len() < max_new`
+        // whenever a pending token exists, so `limit >= 1`, and the
+        // engine feeds at most `limit` positions — KV stays within the
+        // `prompt + max_new` worst case the scheduler admitted under.
+        let limit = self.max_new - self.tokens.len();
+        let base = self.session.context_len();
+        engine.step_block_into(pending, &mut self.session, limit, &mut self.block);
+        let proposals = self.block.proposals().len();
+        let mut accepted = 0;
+        for i in 0..=proposals {
+            // `logits(0)` follows `pending`; `logits(i)` follows proposal
+            // `i - 1` — sampling it decides whether proposal `i` (the
+            // token the draft fed next) was what the sampler wanted.
+            let Some(next) = self.sampler.sample(self.block.logits(i)) else {
+                self.session.truncate(base + 1 + accepted);
+                return Err(self.fail(EngineError::EmptyVocab));
+            };
+            let next = next as u32;
+            if self.stop.contains(&next) {
+                // The stop token is never emitted — exactly the plain
+                // decode exit, regardless of what the draft proposed.
+                self.finish = Some(FinishReason::Stop(next));
+                break;
+            }
+            self.emit(next);
+            let matched = i < proposals && next == self.block.proposals()[i];
+            if matched {
+                // The engine already fed this token as a draft position:
+                // its KV (and verified logits) are in place.
+                accepted += 1;
+            }
+            if self.tokens.len() >= self.max_new {
+                self.finish = Some(FinishReason::MaxTokens);
+                break;
+            }
+            if !matched {
+                // Mismatch correction (i < proposals) or the bonus token
+                // after a fully accepted block (i == proposals): either
+                // way the engine has not seen this token — feed it next
+                // tick.
+                self.pending = Some(next);
+                break;
+            }
+        }
+        engine.note_accepted(accepted);
+        // Drop the rejected draft positions so the context is exactly the
+        // accepted tokens — a later preemption, prefix publication or swap
+        // never observes speculative KV.
+        self.session.truncate(base + 1 + accepted);
+        Ok(())
+    }
+
+    /// Records a sampled token: appends it to the output and emits its
+    /// [`TokenEvent`] unless the token replays a preemption-recomputed
+    /// position (already delivered before the preemption).
+    fn emit(&mut self, token: u32) {
+        let index = self.tokens.len();
+        self.tokens.push(token);
+        if index < self.replay.len() {
+            debug_assert_eq!(
+                token, self.replay[index],
+                "deterministic recompute diverged at replay index {index}"
+            );
+            return;
+        }
+        self.events.push(TokenEvent { index, token });
+    }
+
+    /// The tokens emitted by the most recent [`advance`](Self::advance)
+    /// call, in sample order: empty for prefill steps, one to `k + 1`
+    /// events for decode steps.
+    pub fn events(&self) -> &[TokenEvent] {
+        &self.events
     }
 
     /// Swaps the session's paged KV caches out to cold buffers, one per
@@ -582,8 +684,9 @@ pub fn generate_streaming(
 ) -> Result<Generation, EngineError> {
     let mut run = RequestRun::new(req, engine)?;
     while !run.finished() {
-        if let Some(event) = run.advance(engine)? {
-            on_token(event);
+        run.advance(engine)?;
+        for event in run.events() {
+            on_token(*event);
         }
     }
     Ok(run.into_generation())
@@ -678,14 +781,17 @@ mod tests {
             self.model
         }
 
-        fn step_into(
+        fn score_block_into(
             &mut self,
-            _token: u32,
+            tokens: &[u32],
             session: &mut sparseinfer_model::model::DecodeSession,
-            logits: &mut Vector,
+            logits: &mut [Vector],
         ) {
-            session.position += 1;
-            *logits = Vector::zeros(0);
+            assert_eq!(tokens.len(), logits.len(), "one logit vector per token");
+            session.position += tokens.len();
+            for out in logits {
+                *out = Vector::zeros(0);
+            }
         }
 
         fn ops(&self) -> &crate::ops::OpCounter {

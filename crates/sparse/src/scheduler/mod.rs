@@ -1,0 +1,667 @@
+//! Continuous-batching scheduler: requests join, decode, cancel and retire
+//! **while the engine is running**.
+//!
+//! The closed [`Batch`](crate::batch::Batch) model — push everything, then
+//! run — is fine for offline evaluation but is the wrong shape for serving:
+//! real traffic churns. This module is the serving loop proper:
+//!
+//! * [`Scheduler::submit`] accepts a request **at any time**, including
+//!   mid-run, and returns a [`RequestHandle`] that can cancel it (queued or
+//!   mid-stream).
+//! * Each [`tick`](Scheduler::tick) first **admits** queued requests — in
+//!   [`Priority`] order (higher classes first, FIFO within a class), up
+//!   to [`max_slots`](SchedulerConfig::max_slots) concurrent decodes and
+//!   within the KV block budget — then advances every live slot by one
+//!   model step.
+//! * Admission is **capacity-based**: a request is admitted only when its
+//!   worst-case KV footprint (`prompt + max_new` tokens across every
+//!   layer) fits in the unreserved remainder of the pool budget, so the
+//!   pool can never be exhausted mid-decode. Actual allocation stays
+//!   **lazy** — a request that stops after three tokens only ever
+//!   allocated blocks for three tokens — so the reservation is an upper
+//!   bound the blocks of finished requests immediately flow back out of.
+//! * When a higher-priority request cannot fit, the scheduler (with
+//!   [`preemption`](SchedulerConfig::preemption) on) **preempts** a
+//!   strictly lower-priority victim slot: the victim's KV is swapped to
+//!   a cold buffer (restored verbatim on resume) or, past the
+//!   [`swap_budget_bytes`](SchedulerConfig::swap_budget_bytes) cap,
+//!   dropped and deterministically recomputed. Preempted requests resume
+//!   ahead of equal-priority fresh admissions and finish with exactly
+//!   the tokens of an uninterrupted run.
+//! * The moment a request finishes (budget, stop token, cancellation or
+//!   failure) its slot **retires**: engine scratch, workspace and the
+//!   session's KV blocks are released and the freed capacity admits the
+//!   next queued request on the very next tick.
+//!
+//! # Determinism contract
+//!
+//! Admission order is a pure function of the submission sequence:
+//! priority classes first, FIFO within a class (head-of-line blocking
+//! included: when the best candidate does not fit, nothing lesser jumps
+//! it), slots advance in admission order, and events are delivered in
+//! slot order — so a fixed submission sequence yields a fixed admission
+//! *and preemption* schedule, a fixed event stream, and **bit-identical
+//! tokens per request to running that request alone** — whether the
+//! request was never preempted, swapped out and restored, or dropped and
+//! recomputed — at any slot-thread count
+//! ([`parallel`](Scheduler::parallel)) and any kernel-thread count.
+//! Interleaving is pure scheduling; it never touches the math.
+//!
+//! # Example
+//!
+//! ```
+//! use sparseinfer_model::{generator::WeightGenerator, ModelConfig};
+//! use sparseinfer_sparse::engine::EngineBuilder;
+//! use sparseinfer_sparse::request::GenerateRequest;
+//! use sparseinfer_sparse::scheduler::{Scheduler, SchedulerConfig};
+//!
+//! let model = WeightGenerator::new(&ModelConfig::tiny(), 3).build();
+//! let mut scheduler = Scheduler::new(SchedulerConfig {
+//!     max_slots: 2,                  // at most two concurrent decodes
+//!     block_tokens: 8,               // KV page granularity
+//!     kv_block_budget: usize::MAX,   // no memory cap in this example
+//!     ..SchedulerConfig::default()   // prefix cache on, default cap
+//! });
+//! let first = scheduler
+//!     .submit(
+//!         EngineBuilder::new(&model).build().unwrap(),
+//!         &GenerateRequest::new(&[1, 2]).max_new(4),
+//!     )
+//!     .unwrap();
+//! scheduler.tick(|_| {}); // decoding has started…
+//! let late = scheduler
+//!     .submit(
+//!         EngineBuilder::new(&model).build().unwrap(),
+//!         &GenerateRequest::new(&[3]).max_new(3),
+//!     )
+//!     .unwrap(); // …and this request joins mid-run on the next tick.
+//! let outputs = scheduler.run();
+//! assert_eq!(outputs.len(), 2);
+//! assert_eq!(outputs[0].id, first.id());
+//! assert_eq!(outputs[1].id, late.id());
+//! assert_eq!(outputs[1].tokens.len(), 3);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use sparseinfer_model::kv::{
+    KvBlockPool, PrefixHit, PrefixIndex, SwappedKvCache, DEFAULT_BLOCK_TOKENS,
+};
+use sparseinfer_model::Model;
+use sparseinfer_tensor::{ParallelOptions, ThreadPool};
+
+use crate::engine::{Engine, MemoryEstimate, SparsityStats, SpeculativeStats};
+use crate::error::EngineError;
+use crate::ops::OpCounter;
+use crate::request::{FinishReason, GenerateRequest, Priority, RequestRun, TokenEvent};
+
+mod admission;
+mod preemption;
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use stats::{PreemptionStats, PrefixCacheStats};
+
+use preemption::PreemptedRequest;
+
+/// A token emitted by one request inside a scheduler or batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// The request id returned by [`Scheduler::submit`] /
+    /// [`Batch::push`](crate::batch::Batch::push).
+    pub request: usize,
+    /// Zero-based position in that request's continuation.
+    pub index: usize,
+    /// The token id.
+    pub token: u32,
+}
+
+/// The finished result of one scheduled request, with per-request
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// The request id returned by [`Scheduler::submit`] /
+    /// [`Batch::push`](crate::batch::Batch::push).
+    pub id: usize,
+    /// The generated tokens.
+    pub tokens: Vec<u32>,
+    /// Why decoding stopped.
+    pub finish: FinishReason,
+    /// Operations this request executed (prefill through the bare model is
+    /// not counted, matching the single-request path).
+    pub ops: OpCounter,
+    /// Sparsity statistics, for sparse engines.
+    pub stats: Option<SparsityStats>,
+    /// The engine configuration name that served the request.
+    pub engine: String,
+    /// Prompt positions whose KV was attached from the scheduler's prefix
+    /// cache instead of being prefilled — the per-request hit accounting.
+    /// At least `shared full blocks × block_tokens` for a warm-prefix
+    /// request; zero on a cold miss or with the cache disabled.
+    pub prefill_skipped_tokens: usize,
+    /// Times this request was preempted (swapped out or dropped for
+    /// recompute) to make room for a higher-priority admission.
+    pub preemptions: usize,
+    /// KV blocks this request's preemptions swapped out to cold buffers
+    /// (summed over every swap-out; zero for the recompute path).
+    pub swapped_blocks: usize,
+    /// Draft/accept counters, for requests served by a
+    /// [`SpeculativeEngine`](crate::engine::SpeculativeEngine); `None` for
+    /// engines that never draft. Acceptance only measures how much dense
+    /// work each verified block amortized — the tokens themselves are
+    /// bit-identical to dense-only decode.
+    pub speculative: Option<SpeculativeStats>,
+}
+
+/// Default cap on retained-but-unreferenced prefix blocks (see
+/// [`SchedulerConfig::prefix_retain_blocks`]).
+pub const DEFAULT_PREFIX_RETAIN_BLOCKS: usize = 512;
+
+/// Admission-control knobs of a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently decoding requests. Queued requests past this
+    /// wait for a slot to retire.
+    pub max_slots: usize,
+    /// Tokens per KV block — the paging granularity. Smaller blocks waste
+    /// less on short answers; larger blocks take the pool lock less often
+    /// and share more aggressively (only *full* blocks of a prompt's
+    /// densely prefilled region are prefix-sharable).
+    pub block_tokens: usize,
+    /// Total KV blocks the scheduler's pool may ever hold (across all
+    /// layers of all live requests, plus prefix-cache retention).
+    /// Admission reserves each request's worst case against this, so
+    /// decode can never run out mid-flight. `usize::MAX` disables the
+    /// memory gate.
+    pub kv_block_budget: usize,
+    /// Enables prompt-prefix sharing: full KV blocks of each request's
+    /// densely prefilled prompt region are published to a
+    /// [`PrefixIndex`] and re-attached (copy-on-write, refcounted) to
+    /// later requests with the same prompt prefix, skipping their prefill
+    /// work and deduplicating their KV memory. Sharing never changes
+    /// tokens or event order — a warm run is bit-identical to a cold one.
+    pub prefix_cache: bool,
+    /// Cap on prefix blocks retained while **no live session references
+    /// them** (the warm cache kept for future requests). Exceeding it
+    /// evicts least-recently-used unreferenced entries; blocks attached
+    /// to live sessions are pinned and never count against the cap.
+    pub prefix_retain_blocks: usize,
+    /// Enables preemption: when the admission head outranks a live slot
+    /// and cannot fit, the scheduler evicts a victim slot (swap-out or
+    /// drop-and-recompute) instead of waiting for it to finish. Safe to
+    /// leave on for single-priority workloads — preemption only ever
+    /// fires across *strictly different* priority classes.
+    pub preemption: bool,
+    /// Cap on how many times one request may be preempted. Past it, a
+    /// slot becomes non-preemptable and higher-priority arrivals wait
+    /// for it like any other capacity — bounding worst-case thrash (each
+    /// preemption re-pays restore or recompute work).
+    pub max_preemptions_per_request: usize,
+    /// Byte budget for swapped-out cold KV buffers. A preemption whose
+    /// victim does not fit under it falls back to drop-and-recompute
+    /// (memory-free, but the resume re-runs prefill and replays the
+    /// generated tokens). `u64::MAX` means swap always; `0` means
+    /// recompute always.
+    pub swap_budget_bytes: u64,
+}
+
+impl Default for SchedulerConfig {
+    /// Eight slots, default block size, no KV budget, prefix cache on
+    /// with the default retention cap, preemption on (swap preferred,
+    /// at most three preemptions per request).
+    fn default() -> Self {
+        Self {
+            max_slots: 8,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            kv_block_budget: usize::MAX,
+            prefix_cache: true,
+            prefix_retain_blocks: DEFAULT_PREFIX_RETAIN_BLOCKS,
+            preemption: true,
+            max_preemptions_per_request: 3,
+            swap_budget_bytes: u64::MAX,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// No admission limits at all: every submitted request is admitted on
+    /// the next tick — the configuration the closed
+    /// [`Batch`](crate::batch::Batch) wrapper runs on. The prefix cache
+    /// is off, preserving the closed batch's exact memory profile (a
+    /// fully finished batch holds zero decode memory).
+    pub fn unbounded() -> Self {
+        Self {
+            max_slots: usize::MAX,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            kv_block_budget: usize::MAX,
+            prefix_cache: false,
+            prefix_retain_blocks: 0,
+            preemption: false,
+            max_preemptions_per_request: 0,
+            swap_budget_bytes: 0,
+        }
+    }
+}
+
+/// Out-of-band stop signals a [`RequestHandle`] can raise, in the shared
+/// atomic the scheduler polls each tick. The first raised signal wins:
+/// whichever of cancel/expire lands first determines the finish reason.
+const SIGNAL_LIVE: u8 = 0;
+const SIGNAL_CANCELLED: u8 = 1;
+const SIGNAL_EXPIRED: u8 = 2;
+
+/// A cancellation/deadline handle for one submitted request.
+///
+/// Cheaply cloneable (one `Arc` bump) and fully thread-safe (`Send +
+/// Sync`), so a serving frontend can hand clones to connection threads
+/// that cancel or expire requests without ever touching the scheduler
+/// thread. [`cancel`](Self::cancel) and [`expire`](Self::expire) take
+/// effect at the start of the next tick, whether the request is still
+/// queued or already decoding. The request still appears in the outputs,
+/// finished with [`FinishReason::Cancelled`] /
+/// [`FinishReason::DeadlineExceeded`] and whatever tokens it had produced.
+#[derive(Debug, Clone)]
+pub struct RequestHandle {
+    id: usize,
+    signal: Arc<AtomicU8>,
+}
+
+impl RequestHandle {
+    /// The request id (also [`BatchOutput::id`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Raises `signal` unless one was already raised — the first signal
+    /// decides the finish reason, so a cancel racing an expiry is
+    /// deterministic per request: whichever atomically lands first wins.
+    fn raise(&self, signal: u8) {
+        let _ =
+            self.signal
+                .compare_exchange(SIGNAL_LIVE, signal, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Requests cancellation. Idempotent; a no-op after
+    /// [`expire`](Self::expire) already fired.
+    pub fn cancel(&self) {
+        self.raise(SIGNAL_CANCELLED);
+    }
+
+    /// Marks the request's deadline as exceeded, finishing it with
+    /// [`FinishReason::DeadlineExceeded`] on the next tick. Idempotent; a
+    /// no-op after [`cancel`](Self::cancel) already fired.
+    pub fn expire(&self) {
+        self.raise(SIGNAL_EXPIRED);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.signal.load(Ordering::Relaxed) == SIGNAL_CANCELLED
+    }
+
+    /// Whether deadline expiry has been signalled.
+    pub fn is_expired(&self) -> bool {
+        self.signal.load(Ordering::Relaxed) == SIGNAL_EXPIRED
+    }
+}
+
+/// A request waiting for admission.
+struct QueuedRequest<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    req: GenerateRequest,
+    signal: Arc<AtomicU8>,
+    /// Gross worst-case KV blocks (`prompt + max_new` tokens × layers);
+    /// admission nets out prefix hits before reserving.
+    worst_blocks: usize,
+    /// Prefix-index identity of the engine's model (see
+    /// [`Scheduler::model_key`]).
+    model_key: usize,
+}
+
+/// A request occupying a decode slot.
+struct LiveSlot<'m> {
+    id: usize,
+    engine: Box<dyn Engine + 'm>,
+    run: RequestRun,
+    /// The original request — kept so preemption can rebuild the run
+    /// (recompute path) and admission can read the priority class.
+    req: GenerateRequest,
+    signal: Arc<AtomicU8>,
+    /// KV blocks this slot's reservation still covers. Starts at the
+    /// admission-time net worst case; shrinks when the slot publishes
+    /// blocks to the prefix index (ownership shifts to the index's
+    /// retention accounting).
+    worst_blocks: usize,
+    /// Gross worst-case blocks (no prefix netting) — what a swap-out
+    /// resume must re-reserve, since a restored cache is all-private.
+    gross_blocks: usize,
+    model_key: usize,
+    /// Whether this slot's densely prefilled prompt blocks have been
+    /// offered to the prefix index (done at most once per request).
+    published: bool,
+    /// Times this request has been preempted so far (capped by
+    /// [`SchedulerConfig::max_preemptions_per_request`]).
+    preempt_count: usize,
+    /// KV blocks this request's preemptions have swapped out so far.
+    swapped_blocks: usize,
+}
+
+impl<'m> LiveSlot<'m> {
+    /// Consumes a finished slot into its output, dropping the engine's
+    /// per-session scratch and returning the session's KV blocks to the
+    /// pool.
+    fn into_output(self) -> BatchOutput {
+        let prefill_skipped_tokens = self.run.prefill_skipped_tokens();
+        let generation = self.run.into_generation();
+        BatchOutput {
+            id: self.id,
+            tokens: generation.tokens,
+            finish: generation.finish,
+            ops: *self.engine.ops(),
+            stats: self.engine.stats().cloned(),
+            engine: self.engine.name().to_string(),
+            prefill_skipped_tokens,
+            preemptions: self.preempt_count,
+            swapped_blocks: self.swapped_blocks,
+            speculative: self.engine.speculative_stats(),
+        }
+    }
+}
+
+/// The output of a request that never occupied a decode slot (cancelled in
+/// the queue, or — defensively — failed at admission): no tokens, counters
+/// as the engine left them.
+fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
+    BatchOutput {
+        id: q.id,
+        tokens: Vec::new(),
+        finish,
+        ops: *q.engine.ops(),
+        stats: q.engine.stats().cloned(),
+        engine: q.engine.name().to_string(),
+        prefill_skipped_tokens: 0,
+        preemptions: 0,
+        swapped_blocks: 0,
+        speculative: q.engine.speculative_stats(),
+    }
+}
+
+/// A continuous-batching scheduler over a paged KV cache.
+///
+/// See the [module docs](self) for the serving model and the determinism
+/// contract. Constructed via [`new`](Scheduler::new) (plus
+/// [`parallel`](Scheduler::parallel) for slot-level thread parallelism);
+/// driven either tick by tick ([`tick`](Scheduler::tick) +
+/// [`take_finished`](Scheduler::take_finished), the open-ended serving
+/// loop) or to completion ([`run`](Scheduler::run) /
+/// [`run_streaming`](Scheduler::run_streaming)).
+pub struct Scheduler<'m> {
+    config: SchedulerConfig,
+    pool: ThreadPool,
+    kv: KvBlockPool,
+    /// Published prompt-prefix blocks, re-attached to later requests.
+    /// Every physical block is covered by exactly one of: a live slot's
+    /// reservation, or the index's retention — the invariant the budget
+    /// math in [`admit`](Self::admit) rests on.
+    index: PrefixIndex,
+    queue: VecDeque<QueuedRequest<'m>>,
+    slots: Vec<LiveSlot<'m>>,
+    /// Preempted requests waiting to resume, in eviction order. At equal
+    /// priority the resume queue is served *ahead* of fresh admissions —
+    /// a preempted request already earned its admission once.
+    preempted: VecDeque<PreemptedRequest<'m>>,
+    finished: Vec<BatchOutput>,
+    next_id: usize,
+    /// Worst-case blocks reserved by the live slots (net of prefix hits
+    /// and already-published blocks).
+    reserved_blocks: usize,
+    /// KV dimension established by the first submission: every session
+    /// pages out of one fixed-block-size pool, so later submissions must
+    /// match (validated in [`submit`](Self::submit)).
+    kv_dim: Option<usize>,
+    /// Lifetime prefix-cache counters behind
+    /// [`prefix_stats`](Self::prefix_stats).
+    attached_requests: usize,
+    skipped_tokens: u64,
+    published_blocks: usize,
+    evicted_blocks: usize,
+    /// Lifetime preemption counters behind
+    /// [`preemption_stats`](Self::preemption_stats).
+    preemptions: usize,
+    swapped_out: usize,
+    recomputed: usize,
+    resumed: usize,
+    /// Bytes currently held by cold swap buffers across all preempted
+    /// requests — gated by [`SchedulerConfig::swap_budget_bytes`].
+    cold_bytes: u64,
+    /// Draft/accept counters of requests already retired, behind
+    /// [`speculative_stats`](Self::speculative_stats) (live slots are
+    /// added at query time).
+    spec_retired: SpeculativeStats,
+}
+
+impl std::fmt::Debug for Scheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("queued", &self.queue.len())
+            .field("active", &self.slots.len())
+            .field("preempted", &self.preempted.len())
+            .field("finished", &self.finished.len())
+            .field("reserved_blocks", &self.reserved_blocks)
+            .finish()
+    }
+}
+
+impl<'m> Scheduler<'m> {
+    /// An empty scheduler with the given admission-control configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_slots`, `config.block_tokens` or
+    /// `config.kv_block_budget` is zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.max_slots > 0, "max_slots must be positive");
+        Self {
+            kv: KvBlockPool::with_budget(config.block_tokens, config.kv_block_budget),
+            config,
+            pool: ThreadPool::single(),
+            index: PrefixIndex::new(),
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+            preempted: VecDeque::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            reserved_blocks: 0,
+            kv_dim: None,
+            attached_requests: 0,
+            skipped_tokens: 0,
+            published_blocks: 0,
+            evicted_blocks: 0,
+            preemptions: 0,
+            swapped_out: 0,
+            recomputed: 0,
+            resumed: 0,
+            cold_bytes: 0,
+            spec_retired: SpeculativeStats::default(),
+        }
+    }
+
+    /// Sets slot-level parallelism: each tick advances up to
+    /// `parallel.threads` live slots concurrently. Token streams and event
+    /// order are bit-identical to the sequential schedule.
+    pub fn parallel(mut self, parallel: ParallelOptions) -> Self {
+        self.pool = ThreadPool::new(parallel);
+        self
+    }
+
+    /// Uses an existing worker pool for slot-level parallelism (the
+    /// scheduler analogue of
+    /// [`EngineBuilder::pool`](crate::engine::EngineBuilder::pool)).
+    pub fn slot_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The admission-control configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The scheduler's KV block pool — exposed for capacity monitoring
+    /// (`blocks_in_use`, `memory_bytes`) and tests.
+    pub fn kv_pool(&self) -> &KvBlockPool {
+        &self.kv
+    }
+
+    /// Submits a request, at any time — before the first tick or while
+    /// other requests are mid-decode. The request waits in the admission
+    /// queue — served in [`Priority`] order, FIFO within its class —
+    /// until a slot and enough unreserved KV budget are available. The
+    /// engine's counters are reset so the eventual [`BatchOutput::ops`]
+    /// is exactly this request's work.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] if the prompt is empty;
+    /// [`EngineError::KvBudgetExceeded`] if the request's worst-case KV
+    /// footprint exceeds the *total* budget (it could never be admitted:
+    /// prefix sharing dedupes blocks *across* requests, but this
+    /// request's shared-plus-private blocks still all exist physically);
+    /// [`EngineError::KvDimensionMismatch`] if the engine's model uses a
+    /// different KV dimension than this scheduler's earlier submissions —
+    /// every session pages out of one shared pool of fixed-size blocks,
+    /// so one scheduler serves models of one KV width (mixed *engine
+    /// kinds* over one model remain fully supported).
+    pub fn submit(
+        &mut self,
+        mut engine: Box<dyn Engine + 'm>,
+        req: &GenerateRequest,
+    ) -> Result<RequestHandle, EngineError> {
+        if req.prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let model_dim = engine.model().config().hidden_dim;
+        if let Some(dim) = self.kv_dim {
+            if dim != model_dim {
+                return Err(EngineError::KvDimensionMismatch {
+                    scheduler_dim: dim,
+                    model_dim,
+                });
+            }
+        }
+        let worst_blocks = self.worst_case_blocks(engine.as_ref(), req);
+        if worst_blocks > self.config.kv_block_budget {
+            return Err(EngineError::KvBudgetExceeded {
+                required_blocks: worst_blocks,
+                budget_blocks: self.config.kv_block_budget,
+            });
+        }
+        let model_key = Self::model_key(engine.model());
+        // Latch the pool's dimension only once the request is accepted — a
+        // rejected submit must not pin the scheduler to its model.
+        self.kv_dim = Some(model_dim);
+        engine.reset_ops();
+        let id = self.next_id;
+        self.next_id += 1;
+        let signal = Arc::new(AtomicU8::new(SIGNAL_LIVE));
+        self.queue.push_back(QueuedRequest {
+            id,
+            engine,
+            req: req.clone(),
+            signal: Arc::clone(&signal),
+            worst_blocks,
+            model_key,
+        });
+        Ok(RequestHandle { id, signal })
+    }
+
+    /// One scheduling round: admit what fits, apply pending cancellations,
+    /// advance every live slot by one model step — concurrently when built
+    /// with [`parallel`](Self::parallel) — deliver this round's tokens to
+    /// `on_token` in slot order, and retire finished slots (releasing
+    /// their KV blocks and engine scratch immediately). Returns the number
+    /// of unfinished requests (queued + live) remaining.
+    ///
+    /// A slot whose engine fails mid-decode finishes with
+    /// [`FinishReason::Failed`] and retires like any other; the scheduler
+    /// keeps serving its remaining requests.
+    pub fn tick(&mut self, mut on_token: impl FnMut(BatchEvent)) -> usize {
+        self.admit();
+        for slot in &mut self.slots {
+            match slot.signal.load(Ordering::Relaxed) {
+                SIGNAL_CANCELLED => slot.run.cancel(),
+                SIGNAL_EXPIRED => slot.run.expire(),
+                _ => {}
+            }
+        }
+        self.pool.run_tasks(&mut self.slots, |_, slot| {
+            // A finished run's advance is a no-op that clears its event
+            // buffer (so a cancellation arriving after a token tick never
+            // re-delivers stale events); an Err has already marked the run
+            // finished with a Failed reason, and retirement below records
+            // it — tokens emitted earlier in the failing block included.
+            let _ = slot.run.advance(slot.engine.as_mut());
+        });
+        // Publish freshly completed prompt prefixes before retirement, so
+        // a request finishing this very tick still leaves its prefix warm.
+        self.publish_prefixes();
+        // Deliver this tick's tokens in slot order — a block step emits up
+        // to `k + 1` events at once, streamed as individual tokens — so
+        // streaming callbacks see a deterministic sequence even when slots
+        // advance on worker threads.
+        for slot in &self.slots {
+            for &TokenEvent { index, token } in slot.run.events() {
+                on_token(BatchEvent {
+                    request: slot.id,
+                    index,
+                    token,
+                });
+            }
+        }
+        // Retire in slot order; `Vec::remove` keeps admission order for
+        // the survivors (max_slots is small, the O(n) shift is noise).
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].run.finished() {
+                let slot = self.slots.remove(i);
+                self.reserved_blocks -= slot.worst_blocks;
+                self.record_finished(slot.into_output());
+            } else {
+                i += 1;
+            }
+        }
+        self.enforce_prefix_cap();
+        self.unfinished_requests()
+    }
+
+    /// Drains the outputs of every request finished so far, in finish
+    /// order — the incremental collection point for open-ended serving
+    /// loops that never drain the scheduler completely.
+    pub fn take_finished(&mut self) -> Vec<BatchOutput> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Runs every remaining request to completion and returns the
+    /// outputs, in submission order, of every request not already drained
+    /// through [`take_finished`](Self::take_finished) — on a scheduler
+    /// that never called it, that is every request ever submitted (and
+    /// `outputs[handle.id()]` indexing is valid).
+    pub fn run(self) -> Vec<BatchOutput> {
+        self.run_streaming(|_| {})
+    }
+
+    /// Runs every remaining request to completion, streaming each token
+    /// through `on_token` as it is produced, interleaved across requests.
+    /// Returns the outputs of every request not already drained through
+    /// [`take_finished`](Self::take_finished), in submission order.
+    pub fn run_streaming(mut self, mut on_token: impl FnMut(BatchEvent)) -> Vec<BatchOutput> {
+        while self.tick(&mut on_token) > 0 {}
+        let mut outputs = self.finished;
+        outputs.sort_by_key(|o| o.id);
+        outputs
+    }
+}

@@ -1,0 +1,291 @@
+//! Preemption and resume: victim selection, KV swap-out to cold buffers (or
+//! drop-and-recompute), and the resume paths that restore or deterministically
+//! replay an evicted request. Split out of the scheduler core; the methods are
+//! `impl Scheduler` continuations operating on the same private state.
+
+use super::*;
+
+/// Where a preempted request's decode state lives while it waits to
+/// resume.
+pub(super) enum PreemptedState {
+    /// KV content copied to cold buffers; the run itself is kept (its
+    /// sampler state, emitted tokens and step cursor are all intact) but
+    /// holds **zero** pool blocks until restore.
+    Swapped {
+        run: Box<RequestRun>,
+        cold: Vec<SwappedKvCache>,
+        cold_bytes: u64,
+    },
+    /// KV dropped entirely; only the emitted tokens survive. Resume
+    /// rebuilds the run from scratch and deterministically replays them.
+    Recompute { tokens: Vec<u32> },
+}
+
+/// A request evicted from its slot by a higher-priority admission,
+/// waiting in the resume queue. Holds no pool blocks in either state —
+/// preempted requests can never deadlock the pool.
+pub(super) struct PreemptedRequest<'m> {
+    pub(super) id: usize,
+    pub(super) engine: Box<dyn Engine + 'm>,
+    pub(super) req: GenerateRequest,
+    pub(super) signal: Arc<AtomicU8>,
+    pub(super) model_key: usize,
+    /// Gross worst-case blocks — the swap-resume reservation.
+    pub(super) gross_blocks: usize,
+    /// Times preempted so far (including the eviction that created this
+    /// entry).
+    pub(super) preemptions: usize,
+    /// KV blocks swapped out over this request's lifetime.
+    pub(super) swapped_blocks: usize,
+    /// Prefix-cache positions skipped by the *original* admission —
+    /// carried so the final output still reports them after a recompute
+    /// resume rebuilt the run (possibly with a different hit).
+    pub(super) prefill_skipped: usize,
+    /// Whether the prompt prefix was already offered to the index.
+    pub(super) published: bool,
+    pub(super) state: PreemptedState,
+}
+
+/// The output of a request cancelled or expired while preempted: the
+/// tokens it had produced before eviction, with its preemption counters.
+/// Dropping `state` frees the cold buffers (swap path) here; the caller
+/// already settled the scheduler's `cold_bytes` accounting.
+pub(super) fn preempted_output(p: PreemptedRequest<'_>, finish: FinishReason) -> BatchOutput {
+    let tokens = match p.state {
+        PreemptedState::Swapped { run, .. } => run.tokens().to_vec(),
+        PreemptedState::Recompute { tokens } => tokens,
+    };
+    BatchOutput {
+        id: p.id,
+        tokens,
+        finish,
+        ops: *p.engine.ops(),
+        stats: p.engine.stats().cloned(),
+        engine: p.engine.name().to_string(),
+        prefill_skipped_tokens: p.prefill_skipped,
+        preemptions: p.preemptions,
+        swapped_blocks: p.swapped_blocks,
+        speculative: p.engine.speculative_stats(),
+    }
+}
+
+impl<'m> Scheduler<'m> {
+    /// Makes room for a `priority`-class candidate needing a slot and
+    /// `need_blocks` unoccupied budget blocks: evicts unreferenced
+    /// warm-cache blocks first (they are only *kept warm*), then — with
+    /// [`preemption`](SchedulerConfig::preemption) on — preempts strictly
+    /// lower-priority victim slots one at a time. Returns whether the
+    /// candidate now fits. Blocks pinned by live sessions (including the
+    /// candidate's own prefix hit) are never evicted.
+    pub(super) fn make_room(&mut self, priority: Priority, need_blocks: usize) -> bool {
+        loop {
+            let occupied = self.reserved_blocks + self.index.retained_blocks();
+            if occupied.saturating_add(need_blocks) > self.config.kv_block_budget {
+                let needed = occupied.saturating_add(need_blocks) - self.config.kv_block_budget;
+                let evicted = self
+                    .index
+                    .evict_unreferenced_to(self.index.unreferenced_blocks().saturating_sub(needed));
+                self.evicted_blocks += evicted;
+            }
+            let occupied = self.reserved_blocks + self.index.retained_blocks();
+            let budget_ok = occupied.saturating_add(need_blocks) <= self.config.kv_block_budget;
+            let slot_ok = self.slots.len() < self.config.max_slots;
+            if budget_ok && slot_ok {
+                return true;
+            }
+            if !self.config.preemption {
+                return false;
+            }
+            let Some(victim) = self.select_victim(priority) else {
+                return false;
+            };
+            self.preempt(victim);
+        }
+    }
+
+    /// Selects the preemption victim for a `priority`-class candidate:
+    /// among slots of *strictly lower* priority still under the
+    /// per-request preemption cap, the lowest class loses first and the
+    /// youngest (latest-admitted) within that class loses first — oldest
+    /// work, which has absorbed the most compute, is disturbed last.
+    fn select_victim(&self, priority: Priority) -> Option<usize> {
+        let mut victim: Option<(usize, Priority)> = None;
+        // Slots are in admission order; `<=` on ties keeps the youngest.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.req.priority >= priority
+                || slot.preempt_count >= self.config.max_preemptions_per_request
+            {
+                continue;
+            }
+            if victim.is_none_or(|(_, vp)| slot.req.priority <= vp) {
+                victim = Some((i, slot.req.priority));
+            }
+        }
+        victim.map(|(i, _)| i)
+    }
+
+    /// Evicts slot `victim` to the resume queue: its reservation returns
+    /// to the budget, and its KV content is either swapped to a cold
+    /// buffer (within [`swap_budget_bytes`](SchedulerConfig::swap_budget_bytes))
+    /// or dropped for deterministic recompute. Either way the request
+    /// holds zero pool blocks afterwards.
+    fn preempt(&mut self, victim: usize) {
+        let slot = self.slots.remove(victim);
+        self.reserved_blocks -= slot.worst_blocks;
+        self.preemptions += 1;
+        let mut run = slot.run;
+        let prefill_skipped = run.prefill_skipped_tokens();
+        let bytes = run.kv_content_bytes();
+        let mut swapped_blocks = slot.swapped_blocks;
+        let state = if self.cold_bytes.saturating_add(bytes) <= self.config.swap_budget_bytes {
+            swapped_blocks += run.kv_blocks_held();
+            let cold = run.swap_out_kv();
+            self.cold_bytes += bytes;
+            self.swapped_out += 1;
+            PreemptedState::Swapped {
+                run: Box::new(run),
+                cold,
+                cold_bytes: bytes,
+            }
+        } else {
+            self.recomputed += 1;
+            let tokens = run.tokens().to_vec();
+            // Dropping the run frees every block the victim held.
+            drop(run);
+            PreemptedState::Recompute { tokens }
+        };
+        self.preempted.push_back(PreemptedRequest {
+            id: slot.id,
+            engine: slot.engine,
+            req: slot.req,
+            signal: slot.signal,
+            model_key: slot.model_key,
+            gross_blocks: slot.gross_blocks,
+            preemptions: slot.preempt_count + 1,
+            swapped_blocks,
+            prefill_skipped,
+            published: slot.published,
+            state,
+        });
+    }
+
+    /// Tries to resume preempted request `at`. A swapped request restores
+    /// its cold buffers into freshly allocated (all-private) blocks under
+    /// its gross reservation; a recompute request re-admits like a fresh
+    /// request (prefix lookup included) and deterministically replays its
+    /// already-emitted tokens. Returns whether it was admitted.
+    pub(super) fn try_resume(&mut self, at: usize) -> bool {
+        let priority = self.preempted[at].req.priority;
+        match &self.preempted[at].state {
+            PreemptedState::Swapped { .. } => {
+                let need = self.preempted[at].gross_blocks;
+                if !self.make_room(priority, need) {
+                    return false;
+                }
+                let p = self.preempted.remove(at).expect("index in bounds");
+                let PreemptedState::Swapped {
+                    run,
+                    cold,
+                    cold_bytes,
+                } = p.state
+                else {
+                    unreachable!("state matched Swapped above");
+                };
+                let mut run = *run;
+                run.restore_kv(&cold);
+                drop(cold);
+                self.cold_bytes -= cold_bytes;
+                self.resumed += 1;
+                self.reserved_blocks += p.gross_blocks;
+                self.slots.push(LiveSlot {
+                    id: p.id,
+                    engine: p.engine,
+                    run,
+                    req: p.req,
+                    signal: p.signal,
+                    worst_blocks: p.gross_blocks,
+                    gross_blocks: p.gross_blocks,
+                    model_key: p.model_key,
+                    published: p.published,
+                    preempt_count: p.preemptions,
+                    swapped_blocks: p.swapped_blocks,
+                });
+                true
+            }
+            PreemptedState::Recompute { .. } => {
+                let hit = if self.config.prefix_cache {
+                    let p = &self.preempted[at];
+                    let max_tokens =
+                        Self::sharable_tokens(p.req.prompt.len(), self.config.block_tokens);
+                    self.index.lookup(
+                        p.model_key,
+                        &p.req.prompt,
+                        self.config.block_tokens,
+                        max_tokens,
+                    )
+                } else {
+                    None
+                };
+                let hit_blocks = hit.as_ref().map_or(0, PrefixHit::total_blocks);
+                let net_worst = self.preempted[at].gross_blocks - hit_blocks;
+                if !self.make_room(priority, net_worst) {
+                    return false;
+                }
+                let p = self.preempted.remove(at).expect("index in bounds");
+                let PreemptedState::Recompute { tokens } = p.state else {
+                    unreachable!("state matched Recompute above");
+                };
+                match RequestRun::with_replay(
+                    &p.req,
+                    p.engine.as_ref(),
+                    &self.kv,
+                    hit.as_ref(),
+                    tokens,
+                ) {
+                    Ok(run) => {
+                        if let Some(hit) = &hit {
+                            self.attached_requests += 1;
+                            self.skipped_tokens += hit.tokens as u64;
+                        }
+                        self.resumed += 1;
+                        self.reserved_blocks += net_worst;
+                        self.slots.push(LiveSlot {
+                            id: p.id,
+                            engine: p.engine,
+                            run,
+                            req: p.req,
+                            signal: p.signal,
+                            worst_blocks: net_worst,
+                            gross_blocks: p.gross_blocks,
+                            model_key: p.model_key,
+                            // Re-offering already-published blocks is a
+                            // no-op in the index, so republishing after a
+                            // recompute is harmless either way.
+                            published: false,
+                            preempt_count: p.preemptions,
+                            swapped_blocks: p.swapped_blocks,
+                        });
+                    }
+                    // Unreachable today (the request was admitted once
+                    // already), kept as data like the fresh path.
+                    Err(err) => {
+                        let prefill_skipped = p.prefill_skipped;
+                        self.record_finished(BatchOutput {
+                            id: p.id,
+                            tokens: Vec::new(),
+                            finish: FinishReason::Failed(err),
+                            ops: *p.engine.ops(),
+                            stats: p.engine.stats().cloned(),
+                            engine: p.engine.name().to_string(),
+                            prefill_skipped_tokens: prefill_skipped,
+                            preemptions: p.preemptions,
+                            speculative: p.engine.speculative_stats(),
+                            swapped_blocks: p.swapped_blocks,
+                        });
+                    }
+                }
+                true
+            }
+        }
+    }
+}

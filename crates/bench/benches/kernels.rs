@@ -14,12 +14,14 @@ use sparseinfer::model::generator::WeightGenerator;
 use sparseinfer::model::ModelConfig;
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SkipMask, SparsityPredictor};
 use sparseinfer::sparse::engine::EngineBuilder;
-use sparseinfer::sparse::gemv::{sparse_gemv, sparse_gemv_into};
+use sparseinfer::sparse::gemv::{sparse_gemv, sparse_gemv_into, sparse_gemv_q8_into};
 use sparseinfer::sparse::request::{generate, GenerateRequest};
 use sparseinfer::sparse::OpCounter;
 use sparseinfer::tensor::gemv::{gemv, reference};
 use sparseinfer::tensor::sign::{PackedSignMatrix, SignPack};
-use sparseinfer::tensor::{Matrix, ParallelOptions, Prng, ThreadPool, Vector};
+use sparseinfer::tensor::{
+    BlockQuantizedMatrix, Matrix, ParallelOptions, Prng, ThreadPool, Vector,
+};
 use sparseinfer_bench::{bench_iters, BenchReport};
 
 /// The pre-rework dispatch strategy, preserved here as the baseline: split
@@ -250,8 +252,9 @@ fn main() {
     println!("\n== sparse GEMV thread scaling (workspace path, 4096x1024) ==");
     let (sw, sx) = scaling_shapes();
     let smask = SkipMask::from_fn(sw.rows(), |r| r % 10 == 0); // 10% sparse
+    let mut f32_us_at = [0.0f64; 3];
     let mut t1 = 0.0f64;
-    for threads in [1usize, 2, 4] {
+    for (ti, threads) in [1usize, 2, 4].into_iter().enumerate() {
         let pool = ThreadPool::new(ParallelOptions::threads(threads));
         let mut out = Vector::zeros(0);
         let name = format!("sparse_gemv_into_{threads}t");
@@ -262,11 +265,48 @@ fn main() {
         if threads == 1 {
             t1 = us;
         }
+        f32_us_at[ti] = us;
         report.record(&name, bench_iters(100), us, Some(t1 / us), threads);
         if threads > 1 {
             println!("  -> {:.2}x over 1 thread", t1 / us);
         }
     }
 
+    println!("\n== fused int8 block-dequant sparse GEMV (same shape/mask) ==");
+    // The quantized serving hot path: the same 4096x1024 workload through
+    // `sparse_gemv_q8_into`, which reads 1 byte/weight instead of 4 and
+    // dequantizes per 32-column block inside the chunked dot loop. The
+    // speedup column is against the f32 `sparse_gemv_into` row at the
+    // *same* thread count — that pair is the memory-bandwidth win of the
+    // int8 weight format, thread-for-thread.
+    let qw = BlockQuantizedMatrix::quantize(&sw);
+    for (ti, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let pool = ThreadPool::new(ParallelOptions::threads(threads));
+        let mut out = Vector::zeros(0);
+        let name = format!("sparse_gemv_q8_into_{threads}t");
+        let us = sparseinfer_bench::time_us(&name, bench_iters(100), || {
+            let mut ops = OpCounter::default();
+            sparse_gemv_q8_into(&qw, &sx, &smask, &pool, &mut ops, &mut out);
+        });
+        let over_f32 = f32_us_at[ti] / us;
+        report.record(&name, bench_iters(100), us, Some(over_f32), threads);
+        println!("  -> {over_f32:.2}x over f32 at {threads} thread(s)");
+        // Directional guard for the committed baseline: the fused kernel
+        // must beat the f32 path it replaces. Skipped in the quick smoke,
+        // whose single-iteration timings are noise.
+        if threads == 1 && std::env::var_os("SPARSEINFER_BENCH_QUICK").is_none() {
+            assert!(
+                over_f32 >= 1.5,
+                "fused int8 GEMV is only {over_f32:.2}x the f32 kernel at 1 thread \
+                 (expected >= 1.5x): the block-dequant fast path has regressed"
+            );
+        }
+    }
+
+    report.note(&format!(
+        "host {}: thread counts above the container's core count time \
+         oversubscribed workers, not parallel speedup",
+        sparseinfer_bench::host_fingerprint()
+    ));
     report.write();
 }

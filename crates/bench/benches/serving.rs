@@ -19,10 +19,15 @@
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
+use sparseinfer::eval::harness::{gold_continuations, teacher_forced_engine_matches};
+use sparseinfer::eval::TaskSuite;
+use sparseinfer::model::kv::KvDtype;
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
 use sparseinfer::predictor::{AlphaSchedule, SignBitPredictor, SparsityPredictor};
 use sparseinfer::sparse::batch::Batch;
-use sparseinfer::sparse::engine::{Engine, EngineBuilder, SpeculativeStats};
+use sparseinfer::sparse::engine::{
+    Engine, EngineBuilder, QuantizedWeights, SpeculativeStats, WeightFormat,
+};
 use sparseinfer::sparse::request::{GenerateRequest, Priority};
 use sparseinfer::sparse::scheduler::{RequestHandle, Scheduler, SchedulerConfig};
 use sparseinfer_bench::{bench_iters, BenchReport};
@@ -72,6 +77,25 @@ fn engine_for<'m>(
     } else {
         EngineBuilder::new(model).build().unwrap()
     }
+}
+
+/// The same dense/sparse engine mix as [`engine_for`], decoding over one
+/// process-wide int8 copy of the MLP weights.
+fn engine_for_int8<'m>(
+    model: &'m Model,
+    shared: &Arc<dyn SparsityPredictor>,
+    quantized: &Arc<QuantizedWeights>,
+    i: usize,
+) -> Box<dyn Engine + 'm> {
+    let builder = if i.is_multiple_of(2) {
+        EngineBuilder::new(model).predictor_shared(Arc::clone(shared))
+    } else {
+        EngineBuilder::new(model)
+    };
+    builder
+        .quantized_shared(Arc::clone(quantized))
+        .build()
+        .unwrap()
 }
 
 /// Timing of one serving run: total wall time plus every inter-token gap.
@@ -138,10 +162,14 @@ fn run_closed(
 }
 
 /// Continuous scheduler: requests join on their arrival tick, some cancel
-/// mid-flight, admission bounded by slots and a KV block budget.
+/// mid-flight, admission bounded by slots and a KV block budget. With
+/// `quantized` the same engine mix decodes over the shared int8 weights,
+/// so the row pair (f32 vs int8) is the quantized serving speedup on an
+/// otherwise identical workload.
 fn run_continuous(
     model: &Model,
     shared: &Arc<dyn SparsityPredictor>,
+    quantized: Option<&Arc<QuantizedWeights>>,
     work: &[ChurnRequest],
 ) -> RunTiming {
     let mut scheduler = Scheduler::new(SchedulerConfig {
@@ -158,9 +186,13 @@ fn run_continuous(
     let mut tick = 0usize;
     loop {
         while next < work.len() && work[next].arrives_at_tick <= tick {
+            let engine = match quantized {
+                Some(q) => engine_for_int8(model, shared, q, next),
+                None => engine_for(model, shared, next),
+            };
             let handle = scheduler
                 .submit(
-                    engine_for(model, shared, next),
+                    engine,
                     &GenerateRequest::new(&work[next].prompt).max_new(work[next].max_new),
                 )
                 .unwrap();
@@ -184,6 +216,38 @@ fn run_continuous(
         }
     }
     clock.finish()
+}
+
+/// Peak physical KV-pool bytes over one fixed 4-request decode pass with
+/// the pool storing at `dtype`. The workload and block layout are
+/// deterministic, so the returned byte count is exact — the f16 run must
+/// come out at precisely half the f32 run, and the caller asserts it.
+fn peak_kv_bytes(model: &Model, shared: &Arc<dyn SparsityPredictor>, dtype: KvDtype) -> u64 {
+    let mut scheduler = Scheduler::new(SchedulerConfig {
+        max_slots: 4,
+        block_tokens: 8,
+        kv_block_budget: usize::MAX,
+        prefix_cache: false,
+        kv_dtype: dtype,
+        ..SchedulerConfig::default()
+    });
+    for i in 0..4usize {
+        scheduler
+            .submit(
+                engine_for(model, shared, i),
+                &GenerateRequest::new(&[1, 2, 3 + i as u32]).max_new(8),
+            )
+            .unwrap();
+    }
+    let mut peak = 0u64;
+    loop {
+        let unfinished = scheduler.tick(|_| {});
+        peak = peak.max(scheduler.kv_pool().in_use_bytes());
+        if unfinished == 0 {
+            break;
+        }
+    }
+    peak
 }
 
 /// The signature both serving-side runners share.
@@ -642,6 +706,7 @@ fn main() {
     let n_requests = if quick { 6 } else { 24 };
     let work = churn_workload(n_requests);
     let passes = bench_iters(5);
+    let quantized = Arc::new(QuantizedWeights::quantize(&model));
 
     println!(
         "serving churn workload: {n_requests} requests x {passes} pass(es), \
@@ -674,7 +739,13 @@ fn main() {
         report.record(&format!("{name}_itl_p95"), gaps.len(), p95, None, 1);
     };
     measure("closed_batch", &run_closed);
-    measure("continuous_scheduler", &run_continuous);
+    measure("continuous_scheduler", &|m, s, w| {
+        run_continuous(m, s, None, w)
+    });
+    let q = Arc::clone(&quantized);
+    measure("continuous_int8", &move |m, s, w| {
+        run_continuous(m, s, Some(&q), w)
+    });
 
     // Shared-prefix churn: the prefix-cache win, cold vs warm. Reported as
     // mean time-to-first-token (prefill latency a client sees) and peak
@@ -897,5 +968,60 @@ fn main() {
         spec_stats.acceptance_rate() * 100.0,
     );
 
+    // f32-vs-int8 token agreement, measured through the eval harness and
+    // *reported, not asserted* (the quantization contract is "own-config
+    // determinism", not f32 equivalence): the f32 dense engine's greedy
+    // continuations are the gold, and each position scores whether the
+    // int8 engine's teacher-forced argmax reproduces them.
+    let agree_tasks = if quick { 2 } else { 6 };
+    let agree_new = if quick { 8 } else { 12 };
+    let suite = TaskSuite::gsm8k_syn(agree_tasks, 101);
+    let gold = gold_continuations(&model, &suite, agree_new);
+    let mut int8_engine = EngineBuilder::new(&model)
+        .weight_format(WeightFormat::Int8)
+        .build()
+        .unwrap();
+    let mut agree_positions = 0usize;
+    let mut agree_matches = 0usize;
+    for (task, gold_tokens) in suite.tasks.iter().zip(&gold) {
+        let m = teacher_forced_engine_matches(int8_engine.as_mut(), &task.tokens, gold_tokens);
+        agree_matches += m.iter().filter(|x| **x).count();
+        agree_positions += m.len();
+    }
+    let agreement_pct = 100.0 * agree_matches as f64 / agree_positions as f64;
+    println!(
+        "\nint8 vs f32 token agreement (teacher-forced, {agree_tasks} tasks x \
+         {agree_new} tokens): {agree_matches}/{agree_positions} ({agreement_pct:.1}%)"
+    );
+    report.record_value("int8_token_agreement_pct", agree_positions, agreement_pct);
+
+    // KV cache dtype: the same fixed decode pass with the pool storing
+    // f32 vs f16. The byte counts are deterministic, so the halving is a
+    // hard in-run assert (it holds in the quick smoke too); the JSON gate
+    // then bounds *increases* of both records against the per-host
+    // baseline, so a silently-widened f16 path fails CI.
+    println!("\nKV cache dtype: peak pool bytes over one fixed 4-request pass\n");
+    let kv_f32 = peak_kv_bytes(&model, &shared, KvDtype::F32);
+    let kv_f16 = peak_kv_bytes(&model, &shared, KvDtype::F16);
+    assert_eq!(
+        kv_f16 * 2,
+        kv_f32,
+        "f16 KV storage must halve peak pool bytes exactly"
+    );
+    println!("kv_peak_bytes_f32        {kv_f32:>9} B");
+    println!("kv_peak_bytes_f16        {kv_f16:>9} B  (exactly half)");
+    report.record_value("kv_peak_bytes_f32", 4, kv_f32 as f64);
+    report.record_value("kv_peak_bytes_f16", 4, kv_f16 as f64);
+
+    report.note(&format!(
+        "host {}: latency percentiles depend on core count; on a 1-core \
+         container concurrent requests time-slice rather than overlap",
+        sparseinfer_bench::host_fingerprint()
+    ));
+    report.note(
+        "continuous_int8 decodes the 64-dim bench model, whose rows are too \
+         short to be bandwidth-bound — the int8 kernel win at real widths is \
+         the sparse_gemv_q8_into_* records in BENCH_kernels.json",
+    );
     report.write();
 }

@@ -145,6 +145,25 @@ pub fn bench_iters(iters: usize) -> usize {
     }
 }
 
+/// The host fingerprint stamped into every `BENCH_*.json` report.
+///
+/// Timings are only comparable between runs on the same class of machine,
+/// so the regression gate keys its enforcement on this string: core count
+/// by default (`"4c"`), overridable with `SPARSEINFER_BENCH_HOST` when two
+/// hosts with equal core counts should still be told apart (or when CI
+/// wants a stable label across runner generations).
+pub fn host_fingerprint() -> String {
+    if let Ok(host) = std::env::var("SPARSEINFER_BENCH_HOST") {
+        if !host.is_empty() {
+            return host;
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!("{cores}c")
+}
+
 /// One machine-readable benchmark measurement.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -167,16 +186,28 @@ pub struct BenchRecord {
 #[derive(Debug)]
 pub struct BenchReport {
     bench: String,
+    host: String,
+    notes: Vec<String>,
     records: Vec<BenchRecord>,
 }
 
 impl BenchReport {
-    /// Starts a report for the bench binary `bench` (e.g. `"kernels"`).
+    /// Starts a report for the bench binary `bench` (e.g. `"kernels"`),
+    /// stamped with this host's fingerprint (see [`host_fingerprint`]).
     pub fn new(bench: &str) -> Self {
         Self {
             bench: bench.to_string(),
+            host: host_fingerprint(),
+            notes: Vec::new(),
             records: Vec::new(),
         }
+    }
+
+    /// Attaches a free-text caveat to the report (measurement conditions a
+    /// reader of the committed JSON needs — e.g. that multi-thread rows on
+    /// a 1-core container time oversubscription, not parallel speedup).
+    pub fn note(&mut self, note: &str) {
+        self.notes.push(note.to_string());
     }
 
     /// Records one measurement.
@@ -223,8 +254,18 @@ impl BenchReport {
     /// Serializes the report as JSON (dependency-free; names are plain
     /// snake_case ASCII).
     pub fn to_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str(&format!("  \"host\": \"{}\",\n", escape(&self.host)));
+        out.push_str("  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape(note)));
+        }
+        out.push_str("],\n");
         out.push_str("  \"records\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let speedup = match r.speedup_over_dense {
@@ -303,6 +344,16 @@ pub fn parse_bench_json(json: &str) -> Vec<(String, f64)> {
             Some((name.to_string(), value))
         })
         .collect()
+}
+
+/// Extracts the `host` fingerprint from a `BENCH_*.json` report, or `None`
+/// for reports written before the field existed (or unparseable input).
+/// The `bench_gate` binary uses this to decide whether a committed
+/// baseline was measured on the same class of machine as the fresh run.
+pub fn parse_bench_host(json: &str) -> Option<String> {
+    use sparseinfer::json::Json;
+    let doc = Json::parse(json).ok()?;
+    doc.get("host")?.as_str().map(str::to_string)
 }
 
 /// Baseline benchmark scores from the paper's accuracy tables.
@@ -507,6 +558,7 @@ mod tests {
         report.record("continuous_itl_p50", 1185, 155.202, None, 1);
         report.record("dense_gemv", 100, 12.5, Some(3.5), 4);
         report.record_value("prefix_warm_kv_peak_bytes", 8, 73728.0);
+        report.note("quick \"smoke\" pass");
         let parsed = parse_bench_json(&report.to_json());
         assert_eq!(
             parsed,
@@ -521,12 +573,26 @@ mod tests {
     }
 
     #[test]
+    fn bench_host_roundtrips_and_tolerates_old_reports() {
+        let report = BenchReport::new("kernels");
+        assert_eq!(
+            parse_bench_host(&report.to_json()).as_deref(),
+            Some(host_fingerprint().as_str())
+        );
+        // Reports from before the field existed parse as host-less.
+        assert_eq!(parse_bench_host(r#"{"bench": "x", "records": []}"#), None);
+        assert_eq!(parse_bench_host("not json"), None);
+    }
+
+    #[test]
     fn bench_report_serializes_records() {
         let mut report = BenchReport::new("kernels");
         report.record("dense_gemv", 100, 12.5, None, 1);
         report.record("sparse_gemv", 100, 3.125, Some(4.0), 2);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"host\": \""));
+        assert!(json.contains("\"notes\": []"));
         assert!(json.contains("\"name\": \"dense_gemv\""));
         assert!(json.contains("\"speedup_over_dense\": null"));
         assert!(json.contains("\"speedup_over_dense\": 4.0000"));

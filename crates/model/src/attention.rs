@@ -7,9 +7,9 @@
 //! the accuracy experiments exercise the same residual-stream dynamics as the
 //! paper's models.
 
-use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector, Workspace};
+use sparseinfer_tensor::{gemv::gemv_into, Matrix, ThreadPool, Vector, Workspace, F16};
 
-use crate::kv::{KvBlockPool, PagedKvCache};
+use crate::kv::{KvBlockPool, KvDtype, PagedKvCache};
 
 /// Contiguous KV storage: keys and values stored *flat* (position-major
 /// `f32` runs). Appending a token is two `extend_from_slice` calls that
@@ -147,6 +147,51 @@ impl KvCache {
         }
     }
 
+    /// Element type of the cached words: the pool's [`KvDtype`] for paged
+    /// storage, always `F32` for contiguous.
+    pub fn dtype(&self) -> KvDtype {
+        match &self.storage {
+            KvStorage::Contiguous(_) => KvDtype::F32,
+            KvStorage::Paged(p) => p.dtype(),
+        }
+    }
+
+    /// Appends position `t` of `src` into this cache. Paged-to-paged
+    /// transfers copy the stored words raw (dtype-preserving — no f32
+    /// round trip for `F16` pools); a paged `F16` source widens losslessly
+    /// into a contiguous `f32` cache (every `f16` value is exactly
+    /// representable in `f32`); every other combination goes through the
+    /// `f32` read path. This is the cross-cache transfer primitive of
+    /// speculative draft resync.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= src.len()` or on dimension mismatch.
+    pub fn push_from(&mut self, src: &KvCache, t: usize) {
+        if let KvStorage::Paged(s) = &src.storage {
+            if let KvStorage::Paged(d) = &mut self.storage {
+                d.push_from(s, t);
+                return;
+            }
+            if s.dtype() == KvDtype::F16 {
+                let KvStorage::Contiguous(c) = &mut self.storage else {
+                    unreachable!("storage is contiguous or paged")
+                };
+                let key = s.key_h(t);
+                let value = s.value_h(t);
+                if c.dim == 0 {
+                    c.dim = key.len();
+                } else {
+                    assert_eq!(key.len(), c.dim, "kv dimension mismatch");
+                }
+                c.keys.extend(key.iter().map(|v| v.to_f32()));
+                c.values.extend(value.iter().map(|v| v.to_f32()));
+                return;
+            }
+        }
+        self.push(src.key(t), src.value(t));
+    }
+
     /// Appends one position.
     ///
     /// # Panics
@@ -174,7 +219,8 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if `t >= self.len()`.
+    /// Panics if `t >= self.len()`, or if the storage holds `F16` words
+    /// (read those via [`key_h`](Self::key_h)).
     pub fn key(&self, t: usize) -> &[f32] {
         match &self.storage {
             KvStorage::Contiguous(c) => &c.keys[t * c.dim..(t + 1) * c.dim],
@@ -186,11 +232,36 @@ impl KvCache {
     ///
     /// # Panics
     ///
-    /// Panics if `t >= self.len()`.
+    /// Panics if `t >= self.len()`, or if the storage holds `F16` words
+    /// (read those via [`value_h`](Self::value_h)).
     pub fn value(&self, t: usize) -> &[f32] {
         match &self.storage {
             KvStorage::Contiguous(c) => &c.values[t * c.dim..(t + 1) * c.dim],
             KvStorage::Paged(p) => p.value(t),
+        }
+    }
+
+    /// The key vector cached at position `t` as stored `F16` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()` or if the storage holds `f32`.
+    pub fn key_h(&self, t: usize) -> &[F16] {
+        match &self.storage {
+            KvStorage::Contiguous(_) => panic!("contiguous KV is f32: read keys via key"),
+            KvStorage::Paged(p) => p.key_h(t),
+        }
+    }
+
+    /// The value vector cached at position `t` as stored `F16` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()` or if the storage holds `f32`.
+    pub fn value_h(&self, t: usize) -> &[F16] {
+        match &self.storage {
+            KvStorage::Contiguous(_) => panic!("contiguous KV is f32: read values via value"),
+            KvStorage::Paged(p) => p.value_h(t),
         }
     }
 
@@ -363,6 +434,7 @@ impl Attention {
 
         let scale = 1.0 / (head_dim as f32).sqrt();
         let seq = cache.len();
+        let half_kv = cache.dtype() == KvDtype::F16;
         // Sized to the cache reservation so the buffer does not regrow (and
         // reallocate) as the context extends token by token.
         let mut scores_buf = ws.take(seq.max(cache.reserved_tokens()));
@@ -374,10 +446,17 @@ impl Attention {
             let qh = &q.as_slice()[span.clone()];
 
             // Scores against every cached position (causal by construction).
+            // F16 storage dequantizes in the accumulate — no materialized
+            // f32 copy of the cached row.
             let scores = &mut scores_buf.as_mut_slice()[..seq];
             for (t, slot) in scores.iter_mut().enumerate() {
-                let kh = &cache.key(t)[span.clone()];
-                let s: f32 = qh.iter().zip(kh).map(|(a, b)| a * b).sum();
+                let s: f32 = if half_kv {
+                    let kh = &cache.key_h(t)[span.clone()];
+                    qh.iter().zip(kh).map(|(a, b)| a * b.to_f32()).sum()
+                } else {
+                    let kh = &cache.key(t)[span.clone()];
+                    qh.iter().zip(kh).map(|(a, b)| a * b).sum()
+                };
                 *slot = s * scale;
             }
             // Softmax (max-subtracted for stability).
@@ -388,12 +467,19 @@ impl Attention {
                 denom += *s;
             }
             // Weighted sum of values.
-            let out_h = &mut out.as_mut_slice()[span];
+            let out_h = &mut out.as_mut_slice()[span.clone()];
             for (t, w) in scores.iter().enumerate() {
-                let vh = &cache.value(t)[h * head_dim..(h + 1) * head_dim];
                 let w = w / denom;
-                for (o, vv) in out_h.iter_mut().zip(vh) {
-                    *o += w * vv;
+                if half_kv {
+                    let vh = &cache.value_h(t)[span.clone()];
+                    for (o, vv) in out_h.iter_mut().zip(vh) {
+                        *o += w * vv.to_f32();
+                    }
+                } else {
+                    let vh = &cache.value(t)[span.clone()];
+                    for (o, vv) in out_h.iter_mut().zip(vh) {
+                        *o += w * vv;
+                    }
                 }
             }
         }
@@ -535,6 +621,77 @@ mod tests {
         assert_eq!(paged.reserved_tokens(), 12, "4 blocks of 3 tokens");
         paged.clear();
         assert_eq!(pool.blocks_in_use(), 0, "clear returns blocks");
+    }
+
+    #[test]
+    fn f16_paged_attention_is_layout_invariant_and_tracks_f32() {
+        // Mirror of the f32 layout test at KvDtype::F16: the *rounding* is
+        // fixed by the pushed values, so two f16 pools with different (and
+        // deliberately unaligned) block sizes must produce bit-identical
+        // outputs — the block table never changes what is read, only where
+        // it lives. Against f32 storage the outputs agree to f16 precision.
+        let attn = random_attention(17, 16, 2);
+        let pool_a = crate::kv::KvBlockPool::with_budget_dtype(3, usize::MAX, KvDtype::F16);
+        let pool_b = crate::kv::KvBlockPool::with_budget_dtype(64, usize::MAX, KvDtype::F16);
+        let mut half_a = KvCache::paged(&pool_a);
+        let mut half_b = KvCache::paged(&pool_b);
+        let mut full = KvCache::with_capacity(16, 16);
+        assert_eq!(half_a.dtype(), KvDtype::F16);
+        assert_eq!(full.dtype(), KvDtype::F32);
+        let mut ws = sparseinfer_tensor::Workspace::new();
+        let tp = sparseinfer_tensor::ThreadPool::single();
+        let mut max_rel = 0.0f32;
+        for pos in 0..10 {
+            let x = Vector::from_fn(16, |i| ((i * 5 + pos * 2) as f32 * 0.17).sin());
+            let a = attn.forward_ws(&x, pos, &mut half_a, &tp, &mut ws);
+            let b = attn.forward_ws(&x, pos, &mut half_b, &tp, &mut ws);
+            let f = attn.forward_ws(&x, pos, &mut full, &tp, &mut ws);
+            assert_eq!(a, b, "position {pos}: layout must not matter");
+            let norm: f32 = f.iter().map(|v| v.abs()).sum::<f32>() + 1e-6;
+            let diff: f32 = a.iter().zip(f.iter()).map(|(p, q)| (p - q).abs()).sum();
+            max_rel = max_rel.max(diff / norm);
+            ws.give(a);
+            ws.give(b);
+            ws.give(f);
+        }
+        assert!(max_rel < 2e-3, "f16 KV drifted {max_rel} from f32");
+        assert_eq!(
+            pool_a.in_use_bytes(),
+            2 * pool_a.blocks_in_use() as u64 * 3 * 16 * 2,
+            "f16 bytes accounted at 2 per element"
+        );
+    }
+
+    #[test]
+    fn push_from_bridges_cache_kinds() {
+        let pool = crate::kv::KvBlockPool::with_budget_dtype(2, usize::MAX, KvDtype::F16);
+        let mut src = KvCache::paged(&pool);
+        src.push(&[0.1, 0.2], &[0.3, 0.4]);
+        src.push(&[1.1, 1.2], &[1.3, 1.4]);
+        let mut dst = KvCache::paged(&pool);
+        dst.push_from(&src, 0);
+        dst.push_from(&src, 1);
+        assert_eq!(dst.key_h(1), src.key_h(1));
+        assert_eq!(dst.value_h(0), src.value_h(0));
+
+        let mut flat_src = KvCache::new();
+        flat_src.push(&[9.0], &[8.0]);
+        let mut flat_dst = KvCache::with_capacity(1, 4);
+        flat_dst.push_from(&flat_src, 0);
+        assert_eq!(flat_dst.key(0), &[9.0]);
+
+        // Paged f16 → contiguous f32 widens to exactly the stored words
+        // (the speculative draft-resync path under an f16 serving pool).
+        let mut flat = KvCache::with_capacity(2, 4);
+        flat.push_from(&src, 1);
+        assert_eq!(
+            flat.key(0),
+            &[src.key_h(1)[0].to_f32(), src.key_h(1)[1].to_f32()]
+        );
+        assert_eq!(
+            flat.value(0),
+            &[src.value_h(1)[0].to_f32(), src.value_h(1)[1].to_f32()]
+        );
     }
 
     #[test]

@@ -40,9 +40,56 @@
 //! the contiguous layout, so every attention kernel is bit-identical over
 //! either storage — the compatibility wrapper in
 //! [`attention`](crate::attention) dispatches between them.
+//!
+//! A pool stores its elements in one [`KvDtype`] — full-precision `f32`
+//! (the default) or half-precision [`F16`] words
+//! ([`KvBlockPool::with_budget_dtype`]), which halves every byte figure
+//! (`memory_bytes`, `in_use_bytes`, swap sizes) and so doubles how many
+//! tokens a given byte budget holds. Callers always *push* `f32` vectors;
+//! conversion happens at the block boundary, and an `F16` pool's contents
+//! are read back through [`PagedKvCache::key_h`]/[`value_h`](PagedKvCache::value_h).
+//! All sharing semantics — COW, prefix attach, swap/restore, truncate —
+//! are dtype-independent, and because `f16 → f32 → f16` round-trips
+//! losslessly, a swap/restore cycle is bit-identical in either dtype.
 
+use sparseinfer_tensor::F16;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Element type of one [`KvBlockPool`]'s storage.
+///
+/// Fixed at pool construction: one pool, one dtype, like one pool, one
+/// model dimension. `F16` halves KV bytes per token — the block *count*
+/// budget is unchanged, but every byte-denominated figure (pool footprint,
+/// swap sizes, admission estimates) halves, so a byte budget holds twice
+/// the tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KvDtype {
+    /// Full-precision `f32` elements (the seed behavior).
+    #[default]
+    F32,
+    /// Half-precision [`F16`] elements: pushes round-to-nearest-even at
+    /// the block boundary, reads return the stored `F16` words.
+    F16,
+}
+
+impl KvDtype {
+    /// Bytes of one stored scalar.
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            KvDtype::F32 => std::mem::size_of::<f32>(),
+            KvDtype::F16 => std::mem::size_of::<F16>(),
+        }
+    }
+
+    /// Lower-case label used by CLI flags and `/stats` sections.
+    pub fn label(self) -> &'static str {
+        match self {
+            KvDtype::F32 => "f32",
+            KvDtype::F16 => "f16",
+        }
+    }
+}
 
 /// Default tokens per KV block: small enough that a short answer wastes at
 /// most a fraction of a block per layer, large enough that the block table
@@ -50,11 +97,111 @@ use std::sync::{Arc, Mutex};
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
 
 /// Raw storage of one block, as recycled through the pool's free list:
-/// the key/value buffers keep their allocation between owners.
-#[derive(Debug, Default)]
-struct KvBlockData {
-    keys: Vec<f32>,
-    values: Vec<f32>,
+/// the key/value buffers keep their allocation between owners. The variant
+/// always matches the owning pool's [`KvDtype`].
+#[derive(Debug, Clone)]
+enum KvBlockData {
+    F32 { keys: Vec<f32>, values: Vec<f32> },
+    F16 { keys: Vec<F16>, values: Vec<F16> },
+}
+
+impl KvBlockData {
+    fn with_capacity(dtype: KvDtype, cap: usize) -> Self {
+        match dtype {
+            KvDtype::F32 => KvBlockData::F32 {
+                keys: Vec::with_capacity(cap),
+                values: Vec::with_capacity(cap),
+            },
+            KvDtype::F16 => KvBlockData::F16 {
+                keys: Vec::with_capacity(cap),
+                values: Vec::with_capacity(cap),
+            },
+        }
+    }
+
+    fn dtype(&self) -> KvDtype {
+        match self {
+            KvBlockData::F32 { .. } => KvDtype::F32,
+            KvBlockData::F16 { .. } => KvDtype::F16,
+        }
+    }
+
+    /// Stored scalars per buffer (`keys` and `values` always agree).
+    fn elems(&self) -> usize {
+        match self {
+            KvBlockData::F32 { keys, .. } => keys.len(),
+            KvBlockData::F16 { keys, .. } => keys.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            KvBlockData::F32 { keys, values } => {
+                keys.clear();
+                values.clear();
+            }
+            KvBlockData::F16 { keys, values } => {
+                keys.clear();
+                values.clear();
+            }
+        }
+    }
+
+    fn truncate(&mut self, elems: usize) {
+        match self {
+            KvBlockData::F32 { keys, values } => {
+                keys.truncate(elems);
+                values.truncate(elems);
+            }
+            KvBlockData::F16 { keys, values } => {
+                keys.truncate(elems);
+                values.truncate(elems);
+            }
+        }
+    }
+
+    /// Appends one position of `f32` key/value vectors, converting at the
+    /// boundary when the block stores `F16` (round-to-nearest-even).
+    fn push_position(&mut self, key: &[f32], value: &[f32]) {
+        match self {
+            KvBlockData::F32 { keys, values } => {
+                keys.extend_from_slice(key);
+                values.extend_from_slice(value);
+            }
+            KvBlockData::F16 { keys, values } => {
+                keys.extend(key.iter().map(|v| F16::from_f32(*v)));
+                values.extend(value.iter().map(|v| F16::from_f32(*v)));
+            }
+        }
+    }
+
+    /// Appends `elems` scalars starting at `start` from `src`, as a raw
+    /// dtype-preserving copy (COW forks, swap-out, draft resync).
+    fn extend_range_from(&mut self, src: &KvBlockData, start: usize, elems: usize) {
+        match (self, src) {
+            (
+                KvBlockData::F32 { keys, values },
+                KvBlockData::F32 {
+                    keys: sk,
+                    values: sv,
+                },
+            ) => {
+                keys.extend_from_slice(&sk[start..start + elems]);
+                values.extend_from_slice(&sv[start..start + elems]);
+            }
+            (
+                KvBlockData::F16 { keys, values },
+                KvBlockData::F16 {
+                    keys: sk,
+                    values: sv,
+                },
+            ) => {
+                keys.extend_from_slice(&sk[start..start + elems]);
+                values.extend_from_slice(&sv[start..start + elems]);
+            }
+            _ => unreachable!("one pool holds one dtype"),
+        }
+    }
 }
 
 /// One live, fixed-size block of KV storage: up to `block_tokens` positions
@@ -63,8 +210,7 @@ struct KvBlockData {
 /// [`SharedKvBlock`], happens exactly when the last referrer lets go.
 #[derive(Debug)]
 struct PooledKvBlock {
-    keys: Vec<f32>,
-    values: Vec<f32>,
+    data: KvBlockData,
     /// Per-position vector width (fixed at allocation).
     dim: usize,
     /// The pool the storage came from and returns to.
@@ -73,12 +219,14 @@ struct PooledKvBlock {
 
 impl Drop for PooledKvBlock {
     fn drop(&mut self) {
-        let mut data = KvBlockData {
-            keys: std::mem::take(&mut self.keys),
-            values: std::mem::take(&mut self.values),
-        };
-        data.keys.clear();
-        data.values.clear();
+        let mut data = std::mem::replace(
+            &mut self.data,
+            KvBlockData::F32 {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
+        );
+        data.clear();
         let mut state = PoolShared::state(&self.shared);
         state.free.push(data);
         state.in_use -= 1;
@@ -101,8 +249,8 @@ impl SharedKvBlock {
     /// Positions currently stored in this block.
     pub fn tokens(&self) -> usize {
         self.inner
-            .keys
-            .len()
+            .data
+            .elems()
             .checked_div(self.inner.dim)
             .unwrap_or(0)
     }
@@ -145,6 +293,7 @@ struct PoolState {
 struct PoolShared {
     block_tokens: usize,
     max_blocks: usize,
+    dtype: KvDtype,
     state: Mutex<PoolState>,
 }
 
@@ -206,12 +355,23 @@ impl KvBlockPool {
     ///
     /// Panics if `block_tokens` or `max_blocks` is zero.
     pub fn with_budget(block_tokens: usize, max_blocks: usize) -> Self {
+        Self::with_budget_dtype(block_tokens, max_blocks, KvDtype::F32)
+    }
+
+    /// A budgeted pool whose blocks store `dtype` elements. `KvDtype::F16`
+    /// halves every byte figure; the block-count budget is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` or `max_blocks` is zero.
+    pub fn with_budget_dtype(block_tokens: usize, max_blocks: usize, dtype: KvDtype) -> Self {
         assert!(block_tokens > 0, "block_tokens must be positive");
         assert!(max_blocks > 0, "max_blocks must be positive");
         Self {
             shared: Arc::new(PoolShared {
                 block_tokens,
                 max_blocks,
+                dtype,
                 state: Mutex::new(PoolState::default()),
             }),
         }
@@ -220,6 +380,11 @@ impl KvBlockPool {
     /// Tokens per block.
     pub fn block_tokens(&self) -> usize {
         self.shared.block_tokens
+    }
+
+    /// Element type of this pool's blocks.
+    pub fn dtype(&self) -> KvDtype {
+        self.shared.dtype
     }
 
     /// The block budget (`usize::MAX` when unbounded).
@@ -259,7 +424,7 @@ impl KvBlockPool {
 
     /// Bytes of one block (keys + values), once the KV dimension is known.
     fn block_bytes(&self, dim: usize) -> u64 {
-        2 * (self.shared.block_tokens * dim * std::mem::size_of::<f32>()) as u64
+        2 * (self.shared.block_tokens * dim * self.shared.dtype.bytes_per_elem()) as u64
     }
 
     /// Total bytes of every block the pool has created (free + in use) —
@@ -315,10 +480,7 @@ impl KvBlockPool {
                     );
                     state.created += 1;
                     let cap = self.shared.block_tokens * dim;
-                    KvBlockData {
-                        keys: Vec::with_capacity(cap),
-                        values: Vec::with_capacity(cap),
-                    }
+                    KvBlockData::with_capacity(self.shared.dtype, cap)
                 }
             };
             state.in_use += 1;
@@ -326,8 +488,7 @@ impl KvBlockPool {
         };
         SharedKvBlock {
             inner: Arc::new(PooledKvBlock {
-                keys: data.keys,
-                values: data.values,
+                data,
                 dim,
                 shared: Arc::clone(&self.shared),
             }),
@@ -348,11 +509,8 @@ impl KvBlockPool {
         let mut copy = self.alloc(dim);
         let block = copy.get_mut().expect("freshly allocated block is private");
         block
-            .keys
-            .extend_from_slice(&src.inner.keys[..tokens * dim]);
-        block
-            .values
-            .extend_from_slice(&src.inner.values[..tokens * dim]);
+            .data
+            .extend_range_from(&src.inner.data, 0, tokens * dim);
         copy
     }
 }
@@ -433,6 +591,11 @@ impl PagedKvCache {
         &self.pool
     }
 
+    /// Element type of this cache's storage (the pool's dtype).
+    pub fn dtype(&self) -> KvDtype {
+        self.pool.dtype()
+    }
+
     /// Number of cached positions.
     pub fn len(&self) -> usize {
         self.len
@@ -471,25 +634,55 @@ impl PagedKvCache {
     /// budget is exhausted.
     pub fn push(&mut self, key: &[f32], value: &[f32]) {
         assert_eq!(key.len(), value.len(), "key/value length mismatch");
+        self.establish_dim(key.len());
+        self.writable_tail().push_position(key, value);
+        self.len += 1;
+    }
+
+    /// Appends position `t` of `src` as a **raw, dtype-preserving copy** —
+    /// no f32 round trip, so an `F16` position lands bit-identical. This is
+    /// the cross-cache transfer primitive (speculative draft resync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two caches' pools disagree on dtype, if the dimensions
+    /// disagree, or if `t >= src.len()`.
+    pub fn push_from(&mut self, src: &PagedKvCache, t: usize) {
+        assert_eq!(
+            self.pool.dtype(),
+            src.pool.dtype(),
+            "push_from requires matching KV dtypes"
+        );
+        let (block, offset) = src.slot(t);
+        let src_data = &src.blocks[block].inner.data;
+        self.establish_dim(src.dim);
+        self.writable_tail()
+            .extend_range_from(src_data, offset, src.dim);
+        self.len += 1;
+    }
+
+    fn establish_dim(&mut self, dim: usize) {
         if self.dim == 0 {
-            assert!(!key.is_empty(), "kv dimension must be positive");
-            self.dim = key.len();
+            assert!(dim > 0, "kv dimension must be positive");
+            self.dim = dim;
         } else {
-            assert_eq!(key.len(), self.dim, "kv dimension mismatch");
+            assert_eq!(dim, self.dim, "kv dimension mismatch");
         }
+    }
+
+    /// The tail block's storage, ready for one more position: allocates
+    /// when full, and forks a shared tail first (copy-on-write — a COW
+    /// clone or partial-prefix attach is never mutated).
+    fn writable_tail(&mut self) -> &mut KvBlockData {
         if self.len == self.capacity_tokens() {
             self.blocks.push(self.pool.alloc(self.dim));
         }
         let tail = self.blocks.last_mut().expect("block allocated above");
         if !tail.is_unique() {
-            // Copy-on-write: the tail is shared (a COW clone, or a future
-            // partial-prefix attach) — fork before the first write.
             *tail = self.pool.alloc_copy(tail);
         }
         let block = tail.get_mut().expect("tail is private after the fork");
-        block.keys.extend_from_slice(key);
-        block.values.extend_from_slice(value);
-        self.len += 1;
+        &mut block.data
     }
 
     fn slot(&self, t: usize) -> (usize, usize) {
@@ -502,24 +695,60 @@ impl PagedKvCache {
         (t / bt, (t % bt) * self.dim)
     }
 
-    /// The key vector cached at position `t`.
+    /// The key vector cached at position `t` (pools storing `f32`).
     ///
     /// # Panics
     ///
-    /// Panics if `t >= self.len()`.
+    /// Panics if `t >= self.len()`, or if the pool stores `F16` — readers
+    /// of a half-precision pool go through [`key_h`](Self::key_h).
     pub fn key(&self, t: usize) -> &[f32] {
         let (block, offset) = self.slot(t);
-        &self.blocks[block].inner.keys[offset..offset + self.dim]
+        match &self.blocks[block].inner.data {
+            KvBlockData::F32 { keys, .. } => &keys[offset..offset + self.dim],
+            KvBlockData::F16 { .. } => panic!("f16 KV cache: read keys via key_h"),
+        }
     }
 
-    /// The value vector cached at position `t`.
+    /// The value vector cached at position `t` (pools storing `f32`).
     ///
     /// # Panics
     ///
-    /// Panics if `t >= self.len()`.
+    /// Panics if `t >= self.len()`, or if the pool stores `F16` — readers
+    /// of a half-precision pool go through [`value_h`](Self::value_h).
     pub fn value(&self, t: usize) -> &[f32] {
         let (block, offset) = self.slot(t);
-        &self.blocks[block].inner.values[offset..offset + self.dim]
+        match &self.blocks[block].inner.data {
+            KvBlockData::F32 { values, .. } => &values[offset..offset + self.dim],
+            KvBlockData::F16 { .. } => panic!("f16 KV cache: read values via value_h"),
+        }
+    }
+
+    /// The key vector cached at position `t` as stored `F16` words (pools
+    /// storing `F16`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()` or if the pool stores `f32`.
+    pub fn key_h(&self, t: usize) -> &[F16] {
+        let (block, offset) = self.slot(t);
+        match &self.blocks[block].inner.data {
+            KvBlockData::F16 { keys, .. } => &keys[offset..offset + self.dim],
+            KvBlockData::F32 { .. } => panic!("f32 KV cache: read keys via key"),
+        }
+    }
+
+    /// The value vector cached at position `t` as stored `F16` words (pools
+    /// storing `F16`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.len()` or if the pool stores `f32`.
+    pub fn value_h(&self, t: usize) -> &[F16] {
+        let (block, offset) = self.slot(t);
+        match &self.blocks[block].inner.data {
+            KvBlockData::F16 { values, .. } => &values[offset..offset + self.dim],
+            KvBlockData::F32 { .. } => panic!("f32 KV cache: read values via value"),
+        }
     }
 
     /// Rolls the cache back to `len` positions (a no-op when `len` is not
@@ -551,8 +780,7 @@ impl PagedKvCache {
             if tail.is_unique() {
                 let block = tail.get_mut().expect("unique tail");
                 let dim = block.dim;
-                block.keys.truncate(tail_tokens * dim);
-                block.values.truncate(tail_tokens * dim);
+                block.data.truncate(tail_tokens * dim);
             } else {
                 // Copy-on-write: other referrers keep the full block.
                 *tail = self.pool.alloc_copy_prefix(tail, tail_tokens);
@@ -573,7 +801,7 @@ impl PagedKvCache {
     /// [`swap_out`](Self::swap_out) would produce, counting shared blocks
     /// as if they were private (a swapped cache is fully self-contained).
     pub fn content_bytes(&self) -> u64 {
-        2 * (self.len * self.dim * std::mem::size_of::<f32>()) as u64
+        2 * (self.len * self.dim * self.pool.dtype().bytes_per_elem()) as u64
     }
 
     /// Swaps this cache out to a cold buffer: copies every cached position
@@ -582,19 +810,21 @@ impl PagedKvCache {
     /// of every privately held block to the pool immediately. The cache is
     /// left empty but attached to its pool; [`restore`](Self::restore)
     /// brings the exact same contents back into freshly allocated private
-    /// blocks. Copies are raw `f32` moves, so a restored cache reads
-    /// bit-identically to the cache that was swapped out.
+    /// blocks. Copies are raw dtype-preserving moves, so a restored cache
+    /// reads bit-identically to the cache that was swapped out — in `F16`
+    /// pools too (the cold words are the stored half-precision words).
     pub fn swap_out(&mut self) -> SwappedKvCache {
-        let mut keys = Vec::with_capacity(self.len * self.dim);
-        let mut values = Vec::with_capacity(self.len * self.dim);
+        let mut data = KvBlockData::with_capacity(self.pool.dtype(), self.len * self.dim);
         for block in &self.blocks {
-            keys.extend_from_slice(&block.inner.keys);
-            values.extend_from_slice(&block.inner.values);
+            data.extend_range_from(&block.inner.data, 0, block.inner.data.elems());
         }
-        debug_assert_eq!(keys.len(), self.len * self.dim, "blocks cover len exactly");
+        debug_assert_eq!(
+            data.elems(),
+            self.len * self.dim,
+            "blocks cover len exactly"
+        );
         let swapped = SwappedKvCache {
-            keys,
-            values,
+            data,
             dim: self.dim,
             len: self.len,
         };
@@ -612,15 +842,26 @@ impl PagedKvCache {
     ///
     /// # Panics
     ///
-    /// Panics if the cache is not empty, or if the pool's block budget
-    /// cannot cover the restored blocks (a serving layer must reserve
-    /// capacity before restoring).
+    /// Panics if the cache is not empty, if the cold buffer's dtype does
+    /// not match the pool's, or if the pool's block budget cannot cover the
+    /// restored blocks (a serving layer must reserve capacity before
+    /// restoring).
     pub fn restore(&mut self, swapped: &SwappedKvCache) {
         assert!(self.is_empty(), "restore requires an empty cache");
+        assert_eq!(
+            swapped.data.dtype(),
+            self.pool.dtype(),
+            "swap/restore dtype mismatch (one pool, one dtype)"
+        );
+        if swapped.len == 0 {
+            return;
+        }
         let dim = swapped.dim;
+        self.establish_dim(dim);
         for t in 0..swapped.len {
-            let at = t * dim;
-            self.push(&swapped.keys[at..at + dim], &swapped.values[at..at + dim]);
+            self.writable_tail()
+                .extend_range_from(&swapped.data, t * dim, dim);
+            self.len += 1;
         }
     }
 }
@@ -633,8 +874,9 @@ impl PagedKvCache {
 /// a serving layer accounts against its swap budget.
 #[derive(Debug, Clone)]
 pub struct SwappedKvCache {
-    keys: Vec<f32>,
-    values: Vec<f32>,
+    /// Dtype-matched words (an `F16` cache swaps out half-precision words,
+    /// so the cold footprint is honest).
+    data: KvBlockData,
     dim: usize,
     len: usize,
 }
@@ -645,9 +887,14 @@ impl SwappedKvCache {
         self.len
     }
 
+    /// Element type of the cold words.
+    pub fn dtype(&self) -> KvDtype {
+        self.data.dtype()
+    }
+
     /// Bytes of the cold buffer (keys plus values).
     pub fn bytes(&self) -> u64 {
-        ((self.keys.len() + self.values.len()) * std::mem::size_of::<f32>()) as u64
+        (2 * self.data.elems() * self.data.dtype().bytes_per_elem()) as u64
     }
 }
 
@@ -1517,6 +1764,142 @@ mod tests {
         let cold = cache.swap_out();
         cache.push(&[2.0], &[2.0]);
         cache.restore(&cold);
+    }
+
+    #[test]
+    fn f16_pool_halves_every_byte_figure() {
+        // Mirror of `memory_accounting_tracks_blocks` at KvDtype::F16: the
+        // same workload costs exactly half the bytes, block for block.
+        let pool = KvBlockPool::with_budget_dtype(4, usize::MAX, KvDtype::F16);
+        assert_eq!(pool.dtype(), KvDtype::F16);
+        let mut cache = PagedKvCache::new(&pool);
+        assert_eq!(pool.memory_bytes(), 0);
+        for t in 0..5 {
+            cache.push(&[t as f32; 8], &[t as f32; 8]);
+        }
+        // 2 blocks × 2 (k+v) × 4 tokens × 8 elements × 2 bytes.
+        assert_eq!(pool.memory_bytes(), 2 * 2 * 4 * 8 * 2);
+        assert_eq!(pool.in_use_bytes(), pool.memory_bytes());
+        assert_eq!(cache.content_bytes(), 2 * 5 * 8 * 2);
+        cache.clear();
+        assert_eq!(pool.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn f16_pushes_round_to_nearest_even_and_reads_back_the_stored_words() {
+        let pool = KvBlockPool::with_budget_dtype(3, usize::MAX, KvDtype::F16);
+        let mut cache = PagedKvCache::new(&pool);
+        // Values chosen to exercise exact and rounded cases across an
+        // unaligned block boundary (block_tokens = 3).
+        let raw: Vec<f32> = (0..7).map(|t| 2048.0 + t as f32).collect();
+        for &v in &raw {
+            cache.push(&[v, -v], &[v * 0.5, 1.0 + v * 1e-4]);
+        }
+        for (t, &v) in raw.iter().enumerate() {
+            let expect_k = [F16::from_f32(v), F16::from_f32(-v)];
+            let expect_v = [F16::from_f32(v * 0.5), F16::from_f32(1.0 + v * 1e-4)];
+            assert_eq!(cache.key_h(t), &expect_k, "key {t}");
+            assert_eq!(cache.value_h(t), &expect_v, "value {t}");
+        }
+        // 2049.0 is not representable in f16 (rounds to 2048): the cache
+        // must return the *stored* word, not pretend to be lossless.
+        assert_eq!(cache.key_h(1)[0].to_f32(), 2048.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read keys via key_h")]
+    fn f32_readers_of_an_f16_pool_panic_with_direction() {
+        let pool = KvBlockPool::with_budget_dtype(2, usize::MAX, KvDtype::F16);
+        let mut cache = PagedKvCache::new(&pool);
+        cache.push(&[1.0], &[2.0]);
+        let _ = cache.key(0);
+    }
+
+    #[test]
+    fn f16_cow_truncate_and_prefix_semantics_are_dtype_independent() {
+        let pool = KvBlockPool::with_budget_dtype(4, usize::MAX, KvDtype::F16);
+        let mut base = PagedKvCache::new(&pool);
+        for t in 0..10 {
+            base.push(&[t as f32; 2], &[-(t as f32); 2]);
+        }
+        let mut fork = base.clone();
+        assert_eq!(pool.blocks_in_use(), 3, "clone aliases, does not copy");
+        // Mid-shared-tail truncate forks privately; base reads intact.
+        fork.truncate(9);
+        assert_eq!(pool.blocks_in_use(), 4);
+        assert_eq!(base.key_h(9), &[F16::from_f32(9.0); 2]);
+        assert_eq!(fork.key_h(8), &[F16::from_f32(8.0); 2]);
+        // Prefix attach over full blocks works unchanged.
+        let prefix: Vec<SharedKvBlock> = base.block_refs()[..2].to_vec();
+        let attached = PagedKvCache::with_prefix(&pool, prefix);
+        assert_eq!(attached.len(), 8);
+        assert_eq!(attached.value_h(3), &[F16::from_f32(-3.0); 2]);
+        drop((base, fork, attached));
+        assert_eq!(pool.blocks_in_use(), 0);
+    }
+
+    #[test]
+    fn f16_swap_restore_is_bit_identical_and_half_the_cold_bytes() {
+        let pool = KvBlockPool::with_budget_dtype(4, usize::MAX, KvDtype::F16);
+        let mut cache = PagedKvCache::new(&pool);
+        let mut rng = Prng::seed(99);
+        let pushed: Vec<(Vec<f32>, Vec<f32>)> = (0..11)
+            .map(|_| {
+                let k: Vec<f32> = (0..3).map(|_| rng.normal(0.0, 2.0) as f32).collect();
+                let v: Vec<f32> = (0..3).map(|_| rng.normal(0.0, 2.0) as f32).collect();
+                (k, v)
+            })
+            .collect();
+        for (k, v) in &pushed {
+            cache.push(k, v);
+        }
+        let before: Vec<Vec<F16>> = (0..11).map(|t| cache.key_h(t).to_vec()).collect();
+
+        let cold = cache.swap_out();
+        assert_eq!(cold.dtype(), KvDtype::F16);
+        assert_eq!(cold.bytes(), 2 * 11 * 3 * 2, "half the f32 cold bytes");
+        assert_eq!(pool.blocks_in_use(), 0);
+
+        cache.restore(&cold);
+        assert_eq!(cache.len(), 11);
+        for (t, expect) in before.iter().enumerate() {
+            assert_eq!(cache.key_h(t), &expect[..], "restored key {t}");
+        }
+    }
+
+    #[test]
+    fn push_from_transfers_stored_words_without_a_round_trip() {
+        let pool = KvBlockPool::with_budget_dtype(3, usize::MAX, KvDtype::F16);
+        let mut src = PagedKvCache::new(&pool);
+        for t in 0..7 {
+            src.push(&[t as f32 + 0.1; 2], &[t as f32 - 0.1; 2]);
+        }
+        let mut dst = PagedKvCache::new(&pool);
+        for t in 0..7 {
+            dst.push_from(&src, t);
+        }
+        for t in 0..7 {
+            assert_eq!(dst.key_h(t), src.key_h(t), "key {t}");
+            assert_eq!(dst.value_h(t), src.value_h(t), "value {t}");
+        }
+        // Same primitive on an f32 pool.
+        let pool32 = KvBlockPool::new(3);
+        let mut a = PagedKvCache::new(&pool32);
+        a.push(&[1.5, 2.5], &[3.5, 4.5]);
+        let mut b = PagedKvCache::new(&pool32);
+        b.push_from(&a, 0);
+        assert_eq!(b.key(0), a.key(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching KV dtypes")]
+    fn push_from_rejects_mixed_dtypes() {
+        let f32_pool = KvBlockPool::new(2);
+        let f16_pool = KvBlockPool::with_budget_dtype(2, usize::MAX, KvDtype::F16);
+        let mut src = PagedKvCache::new(&f32_pool);
+        src.push(&[1.0], &[1.0]);
+        let mut dst = PagedKvCache::new(&f16_pool);
+        dst.push_from(&src, 0);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod trace;
 
 pub use activation::Activation;
 pub use config::ModelConfig;
-pub use kv::{KvBlockPool, PagedKvCache, PrefixHit, PrefixIndex, SharedKvBlock};
+pub use kv::{KvBlockPool, KvDtype, PagedKvCache, PrefixHit, PrefixIndex, SharedKvBlock};
 pub use layer::DecoderLayer;
 pub use mlp::GatedMlp;
 pub use model::Model;

@@ -255,6 +255,20 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
             ]),
         ),
         (
+            "dtype".to_string(),
+            Json::Object(vec![
+                (
+                    "weights".to_string(),
+                    Json::String(stats.weight_format.to_string()),
+                ),
+                ("kv".to_string(), Json::String(stats.kv_dtype.to_string())),
+                (
+                    "kv_bytes_per_elem".to_string(),
+                    num(stats.kv_bytes_per_elem as u64),
+                ),
+            ]),
+        ),
+        (
             "kv".to_string(),
             Json::Object(vec![
                 (
@@ -262,12 +276,17 @@ pub fn stats_json(stats: &StatsSnapshot) -> String {
                     num(stats.kv_blocks_in_use as u64),
                 ),
                 ("in_use_bytes".to_string(), num(stats.kv_in_use_bytes)),
+                (
+                    "peak_in_use_bytes".to_string(),
+                    num(stats.kv_peak_in_use_bytes),
+                ),
             ]),
         ),
         (
             "memory".to_string(),
             Json::Object(vec![
                 ("shared_bytes".to_string(), num(stats.memory_shared_bytes)),
+                ("weight_bytes".to_string(), num(stats.memory_weight_bytes)),
                 (
                     "per_session_bytes".to_string(),
                     num(stats.memory_per_session_bytes),
@@ -523,9 +542,14 @@ mod tests {
             reserved_blocks: 11,
             kv_blocks_in_use: 9,
             kv_in_use_bytes: 4608,
+            kv_peak_in_use_bytes: 9216,
+            kv_dtype: "f16",
+            kv_bytes_per_elem: 2,
+            weight_format: "int8",
             submitted: 14,
             completed: 9,
             memory_shared_bytes: 1024,
+            memory_weight_bytes: 768,
             memory_per_session_bytes: 2048,
             memory_swapped_bytes: 512,
             prefix: Default::default(),
@@ -543,7 +567,19 @@ mod tests {
         assert_eq!(sched.get("draining").and_then(Json::as_bool), Some(false));
         let kv = doc.get("kv").unwrap();
         assert_eq!(kv.get("in_use_bytes").and_then(Json::as_u64), Some(4608));
+        assert_eq!(
+            kv.get("peak_in_use_bytes").and_then(Json::as_u64),
+            Some(9216)
+        );
+        let dtype = doc.get("dtype").expect("dtype section");
+        assert_eq!(dtype.get("weights").and_then(Json::as_str), Some("int8"));
+        assert_eq!(dtype.get("kv").and_then(Json::as_str), Some("f16"));
+        assert_eq!(
+            dtype.get("kv_bytes_per_elem").and_then(Json::as_u64),
+            Some(2)
+        );
         let memory = doc.get("memory").unwrap();
+        assert_eq!(memory.get("weight_bytes").and_then(Json::as_u64), Some(768));
         assert_eq!(
             memory.get("per_session_bytes").and_then(Json::as_u64),
             Some(2048)

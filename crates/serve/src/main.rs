@@ -3,11 +3,13 @@
 //! end-to-end self-test and exits — the CI smoke step).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use sparseinfer::model::generator::WeightGenerator;
+use sparseinfer::model::kv::KvDtype;
 use sparseinfer::model::{Model, ModelConfig};
 use sparseinfer::predictor::AlphaSchedule;
-use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::engine::{Engine, EngineBuilder, QuantizedWeights, WeightFormat};
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::scheduler::SchedulerConfig;
 use sparseinfer_serve::{Client, Server, ServerConfig};
@@ -25,6 +27,8 @@ struct Args {
     seed: u64,
     signbit: bool,
     speculate: usize,
+    weights: WeightFormat,
+    kv: KvDtype,
     smoke: bool,
 }
 
@@ -42,6 +46,8 @@ impl Default for Args {
             seed: 42,
             signbit: false,
             speculate: 0,
+            weights: WeightFormat::F32,
+            kv: KvDtype::F32,
             smoke: false,
         }
     }
@@ -67,6 +73,11 @@ OPTIONS:
     --speculate <k>         lossless speculative decoding: sign-bit sparse
                             drafts up to k tokens per step, dense verifies
                             (tokens stay bit-identical to dense decode)
+    --weights <f32|int8>    MLP weight format: int8 runs the fused
+                            block-dequant kernels over one shared ~4x
+                            smaller copy (default f32)
+    --kv <f32|f16>          KV cache element type: f16 halves KV memory,
+                            attention dequantizes in-loop (default f32)
     --smoke                 run the built-in end-to-end self-test and exit
     --help                  print this help
 ";
@@ -105,6 +116,20 @@ fn parse_args() -> Result<Args, String> {
             "--speculate" => {
                 args.speculate = parse_num(&value(&mut it, "--speculate")?, "--speculate")?
             }
+            "--weights" => {
+                args.weights = match value(&mut it, "--weights")?.as_str() {
+                    "f32" => WeightFormat::F32,
+                    "int8" => WeightFormat::Int8,
+                    other => return Err(format!("--weights must be f32 or int8, got `{other}`")),
+                }
+            }
+            "--kv" => {
+                args.kv = match value(&mut it, "--kv")?.as_str() {
+                    "f32" => KvDtype::F32,
+                    "f16" => KvDtype::F16,
+                    other => return Err(format!("--kv must be f32 or f16, got `{other}`")),
+                }
+            }
             "--smoke" => args.smoke = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -125,35 +150,47 @@ fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
 
 /// Build the engine the CLI flags ask for. `--speculate k` wraps a
 /// sign-bit sparse draft around a dense verifier; otherwise `--signbit`
-/// picks the sparse engine and the default is dense.
+/// picks the sparse engine and the default is dense. With `--weights
+/// int8` the served engine (the *draft* in the speculative pairing — the
+/// verifier stays f32, preserving the lossless contract) attaches the
+/// one `quantized` copy shared across every request.
 fn build_engine<'m>(
     model: &'m Model,
     signbit: bool,
     speculate: usize,
+    quantized: Option<&Arc<QuantizedWeights>>,
 ) -> Result<Box<dyn Engine + 'm>, EngineError> {
+    let with_format = |mut b: EngineBuilder<'m>| {
+        if let Some(q) = quantized {
+            b = b.quantized_shared(Arc::clone(q));
+        }
+        b
+    };
     if speculate > 0 {
-        let draft = EngineBuilder::new(model)
-            .signbit(AlphaSchedule::uniform(1.0))
-            .build()?;
+        let draft =
+            with_format(EngineBuilder::new(model).signbit(AlphaSchedule::uniform(1.0))).build()?;
         let verify = EngineBuilder::new(model).build()?;
         EngineBuilder::speculative(draft, verify, speculate)
     } else if signbit {
-        EngineBuilder::new(model)
-            .signbit(AlphaSchedule::uniform(1.0))
-            .build()
+        with_format(EngineBuilder::new(model).signbit(AlphaSchedule::uniform(1.0))).build()
     } else {
-        EngineBuilder::new(model).build()
+        with_format(EngineBuilder::new(model)).build()
     }
 }
 
 fn engine_label(args: &Args) -> String {
-    if args.speculate > 0 {
+    let base = if args.speculate > 0 {
         format!("speculative k={}", args.speculate)
     } else if args.signbit {
         "signbit".to_string()
     } else {
         "dense".to_string()
-    }
+    };
+    format!(
+        "{base}, weights={}, kv={}",
+        args.weights.label(),
+        args.kv.label()
+    )
 }
 
 fn main() -> ExitCode {
@@ -169,6 +206,11 @@ fn main() -> ExitCode {
     }
 
     let model = WeightGenerator::new(&ModelConfig::tiny(), args.seed).build();
+    // One INT8 copy quantized up front and shared (Arc) across every
+    // request's engine — requests cost no quantization work and the
+    // memory estimate deduplicates the bytes.
+    let quantized =
+        (args.weights == WeightFormat::Int8).then(|| Arc::new(QuantizedWeights::quantize(&model)));
     let server = match Server::bind(server_config(&args)) {
         Ok(server) => server,
         Err(e) => {
@@ -186,7 +228,7 @@ fn main() -> ExitCode {
     let (signbit, speculate) = (args.signbit, args.speculate);
     // The factory borrows `model` (not `move`): the engines it builds
     // must outlive their request, not just the closure call.
-    server.serve(&|_req| build_engine(&model, signbit, speculate));
+    server.serve(&|_req| build_engine(&model, signbit, speculate, quantized.as_ref()));
     ExitCode::SUCCESS
 }
 
@@ -198,11 +240,13 @@ fn server_config(args: &Args) -> ServerConfig {
             block_tokens: args.block_tokens,
             kv_block_budget: args.kv_block_budget,
             prefix_cache: args.prefix_cache,
+            kv_dtype: args.kv,
             ..SchedulerConfig::default()
         },
         slot_threads: args.slot_threads,
         connection_threads: args.connection_threads,
         queue_capacity: args.queue_capacity,
+        weight_format: args.weights,
         ..ServerConfig::default()
     }
 }
@@ -216,6 +260,8 @@ fn smoke(mut args: Args) -> ExitCode {
     args.addr = "127.0.0.1:0".to_string();
     args.prefix_cache = false;
     let model = WeightGenerator::new(&ModelConfig::tiny(), args.seed).build();
+    let quantized =
+        (args.weights == WeightFormat::Int8).then(|| Arc::new(QuantizedWeights::quantize(&model)));
     let server = match Server::bind(server_config(&args)) {
         Ok(server) => server,
         Err(e) => {
@@ -226,6 +272,9 @@ fn smoke(mut args: Args) -> ExitCode {
     let handle = server.handle();
     let addr = handle.addr();
     let speculate = args.speculate;
+    let weights_label = args.weights.label();
+    let kv_label = args.kv.label();
+    let kv_bytes_per_elem = args.kv.bytes_per_elem() as u64;
 
     let client = std::thread::spawn(move || -> Result<(), String> {
         fn e(what: &'static str) -> impl Fn(std::io::Error) -> String {
@@ -277,7 +326,49 @@ fn smoke(mut args: Args) -> ExitCode {
                 other => return Err(format!("expected drafted > 0 in stats, got {other:?}")),
             }
         }
-        eprintln!("smoke: streamed {} tokens, stats ok", tokens.len());
+
+        // The dtype section must reflect the configured formats, with the
+        // per-element KV cost showing the f16 halving directly (2 vs 4).
+        let dtype = doc.get("dtype").ok_or("stats missing dtype section")?;
+        let weights = dtype
+            .get("weights")
+            .and_then(sparseinfer::json::Json::as_str);
+        if weights != Some(weights_label) {
+            return Err(format!(
+                "dtype.weights: expected {weights_label}, got {weights:?}"
+            ));
+        }
+        let kv = dtype.get("kv").and_then(sparseinfer::json::Json::as_str);
+        if kv != Some(kv_label) {
+            return Err(format!("dtype.kv: expected {kv_label}, got {kv:?}"));
+        }
+        let per_elem = dtype
+            .get("kv_bytes_per_elem")
+            .and_then(sparseinfer::json::Json::as_u64);
+        if per_elem != Some(kv_bytes_per_elem) {
+            return Err(format!(
+                "dtype.kv_bytes_per_elem: expected {kv_bytes_per_elem}, got {per_elem:?}"
+            ));
+        }
+        let peak = doc
+            .get("kv")
+            .and_then(|s| s.get("peak_in_use_bytes"))
+            .and_then(sparseinfer::json::Json::as_u64)
+            .unwrap_or(0);
+        if peak == 0 {
+            return Err("kv.peak_in_use_bytes stayed zero across a generation".to_string());
+        }
+        if peak % (2 * kv_bytes_per_elem) != 0 {
+            return Err(format!(
+                "kv.peak_in_use_bytes {peak} is not a whole number of \
+                 {kv_bytes_per_elem}-byte K/V pairs"
+            ));
+        }
+        eprintln!(
+            "smoke: streamed {} tokens, stats ok (weights={weights_label} kv={kv_label} \
+             peak_kv={peak}B)",
+            tokens.len()
+        );
         Ok(())
     });
 
@@ -290,7 +381,8 @@ fn smoke(mut args: Args) -> ExitCode {
             verdict
         }
     });
-    let final_stats = server.serve(&|_req| build_engine(&model, args.signbit, args.speculate));
+    let final_stats = server
+        .serve(&|_req| build_engine(&model, args.signbit, args.speculate, quantized.as_ref()));
 
     match watchdog.join().expect("watchdog thread panicked") {
         Ok(()) => {}

@@ -106,12 +106,25 @@ pub struct StatsSnapshot {
     pub kv_blocks_in_use: usize,
     /// Bytes of those in-use KV blocks.
     pub kv_in_use_bytes: u64,
+    /// High-water mark of `kv_in_use_bytes` over the server's lifetime,
+    /// sampled once per owner-loop iteration. With `--kv f16` this is
+    /// exactly half the f32 value for the same workload.
+    pub kv_peak_in_use_bytes: u64,
+    /// Element type of the KV pool's blocks (`"f32"` / `"f16"`).
+    pub kv_dtype: &'static str,
+    /// Bytes of one stored KV scalar (4 for f32, 2 for f16).
+    pub kv_bytes_per_elem: usize,
+    /// Weight format the server's engines execute (`"f32"` / `"int8"`).
+    pub weight_format: &'static str,
     /// Requests submitted over the server's lifetime.
     pub submitted: usize,
     /// Requests finished over the server's lifetime.
     pub completed: usize,
     /// Shared read-only engine bytes across queued + live requests.
     pub memory_shared_bytes: u64,
+    /// Quantized MLP weight bytes within `memory_shared_bytes` (zero for
+    /// f32 engines — their weights live in the model, not the engine).
+    pub memory_weight_bytes: u64,
     /// Per-session engine bytes across queued + live requests.
     pub memory_per_session_bytes: u64,
     /// Cold bytes held by swapped-out preempted requests.
@@ -155,11 +168,13 @@ pub fn run_owner_loop<'m>(
     submissions: Receiver<Submission<'m>>,
     stats: Arc<Mutex<StatsSnapshot>>,
     max_pending: usize,
+    weight_format: &'static str,
 ) {
     let max_pending = max_pending.max(1);
     let mut live: HashMap<usize, LiveRequest> = HashMap::new();
     let mut completed = 0usize;
     let mut disconnected = false;
+    let mut peak_kv_bytes = 0u64;
     loop {
         // 1. Drain waiting submissions, up to the pending-queue cap.
         // Draining before ticking keeps admission FIFO across connections
@@ -208,7 +223,14 @@ pub fn run_owner_loop<'m>(
         // is guaranteed a subsequent /stats read counts its completion.
         let finished = scheduler.take_finished();
         completed += finished.len();
-        publish_stats(&scheduler, &stats, completed, disconnected);
+        publish_stats(
+            &scheduler,
+            &stats,
+            completed,
+            disconnected,
+            weight_format,
+            &mut peak_kv_bytes,
+        );
         for out in finished {
             if let Some(req) = live.remove(&out.id) {
                 let _ = req.events.send(StreamEvent::Finished(FinishSummary {
@@ -277,18 +299,27 @@ fn publish_stats(
     stats: &Arc<Mutex<StatsSnapshot>>,
     completed: usize,
     draining: bool,
+    weight_format: &'static str,
+    peak_kv_bytes: &mut u64,
 ) {
     let memory = scheduler.memory_estimate();
     let pool = scheduler.kv_pool();
+    let in_use = pool.in_use_bytes();
+    *peak_kv_bytes = (*peak_kv_bytes).max(in_use);
     let snapshot = StatsSnapshot {
         queued: scheduler.pending_requests(),
         active_slots: scheduler.active_slots(),
         reserved_blocks: scheduler.reserved_blocks(),
         kv_blocks_in_use: pool.blocks_in_use(),
-        kv_in_use_bytes: pool.in_use_bytes(),
+        kv_in_use_bytes: in_use,
+        kv_peak_in_use_bytes: *peak_kv_bytes,
+        kv_dtype: pool.dtype().label(),
+        kv_bytes_per_elem: pool.dtype().bytes_per_elem(),
+        weight_format,
         submitted: scheduler.submitted(),
         completed,
         memory_shared_bytes: memory.shared_bytes,
+        memory_weight_bytes: memory.weight_bytes,
         memory_per_session_bytes: memory.per_session_bytes,
         memory_swapped_bytes: memory.swapped_bytes,
         prefix: scheduler.prefix_stats(),
@@ -350,7 +381,7 @@ mod tests {
         let (reply_tx, reply_rx) = mpsc::channel();
         std::thread::scope(|scope| {
             let stats = Arc::clone(&stats);
-            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64, "f32"));
             sub_tx
                 .send(Submission {
                     engine: EngineBuilder::new(&model).build().unwrap(),
@@ -385,7 +416,7 @@ mod tests {
                 max_slots: 1,
                 ..config()
             };
-            scope.spawn(move || run_owner_loop(Scheduler::new(cfg), sub_rx, stats, 64));
+            scope.spawn(move || run_owner_loop(Scheduler::new(cfg), sub_rx, stats, 64, "f32"));
 
             // A long-running request with an immediate deadline...
             let (ev_tx, ev_rx) = mpsc::channel();
@@ -432,7 +463,7 @@ mod tests {
         let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
         std::thread::scope(|scope| {
             let stats = Arc::clone(&stats);
-            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64, "f32"));
             let (ev_tx, ev_rx) = mpsc::channel();
             let (reply_tx, reply_rx) = mpsc::channel();
             sub_tx
@@ -477,7 +508,7 @@ mod tests {
         let stats = Arc::new(Mutex::new(StatsSnapshot::default()));
         std::thread::scope(|scope| {
             let stats = Arc::clone(&stats);
-            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64));
+            scope.spawn(move || run_owner_loop(Scheduler::new(config()), sub_rx, stats, 64, "f32"));
             let (ev_tx, ev_rx) = mpsc::channel();
             let (reply_tx, reply_rx) = mpsc::channel();
             sub_tx

@@ -44,7 +44,7 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use sparseinfer::sparse::engine::Engine;
+use sparseinfer::sparse::engine::{Engine, WeightFormat};
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::request::GenerateRequest;
 use sparseinfer::sparse::scheduler::{Scheduler, SchedulerConfig};
@@ -77,6 +77,10 @@ pub struct ServerConfig {
     /// Bounded depth of the submission channel; a full channel answers
     /// `503` with `Retry-After` instead of queueing unboundedly.
     pub queue_capacity: usize,
+    /// Weight format the engine factory builds (surfaced in `/stats` —
+    /// the factory itself is opaque to the server, so the configuration
+    /// carries the label).
+    pub weight_format: WeightFormat,
     /// HTTP parser caps.
     pub limits: Limits,
 }
@@ -91,6 +95,7 @@ impl Default for ServerConfig {
             slot_threads: 1,
             connection_threads: 4,
             queue_capacity: 64,
+            weight_format: WeightFormat::F32,
             limits: Limits::default(),
         }
     }
@@ -202,7 +207,10 @@ impl Server {
         std::thread::scope(|scope| {
             let stats = Arc::clone(&handle.stats);
             let max_pending = config.queue_capacity;
-            scope.spawn(move || run_owner_loop(scheduler, sub_rx, stats, max_pending));
+            let weight_format = config.weight_format.label();
+            scope.spawn(move || {
+                run_owner_loop(scheduler, sub_rx, stats, max_pending, weight_format)
+            });
 
             for _ in 0..config.connection_threads.max(1) {
                 let conn_rx = Arc::clone(&conn_rx);

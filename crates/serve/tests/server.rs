@@ -32,6 +32,7 @@ fn test_config() -> ServerConfig {
         slot_threads: 1,
         connection_threads: 4,
         queue_capacity: 8,
+        weight_format: Default::default(),
         limits: Limits::default(),
     }
 }

@@ -80,8 +80,75 @@ use sparseinfer_predictor::{
 use sparseinfer_tensor::{ParallelOptions, ThreadPool, Vector, Workspace};
 
 use crate::error::EngineError;
-use crate::mlp::{sparse_mlp_forward_into, MlpOptions};
+use crate::mlp::{sparse_mlp_forward_into, sparse_mlp_q8_forward_into, MlpOptions};
 use crate::ops::OpCounter;
+use crate::quantized::FusedQuantizedMlp;
+
+/// MLP weight storage format executed by an engine.
+///
+/// `F32` reads the model's own matrices; `Int8` executes a block-quantized
+/// copy (one scale per 32 columns) through the fused block-dequant kernels,
+/// loading one byte per weight instead of four. Either way, decode is
+/// bit-identical to its own solo run at every thread count — quantization
+/// perturbs *values* once at weight-prep time, never the reduction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WeightFormat {
+    /// Full-precision `f32` — the model's own matrices.
+    #[default]
+    F32,
+    /// Block-quantized INT8 via [`QuantizedWeights`].
+    Int8,
+}
+
+impl WeightFormat {
+    /// Short stable name for flags and stats ("f32" / "int8").
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightFormat::F32 => "f32",
+            WeightFormat::Int8 => "int8",
+        }
+    }
+}
+
+/// One model's MLP weights quantized to block-INT8 — the weight analogue
+/// of a shared predictor. Build once at load time, share across engines
+/// via `Arc` ([`EngineBuilder::quantized_shared`]) so a batch of N slots
+/// holds one INT8 copy, not N.
+#[derive(Debug)]
+pub struct QuantizedWeights {
+    layers: Vec<FusedQuantizedMlp>,
+}
+
+impl QuantizedWeights {
+    /// Quantizes every layer's gate/up/down matrices (one-time, at load).
+    pub fn quantize(model: &Model) -> Self {
+        Self {
+            layers: model
+                .layers()
+                .iter()
+                .map(|l| FusedQuantizedMlp::quantize(l.mlp()))
+                .collect(),
+        }
+    }
+
+    /// Per-layer quantized MLP blocks, in model layer order.
+    pub fn layers(&self) -> &[FusedQuantizedMlp] {
+        &self.layers
+    }
+
+    /// Total INT8 payload bytes (values plus block scales) — the shrunken
+    /// weight footprint [`MemoryEstimate::weight_bytes`] reports.
+    pub fn size_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.size_bytes() as u64).sum()
+    }
+
+    fn fits(&self, model: &Model) -> bool {
+        self.layers.len() == model.layers().len()
+            && self.layers.iter().zip(model.layers()).all(|(q, l)| {
+                q.mlp_dim() == l.mlp().mlp_dim() && q.hidden_dim() == l.mlp().hidden_dim()
+            })
+    }
+}
 
 /// Per-engine execution options (the paper's Fig. 4 variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,8 +285,15 @@ impl SparsityStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoryEstimate {
     /// Bytes of shared, read-only state (packed sign tables, DejaVu
-    /// weights, oracle gate copies). Zero for the dense baseline.
+    /// weights, oracle gate copies, quantized weight copies). Zero for
+    /// the plain dense baseline.
     pub shared_bytes: u64,
+    /// Of `shared_bytes`, how much is quantized MLP weight payload —
+    /// zero under [`WeightFormat::F32`] (the engine reads the model's own
+    /// matrices, accounted with the model), the INT8 copy's bytes (~¼ of
+    /// the f32 matrices) under [`WeightFormat::Int8`]. A subcomponent,
+    /// not an addend: [`total`](Self::total) must not add it again.
+    pub weight_bytes: u64,
     /// Bytes of per-session state (scratch buffers, masks, workspace pool,
     /// statistics). Model weights and KV caches are accounted elsewhere.
     pub per_session_bytes: u64,
@@ -469,6 +543,13 @@ pub trait Engine: std::fmt::Debug + Send {
         None
     }
 
+    /// The MLP weight storage format this engine executes. Speculative
+    /// engines report their *draft's* format (the sparse hot path; the
+    /// verifier's is visible through its own engine).
+    fn weight_format(&self) -> WeightFormat {
+        WeightFormat::F32
+    }
+
     /// Short, stable configuration name for printouts.
     fn name(&self) -> &str;
 }
@@ -483,6 +564,8 @@ pub struct DenseEngine<'m> {
     ws: Workspace,
     dense_mask: SkipMask,
     effective: SkipMask,
+    quantized: Option<Arc<QuantizedWeights>>,
+    label: &'static str,
 }
 
 impl<'m> DenseEngine<'m> {
@@ -496,6 +579,8 @@ impl<'m> DenseEngine<'m> {
             ws: Workspace::new(),
             dense_mask: SkipMask::all_dense(0),
             effective: SkipMask::all_dense(0),
+            quantized: None,
+            label: "dense",
         }
     }
 
@@ -526,7 +611,12 @@ impl Engine for DenseEngine<'_> {
         for (&token, out) in tokens.iter().zip(logits.iter_mut()) {
             let mut h = self.ws.take(model.config().hidden_dim);
             model.embed_into(token, &mut h);
-            for (layer, cache) in model.layers().iter().zip(session.caches.iter_mut()) {
+            for (li, (layer, cache)) in model
+                .layers()
+                .iter()
+                .zip(session.caches.iter_mut())
+                .enumerate()
+            {
                 let mid =
                     layer.attention_half_ws(&h, session.position, cache, &self.pool, &mut self.ws);
                 account_attention(&mut self.ops, layer.hidden_dim(), cache.len());
@@ -538,20 +628,34 @@ impl Engine for DenseEngine<'_> {
                 // Dense = sparse execution under the all-active mask with the
                 // base options (no fusion, no actual sparsity) — exactly the
                 // seed's `dense_mlp_forward`.
-                let _ = sparse_mlp_forward_into(
-                    layer.mlp(),
-                    &x,
-                    &self.dense_mask,
-                    MlpOptions {
-                        kernel_fusion: false,
-                        actual_sparsity: false,
-                    },
-                    &self.pool,
-                    &mut self.ws,
-                    &mut self.effective,
-                    &mut self.ops,
-                    &mut h,
-                );
+                let base = MlpOptions {
+                    kernel_fusion: false,
+                    actual_sparsity: false,
+                };
+                let _ = match &self.quantized {
+                    Some(q) => sparse_mlp_q8_forward_into(
+                        &q.layers()[li],
+                        &x,
+                        &self.dense_mask,
+                        base,
+                        &self.pool,
+                        &mut self.ws,
+                        &mut self.effective,
+                        &mut self.ops,
+                        &mut h,
+                    ),
+                    None => sparse_mlp_forward_into(
+                        layer.mlp(),
+                        &x,
+                        &self.dense_mask,
+                        base,
+                        &self.pool,
+                        &mut self.ws,
+                        &mut self.effective,
+                        &mut self.ops,
+                        &mut h,
+                    ),
+                };
                 self.ws.give(x);
                 h.add_assign(&mid);
                 self.ws.give(mid);
@@ -575,8 +679,10 @@ impl Engine for DenseEngine<'_> {
     }
 
     fn memory_estimate(&self) -> MemoryEstimate {
+        let weight_bytes = self.quantized.as_ref().map_or(0, |q| q.size_bytes());
         MemoryEstimate {
-            shared_bytes: 0,
+            shared_bytes: weight_bytes,
+            weight_bytes,
             per_session_bytes: self.ws.pooled_bytes()
                 + mask_bytes(&self.dense_mask)
                 + mask_bytes(&self.effective),
@@ -584,8 +690,22 @@ impl Engine for DenseEngine<'_> {
         }
     }
 
+    fn shared_state_id(&self) -> Option<usize> {
+        self.quantized
+            .as_ref()
+            .map(|q| Arc::as_ptr(q) as *const () as usize)
+    }
+
+    fn weight_format(&self) -> WeightFormat {
+        if self.quantized.is_some() {
+            WeightFormat::Int8
+        } else {
+            WeightFormat::F32
+        }
+    }
+
     fn name(&self) -> &str {
-        "dense"
+        self.label
     }
 }
 
@@ -610,6 +730,7 @@ pub struct SparseEngine<'m> {
     scratch: PredictorScratch,
     mask: SkipMask,
     effective: SkipMask,
+    quantized: Option<Arc<QuantizedWeights>>,
 }
 
 impl<'m> SparseEngine<'m> {
@@ -643,6 +764,7 @@ impl<'m> SparseEngine<'m> {
             scratch: PredictorScratch::new(),
             mask: SkipMask::all_dense(0),
             effective: SkipMask::all_dense(0),
+            quantized: None,
         })
     }
 
@@ -709,17 +831,30 @@ impl Engine for SparseEngine<'_> {
                 self.ops.predictor_macs += cost.macs;
                 self.ops.weight_bytes_loaded += cost.bytes_loaded;
 
-                let (predicted, effective) = sparse_mlp_forward_into(
-                    layer.mlp(),
-                    &x,
-                    &self.mask,
-                    self.options.mlp,
-                    &self.pool,
-                    &mut self.ws,
-                    &mut self.effective,
-                    &mut self.ops,
-                    &mut h,
-                );
+                let (predicted, effective) = match &self.quantized {
+                    Some(q) => sparse_mlp_q8_forward_into(
+                        &q.layers()[li],
+                        &x,
+                        &self.mask,
+                        self.options.mlp,
+                        &self.pool,
+                        &mut self.ws,
+                        &mut self.effective,
+                        &mut self.ops,
+                        &mut h,
+                    ),
+                    None => sparse_mlp_forward_into(
+                        layer.mlp(),
+                        &x,
+                        &self.mask,
+                        self.options.mlp,
+                        &self.pool,
+                        &mut self.ws,
+                        &mut self.effective,
+                        &mut self.ops,
+                        &mut h,
+                    ),
+                };
                 self.stats.predicted_sum[li] += predicted;
                 self.stats.effective_sum[li] += effective;
 
@@ -752,8 +887,10 @@ impl Engine for SparseEngine<'_> {
     }
 
     fn memory_estimate(&self) -> MemoryEstimate {
+        let weight_bytes = self.quantized.as_ref().map_or(0, |q| q.size_bytes());
         MemoryEstimate {
-            shared_bytes: self.predictor.memory_bytes(),
+            shared_bytes: self.predictor.memory_bytes() + weight_bytes,
+            weight_bytes,
             per_session_bytes: self.ws.pooled_bytes()
                 + self.scratch.memory_bytes()
                 + mask_bytes(&self.mask)
@@ -764,7 +901,21 @@ impl Engine for SparseEngine<'_> {
     }
 
     fn shared_state_id(&self) -> Option<usize> {
-        Some(Arc::as_ptr(&self.predictor) as *const () as usize)
+        // Identity covers *all* shared state: engines share bytes only when
+        // they share both the predictor and (if any) the quantized weights.
+        let p = Arc::as_ptr(&self.predictor) as *const () as usize;
+        Some(match &self.quantized {
+            Some(q) => p ^ (Arc::as_ptr(q) as *const () as usize),
+            None => p,
+        })
+    }
+
+    fn weight_format(&self) -> WeightFormat {
+        if self.quantized.is_some() {
+            WeightFormat::Int8
+        } else {
+            WeightFormat::F32
+        }
     }
 
     fn name(&self) -> &str {
@@ -861,7 +1012,9 @@ impl<'m> SpeculativeEngine<'m> {
         if ds.position < pos {
             for (dst, src) in ds.caches.iter_mut().zip(&session.caches) {
                 for t in dst.len()..pos {
-                    dst.push(src.key(t), src.value(t));
+                    // Dtype-aware: raw words paged-to-paged, lossless f16→f32
+                    // widening into the contiguous draft cache.
+                    dst.push_from(src, t);
                 }
             }
             ds.position = pos;
@@ -978,6 +1131,7 @@ impl Engine for SpeculativeEngine<'_> {
             .sum();
         MemoryEstimate {
             shared_bytes: d.shared_bytes + v.shared_bytes,
+            weight_bytes: d.weight_bytes + v.weight_bytes,
             per_session_bytes: d.per_session_bytes + v.per_session_bytes + draft_kv,
             swapped_bytes: d.swapped_bytes + v.swapped_bytes,
         }
@@ -985,6 +1139,10 @@ impl Engine for SpeculativeEngine<'_> {
 
     fn shared_state_id(&self) -> Option<usize> {
         self.draft.shared_state_id()
+    }
+
+    fn weight_format(&self) -> WeightFormat {
+        self.draft.weight_format()
     }
 
     fn name(&self) -> &str {
@@ -1009,6 +1167,8 @@ pub struct EngineBuilder<'m> {
     sampler: Sampler,
     parallel: ParallelOptions,
     pool: Option<ThreadPool>,
+    weight_format: WeightFormat,
+    quantized: Option<Arc<QuantizedWeights>>,
 }
 
 impl<'m> EngineBuilder<'m> {
@@ -1022,7 +1182,31 @@ impl<'m> EngineBuilder<'m> {
             sampler: Sampler::greedy(),
             parallel: ParallelOptions::single(),
             pool: None,
+            weight_format: WeightFormat::default(),
+            quantized: None,
         }
+    }
+
+    /// Selects the MLP weight storage format. [`WeightFormat::Int8`]
+    /// quantizes the model's MLP weights at `build` time (unless a shared
+    /// copy arrives via [`quantized_shared`](Self::quantized_shared)) and
+    /// routes every decode GEMV through the fused block-dequant kernels —
+    /// 4× less weight traffic, bit-identical across thread counts.
+    pub fn weight_format(mut self, format: WeightFormat) -> Self {
+        self.weight_format = format;
+        self
+    }
+
+    /// Uses an already-quantized weight set (and implies
+    /// [`WeightFormat::Int8`]) — engines built from clones of the same
+    /// `Arc` share one INT8 copy, the weight analogue of
+    /// [`predictor_shared`](Self::predictor_shared). Serving layers that
+    /// build engines per request should quantize once at startup and pass
+    /// clones here.
+    pub fn quantized_shared(mut self, weights: Arc<QuantizedWeights>) -> Self {
+        self.quantized = Some(weights);
+        self.weight_format = WeightFormat::Int8;
+        self
     }
 
     /// Uses an explicit boxed predictor (moved behind an `Arc`).
@@ -1113,17 +1297,39 @@ impl<'m> EngineBuilder<'m> {
     /// spawns nothing here.
     pub fn build(self) -> Result<Box<dyn Engine + 'm>, EngineError> {
         let pool = self.pool.unwrap_or_else(|| ThreadPool::new(self.parallel));
+        let quantized = match self.weight_format {
+            WeightFormat::F32 => None,
+            WeightFormat::Int8 => {
+                let q = self
+                    .quantized
+                    .unwrap_or_else(|| Arc::new(QuantizedWeights::quantize(self.model)));
+                if !q.fits(self.model) {
+                    return Err(EngineError::QuantizedWeightsMismatch {
+                        reason: "layer count or MLP dimensions disagree with the model",
+                    });
+                }
+                Some(q)
+            }
+        };
         match self.predictor {
             None => {
                 let mut e = DenseEngine::new(self.model);
                 e.sampler = self.sampler;
                 e.pool = pool;
+                if let Some(q) = quantized {
+                    e.quantized = Some(q);
+                    e.label = "dense+int8";
+                }
                 Ok(Box::new(e))
             }
             Some(p) => {
                 let mut e = SparseEngine::new(self.model, p, self.options)?;
                 e.sampler = self.sampler;
                 e.pool = pool;
+                if let Some(q) = quantized {
+                    e.quantized = Some(q);
+                    e.label.push_str("+int8");
+                }
                 Ok(Box::new(e))
             }
         }
@@ -1601,6 +1807,147 @@ mod tests {
         let verify = EngineBuilder::new(&m).build().unwrap();
         let err = EngineBuilder::speculative(draft, verify, 4).unwrap_err();
         assert!(matches!(err, EngineError::SpeculativeConfig { .. }));
+    }
+
+    #[test]
+    fn int8_engines_decode_and_report_shrunken_weights() {
+        let m = model();
+        let mut engine = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .weight_format(WeightFormat::Int8)
+            .build()
+            .unwrap();
+        assert_eq!(engine.name(), "sparse:sparseinfer+int8");
+        assert_eq!(engine.weight_format(), WeightFormat::Int8);
+        let out = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(6),
+        )
+        .unwrap()
+        .tokens;
+        assert_eq!(out.len(), 6);
+        assert!(engine.ops().rows_skipped > 0);
+
+        let est = engine.memory_estimate();
+        let cfg = m.config();
+        let fp32_mlp =
+            (3 * cfg.n_layers * cfg.mlp_dim * cfg.hidden_dim * std::mem::size_of::<f32>()) as u64;
+        let ratio = fp32_mlp as f64 / est.weight_bytes as f64;
+        assert!(
+            (3.4..4.01).contains(&ratio),
+            "int8 copy must be ~4x smaller: {ratio}"
+        );
+        assert!(
+            est.shared_bytes >= est.weight_bytes,
+            "subcomponent invariant"
+        );
+
+        let mut dense8 = EngineBuilder::new(&m)
+            .weight_format(WeightFormat::Int8)
+            .build()
+            .unwrap();
+        assert_eq!(dense8.name(), "dense+int8");
+        assert_eq!(dense8.weight_format(), WeightFormat::Int8);
+        let out = crate::request::generate(
+            dense8.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(6),
+        )
+        .unwrap()
+        .tokens;
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn int8_decode_is_bit_identical_across_thread_counts() {
+        let m = model();
+        // One shared INT8 copy so all three configurations execute the same
+        // quantized values; the claim under test is reduction-order
+        // invariance across thread counts.
+        let q = Arc::new(QuantizedWeights::quantize(&m));
+        let run = |threads: usize| {
+            let mut e = EngineBuilder::new(&m)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .quantized_shared(Arc::clone(&q))
+                .parallel(ParallelOptions::threads(threads))
+                .build()
+                .unwrap();
+            crate::request::generate(
+                e.as_mut(),
+                &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(8),
+            )
+            .unwrap()
+            .tokens
+        };
+        let solo = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), solo, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn quantized_weights_share_one_copy_and_reject_foreign_models() {
+        let m = model();
+        let q = Arc::new(QuantizedWeights::quantize(&m));
+        let shared: Arc<dyn SparsityPredictor> = Arc::new(SignBitPredictor::from_model(
+            &m,
+            AlphaSchedule::uniform(1.0),
+        ));
+        let a = EngineBuilder::new(&m)
+            .predictor_shared(Arc::clone(&shared))
+            .quantized_shared(Arc::clone(&q))
+            .build()
+            .unwrap();
+        let b = EngineBuilder::new(&m)
+            .predictor_shared(Arc::clone(&shared))
+            .quantized_shared(Arc::clone(&q))
+            .build()
+            .unwrap();
+        assert_eq!(a.shared_state_id(), b.shared_state_id());
+        assert_eq!(a.memory_estimate().weight_bytes, q.size_bytes());
+
+        // A different predictor instance changes the shared identity even
+        // with the same quantized copy.
+        let c = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .quantized_shared(Arc::clone(&q))
+            .build()
+            .unwrap();
+        assert_ne!(a.shared_state_id(), c.shared_state_id());
+
+        // Quantized weights from another model are rejected as a value.
+        let mut wide = ModelConfig::tiny();
+        wide.mlp_dim = 128;
+        let other = WeightGenerator::new(&wide, 5).build();
+        let err = EngineBuilder::new(&other)
+            .quantized_shared(Arc::clone(&q))
+            .build();
+        assert!(matches!(
+            err,
+            Err(EngineError::QuantizedWeightsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn speculative_int8_draft_stays_lossless() {
+        let m = model();
+        // An INT8 sparse draft proposes, the f32 dense verifier confirms:
+        // emitted tokens must still be bit-identical to dense-only decode.
+        let draft = EngineBuilder::new(&m)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .weight_format(WeightFormat::Int8)
+            .build()
+            .unwrap();
+        let verify = EngineBuilder::new(&m).build().unwrap();
+        let mut engine = EngineBuilder::speculative(draft, verify, 4).unwrap();
+        assert_eq!(engine.weight_format(), WeightFormat::Int8, "draft's format");
+        let tokens = crate::request::generate(
+            engine.as_mut(),
+            &crate::request::GenerateRequest::new(&[1, 2, 3]).max_new(12),
+        )
+        .unwrap()
+        .tokens;
+        assert_eq!(tokens, m.generate_greedy(&[1, 2, 3], 12, u32::MAX));
+        assert!(engine.speculative_stats().expect("counters").drafted > 0);
     }
 
     #[test]

@@ -45,6 +45,14 @@ pub enum EngineError {
         /// What was wrong with the pairing.
         reason: &'static str,
     },
+    /// A shared quantized-weight set
+    /// ([`QuantizedWeights`](crate::engine::QuantizedWeights)) was built
+    /// from a different model than the engine executes — layer count or
+    /// MLP dimensions disagree.
+    QuantizedWeightsMismatch {
+        /// What disagreed.
+        reason: &'static str,
+    },
     /// The engine's model uses a different KV dimension than the models
     /// already submitted to this scheduler. One scheduler pages every
     /// session out of one fixed-block-size [`KvBlockPool`](sparseinfer_model::kv::KvBlockPool),
@@ -93,6 +101,12 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::SpeculativeConfig { reason } => {
                 write!(f, "invalid speculative draft/verify pairing: {reason}")
+            }
+            EngineError::QuantizedWeightsMismatch { reason } => {
+                write!(
+                    f,
+                    "shared quantized weights do not fit this model: {reason}"
+                )
             }
             EngineError::KvDimensionMismatch {
                 scheduler_dim,

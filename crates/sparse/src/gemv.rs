@@ -11,8 +11,8 @@
 //! as thin wrappers.
 
 use sparseinfer_predictor::SkipMask;
-use sparseinfer_tensor::gemv::dot;
-use sparseinfer_tensor::{Matrix, ThreadPool, Vector};
+use sparseinfer_tensor::gemv::{dot, dot_q8, QUANT_BLOCK};
+use sparseinfer_tensor::{BlockQuantizedMatrix, Matrix, ThreadPool, Vector};
 
 use crate::ops::OpCounter;
 
@@ -70,6 +70,46 @@ pub fn sparse_gemv_into(
     let active_rows = (w.rows() - mask.skip_count()) as u64;
     ops.macs += active_rows * w.cols() as u64;
     ops.weight_bytes_loaded += active_rows * w.cols() as u64 * OpCounter::WEIGHT_BYTES;
+    ops.rows_computed += active_rows;
+    ops.rows_skipped += (w.rows() as u64) - active_rows;
+}
+
+/// [`sparse_gemv_into`] over int8 block-quantized weights: active rows
+/// reduce through the fused block-dequant kernel
+/// ([`sparseinfer_tensor::gemv::dot_q8`]), skipped rows write `0.0`
+/// without loading a byte. Same row partitioning, same single-writer
+/// discipline — bit-identical at every thread count. Weight traffic is
+/// counted at one byte per int8 element (the 4× shrink is the point).
+///
+/// # Panics
+///
+/// Panics if `mask.len() != w.rows()` or `x.len() != w.cols()`.
+pub fn sparse_gemv_q8_into(
+    w: &BlockQuantizedMatrix,
+    x: &Vector,
+    mask: &SkipMask,
+    pool: &ThreadPool,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) {
+    assert_eq!(mask.len(), w.rows(), "mask/rows mismatch");
+    assert_eq!(x.len(), w.cols(), "input length mismatch");
+    let xs = x.as_slice();
+    out.resize(w.rows(), 0.0);
+    pool.run_chunks(out.as_mut_slice(), MIN_ROWS_PER_WORKER, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let r = offset + i;
+            *slot = if mask.is_skipped(r) {
+                0.0
+            } else {
+                dot_q8(w.row(r), w.row_scales(r), xs)
+            };
+        }
+    });
+    let active_rows = (w.rows() - mask.skip_count()) as u64;
+    ops.macs += active_rows * w.cols() as u64;
+    // INT8 weights: 1 byte per element.
+    ops.weight_bytes_loaded += active_rows * w.cols() as u64;
     ops.rows_computed += active_rows;
     ops.rows_skipped += (w.rows() as u64) - active_rows;
 }
@@ -164,6 +204,87 @@ pub fn sparse_down_proj_into(
     let active_rows = (w_down_t.rows() - mask.skip_count()) as u64;
     ops.macs += active_rows * w_down_t.cols() as u64;
     ops.weight_bytes_loaded += active_rows * w_down_t.cols() as u64 * OpCounter::WEIGHT_BYTES;
+    ops.atomic_adds += active_rows * w_down_t.cols() as u64;
+    ops.rows_computed += active_rows;
+    ops.rows_skipped += (w_down_t.rows() as u64) - active_rows;
+}
+
+/// [`sparse_down_proj_into`] over int8 block-quantized weights. Each active
+/// row's contribution is dequantized element-by-element with the scale
+/// looked up by *global* column index (`col / QUANT_BLOCK`), so results are
+/// independent of how the output range is chunked across workers. The
+/// per-element addition chain is strictly row-ascending, exactly like the
+/// f32 kernel — bit-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn sparse_down_proj_q8_into(
+    w_down_t: &BlockQuantizedMatrix,
+    h3: &Vector,
+    mask: &SkipMask,
+    pool: &ThreadPool,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) {
+    assert_eq!(mask.len(), w_down_t.rows(), "mask/rows mismatch");
+    assert_eq!(h3.len(), w_down_t.rows(), "h3 length mismatch");
+    out.resize(w_down_t.cols(), 0.0);
+    pool.run_chunks(out.as_mut_slice(), MIN_COLS_PER_WORKER, |offset, chunk| {
+        chunk.fill(0.0);
+        // Same four-rows-per-pass blocking as the f32 kernel; the only
+        // difference is the in-loop dequant `f32(q) * scale * h3_r`, with
+        // the scale chosen by the element's global column so chunk
+        // boundaries cannot change the arithmetic.
+        let mut pending = [(0usize, 0.0f32); 4];
+        let mut n = 0usize;
+        let mut apply = |pending: &[(usize, f32)]| match *pending {
+            [(r0, s0), (r1, s1), (r2, s2), (r3, s3)] => {
+                let row0 = &w_down_t.row(r0)[offset..offset + chunk.len()];
+                let row1 = &w_down_t.row(r1)[offset..offset + chunk.len()];
+                let row2 = &w_down_t.row(r2)[offset..offset + chunk.len()];
+                let row3 = &w_down_t.row(r3)[offset..offset + chunk.len()];
+                let sc0 = w_down_t.row_scales(r0);
+                let sc1 = w_down_t.row_scales(r1);
+                let sc2 = w_down_t.row_scales(r2);
+                let sc3 = w_down_t.row_scales(r3);
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    let b = (offset + i) / QUANT_BLOCK;
+                    let mut acc = *o;
+                    acc += f32::from(row0[i]) * sc0[b] * s0;
+                    acc += f32::from(row1[i]) * sc1[b] * s1;
+                    acc += f32::from(row2[i]) * sc2[b] * s2;
+                    acc += f32::from(row3[i]) * sc3[b] * s3;
+                    *o = acc;
+                }
+            }
+            ref rest => {
+                for &(r, s) in rest {
+                    let row = &w_down_t.row(r)[offset..offset + chunk.len()];
+                    let scales = w_down_t.row_scales(r);
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o += f32::from(row[i]) * scales[(offset + i) / QUANT_BLOCK] * s;
+                    }
+                }
+            }
+        };
+        for r in 0..w_down_t.rows() {
+            if mask.is_skipped(r) {
+                continue;
+            }
+            pending[n] = (r, h3[r]);
+            n += 1;
+            if n == 4 {
+                apply(&pending);
+                n = 0;
+            }
+        }
+        apply(&pending[..n]);
+    });
+    let active_rows = (w_down_t.rows() - mask.skip_count()) as u64;
+    ops.macs += active_rows * w_down_t.cols() as u64;
+    // INT8 weights: 1 byte per element.
+    ops.weight_bytes_loaded += active_rows * w_down_t.cols() as u64;
     ops.atomic_adds += active_rows * w_down_t.cols() as u64;
     ops.rows_computed += active_rows;
     ops.rows_skipped += (w_down_t.rows() as u64) - active_rows;
@@ -281,6 +402,87 @@ mod tests {
             sparse_down_proj_into(&w, &h3, &mask, &pool, &mut ops_p, &mut b);
             assert_eq!(b, down_seq, "sparse_down_proj @ {threads} threads");
         }
+    }
+
+    #[test]
+    fn q8_into_variants_are_bitwise_identical_across_thread_counts() {
+        use sparseinfer_tensor::ParallelOptions;
+        let (w, x) = random_case(19, 300, 96);
+        let q = BlockQuantizedMatrix::quantize(&w);
+        let mask = SkipMask::from_fn(300, |r| r % 3 == 0);
+        let mut rng = Prng::seed(20);
+        let h3 = Vector::from_fn(300, |_| rng.normal(0.0, 1.0) as f32);
+
+        let single = ThreadPool::single();
+        let mut ops = OpCounter::default();
+        let mut gemv_seq = Vector::zeros(0);
+        sparse_gemv_q8_into(&q, &x, &mask, &single, &mut ops, &mut gemv_seq);
+        let mut down_seq = Vector::zeros(0);
+        sparse_down_proj_q8_into(&q, &h3, &mask, &single, &mut ops, &mut down_seq);
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut ops_p = OpCounter::default();
+            let mut a = Vector::zeros(0);
+            sparse_gemv_q8_into(&q, &x, &mask, &pool, &mut ops_p, &mut a);
+            assert_eq!(a, gemv_seq, "sparse_gemv_q8 @ {threads} threads");
+            let mut b = Vector::zeros(0);
+            sparse_down_proj_q8_into(&q, &h3, &mask, &pool, &mut ops_p, &mut b);
+            assert_eq!(b, down_seq, "sparse_down_proj_q8 @ {threads} threads");
+        }
+    }
+
+    #[test]
+    fn q8_kernels_are_bitwise_equal_to_f32_kernels_over_the_dequantized_weights() {
+        // The determinism contract for the quantized route: each q8 kernel
+        // produces exactly the result the f32 kernel would produce on the
+        // dequantized weights — quantization changes *values* once, at
+        // weight-prep time, never the reduction arithmetic.
+        let (w, x) = random_case(21, 200, 96);
+        let q = BlockQuantizedMatrix::quantize(&w);
+        let deq = q.dequantize();
+        let mask = SkipMask::from_fn(200, |r| r % 4 == 0);
+        let mut rng = Prng::seed(22);
+        let h3 = Vector::from_fn(200, |_| rng.normal(0.0, 1.0) as f32);
+
+        let pool = ThreadPool::single();
+        let mut ops = OpCounter::default();
+        let mut got = Vector::zeros(0);
+        sparse_gemv_q8_into(&q, &x, &mask, &pool, &mut ops, &mut got);
+        let mut want = Vector::zeros(0);
+        sparse_gemv_into(&deq, &x, &mask, &pool, &mut ops, &mut want);
+        for r in 0..200 {
+            assert_eq!(got[r].to_bits(), want[r].to_bits(), "gemv row {r}");
+        }
+
+        let mut got_d = Vector::zeros(0);
+        sparse_down_proj_q8_into(&q, &h3, &mask, &pool, &mut ops, &mut got_d);
+        let mut want_d = Vector::zeros(0);
+        sparse_down_proj_into(&deq, &h3, &mask, &pool, &mut ops, &mut want_d);
+        for c in 0..96 {
+            assert_eq!(got_d[c].to_bits(), want_d[c].to_bits(), "down col {c}");
+        }
+    }
+
+    #[test]
+    fn q8_kernels_count_one_byte_per_weight() {
+        let (w, x) = random_case(23, 128, 64);
+        let q = BlockQuantizedMatrix::quantize(&w);
+        let mask = SkipMask::from_fn(128, |r| r % 2 == 0);
+        let mut rng = Prng::seed(24);
+        let h3 = Vector::from_fn(128, |_| rng.normal(0.0, 1.0) as f32);
+        let pool = ThreadPool::single();
+
+        let mut ops = OpCounter::default();
+        let mut out = Vector::zeros(0);
+        sparse_gemv_q8_into(&q, &x, &mask, &pool, &mut ops, &mut out);
+        assert_eq!(ops.weight_bytes_loaded, ops.macs, "gemv: 1 byte per MAC");
+
+        let mut ops_d = OpCounter::default();
+        sparse_down_proj_q8_into(&q, &h3, &mask, &pool, &mut ops_d, &mut out);
+        assert_eq!(
+            ops_d.weight_bytes_loaded, ops_d.macs,
+            "down: 1 byte per MAC"
+        );
     }
 
     #[test]

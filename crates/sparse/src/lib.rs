@@ -71,13 +71,13 @@ pub mod scheduler;
 
 pub use batch::Batch;
 pub use engine::{
-    DenseEngine, Engine, EngineBuilder, EngineOptions, MemoryEstimate, SparseEngine, SparsityStats,
-    SpeculativeEngine, SpeculativeStats, StepBlock,
+    DenseEngine, Engine, EngineBuilder, EngineOptions, MemoryEstimate, QuantizedWeights,
+    SparseEngine, SparsityStats, SpeculativeEngine, SpeculativeStats, StepBlock, WeightFormat,
 };
 pub use error::EngineError;
 pub use mlp::SparseMlpOutput;
 pub use ops::OpCounter;
-pub use quantized::QuantizedGatedMlp;
+pub use quantized::{FusedQuantizedMlp, QuantizedGatedMlp};
 pub use request::{FinishReason, GenerateRequest, Generation, TokenEvent};
 pub use scheduler::{
     BatchEvent, BatchOutput, PrefixCacheStats, RequestHandle, Scheduler, SchedulerConfig,

@@ -10,8 +10,11 @@ use sparseinfer_model::GatedMlp;
 use sparseinfer_predictor::SkipMask;
 use sparseinfer_tensor::{ThreadPool, Vector, Workspace};
 
-use crate::gemv::{sparse_down_proj_into, sparse_gemv_into};
+use crate::gemv::{
+    sparse_down_proj_into, sparse_down_proj_q8_into, sparse_gemv_into, sparse_gemv_q8_into,
+};
 use crate::ops::OpCounter;
+use crate::quantized::FusedQuantizedMlp;
 
 /// Switches for the sparse MLP execution, matching the four SparseInfer
 /// variants of the paper's Fig. 4 (`base`, `+KF`, `+AS`, `+KF+AS`).
@@ -148,6 +151,76 @@ pub fn sparse_mlp_forward_into(
     //   fused:   load X once + write h3;      then step 4: read h3, write out.
     //   unfused: load X twice, h1 and h2 each store+load, h3 store;
     //            then step 4: read h3, write out.
+    let elems = if options.kernel_fusion {
+        2 * d + 2 * k
+    } else {
+        3 * d + 6 * k
+    };
+    ops.activation_bytes += elems * OpCounter::ACTIVATION_BYTES;
+
+    (predicted_sparsity, effective_sparsity)
+}
+
+/// [`sparse_mlp_forward_into`] over block-quantized INT8 weights — the
+/// serving hot path when the engine runs with `WeightFormat::Int8`.
+///
+/// Identical step structure (gate → activation → actual-sparsity union →
+/// up → gate application → down projection), with each GEMV routed through
+/// the fused block-dequant kernels. Because those kernels reduce in exactly
+/// the order the f32 kernels would over the dequantized weights, this whole
+/// forward is bit-identical to [`sparse_mlp_forward_into`] on
+/// `mlp.dequantize()`d matrices — at every thread count. Quantization
+/// perturbs values once, at weight-prep time, never the execution.
+///
+/// Returns `(predicted_sparsity, effective_sparsity)`.
+///
+/// # Panics
+///
+/// Panics if `x` or `predicted` disagree with the block's dimensions.
+#[allow(clippy::too_many_arguments)] // the hot path threads every resource explicitly
+pub fn sparse_mlp_q8_forward_into(
+    mlp: &FusedQuantizedMlp,
+    x: &Vector,
+    predicted: &SkipMask,
+    options: MlpOptions,
+    pool: &ThreadPool,
+    ws: &mut Workspace,
+    effective: &mut SkipMask,
+    ops: &mut OpCounter,
+    out: &mut Vector,
+) -> (f64, f64) {
+    assert_eq!(x.len(), mlp.hidden_dim(), "input length mismatch");
+    assert_eq!(predicted.len(), mlp.mlp_dim(), "mask length mismatch");
+
+    let d = mlp.hidden_dim() as u64;
+    let k = mlp.mlp_dim() as u64;
+    let predicted_sparsity = predicted.sparsity();
+
+    // Step 1 (gate computation) under the predicted mask.
+    let mut h1 = ws.take(mlp.mlp_dim());
+    sparse_gemv_q8_into(mlp.w_gate(), x, predicted, pool, ops, &mut h1);
+    mlp.activation().apply_slice(h1.as_mut_slice());
+
+    // Actual-sparsity compensation.
+    effective.copy_from(predicted);
+    if options.actual_sparsity {
+        effective.union_exact_zeros(&h1);
+    }
+    let effective_sparsity = effective.sparsity();
+
+    // Step 2 (input processing) and step 3 (gate application, in place).
+    let mut h2 = ws.take(mlp.mlp_dim());
+    sparse_gemv_q8_into(mlp.w_up(), x, effective, pool, ops, &mut h2);
+    for (a, b) in h1.as_mut_slice().iter_mut().zip(h2.as_slice()) {
+        *a *= b;
+    }
+
+    // Step 4 (output generation) over the transposed down projection.
+    sparse_down_proj_q8_into(mlp.w_down_t(), &h1, effective, pool, ops, out);
+    ws.give(h1);
+    ws.give(h2);
+
+    // Activation traffic is format-independent (intermediates stay f32).
     let elems = if options.kernel_fusion {
         2 * d + 2 * k
     } else {
@@ -322,6 +395,92 @@ mod tests {
         assert!(fused.activation_bytes < unfused.activation_bytes);
         assert_eq!(fused.macs, unfused.macs);
         assert_eq!(fused.weight_bytes_loaded, unfused.weight_bytes_loaded);
+    }
+
+    #[test]
+    fn q8_forward_is_bitwise_equal_to_f32_forward_over_dequantized_weights() {
+        // The quantized route's determinism contract, end to end: running
+        // the fused INT8 forward is *exactly* running the f32 forward on the
+        // dequantized weights — at every thread count.
+        use crate::quantized::FusedQuantizedMlp;
+        use sparseinfer_tensor::ParallelOptions;
+
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let qmlp = FusedQuantizedMlp::quantize(mlp);
+        let deq = GatedMlp::new(
+            qmlp.w_gate().dequantize(),
+            qmlp.w_up().dequantize(),
+            qmlp.w_down_t().dequantize(),
+            mlp.activation(),
+        );
+        let predicted = SkipMask::from_fn(mlp.mlp_dim(), |r| r % 3 == 0);
+
+        let mut reference: Option<Vector> = None;
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(ParallelOptions::threads(threads));
+            let mut ws = Workspace::new();
+            let mut eff_q = SkipMask::all_dense(0);
+            let mut out_q = Vector::zeros(0);
+            let (ps_q, es_q) = sparse_mlp_q8_forward_into(
+                &qmlp,
+                &x,
+                &predicted,
+                MlpOptions::default(),
+                &pool,
+                &mut ws,
+                &mut eff_q,
+                &mut OpCounter::default(),
+                &mut out_q,
+            );
+            let mut eff_f = SkipMask::all_dense(0);
+            let mut out_f = Vector::zeros(0);
+            let (ps_f, es_f) = sparse_mlp_forward_into(
+                &deq,
+                &x,
+                &predicted,
+                MlpOptions::default(),
+                &pool,
+                &mut ws,
+                &mut eff_f,
+                &mut OpCounter::default(),
+                &mut out_f,
+            );
+            assert_eq!(ps_q, ps_f);
+            assert_eq!(es_q, es_f, "effective sparsity @ {threads} threads");
+            for (i, (a, b)) in out_q.iter().zip(out_f.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "element {i} @ {threads} threads");
+            }
+            match &reference {
+                None => reference = Some(out_q),
+                Some(r) => assert_eq!(&out_q, r, "thread identity @ {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn q8_forward_counts_one_byte_per_weight() {
+        use crate::quantized::FusedQuantizedMlp;
+        let (model, x) = setup();
+        let mlp = model.layers()[0].mlp();
+        let qmlp = FusedQuantizedMlp::quantize(mlp);
+        let mask = SkipMask::from_fn(mlp.mlp_dim(), |r| r % 2 == 0);
+        let mut ws = Workspace::new();
+        let mut eff = SkipMask::all_dense(0);
+        let mut out = Vector::zeros(0);
+        let mut ops = OpCounter::default();
+        sparse_mlp_q8_forward_into(
+            &qmlp,
+            &x,
+            &mask,
+            MlpOptions::default(),
+            &ThreadPool::single(),
+            &mut ws,
+            &mut eff,
+            &mut ops,
+            &mut out,
+        );
+        assert_eq!(ops.weight_bytes_loaded, ops.macs, "1 byte per MAC");
     }
 
     #[test]

@@ -12,9 +12,75 @@
 
 use sparseinfer_model::{Activation, GatedMlp};
 use sparseinfer_predictor::SkipMask;
-use sparseinfer_tensor::{QuantizedMatrix, Vector};
+use sparseinfer_tensor::{BlockQuantizedMatrix, QuantizedMatrix, Vector, Workspace};
 
 use crate::ops::OpCounter;
+
+/// A gated MLP block with *block-quantized* INT8 weights (one scale per
+/// [`QUANT_BLOCK`](sparseinfer_tensor::gemv::QUANT_BLOCK) columns), executed
+/// through the fused block-dequant kernels
+/// ([`sparse_gemv_q8_into`](crate::gemv::sparse_gemv_q8_into) /
+/// [`sparse_down_proj_q8_into`](crate::gemv::sparse_down_proj_q8_into)).
+///
+/// This is the serving hot path's INT8 weight format — finer-grained than
+/// [`QuantizedGatedMlp`]'s per-row scales, and wired into the engine behind
+/// the `WeightFormat::Int8` knob. Rows are dequantized *inside* the
+/// reduction, never materialized as `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedQuantizedMlp {
+    gate: BlockQuantizedMatrix,
+    up: BlockQuantizedMatrix,
+    down_t: BlockQuantizedMatrix,
+    activation: Activation,
+}
+
+impl FusedQuantizedMlp {
+    /// Quantizes an existing full-precision block (one-time, at load).
+    pub fn quantize(mlp: &GatedMlp) -> Self {
+        Self {
+            gate: BlockQuantizedMatrix::quantize(mlp.w_gate()),
+            up: BlockQuantizedMatrix::quantize(mlp.w_up()),
+            down_t: BlockQuantizedMatrix::quantize(mlp.w_down_t()),
+            activation: mlp.activation(),
+        }
+    }
+
+    /// Model dimension `d`.
+    pub fn hidden_dim(&self) -> usize {
+        self.gate.cols()
+    }
+
+    /// Intermediate dimension `k`.
+    pub fn mlp_dim(&self) -> usize {
+        self.gate.rows()
+    }
+
+    /// The quantized gate matrix.
+    pub fn w_gate(&self) -> &BlockQuantizedMatrix {
+        &self.gate
+    }
+
+    /// The quantized up matrix.
+    pub fn w_up(&self) -> &BlockQuantizedMatrix {
+        &self.up
+    }
+
+    /// The quantized (transposed) down matrix.
+    pub fn w_down_t(&self) -> &BlockQuantizedMatrix {
+        &self.down_t
+    }
+
+    /// The block's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Total INT8 weight bytes (values + block scales) — ~4× smaller than
+    /// FP32.
+    pub fn size_bytes(&self) -> usize {
+        self.gate.size_bytes() + self.up.size_bytes() + self.down_t.size_bytes()
+    }
+}
 
 /// A gated MLP block with INT8 weights (per-row scales), skip-capable.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +123,8 @@ impl QuantizedGatedMlp {
     }
 
     /// Sparse forward pass under `predicted`, with the same step structure
-    /// and actual-sparsity compensation as the FP32 path.
+    /// and actual-sparsity compensation as the FP32 path. Thin allocating
+    /// wrapper over [`forward_sparse_into`](Self::forward_sparse_into).
     ///
     /// # Panics
     ///
@@ -69,46 +136,91 @@ impl QuantizedGatedMlp {
         actual_sparsity: bool,
         ops: &mut OpCounter,
     ) -> Vector {
+        let mut ws = Workspace::new();
+        let mut effective = SkipMask::all_dense(0);
+        let mut out = Vector::zeros(0);
+        self.forward_sparse_into(
+            x,
+            predicted,
+            actual_sparsity,
+            &mut ws,
+            &mut effective,
+            ops,
+            &mut out,
+        );
+        out
+    }
+
+    /// Workspace variant of [`forward_sparse`](Self::forward_sparse): all
+    /// intermediates come from `ws`, the applied mask is built in place in
+    /// `effective` (enter with any contents), and the block output lands in
+    /// `out`. After warm-up the call performs zero heap allocations, and its
+    /// output is bit-identical to the allocating wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `predicted` disagree with the block's dimensions.
+    #[allow(clippy::too_many_arguments)] // the hot path threads every resource explicitly
+    pub fn forward_sparse_into(
+        &self,
+        x: &Vector,
+        predicted: &SkipMask,
+        actual_sparsity: bool,
+        ws: &mut Workspace,
+        effective: &mut SkipMask,
+        ops: &mut OpCounter,
+        out: &mut Vector,
+    ) {
         assert_eq!(x.len(), self.hidden_dim(), "input length mismatch");
         assert_eq!(predicted.len(), self.mlp_dim(), "mask length mismatch");
         let k = self.mlp_dim();
         let d = self.hidden_dim();
+        let xs = x.as_slice();
 
-        // Step 1: gate under the predicted mask.
-        let mut h1 = Vector::zeros(k);
-        for r in predicted.active_rows() {
-            h1[r] = self.gate.row_dot(r, x.as_slice());
+        // Step 1: gate under the predicted mask. The recycled buffer arrives
+        // with stale contents, so every slot is written exactly once.
+        let mut h1 = ws.take(k);
+        for (r, slot) in h1.as_mut_slice().iter_mut().enumerate() {
+            *slot = if predicted.is_skipped(r) {
+                0.0
+            } else {
+                self.gate.row_dot(r, xs)
+            };
         }
         self.activation.apply_slice(h1.as_mut_slice());
         track_rows(ops, predicted, d, 1);
 
-        // Actual-sparsity union.
-        let mut mask = predicted.clone();
+        // Actual-sparsity union, built in place.
+        effective.copy_from(predicted);
         if actual_sparsity {
-            mask.union_with(&SkipMask::from_exact_zeros(&h1));
+            effective.union_exact_zeros(&h1);
         }
 
-        // Steps 2–3.
-        let mut h3 = Vector::zeros(k);
-        for r in mask.active_rows() {
-            h3[r] = h1[r] * self.up.row_dot(r, x.as_slice());
+        // Steps 2–3, in place: h1 becomes h3 = h1 ⊙ h2.
+        for (r, slot) in h1.as_mut_slice().iter_mut().enumerate() {
+            *slot = if effective.is_skipped(r) {
+                0.0
+            } else {
+                *slot * self.up.row_dot(r, xs)
+            };
         }
-        track_rows(ops, &mask, d, 1);
+        track_rows(ops, effective, d, 1);
 
         // Step 4 over the transposed down projection.
-        let mut out = vec![0.0f32; d];
-        for r in mask.active_rows() {
-            let scale = h3[r];
+        out.resize(d, 0.0);
+        out.as_mut_slice().fill(0.0);
+        for r in effective.active_rows() {
+            let scale = h1[r];
             if scale == 0.0 {
                 continue;
             }
             let srow = self.down_t.scales()[r] * scale;
-            for (o, q) in out.iter_mut().zip(self.down_t.row(r)) {
+            for (o, q) in out.as_mut_slice().iter_mut().zip(self.down_t.row(r)) {
                 *o += f32::from(*q) * srow;
             }
         }
-        track_rows(ops, &mask, d, 1);
-        Vector::from_vec(out)
+        track_rows(ops, effective, d, 1);
+        ws.give(h1);
     }
 }
 
@@ -218,6 +330,58 @@ mod tests {
         let out = qmlp.forward_sparse(&x, &SkipMask::all_skipped(qmlp.mlp_dim()), true, &mut ops);
         assert!(out.iter().all(|v| *v == 0.0));
         assert_eq!(ops.macs, 0);
+    }
+
+    #[test]
+    fn into_variant_is_bitwise_equal_to_the_allocating_wrapper() {
+        let (model, x) = setup();
+        let qmlp = QuantizedGatedMlp::quantize(model.layers()[0].mlp());
+        let mask = SkipMask::from_fn(qmlp.mlp_dim(), |r| r % 3 == 0);
+
+        let mut ops = OpCounter::default();
+        let want = qmlp.forward_sparse(&x, &mask, true, &mut ops);
+
+        let mut ws = Workspace::new();
+        let mut effective = SkipMask::all_dense(0);
+        // Stale buffer contents must not leak into the output.
+        let mut out = Vector::from_vec(vec![f32::NAN; qmlp.hidden_dim()]);
+        let mut ops2 = OpCounter::default();
+        qmlp.forward_sparse_into(
+            &x,
+            &mask,
+            true,
+            &mut ws,
+            &mut effective,
+            &mut ops2,
+            &mut out,
+        );
+        assert_eq!(out, want);
+        assert_eq!(ops2.macs, ops.macs);
+
+        // Steady state: a second call reuses the pooled buffer.
+        qmlp.forward_sparse_into(
+            &x,
+            &mask,
+            true,
+            &mut ws,
+            &mut effective,
+            &mut ops2,
+            &mut out,
+        );
+        assert_eq!(out, want);
+        assert_eq!(ws.pooled(), 1, "h1 buffer returns to the workspace");
+    }
+
+    #[test]
+    fn fused_quantized_mlp_is_about_4x_smaller_than_fp32() {
+        let (model, _) = setup();
+        let mlp = model.layers()[0].mlp();
+        let qmlp = FusedQuantizedMlp::quantize(mlp);
+        let fp32_bytes = 3 * mlp.mlp_dim() * mlp.hidden_dim() * std::mem::size_of::<f32>();
+        let ratio = fp32_bytes as f64 / qmlp.size_bytes() as f64;
+        // Block scales (one f32 per 32 weights) cost a bit more than per-row
+        // scales, but the ratio stays close to 4.
+        assert!((3.4..4.01).contains(&ratio), "compression ratio {ratio}");
     }
 
     #[test]

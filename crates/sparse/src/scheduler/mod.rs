@@ -87,7 +87,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use sparseinfer_model::kv::{
-    KvBlockPool, PrefixHit, PrefixIndex, SwappedKvCache, DEFAULT_BLOCK_TOKENS,
+    KvBlockPool, KvDtype, PrefixHit, PrefixIndex, SwappedKvCache, DEFAULT_BLOCK_TOKENS,
 };
 use sparseinfer_model::Model;
 use sparseinfer_tensor::{ParallelOptions, ThreadPool};
@@ -206,6 +206,13 @@ pub struct SchedulerConfig {
     /// generated tokens). `u64::MAX` means swap always; `0` means
     /// recompute always.
     pub swap_budget_bytes: u64,
+    /// Element type of the KV block pool every session pages out of.
+    /// [`KvDtype::F16`] halves KV memory (`memory_bytes`/`in_use_bytes`
+    /// report true halved bytes); attention dequantizes in-loop, so the
+    /// storage rounding is the only numeric difference — scheduling,
+    /// sharing, swap and event order are unaffected, and each
+    /// configuration remains bit-identical to its own solo decode.
+    pub kv_dtype: KvDtype,
 }
 
 impl Default for SchedulerConfig {
@@ -222,6 +229,7 @@ impl Default for SchedulerConfig {
             preemption: true,
             max_preemptions_per_request: 3,
             swap_budget_bytes: u64::MAX,
+            kv_dtype: KvDtype::F32,
         }
     }
 }
@@ -242,6 +250,7 @@ impl SchedulerConfig {
             preemption: false,
             max_preemptions_per_request: 0,
             swap_budget_bytes: 0,
+            kv_dtype: KvDtype::F32,
         }
     }
 }
@@ -466,7 +475,11 @@ impl<'m> Scheduler<'m> {
     pub fn new(config: SchedulerConfig) -> Self {
         assert!(config.max_slots > 0, "max_slots must be positive");
         Self {
-            kv: KvBlockPool::with_budget(config.block_tokens, config.kv_block_budget),
+            kv: KvBlockPool::with_budget_dtype(
+                config.block_tokens,
+                config.kv_block_budget,
+                config.kv_dtype,
+            ),
             config,
             pool: ThreadPool::single(),
             index: PrefixIndex::new(),

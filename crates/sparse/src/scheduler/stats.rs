@@ -171,8 +171,12 @@ impl Scheduler<'_> {
                 Some(id) => {
                     seen.push(id);
                     total.shared_bytes += est.shared_bytes;
+                    total.weight_bytes += est.weight_bytes;
                 }
-                None => total.shared_bytes += est.shared_bytes,
+                None => {
+                    total.shared_bytes += est.shared_bytes;
+                    total.weight_bytes += est.weight_bytes;
+                }
             }
         }
         total.per_session_bytes += self.kv.in_use_bytes();

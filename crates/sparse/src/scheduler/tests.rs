@@ -2,7 +2,7 @@
 //! module; `super::*` still resolves to the scheduler module).
 
 use super::*;
-use crate::engine::EngineBuilder;
+use crate::engine::{EngineBuilder, WeightFormat};
 use crate::request::{generate, GenerateRequest, Priority};
 use sparseinfer_model::generator::WeightGenerator;
 use sparseinfer_model::{Model, ModelConfig};
@@ -585,6 +585,7 @@ fn preemption_config() -> SchedulerConfig {
         preemption: true,
         max_preemptions_per_request: 8,
         swap_budget_bytes: u64::MAX,
+        kv_dtype: KvDtype::F32,
     }
 }
 
@@ -819,6 +820,7 @@ fn resumed_requests_admit_ahead_of_equal_priority_fresh_ones() {
         preemption: true,
         max_preemptions_per_request: 8,
         swap_budget_bytes: u64::MAX,
+        kv_dtype: KvDtype::F32,
     });
     let batch = s
         .submit(
@@ -1020,6 +1022,163 @@ fn speculative_survives_a_preemption_storm_bit_identically() {
                 assert!(out.speculative.is_some());
             }
             assert!(s.speculative_stats().drafted > 0);
+        }
+    }
+}
+
+/// A sign-bit sparse engine at the given weight format — the engine axis
+/// of the dtype matrix (`WeightFormat::F32` vs `Int8`).
+fn engine_for<'m>(m: &'m Model, wf: WeightFormat) -> Box<dyn Engine + 'm> {
+    EngineBuilder::new(m)
+        .signbit(AlphaSchedule::uniform(1.0))
+        .weight_format(wf)
+        .build()
+        .unwrap()
+}
+
+/// Solo reference for one dtype configuration: the same request decoded
+/// alone in a scheduler with the *same* weight format and KV dtype. The
+/// identity claim for quantized configs is batched == its own solo, not
+/// batched == fp32 (different storage rounding is a different function).
+fn sched_solo_tokens(
+    m: &Model,
+    config: &SchedulerConfig,
+    wf: WeightFormat,
+    req: &GenerateRequest,
+) -> Vec<u32> {
+    let mut s = Scheduler::new(*config);
+    s.submit(engine_for(m, wf), req).unwrap();
+    s.run().remove(0).tokens
+}
+
+#[test]
+fn every_dtype_config_is_bit_identical_to_its_own_solo_decode() {
+    let m = model();
+    let reqs = [
+        GenerateRequest::new(&[1, 2, 3]).max_new(8),
+        GenerateRequest::new(&[4, 5]).max_new(6),
+        GenerateRequest::new(&[9]).max_new(10),
+    ];
+    for wf in [WeightFormat::F32, WeightFormat::Int8] {
+        for kv in [KvDtype::F32, KvDtype::F16] {
+            let config = SchedulerConfig {
+                kv_dtype: kv,
+                ..SchedulerConfig::default()
+            };
+            let solos: Vec<Vec<u32>> = reqs
+                .iter()
+                .map(|r| sched_solo_tokens(&m, &config, wf, r))
+                .collect();
+            for threads in [1, 2, 4] {
+                let mut s = Scheduler::new(config).parallel(ParallelOptions::threads(threads));
+                for req in &reqs {
+                    s.submit(engine_for(&m, wf), req).unwrap();
+                }
+                let pool = s.kv_pool().clone();
+                let outputs = s.run();
+                for (out, solo) in outputs.iter().zip(&solos) {
+                    assert_eq!(
+                        out.tokens,
+                        *solo,
+                        "weights={} kv={} threads={threads}: batched decode \
+                         diverged from its own solo decode",
+                        wf.label(),
+                        kv.label(),
+                    );
+                    assert_eq!(out.finish, FinishReason::MaxTokens);
+                }
+                assert_eq!(pool.blocks_in_use(), 0, "pool drains");
+            }
+        }
+    }
+}
+
+#[test]
+fn f16_kv_pool_reports_half_the_bytes_of_f32() {
+    let m = model();
+    let req = GenerateRequest::new(&[1, 2, 3, 4, 5]).max_new(8);
+    let peak = |kv: KvDtype| {
+        let config = SchedulerConfig {
+            kv_dtype: kv,
+            prefix_cache: false,
+            ..SchedulerConfig::default()
+        };
+        let mut s = Scheduler::new(config);
+        s.submit(dense(&m), &req).unwrap();
+        let mut peak = 0u64;
+        while s.tick(|_| {}) > 0 {
+            peak = peak.max(s.kv_pool().in_use_bytes());
+        }
+        assert_eq!(s.kv_pool().blocks_in_use(), 0, "pool drains");
+        peak
+    };
+    let full = peak(KvDtype::F32);
+    let half = peak(KvDtype::F16);
+    assert!(full > 0, "decode must touch the pool");
+    assert_eq!(half * 2, full, "f16 must halve in-use KV bytes");
+}
+
+#[test]
+fn every_dtype_config_survives_the_preemption_storm_and_drains_to_zero() {
+    let m = model();
+    for wf in [WeightFormat::F32, WeightFormat::Int8] {
+        for kv in [KvDtype::F32, KvDtype::F16] {
+            let config = SchedulerConfig {
+                kv_dtype: kv,
+                ..preemption_config()
+            };
+            // The same five Batch + five High waves as the speculative
+            // storm, each decoded solo at this exact configuration first.
+            let mut waves = Vec::new();
+            for w in 0..5u32 {
+                waves.push(
+                    GenerateRequest::new(&[1, 2 + w])
+                        .max_new(6)
+                        .priority(Priority::Batch),
+                );
+                waves.push(
+                    GenerateRequest::new(&[7, 8 + w])
+                        .max_new(6)
+                        .priority(Priority::High),
+                );
+            }
+            let solos: Vec<Vec<u32>> = waves
+                .iter()
+                .map(|r| sched_solo_tokens(&m, &config, wf, r))
+                .collect();
+            for threads in [1, 2, 4] {
+                let mut s = Scheduler::new(config).parallel(ParallelOptions::threads(threads));
+                for tick in 0..220 {
+                    if tick % 40 == 0 && tick / 40 < 5 {
+                        s.submit(engine_for(&m, wf), &waves[2 * (tick / 40)])
+                            .unwrap();
+                    }
+                    if tick % 40 == 3 && tick / 40 < 5 {
+                        s.submit(engine_for(&m, wf), &waves[2 * (tick / 40) + 1])
+                            .unwrap();
+                    }
+                    s.tick(|_| {});
+                }
+                while s.tick(|_| {}) > 0 {}
+                let stats = s.preemption_stats();
+                let tag = format!("weights={} kv={} threads={threads}", wf.label(), kv.label());
+                assert_eq!(stats.preemptions, 5, "{tag}");
+                assert_eq!(stats.resumed, 5, "{tag}");
+                assert_eq!(stats.swapped_bytes, 0, "{tag}: cold buffers returned");
+                assert_eq!(s.kv_pool().blocks_in_use(), 0, "{tag}: pool drains to zero");
+                assert_eq!(s.kv_pool().in_use_bytes(), 0, "{tag}");
+                let mut outputs = s.take_finished();
+                outputs.sort_by_key(|o| o.id);
+                assert_eq!(outputs.len(), solos.len());
+                // Submission order interleaves Batch/High per wave, so ids
+                // line up with `waves` order.
+                for (out, solo) in outputs.iter().zip(&solos) {
+                    assert_eq!(
+                        out.tokens, *solo,
+                        "{tag}: preempted run diverged from its own solo decode"
+                    );
+                }
+            }
         }
     }
 }

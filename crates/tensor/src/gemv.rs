@@ -33,6 +33,12 @@ use crate::{Matrix, ShapeError, Vector};
 /// dependency chain.
 pub const DOT_LANES: usize = 8;
 
+/// Columns per scale block of the fused int8 kernels ([`dot_q8`] and
+/// [`crate::quant::BlockQuantizedMatrix`]): a multiple of [`DOT_LANES`], so
+/// a block's eight-lane accumulate never straddles a scale boundary and the
+/// lane assignment inside every block matches the f32 kernel's.
+pub const QUANT_BLOCK: usize = 32;
+
 /// Minimum rows per worker before a GEMV fans out to threads; below this
 /// the spawn cost of a scoped thread exceeds the row work.
 const MIN_ROWS_PER_WORKER: usize = 64;
@@ -65,6 +71,75 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     }
     for (l, (x, y)) in a_tail.iter().zip(b_tail).enumerate() {
         acc[l] += x * y;
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+/// Fused block-dequant dot product: int8 weights with one `f32` scale per
+/// [`QUANT_BLOCK`] columns, dequantized on the fly — the quantized row is
+/// never materialized as `f32` (each block is expanded into a
+/// [`QUANT_BLOCK`]-element stack buffer that lives entirely in registers).
+///
+/// The reduction order is **exactly [`dot`]'s applied to the dequantized
+/// row**: element `i` accumulates `(f32(q[i]) * scales[i / QUANT_BLOCK]) *
+/// x[i]` into lane `i % 8`, and the eight lanes combine in the same fixed
+/// tree. Folding the scale into the dequantize (rather than into each
+/// product, or once per block sum) is what lets the compiler hoist one
+/// broadcast per block and vectorize the int8→f32 converts. The order is a
+/// pure function of the element index, so every caller — sequential or
+/// row-partitioned across a [`crate::ThreadPool`] — produces
+/// bit-identical results ([`reference::dot_q8_blocks`] is the scalar
+/// restatement, asserted bitwise-equal, as is [`dot`] on the pre-dequantized
+/// row).
+///
+/// # Panics
+///
+/// Panics (debug) if `q` and `x` differ in length or `scales` does not hold
+/// one entry per started block; release builds truncate to the shorter
+/// operand, which shape-checked callers never hit.
+///
+/// `inline(never)`: when this body is inlined into a caller that also
+/// writes through a `&mut [f32]` (the row-partitioned GEMV closures), LLVM
+/// stops vectorizing the i8→f32 convert loop and the kernel runs ~3×
+/// slower than the standalone instantiation. Forcing the call keeps the
+/// vectorized codegen at every call site; the per-call overhead is noise
+/// against a whole row's work.
+#[inline(never)]
+pub fn dot_q8(q: &[i8], scales: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), x.len(), "dot_q8 operand length mismatch");
+    debug_assert_eq!(
+        scales.len(),
+        q.len().div_ceil(QUANT_BLOCK),
+        "dot_q8 scale count mismatch"
+    );
+    let mut acc = [0.0f32; DOT_LANES];
+    let full_blocks = q.len() / QUANT_BLOCK;
+    let main = full_blocks * QUANT_BLOCK;
+    for b in 0..full_blocks {
+        let scale = scales[b];
+        // Fixed-size array views elide the bounds checks that would
+        // otherwise defeat autovectorization of the convert loop.
+        let qb: &[i8; QUANT_BLOCK] = q[b * QUANT_BLOCK..(b + 1) * QUANT_BLOCK]
+            .try_into()
+            .expect("full block");
+        let xb: &[f32; QUANT_BLOCK] = x[b * QUANT_BLOCK..(b + 1) * QUANT_BLOCK]
+            .try_into()
+            .expect("full block");
+        let mut deq = [0.0f32; QUANT_BLOCK];
+        for (d, qv) in deq.iter_mut().zip(qb) {
+            *d = f32::from(*qv) * scale;
+        }
+        for c in 0..QUANT_BLOCK / DOT_LANES {
+            for l in 0..DOT_LANES {
+                acc[l] += deq[c * DOT_LANES + l] * xb[c * DOT_LANES + l];
+            }
+        }
+    }
+    if main < q.len() {
+        let scale = scales[full_blocks];
+        for (i, (qv, xv)) in q[main..].iter().zip(&x[main..]).enumerate() {
+            acc[i % DOT_LANES] += f32::from(*qv) * scale * xv;
+        }
     }
     ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
 }
@@ -224,6 +299,20 @@ pub mod reference {
         }
         Vector::from_vec(out)
     }
+
+    /// Scalar re-statement of the fused block-dequant kernel's reduction
+    /// order — which is [`dot_lanes`]' order applied to the dequantized
+    /// row: element `i` accumulates
+    /// `(f32(q[i]) * scales[i / QUANT_BLOCK]) * x[i]` into lane `i % 8`,
+    /// lanes combine in the fixed tree. Bit-identical to [`super::dot_q8`]
+    /// by construction.
+    pub fn dot_q8_blocks(q: &[i8], scales: &[f32], x: &[f32]) -> f32 {
+        let mut acc = [0.0f32; DOT_LANES];
+        for (i, (qv, xv)) in q.iter().zip(x).enumerate() {
+            acc[i % DOT_LANES] += f32::from(*qv) * scales[i / super::QUANT_BLOCK] * xv;
+        }
+        ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+    }
 }
 
 #[cfg(test)]
@@ -339,5 +428,61 @@ mod tests {
         let w = Matrix::zeros(0, 4);
         let x = Vector::zeros(4);
         assert!(gemv(&w, &x).is_empty());
+    }
+
+    /// A seeded int8 row + per-block scales + f32 input of length `len`.
+    fn q8_case(seed: u64, len: usize) -> (Vec<i8>, Vec<f32>, Vec<f32>) {
+        let mut rng = Prng::seed(seed);
+        let q: Vec<i8> = (0..len)
+            .map(|_| (rng.normal(0.0, 40.0) as f32).clamp(-127.0, 127.0) as i8)
+            .collect();
+        let scales: Vec<f32> = (0..len.div_ceil(QUANT_BLOCK))
+            .map(|_| (rng.normal(0.0, 1.0) as f32).abs() * 0.01 + 1e-4)
+            .collect();
+        let x: Vec<f32> = (0..len).map(|_| rng.normal(0.1, 1.0) as f32).collect();
+        (q, scales, x)
+    }
+
+    #[test]
+    fn fused_q8_dot_is_bitwise_equal_to_block_ordered_scalar() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 64, 100, 448, 1210] {
+            let (q, scales, x) = q8_case(21 + len as u64, len);
+            let fused = dot_q8(&q, &scales, &x);
+            let scalar = reference::dot_q8_blocks(&q, &scales, &x);
+            assert_eq!(
+                fused.to_bits(),
+                scalar.to_bits(),
+                "len {len}: {fused} vs {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_q8_dot_is_bitwise_equal_to_the_dequantized_f32_dot() {
+        // The contract in one line: dequantizing the row up front and
+        // running the f32 kernel is *bitwise* the same computation — the
+        // fused kernel only avoids materializing `deq`.
+        for len in [0usize, 1, 31, 32, 33, 100, 448, 1210] {
+            let (q, scales, x) = q8_case(77 + len as u64, len);
+            let deq: Vec<f32> = q
+                .iter()
+                .enumerate()
+                .map(|(i, v)| f32::from(*v) * scales[i / QUANT_BLOCK])
+                .collect();
+            let fused = dot_q8(&q, &scales, &x);
+            let via_f32 = dot(&deq, &x);
+            assert_eq!(
+                fused.to_bits(),
+                via_f32.to_bits(),
+                "len {len}: {fused} vs {via_f32}"
+            );
+        }
+    }
+
+    #[test]
+    fn quant_block_is_a_lane_multiple() {
+        // The invariant the fused kernel's determinism rests on: a scale
+        // block never splits an eight-lane accumulate.
+        assert_eq!(QUANT_BLOCK % DOT_LANES, 0);
     }
 }

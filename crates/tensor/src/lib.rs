@@ -64,7 +64,7 @@ pub mod workspace;
 pub use f16::F16;
 pub use matrix::Matrix;
 pub use pool::{ParallelOptions, ThreadPool};
-pub use quant::QuantizedMatrix;
+pub use quant::{BlockQuantizedMatrix, QuantizedMatrix};
 pub use rng::Prng;
 pub use sign::SignPack;
 pub use vector::Vector;

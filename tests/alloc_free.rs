@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use sparseinfer::model::{generator::WeightGenerator, Model, ModelConfig};
 use sparseinfer::predictor::AlphaSchedule;
-use sparseinfer::sparse::engine::{Engine, EngineBuilder};
+use sparseinfer::sparse::engine::{Engine, EngineBuilder, WeightFormat};
 use sparseinfer::tensor::{ParallelOptions, Vector};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -123,6 +123,53 @@ fn oracle_and_random_steady_state_decode_are_allocation_free() {
     ] {
         let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
         assert_eq!(allocs, 0, "{name} decode allocated {allocs} times");
+    }
+}
+
+#[test]
+fn int8_steady_state_decode_is_allocation_free() {
+    // The quantized hot path must hold the same bar as f32: the fused
+    // block-dequant kernel expands each 32-column block into a stack
+    // buffer (never a heap row), and the quantized MLP reuses the same
+    // workspace scratch as the f32 route.
+    let model = test_model();
+    for (name, mut engine) in [
+        (
+            "dense+int8",
+            EngineBuilder::new(&model)
+                .weight_format(WeightFormat::Int8)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "signbit+int8",
+            EngineBuilder::new(&model)
+                .signbit(AlphaSchedule::uniform(1.0))
+                .weight_format(WeightFormat::Int8)
+                .build()
+                .unwrap(),
+        ),
+    ] {
+        let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+        assert_eq!(allocs, 0, "{name} decode allocated {allocs} times");
+    }
+}
+
+#[test]
+fn parallel_int8_steady_state_decode_is_allocation_free() {
+    let model = test_model();
+    for threads in [2usize, 4] {
+        let mut engine = EngineBuilder::new(&model)
+            .signbit(AlphaSchedule::uniform(1.0))
+            .weight_format(WeightFormat::Int8)
+            .parallel(ParallelOptions::threads(threads))
+            .build()
+            .unwrap();
+        let allocs = steady_state_allocations(engine.as_mut(), 4, 16);
+        assert_eq!(
+            allocs, 0,
+            "int8 decode at {threads} threads allocated {allocs} times"
+        );
     }
 }
 

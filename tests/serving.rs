@@ -999,6 +999,7 @@ fn preemption_storm_is_bit_identical_at_any_thread_count_and_drains_clean() {
             preemption: true,
             max_preemptions_per_request: 4,
             swap_budget_bytes,
+            ..SchedulerConfig::default()
         })
         .parallel(ParallelOptions::threads(threads));
         let mut handles = Vec::new();

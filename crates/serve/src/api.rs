@@ -10,7 +10,6 @@ use std::time::Duration;
 
 use sparseinfer::json::Json;
 use sparseinfer::model::Sampler;
-use sparseinfer::sparse::engine::SpeculativeStats;
 use sparseinfer::sparse::request::{FinishReason, GenerateRequest, Priority, TokenEvent};
 
 use crate::owner::{FinishSummary, StatsSnapshot};
@@ -203,7 +202,10 @@ pub fn finish_event_json(summary: &FinishSummary) -> String {
         ("engine".to_string(), Json::String(summary.engine.clone())),
     ];
     if let Some(spec) = &summary.speculative {
-        fields.push(("speculative".to_string(), speculative_json(spec)));
+        fields.push((
+            "speculative".to_string(),
+            sparseinfer::stats::speculative_json(spec),
+        ));
     }
     match summary.finish {
         FinishReason::Stop(token) => {
@@ -217,144 +219,62 @@ pub fn finish_event_json(summary: &FinishSummary) -> String {
     Json::Object(fields).to_json()
 }
 
-/// Encodes draft/accept counters as a JSON object:
-/// `{"drafted":d,"accepted":a,"acceptance_rate":r}`.
-fn speculative_json(spec: &SpeculativeStats) -> Json {
-    Json::Object(vec![
-        ("drafted".to_string(), Json::Number(spec.drafted as f64)),
-        ("accepted".to_string(), Json::Number(spec.accepted as f64)),
-        (
-            "acceptance_rate".to_string(),
-            Json::Number(spec.acceptance_rate()),
-        ),
-    ])
+/// Appends `extra` fields to the named object-valued section of `doc`.
+///
+/// The shared scheduler encoding is the base; the serving-level fields
+/// ride along inside its sections rather than forking the schema. Panics
+/// if the section is missing or not an object — that would mean the
+/// shared serializer changed shape, which this crate's round-trip test
+/// catches immediately.
+fn append_to_section(doc: &mut Json, section: &str, extra: Vec<(String, Json)>) {
+    let Json::Object(sections) = doc else {
+        panic!("scheduler stats must encode as an object");
+    };
+    let Some((_, Json::Object(fields))) = sections.iter_mut().find(|(name, _)| name == section)
+    else {
+        panic!("scheduler stats must contain an object section `{section}`");
+    };
+    fields.extend(extra);
 }
 
 /// Encodes the `GET /stats` response body.
+///
+/// The scheduler side is the workspace-wide encoding
+/// ([`sparseinfer::stats::scheduler_stats_json`]); the serving-level
+/// fields — lifetime `completed`, `draining`, the engine factory's weight
+/// format, the KV high-water mark — are appended into the matching
+/// sections, so `/stats` consumers and trace-harness reports read one
+/// schema.
 pub fn stats_json(stats: &StatsSnapshot) -> String {
-    fn num(n: u64) -> Json {
-        Json::Number(n as f64)
-    }
-    Json::Object(vec![
-        (
-            "scheduler".to_string(),
-            Json::Object(vec![
-                ("queued".to_string(), num(stats.queued as u64)),
-                ("active_slots".to_string(), num(stats.active_slots as u64)),
-                (
-                    "reserved_blocks".to_string(),
-                    num(stats.reserved_blocks as u64),
-                ),
-                (
-                    "preempted".to_string(),
-                    num(stats.preemption.preempted_now as u64),
-                ),
-                ("submitted".to_string(), num(stats.submitted as u64)),
-                ("completed".to_string(), num(stats.completed as u64)),
-                ("draining".to_string(), Json::Bool(stats.draining)),
-            ]),
-        ),
-        (
-            "dtype".to_string(),
-            Json::Object(vec![
-                (
-                    "weights".to_string(),
-                    Json::String(stats.weight_format.to_string()),
-                ),
-                ("kv".to_string(), Json::String(stats.kv_dtype.to_string())),
-                (
-                    "kv_bytes_per_elem".to_string(),
-                    num(stats.kv_bytes_per_elem as u64),
-                ),
-            ]),
-        ),
-        (
-            "kv".to_string(),
-            Json::Object(vec![
-                (
-                    "blocks_in_use".to_string(),
-                    num(stats.kv_blocks_in_use as u64),
-                ),
-                ("in_use_bytes".to_string(), num(stats.kv_in_use_bytes)),
-                (
-                    "peak_in_use_bytes".to_string(),
-                    num(stats.kv_peak_in_use_bytes),
-                ),
-            ]),
-        ),
-        (
-            "memory".to_string(),
-            Json::Object(vec![
-                ("shared_bytes".to_string(), num(stats.memory_shared_bytes)),
-                ("weight_bytes".to_string(), num(stats.memory_weight_bytes)),
-                (
-                    "per_session_bytes".to_string(),
-                    num(stats.memory_per_session_bytes),
-                ),
-                ("swapped_bytes".to_string(), num(stats.memory_swapped_bytes)),
-            ]),
-        ),
-        (
-            "prefix_cache".to_string(),
-            Json::Object(vec![
-                (
-                    "attached_requests".to_string(),
-                    num(stats.prefix.attached_requests as u64),
-                ),
-                (
-                    "skipped_tokens".to_string(),
-                    num(stats.prefix.skipped_tokens),
-                ),
-                (
-                    "published_blocks".to_string(),
-                    num(stats.prefix.published_blocks as u64),
-                ),
-                (
-                    "evicted_blocks".to_string(),
-                    num(stats.prefix.evicted_blocks as u64),
-                ),
-                (
-                    "retained_blocks".to_string(),
-                    num(stats.prefix.retained_blocks as u64),
-                ),
-                (
-                    "unreferenced_blocks".to_string(),
-                    num(stats.prefix.unreferenced_blocks as u64),
-                ),
-            ]),
-        ),
-        (
-            "speculative".to_string(),
-            speculative_json(&stats.speculative),
-        ),
-        (
-            "preemption".to_string(),
-            Json::Object(vec![
-                (
-                    "preemptions".to_string(),
-                    num(stats.preemption.preemptions as u64),
-                ),
-                (
-                    "swapped_out".to_string(),
-                    num(stats.preemption.swapped_out as u64),
-                ),
-                (
-                    "recomputed".to_string(),
-                    num(stats.preemption.recomputed as u64),
-                ),
-                ("resumed".to_string(), num(stats.preemption.resumed as u64)),
-                (
-                    "preempted_now".to_string(),
-                    num(stats.preemption.preempted_now as u64),
-                ),
-                (
-                    "swapped_bytes".to_string(),
-                    num(stats.preemption.swapped_bytes),
-                ),
-            ]),
-        ),
-    ])
-    .to_json()
+    let mut doc = sparseinfer::stats::scheduler_stats_json(&stats.scheduler);
+    append_to_section(
+        &mut doc,
+        "scheduler",
+        vec![
+            (
+                "completed".to_string(),
+                Json::Number(stats.completed as f64),
+            ),
+            ("draining".to_string(), Json::Bool(stats.draining)),
+        ],
+    );
+    append_to_section(
+        &mut doc,
+        "dtype",
+        vec![(
+            "weights".to_string(),
+            Json::String(stats.weight_format.to_string()),
+        )],
+    );
+    append_to_section(
+        &mut doc,
+        "kv",
+        vec![(
+            "peak_in_use_bytes".to_string(),
+            Json::Number(stats.kv_peak_in_use_bytes as f64),
+        )],
+    );
+    doc.to_json()
 }
 
 /// Encodes a one-field error body: `{"error":"..."}`.
@@ -369,6 +289,7 @@ pub fn error_json(message: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparseinfer::sparse::engine::SpeculativeStats;
 
     #[test]
     fn parses_a_full_generate_body() {
@@ -536,34 +457,48 @@ mod tests {
 
     #[test]
     fn stats_json_parses_back_with_every_section() {
+        use sparseinfer::sparse::engine::MemoryEstimate;
+        use sparseinfer::sparse::scheduler::SchedulerStats;
+
         let stats = StatsSnapshot {
-            queued: 2,
-            active_slots: 3,
-            reserved_blocks: 11,
-            kv_blocks_in_use: 9,
-            kv_in_use_bytes: 4608,
-            kv_peak_in_use_bytes: 9216,
-            kv_dtype: "f16",
-            kv_bytes_per_elem: 2,
-            weight_format: "int8",
-            submitted: 14,
-            completed: 9,
-            memory_shared_bytes: 1024,
-            memory_weight_bytes: 768,
-            memory_per_session_bytes: 2048,
-            memory_swapped_bytes: 512,
-            prefix: Default::default(),
-            preemption: Default::default(),
-            speculative: SpeculativeStats {
-                drafted: 10,
-                accepted: 4,
+            scheduler: SchedulerStats {
+                ticks: 37,
+                submitted: 14,
+                retired: 9,
+                queued: 2,
+                active_slots: 3,
+                reserved_blocks: 11,
+                kv_blocks_in_use: 9,
+                kv_in_use_bytes: 4608,
+                kv_block_budget: usize::MAX,
+                kv_dtype: "f16",
+                kv_bytes_per_elem: 2,
+                memory: MemoryEstimate {
+                    shared_bytes: 1024,
+                    weight_bytes: 768,
+                    per_session_bytes: 2048,
+                    swapped_bytes: 512,
+                },
+                prefix: Default::default(),
+                preemption: Default::default(),
+                speculative: SpeculativeStats {
+                    drafted: 10,
+                    accepted: 4,
+                },
             },
+            kv_peak_in_use_bytes: 9216,
+            weight_format: "int8",
+            completed: 9,
             draining: false,
         };
         let doc = Json::parse(&stats_json(&stats)).unwrap();
         let sched = doc.get("scheduler").unwrap();
+        assert_eq!(sched.get("ticks").and_then(Json::as_u64), Some(37));
         assert_eq!(sched.get("queued").and_then(Json::as_u64), Some(2));
         assert_eq!(sched.get("active_slots").and_then(Json::as_u64), Some(3));
+        assert_eq!(sched.get("submitted").and_then(Json::as_u64), Some(14));
+        assert_eq!(sched.get("retired").and_then(Json::as_u64), Some(9));
+        assert_eq!(sched.get("completed").and_then(Json::as_u64), Some(9));
         assert_eq!(sched.get("draining").and_then(Json::as_bool), Some(false));
         let kv = doc.get("kv").unwrap();
         assert_eq!(kv.get("in_use_bytes").and_then(Json::as_u64), Some(4608));

@@ -31,7 +31,7 @@
 //! println!("listening on http://{}", handle.addr());
 //! // Blocks until handle.shutdown(); engines may borrow `model`.
 //! let final_stats = server.serve(&|_req| EngineBuilder::new(&model).build());
-//! assert_eq!(final_stats.kv_blocks_in_use, 0);
+//! assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
 //! ```
 
 #![forbid(unsafe_code)]

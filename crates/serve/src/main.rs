@@ -235,14 +235,17 @@ fn main() -> ExitCode {
 fn server_config(args: &Args) -> ServerConfig {
     ServerConfig {
         addr: args.addr.clone(),
-        scheduler: SchedulerConfig {
-            max_slots: args.slots,
-            block_tokens: args.block_tokens,
-            kv_block_budget: args.kv_block_budget,
-            prefix_cache: args.prefix_cache,
-            kv_dtype: args.kv,
-            ..SchedulerConfig::default()
-        },
+        scheduler: SchedulerConfig::builder()
+            .max_slots(args.slots)
+            .block_tokens(args.block_tokens)
+            .kv_block_budget(args.kv_block_budget)
+            .prefix_cache(args.prefix_cache)
+            .kv_dtype(args.kv)
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("invalid scheduler flags: {e}");
+                std::process::exit(2);
+            }),
         slot_threads: args.slot_threads,
         connection_threads: args.connection_threads,
         queue_capacity: args.queue_capacity,
@@ -391,10 +394,10 @@ fn smoke(mut args: Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if final_stats.kv_blocks_in_use != 0 {
+    if final_stats.scheduler.kv_blocks_in_use != 0 {
         eprintln!(
             "smoke: FAILED: {} KV blocks still in use after drain",
-            final_stats.kv_blocks_in_use
+            final_stats.scheduler.kv_blocks_in_use
         );
         return ExitCode::FAILURE;
     }

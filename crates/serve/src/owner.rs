@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use sparseinfer::sparse::engine::{Engine, SpeculativeStats};
 use sparseinfer::sparse::error::EngineError;
 use sparseinfer::sparse::request::{FinishReason, GenerateRequest, TokenEvent};
-use sparseinfer::sparse::scheduler::{PreemptionStats, PrefixCacheStats, RequestHandle, Scheduler};
+use sparseinfer::sparse::scheduler::{RequestHandle, Scheduler, SchedulerStats};
 
 /// How long the owner loop sleeps on its submission channel when the
 /// scheduler has nothing to decode.
@@ -94,50 +94,27 @@ pub struct FinishSummary {
 /// A point-in-time copy of the scheduler's observable state, refreshed by
 /// the owner loop after every iteration and read lock-free-ish (one
 /// uncontended mutex) by `/healthz` and `/stats`.
+///
+/// The scheduler side is one [`SchedulerStats`] snapshot — the library's
+/// single stats surface ([`Scheduler::stats`]) — so `/stats` and any
+/// other consumer of scheduler state share one schema. The remaining
+/// fields are serving-level: they describe the *server* (lifetime
+/// completions, drain state, the engine factory's weight format, the KV
+/// high-water mark sampled per loop iteration), which the scheduler
+/// itself cannot know.
 #[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
-    /// Requests waiting for admission inside the scheduler.
-    pub queued: usize,
-    /// Requests currently occupying decode slots.
-    pub active_slots: usize,
-    /// Worst-case KV blocks reserved by the live slots.
-    pub reserved_blocks: usize,
-    /// KV blocks currently allocated out of the pool.
-    pub kv_blocks_in_use: usize,
-    /// Bytes of those in-use KV blocks.
-    pub kv_in_use_bytes: u64,
-    /// High-water mark of `kv_in_use_bytes` over the server's lifetime,
-    /// sampled once per owner-loop iteration. With `--kv f16` this is
-    /// exactly half the f32 value for the same workload.
+    /// The scheduler's own snapshot (queue depths, KV pool state, memory
+    /// estimate, prefix/preemption/speculative aggregates).
+    pub scheduler: SchedulerStats,
+    /// High-water mark of `scheduler.kv_in_use_bytes` over the server's
+    /// lifetime, sampled once per owner-loop iteration. With `--kv f16`
+    /// this is exactly half the f32 value for the same workload.
     pub kv_peak_in_use_bytes: u64,
-    /// Element type of the KV pool's blocks (`"f32"` / `"f16"`).
-    pub kv_dtype: &'static str,
-    /// Bytes of one stored KV scalar (4 for f32, 2 for f16).
-    pub kv_bytes_per_elem: usize,
     /// Weight format the server's engines execute (`"f32"` / `"int8"`).
     pub weight_format: &'static str,
-    /// Requests submitted over the server's lifetime.
-    pub submitted: usize,
     /// Requests finished over the server's lifetime.
     pub completed: usize,
-    /// Shared read-only engine bytes across queued + live requests.
-    pub memory_shared_bytes: u64,
-    /// Quantized MLP weight bytes within `memory_shared_bytes` (zero for
-    /// f32 engines — their weights live in the model, not the engine).
-    pub memory_weight_bytes: u64,
-    /// Per-session engine bytes across queued + live requests.
-    pub memory_per_session_bytes: u64,
-    /// Cold bytes held by swapped-out preempted requests.
-    pub memory_swapped_bytes: u64,
-    /// Prefix-cache accounting.
-    pub prefix: PrefixCacheStats,
-    /// Preemption accounting (evictions, swap/recompute split, resumes,
-    /// current preempted population).
-    pub preemption: PreemptionStats,
-    /// Speculative-decoding accounting summed over retired requests plus
-    /// the engines currently live, queued or preempted. All zeros when no
-    /// submitted engine drafts.
-    pub speculative: SpeculativeStats,
     /// Whether the server is draining (shutdown requested, in-flight
     /// requests finishing, no new submissions accepted).
     pub draining: bool,
@@ -302,29 +279,13 @@ fn publish_stats(
     weight_format: &'static str,
     peak_kv_bytes: &mut u64,
 ) {
-    let memory = scheduler.memory_estimate();
-    let pool = scheduler.kv_pool();
-    let in_use = pool.in_use_bytes();
-    *peak_kv_bytes = (*peak_kv_bytes).max(in_use);
+    let scheduler = scheduler.stats();
+    *peak_kv_bytes = (*peak_kv_bytes).max(scheduler.kv_in_use_bytes);
     let snapshot = StatsSnapshot {
-        queued: scheduler.pending_requests(),
-        active_slots: scheduler.active_slots(),
-        reserved_blocks: scheduler.reserved_blocks(),
-        kv_blocks_in_use: pool.blocks_in_use(),
-        kv_in_use_bytes: in_use,
+        scheduler,
         kv_peak_in_use_bytes: *peak_kv_bytes,
-        kv_dtype: pool.dtype().label(),
-        kv_bytes_per_elem: pool.dtype().bytes_per_elem(),
         weight_format,
-        submitted: scheduler.submitted(),
         completed,
-        memory_shared_bytes: memory.shared_bytes,
-        memory_weight_bytes: memory.weight_bytes,
-        memory_per_session_bytes: memory.per_session_bytes,
-        memory_swapped_bytes: memory.swapped_bytes,
-        prefix: scheduler.prefix_stats(),
-        preemption: scheduler.preemption_stats(),
-        speculative: scheduler.speculative_stats(),
         draining,
     };
     *stats.lock().expect("stats mutex poisoned") = snapshot;
@@ -400,7 +361,7 @@ mod tests {
         });
         let final_stats = stats.lock().unwrap().clone();
         assert_eq!(final_stats.completed, 1);
-        assert_eq!(final_stats.kv_blocks_in_use, 0, "pool drained");
+        assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0, "pool drained");
         assert!(final_stats.draining);
     }
 
@@ -453,7 +414,7 @@ mod tests {
             assert!(matches!(summary2.finish, FinishReason::DeadlineExceeded));
             drop(sub_tx);
         });
-        assert_eq!(stats.lock().unwrap().kv_blocks_in_use, 0);
+        assert_eq!(stats.lock().unwrap().scheduler.kv_blocks_in_use, 0);
     }
 
     #[test]
@@ -498,7 +459,7 @@ mod tests {
             assert!(seen < 10_000, "cancelled well before the budget");
             drop(sub_tx);
         });
-        assert_eq!(stats.lock().unwrap().kv_blocks_in_use, 0);
+        assert_eq!(stats.lock().unwrap().scheduler.kv_blocks_in_use, 0);
     }
 
     #[test]
@@ -526,7 +487,10 @@ mod tests {
             drop(sub_tx);
         });
         let final_stats = stats.lock().unwrap().clone();
-        assert_eq!(final_stats.submitted, 0, "rejection never entered");
+        assert_eq!(
+            final_stats.scheduler.submitted, 0,
+            "rejection never entered"
+        );
         assert_eq!(final_stats.completed, 0);
     }
 }

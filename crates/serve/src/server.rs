@@ -354,7 +354,7 @@ fn respond_healthz(stream: &mut TcpStream, stats: &Mutex<StatsSnapshot>, keep_al
     let snapshot = stats.lock().expect("stats mutex poisoned").clone();
     let body = format!(
         "{{\"status\":\"ok\",\"active_slots\":{},\"queued\":{}}}",
-        snapshot.active_slots, snapshot.queued
+        snapshot.scheduler.active_slots, snapshot.scheduler.queued
     );
     http::write_response(
         stream,

@@ -113,7 +113,7 @@ fn streams_tokens_and_serves_health_and_stats() {
     let sched = stats_doc.get("scheduler").expect("scheduler section");
     assert_eq!(sched.get("completed").and_then(Json::as_u64), Some(1));
     assert_eq!(
-        final_stats.kv_blocks_in_use, 0,
+        final_stats.scheduler.kv_blocks_in_use, 0,
         "pool drained after shutdown"
     );
     assert!(final_stats.draining);
@@ -164,7 +164,7 @@ fn mid_stream_disconnect_cancels_and_reclaims_kv() {
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
             let stats = handle.stats();
-            if stats.active_slots == 0 && stats.completed == 1 {
+            if stats.scheduler.active_slots == 0 && stats.completed == 1 {
                 return stats;
             }
             assert!(
@@ -174,8 +174,11 @@ fn mid_stream_disconnect_cancels_and_reclaims_kv() {
             std::thread::sleep(Duration::from_millis(10));
         }
     });
-    assert_eq!(stats_after_disconnect.kv_blocks_in_use, 0, "KV reclaimed");
-    assert_eq!(final_stats.kv_blocks_in_use, 0);
+    assert_eq!(
+        stats_after_disconnect.scheduler.kv_blocks_in_use, 0,
+        "KV reclaimed"
+    );
+    assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
 }
 
 #[test]
@@ -328,7 +331,7 @@ fn malformed_and_oversized_requests_do_not_kill_the_connection_handler() {
         let mut client = Client::connect(addr).unwrap();
         assert_eq!(client.get("/healthz").unwrap().status, 200);
     });
-    assert_eq!(final_stats.kv_blocks_in_use, 0);
+    assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
 }
 
 #[test]
@@ -438,8 +441,8 @@ fn high_priority_preempts_a_batch_stream_and_the_finish_event_reports_it() {
         Some(0),
         "cold buffers drained once everything resumed"
     );
-    assert_eq!(final_stats.kv_blocks_in_use, 0, "pool drained");
-    assert_eq!(final_stats.memory_swapped_bytes, 0);
+    assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0, "pool drained");
+    assert_eq!(final_stats.scheduler.memory.swapped_bytes, 0);
 }
 
 #[test]
@@ -518,7 +521,7 @@ fn concurrent_clients_at_several_slot_thread_counts_match_library_runs() {
             all_tokens, expected,
             "{slot_threads} slot threads: HTTP tokens == library tokens"
         );
-        assert_eq!(final_stats.kv_blocks_in_use, 0);
+        assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
         assert_eq!(final_stats.completed, bodies.len());
     }
 }
@@ -604,7 +607,7 @@ fn speculative_server_is_bit_identical_to_dense_and_reports_counters() {
         assert!(drafted > 0);
         assert!(spec.get("accepted").and_then(Json::as_u64).unwrap() <= drafted);
         assert!(spec.get("acceptance_rate").and_then(Json::as_f64).is_some());
-        assert_eq!(final_stats.kv_blocks_in_use, 0);
+        assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
         assert_eq!(final_stats.completed, bodies.len());
     }
 }
@@ -635,6 +638,6 @@ fn graceful_shutdown_drains_in_flight_streams() {
         finish.get("finish").and_then(Json::as_str),
         Some("max_tokens")
     );
-    assert_eq!(final_stats.kv_blocks_in_use, 0);
+    assert_eq!(final_stats.scheduler.kv_blocks_in_use, 0);
     assert_eq!(final_stats.completed, 1);
 }

@@ -53,6 +53,17 @@ pub enum EngineError {
         /// What disagreed.
         reason: &'static str,
     },
+    /// A [`SchedulerConfig`](crate::scheduler::SchedulerConfig) assembled
+    /// through [`SchedulerConfig::builder`](crate::scheduler::SchedulerConfig::builder)
+    /// failed validation: a zero capacity knob, or a feature knob set
+    /// while its feature is disabled (e.g. a swap budget without
+    /// preemption). Surfaced as data so a serving frontend can reject a
+    /// bad flag combination with a message instead of panicking at
+    /// construction.
+    SchedulerConfig {
+        /// What was wrong with the configuration.
+        reason: &'static str,
+    },
     /// The engine's model uses a different KV dimension than the models
     /// already submitted to this scheduler. One scheduler pages every
     /// session out of one fixed-block-size [`KvBlockPool`](sparseinfer_model::kv::KvBlockPool),
@@ -107,6 +118,9 @@ impl std::fmt::Display for EngineError {
                     f,
                     "shared quantized weights do not fit this model: {reason}"
                 )
+            }
+            EngineError::SchedulerConfig { reason } => {
+                write!(f, "invalid scheduler configuration: {reason}")
             }
             EngineError::KvDimensionMismatch {
                 scheduler_dim,

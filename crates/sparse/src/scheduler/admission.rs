@@ -58,7 +58,8 @@ impl<'m> Scheduler<'m> {
             };
             if let Some(finish) = finish {
                 let q = self.queue.remove(i).expect("index in bounds");
-                self.record_finished(unstarted_output(q, finish));
+                let output = unstarted_output(q, finish, self.ticks);
+                self.record_finished(output);
             } else {
                 i += 1;
             }
@@ -75,7 +76,8 @@ impl<'m> Scheduler<'m> {
                 if let PreemptedState::Swapped { cold_bytes, .. } = p.state {
                     self.cold_bytes -= cold_bytes;
                 }
-                self.record_finished(preempted_output(p, finish));
+                let output = preempted_output(p, finish, self.ticks);
+                self.record_finished(output);
             } else {
                 i += 1;
             }
@@ -161,7 +163,8 @@ impl<'m> Scheduler<'m> {
                     required_blocks: net_worst,
                     budget_blocks: self.config.kv_block_budget,
                 };
-                self.record_finished(unstarted_output(q, FinishReason::Failed(err)));
+                let output = unstarted_output(q, FinishReason::Failed(err), self.ticks);
+                self.record_finished(output);
                 return true;
             }
             return false;
@@ -188,12 +191,17 @@ impl<'m> Scheduler<'m> {
                     published: false,
                     preempt_count: 0,
                     swapped_blocks: 0,
+                    submitted_tick: q.submitted_tick,
+                    admitted_tick: self.ticks,
                 });
             }
             // Unreachable today (submit validates the prompt), kept as
             // data so a future validation gap degrades to a failed
             // request instead of a poisoned serving loop.
-            Err(err) => self.record_finished(unstarted_output(q, FinishReason::Failed(err))),
+            Err(err) => {
+                let output = unstarted_output(q, FinishReason::Failed(err), self.ticks);
+                self.record_finished(output);
+            }
         }
         true
     }

@@ -103,7 +103,7 @@ mod stats;
 #[cfg(test)]
 mod tests;
 
-pub use stats::{PreemptionStats, PrefixCacheStats};
+pub use stats::{PreemptionStats, PrefixCacheStats, SchedulerStats};
 
 use preemption::PreemptedRequest;
 
@@ -154,6 +154,20 @@ pub struct BatchOutput {
     /// work each verified block amortized — the tokens themselves are
     /// bit-identical to dense-only decode.
     pub speculative: Option<SpeculativeStats>,
+    /// Scheduler tick count when the request was submitted (the index of
+    /// the earliest tick that could have admitted it). Tick stamps are a
+    /// pure function of the submission sequence — identical at any slot-
+    /// or kernel-thread count — which is what lets a load harness report
+    /// deterministic queue-wait numbers next to wall-clock percentiles.
+    pub submitted_tick: u64,
+    /// Tick of the request's *first* admission into a decode slot (later
+    /// preemption/resume cycles do not move it); `None` when it never
+    /// occupied a slot (cancelled or failed while queued). Queue wait in
+    /// ticks is `admitted_tick - submitted_tick`.
+    pub admitted_tick: Option<u64>,
+    /// Tick the request retired on (finish, cancellation, expiry or
+    /// failure — whichever tick actually removed it).
+    pub finished_tick: u64,
 }
 
 /// Default cap on retained-but-unreferenced prefix blocks (see
@@ -253,6 +267,162 @@ impl SchedulerConfig {
             kv_dtype: KvDtype::F32,
         }
     }
+
+    /// A validating builder over the same knobs. The struct-literal path
+    /// stays available (and [`Scheduler::new`] still asserts the hard
+    /// invariants), but the builder turns contradictory configurations —
+    /// a zero paging granularity, a swap budget with preemption disabled —
+    /// into an [`EngineError::SchedulerConfig`] a frontend can report
+    /// instead of a panic deep in construction.
+    ///
+    /// ```
+    /// use sparseinfer_sparse::scheduler::SchedulerConfig;
+    ///
+    /// let config = SchedulerConfig::builder()
+    ///     .max_slots(4)
+    ///     .block_tokens(8)
+    ///     .kv_block_budget(4096)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.max_slots, 4);
+    /// assert!(SchedulerConfig::builder().block_tokens(0).build().is_err());
+    /// ```
+    pub fn builder() -> SchedulerConfigBuilder {
+        SchedulerConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SchedulerConfig`] (see [`SchedulerConfig::builder`]).
+/// Unset knobs take the [`Default`] values; validation runs once in
+/// [`build`](Self::build) and only flags knobs that were *explicitly*
+/// set against a disabled feature, so defaults can never contradict
+/// themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerConfigBuilder {
+    max_slots: Option<usize>,
+    block_tokens: Option<usize>,
+    kv_block_budget: Option<usize>,
+    prefix_cache: Option<bool>,
+    prefix_retain_blocks: Option<usize>,
+    preemption: Option<bool>,
+    max_preemptions_per_request: Option<usize>,
+    swap_budget_bytes: Option<u64>,
+    kv_dtype: Option<KvDtype>,
+}
+
+impl SchedulerConfigBuilder {
+    /// Maximum concurrently decoding requests
+    /// (see [`SchedulerConfig::max_slots`]).
+    pub fn max_slots(mut self, max_slots: usize) -> Self {
+        self.max_slots = Some(max_slots);
+        self
+    }
+
+    /// Tokens per KV block (see [`SchedulerConfig::block_tokens`]).
+    pub fn block_tokens(mut self, block_tokens: usize) -> Self {
+        self.block_tokens = Some(block_tokens);
+        self
+    }
+
+    /// Total KV block budget (see [`SchedulerConfig::kv_block_budget`]).
+    pub fn kv_block_budget(mut self, kv_block_budget: usize) -> Self {
+        self.kv_block_budget = Some(kv_block_budget);
+        self
+    }
+
+    /// Enables or disables prompt-prefix sharing
+    /// (see [`SchedulerConfig::prefix_cache`]).
+    pub fn prefix_cache(mut self, prefix_cache: bool) -> Self {
+        self.prefix_cache = Some(prefix_cache);
+        self
+    }
+
+    /// Warm-cache retention cap
+    /// (see [`SchedulerConfig::prefix_retain_blocks`]).
+    pub fn prefix_retain_blocks(mut self, prefix_retain_blocks: usize) -> Self {
+        self.prefix_retain_blocks = Some(prefix_retain_blocks);
+        self
+    }
+
+    /// Enables or disables preemption
+    /// (see [`SchedulerConfig::preemption`]).
+    pub fn preemption(mut self, preemption: bool) -> Self {
+        self.preemption = Some(preemption);
+        self
+    }
+
+    /// Per-request preemption cap
+    /// (see [`SchedulerConfig::max_preemptions_per_request`]).
+    pub fn max_preemptions_per_request(mut self, cap: usize) -> Self {
+        self.max_preemptions_per_request = Some(cap);
+        self
+    }
+
+    /// Cold swap-buffer byte budget
+    /// (see [`SchedulerConfig::swap_budget_bytes`]).
+    pub fn swap_budget_bytes(mut self, swap_budget_bytes: u64) -> Self {
+        self.swap_budget_bytes = Some(swap_budget_bytes);
+        self
+    }
+
+    /// KV block element type (see [`SchedulerConfig::kv_dtype`]).
+    pub fn kv_dtype(mut self, kv_dtype: KvDtype) -> Self {
+        self.kv_dtype = Some(kv_dtype);
+        self
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SchedulerConfig`] when `max_slots`, `block_tokens`
+    /// or `kv_block_budget` is zero, or when a feature knob was
+    /// explicitly set while its feature is off: a nonzero
+    /// `swap_budget_bytes` or `max_preemptions_per_request` with
+    /// `preemption(false)`, or a nonzero `prefix_retain_blocks` with
+    /// `prefix_cache(false)`.
+    pub fn build(self) -> Result<SchedulerConfig, EngineError> {
+        let defaults = SchedulerConfig::default();
+        let err = |reason| Err(EngineError::SchedulerConfig { reason });
+        let config = SchedulerConfig {
+            max_slots: self.max_slots.unwrap_or(defaults.max_slots),
+            block_tokens: self.block_tokens.unwrap_or(defaults.block_tokens),
+            kv_block_budget: self.kv_block_budget.unwrap_or(defaults.kv_block_budget),
+            prefix_cache: self.prefix_cache.unwrap_or(defaults.prefix_cache),
+            prefix_retain_blocks: self
+                .prefix_retain_blocks
+                .unwrap_or(defaults.prefix_retain_blocks),
+            preemption: self.preemption.unwrap_or(defaults.preemption),
+            max_preemptions_per_request: self
+                .max_preemptions_per_request
+                .unwrap_or(defaults.max_preemptions_per_request),
+            swap_budget_bytes: self.swap_budget_bytes.unwrap_or(defaults.swap_budget_bytes),
+            kv_dtype: self.kv_dtype.unwrap_or(defaults.kv_dtype),
+        };
+        if config.max_slots == 0 {
+            return err("max_slots must be positive");
+        }
+        if config.block_tokens == 0 {
+            return err("block_tokens must be positive");
+        }
+        if config.kv_block_budget == 0 {
+            return err("kv_block_budget must be positive");
+        }
+        // Only *explicitly set* knobs can contradict a disabled feature:
+        // the defaults are internally consistent by construction.
+        if !config.preemption {
+            if self.swap_budget_bytes.is_some_and(|b| b > 0) {
+                return err("swap_budget_bytes set but preemption is disabled");
+            }
+            if self.max_preemptions_per_request.is_some_and(|c| c > 0) {
+                return err("max_preemptions_per_request set but preemption is disabled");
+            }
+        }
+        if !config.prefix_cache && self.prefix_retain_blocks.is_some_and(|b| b > 0) {
+            return err("prefix_retain_blocks set but prefix_cache is disabled");
+        }
+        Ok(config)
+    }
 }
 
 /// Out-of-band stop signals a [`RequestHandle`] can raise, in the shared
@@ -329,6 +499,8 @@ struct QueuedRequest<'m> {
     /// Prefix-index identity of the engine's model (see
     /// [`Scheduler::model_key`]).
     model_key: usize,
+    /// Tick count at submission (see [`BatchOutput::submitted_tick`]).
+    submitted_tick: u64,
 }
 
 /// A request occupying a decode slot.
@@ -357,13 +529,18 @@ struct LiveSlot<'m> {
     preempt_count: usize,
     /// KV blocks this request's preemptions have swapped out so far.
     swapped_blocks: usize,
+    /// Tick count at submission (see [`BatchOutput::submitted_tick`]).
+    submitted_tick: u64,
+    /// Tick of the first admission (see [`BatchOutput::admitted_tick`]);
+    /// carried unchanged through preemption/resume cycles.
+    admitted_tick: u64,
 }
 
 impl<'m> LiveSlot<'m> {
     /// Consumes a finished slot into its output, dropping the engine's
     /// per-session scratch and returning the session's KV blocks to the
     /// pool.
-    fn into_output(self) -> BatchOutput {
+    fn into_output(self, finished_tick: u64) -> BatchOutput {
         let prefill_skipped_tokens = self.run.prefill_skipped_tokens();
         let generation = self.run.into_generation();
         BatchOutput {
@@ -377,6 +554,9 @@ impl<'m> LiveSlot<'m> {
             preemptions: self.preempt_count,
             swapped_blocks: self.swapped_blocks,
             speculative: self.engine.speculative_stats(),
+            submitted_tick: self.submitted_tick,
+            admitted_tick: Some(self.admitted_tick),
+            finished_tick,
         }
     }
 }
@@ -384,7 +564,7 @@ impl<'m> LiveSlot<'m> {
 /// The output of a request that never occupied a decode slot (cancelled in
 /// the queue, or — defensively — failed at admission): no tokens, counters
 /// as the engine left them.
-fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
+fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason, finished_tick: u64) -> BatchOutput {
     BatchOutput {
         id: q.id,
         tokens: Vec::new(),
@@ -396,6 +576,9 @@ fn unstarted_output(q: QueuedRequest<'_>, finish: FinishReason) -> BatchOutput {
         preemptions: 0,
         swapped_blocks: 0,
         speculative: q.engine.speculative_stats(),
+        submitted_tick: q.submitted_tick,
+        admitted_tick: None,
+        finished_tick,
     }
 }
 
@@ -425,6 +608,14 @@ pub struct Scheduler<'m> {
     preempted: VecDeque<PreemptedRequest<'m>>,
     finished: Vec<BatchOutput>,
     next_id: usize,
+    /// Completed [`tick`](Self::tick) calls — the deterministic clock the
+    /// per-request tick stamps ([`BatchOutput::submitted_tick`] etc.) are
+    /// read from.
+    ticks: u64,
+    /// Requests retired over the scheduler's lifetime (the lifetime
+    /// counterpart of the drain-able [`finished`](Self::take_finished)
+    /// buffer).
+    retired: usize,
     /// Worst-case blocks reserved by the live slots (net of prefix hits
     /// and already-published blocks).
     reserved_blocks: usize,
@@ -488,6 +679,8 @@ impl<'m> Scheduler<'m> {
             preempted: VecDeque::new(),
             finished: Vec::new(),
             next_id: 0,
+            ticks: 0,
+            retired: 0,
             reserved_blocks: 0,
             kv_dim: None,
             attached_requests: 0,
@@ -588,6 +781,7 @@ impl<'m> Scheduler<'m> {
             signal: Arc::clone(&signal),
             worst_blocks,
             model_key,
+            submitted_tick: self.ticks,
         });
         Ok(RequestHandle { id, signal })
     }
@@ -642,12 +836,14 @@ impl<'m> Scheduler<'m> {
             if self.slots[i].run.finished() {
                 let slot = self.slots.remove(i);
                 self.reserved_blocks -= slot.worst_blocks;
-                self.record_finished(slot.into_output());
+                let output = slot.into_output(self.ticks);
+                self.record_finished(output);
             } else {
                 i += 1;
             }
         }
         self.enforce_prefix_cap();
+        self.ticks += 1;
         self.unfinished_requests()
     }
 

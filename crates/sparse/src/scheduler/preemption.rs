@@ -43,6 +43,11 @@ pub(super) struct PreemptedRequest<'m> {
     pub(super) prefill_skipped: usize,
     /// Whether the prompt prefix was already offered to the index.
     pub(super) published: bool,
+    /// Tick stamps carried through eviction (see
+    /// [`BatchOutput::submitted_tick`] / [`BatchOutput::admitted_tick`]);
+    /// `admitted_tick` stays the *first* admission.
+    pub(super) submitted_tick: u64,
+    pub(super) admitted_tick: u64,
     pub(super) state: PreemptedState,
 }
 
@@ -50,7 +55,11 @@ pub(super) struct PreemptedRequest<'m> {
 /// tokens it had produced before eviction, with its preemption counters.
 /// Dropping `state` frees the cold buffers (swap path) here; the caller
 /// already settled the scheduler's `cold_bytes` accounting.
-pub(super) fn preempted_output(p: PreemptedRequest<'_>, finish: FinishReason) -> BatchOutput {
+pub(super) fn preempted_output(
+    p: PreemptedRequest<'_>,
+    finish: FinishReason,
+    finished_tick: u64,
+) -> BatchOutput {
     let tokens = match p.state {
         PreemptedState::Swapped { run, .. } => run.tokens().to_vec(),
         PreemptedState::Recompute { tokens } => tokens,
@@ -66,6 +75,9 @@ pub(super) fn preempted_output(p: PreemptedRequest<'_>, finish: FinishReason) ->
         preemptions: p.preemptions,
         swapped_blocks: p.swapped_blocks,
         speculative: p.engine.speculative_stats(),
+        submitted_tick: p.submitted_tick,
+        admitted_tick: Some(p.admitted_tick),
+        finished_tick,
     }
 }
 
@@ -165,6 +177,8 @@ impl<'m> Scheduler<'m> {
             swapped_blocks,
             prefill_skipped,
             published: slot.published,
+            submitted_tick: slot.submitted_tick,
+            admitted_tick: slot.admitted_tick,
             state,
         });
     }
@@ -209,6 +223,8 @@ impl<'m> Scheduler<'m> {
                     published: p.published,
                     preempt_count: p.preemptions,
                     swapped_blocks: p.swapped_blocks,
+                    submitted_tick: p.submitted_tick,
+                    admitted_tick: p.admitted_tick,
                 });
                 true
             }
@@ -264,6 +280,8 @@ impl<'m> Scheduler<'m> {
                             published: false,
                             preempt_count: p.preemptions,
                             swapped_blocks: p.swapped_blocks,
+                            submitted_tick: p.submitted_tick,
+                            admitted_tick: p.admitted_tick,
                         });
                     }
                     // Unreachable today (the request was admitted once
@@ -281,6 +299,9 @@ impl<'m> Scheduler<'m> {
                             preemptions: p.preemptions,
                             speculative: p.engine.speculative_stats(),
                             swapped_blocks: p.swapped_blocks,
+                            submitted_tick: p.submitted_tick,
+                            admitted_tick: Some(p.admitted_tick),
+                            finished_tick: self.ticks,
                         });
                     }
                 }

@@ -49,10 +49,93 @@ pub struct PreemptionStats {
     pub swapped_bytes: u64,
 }
 
+/// One point-in-time snapshot of **every** observable the scheduler
+/// exposes — the single stats surface behind [`Scheduler::stats`].
+///
+/// The individual accessors ([`prefix_stats`](Scheduler::prefix_stats),
+/// [`preemption_stats`](Scheduler::preemption_stats),
+/// [`speculative_stats`](Scheduler::speculative_stats),
+/// [`memory_estimate`](Scheduler::memory_estimate)) remain available, but
+/// consumers that report state — the HTTP `/stats` endpoint, the
+/// trace-replay harness's `SloReport` — take this one struct and encode
+/// it through one serializer (`sparseinfer::stats`), so the two surfaces
+/// can never drift apart field by field.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerStats {
+    /// Completed [`tick`](Scheduler::tick) calls — the deterministic
+    /// clock behind the per-request tick stamps.
+    pub ticks: u64,
+    /// Requests submitted over the scheduler's lifetime.
+    pub submitted: usize,
+    /// Requests retired over the scheduler's lifetime (every finish
+    /// reason counts — cancellations and failures included).
+    pub retired: usize,
+    /// Requests waiting for admission (fresh submissions only).
+    pub queued: usize,
+    /// Requests currently occupying decode slots.
+    pub active_slots: usize,
+    /// Worst-case KV blocks currently reserved by the live slots.
+    pub reserved_blocks: usize,
+    /// KV blocks currently allocated out of the pool.
+    pub kv_blocks_in_use: usize,
+    /// Bytes of those in-use KV blocks.
+    pub kv_in_use_bytes: u64,
+    /// The pool's block budget ([`SchedulerConfig::kv_block_budget`]);
+    /// `usize::MAX` when the memory gate is disabled.
+    pub kv_block_budget: usize,
+    /// Label of the KV element type (`"f32"` / `"f16"`).
+    pub kv_dtype: &'static str,
+    /// Bytes of one stored KV scalar (4 for f32, 2 for f16).
+    pub kv_bytes_per_elem: usize,
+    /// Engine + KV memory estimate (see [`Scheduler::memory_estimate`]).
+    pub memory: MemoryEstimate,
+    /// Prefix-cache accounting (see [`Scheduler::prefix_stats`]).
+    pub prefix: PrefixCacheStats,
+    /// Preemption accounting (see [`Scheduler::preemption_stats`]).
+    pub preemption: PreemptionStats,
+    /// Speculative-decoding accounting (see
+    /// [`Scheduler::speculative_stats`]).
+    pub speculative: SpeculativeStats,
+}
+
 impl Scheduler<'_> {
     /// Requests submitted over the scheduler's lifetime.
     pub fn submitted(&self) -> usize {
         self.next_id
+    }
+
+    /// Requests retired over the scheduler's lifetime.
+    pub fn retired(&self) -> usize {
+        self.retired
+    }
+
+    /// Completed [`tick`](Self::tick) calls so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// One snapshot of every observable: counters, queue depths, KV pool
+    /// state, the memory estimate, and the prefix/preemption/speculative
+    /// aggregates — the single surface `/stats` and the load harness
+    /// serialize from.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            ticks: self.ticks,
+            submitted: self.submitted(),
+            retired: self.retired,
+            queued: self.pending_requests(),
+            active_slots: self.active_slots(),
+            reserved_blocks: self.reserved_blocks,
+            kv_blocks_in_use: self.kv.blocks_in_use(),
+            kv_in_use_bytes: self.kv.in_use_bytes(),
+            kv_block_budget: self.config.kv_block_budget,
+            kv_dtype: self.kv.dtype().label(),
+            kv_bytes_per_elem: self.kv.dtype().bytes_per_elem(),
+            memory: self.memory_estimate(),
+            prefix: self.prefix_stats(),
+            preemption: self.preemption_stats(),
+            speculative: self.speculative_stats(),
+        }
     }
 
     /// Requests not yet finished (queued, live, or preempted).
@@ -138,6 +221,7 @@ impl Scheduler<'_> {
         if let Some(spec) = &output.speculative {
             self.spec_retired.merge(spec);
         }
+        self.retired += 1;
         self.finished.push(output);
     }
 

@@ -13,6 +13,7 @@
 //! | [`gpu_sim`] | `sparseinfer-gpu-sim` | Jetson Orin AGX roofline cost model: kernels, CKE, per-token latency |
 //! | [`eval`] | `sparseinfer-eval` | synthetic GSM8K/BBH-analog suites, dense-gold accuracy, logit divergence |
 //! | [`json`] | (this crate) | dependency-free JSON value tree, parser and writer, shared by the bench tooling and the HTTP serving frontend |
+//! | [`stats`] | (this crate) | the single JSON encoding of [`SchedulerStats`](sparse::scheduler::SchedulerStats), shared by `/stats` and the trace-replay harness |
 //!
 //! # Quickstart
 //!
@@ -89,6 +90,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod stats;
 
 pub use sparseinfer_eval as eval;
 pub use sparseinfer_gpu_sim as gpu_sim;

@@ -84,7 +84,7 @@ fn main() {
         let final_stats = server_thread.join().expect("server thread");
         println!(
             "shutdown: {} requests served, {} KV blocks in use after drain",
-            final_stats.completed, final_stats.kv_blocks_in_use
+            final_stats.completed, final_stats.scheduler.kv_blocks_in_use
         );
     });
 }

@@ -134,7 +134,7 @@ fn concurrent_http_clients_match_direct_scheduler_runs_across_slot_threads() {
         let final_stats = final_stats.unwrap();
         assert_eq!(final_stats.completed, workload.len());
         assert_eq!(
-            final_stats.kv_blocks_in_use, 0,
+            final_stats.scheduler.kv_blocks_in_use, 0,
             "{slot_threads} slot threads: pool must drain to zero"
         );
     }
@@ -177,7 +177,10 @@ fn mid_stream_disconnect_frees_the_slot_and_drains_the_pool() {
         let deadline = Instant::now() + Duration::from_secs(30);
         loop {
             let stats = handle.stats();
-            if stats.active_slots == 0 && stats.completed == 1 && stats.kv_blocks_in_use == 0 {
+            if stats.scheduler.active_slots == 0
+                && stats.completed == 1
+                && stats.scheduler.kv_blocks_in_use == 0
+            {
                 break;
             }
             assert!(
@@ -190,5 +193,5 @@ fn mid_stream_disconnect_frees_the_slot_and_drains_the_pool() {
         handle.shutdown();
         *final_stats = Some(server_thread.join().expect("server thread"));
     });
-    assert_eq!(final_stats.unwrap().kv_blocks_in_use, 0);
+    assert_eq!(final_stats.unwrap().scheduler.kv_blocks_in_use, 0);
 }
